@@ -1,0 +1,136 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Not figures from the paper, but the design arguments it makes in prose:
+
+* AXI port count — 4 ports are needed to match DDR bandwidth (Sec. VI-A);
+* VPU lane count — 128 lanes exactly consume the stream; fewer lanes make
+  decode compute-bound, more waste area (Sec. VI-B's PPA argument);
+* KV cache bit-width — KV8 vs KV4 vs FP16 capacity/speed trade
+  (Sec. IV-B);
+* weight bit-width — W4 vs W8 decode speed (Sec. IV-A);
+* pipeline mode — fused vs coarse across contexts (Sec. V-A).
+"""
+
+import pytest
+
+from repro.config import KV260, LLAMA2_7B, W4A16_KV8, PlatformConfig, QuantConfig
+from repro.core.cyclemodel import CycleModel
+from repro.core.resources import estimate_resources
+from repro.core.vpu import VpuSpec
+from repro.memory.axi import AxiPortGroup
+from repro.runtime.baremetal import BareMetalSystem
+
+
+def _platform_with_ports(n: int) -> PlatformConfig:
+    return PlatformConfig(
+        name=f"KV260-{n}port", dram_bytes=KV260.dram_bytes,
+        bandwidth_gbps=KV260.bandwidth_gbps, kind="fpga",
+        pl_freq_hz=KV260.pl_freq_hz, axi_port_bits=128, axi_ports=n,
+    )
+
+
+def bench_axi_port_count(benchmark, save_result):
+    """Decode rate vs number of 128-bit AXI ports."""
+    def sweep():
+        out = {}
+        for ports in (1, 2, 3, 4):
+            cm = CycleModel(LLAMA2_7B, W4A16_KV8, _platform_with_ports(ports))
+            out[ports] = cm.decode_step(512).tokens_per_s
+        return out
+
+    rates = benchmark(sweep)
+    text = "AXI ports -> token/s @ctx512\n" + "\n".join(
+        f"  {p} ports: {r:.3f}" for p, r in rates.items())
+    save_result("ablation_axi_ports", text)
+
+    # Each port adds 4.8 GB/s until DDR saturates at 4.
+    assert rates[1] == pytest.approx(rates[4] / 4, rel=0.1)
+    assert rates[4] > rates[3] > rates[2] > rates[1]
+    assert AxiPortGroup(4, 128, 300e6).is_bandwidth_matched(19.2e9)
+    assert not AxiPortGroup(3, 128, 300e6).is_bandwidth_matched(19.2e9)
+
+
+def bench_vpu_lanes(benchmark, save_result):
+    """Lane count: 64 lanes throttle decode; 256 only burn area."""
+    def sweep():
+        out = {}
+        for lanes in (64, 128, 256):
+            cm = CycleModel(LLAMA2_7B, W4A16_KV8, KV260,
+                            vpu=VpuSpec(lanes=lanes))
+            dsp = estimate_resources(lanes=lanes).total.dsp
+            out[lanes] = (cm.decode_step(512).tokens_per_s, dsp)
+        return out
+
+    results = benchmark(sweep)
+    text = "VPU lanes -> (token/s @ctx512, DSPs)\n" + "\n".join(
+        f"  {l:3d} lanes: {r[0]:.3f} token/s, {r[1]:.0f} DSP"
+        for l, r in results.items())
+    save_result("ablation_vpu_lanes", text)
+
+    # 64 lanes: compute-bound (128 weights arrive per cycle, 64 consumed).
+    assert results[64][0] < 0.6 * results[128][0]
+    # 256 lanes: no speedup (bandwidth-bound), ~2x the DSPs.
+    assert results[256][0] == pytest.approx(results[128][0], rel=0.01)
+    assert results[256][1] > 1.8 * results[128][1]
+
+
+def bench_kv_bits(benchmark, save_result):
+    """KV cache precision: capacity and speed at context 1024."""
+    def sweep():
+        out = {}
+        for bits in (4, 8, 16):
+            quant = QuantConfig(kv_bits=bits)
+            cm = CycleModel(LLAMA2_7B, quant, KV260)
+            system = BareMetalSystem(KV260)
+            report = system.capacity_report(LLAMA2_7B, quant, 1024)
+            out[bits] = (cm.decode_step(1023).tokens_per_s,
+                         report.kv_bytes / 2**20, report.fits)
+        return out
+
+    results = benchmark(sweep)
+    text = "KV bits -> (token/s @ctx1023, KV MiB, fits)\n" + "\n".join(
+        f"  KV{b:<2}: {r[0]:.3f} token/s, {r[1]:7.1f} MiB, fits={r[2]}"
+        for b, r in results.items())
+    save_result("ablation_kv_bits", text)
+
+    assert results[4][0] > results[8][0] > results[16][0]
+    assert results[8][2]          # the paper's KV8 point fits
+    assert results[8][1] == pytest.approx(264, rel=0.01)
+
+
+def bench_weight_bits(benchmark, save_result):
+    """W4 vs W8: the decode rate scales ~inversely with weight bytes."""
+    def sweep():
+        out = {}
+        for bits in (4, 8):
+            quant = QuantConfig(weight_bits=bits)
+            cm = CycleModel(LLAMA2_7B, quant, KV260)
+            out[bits] = cm.decode_step(256).tokens_per_s
+        return out
+
+    rates = benchmark(sweep)
+    save_result("ablation_weight_bits",
+                f"W4: {rates[4]:.3f} token/s\nW8: {rates[8]:.3f} token/s")
+    assert rates[4] > 1.8 * rates[8]
+
+
+def bench_pipeline_mode_sweep(benchmark, save_result):
+    """Fused vs coarse across the full context range."""
+    cm = CycleModel(LLAMA2_7B, W4A16_KV8, KV260)
+
+    def sweep():
+        return {ctx: (cm.decode_step(ctx, "fused").tokens_per_s,
+                      cm.decode_step(ctx, "coarse").tokens_per_s)
+                for ctx in (64, 256, 512, 1023)}
+
+    results = benchmark(sweep)
+    text = "ctx -> (fused, coarse) token/s\n" + "\n".join(
+        f"  {ctx:4d}: {f:.3f} vs {c:.3f}  (+{(f / c - 1):.1%})"
+        for ctx, (f, c) in results.items())
+    save_result("ablation_pipeline_mode", text)
+
+    for ctx, (fused, coarse) in results.items():
+        assert fused > coarse, ctx
+    # Fusion matters more as softmax grows with context.
+    gain = {ctx: f / c for ctx, (f, c) in results.items()}
+    assert gain[1023] > gain[64]

@@ -1,0 +1,67 @@
+"""Design-space exploration: the paper's configuration is the PPA point.
+
+Sweeps lanes x AXI ports x PL frequency, evaluates each for speed,
+resources, and power, and asserts that the shipped configuration
+(128 lanes, 4 ports, 300 MHz) sits on the Pareto frontier while
+saturating the memory system — plus the prefill-engine trade of
+Sec. VI-B (a weight-reuse matrix engine would not fit the DSP budget).
+"""
+
+import pytest
+
+from repro.config import LLAMA2_7B, W4A16_KV8
+from repro.core.explore import (
+    paper_design_point,
+    pareto_frontier,
+    sweep_design_space,
+)
+from repro.core.prefill import compare_prefill_engines, dsp_budget_exceeded
+
+
+def _render(points, frontier) -> str:
+    marks = {(p.lanes, p.axi_ports, p.freq_mhz) for p in frontier}
+    lines = ["lanes ports  MHz   token/s    W    LUT%  fits  pareto"]
+    for p in points:
+        star = "*" if (p.lanes, p.axi_ports, p.freq_mhz) in marks else ""
+        lines.append(f"{p.lanes:5d} {p.axi_ports:5d} {p.freq_mhz:5.0f}"
+                     f" {p.tokens_per_s:8.3f} {p.power_w:5.2f}"
+                     f" {p.lut_util:6.1%} {str(p.fits):5} {star}")
+    return "\n".join(lines)
+
+
+def bench_design_space(benchmark, save_result):
+    points = benchmark.pedantic(
+        sweep_design_space, args=(LLAMA2_7B, W4A16_KV8),
+        kwargs={"context": 256}, iterations=1, rounds=1)
+    frontier = pareto_frontier(points)
+    save_result("design_space", _render(points, frontier))
+
+    paper = paper_design_point(LLAMA2_7B, W4A16_KV8, context=256)
+    assert paper.fits
+    # The paper's point is on the frontier and is the fastest feasible one.
+    keys = {(p.lanes, p.axi_ports, p.freq_mhz) for p in frontier}
+    assert (128, 4, 300.0) in keys
+    fastest = max(frontier, key=lambda p: p.tokens_per_s)
+    assert fastest.tokens_per_s == pytest.approx(paper.tokens_per_s,
+                                                 rel=0.01)
+
+
+def bench_prefill_engine_trade(benchmark, save_result):
+    reports = benchmark.pedantic(
+        compare_prefill_engines, args=(LLAMA2_7B, W4A16_KV8),
+        kwargs={"prompt_len": 64, "batch": 8}, iterations=1, rounds=1)
+    dot, batch = reports["dot"], reports["batch"]
+    save_result(
+        "prefill_engine_trade",
+        f"{dot.engine}: TTFT {dot.ttft_s:.1f} s, decode "
+        f"{dot.decode_tokens_per_s:.2f} token/s, +0 DSP\n"
+        f"{batch.engine}: TTFT {batch.ttft_s:.1f} s, decode "
+        f"{batch.decode_tokens_per_s:.2f} token/s, "
+        f"+{batch.extra_dsp:.0f} DSP (device has 1248; paper's VPU uses 266)")
+
+    # The trade: batching slashes TTFT but cannot move decode speed, and
+    # its multiplier array does not fit the XCK26.
+    assert batch.ttft_s < dot.ttft_s / 4
+    assert batch.decode_tokens_per_s == pytest.approx(
+        dot.decode_tokens_per_s)
+    assert dsp_budget_exceeded(8)

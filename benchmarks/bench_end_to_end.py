@@ -1,0 +1,68 @@
+"""End-to-end decode: the headline 'around 5 token/s' across contexts,
+and a full functional generation on a tiny model through the whole stack
+(tokenizer -> quantized pipeline -> cycle model).
+"""
+
+import pytest
+
+from repro.config import KV260, LLAMA2_7B, TINY_MODEL, W4A16_KV8, QuantConfig
+from repro.core.cyclemodel import CycleModel
+from repro.model.weights import quantize_model, random_weights
+from repro.runtime.session import InferenceSession
+
+
+def _render(sweep) -> str:
+    lines = ["Context sweep — LLaMA2-7B W4A16/KV8 on KV260 (fused pipeline)",
+             "  ctx    token/s   util"]
+    for step in sweep:
+        lines.append(f"  {step.context:4d}   {step.tokens_per_s:7.3f}"
+                     f"   {step.utilization:6.1%}")
+    return "\n".join(lines)
+
+
+def bench_context_sweep(benchmark, save_result):
+    cm = CycleModel(LLAMA2_7B, W4A16_KV8, KV260)
+    contexts = [0, 128, 256, 512, 768, 1023]
+    sweep = benchmark(cm.context_sweep, contexts)
+    save_result("end_to_end_context_sweep", _render(sweep))
+
+    assert sweep[-1].tokens_per_s == pytest.approx(4.9, abs=0.15)
+    assert sweep[-1].utilization == pytest.approx(0.845, abs=0.02)
+    assert all(s.utilization > 0.8 for s in sweep)
+
+
+def bench_time_breakdown(benchmark, save_result):
+    """Per-region bus-time profile of one decode step (ctx 512)."""
+    from repro.core.commands import CommandGenerator
+    from repro.memory.profiler import profile_decode_step
+    from repro.packing.memimage import build_memory_image
+
+    image = build_memory_image(LLAMA2_7B, W4A16_KV8, context=1024)
+    gen = CommandGenerator(image)
+    descriptors = gen.decode_step_descriptors(16, 512)
+
+    profile = benchmark(profile_decode_step, descriptors)
+    save_result("end_to_end_time_breakdown", profile.render())
+
+    # Weight streaming owns the bus; KV reads are the growing second term.
+    assert profile.time_fraction("weights") > 0.9
+    assert profile.time_fraction("kv read") > 0.02
+    assert 1e9 / profile.total_ns == pytest.approx(5.1, abs=0.25)
+
+
+def bench_functional_generation(benchmark, save_result):
+    """Tiny-model text generation through the complete simulated system."""
+    qw = quantize_model(random_weights(TINY_MODEL, seed=7),
+                        QuantConfig(weight_group_size=32))
+    session = InferenceSession(qw, check_capacity=False)
+
+    result = benchmark.pedantic(
+        session.generate, args=("FPGA",), kwargs={"max_new_tokens": 8},
+        iterations=1, rounds=3)
+    save_result(
+        "end_to_end_generation",
+        f"prompt: {result.prompt!r}\ncompletion bytes: {result.tokens}\n"
+        f"simulated decode rate: {result.perf.tokens_per_s:.1f} token/s "
+        f"(tiny model on the KV260 timing model)")
+    assert len(result.tokens) <= 8
+    assert result.perf.tokens_per_s > 0

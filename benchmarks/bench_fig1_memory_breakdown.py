@@ -1,0 +1,43 @@
+"""Fig. 1 — memory capacity breakdown of the 4 GB DDR4.
+
+Regenerates the weights (3556 MB) / KV cache (264 MB) / 93.3% utilization
+breakdown and the bare-metal-vs-Linux feasibility contrast.
+"""
+
+import pytest
+
+from repro.config import KV260, LLAMA2_7B, W4A16_KV8
+from repro.report.figures import fig1_memory_breakdown
+from repro.runtime.baremetal import BareMetalSystem
+
+
+def _render(fig: dict) -> str:
+    lines = [
+        "Fig. 1 — LLaMA2-7B AWQ-4bit on KV260 (4096 MB DDR4)",
+        f"  model weights : {fig['weights_mib']:8.1f} MB  (paper: "
+        f"{fig['paper_weights_mib']:.0f} MB)",
+        f"  KV cache(1024): {fig['kv_mib']:8.1f} MB  (paper: "
+        f"{fig['paper_kv_mib']:.0f} MB)",
+        f"  free          : {fig['free_mib']:8.1f} MB",
+        f"  utilization   : {fig['utilization']:8.1%}  (paper: "
+        f"{fig['paper_utilization']:.1%})",
+    ]
+    return "\n".join(lines)
+
+
+def bench_fig1(benchmark, save_result):
+    fig = benchmark(fig1_memory_breakdown, LLAMA2_7B, W4A16_KV8, 1024)
+    save_result("fig1_memory_breakdown", _render(fig))
+
+    assert fig["weights_mib"] == pytest.approx(fig["paper_weights_mib"],
+                                               rel=0.01)
+    assert fig["kv_mib"] == pytest.approx(fig["paper_kv_mib"], rel=0.002)
+    assert fig["utilization"] == pytest.approx(fig["paper_utilization"],
+                                               abs=0.005)
+
+
+def bench_fig1_bare_metal_requirement(benchmark):
+    system = BareMetalSystem(KV260)
+    fits = benchmark(system.fits, LLAMA2_7B, W4A16_KV8, 1024)
+    assert fits
+    assert not system.linux_would_fit(LLAMA2_7B, W4A16_KV8, 1024)

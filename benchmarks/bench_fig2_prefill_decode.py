@@ -1,0 +1,40 @@
+"""Fig. 2 — the two inference phases: prefill (GEMM/TTFT) vs decode
+(GEMV/TOPT).
+
+Regenerates the phase-structure numbers: arithmetic intensity contrast,
+time-to-first-token for the bandwidth-area-balanced engine (which
+deliberately sacrifices prefill), and time-per-output-token.
+"""
+
+import pytest
+
+from repro.report.figures import fig2_phase_breakdown
+
+
+def _render(fig: dict, prompt_len: int) -> str:
+    return "\n".join([
+        f"Fig. 2 — phases for a {prompt_len}-token prompt (LLaMA2-7B, KV260)",
+        f"  TTFT (prefill)        : {fig['ttft_s']:7.2f} s",
+        f"  TOPT (decode)         : {fig['topt_s']:7.3f} s/token",
+        f"  decode rate           : {fig['decode_tokens_per_s']:7.2f} token/s",
+        f"  prefill ops per weight: {fig['prefill_ops_per_weight']}",
+        f"  decode  ops per weight: {fig['decode_ops_per_weight']}",
+    ])
+
+
+def bench_fig2(benchmark, save_result):
+    prompt_len = 16
+    fig = benchmark(fig2_phase_breakdown, prompt_len=prompt_len,
+                    new_tokens=16)
+    save_result("fig2_prefill_decode", _render(fig, prompt_len))
+
+    # Decode is GEMV (2 ops per streamed weight); prefill batches the
+    # prompt (2 x prompt_len ops per weight) — the compute/bandwidth-bound
+    # contrast of Fig. 2.
+    assert fig["prefill_ops_per_weight"] == 2 * prompt_len
+    assert fig["decode_ops_per_weight"] == 2
+    # This engine restreams weights during prefill, so TTFT is roughly
+    # prompt_len decode steps.
+    assert fig["ttft_s"] == pytest.approx(prompt_len * fig["topt_s"],
+                                          rel=0.05)
+    assert fig["decode_tokens_per_s"] == pytest.approx(5.2, abs=0.2)

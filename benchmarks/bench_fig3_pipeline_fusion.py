@@ -1,0 +1,49 @@
+"""Fig. 3 — the fused head-wise attention dataflow.
+
+Regenerates the pipeline schedule and verifies the paper's claim that all
+miscellaneous operations (RoPE, softmax, KV quantization, residual/square
+sum) hide inside the dense computation with no cycle penalties, against
+a DFX-style coarse-grained baseline that pays them serially.
+"""
+
+import pytest
+
+from repro.config import LLAMA2_7B, W4A16_KV8
+from repro.report.figures import fig3_pipeline_comparison
+from repro.runtime.trace import Trace
+
+
+def _render(fig: dict, context: int) -> str:
+    fused = fig["fused_report"]
+    head = Trace.from_attention_report(fused)
+    head.events = head.events[:12]  # first two heads' stages + misc
+    return "\n".join([
+        f"Fig. 3 — attention pipeline at context {context} (one layer)",
+        f"  fused cycles   : {fig['fused_cycles']:12.0f}"
+        f"   exposed misc: {fig['fused_exposed_misc']:.0f}",
+        f"  coarse cycles  : {fig['coarse_cycles']:12.0f}"
+        f"   exposed misc: {fig['coarse_exposed_misc']:.0f}",
+        f"  coarse penalty : {fig['coarse_penalty']:12.1%}",
+        f"  all misc hidden: {fig['fused_all_hidden']}",
+        "",
+        "  first stages of the fused schedule (#dense ~misc):",
+        head.render(width=60),
+    ])
+
+
+def bench_fig3(benchmark, save_result):
+    context = 512
+    fig = benchmark(fig3_pipeline_comparison, LLAMA2_7B, W4A16_KV8, context)
+    save_result("fig3_pipeline_fusion", _render(fig, context))
+
+    assert fig["fused_all_hidden"]
+    assert fig["fused_exposed_misc"] == 0
+    assert fig["coarse_exposed_misc"] > 0
+    assert fig["coarse_penalty"] > 0.03
+
+
+def bench_fig3_full_context(benchmark):
+    fig = benchmark(fig3_pipeline_comparison, LLAMA2_7B, W4A16_KV8, 1023)
+    # The penalty grows with context (softmax exposure scales with it).
+    assert fig["coarse_penalty"] > fig3_pipeline_comparison(
+        LLAMA2_7B, W4A16_KV8, 64)["coarse_penalty"]

@@ -1,0 +1,50 @@
+"""Fig. 4 — bus-width-aligned data arrangement formats.
+
+A) interleaved zero/scale/weight streams vs the naive split layout, timed
+   on the DDR model;
+B) the KV scale-zero FIFO's whole-beat writes vs per-pack 4-byte writes;
+plus the underlying DDR burst-size efficiency curve that motivates both.
+"""
+
+import pytest
+
+from repro.report.figures import ddr_burst_curve, fig4_arrangement_comparison
+
+
+def _render(fig: dict, curve: dict) -> str:
+    lines = [
+        "Fig. 4A — weight fetch efficiency (4096x4096 layer)",
+        f"  interleaved format : {fig['interleaved_efficiency']:6.1%} of peak",
+        f"  naive split fetch  : {fig['naive_efficiency']:6.1%} of peak",
+        f"  gain               : {fig['efficiency_gain']:6.1f}x",
+        "",
+        "Fig. 4B — KV scale-zero packing (64 tokens, 32 layers x 32 heads)",
+        f"  per-pack writes    : {fig['naive_pack_writes']}",
+        f"  FIFO word writes   : {fig['fifo_writes']}",
+        f"  write reduction    : {fig['write_reduction']:.1f}x",
+        f"  on-chip buffer     : {fig['fifo_buffer_bytes'] // 1024} KiB",
+        "",
+        "DDR efficiency vs burst size (scattered):",
+    ]
+    for size, eff in curve["scattered"].items():
+        lines.append(f"  {size:>8} B : {eff:6.1%}")
+    return "\n".join(lines)
+
+
+def bench_fig4(benchmark, save_result):
+    fig = benchmark(fig4_arrangement_comparison, 4096, 4096)
+    curve = ddr_burst_curve(burst_sizes=(64, 512, 4096, 32768, 262144))
+    save_result("fig4_data_arrangement", _render(fig, curve))
+
+    assert fig["interleaved_efficiency"] > 0.9
+    assert fig["naive_efficiency"] < 0.5
+    assert fig["efficiency_gain"] > 2
+    assert fig["write_reduction"] == pytest.approx(16.0, rel=0.05)
+
+    scattered = list(curve["scattered"].values())
+    assert all(a <= b for a, b in zip(scattered, scattered[1:]))
+
+
+def bench_fig4_burst_curve(benchmark):
+    curve = benchmark(ddr_burst_curve, (64, 1024, 16384, 262144))
+    assert max(curve["sequential"].values()) > 0.93

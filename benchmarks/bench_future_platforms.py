@@ -1,0 +1,85 @@
+"""Future-platform projection — the Discussion section, quantified.
+
+Sec. VIII: "further improving LLM decoding speed and supporting larger
+LLM size remains challenging without sufficient bandwidth and capacity.
+With DDR5 and unified memory ... it is timely for FPGA vendors to
+integrate advanced memory support."
+
+This benchmark runs the same accelerator model on the embedded boards of
+the paper's introduction (Ultra96v2, ZCU104, KV260) plus a hypothetical
+DDR5 KV260, reporting for each: does LLaMA2-7B fit, and how fast does it
+decode — showing capacity gates deployment before bandwidth ever matters.
+"""
+
+import pytest
+
+from repro.config import (
+    KV260,
+    KV260_DDR5,
+    LLAMA2_7B,
+    TINYLLAMA_1_1B,
+    ULTRA96_V2,
+    W4A16_KV8,
+    ZCU104,
+)
+from repro.core.cyclemodel import CycleModel
+from repro.runtime.baremetal import BareMetalSystem
+
+BOARDS = (ULTRA96_V2, ZCU104, KV260, KV260_DDR5)
+
+
+def _evaluate():
+    rows = []
+    for board in BOARDS:
+        system = BareMetalSystem(board)
+        fits_7b = system.fits(LLAMA2_7B, W4A16_KV8, context=1024)
+        fits_tiny = system.fits(TINYLLAMA_1_1B, W4A16_KV8, context=1024)
+        rate = None
+        if fits_7b:
+            # The DOT engine must scale with the stream: 128 lanes consume
+            # exactly 19.2 GB/s of 4-bit weights, so a wider memory needs
+            # proportionally more lanes (or decode goes compute-bound).
+            from repro.core.vpu import VpuSpec
+
+            lanes = 128 * max(1, board.axi_ports // 4)
+            cm = CycleModel(LLAMA2_7B, W4A16_KV8, board,
+                            vpu=VpuSpec(lanes=lanes))
+            rate = cm.decode_step(512).tokens_per_s
+        rows.append({
+            "board": board.name,
+            "gbps": board.bandwidth_gbps,
+            "dram_gib": board.dram_bytes / 2**30,
+            "fits_7b": fits_7b,
+            "fits_1_1b": fits_tiny,
+            "tokens_per_s": rate,
+        })
+    return rows
+
+
+def _render(rows) -> str:
+    lines = [f"{'board':<28}{'GB/s':>6}{'DRAM':>6}{'7B?':>6}"
+             f"{'1.1B?':>7}{'token/s':>9}"]
+    for r in rows:
+        rate = f"{r['tokens_per_s']:.2f}" if r["tokens_per_s"] else "-"
+        lines.append(f"{r['board']:<28}{r['gbps']:>6}{r['dram_gib']:>5.0f}G"
+                     f"{str(r['fits_7b']):>6}{str(r['fits_1_1b']):>7}"
+                     f"{rate:>9}")
+    return "\n".join(lines)
+
+
+def bench_future_platforms(benchmark, save_result):
+    rows = benchmark(_evaluate)
+    save_result("future_platforms", _render(rows))
+
+    by_name = {r["board"]: r for r in rows}
+    # Capacity gates first: 2 GB boards cannot host 7B at all, whatever
+    # their bandwidth (ZCU104 has the KV260's full 19.2 GB/s).
+    assert not by_name["Ultra96v2"]["fits_7b"]
+    assert not by_name["ZCU104"]["fits_7b"]
+    assert by_name["ZCU104"]["fits_1_1b"]
+    # The paper's board is the smallest that fits.
+    assert by_name["KV260"]["fits_7b"]
+    # DDR5 projection: double bandwidth -> ~2x decode rate.
+    kv260 = by_name["KV260"]["tokens_per_s"]
+    ddr5 = by_name["KV260-DDR5 (hypothetical)"]["tokens_per_s"]
+    assert ddr5 == pytest.approx(2 * kv260, rel=0.05)

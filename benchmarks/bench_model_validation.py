@@ -1,0 +1,59 @@
+"""Model cross-validation artifacts.
+
+Two independent mechanism-level models check the closed-form ones:
+
+* the beat-accurate event simulation (`core.eventsim`, the cocotb-run
+  analog) vs the analytical attention pipeline;
+* the multi-bank DDR4 state machine (`memory.banks`) vs the first-order
+  burst-efficiency model.
+
+If either disagreement grows, a headline number is drifting for the wrong
+reason — these benches pin the agreement as a regression gate.
+"""
+
+import pytest
+
+from repro.config import LLAMA2_7B, W4A16_KV8
+from repro.core.eventsim import BeatSimulator
+from repro.core.pipeline import AttentionPipeline
+from repro.memory.banks import BankedDdrModel
+from repro.memory.ddr import stream_efficiency
+
+
+def bench_eventsim_vs_analytical(benchmark, save_result):
+    sim = BeatSimulator(LLAMA2_7B, W4A16_KV8)
+    pipe = AttentionPipeline(LLAMA2_7B, W4A16_KV8)
+
+    def run():
+        rows = []
+        for ctx in (0, 128, 512, 1023):
+            beat = sim.attention_layer_cycles(ctx)
+            analytic = pipe.fused_schedule(ctx).total_cycles
+            rows.append((ctx, beat["cycles"], analytic,
+                         beat["stall_cycles"]))
+        return rows
+
+    rows = benchmark(run)
+    text = "ctx   event-sim cycles   analytical   delta    stalls\n" + \
+        "\n".join(f"{ctx:4d}   {b:14.0f}   {a:10.0f}   {b / a - 1:+6.2%}"
+                  f"   {s:.0f}" for ctx, b, a, s in rows)
+    save_result("validation_eventsim", text)
+
+    for ctx, beat, analytic, stalls in rows:
+        assert beat == pytest.approx(analytic, rel=0.05), ctx
+        assert stalls == pytest.approx(0.0, abs=1e-6), ctx
+
+
+def bench_banked_ddr_vs_firstorder(benchmark, save_result):
+    def run():
+        banked = BankedDdrModel()
+        ns = banked.stream(0, 1 << 23)
+        return banked.efficiency(ns), stream_efficiency(1 << 23, 1 << 20)
+
+    detailed, simple = benchmark(run)
+    save_result(
+        "validation_banked_ddr",
+        f"streaming ceiling: banked state machine {detailed:.1%} vs "
+        f"first-order model {simple:.1%}")
+    assert detailed == pytest.approx(simple, abs=0.04)
+    assert detailed > 0.9

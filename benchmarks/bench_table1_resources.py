@@ -1,0 +1,31 @@
+"""Table I — resource consumption breakdown of the accelerator.
+
+Regenerates the LUT/FF/CARRY/DSP/URAM/BRAM breakdown (MemCtrl / VPU / SPU)
+and the 6.57 W power figure, and checks every cell against the paper.
+"""
+
+import pytest
+
+from repro.core.power import estimate_power
+from repro.core.resources import PAPER_TABLE_I, estimate_resources
+from repro.report.tables import table1_resources
+
+
+def bench_table1(benchmark, save_result):
+    rows, text = benchmark(table1_resources)
+    save_result("table1_resources", text)
+
+    by_name = {r["component"]: r for r in rows}
+    for name, paper in PAPER_TABLE_I.items():
+        got = by_name[name]
+        assert got["lut"] == pytest.approx(paper["lut"], rel=0.05), name
+        assert got["ff"] == pytest.approx(paper["ff"], rel=0.05), name
+        assert got["dsp"] == pytest.approx(paper["dsp"], abs=1), name
+        assert got["bram"] == pytest.approx(paper["bram"], abs=1), name
+        assert got["uram"] == paper["uram"], name
+
+
+def bench_table1_power(benchmark):
+    report = estimate_resources()
+    watts = benchmark(estimate_power, report, 300e6)
+    assert watts == pytest.approx(6.57, abs=0.1)

@@ -1,0 +1,32 @@
+"""Benchmark harness support: artifact directory + row printer.
+
+Every benchmark regenerates one of the paper's tables or figures.  Apart
+from the pytest-benchmark timing, each writes its reproduced rows to
+``benchmarks/results/<name>.txt`` so the evidence survives output capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def save_result(results_dir):
+    """Writer: save_result("table2", text) -> results/table2.txt."""
+
+    def _save(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n[{name}]\n{text}")
+
+    return _save

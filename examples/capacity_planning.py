@@ -1,0 +1,61 @@
+"""Capacity planning: which LLMs fit an embedded board at all?
+
+Reproduces the paper's Fig. 1 reasoning as a planning tool: for each
+(model, quantization) pair it reports the weight footprint, the maximum
+KV-cache context that still fits, and whether the deployment would
+survive under an embedded Linux instead of bare metal.
+
+Usage:  python examples/capacity_planning.py
+"""
+
+from repro import (
+    CHATGLM_6B,
+    GPT2_1_5B,
+    KV260,
+    LLAMA2_7B,
+    TINYLLAMA_1_1B,
+    QuantConfig,
+)
+from repro.errors import CapacityError
+from repro.runtime.baremetal import BareMetalSystem, LINUX_RESERVED_BYTES
+from repro.units import MIB
+
+MODELS = (TINYLLAMA_1_1B, GPT2_1_5B, CHATGLM_6B, LLAMA2_7B)
+QUANTS = {
+    "W4/KV8": QuantConfig(weight_bits=4, kv_bits=8),
+    "W8/KV8": QuantConfig(weight_bits=8, kv_bits=8),
+}
+
+
+def plan() -> None:
+    bare = BareMetalSystem(KV260)
+    hosted = BareMetalSystem(KV260, LINUX_RESERVED_BYTES)
+    print(f"platform: {KV260.name}, {KV260.dram_bytes // MIB} MB DDR4, "
+          f"{KV260.bandwidth_gbps} GB/s\n")
+    header = (f"{'model':<16}{'quant':<9}{'weights':>10}{'max ctx':>9}"
+              f"{'bare-metal':>12}{'under Linux':>13}")
+    print(header)
+    print("-" * len(header))
+    for model in MODELS:
+        for qname, quant in QUANTS.items():
+            report = bare.capacity_report(model, quant, context=1024)
+            weights_mb = report.weight_bytes / MIB
+            try:
+                max_ctx = bare.max_context(model, quant)
+            except CapacityError:
+                max_ctx = 0
+            fits = bare.fits(model, quant, 1024)
+            linux = hosted.fits(model, quant, 1024)
+            print(f"{model.name:<16}{qname:<9}{weights_mb:>8.0f} MB"
+                  f"{max_ctx:>9}{str(fits):>12}{str(linux):>13}")
+    print()
+    full = bare.capacity_report(LLAMA2_7B, QUANTS["W4/KV8"], 1024)
+    print(f"LLaMA2-7B W4/KV8 at context 1024 uses "
+          f"{full.model_utilization:.1%} of the raw 4 GB "
+          f"(paper: 93.3%) — which is why the paper runs bare-metal: "
+          f"an OS stack of ~{LINUX_RESERVED_BYTES // MIB} MB cannot fit "
+          f"in the {full.headroom_bytes / MIB:.0f} MB that remain.")
+
+
+if __name__ == "__main__":
+    plan()

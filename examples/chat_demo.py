@@ -1,0 +1,61 @@
+"""Chat demo: drive the simulated accelerator like the bare-metal system.
+
+A tiny synthetic model stands in for LLaMA2-7B (no checkpoint offline),
+but the flow is the paper's: tokenize on the "PS", stream the quantized
+model through the accelerator pipeline, sample, detokenize, and report
+per-turn performance from the cycle model.
+
+Usage:  python examples/chat_demo.py           # canned prompts
+        python examples/chat_demo.py --interactive
+"""
+
+import sys
+
+from repro import SMALL_MODEL, QuantConfig, quantize_model, random_weights
+from repro.model.sampler import Sampler
+from repro.runtime.session import ChatSession, InferenceSession
+
+CANNED_PROMPTS = (
+    "Hello!",
+    "What is an FPGA?",
+    "Tell me about memory bandwidth.",
+)
+
+
+def build_chat() -> ChatSession:
+    print("loading model (synthetic SMALL_MODEL, W4A16 + KV8)...")
+    weights = random_weights(SMALL_MODEL, seed=42)
+    qweights = quantize_model(weights, QuantConfig(weight_group_size=64))
+    sampler = Sampler(temperature=0.9, top_k=40, seed=0)
+    session = InferenceSession(qweights, sampler=sampler,
+                               check_capacity=False)
+    # Multi-turn: history stays resident like the bare-metal KV cache,
+    # truncating oldest turns when the context reservation would overflow.
+    return ChatSession(session, reserve_for_reply=24)
+
+
+def turn(chat: ChatSession, prompt: str) -> None:
+    result = chat.say(prompt, max_new_tokens=24)
+    print(f"you  > {prompt}")
+    print(f"model> {result.completion!r}")
+    print(f"       [{len(result.tokens)} tokens, "
+          f"{result.perf.tokens_per_s:.0f} token/s simulated, "
+          f"history {len(chat.history_tokens)} tokens]\n")
+
+
+def main() -> None:
+    chat = build_chat()
+    if "--interactive" in sys.argv:
+        print("type a prompt (empty line to quit)")
+        while True:
+            prompt = input("you> ").strip()
+            if not prompt:
+                break
+            turn(chat, prompt)
+    else:
+        for prompt in CANNED_PROMPTS:
+            turn(chat, prompt)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""Reproduce the paper's comparison tables (Tables II and III).
+
+Prints both tables with recomputed theoretical rates and utilizations,
+with our row produced live by the cycle model instead of copied from the
+paper.
+
+Usage:  python examples/compare_platforms.py
+"""
+
+from repro.report.tables import table1_resources, table2_fpga, table3_edge
+
+
+def main() -> None:
+    _, t1 = table1_resources()
+    print("=== Table I: resource consumption breakdown ===")
+    print(t1)
+
+    _, t2 = table2_fpga(context=1023)
+    print("\n=== Table II: comparison with existing FPGA research ===")
+    print(t2)
+    print("token/s^1 = bandwidth-bound theoretical peak; "
+          "token/s^2 = reported/simulated")
+
+    _, t3 = table3_edge(context=1023)
+    print("\n=== Table III: comparison with embedded CPU/GPUs ===")
+    print(t3)
+
+
+if __name__ == "__main__":
+    main()

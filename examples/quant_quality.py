@@ -1,0 +1,58 @@
+"""Quantization quality study: why W4A16 + KV8 (paper Sec. IV).
+
+Evaluates weight/KV quantization variants against the float64 reference
+on a synthetic model, including the AWQ-vs-round-to-nearest contrast with
+a real calibration pass.
+
+Usage:  python examples/quant_quality.py
+"""
+
+from repro.config import QuantConfig, TINY_MODEL
+from repro.evalkit.harness import (
+    collect_activation_stats,
+    compare_quant_configs,
+    synthetic_corpus,
+)
+from repro.model.weights import random_weights
+
+CONFIGS = {
+    "W4/KV8": QuantConfig(weight_bits=4, kv_bits=8, weight_group_size=32),
+    "W4/KV8+awq": QuantConfig(weight_bits=4, kv_bits=8,
+                              weight_group_size=32),
+    "W4/KV4": QuantConfig(weight_bits=4, kv_bits=4, weight_group_size=32),
+    "W8/KV8": QuantConfig(weight_bits=8, kv_bits=8, weight_group_size=32),
+}
+
+
+def main() -> None:
+    print("building synthetic model and corpus...")
+    weights = random_weights(TINY_MODEL, seed=11)
+    corpus = synthetic_corpus(TINY_MODEL.vocab_size, n_sequences=2,
+                              length=8, seed=3)
+    calibration = synthetic_corpus(TINY_MODEL.vocab_size, n_sequences=1,
+                                   length=6, seed=4)
+
+    print("collecting AWQ calibration statistics...")
+    stats = collect_activation_stats(weights, calibration)
+
+    print("evaluating quantization variants (float64 reference = truth)\n")
+    results = compare_quant_configs(weights, CONFIGS, corpus,
+                                    awq_stats=stats)
+    header = (f"{'config':<12}{'ref ppl':>9}{'quant ppl':>11}"
+              f"{'delta':>9}{'mean KL':>10}{'top5':>7}")
+    print(header)
+    print("-" * len(header))
+    for label, r in results.items():
+        print(f"{label:<12}{r.ref_perplexity:>9.2f}"
+              f"{r.quant_perplexity:>11.2f}{r.perplexity_delta:>9.2%}"
+              f"{r.mean_kl:>10.4f}{r.top5_agreement:>7.0%}")
+
+    print("\ntakeaways (the paper's Sec. IV choices):")
+    print(f"  KV4 costs {results['W4/KV4'].mean_kl / results['W4/KV8'].mean_kl:.1f}x "
+          "the KL of KV8  -> keep the KV cache at 8 bits")
+    print("  W4 with group scaling stays within a few percent of the "
+          "reference -> 4-bit weights are the capacity/bandwidth win")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Quickstart: the paper's headline numbers in a dozen lines.
+
+Runs the timing-only accelerator model for LLaMA2-7B on the KV260
+(no checkpoint needed) and a complete functional generation on a tiny
+synthetic model through the same simulated hardware.
+
+Usage:  python examples/quickstart.py
+"""
+
+from repro import (
+    Accelerator,
+    LLAMA2_7B,
+    TINY_MODEL,
+    W4A16_KV8,
+    QuantConfig,
+    quantize_model,
+    random_weights,
+)
+from repro.runtime.session import InferenceSession
+
+
+def headline_numbers() -> None:
+    print("=== LLaMA2-7B W4A16/KV8 on KV260 (timing model) ===")
+    acc = Accelerator.analytical(LLAMA2_7B, W4A16_KV8)
+    print(f"theoretical ceiling : "
+          f"{acc.theoretical_tokens_per_s():.2f} token/s")
+    for context in (128, 512, 1023):
+        perf = acc.decode_perf(context)
+        print(f"context {context:4d}        : {perf.tokens_per_s:.2f} "
+              f"token/s  ({perf.utilization:.1%} bandwidth utilization)")
+    print(f"estimated power     : {acc.power_w():.2f} W")
+    report = acc.resources()
+    util = report.utilization()
+    print(f"resources           : {report.total.lut:.0f} LUT "
+          f"({util['lut']:.0%}), {report.total.dsp:.0f} DSP "
+          f"({util['dsp']:.0%})")
+
+
+def capacity_bar() -> None:
+    from repro.packing.memimage import build_memory_image
+    from repro.report.ascii import stacked_capacity_bar
+
+    image = build_memory_image(LLAMA2_7B, W4A16_KV8, context=1024)
+    print("\n=== Fig. 1: the 4096 MB DDR4, occupied ===")
+    print(stacked_capacity_bar(
+        {"weights": image.weight_mib(), "KV cache": image.kv_mib()},
+        4096.0))
+
+
+def functional_generation() -> None:
+    print("\n=== tiny synthetic model, full functional pipeline ===")
+    weights = random_weights(TINY_MODEL, seed=7)
+    qweights = quantize_model(weights, QuantConfig(weight_group_size=32))
+    session = InferenceSession(qweights, check_capacity=False)
+    result = session.generate("Hello FPGA", max_new_tokens=12)
+    print(f"prompt      : {result.prompt!r}")
+    print(f"completion  : {result.completion!r}")
+    print(f"token ids   : {result.tokens}")
+    print(f"TTFT        : {result.perf.ttft_s * 1e3:.2f} ms "
+          "(simulated KV260 clock)")
+    print(f"decode rate : {result.perf.tokens_per_s:.0f} token/s "
+          "(tiny model, same 19.2 GB/s bus)")
+
+
+if __name__ == "__main__":
+    headline_numbers()
+    capacity_bar()
+    functional_generation()

@@ -1,0 +1,127 @@
+"""Cross-platform analysis: the Discussion section's bandwidth argument.
+
+Sec. VIII argues that decode speed is tied to bandwidth and that larger
+models remain out of reach "without sufficient bandwidth and capacity".
+These helpers quantify that: bandwidth needed for a target token rate,
+the largest model a byte budget supports, and an efficiency-frontier view
+of every platform in Tables II/III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import ModelConfig
+from ..errors import ConfigError
+from .entries import BaselineEntry, all_entries
+
+
+def bandwidth_for_tokens_per_s(model: ModelConfig, tokens_per_s: float,
+                               weight_bits: float = 4.0,
+                               utilization: float = 0.845) -> float:
+    """GB/s needed to decode ``model`` at ``tokens_per_s``.
+
+    Defaults assume this paper's 84.5% achievable utilization — i.e. the
+    answer to "what memory would an embedded device need?" rather than a
+    theoretical bound.
+    """
+    if tokens_per_s <= 0:
+        raise ConfigError("token rate must be positive")
+    if not 0 < utilization <= 1:
+        raise ConfigError("utilization must be in (0, 1]")
+    bytes_per_token = model.decode_stream_params() * weight_bits / 8
+    return bytes_per_token * tokens_per_s / utilization / 1e9
+
+
+def max_params_for_capacity(dram_bytes: int, weight_bits: float = 4.1875,
+                            context: int = 1024, hidden: int = 4096,
+                            layers_per_b: float = 4.75,
+                            reserved_bytes: int = 1 << 20) -> float:
+    """Largest parameter count a DRAM budget can hold (weights + KV).
+
+    KV bytes scale with depth; ``layers_per_b`` approximates layers per
+    billion parameters for LLaMA-family shapes (32 layers / 6.74B).
+    """
+    if dram_bytes <= 0:
+        raise ConfigError("dram_bytes must be positive")
+    usable = dram_bytes - reserved_bytes
+    # weights: P * bits/8; KV: 2 * layers * hidden * context bytes with
+    # layers ~ layers_per_b * P/1e9.
+    kv_per_param = 2 * layers_per_b / 1e9 * hidden * context
+    per_param = weight_bits / 8 + kv_per_param
+    return usable / per_param
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One platform on the bandwidth-vs-speed plane."""
+
+    name: str
+    bandwidth_gbps: float
+    tokens_per_s: float
+    utilization: float
+    tokens_per_gbps: float
+
+
+def efficiency_frontier(entries: tuple[BaselineEntry, ...] | None = None,
+                        ) -> list[FrontierPoint]:
+    """Every platform on the bandwidth-vs-speed plane.
+
+    Points are sorted by *utilization* — tokens per GB/s alone is not
+    model-normalized (a 1.1B model trivially yields more tokens per byte
+    of bandwidth than a 7B one), while utilization divides out the model
+    size.  The paper's KV260 design tops this ordering — the "pushing to
+    the limit" claim in one number.
+    """
+    if entries is None:
+        entries = all_entries()
+    points = []
+    for e in entries:
+        points.append(FrontierPoint(
+            name=e.name,
+            bandwidth_gbps=e.bandwidth_gbps,
+            tokens_per_s=e.reported_tokens_per_s,
+            utilization=e.utilization,
+            tokens_per_gbps=e.reported_tokens_per_s / e.bandwidth_gbps,
+        ))
+    return sorted(points, key=lambda p: p.utilization, reverse=True)
+
+
+def oversized_model_rate(params_b: float, dram_bytes: int,
+                         dram_gbps: float = 19.2,
+                         storage_gbps: float = 0.04,
+                         weight_bits: float = 4.0,
+                         utilization: float = 0.845) -> dict:
+    """Decode rate if weights larger than DRAM stream from storage.
+
+    The Discussion's "supporting larger LLM size remains challenging":
+    a model that does not fit DRAM must re-read its overflow from SD/eMMC
+    every token, and decode speed collapses to the *storage* bandwidth
+    for that slice.  Returns the resident/overflow split and the blended
+    token rate — quantifying why capacity, not cleverness, is the wall.
+    """
+    if params_b <= 0 or dram_bytes <= 0:
+        raise ConfigError("sizes must be positive")
+    weight_bytes = params_b * 1e9 * weight_bits / 8
+    resident = min(weight_bytes, dram_bytes * 0.95)  # leave room for KV
+    overflow = max(0.0, weight_bytes - resident)
+    time_per_token = (resident / (dram_gbps * 1e9 * utilization)
+                      + overflow / (storage_gbps * 1e9))
+    return {
+        "resident_bytes": resident,
+        "overflow_bytes": overflow,
+        "fits": overflow == 0.0,
+        "tokens_per_s": 1.0 / time_per_token,
+    }
+
+
+def ddr5_projection(model: ModelConfig, ddr5_gbps: float = 38.4,
+                    utilization: float = 0.845,
+                    weight_bits: float = 4.0) -> float:
+    """Token rate if the KV260 had the DDR5 the Discussion calls for.
+
+    64-bit DDR5-4800 doubles the paper's bandwidth; at the same
+    utilization the decode rate doubles with it.
+    """
+    bytes_per_token = model.decode_stream_params() * weight_bits / 8
+    return ddr5_gbps * 1e9 * utilization / bytes_per_token

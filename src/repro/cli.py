@@ -1,0 +1,245 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``info``      — headline reproduction numbers for a model/platform.
+* ``tables``    — print Tables I, II, and III.
+* ``capacity``  — capacity report (Fig. 1) for a model and context.
+* ``sweep``     — decode-rate context sweep.
+* ``explore``   — design-space sweep with the Pareto frontier.
+* ``generate``  — run the functional pipeline on a tiny synthetic model.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from .config import KV260, MODEL_PRESETS, PLATFORM_PRESETS, QuantConfig
+from .errors import ReproError
+
+
+def _model(name: str):
+    try:
+        return MODEL_PRESETS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown model {name!r}; choose from {sorted(MODEL_PRESETS)}"
+        ) from None
+
+
+def _platform(name: str):
+    try:
+        return PLATFORM_PRESETS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown platform {name!r}; choose from "
+            f"{sorted(PLATFORM_PRESETS)}"
+        ) from None
+
+
+def _quant(args) -> QuantConfig:
+    return QuantConfig(weight_bits=args.weight_bits, kv_bits=args.kv_bits,
+                       weight_group_size=args.group_size)
+
+
+def cmd_info(args) -> int:
+    from .core.accelerator import Accelerator
+
+    model = _model(args.model)
+    platform = _platform(args.platform)
+    acc = Accelerator.analytical(model, _quant(args), platform)
+    print(f"{model.name} on {platform.name} "
+          f"({platform.bandwidth_gbps} GB/s)")
+    print(f"  theoretical ceiling : "
+          f"{acc.theoretical_tokens_per_s():.2f} token/s")
+    perf = acc.decode_perf(args.context)
+    print(f"  simulated @ctx {args.context:<5}: {perf.tokens_per_s:.2f} "
+          f"token/s ({perf.utilization:.1%} util)")
+    print(f"  power               : {acc.power_w():.2f} W")
+    return 0
+
+
+def cmd_tables(args) -> int:
+    from .report.tables import table1_resources, table2_fpga, table3_edge
+
+    for title, fn in (("Table I", table1_resources),
+                      ("Table II", lambda: table2_fpga(args.context)),
+                      ("Table III", lambda: table3_edge(args.context))):
+        _, text = fn()
+        print(f"=== {title} ===\n{text}\n")
+    return 0
+
+
+def cmd_capacity(args) -> int:
+    from .runtime.baremetal import BareMetalSystem
+    from .units import MIB
+
+    model = _model(args.model)
+    platform = _platform(args.platform)
+    system = BareMetalSystem(platform)
+    report = system.capacity_report(model, _quant(args), args.context)
+    print(f"{model.name} at context {args.context} on {platform.name}:")
+    print(f"  weights : {report.weight_bytes / MIB:8.1f} MiB")
+    print(f"  KV cache: {report.kv_bytes / MIB:8.1f} MiB")
+    print(f"  reserved: {report.reserved_bytes / MIB:8.1f} MiB")
+    print(f"  uses {report.model_utilization:.1%} of "
+          f"{report.dram_bytes // MIB} MiB -> "
+          f"{'FITS' if report.fits else 'DOES NOT FIT'}")
+    if report.fits:
+        print(f"  max context: {system.max_context(model, _quant(args))}")
+    return 0 if report.fits else 1
+
+
+def cmd_sweep(args) -> int:
+    from .core.cyclemodel import CycleModel
+
+    model = _model(args.model)
+    cm = CycleModel(model, _quant(args), _platform(args.platform))
+    contexts = range(0, args.context + 1, max(1, args.context // args.steps))
+    print(f"ctx     token/s   util    ({args.mode} pipeline)")
+    for ctx in contexts:
+        step = cm.decode_step(ctx, args.mode)
+        print(f"{ctx:5d}   {step.tokens_per_s:7.3f}   {step.utilization:.1%}")
+    return 0
+
+
+def cmd_explore(args) -> int:
+    from .core.explore import pareto_frontier, sweep_design_space
+
+    model = _model(args.model)
+    points = sweep_design_space(model, _quant(args), context=args.context)
+    frontier = {(p.lanes, p.axi_ports, p.freq_mhz)
+                for p in pareto_frontier(points)}
+    print("lanes  ports  MHz   token/s   W      LUT%   fits  pareto")
+    for p in points:
+        mark = "*" if (p.lanes, p.axi_ports, p.freq_mhz) in frontier else ""
+        print(f"{p.lanes:5d}  {p.axi_ports:5d}  {p.freq_mhz:4.0f}"
+              f"  {p.tokens_per_s:7.3f}   {p.power_w:5.2f}"
+              f"  {p.lut_util:5.1%}  {str(p.fits):5}  {mark}")
+    return 0
+
+
+def cmd_convert(args) -> int:
+    """Quantize a synthetic model and write the SD-card checkpoint file."""
+    from .model.weights import quantize_model, random_weights
+    from .packing.checkpoint import read_checkpoint, write_checkpoint
+    from .packing.memimage import build_memory_image
+
+    model = _model(args.model)
+    group = min(args.group_size, model.hidden_size)
+    quant = QuantConfig(weight_bits=args.weight_bits, kv_bits=args.kv_bits,
+                        weight_group_size=group)
+    qweights = quantize_model(random_weights(model, seed=args.seed), quant)
+    image = build_memory_image(model, quant, context=model.max_context,
+                               qweights=qweights)
+    with open(args.out, "wb") as stream:
+        n = write_checkpoint(image, stream)
+    print(f"wrote {n} bytes ({len(image.data)} regions) to {args.out}")
+    with open(args.out, "rb") as stream:
+        read_checkpoint(stream)  # verify CRCs like the loader would
+    print("verification: all region CRCs OK")
+    return 0
+
+
+def cmd_summary(args) -> int:
+    from .report.summary import render_summary, reproduction_summary
+
+    numbers = reproduction_summary(context=args.context)
+    print(render_summary(numbers))
+    ok = numbers.all_match()
+    print(f"\nreproduction {'HOLDS' if ok else 'BROKEN'}")
+    return 0 if ok else 1
+
+
+def cmd_generate(args) -> int:
+    from .model.sampler import Sampler
+    from .model.weights import quantize_model, random_weights
+    from .runtime.session import InferenceSession
+
+    model = _model(args.model)
+    group = min(args.group_size, model.hidden_size)
+    quant = QuantConfig(weight_bits=args.weight_bits, kv_bits=args.kv_bits,
+                        weight_group_size=group)
+    qweights = quantize_model(random_weights(model, seed=args.seed), quant)
+    sampler = None
+    if args.temperature > 0:
+        sampler = Sampler(temperature=args.temperature, seed=args.seed)
+    session = InferenceSession(qweights, sampler=sampler,
+                               check_capacity=False)
+    result = session.generate(args.prompt, max_new_tokens=args.tokens)
+    print(f"prompt    : {result.prompt!r}")
+    print(f"completion: {result.completion!r}")
+    print(f"perf      : {result.perf.tokens_per_s:.1f} token/s simulated, "
+          f"TTFT {result.perf.ttft_s * 1e3:.2f} ms")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Embedded-FPGA LLM decoding reproduction (DATE 2025)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, model_default="LLaMA2-7B"):
+        p.add_argument("--model", default=model_default)
+        p.add_argument("--platform", default=KV260.name)
+        p.add_argument("--weight-bits", type=int, default=4)
+        p.add_argument("--kv-bits", type=int, default=8)
+        p.add_argument("--group-size", type=int, default=128)
+        p.add_argument("--context", type=int, default=1023)
+
+    p = sub.add_parser("info", help="headline numbers")
+    common(p)
+    p.set_defaults(fn=cmd_info)
+
+    p = sub.add_parser("tables", help="print Tables I-III")
+    p.add_argument("--context", type=int, default=1023)
+    p.set_defaults(fn=cmd_tables)
+
+    p = sub.add_parser("capacity", help="Fig. 1 capacity report")
+    common(p)
+    p.set_defaults(fn=cmd_capacity, context=1024)
+
+    p = sub.add_parser("sweep", help="context sweep")
+    common(p)
+    p.add_argument("--mode", choices=("fused", "coarse"), default="fused")
+    p.add_argument("--steps", type=int, default=8)
+    p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser("explore", help="design-space exploration")
+    common(p)
+    p.set_defaults(fn=cmd_explore)
+
+    p = sub.add_parser("convert",
+                       help="write a checkpoint file (tiny models)")
+    common(p, model_default="tiny-test")
+    p.add_argument("--out", default="model.ckpt")
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(fn=cmd_convert, group_size=32)
+
+    p = sub.add_parser("summary",
+                       help="every headline claim, pass/fail vs the paper")
+    p.add_argument("--context", type=int, default=1023)
+    p.set_defaults(fn=cmd_summary)
+
+    p = sub.add_parser("generate", help="functional generation (tiny models)")
+    common(p, model_default="tiny-test")
+    p.add_argument("--prompt", default="Hello FPGA")
+    p.add_argument("--tokens", type=int, default=16)
+    p.add_argument("--temperature", type=float, default=0.0)
+    p.add_argument("--seed", type=int, default=7)
+    # Tiny models need a group size that divides their hidden size.
+    p.set_defaults(fn=cmd_generate, group_size=32)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        parser.exit(2, f"error: {exc}\n")
+        return 2  # unreachable; keeps type checkers honest

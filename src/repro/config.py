@@ -1,0 +1,379 @@
+"""Model, quantization, and platform configurations.
+
+Three frozen dataclasses describe everything the simulator needs:
+
+* :class:`ModelConfig` — transformer shapes (LLaMA2-7B, TinyLlama, ... and
+  tiny synthetic models for functional tests).
+* :class:`QuantConfig` — bit-widths and group size for the W4A16 + KV8
+  scheme of the paper (Sec. IV).
+* :class:`PlatformConfig` — memory capacity, bandwidth, and PL clocking of
+  the target board (KV260) and of every comparison platform in
+  Tables II/III.
+
+The parameter-counting helpers on :class:`ModelConfig` reproduce the
+paper's conventions exactly: the *decode weight traffic* per token counts
+every parameter except the embedding table (only one row of it is read per
+token), which is what makes ``19.2 GB/s / (6.61e9 params * 0.5 B) =
+5.8 token/s`` for LLaMA2-7B W4 (Table II, note 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .errors import ConfigError
+from .units import GB_DEC, GIB
+
+# ---------------------------------------------------------------------------
+# Model configuration
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Shape description of a decoder-only LLaMA-like transformer."""
+
+    name: str
+    hidden_size: int
+    num_layers: int
+    num_heads: int
+    intermediate_size: int
+    vocab_size: int
+    num_kv_heads: int | None = None
+    max_context: int = 1024
+    norm_eps: float = 1e-5
+    rope_theta: float = 10000.0
+    tie_embeddings: bool = False
+    gated_mlp: bool = True
+
+    def __post_init__(self) -> None:
+        if self.hidden_size <= 0 or self.num_layers <= 0:
+            raise ConfigError(f"{self.name}: sizes must be positive")
+        if self.hidden_size % self.num_heads != 0:
+            raise ConfigError(
+                f"{self.name}: hidden_size {self.hidden_size} not divisible by "
+                f"num_heads {self.num_heads}"
+            )
+        kv = self.num_kv_heads if self.num_kv_heads is not None else self.num_heads
+        if self.num_heads % kv != 0:
+            raise ConfigError(
+                f"{self.name}: num_heads {self.num_heads} not divisible by "
+                f"num_kv_heads {kv}"
+            )
+        if self.head_dim % 2 != 0:
+            raise ConfigError(f"{self.name}: head_dim must be even for RoPE")
+
+    # -- derived shapes ----------------------------------------------------
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden_size // self.num_heads
+
+    @property
+    def kv_heads(self) -> int:
+        return self.num_kv_heads if self.num_kv_heads is not None else self.num_heads
+
+    @property
+    def kv_dim(self) -> int:
+        return self.kv_heads * self.head_dim
+
+    # -- parameter accounting ----------------------------------------------
+
+    def attention_params(self) -> int:
+        """Parameters of one attention block (Q/K/V/O projections)."""
+        h = self.hidden_size
+        return h * h + 2 * h * self.kv_dim + h * h
+
+    def mlp_params(self) -> int:
+        """Parameters of one MLP block (gate/up/down, or up/down if ungated)."""
+        n_mats = 3 if self.gated_mlp else 2
+        return n_mats * self.hidden_size * self.intermediate_size
+
+    def norm_params(self) -> int:
+        """RMSNorm weights: two per layer plus the final norm."""
+        return (2 * self.num_layers + 1) * self.hidden_size
+
+    def layer_params(self) -> int:
+        """Parameters of one transformer layer (attention + MLP)."""
+        return self.attention_params() + self.mlp_params()
+
+    def embedding_params(self) -> int:
+        return self.vocab_size * self.hidden_size
+
+    def lm_head_params(self) -> int:
+        return 0 if self.tie_embeddings else self.vocab_size * self.hidden_size
+
+    def total_params(self) -> int:
+        """All parameters, including the embedding table."""
+        return (
+            self.embedding_params()
+            + self.num_layers * self.layer_params()
+            + self.lm_head_params()
+            + self.norm_params()
+        )
+
+    def decode_stream_params(self) -> int:
+        """Parameters streamed from DRAM for every decoded token.
+
+        Everything except the embedding table (a single row lookup) must be
+        read once per token during GEMV decoding: every layer's projections,
+        the LM head, and the norm weights.
+        """
+        return self.total_params() - self.embedding_params()
+
+    def kv_bytes_per_token(self, kv_bits: int = 8) -> int:
+        """KV-cache payload bytes appended per decoded token (no scale/zero)."""
+        return 2 * self.num_layers * self.kv_dim * kv_bits // 8
+
+    def with_context(self, max_context: int) -> "ModelConfig":
+        """Copy of this config with a different maximum context length."""
+        return replace(self, max_context=max_context)
+
+
+# ---------------------------------------------------------------------------
+# Quantization configuration
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QuantConfig:
+    """Bit-widths of the W4A16 + KV8 scheme (paper Sec. IV).
+
+    ``weight_zero_bits`` is 8 by default: the paper's Fig. 4A caption says
+    4-bit zero points but its capacity figure (3556 MB for LLaMA2-7B) and
+    its own KV scale-zero pack (16-bit scale + 8-bit zero + 8-bit pad) are
+    only consistent with 8-bit zeros; we follow the numbers, not the
+    caption, and keep the width configurable.
+    """
+
+    weight_bits: int = 4
+    weight_group_size: int = 128
+    weight_scale_bits: int = 16
+    weight_zero_bits: int = 8
+    activation_bits: int = 16
+    kv_bits: int = 8
+    kv_scale_bits: int = 16
+    kv_zero_bits: int = 8
+    kv_pack_pad_bits: int = 8
+
+    def __post_init__(self) -> None:
+        if self.weight_bits not in (2, 3, 4, 8, 16):
+            raise ConfigError(f"unsupported weight_bits {self.weight_bits}")
+        if self.weight_group_size <= 0:
+            raise ConfigError("weight_group_size must be positive")
+        if self.kv_bits not in (4, 8, 16):
+            raise ConfigError(f"unsupported kv_bits {self.kv_bits}")
+
+    @property
+    def weight_overhead_bits_per_weight(self) -> float:
+        """Scale+zero bits amortized over one quantization group."""
+        if self.weight_bits == 16:
+            return 0.0
+        return (self.weight_scale_bits + self.weight_zero_bits) / self.weight_group_size
+
+    @property
+    def effective_weight_bits(self) -> float:
+        """Stored bits per weight including quantization metadata."""
+        return self.weight_bits + self.weight_overhead_bits_per_weight
+
+    @property
+    def kv_pack_bits(self) -> int:
+        """Bits of one KV scale-zero pack (paper: 16 + 8 + 8 pad = 32)."""
+        return self.kv_scale_bits + self.kv_zero_bits + self.kv_pack_pad_bits
+
+    def weight_levels(self) -> int:
+        return (1 << self.weight_bits) - 1
+
+    def kv_levels(self) -> int:
+        return (1 << self.kv_bits) - 1
+
+
+# ---------------------------------------------------------------------------
+# Platform configuration
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """A deployment platform: memory system + programmable-logic clocking.
+
+    ``bandwidth_gbps`` is decimal GB/s as in the paper.  FPGA-specific
+    fields (ports/frequency/bus width) are zero for CPU/GPU baselines.
+    """
+
+    name: str
+    dram_bytes: int
+    bandwidth_gbps: float
+    kind: str = "fpga"  # "fpga" | "gpu" | "cpu"
+    pl_freq_hz: float = 0.0
+    axi_port_bits: int = 0
+    axi_ports: int = 0
+    reserved_bytes: int = 0  # capacity not usable for weights/KV (e.g. compiler)
+
+    def __post_init__(self) -> None:
+        if self.dram_bytes <= 0 and self.kind == "fpga":
+            raise ConfigError(f"{self.name}: dram_bytes must be positive")
+        if self.bandwidth_gbps <= 0:
+            raise ConfigError(f"{self.name}: bandwidth must be positive")
+
+    @property
+    def bandwidth_bytes_per_s(self) -> float:
+        return self.bandwidth_gbps * GB_DEC
+
+    @property
+    def port_bandwidth_bytes_per_s(self) -> float:
+        """Aggregate PL-side AXI bandwidth (ports x width x frequency)."""
+        return self.axi_ports * (self.axi_port_bits / 8) * self.pl_freq_hz
+
+    @property
+    def bus_bytes_per_cycle(self) -> float:
+        """Bytes the concatenated AXI stream delivers per PL cycle."""
+        return self.axi_ports * self.axi_port_bits / 8
+
+    def usable_bytes(self) -> int:
+        return self.dram_bytes - self.reserved_bytes
+
+
+# ---------------------------------------------------------------------------
+# Presets
+# ---------------------------------------------------------------------------
+
+LLAMA2_7B = ModelConfig(
+    name="LLaMA2-7B",
+    hidden_size=4096,
+    num_layers=32,
+    num_heads=32,
+    intermediate_size=11008,
+    vocab_size=32000,
+    max_context=1024,
+)
+
+TINYLLAMA_1_1B = ModelConfig(
+    name="TinyLlama-1.1B",
+    hidden_size=2048,
+    num_layers=22,
+    num_heads=32,
+    num_kv_heads=4,
+    intermediate_size=5632,
+    vocab_size=32000,
+    max_context=1024,
+)
+
+GPT2_1_5B = ModelConfig(
+    name="GPT2-1.5B",
+    hidden_size=1600,
+    num_layers=48,
+    num_heads=25,
+    intermediate_size=6400,
+    vocab_size=50257,
+    max_context=1024,
+    tie_embeddings=True,
+    gated_mlp=False,
+    # GPT-2 head_dim=64; 1600/25=64.
+)
+
+CHATGLM_6B = ModelConfig(
+    name="ChatGLM-6B",
+    hidden_size=4096,
+    num_layers=28,
+    num_heads=32,
+    intermediate_size=16384,
+    vocab_size=65024,
+    max_context=1024,
+    gated_mlp=False,
+)
+
+TINY_MODEL = ModelConfig(
+    name="tiny-test",
+    hidden_size=64,
+    num_layers=2,
+    num_heads=4,
+    intermediate_size=128,
+    vocab_size=272,  # 256 byte values + special tokens, padded to 16
+    max_context=64,
+    rope_theta=10000.0,
+)
+
+SMALL_MODEL = ModelConfig(
+    name="small-test",
+    hidden_size=128,
+    num_layers=4,
+    num_heads=8,
+    intermediate_size=256,
+    vocab_size=512,
+    max_context=128,
+)
+
+W4A16_KV8 = QuantConfig()
+W8A16_KV8 = QuantConfig(weight_bits=8)
+W16 = QuantConfig(weight_bits=16, kv_bits=16)
+
+KV260 = PlatformConfig(
+    name="KV260",
+    dram_bytes=4 * GIB,
+    bandwidth_gbps=19.2,  # 64-bit x 2400 MT/s DDR4
+    kind="fpga",
+    pl_freq_hz=300e6,
+    axi_port_bits=128,
+    axi_ports=4,
+    reserved_bytes=1 * 1024 * 1024,  # 1 MB reserved by the bare-metal compiler
+)
+
+ALVEO_U280 = PlatformConfig(
+    name="Alveo U280", dram_bytes=8 * GIB, bandwidth_gbps=460.0, kind="fpga",
+    pl_freq_hz=225e6, axi_port_bits=256, axi_ports=32,
+)
+
+ZCU102 = PlatformConfig(
+    name="ZCU102", dram_bytes=4 * GIB, bandwidth_gbps=21.3, kind="fpga",
+    pl_freq_hz=205e6, axi_port_bits=128, axi_ports=4,
+)
+
+PYNQ_Z2 = PlatformConfig(
+    name="PYNQ-Z2", dram_bytes=512 * 1024 * 1024, bandwidth_gbps=2.1, kind="fpga",
+    pl_freq_hz=100e6, axi_port_bits=64, axi_ports=2,
+)
+
+ULTRA96_V2 = PlatformConfig(
+    name="Ultra96v2", dram_bytes=2 * GIB, bandwidth_gbps=8.5, kind="fpga",
+    pl_freq_hz=300e6, axi_port_bits=128, axi_ports=2,
+)
+
+ZCU104 = PlatformConfig(
+    name="ZCU104", dram_bytes=2 * GIB, bandwidth_gbps=19.2, kind="fpga",
+    pl_freq_hz=300e6, axi_port_bits=128, axi_ports=4,
+)
+
+# Hypothetical future board from the Discussion section: same Zynq-class
+# PL with 64-bit DDR5-4800 (double the paper's bandwidth) and 8 GB.
+KV260_DDR5 = PlatformConfig(
+    name="KV260-DDR5 (hypothetical)", dram_bytes=8 * GIB,
+    bandwidth_gbps=38.4, kind="fpga",
+    pl_freq_hz=300e6, axi_port_bits=128, axi_ports=8,
+    reserved_bytes=1 * 1024 * 1024,
+)
+
+RASPBERRY_PI_4B = PlatformConfig(
+    name="Pi-4B 8GB", dram_bytes=8 * GIB, bandwidth_gbps=12.8, kind="cpu",
+)
+
+JETSON_AGX_ORIN = PlatformConfig(
+    name="Jetson AGX Orin", dram_bytes=64 * GIB, bandwidth_gbps=204.8, kind="gpu",
+)
+
+JETSON_ORIN_NANO = PlatformConfig(
+    name="Jetson Orin Nano", dram_bytes=8 * GIB, bandwidth_gbps=68.0, kind="gpu",
+)
+
+MODEL_PRESETS = {
+    m.name: m
+    for m in (LLAMA2_7B, TINYLLAMA_1_1B, GPT2_1_5B, CHATGLM_6B, TINY_MODEL, SMALL_MODEL)
+}
+
+PLATFORM_PRESETS = {
+    p.name: p
+    for p in (
+        KV260, ALVEO_U280, ZCU102, ZCU104, PYNQ_Z2, ULTRA96_V2, KV260_DDR5,
+        RASPBERRY_PI_4B, JETSON_AGX_ORIN, JETSON_ORIN_NANO,
+    )
+}

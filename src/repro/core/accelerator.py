@@ -1,0 +1,162 @@
+"""Top-level accelerator: functional pipeline + cycle model in one device.
+
+:class:`Accelerator` is what the examples and the runtime session drive.
+It pairs the hardware-equivalent functional model (exact tokens, for
+models small enough to run) with the cycle model (exact timing, for any
+model size), so a call to :meth:`decode` returns both the generated tokens
+and a :class:`DecodePerf` with token/s and bandwidth utilization.
+
+For LLaMA2-7B the functional side is optional (no checkpoint, and a 7B
+numpy forward pass is pointless); ``Accelerator.analytical`` builds a
+timing-only instance that reproduces the paper's headline numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import KV260, ModelConfig, PlatformConfig, QuantConfig
+from ..errors import SimulationError
+from .cyclemodel import CycleModel, TokenCycles
+from .resources import ResourceReport, estimate_resources
+from .power import estimate_power
+
+
+@dataclass
+class DecodePerf:
+    """Timing summary of one generation run."""
+
+    prompt_len: int
+    new_tokens: int
+    prefill_cycles: float
+    decode_cycles: list[float] = field(default_factory=list)
+    freq_hz: float = 300e6
+    theoretical_tokens_per_s: float = 0.0
+
+    @property
+    def ttft_s(self) -> float:
+        """Time to first token (prefill latency, Fig. 2A)."""
+        return self.prefill_cycles / self.freq_hz
+
+    @property
+    def mean_decode_cycles(self) -> float:
+        if not self.decode_cycles:
+            raise SimulationError("no decode steps recorded")
+        return sum(self.decode_cycles) / len(self.decode_cycles)
+
+    @property
+    def tokens_per_s(self) -> float:
+        return self.freq_hz / self.mean_decode_cycles
+
+    def latency_percentile_s(self, percentile: float) -> float:
+        """Per-token latency percentile (context growth skews the tail)."""
+        if not 0 <= percentile <= 100:
+            raise SimulationError(
+                f"percentile must be in [0, 100], got {percentile}")
+        if not self.decode_cycles:
+            raise SimulationError("no decode steps recorded")
+        ordered = sorted(self.decode_cycles)
+        index = min(len(ordered) - 1,
+                    int(round(percentile / 100 * (len(ordered) - 1))))
+        return ordered[index] / self.freq_hz
+
+    @property
+    def utilization(self) -> float:
+        if self.theoretical_tokens_per_s <= 0:
+            raise SimulationError("theoretical rate not set")
+        return self.tokens_per_s / self.theoretical_tokens_per_s
+
+
+class Accelerator:
+    """The simulated KV260 LLM decode accelerator."""
+
+    def __init__(self, model_config: ModelConfig, quant: QuantConfig,
+                 platform: PlatformConfig = KV260,
+                 functional_model=None, mode: str = "fused") -> None:
+        self.model_config = model_config
+        self.quant = quant
+        self.platform = platform
+        self.functional = functional_model
+        self.mode = mode
+        self.cycles = CycleModel(model_config, quant, platform)
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def analytical(cls, model_config: ModelConfig, quant: QuantConfig,
+                   platform: PlatformConfig = KV260,
+                   mode: str = "fused") -> "Accelerator":
+        """Timing-only instance (no functional weights)."""
+        return cls(model_config, quant, platform, None, mode)
+
+    @classmethod
+    def from_quantized_weights(cls, qweights, platform: PlatformConfig = KV260,
+                               mode: str = "fused") -> "Accelerator":
+        """Full instance: functional pipeline + timing."""
+        from ..model.quantized import QuantizedModel
+
+        functional = QuantizedModel(qweights)
+        return cls(qweights.config, qweights.quant, platform, functional, mode)
+
+    # -- timing-only API ---------------------------------------------------------
+
+    def decode_perf(self, context: int) -> TokenCycles:
+        """Cycle-model one decode step at a context length."""
+        return self.cycles.decode_step(context, self.mode)
+
+    def theoretical_tokens_per_s(self) -> float:
+        from .analytical import theoretical_tokens_per_s
+
+        return theoretical_tokens_per_s(self.model_config, self.platform,
+                                        self.quant.weight_bits)
+
+    def resources(self) -> ResourceReport:
+        return estimate_resources(
+            lanes=128, axi_ports=self.platform.axi_ports or 4)
+
+    def power_w(self) -> float:
+        return estimate_power(self.resources(),
+                              self.platform.pl_freq_hz or 300e6)
+
+    # -- functional + timing API ---------------------------------------------------
+
+    def decode(self, prompt: list[int], max_new_tokens: int,
+               sampler=None) -> tuple[list[int], DecodePerf]:
+        """Generate tokens on the functional model while timing each step.
+
+        Requires a functional model (small synthetic configs); for
+        timing-only studies of big models use :meth:`decode_perf`.
+        """
+        if self.functional is None:
+            raise SimulationError(
+                "no functional model attached; build the accelerator with "
+                "from_quantized_weights() or use decode_perf()"
+            )
+        if not prompt:
+            raise SimulationError("prompt must not be empty")
+
+        perf = DecodePerf(
+            prompt_len=len(prompt),
+            new_tokens=0,
+            prefill_cycles=self.cycles.prefill_cycles(len(prompt)),
+            freq_hz=self.platform.pl_freq_hz,
+            theoretical_tokens_per_s=self.theoretical_tokens_per_s(),
+        )
+
+        logits, cache = self.functional.prefill(prompt)
+        out: list[int] = []
+        position = len(prompt)
+        for _ in range(max_new_tokens):
+            if position >= self.model_config.max_context:
+                break
+            token = (int(np.argmax(logits)) if sampler is None
+                     else sampler.sample(logits))
+            out.append(token)
+            step = self.cycles.decode_step(position, self.mode)
+            perf.decode_cycles.append(step.cycles)
+            logits = self.functional.decode_step(token, cache, position)
+            position += 1
+        perf.new_tokens = len(out)
+        return out, perf

@@ -1,0 +1,144 @@
+"""MCU command-stream generation (Fig. 5A's CmdGen + Cmd Split).
+
+For each decode step the PS writes ``(token_index, is_prefill)`` over
+AXI-Lite; the MCU's command generator then walks the memory image in
+stream order and emits one MM2S descriptor per region read (weights, KV
+history) and S2MM descriptors for KV writebacks, splitting each four ways
+across the AXI ports.
+
+This module produces that descriptor list from a :class:`MemoryImage`,
+which lets tests assert two fidelity properties the design depends on:
+
+* coverage — the descriptors read exactly the bytes the traffic model
+  says a token needs, each region exactly once;
+* sequentiality — within every region the stream is one consecutive
+  burst (the premise of the Fig. 4 formats).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import ModelConfig, QuantConfig
+from ..errors import ScheduleError
+from ..packing.memimage import MemoryImage
+
+
+@dataclass(frozen=True)
+class Descriptor:
+    """One datamover command."""
+
+    region: str
+    address: int
+    size: int
+    is_write: bool = False
+
+
+class CommandGenerator:
+    """Generates the per-token descriptor stream from a memory image."""
+
+    def __init__(self, image: MemoryImage) -> None:
+        self.image = image
+        self.model: ModelConfig = image.model
+        self.quant: QuantConfig = image.quant
+
+    def _alloc(self, name: str):
+        try:
+            return self.image.allocations[name]
+        except KeyError:
+            raise ScheduleError(f"memory image has no region {name!r}") from None
+
+    def _layer_projections(self) -> list[str]:
+        names = ["wq", "wk", "wv", "wo"]
+        if self.model.gated_mlp:
+            names.append("w_gate")
+        names += ["w_up", "w_down"]
+        return names
+
+    def decode_step_descriptors(self, token_index: int,
+                                context: int) -> list[Descriptor]:
+        """All descriptors for decoding one token.
+
+        ``context`` cached tokens are read back; the new token's K/V codes
+        are written.  Scale-zero pack writes are batched by the FIFO and
+        only leave the chip every 16 tokens, so they appear only when
+        ``token_index % 16 == 0`` (and non-zero).
+        """
+        if context >= self.image.context:
+            raise ScheduleError(
+                f"context {context} exceeds the image's KV reservation "
+                f"{self.image.context}"
+            )
+        m, q = self.model, self.quant
+        out: list[Descriptor] = []
+
+        emb = self._alloc("embedding")
+        row_bytes = m.hidden_size * q.activation_bits // 8
+        out.append(Descriptor("embedding", emb.start + token_index * row_bytes,
+                              row_bytes))
+
+        kv_token_bytes = 2 * m.kv_dim * q.kv_bits // 8
+        for layer in range(m.num_layers):
+            for proj in self._layer_projections():
+                name = f"weights.layer{layer}.{proj}"
+                alloc = self._alloc(name)
+                out.append(Descriptor(name, alloc.start, alloc.size))
+            kv = self._alloc(f"kv.layer{layer}")
+            if context > 0:
+                out.append(Descriptor(f"kv.layer{layer}", kv.start,
+                                      context * kv_token_bytes))
+            out.append(Descriptor(f"kv.layer{layer}",
+                                  kv.start + context * kv_token_bytes,
+                                  kv_token_bytes, is_write=True))
+
+        head = self._alloc("weights.lm_head")
+        out.append(Descriptor("weights.lm_head", head.start, head.size))
+        norms = self._alloc("norms")
+        out.append(Descriptor("norms", norms.start, norms.size))
+
+        if token_index and token_index % 16 == 0:
+            packs = self._alloc("kv.scale_zero")
+            word_bytes = 64
+            n_streams = 2 * m.num_layers * m.kv_heads
+            out.append(Descriptor("kv.scale_zero",
+                                  packs.start
+                                  + (token_index // 16 - 1)
+                                  * n_streams * word_bytes,
+                                  n_streams * word_bytes, is_write=True))
+        return out
+
+    def prefill_descriptors(self, prompt_len: int) -> list[list[Descriptor]]:
+        """Descriptor streams for a whole prefill pass.
+
+        The DOT engine restreams the weight set per prompt token
+        (Sec. VI-B's prefill sacrifice), so prefill is ``prompt_len``
+        decode-shaped steps with growing context.
+        """
+        if prompt_len <= 0:
+            raise ScheduleError("prompt_len must be positive")
+        if prompt_len > self.image.context:
+            raise ScheduleError(
+                f"prompt of {prompt_len} exceeds the KV reservation "
+                f"{self.image.context}"
+            )
+        return [self.decode_step_descriptors(pos, pos)
+                for pos in range(prompt_len)]
+
+    # -- fidelity checks -----------------------------------------------------
+
+    def read_bytes(self, descriptors: list[Descriptor]) -> int:
+        return sum(d.size for d in descriptors if not d.is_write)
+
+    def write_bytes(self, descriptors: list[Descriptor]) -> int:
+        return sum(d.size for d in descriptors if d.is_write)
+
+    def check_bounds(self, descriptors: list[Descriptor]) -> None:
+        """Every descriptor must stay inside its region's allocation."""
+        for d in descriptors:
+            alloc = self._alloc(d.region)
+            if d.address < alloc.start or d.address + d.size > alloc.end:
+                raise ScheduleError(
+                    f"descriptor for {d.region!r} "
+                    f"[{d.address:#x}, {d.address + d.size:#x}) escapes "
+                    f"allocation [{alloc.start:#x}, {alloc.end:#x})"
+                )

@@ -1,0 +1,47 @@
+"""On-the-fly weight dequantizer (Fig. 5B: "512b -> 2048b Dequant").
+
+Each cycle the demultiplexer hands the dequantizer one 512-bit bus word of
+4-bit codes plus the current group's scale and zero point; it emits 128
+FP16 values (2048 bits) straight into the DOT engine's multiplier lanes.
+
+The functional path here is bit-faithful: codes come from the packed
+stream exactly as :mod:`repro.packing.weight_layout` stores them, and the
+output matches ``(q - zero) * scale`` rounded to FP16.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import LayoutError
+from ..numerics.fp16 import fp16
+from ..quant.groupquant import unpack_codes
+
+
+class Dequantizer:
+    """512-bit word -> 128 FP16 weights, one word per cycle."""
+
+    LATENCY_CYCLES = 3  # subtract, multiply, round
+
+    def __init__(self, lanes: int = 128, weight_bits: int = 4) -> None:
+        if lanes * weight_bits != 512:
+            raise LayoutError(
+                f"{lanes} lanes x {weight_bits} bits must fill a 512-bit word"
+            )
+        self.lanes = lanes
+        self.weight_bits = weight_bits
+        self.words_processed = 0
+
+    def dequantize_word(self, word: bytes, scale: float,
+                        zero: int) -> np.ndarray:
+        """One bus word of codes -> ``lanes`` FP16 weights."""
+        if len(word) != 512 // 8:
+            raise LayoutError(f"expected 64-byte word, got {len(word)}")
+        codes = unpack_codes(word, self.weight_bits, self.lanes)
+        self.words_processed += 1
+        centered = codes.astype(np.float32) - np.float32(zero)
+        return fp16(centered * np.float32(np.float16(scale)))
+
+    def throughput_weights_per_cycle(self) -> int:
+        """The dequantizer matches the bus: 128 weights every cycle."""
+        return self.lanes

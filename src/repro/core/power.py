@@ -1,0 +1,53 @@
+"""Power model (paper Sec. VII-B: 6.57 W at 300 MHz from Vivado).
+
+A first-order Vivado-style estimate: PS static + PL static + per-resource
+dynamic coefficients scaled by clock frequency.  Coefficients are
+calibrated so the Table I resource mix at 300 MHz lands on the paper's
+6.57 W; the ablation value of the model is the *trend* (fewer lanes or a
+slower clock -> proportionally less dynamic power).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from .resources import ResourceReport, UnitCost
+
+REFERENCE_FREQ_HZ = 300e6
+
+
+@dataclass(frozen=True)
+class PowerParams:
+    """Calibrated power coefficients (watts, at 300 MHz)."""
+
+    ps_static_w: float = 2.25       # A53 cluster + DDR controller/PHY
+    pl_static_w: float = 0.45
+    ddr_io_w: float = 0.30          # DDR4 interface activity
+    lut_w: float = 25e-6
+    ff_w: float = 6e-6
+    dsp_w: float = 2.2e-3
+    bram_w: float = 7e-3
+    uram_w: float = 12e-3
+
+
+def estimate_power(resources: ResourceReport | UnitCost,
+                   freq_hz: float = REFERENCE_FREQ_HZ,
+                   params: PowerParams | None = None) -> float:
+    """Total watts for a resource mix at a clock frequency."""
+    if freq_hz <= 0:
+        raise ConfigError("frequency must be positive")
+    p = params if params is not None else PowerParams()
+    total = resources.total if isinstance(resources, ResourceReport) \
+        else resources
+    scale = freq_hz / REFERENCE_FREQ_HZ
+    dynamic = (total.lut * p.lut_w + total.ff * p.ff_w + total.dsp * p.dsp_w
+               + total.bram * p.bram_w + total.uram * p.uram_w) * scale
+    return p.ps_static_w + p.pl_static_w + p.ddr_io_w * scale + dynamic
+
+
+def tokens_per_joule(tokens_per_s: float, watts: float) -> float:
+    """Energy efficiency of decoding."""
+    if watts <= 0:
+        raise ConfigError("power must be positive")
+    return tokens_per_s / watts

@@ -1,0 +1,117 @@
+"""Prefill engines: the deliberate trade of Sec. VI-B, quantified.
+
+The paper implements a "bandwidth-area balanced" DOT engine that has no
+weight reuse: during prefill it restreams the full weight set once per
+prompt token, so TTFT grows linearly with prompt length.  The rejected
+alternative — a matrix/systolic engine (the paper cites its own FPL'24
+work) — would reuse each streamed weight across the whole prompt batch at
+the cost of more DSPs and buffers, but gains nothing in the decode phase
+where bandwidth is the wall.
+
+Both engines are modelled here so the trade is a number, not an argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import KV260, ModelConfig, PlatformConfig, QuantConfig
+from ..errors import SimulationError
+from .cyclemodel import CycleModel
+from .resources import FP16_MULTIPLIER, FP16_TREE_ADDER, UnitCost, estimate_vpu
+
+
+@dataclass(frozen=True)
+class PrefillReport:
+    """TTFT and engine cost for one prefill strategy."""
+
+    engine: str
+    prompt_len: int
+    ttft_s: float
+    decode_tokens_per_s: float
+    extra_dsp: float
+
+
+class DotEnginePrefill:
+    """The paper's engine: token-serial prefill, perfect decode balance."""
+
+    name = "dot-engine (paper)"
+
+    def __init__(self, model: ModelConfig, quant: QuantConfig,
+                 platform: PlatformConfig = KV260) -> None:
+        self.model = model
+        self.platform = platform
+        self.cycles = CycleModel(model, quant, platform)
+
+    def report(self, prompt_len: int, decode_context: int = 512,
+               ) -> PrefillReport:
+        if prompt_len <= 0:
+            raise SimulationError("prompt_len must be positive")
+        ttft = self.cycles.prefill_cycles(prompt_len) / self.platform.pl_freq_hz
+        decode = self.cycles.decode_step(decode_context).tokens_per_s
+        return PrefillReport(self.name, prompt_len, ttft, decode, 0.0)
+
+
+class BatchEnginePrefill:
+    """Hypothetical weight-reuse engine: streams weights once per prefill.
+
+    Modelled as the same 128-lane stream consumer with a ``batch``-wide
+    activation register file: every dequantized weight multiplies
+    ``batch`` activations, so prefill needs one weight pass per
+    ceil(prompt / batch) and roughly ``batch`` times the multipliers.
+    Decode speed is unchanged — it is bandwidth-bound either way, which
+    is exactly why the paper refuses to pay the area.
+    """
+
+    def __init__(self, model: ModelConfig, quant: QuantConfig,
+                 platform: PlatformConfig = KV260, batch: int = 8) -> None:
+        if batch <= 0:
+            raise SimulationError("batch must be positive")
+        self.model = model
+        self.platform = platform
+        self.batch = batch
+        self.cycles = CycleModel(model, quant, platform)
+        self.name = f"batch-{batch} matrix engine"
+
+    def extra_dsp(self) -> float:
+        """DSPs beyond the paper's VPU: (batch-1) more MAC columns."""
+        lanes = 128
+        one_column = FP16_MULTIPLIER.scaled(lanes) + \
+            FP16_TREE_ADDER.scaled(lanes - 1)
+        return (self.batch - 1) * one_column.dsp
+
+    def report(self, prompt_len: int, decode_context: int = 512,
+               ) -> PrefillReport:
+        if prompt_len <= 0:
+            raise SimulationError("prompt_len must be positive")
+        passes = -(-prompt_len // self.batch)
+        single_pass = self.cycles.token_schedule(0).total_cycles
+        # KV traffic still accumulates across prefill positions.
+        kv_extra = sum(
+            self.cycles.token_schedule(pos).total_cycles - single_pass
+            for pos in range(0, prompt_len, max(1, prompt_len // 8))
+        ) * max(1, prompt_len // 8) / self.batch
+        ttft = (passes * single_pass + kv_extra) / self.platform.pl_freq_hz
+        decode = self.cycles.decode_step(decode_context).tokens_per_s
+        return PrefillReport(self.name, prompt_len, ttft, decode,
+                             self.extra_dsp())
+
+
+def compare_prefill_engines(model: ModelConfig, quant: QuantConfig,
+                            prompt_len: int = 64, batch: int = 8,
+                            platform: PlatformConfig = KV260,
+                            ) -> dict[str, PrefillReport]:
+    """The Sec. VI-B trade in numbers: TTFT gain vs DSP cost."""
+    dot = DotEnginePrefill(model, quant, platform).report(prompt_len)
+    batch_engine = BatchEnginePrefill(model, quant, platform, batch)
+    batched = batch_engine.report(prompt_len)
+    return {"dot": dot, "batch": batched}
+
+
+def dsp_budget_exceeded(batch: int, device_dsp: int = 1248) -> bool:
+    """Would a batch engine's multiplier array blow the XCK26's DSPs?"""
+    base = estimate_vpu(128)
+    one_column: UnitCost = FP16_MULTIPLIER.scaled(128) + \
+        FP16_TREE_ADDER.scaled(127)
+    total = base.dsp + (batch - 1) * one_column.dsp
+    return total > device_dsp

@@ -1,0 +1,140 @@
+"""FPGA resource model (paper Table I).
+
+A bottom-up parametric estimate: each hardware unit (FP16 multiplier, tree
+adder, AXI datamover, SPU submodule, ...) carries per-instance LUT / FF /
+CARRY / DSP / BRAM / URAM costs, calibrated so the default configuration
+(128 lanes, 4 AXI ports, full SPU) reproduces Table I.  Because the model
+is structural, the ablation benchmarks can vary lane count or port count
+and get the right *trends* (e.g. halving the lanes removes ~half the VPU
+DSPs but not the MCU's BRAM).
+
+Costs are calibration constants, not Vivado measurements; the reproduced
+quantity is the breakdown's shape and the utilization percentages against
+the KV260's XCK26 budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class UnitCost:
+    """Resource cost of one unit instance (or one fixed block)."""
+
+    lut: float = 0.0
+    ff: float = 0.0
+    carry: float = 0.0
+    dsp: float = 0.0
+    bram: float = 0.0  # BRAM36 equivalents
+    uram: float = 0.0
+
+    def scaled(self, n: float) -> "UnitCost":
+        return UnitCost(**{f.name: getattr(self, f.name) * n
+                           for f in fields(self)})
+
+    def __add__(self, other: "UnitCost") -> "UnitCost":
+        return UnitCost(**{f.name: getattr(self, f.name) + getattr(other, f.name)
+                           for f in fields(self)})
+
+
+# XCK26 (KV260) device budget.
+KV260_BUDGET = UnitCost(lut=117_120, ff=234_240, carry=14_640, dsp=1_248,
+                        bram=144, uram=64)
+
+# -- calibrated per-unit costs ------------------------------------------------
+
+FP16_MULTIPLIER = UnitCost(lut=100, ff=150, carry=8, dsp=1)
+FP16_TREE_ADDER = UnitCost(lut=120, ff=180, carry=8, dsp=1)
+VPU_SCALER = UnitCost(lut=220, ff=320, carry=12, dsp=1)
+VPU_ACCUMULATOR = UnitCost(lut=260, ff=340, carry=16, dsp=1)
+VPU_DEQUANT = UnitCost(lut=3_000, ff=2_500, carry=60, dsp=9)
+VPU_CONTROL = UnitCost(lut=2_360, ff=250, carry=2)
+
+AXI_DATAMOVER = UnitCost(lut=2_500, ff=4_000, carry=120, bram=6)
+MCU_SYNC_DEMUX = UnitCost(lut=2_800, ff=3_600, carry=80, bram=6)
+MCU_CMDGEN = UnitCost(lut=1_200, ff=1_400, carry=40, dsp=1, uram=7)
+
+SPU_ROPE = UnitCost(lut=2_500, ff=3_500, carry=150, dsp=4, bram=2.5)
+SPU_SOFTMAX = UnitCost(lut=6_000, ff=8_000, carry=250, dsp=6, bram=1)
+SPU_RMSNORM = UnitCost(lut=4_500, ff=6_000, carry=200, dsp=4)
+SPU_SILU = UnitCost(lut=5_500, ff=7_500, carry=220, dsp=6)
+SPU_QUANT = UnitCost(lut=3_000, ff=4_500, carry=130, dsp=4, bram=1)
+SPU_FIFOS = UnitCost(lut=7_500, ff=10_500, carry=150, bram=2, uram=3)
+
+
+@dataclass
+class ResourceReport:
+    """Per-component and total resource usage plus device utilization."""
+
+    components: dict[str, UnitCost] = field(default_factory=dict)
+    budget: UnitCost = KV260_BUDGET
+
+    @property
+    def total(self) -> UnitCost:
+        total = UnitCost()
+        for cost in self.components.values():
+            total = total + cost
+        return total
+
+    def utilization(self) -> dict[str, float]:
+        total = self.total
+        out = {}
+        for f in fields(UnitCost):
+            cap = getattr(self.budget, f.name)
+            out[f.name] = getattr(total, f.name) / cap if cap else 0.0
+        return out
+
+    def fits(self) -> bool:
+        return all(u <= 1.0 for u in self.utilization().values())
+
+
+def estimate_vpu(lanes: int = 128) -> UnitCost:
+    """VPU: multipliers, adder tree, scaler, accumulator, dequantizer."""
+    if lanes <= 0 or lanes & (lanes - 1):
+        raise ConfigError(f"lanes must be a power of two, got {lanes}")
+    cost = FP16_MULTIPLIER.scaled(lanes)
+    cost = cost + FP16_TREE_ADDER.scaled(lanes - 1)
+    cost = cost + VPU_SCALER + VPU_ACCUMULATOR
+    cost = cost + VPU_DEQUANT.scaled(lanes / 128)
+    return cost + VPU_CONTROL
+
+
+def estimate_mcu(axi_ports: int = 4) -> UnitCost:
+    """MCU: one datamover per port plus synchronizer/demux/command logic."""
+    if axi_ports <= 0:
+        raise ConfigError("need at least one AXI port")
+    return AXI_DATAMOVER.scaled(axi_ports) + MCU_SYNC_DEMUX + MCU_CMDGEN
+
+
+def estimate_spu(with_gate: bool = True) -> UnitCost:
+    """SPU: all miscellaneous submodules plus the FIFO/adapters."""
+    cost = SPU_ROPE + SPU_SOFTMAX + SPU_RMSNORM + SPU_QUANT + SPU_FIFOS
+    if with_gate:
+        cost = cost + SPU_SILU
+    return cost
+
+
+def estimate_resources(lanes: int = 128, axi_ports: int = 4,
+                       budget: UnitCost = KV260_BUDGET) -> ResourceReport:
+    """Full-accelerator estimate; defaults reproduce Table I."""
+    report = ResourceReport(budget=budget)
+    report.components["MemCtrl"] = estimate_mcu(axi_ports)
+    report.components["VPU"] = estimate_vpu(lanes)
+    report.components["SPU"] = estimate_spu()
+    return report
+
+
+# Paper Table I, for validation and table rendering.
+PAPER_TABLE_I = {
+    "Total": {"lut": 78_000, "ff": 105_000, "carry": 3_800, "dsp": 291,
+              "uram": 10, "bram": 36.5},
+    "MemCtrl": {"lut": 14_000, "ff": 21_000, "carry": 600, "dsp": 1,
+                "uram": 7, "bram": 30},
+    "VPU": {"lut": 34_000, "ff": 44_000, "carry": 2_100, "dsp": 266,
+            "uram": 0, "bram": 0},
+    "SPU": {"lut": 29_000, "ff": 40_000, "carry": 1_000, "dsp": 24,
+            "uram": 3, "bram": 6.5},
+}

@@ -1,0 +1,172 @@
+"""Whole-token decode schedule (Fig. 2C's per-layer breakdown).
+
+Builds the sequence of dense segments for one decoded token:
+
+    embedding fetch
+    for each layer:
+        attention (via :mod:`repro.core.pipeline`, fused or coarse)
+        MLP: gate proj -> up proj -> down proj, with SiLU + elementwise
+             multiply hidden under the up/down streams (fused) or
+             serialized (coarse)
+    final RMSNorm
+    LM head projection
+
+and reports per-segment cycles so the cycle model can sum them.  RMSNorms
+are charged through the pipeline reports (attention) and the MLP segment
+(post-attention norm); their square-sum pass rides the DOT engine, so in
+fused mode only the normalization pass can ever be exposed — and it hides
+under the next projection's stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import ModelConfig, QuantConfig
+from ..errors import ScheduleError
+from .mcu import Mcu
+from .pipeline import AttentionPipeline, MiscPlacement, Stage
+from .spu import SpuModel
+from .vpu import VpuSpec
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One schedulable chunk of the token's work."""
+
+    name: str
+    cycles: float
+    transfer_bytes: float
+    exposed_misc_cycles: float = 0.0
+
+
+@dataclass
+class TokenSchedule:
+    """All segments of one decoded token."""
+
+    mode: str
+    context: int
+    segments: list[Segment] = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(s.cycles for s in self.segments)
+
+    @property
+    def total_transfer_bytes(self) -> float:
+        return sum(s.transfer_bytes for s in self.segments)
+
+    @property
+    def exposed_misc_cycles(self) -> float:
+        return sum(s.exposed_misc_cycles for s in self.segments)
+
+    def segment(self, name: str) -> Segment:
+        for s in self.segments:
+            if s.name == name:
+                return s
+        raise ScheduleError(f"no segment named {name!r}")
+
+
+class TokenScheduler:
+    """Builds :class:`TokenSchedule` objects for decode steps."""
+
+    def __init__(self, model: ModelConfig, quant: QuantConfig,
+                 mcu: Mcu | None = None, vpu: VpuSpec | None = None,
+                 spu: SpuModel | None = None) -> None:
+        self.model = model
+        self.quant = quant
+        self.mcu = mcu if mcu is not None else Mcu()
+        self.vpu = vpu if vpu is not None else VpuSpec()
+        self.spu = spu if spu is not None else SpuModel()
+        self.pipeline = AttentionPipeline(model, quant, self.mcu, self.vpu,
+                                          self.spu)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _tiles(self, length: int) -> int:
+        return -(-length // self.vpu.lanes)
+
+    def _proj_segment(self, name: str, out_rows: int, in_cols: int,
+                      hidden_misc: float = 0.0, mode: str = "fused",
+                      ) -> Segment:
+        n_bytes = out_rows * in_cols * self.quant.effective_weight_bits / 8
+        transfer = self.mcu.stream_transfer(n_bytes).cycles
+        compute = out_rows * self._tiles(in_cols)
+        dense = max(transfer, compute)
+        if mode == "fused":
+            exposed = max(0.0, hidden_misc - dense)
+        else:
+            exposed = hidden_misc
+        return Segment(name, dense + exposed, n_bytes, exposed)
+
+    # -- public API --------------------------------------------------------------
+
+    def attention_segment(self, layer: int, context: int,
+                          mode: str) -> Segment:
+        report = self.pipeline.schedule(context, mode)
+        m, q = self.model, self.quant
+        weight_bytes = m.attention_params() * q.effective_weight_bits / 8
+        kv_read = 2 * context * m.kv_dim * q.kv_bits / 8 \
+            + 2 * context * m.kv_heads * q.kv_pack_bits / 8
+        kv_write = 2 * m.kv_dim * q.kv_bits / 8 \
+            + 2 * m.kv_heads * q.kv_pack_bits / 8
+        return Segment(f"layer{layer}.attn", report.total_cycles,
+                       weight_bytes + kv_read + kv_write,
+                       report.exposed_misc_cycles)
+
+    def mlp_segments(self, layer: int, mode: str) -> list[Segment]:
+        m = self.model
+        h, inter = m.hidden_size, m.intermediate_size
+        segs = []
+        # Post-attention RMSNorm: square sum came from the DOT engine; the
+        # normalize pass hides under the gate/up weight stream.
+        norm = self.spu.rmsnorm_cycles(h, square_sum_free=True)
+        if m.gated_mlp:
+            segs.append(self._proj_segment(f"layer{layer}.mlp.gate", inter, h,
+                                           hidden_misc=norm, mode=mode))
+            silu = self.spu.silu_cycles(inter)
+            segs.append(self._proj_segment(f"layer{layer}.mlp.up", inter, h,
+                                           hidden_misc=silu, mode=mode))
+        else:
+            segs.append(self._proj_segment(f"layer{layer}.mlp.up", inter, h,
+                                           hidden_misc=norm, mode=mode))
+            silu = self.spu.silu_cycles(inter)
+        down_misc = self.spu.residual_cycles(h)
+        if not m.gated_mlp:
+            down_misc += silu
+        segs.append(self._proj_segment(f"layer{layer}.mlp.down", h, inter,
+                                       hidden_misc=down_misc, mode=mode))
+        return segs
+
+    def build(self, context: int, mode: str = "fused") -> TokenSchedule:
+        """Schedule one decode step with ``context`` cached tokens."""
+        if mode not in ("fused", "coarse"):
+            raise ScheduleError(f"unknown mode {mode!r}")
+        m, q = self.model, self.quant
+        sched = TokenSchedule(mode=mode, context=context)
+
+        # Embedding row fetch (one row, FP16) — a short burst.
+        row_bytes = m.hidden_size * q.activation_bits / 8
+        emb = self.mcu.stream_transfer(row_bytes)
+        sched.segments.append(Segment("embedding", emb.cycles, row_bytes))
+
+        for layer in range(m.num_layers):
+            sched.segments.append(self.attention_segment(layer, context, mode))
+            sched.segments.extend(self.mlp_segments(layer, mode))
+
+        # Final RMSNorm is serial before the LM head in both modes (the
+        # logits projection cannot start without the normalized vector).
+        final_norm = self.spu.rmsnorm_cycles(m.hidden_size,
+                                             square_sum_free=True)
+        sched.segments.append(Segment("final_norm", final_norm, 0.0,
+                                      exposed_misc_cycles=final_norm))
+
+        sched.segments.append(self._proj_segment(
+            "lm_head", m.vocab_size, m.hidden_size, mode=mode))
+        return sched
+
+
+def build_token_schedule(model: ModelConfig, quant: QuantConfig,
+                         context: int, mode: str = "fused") -> TokenSchedule:
+    """Convenience wrapper: schedule one decode step with default units."""
+    return TokenScheduler(model, quant).build(context, mode)

@@ -1,0 +1,87 @@
+"""Scalar Processing Unit: miscellaneous-function latency models (Fig. 5C).
+
+Each submodule processes one element per cycle (serial streams from the
+VPU / serial-to-parallel adapters), so latencies are pass-count times
+vector length plus a small fixed pipeline depth:
+
+* RoPE      — 1 pass over the head vector (pairs processed in parallel
+              with the cached half), Fig. 5C1;
+* RMSNorm   — 2 passes (square-sum pass skippable when the DOT engine
+              already produced it), Fig. 5C2;
+* Softmax   — 3 passes over the score vector (max, normalizer, divide),
+              Fig. 5C4;
+* SiLU      — 1 pass over the gate output, Fig. 5C5;
+* Quant     — 2 passes over the K/V head vector (min/max, quantize),
+              Fig. 5C6.
+
+The functional implementations live in :mod:`repro.numerics`; this module
+pairs them with cycle counts so the pipeline model can check the paper's
+"no cycle penalty" claim stage by stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class SpuLatencyParams:
+    """Fixed pipeline depths of the SPU submodules (cycles)."""
+
+    rope_depth: int = 8        # rotator + 2 muls + add
+    rmsnorm_depth: int = 24    # rsqrt pipeline
+    softmax_depth: int = 12    # exp + divider
+    silu_depth: int = 14       # exp + add + divider
+    quant_depth: int = 6       # min/max compare + scale divide
+    residual_depth: int = 2
+
+
+class SpuModel:
+    """Cycle counts for every miscellaneous operation."""
+
+    def __init__(self, params: SpuLatencyParams | None = None) -> None:
+        self.params = params if params is not None else SpuLatencyParams()
+
+    def _check(self, n: int, what: str) -> None:
+        if n <= 0:
+            raise ConfigError(f"{what} length must be positive, got {n}")
+
+    def rope_cycles(self, head_dim: int) -> int:
+        """Rotate one head vector: half the pairs stream while the other
+        half is read from the rotator cache — one cycle per pair."""
+        self._check(head_dim, "rope")
+        return head_dim // 2 + self.params.rope_depth
+
+    def rmsnorm_cycles(self, hidden: int, square_sum_free: bool = True) -> int:
+        """Normalize one hidden vector; pass 1 skipped when the square sum
+        came from the DOT engine (the paper's default)."""
+        self._check(hidden, "rmsnorm")
+        passes = 1 if square_sum_free else 2
+        return passes * hidden + self.params.rmsnorm_depth
+
+    def softmax_cycles(self, length: int) -> int:
+        """Three passes over the attention-score vector."""
+        self._check(length, "softmax")
+        return 3 * length + self.params.softmax_depth
+
+    def online_softmax_cycles(self, length: int) -> int:
+        """Two passes: the online normalizer (Milakov & Gimelshein, which
+        the paper cites) fuses the max and normalizer passes, leaving only
+        the accumulate pass plus the divide pass."""
+        self._check(length, "softmax")
+        return 2 * length + self.params.softmax_depth
+
+    def silu_cycles(self, length: int) -> int:
+        self._check(length, "silu")
+        return length + self.params.silu_depth
+
+    def quant_cycles(self, length: int) -> int:
+        """Two passes to quantize one freshly generated K/V head vector."""
+        self._check(length, "quant")
+        return 2 * length + self.params.quant_depth
+
+    def residual_cycles(self, hidden: int) -> int:
+        self._check(hidden, "residual")
+        return hidden + self.params.residual_depth

@@ -1,0 +1,148 @@
+"""Bit-true stream datapath: DDR image -> demux -> dequant -> DOT.
+
+This is the functional model of the MCU's demultiplexer (Fig. 5A): it
+walks an interleaved weight stream *as stored in the memory image*, beat
+by beat, separating zero points, scales, and weight codes exactly as the
+RTL slicer does, and feeds the dequantizer + DOT engine.
+
+Its purpose is fidelity proof: a matvec computed from the packed bytes in
+DDR must equal the matvec the higher-level :class:`QuantizedModel`
+computes from its unpacked weights.  The integration tests drive both
+paths over the same memory image and assert bit-identical FP16 outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import LayoutError
+from ..numerics.fp16 import fp16, fp16_matvec
+from ..packing.weight_layout import WeightLayoutSpec
+from ..quant.groupquant import unpack_codes
+
+
+@dataclass(frozen=True)
+class StreamedGroup:
+    """One quantization group as it emerges from the demultiplexer."""
+
+    group_index: int
+    scale: np.float16
+    zero: int
+    codes: np.ndarray  # (group_size,) uint8
+
+
+class WeightStreamReader:
+    """Walks an interleaved weight stream superblock by superblock.
+
+    The reader keeps only one superblock's metadata buffered — the same
+    small on-chip buffer the format was designed around (Sec. V-B1).
+    """
+
+    def __init__(self, data: bytes, n_groups: int,
+                 spec: WeightLayoutSpec | None = None) -> None:
+        self.spec = spec if spec is not None else WeightLayoutSpec()
+        expected = self.spec.stream_bytes(n_groups)
+        if len(data) != expected:
+            raise LayoutError(
+                f"stream is {len(data)} bytes, expected {expected} for "
+                f"{n_groups} groups"
+            )
+        self.data = data
+        self.n_groups = n_groups
+        self.beats_consumed = 0
+
+    def groups(self):
+        """Yield :class:`StreamedGroup` in stream order."""
+        spec = self.spec
+        gps = spec.groups_per_superblock
+        zero_bytes = spec.zero_beats * spec.bus_bytes
+        scale_bytes = spec.scale_beats * spec.bus_bytes
+        # Codes of one superblock are packed contiguously (the encoder pads
+        # only at the end of the region), so parse the whole region at once
+        # and slice per group.
+        code_beats = spec.code_beats_per_superblock
+        code_bytes = code_beats * spec.bus_bytes
+
+        offset = 0
+        emitted = 0
+        while emitted < self.n_groups:
+            zeros = unpack_codes(self.data[offset : offset + zero_bytes],
+                                 spec.zero_bits, gps)
+            offset += zero_bytes
+            self.beats_consumed += spec.zero_beats
+
+            scales = np.frombuffer(
+                self.data[offset : offset + 2 * gps], dtype=np.float16)
+            offset += scale_bytes
+            self.beats_consumed += spec.scale_beats
+
+            region = self.data[offset : offset + code_bytes]
+            offset += code_bytes
+            self.beats_consumed += code_beats
+            all_codes = unpack_codes(region, spec.weight_bits,
+                                     gps * spec.group_size)
+            for i in range(gps):
+                if emitted >= self.n_groups:
+                    break  # superblock padding groups
+                yield StreamedGroup(
+                    group_index=emitted,
+                    scale=scales[i],
+                    zero=int(zeros[i]),
+                    codes=all_codes[i * spec.group_size :
+                                    (i + 1) * spec.group_size],
+                )
+                emitted += 1
+
+
+class StreamingMatvec:
+    """Matvec computed directly from the packed DDR stream.
+
+    For each output row, groups stream in, are dequantized on the fly
+    ``(q - zero) * scale``, multiplied against the activation slice in
+    FP16, and accumulated with the same tile schedule as the VPU.
+    """
+
+    def __init__(self, spec: WeightLayoutSpec | None = None,
+                 lanes: int = 128) -> None:
+        self.spec = spec if spec is not None else WeightLayoutSpec()
+        self.lanes = lanes
+
+    def dequantize_stream(self, data: bytes, out_features: int,
+                          in_features: int) -> np.ndarray:
+        """Reassemble the full FP16 weight matrix from the byte stream."""
+        spec = self.spec
+        if in_features % spec.group_size:
+            raise LayoutError(
+                f"in_features {in_features} not divisible by group "
+                f"{spec.group_size}"
+            )
+        groups_per_row = in_features // spec.group_size
+        n_groups = out_features * groups_per_row
+        reader = WeightStreamReader(data, n_groups, spec)
+
+        out = np.empty((out_features, in_features), dtype=np.float16)
+        for group in reader.groups():
+            row = group.group_index // groups_per_row
+            col = (group.group_index % groups_per_row) * spec.group_size
+            centered = group.codes.astype(np.float32) - np.float32(group.zero)
+            out[row, col : col + spec.group_size] = fp16(
+                centered * np.float32(group.scale))
+        return out
+
+    def matvec(self, data: bytes, x: np.ndarray, out_features: int,
+               in_features: int,
+               channel_scales: np.ndarray | None = None) -> np.ndarray:
+        """FP16 GEMV straight from the packed stream.
+
+        ``channel_scales`` undoes the AWQ per-channel scaling (the RTL
+        folds the division into the preceding operator; we fold it into
+        the activation, which is algebraically the same).
+        """
+        weights = self.dequantize_stream(data, out_features, in_features)
+        x = np.asarray(x, dtype=np.float64)
+        if channel_scales is not None:
+            x = x / np.asarray(channel_scales, dtype=np.float64)
+        return fp16_matvec(weights.astype(np.float32), fp16(x),
+                           lanes=self.lanes)

@@ -1,0 +1,82 @@
+"""Vector Processing Unit: the bandwidth-area balanced DOT engine (Fig. 5B).
+
+The VPU is deliberately *not* a matrix engine: 128 FP16 multipliers (one
+per dequantized weight), a 7-level FP16 adder tree, a scaling multiplier,
+and an accumulator.  128 weights arrive per cycle from the dequantizer, so
+the engine consumes exactly the memory bandwidth — no more compute than
+the decode stream can feed (Sec. VI-B's PPA argument).
+
+Cycle model: a matvec of ``out_f x in_f`` takes ``out_f * ceil(in_f/128)``
+issue cycles plus the pipeline depth to drain.  Functional model: defers
+to :func:`repro.numerics.fp16.fp16_matvec`, which rounds exactly like the
+tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..numerics.fp16 import fp16_matvec
+
+
+@dataclass(frozen=True)
+class VpuSpec:
+    """Geometry of the DOT engine."""
+
+    lanes: int = 128
+    mul_latency: int = 4
+    tree_levels_latency: int = 7 * 2  # 7 FP16 add stages, 2 cycles each
+    accumulate_latency: int = 2
+
+    def __post_init__(self) -> None:
+        if self.lanes <= 0 or self.lanes & (self.lanes - 1):
+            raise ConfigError(f"lanes must be a power of two, got {self.lanes}")
+
+    @property
+    def pipeline_depth(self) -> int:
+        return self.mul_latency + self.tree_levels_latency \
+            + self.accumulate_latency
+
+    def weights_per_cycle(self) -> int:
+        return self.lanes
+
+    def stream_bytes_per_cycle(self, weight_bits: int = 4) -> float:
+        """Quantized-weight bytes the engine consumes per cycle."""
+        return self.lanes * weight_bits / 8
+
+
+class DotEngine:
+    """Functional + cycle model of the VPU."""
+
+    def __init__(self, spec: VpuSpec | None = None) -> None:
+        self.spec = spec if spec is not None else VpuSpec()
+        self.issue_cycles = 0
+        self.ops = 0
+
+    # -- cycle model ----------------------------------------------------------
+
+    def matvec_cycles(self, out_features: int, in_features: int) -> int:
+        """Issue cycles for a GEMV (one output element per tile pass)."""
+        if out_features <= 0 or in_features <= 0:
+            raise ConfigError("matvec dimensions must be positive")
+        tiles = -(-in_features // self.spec.lanes)
+        cycles = out_features * tiles
+        self.issue_cycles += cycles
+        self.ops += 1
+        return cycles
+
+    def dot_cycles(self, length: int) -> int:
+        """Issue cycles for one dot product of ``length`` elements."""
+        return max(1, -(-length // self.spec.lanes))
+
+    def drain_cycles(self) -> int:
+        return self.spec.pipeline_depth
+
+    # -- functional model ------------------------------------------------------
+
+    def matvec(self, weights: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """FP16 matvec with the engine's exact rounding schedule."""
+        return fp16_matvec(weights, x, lanes=self.spec.lanes)

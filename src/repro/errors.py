@@ -1,0 +1,33 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of the simulator with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A model, quantization, or platform configuration is invalid."""
+
+
+class QuantizationError(ReproError):
+    """Quantization parameters or inputs are malformed."""
+
+
+class LayoutError(ReproError):
+    """A packed data layout is inconsistent (bad sizes, misaligned bus words)."""
+
+
+class CapacityError(ReproError):
+    """A memory image or allocation does not fit the platform's DRAM."""
+
+
+class ScheduleError(ReproError):
+    """The pipeline scheduler was given an inconsistent op sequence."""
+
+
+class SimulationError(ReproError):
+    """The cycle or functional simulation reached an invalid state."""

@@ -1,0 +1,31 @@
+"""Quantization quality evaluation.
+
+The paper's algorithmic choices (Sec. IV) rest on accuracy arguments:
+AWQ's W4A16 "achieves less performance loss than SmoothQuant", and KV8 is
+"more suitable for preserving capabilities" than KV4 for <=13B models.
+This subpackage quantifies those claims on synthetic models:
+
+* :mod:`repro.evalkit.metrics` — cross-entropy / perplexity / KL and
+  logit-agreement metrics between two models.
+* :mod:`repro.evalkit.harness` — run matched reference vs quantized
+  models over synthetic corpora and report quality deltas for any
+  combination of weight bits, AWQ on/off, and KV bits.
+"""
+
+from .harness import QuantQualityResult, compare_quant_configs, evaluate_pair
+from .metrics import (
+    cross_entropy,
+    kl_divergence,
+    perplexity,
+    topk_agreement,
+)
+
+__all__ = [
+    "QuantQualityResult",
+    "compare_quant_configs",
+    "evaluate_pair",
+    "cross_entropy",
+    "kl_divergence",
+    "perplexity",
+    "topk_agreement",
+]

@@ -1,0 +1,59 @@
+"""Model-comparison metrics over logits.
+
+All metrics take raw logits (any float dtype) and operate in float64; the
+quantized model's FP16 logits are promoted, not re-rounded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SimulationError
+
+
+def _log_softmax(logits: np.ndarray) -> np.ndarray:
+    x = np.asarray(logits, dtype=np.float64)
+    x = x - x.max(axis=-1, keepdims=True)
+    return x - np.log(np.sum(np.exp(x), axis=-1, keepdims=True))
+
+
+def cross_entropy(logits: np.ndarray, target: int) -> float:
+    """Negative log-likelihood of ``target`` under ``logits`` (nats)."""
+    logp = _log_softmax(logits)
+    if not 0 <= target < logp.shape[-1]:
+        raise SimulationError(f"target {target} outside vocabulary")
+    return float(-logp[..., target])
+
+
+def perplexity(nlls) -> float:
+    """exp(mean NLL) over a sequence of per-token negative log-likelihoods."""
+    nlls = np.asarray(list(nlls), dtype=np.float64)
+    if nlls.size == 0:
+        raise SimulationError("perplexity of an empty sequence")
+    return float(np.exp(nlls.mean()))
+
+
+def kl_divergence(logits_p: np.ndarray, logits_q: np.ndarray) -> float:
+    """KL(P || Q) between the distributions implied by two logit vectors."""
+    logp = _log_softmax(logits_p)
+    logq = _log_softmax(logits_q)
+    if logp.shape != logq.shape:
+        raise SimulationError(
+            f"logit shapes differ: {logp.shape} vs {logq.shape}"
+        )
+    p = np.exp(logp)
+    return float(np.sum(p * (logp - logq)))
+
+
+def topk_agreement(logits_a: np.ndarray, logits_b: np.ndarray,
+                   k: int = 5) -> float:
+    """|top-k(A) intersect top-k(B)| / k — rank stability under quantization."""
+    if k <= 0:
+        raise SimulationError("k must be positive")
+    a = np.asarray(logits_a, dtype=np.float64).reshape(-1)
+    b = np.asarray(logits_b, dtype=np.float64).reshape(-1)
+    if a.shape != b.shape:
+        raise SimulationError("logit shapes differ")
+    top_a = set(np.argsort(a)[-k:].tolist())
+    top_b = set(np.argsort(b)[-k:].tolist())
+    return len(top_a & top_b) / k

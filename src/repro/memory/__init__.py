@@ -1,0 +1,28 @@
+"""Memory-system substrate: address map, DDR4 timing, AXI ports, traffic.
+
+* :mod:`repro.memory.memmap` — the KV260's 4 GB address space with the
+  paper's high/low 2 GB split and bare-metal reservation (Sec. VII-A).
+* :mod:`repro.memory.ddr` — DDR4 burst-efficiency timing model: why large
+  consecutive bursts matter (Sec. V-B).
+* :mod:`repro.memory.axi` — the 4 x 128-bit AXI HP port aggregation
+  (Sec. VI-A).
+* :mod:`repro.memory.traffic` — per-token byte accounting of weights,
+  metadata, and KV cache.
+"""
+
+from .axi import AxiPortGroup
+from .ddr import DdrTimingParams, DdrModel, Transaction
+from .memmap import AddressMap, Allocation, kv260_address_map
+from .traffic import DecodeTraffic, decode_traffic
+
+__all__ = [
+    "AxiPortGroup",
+    "DdrTimingParams",
+    "DdrModel",
+    "Transaction",
+    "AddressMap",
+    "Allocation",
+    "kv260_address_map",
+    "DecodeTraffic",
+    "decode_traffic",
+]

@@ -1,0 +1,126 @@
+"""The 4 GB address map of the bare-metal system (paper Sec. VII-A).
+
+The KV260's address space is split by the Zynq architecture into a lower
+2 GB (0x0000_0000-0x7FFF_FFFF) and an upper 2 GB (0x8000_0000-0xFFFF_FFFF).
+The paper reserves 1 MB at the top of the lower region for the bare-metal
+compiler, places the embedding table, model weights, and the KV cache of
+the first 16 layers in the upper region, and everything else in the lower
+region.  :class:`AddressMap` reproduces that allocator and refuses
+allocations that spill out of a region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import CapacityError
+
+LOW_BASE = 0x0000_0000
+LOW_LIMIT = 0x7FF0_0000  # 1 MB below 2 GB is compiler-reserved
+HIGH_BASE = 0x8000_0000
+HIGH_LIMIT = 0x1_0000_0000
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """One named, placed region of DDR."""
+
+    name: str
+    start: int
+    size: int
+    region: str  # "low" | "high"
+
+    @property
+    def end(self) -> int:
+        return self.start + self.size
+
+
+@dataclass
+class _Region:
+    name: str
+    base: int
+    limit: int
+    cursor: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.cursor = self.base
+
+    @property
+    def capacity(self) -> int:
+        return self.limit - self.base
+
+    @property
+    def free(self) -> int:
+        return self.limit - self.cursor
+
+    def allocate(self, name: str, size: int, align: int) -> Allocation:
+        start = (self.cursor + align - 1) // align * align
+        if start + size > self.limit:
+            raise CapacityError(
+                f"allocation {name!r} ({size} B) does not fit in region "
+                f"{self.name!r}: {self.limit - start} B free"
+            )
+        self.cursor = start + size
+        return Allocation(name=name, start=start, size=size, region=self.name)
+
+
+class AddressMap:
+    """Bump allocator over the low/high DDR regions."""
+
+    def __init__(self, low_base: int = LOW_BASE, low_limit: int = LOW_LIMIT,
+                 high_base: int = HIGH_BASE, high_limit: int = HIGH_LIMIT,
+                 align: int = 64) -> None:
+        if low_limit <= low_base or high_limit <= high_base:
+            raise CapacityError("region limits must exceed bases")
+        self.align = align  # 512-bit bus alignment by default
+        self._regions = {
+            "low": _Region("low", low_base, low_limit),
+            "high": _Region("high", high_base, high_limit),
+        }
+        self.allocations: list[Allocation] = []
+
+    def allocate(self, name: str, size: int, region: str = "high",
+                 ) -> Allocation:
+        """Place ``size`` bytes in ``region``; raises CapacityError if full."""
+        if region not in self._regions:
+            raise CapacityError(f"unknown region {region!r}")
+        if size < 0:
+            raise CapacityError(f"allocation {name!r} has negative size")
+        alloc = self._regions[region].allocate(name, size, self.align)
+        self.allocations.append(alloc)
+        return alloc
+
+    def free_bytes(self, region: str) -> int:
+        return self._regions[region].free
+
+    def total_capacity(self) -> int:
+        return sum(r.capacity for r in self._regions.values())
+
+    def allocated_bytes(self) -> int:
+        return sum(a.size for a in self.allocations)
+
+    def utilization(self) -> float:
+        """Fraction of the *full* 4 GB used (the paper's 93.3% metric
+        counts against the raw DRAM size, reservation included)."""
+        raw = HIGH_LIMIT - LOW_BASE if self._is_default_span() else \
+            self.total_capacity()
+        return self.allocated_bytes() / raw
+
+    def _is_default_span(self) -> bool:
+        low = self._regions["low"]
+        high = self._regions["high"]
+        return low.base == LOW_BASE and high.limit == HIGH_LIMIT
+
+    def overlaps(self) -> list[tuple[str, str]]:
+        """Sanity check: any pair of allocations that overlap (should be none)."""
+        bad = []
+        allocs = sorted(self.allocations, key=lambda a: a.start)
+        for first, second in zip(allocs, allocs[1:]):
+            if first.end > second.start:
+                bad.append((first.name, second.name))
+        return bad
+
+
+def kv260_address_map() -> AddressMap:
+    """The exact map of the paper: low 2 GB minus 1 MB, high 2 GB."""
+    return AddressMap()

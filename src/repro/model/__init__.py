@@ -1,0 +1,32 @@
+"""LLaMA-like transformer substrate.
+
+* :mod:`repro.model.weights` — weight containers, synthetic initialization,
+  and whole-model AWQ quantization.
+* :mod:`repro.model.llama` — float64 reference model (prefill + decode).
+* :mod:`repro.model.quantized` — the hardware-equivalent functional model:
+  W4A16 weights, FP16 datapath, LUT RoPE, three-pass softmax, KV8 cache.
+* :mod:`repro.model.kvcache` — float and quantized KV caches.
+* :mod:`repro.model.tokenizer` — byte-level tokenizer (the bare-metal PS
+  program's tokenizer substitute).
+* :mod:`repro.model.sampler` — greedy / temperature / top-k / top-p.
+"""
+
+from .kvcache import FloatKVCache, QuantizedKVCache
+from .llama import ReferenceModel
+from .quantized import QuantizedModel
+from .sampler import Sampler
+from .tokenizer import ByteTokenizer
+from .weights import LayerWeights, ModelWeights, QuantizedModelWeights, quantize_model
+
+__all__ = [
+    "FloatKVCache",
+    "QuantizedKVCache",
+    "ReferenceModel",
+    "QuantizedModel",
+    "Sampler",
+    "ByteTokenizer",
+    "LayerWeights",
+    "ModelWeights",
+    "QuantizedModelWeights",
+    "quantize_model",
+]

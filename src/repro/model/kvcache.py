@@ -1,0 +1,115 @@
+"""KV caches: float reference and the KV8-quantized cache of the paper.
+
+The quantized cache mirrors the hardware behaviour: each key/value head
+vector is quantized with :func:`repro.quant.kv8.kv_quantize` the moment it
+is generated (per head, per token), stored as 8-bit codes plus a scale-zero
+pack, and dequantized to FP16 when fetched for the attention dot products.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import ModelConfig
+from ..errors import SimulationError
+from ..quant.kv8 import KVQuantParams, kv_dequantize, kv_quantize
+
+
+class FloatKVCache:
+    """Exact float64 KV cache for the reference model."""
+
+    def __init__(self, config: ModelConfig) -> None:
+        self.config = config
+        shape = (config.num_layers, config.max_context,
+                 config.kv_heads, config.head_dim)
+        self._keys = np.zeros(shape, dtype=np.float64)
+        self._values = np.zeros(shape, dtype=np.float64)
+        self.length = 0
+
+    def append(self, layer: int, keys: np.ndarray, values: np.ndarray,
+               position: int) -> None:
+        """Store the (kv_heads, head_dim) K and V of one token at one layer."""
+        if position >= self.config.max_context:
+            raise SimulationError(
+                f"position {position} exceeds context {self.config.max_context}"
+            )
+        self._keys[layer, position] = keys
+        self._values[layer, position] = values
+        if layer == self.config.num_layers - 1:
+            self.length = max(self.length, position + 1)
+
+    def keys(self, layer: int, length: int) -> np.ndarray:
+        """Keys of the first ``length`` positions: (length, kv_heads, head_dim)."""
+        return self._keys[layer, :length]
+
+    def values(self, layer: int, length: int) -> np.ndarray:
+        return self._values[layer, :length]
+
+
+class QuantizedKVCache:
+    """KV8 cache: uint8 codes + per-(token, head) scale-zero packs."""
+
+    def __init__(self, config: ModelConfig, kv_bits: int = 8) -> None:
+        self.config = config
+        self.kv_bits = kv_bits
+        shape = (config.num_layers, config.max_context,
+                 config.kv_heads, config.head_dim)
+        self._k_codes = np.zeros(shape, dtype=np.uint8)
+        self._v_codes = np.zeros(shape, dtype=np.uint8)
+        empty = [[[None] * config.kv_heads
+                  for _ in range(config.max_context)]
+                 for _ in range(config.num_layers)]
+        self._k_params: list[list[list[KVQuantParams | None]]] = empty
+        self._v_params = [[[None] * config.kv_heads
+                           for _ in range(config.max_context)]
+                          for _ in range(config.num_layers)]
+        self.length = 0
+
+    def append(self, layer: int, keys: np.ndarray, values: np.ndarray,
+               position: int) -> None:
+        """Quantize and store one token's K/V head vectors (on-chip quant)."""
+        if position >= self.config.max_context:
+            raise SimulationError(
+                f"position {position} exceeds context {self.config.max_context}"
+            )
+        keys = np.asarray(keys)
+        values = np.asarray(values)
+        for head in range(self.config.kv_heads):
+            k_codes, k_params = kv_quantize(keys[head], self.kv_bits)
+            v_codes, v_params = kv_quantize(values[head], self.kv_bits)
+            self._k_codes[layer, position, head] = k_codes
+            self._v_codes[layer, position, head] = v_codes
+            self._k_params[layer][position][head] = k_params
+            self._v_params[layer][position][head] = v_params
+        if layer == self.config.num_layers - 1:
+            self.length = max(self.length, position + 1)
+
+    def _gather(self, codes: np.ndarray, params, layer: int, head: int,
+                length: int) -> np.ndarray:
+        out = np.zeros((length, self.config.head_dim), dtype=np.float16)
+        for pos in range(length):
+            p = params[layer][pos][head]
+            if p is None:
+                raise SimulationError(
+                    f"KV cache read of unwritten slot layer={layer} "
+                    f"pos={pos} head={head}"
+                )
+            out[pos] = kv_dequantize(codes[layer, pos, head], p)
+        return out
+
+    def keys(self, layer: int, head: int, length: int) -> np.ndarray:
+        """Dequantized FP16 keys: (length, head_dim) for one head."""
+        return self._gather(self._k_codes, self._k_params, layer, head, length)
+
+    def values(self, layer: int, head: int, length: int) -> np.ndarray:
+        return self._gather(self._v_codes, self._v_params, layer, head, length)
+
+    def payload_bytes(self) -> int:
+        """Stored code bytes for the current length (excludes packs)."""
+        return (2 * self.config.num_layers * self.length
+                * self.config.kv_dim * self.kv_bits // 8)
+
+    def pack_bytes(self, pack_bits: int = 32) -> int:
+        """Scale-zero pack bytes for the current length (Fig. 4B)."""
+        return (2 * self.config.num_layers * self.length
+                * self.config.kv_heads * pack_bits // 8)

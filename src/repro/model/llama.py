@@ -1,0 +1,140 @@
+"""Float64 reference implementation of the LLaMA-like model.
+
+This is the ground truth against which the quantized/hardware functional
+pipeline is validated.  It implements both inference phases of Fig. 2:
+
+* :meth:`ReferenceModel.prefill` — GEMM over all prompt tokens at once;
+* :meth:`ReferenceModel.decode_step` — GEMV for one token using the cache.
+
+Attention follows the pre-norm LLaMA structure: RMSNorm -> QKV projection
+-> RoPE on Q/K -> causal softmax attention over the KV cache -> output
+projection -> residual; then RMSNorm -> gated SiLU MLP -> residual.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import ModelConfig
+from ..errors import SimulationError
+from ..numerics.rmsnorm import reference_rmsnorm
+from ..numerics.rope import reference_rope
+from ..numerics.silu import reference_silu
+from ..numerics.softmax import reference_softmax
+from .kvcache import FloatKVCache
+from .weights import LayerWeights, ModelWeights
+
+
+class ReferenceModel:
+    """Exact float64 forward passes for prefill and decode."""
+
+    def __init__(self, weights: ModelWeights) -> None:
+        self.weights = weights
+        self.config: ModelConfig = weights.config
+
+    # -- building blocks ----------------------------------------------------
+
+    def _split_heads(self, x: np.ndarray, n_heads: int) -> np.ndarray:
+        """(..., n_heads * head_dim) -> (..., n_heads, head_dim)."""
+        return x.reshape(*x.shape[:-1], n_heads, self.config.head_dim)
+
+    def _attention_one_token(self, layer: LayerWeights, x: np.ndarray,
+                             cache: FloatKVCache, layer_idx: int,
+                             position: int) -> np.ndarray:
+        cfg = self.config
+        normed = reference_rmsnorm(x, layer.input_norm, cfg.norm_eps)
+
+        q = self._split_heads(layer.wq @ normed, cfg.num_heads)
+        k = self._split_heads(layer.wk @ normed, cfg.kv_heads)
+        v = self._split_heads(layer.wv @ normed, cfg.kv_heads)
+
+        q = np.stack([reference_rope(q[h], position, cfg.rope_theta)
+                      for h in range(cfg.num_heads)])
+        k = np.stack([reference_rope(k[h], position, cfg.rope_theta)
+                      for h in range(cfg.kv_heads)])
+
+        cache.append(layer_idx, k, v, position)
+        length = position + 1
+        keys = cache.keys(layer_idx, length)      # (len, kv_heads, d)
+        values = cache.values(layer_idx, length)  # (len, kv_heads, d)
+
+        group = cfg.num_heads // cfg.kv_heads
+        scale = 1.0 / np.sqrt(cfg.head_dim)
+        head_outputs = []
+        for h in range(cfg.num_heads):
+            kv_h = h // group
+            scores = keys[:, kv_h] @ q[h] * scale
+            probs = reference_softmax(scores)
+            head_outputs.append(probs @ values[:, kv_h])
+        attn = np.concatenate(head_outputs)
+        return x + layer.wo @ attn
+
+    def _mlp_one_token(self, layer: LayerWeights, x: np.ndarray) -> np.ndarray:
+        cfg = self.config
+        normed = reference_rmsnorm(x, layer.post_norm, cfg.norm_eps)
+        up = layer.w_up @ normed
+        if cfg.gated_mlp:
+            if layer.w_gate is None:
+                raise SimulationError("gated model without gate weights")
+            gate = layer.w_gate @ normed
+            hidden = reference_silu(gate) * up
+        else:
+            hidden = reference_silu(up)
+        return x + layer.w_down @ hidden
+
+    # -- public API ----------------------------------------------------------
+
+    def embed(self, token: int) -> np.ndarray:
+        if not 0 <= token < self.config.vocab_size:
+            raise SimulationError(f"token {token} outside vocabulary")
+        return self.weights.embedding[token].astype(np.float64)
+
+    def forward_token(self, token: int, cache: FloatKVCache,
+                      position: int) -> np.ndarray:
+        """Full forward pass of one token; returns the logits vector."""
+        x = self.embed(token)
+        for layer_idx, layer in enumerate(self.weights.layers):
+            x = self._attention_one_token(layer, x, cache, layer_idx, position)
+            x = self._mlp_one_token(layer, x)
+        x = reference_rmsnorm(x, self.weights.final_norm, self.config.norm_eps)
+        return self.weights.head_matrix() @ x
+
+    def prefill(self, tokens: list[int],
+                cache: FloatKVCache | None = None,
+                ) -> tuple[np.ndarray, FloatKVCache]:
+        """Process a prompt; returns (logits of last token, populated cache).
+
+        Processed token-by-token for clarity — the GEMM batching of the
+        real prefill phase is a performance detail the reference model
+        does not need (its job is numerical ground truth).
+        """
+        if not tokens:
+            raise SimulationError("prefill requires at least one token")
+        if cache is None:
+            cache = FloatKVCache(self.config)
+        logits = None
+        for position, token in enumerate(tokens):
+            logits = self.forward_token(token, cache, position)
+        assert logits is not None
+        return logits, cache
+
+    def decode_step(self, token: int, cache: FloatKVCache,
+                    position: int) -> np.ndarray:
+        """One autoregressive decode step (GEMV phase)."""
+        return self.forward_token(token, cache, position)
+
+    def generate(self, prompt: list[int], max_new_tokens: int,
+                 sampler=None) -> list[int]:
+        """Greedy (or sampled) generation; returns only the new tokens."""
+        logits, cache = self.prefill(prompt)
+        out: list[int] = []
+        position = len(prompt)
+        for _ in range(max_new_tokens):
+            if position >= self.config.max_context:
+                break
+            token = (int(np.argmax(logits)) if sampler is None
+                     else sampler.sample(logits))
+            out.append(token)
+            logits = self.decode_step(token, cache, position)
+            position += 1
+        return out

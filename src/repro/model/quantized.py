@@ -1,0 +1,156 @@
+"""Hardware-equivalent functional model: W4A16 + KV8 + FP16 datapath.
+
+This model computes exactly what the accelerator's datapath computes,
+minus the clock: dequantized AWQ weights feed the 128-lane FP16 DOT
+engine (:func:`repro.numerics.fp16.fp16_matvec`), RoPE comes from the
+quarter-sine/inverse-frequency ROMs, softmax is the three-pass FP16
+variant, RMSNorm the two-pass variant, and the KV cache is quantized to
+8 bits per element on write and dequantized on read.
+
+Note on AWQ folding: the hardware divides activations by the AWQ channel
+scales (folded into the preceding operator); we fold the division into the
+dequantized weight matrix instead (``AwqResult.effective_weight``), which
+is algebraically identical and keeps the pipeline readable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import ModelConfig
+from ..errors import SimulationError
+from ..numerics.fp16 import fp16, fp16_matvec
+from ..numerics.rmsnorm import two_pass_rmsnorm
+from ..numerics.rope import HardwareRope
+from ..numerics.silu import hardware_gated_silu, hardware_silu
+from ..numerics.softmax import three_pass_softmax
+from .kvcache import QuantizedKVCache
+from .weights import QuantizedModelWeights
+
+
+class QuantizedModel:
+    """Functional decode/prefill pipeline over quantized weights."""
+
+    def __init__(self, qweights: QuantizedModelWeights,
+                 lanes: int = 128) -> None:
+        self.qweights = qweights
+        self.config: ModelConfig = qweights.config
+        self.lanes = lanes
+        self.rope = HardwareRope(self.config.head_dim, self.config.rope_theta)
+        # Dequantize once up front: the hardware dequantizes on the fly,
+        # but the mapping code->FP16 value is deterministic, so the
+        # functional result is identical.
+        self._mats: list[dict[str, np.ndarray]] = []
+        for layer in qweights.layers:
+            self._mats.append({name: fp16(result.effective_weight())
+                               for name, result in layer.items()})
+        self._head = fp16(qweights.lm_head.effective_weight())
+
+    # -- building blocks ----------------------------------------------------
+
+    def _matvec(self, mat: np.ndarray, x: np.ndarray) -> np.ndarray:
+        return fp16_matvec(mat, x, lanes=self.lanes)
+
+    def _split_heads(self, x: np.ndarray, n_heads: int) -> np.ndarray:
+        return x.reshape(n_heads, self.config.head_dim)
+
+    def _attention(self, layer_idx: int, x: np.ndarray,
+                   cache: QuantizedKVCache, position: int) -> np.ndarray:
+        cfg = self.config
+        mats = self._mats[layer_idx]
+        input_norm, _ = self.qweights.norms[layer_idx]
+        normed = two_pass_rmsnorm(x, input_norm, cfg.norm_eps)
+
+        q = self._split_heads(self._matvec(mats["wq"], normed), cfg.num_heads)
+        k = self._split_heads(self._matvec(mats["wk"], normed), cfg.kv_heads)
+        v = self._split_heads(self._matvec(mats["wv"], normed), cfg.kv_heads)
+
+        q = np.stack([self.rope.apply(q[h], position)
+                      for h in range(cfg.num_heads)])
+        k = np.stack([self.rope.apply(k[h], position)
+                      for h in range(cfg.kv_heads)])
+
+        # On-chip KV8 quantization happens as K/V are generated (Sec. IV-B).
+        cache.append(layer_idx, k, v, position)
+        length = position + 1
+
+        group = cfg.num_heads // cfg.kv_heads
+        inv_sqrt_d = fp16(1.0 / np.sqrt(cfg.head_dim)).astype(np.float32)
+        head_outputs = []
+        for h in range(cfg.num_heads):
+            kv_h = h // group
+            keys = cache.keys(layer_idx, kv_h, length).astype(np.float32)
+            values = cache.values(layer_idx, kv_h, length).astype(np.float32)
+            # DOT of the rotated query against each (dequantized) cached key,
+            # then the scaling multiplier (Fig. 5B).
+            scores = fp16_matvec(keys, q[h], lanes=self.lanes)
+            scores = fp16(scores.astype(np.float32) * inv_sqrt_d)
+            probs = three_pass_softmax(scores)
+            # Scaled-dot: values weighted by softmax probabilities.
+            head_outputs.append(fp16_matvec(values.T, probs, lanes=self.lanes))
+        attn = np.concatenate(head_outputs)
+        out = self._matvec(mats["wo"], attn)
+        return fp16(x.astype(np.float32) + out.astype(np.float32))
+
+    def _mlp(self, layer_idx: int, x: np.ndarray) -> np.ndarray:
+        cfg = self.config
+        mats = self._mats[layer_idx]
+        _, post_norm = self.qweights.norms[layer_idx]
+        normed = two_pass_rmsnorm(x, post_norm, cfg.norm_eps)
+        up = self._matvec(mats["w_up"], normed)
+        if cfg.gated_mlp:
+            gate = self._matvec(mats["w_gate"], normed)
+            hidden = hardware_gated_silu(gate, up)
+        else:
+            hidden = hardware_silu(up)
+        down = self._matvec(mats["w_down"], hidden)
+        return fp16(x.astype(np.float32) + down.astype(np.float32))
+
+    # -- public API ----------------------------------------------------------
+
+    def embed(self, token: int) -> np.ndarray:
+        if not 0 <= token < self.config.vocab_size:
+            raise SimulationError(f"token {token} outside vocabulary")
+        return self.qweights.embedding[token]
+
+    def forward_token(self, token: int, cache: QuantizedKVCache,
+                      position: int) -> np.ndarray:
+        """One token through all layers; returns FP16 logits."""
+        x = self.embed(token)
+        for layer_idx in range(self.config.num_layers):
+            x = self._attention(layer_idx, x, cache, position)
+            x = self._mlp(layer_idx, x)
+        x = two_pass_rmsnorm(x, self.qweights.final_norm, self.config.norm_eps)
+        return self._matvec(self._head, x)
+
+    def prefill(self, tokens: list[int],
+                cache: QuantizedKVCache | None = None,
+                ) -> tuple[np.ndarray, QuantizedKVCache]:
+        if not tokens:
+            raise SimulationError("prefill requires at least one token")
+        if cache is None:
+            cache = QuantizedKVCache(self.config, self.qweights.quant.kv_bits)
+        logits = None
+        for position, token in enumerate(tokens):
+            logits = self.forward_token(token, cache, position)
+        assert logits is not None
+        return logits, cache
+
+    def decode_step(self, token: int, cache: QuantizedKVCache,
+                    position: int) -> np.ndarray:
+        return self.forward_token(token, cache, position)
+
+    def generate(self, prompt: list[int], max_new_tokens: int,
+                 sampler=None) -> list[int]:
+        logits, cache = self.prefill(prompt)
+        out: list[int] = []
+        position = len(prompt)
+        for _ in range(max_new_tokens):
+            if position >= self.config.max_context:
+                break
+            token = (int(np.argmax(logits)) if sampler is None
+                     else sampler.sample(logits))
+            out.append(token)
+            logits = self.decode_step(token, cache, position)
+            position += 1
+        return out

@@ -1,0 +1,58 @@
+"""Token samplers for the decode loop (the PS-side "Sample" box of Fig. 2).
+
+Greedy, temperature, top-k, and top-p (nucleus) sampling over a logits
+vector.  The sampler owns its RNG so generation is reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+class Sampler:
+    """Configurable sampler: greedy when ``temperature == 0``."""
+
+    def __init__(self, temperature: float = 0.0, top_k: int = 0,
+                 top_p: float = 1.0, seed: int = 0) -> None:
+        if temperature < 0:
+            raise ConfigError(f"temperature must be >= 0, got {temperature}")
+        if top_k < 0:
+            raise ConfigError(f"top_k must be >= 0, got {top_k}")
+        if not 0.0 < top_p <= 1.0:
+            raise ConfigError(f"top_p must be in (0, 1], got {top_p}")
+        self.temperature = temperature
+        self.top_k = top_k
+        self.top_p = top_p
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self, logits: np.ndarray) -> int:
+        """Pick a token id from a 1-D logits vector."""
+        logits = np.asarray(logits, dtype=np.float64).reshape(-1)
+        if logits.size == 0:
+            raise ConfigError("cannot sample from empty logits")
+        if self.temperature == 0.0:
+            return int(np.argmax(logits))
+
+        scaled = logits / self.temperature
+        scaled -= scaled.max()
+        probs = np.exp(scaled)
+        probs /= probs.sum()
+
+        if self.top_k > 0 and self.top_k < probs.size:
+            cutoff = np.partition(probs, -self.top_k)[-self.top_k]
+            probs = np.where(probs >= cutoff, probs, 0.0)
+            probs /= probs.sum()
+
+        if self.top_p < 1.0:
+            order = np.argsort(probs)[::-1]
+            cumulative = np.cumsum(probs[order])
+            # Keep the smallest prefix whose mass reaches top_p.
+            keep = cumulative - probs[order] < self.top_p
+            mask = np.zeros_like(probs, dtype=bool)
+            mask[order[keep]] = True
+            probs = np.where(mask, probs, 0.0)
+            probs /= probs.sum()
+
+        return int(self._rng.choice(probs.size, p=probs))

@@ -1,0 +1,53 @@
+"""Byte-level tokenizer — the PS-side tokenizer of the bare-metal system.
+
+The paper runs tokenization on the Zynq PS CPU (Fig. 1: "Tokenizer & Decode
+Program").  Lacking the SentencePiece model, we substitute a byte-level
+tokenizer: every byte of the UTF-8 input is one token, plus BOS/EOS
+specials.  This exercises the identical PS->PL command path (token indices
+over AXI-Lite) with a vocabulary that any synthetic model can cover.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+BYTE_VOCAB = 256
+
+
+class ByteTokenizer:
+    """UTF-8 byte tokenizer with BOS/EOS specials."""
+
+    def __init__(self, vocab_size: int = BYTE_VOCAB + 2) -> None:
+        if vocab_size < BYTE_VOCAB + 2:
+            raise ConfigError(
+                f"vocab_size must be >= {BYTE_VOCAB + 2} to fit bytes + "
+                f"specials, got {vocab_size}"
+            )
+        self.vocab_size = vocab_size
+        self.bos_id = BYTE_VOCAB
+        self.eos_id = BYTE_VOCAB + 1
+
+    def encode(self, text: str, add_bos: bool = True,
+               add_eos: bool = False) -> list[int]:
+        """Text -> token ids (one per UTF-8 byte)."""
+        ids = list(text.encode("utf-8"))
+        if add_bos:
+            ids.insert(0, self.bos_id)
+        if add_eos:
+            ids.append(self.eos_id)
+        return ids
+
+    def decode(self, ids: list[int]) -> str:
+        """Token ids -> text.
+
+        Specials and vocabulary-padding ids (non-byte ids below
+        ``vocab_size``, which a synthetic model can legitimately emit) are
+        dropped; ids outside the vocabulary are rejected.
+        """
+        data = bytearray()
+        for i in ids:
+            if not 0 <= i < self.vocab_size:
+                raise ConfigError(f"token id {i} outside the vocabulary")
+            if i < BYTE_VOCAB:
+                data.append(i)
+        return data.decode("utf-8", errors="replace")

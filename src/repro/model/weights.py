@@ -1,0 +1,213 @@
+"""Weight containers, synthetic initialization, and model quantization.
+
+The paper loads an AutoAWQ-quantized LLaMA2-7B checkpoint from an SD card.
+We have no checkpoint, so :func:`random_weights` synthesizes weights with
+transformer-typical statistics (scaled Gaussian projections, near-unit norm
+weights); traffic, layout, and capacity depend only on shapes, and the
+functional pipeline is validated against the float reference on the same
+synthetic weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import ModelConfig, QuantConfig
+from ..errors import ConfigError
+from ..quant.awq import AwqResult, awq_quantize_matrix
+from ..quant.calibration import ActivationStats
+
+# Names of the per-layer linear projections, in the order the accelerator
+# streams them during decode (Fig. 3: Q, K, V interleaved with attention,
+# then O; then gate/up/down in the MLP).
+ATTN_PROJS = ("wq", "wk", "wv", "wo")
+MLP_PROJS = ("w_gate", "w_up", "w_down")
+
+
+@dataclass
+class LayerWeights:
+    """Float weights of one transformer layer; matrices are (out, in)."""
+
+    wq: np.ndarray
+    wk: np.ndarray
+    wv: np.ndarray
+    wo: np.ndarray
+    w_gate: np.ndarray | None
+    w_up: np.ndarray
+    w_down: np.ndarray
+    input_norm: np.ndarray
+    post_norm: np.ndarray
+
+    def projections(self) -> dict[str, np.ndarray]:
+        """All linear matrices of this layer, keyed by canonical name."""
+        mats = {"wq": self.wq, "wk": self.wk, "wv": self.wv, "wo": self.wo,
+                "w_up": self.w_up, "w_down": self.w_down}
+        if self.w_gate is not None:
+            mats["w_gate"] = self.w_gate
+        return mats
+
+
+@dataclass
+class ModelWeights:
+    """Float weights of the whole model."""
+
+    config: ModelConfig
+    embedding: np.ndarray  # (vocab, hidden)
+    layers: list[LayerWeights] = field(default_factory=list)
+    final_norm: np.ndarray | None = None
+    lm_head: np.ndarray | None = None  # (vocab, hidden); None when tied
+
+    def head_matrix(self) -> np.ndarray:
+        """LM head weights, resolving embedding tying."""
+        if self.lm_head is not None:
+            return self.lm_head
+        return self.embedding
+
+    def param_count(self) -> int:
+        """Actual parameter count (cross-checked against ModelConfig)."""
+        n = self.embedding.size
+        for layer in self.layers:
+            for mat in layer.projections().values():
+                n += mat.size
+            n += layer.input_norm.size + layer.post_norm.size
+        if self.final_norm is not None:
+            n += self.final_norm.size
+        if self.lm_head is not None:
+            n += self.lm_head.size
+        return n
+
+
+def random_weights(config: ModelConfig, seed: int = 0,
+                   scale: float = 1.0) -> ModelWeights:
+    """Synthesize weights with transformer-typical statistics.
+
+    Projections are Gaussian with std ``scale / sqrt(in_features)`` so
+    activations keep unit variance through depth; norm weights start near
+    one with small jitter, as trained models do.
+    """
+    rng = np.random.default_rng(seed)
+    h = config.hidden_size
+    kv = config.kv_dim
+    inter = config.intermediate_size
+
+    def proj(out_f: int, in_f: int) -> np.ndarray:
+        return rng.standard_normal((out_f, in_f)) * (scale / np.sqrt(in_f))
+
+    def norm_w(n: int) -> np.ndarray:
+        return 1.0 + 0.02 * rng.standard_normal(n)
+
+    layers = []
+    for _ in range(config.num_layers):
+        layers.append(LayerWeights(
+            wq=proj(h, h), wk=proj(kv, h), wv=proj(kv, h), wo=proj(h, h),
+            w_gate=proj(inter, h) if config.gated_mlp else None,
+            w_up=proj(inter, h), w_down=proj(h, inter),
+            input_norm=norm_w(h), post_norm=norm_w(h),
+        ))
+
+    embedding = rng.standard_normal((config.vocab_size, h)) * 0.02
+    lm_head = None if config.tie_embeddings else proj(config.vocab_size, h)
+    return ModelWeights(config=config, embedding=embedding, layers=layers,
+                        final_norm=norm_w(h), lm_head=lm_head)
+
+
+# ---------------------------------------------------------------------------
+# Whole-model quantization
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class QuantizedModelWeights:
+    """AWQ-quantized model: one :class:`AwqResult` per linear matrix.
+
+    ``layers[i][name]`` maps the canonical projection names of
+    :data:`ATTN_PROJS` / :data:`MLP_PROJS` to their quantized form; the
+    embedding table and norm weights stay FP16 (they are not streamed per
+    token / are tiny, Sec. IV-A).
+    """
+
+    config: ModelConfig
+    quant: QuantConfig
+    embedding: np.ndarray  # float16 (vocab, hidden)
+    layers: list[dict[str, AwqResult]]
+    norms: list[tuple[np.ndarray, np.ndarray]]  # (input_norm, post_norm) fp16
+    final_norm: np.ndarray
+    lm_head: AwqResult
+
+    def projection(self, layer: int, name: str) -> AwqResult:
+        try:
+            return self.layers[layer][name]
+        except (IndexError, KeyError) as exc:
+            raise ConfigError(f"no projection {name!r} in layer {layer}") from exc
+
+    def stored_weight_bytes(self) -> int:
+        """Bytes of quantized weights + metadata + FP16 embedding/norms.
+
+        This is the quantity behind the paper's 3556 MB weight figure.
+        """
+        q = self.quant
+        total_bits = 0
+        for layer in self.layers:
+            for result in layer.values():
+                total_bits += result.params.storage_bits(
+                    q.weight_scale_bits, q.weight_zero_bits)
+        total_bits += self.lm_head.params.storage_bits(
+            q.weight_scale_bits, q.weight_zero_bits)
+        fp16_params = self.embedding.size + self.final_norm.size
+        for input_norm, post_norm in self.norms:
+            fp16_params += input_norm.size + post_norm.size
+        total_bits += fp16_params * 16
+        return total_bits // 8
+
+
+def quantize_model(weights: ModelWeights, quant: QuantConfig,
+                   act_stats: dict[str, ActivationStats] | None = None,
+                   ) -> QuantizedModelWeights:
+    """AWQ-quantize every linear projection of the model.
+
+    ``act_stats`` maps ``"layer{i}.{name}"`` (and ``"lm_head"``) to the
+    calibration statistics of that projection's *input*; missing entries
+    fall back to plain round-to-nearest group quantization.
+    """
+    cfg = weights.config
+
+    def stats_for(key: str, in_features: int) -> np.ndarray | None:
+        if act_stats is None or key not in act_stats:
+            return None
+        stats = act_stats[key]
+        if stats.num_channels != in_features:
+            raise ConfigError(
+                f"stats for {key} have {stats.num_channels} channels, "
+                f"expected {in_features}"
+            )
+        return stats.mean_abs()
+
+    q_layers: list[dict[str, AwqResult]] = []
+    norms: list[tuple[np.ndarray, np.ndarray]] = []
+    for i, layer in enumerate(weights.layers):
+        q_layer = {}
+        for name, mat in layer.projections().items():
+            q_layer[name] = awq_quantize_matrix(
+                mat, stats_for(f"layer{i}.{name}", mat.shape[1]),
+                bits=quant.weight_bits, group_size=quant.weight_group_size)
+        q_layers.append(q_layer)
+        norms.append((layer.input_norm.astype(np.float16),
+                      layer.post_norm.astype(np.float16)))
+
+    head = weights.head_matrix()
+    q_head = awq_quantize_matrix(
+        head, stats_for("lm_head", head.shape[1]),
+        bits=quant.weight_bits, group_size=quant.weight_group_size)
+
+    final_norm = weights.final_norm
+    if final_norm is None:
+        final_norm = np.ones(cfg.hidden_size)
+    return QuantizedModelWeights(
+        config=cfg, quant=quant,
+        embedding=weights.embedding.astype(np.float16),
+        layers=q_layers, norms=norms,
+        final_norm=final_norm.astype(np.float16),
+        lm_head=q_head,
+    )

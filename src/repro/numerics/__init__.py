@@ -1,0 +1,46 @@
+"""Hardware-style numerics: FP16 datapath emulation and SPU algorithms.
+
+Every submodule provides a float64 *reference* implementation and a
+*hardware* implementation that follows the exact algorithm of the paper's
+SPU submodules (Sec. VI-C): per-operation FP16 rounding, ROM-based RoPE,
+two-pass RMSNorm, three-pass numerically stable softmax, and the SiLU
+pipeline.
+"""
+
+from .fp16 import (
+    FP16_MAX,
+    fp16,
+    fp16_add,
+    fp16_dot,
+    fp16_mul,
+    fp16_tree_sum,
+    is_fp16_exact,
+)
+from .lut import InvFreqRom, QuarterSineRom, RopeAngleGenerator
+from .rmsnorm import reference_rmsnorm, two_pass_rmsnorm
+from .rope import HardwareRope, reference_rope, rotate_half_pairs
+from .silu import hardware_silu, reference_silu
+from .softmax import online_softmax, reference_softmax, three_pass_softmax
+
+__all__ = [
+    "FP16_MAX",
+    "fp16",
+    "fp16_add",
+    "fp16_dot",
+    "fp16_mul",
+    "fp16_tree_sum",
+    "is_fp16_exact",
+    "InvFreqRom",
+    "QuarterSineRom",
+    "RopeAngleGenerator",
+    "reference_rmsnorm",
+    "two_pass_rmsnorm",
+    "HardwareRope",
+    "reference_rope",
+    "rotate_half_pairs",
+    "hardware_silu",
+    "reference_silu",
+    "online_softmax",
+    "reference_softmax",
+    "three_pass_softmax",
+]

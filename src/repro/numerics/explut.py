@@ -1,0 +1,75 @@
+"""Piecewise-LUT exponential unit — the 'e' boxes of Fig. 5C.
+
+The SPU's softmax and SiLU submodules need exp().  A full FP16 exp in
+logic is expensive, so hardware typically splits the input as
+``x = n*ln2 + r`` and computes ``2**n * exp(r)`` with ``exp(r)`` from a
+table over ``r in [0, ln2)``: a shift (exact) plus one ROM read plus one
+multiply.  This module models that unit so its error contribution can be
+bounded and compared against the plain "exp then round" emulation used
+elsewhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from .fp16 import fp16
+
+LN2 = float(np.log(2.0))
+
+
+class ExpLut:
+    """Range-reduced exponential with a table over one octave."""
+
+    def __init__(self, depth: int = 1024) -> None:
+        if depth <= 0 or depth & (depth - 1):
+            raise ConfigError(f"LUT depth must be a power of two, got {depth}")
+        self.depth = depth
+        # Table of exp(r) for r in [0, ln2), FP16 entries like the ROM.
+        r = np.arange(depth, dtype=np.float64) * LN2 / depth
+        self._table = fp16(np.exp(r))
+
+    def exp(self, x) -> np.ndarray:
+        """exp(x) for FP16-ranged inputs, via shift + LUT + multiply."""
+        x64 = fp16(x).astype(np.float64)
+        n = np.floor(x64 / LN2)
+        r = x64 - n * LN2
+        index = np.clip((r / LN2 * self.depth).astype(np.int64), 0,
+                        self.depth - 1)
+        mantissa = self._table[index].astype(np.float64)
+        # 2**n is exact in floating point; the final multiply rounds FP16.
+        # Underflow to zero, overflow saturates — as the RTL clamps.
+        with np.errstate(over="ignore"):
+            out = fp16(mantissa * np.exp2(n))
+        return np.where(np.isfinite(out), out, np.float16(65504.0))
+
+    def max_relative_error(self, lo: float = -10.0, hi: float = 10.0,
+                           samples: int = 4096) -> float:
+        """Worst |exp_lut - exp| / exp over a range (for sizing the ROM)."""
+        xs = np.linspace(lo, hi, samples)
+        approx = self.exp(xs).astype(np.float64)
+        exact = np.exp(fp16(xs).astype(np.float64))
+        mask = exact > 0
+        return float(np.max(np.abs(approx[mask] - exact[mask])
+                            / exact[mask]))
+
+
+def lut_softmax(x, lut: ExpLut | None = None) -> np.ndarray:
+    """Three-pass softmax with the LUT exponential (full SPU fidelity)."""
+    from ..errors import SimulationError
+
+    if lut is None:
+        lut = ExpLut()
+    x16 = fp16(np.asarray(x).reshape(-1))
+    if x16.size == 0:
+        raise SimulationError("softmax of an empty vector")
+    x32 = x16.astype(np.float32)
+    m = np.float32(x32.max())
+    exps = lut.exp(x32 - m).astype(np.float32)
+    d = np.float32(0.0)
+    for e in exps:
+        d = np.float32(fp16(d + e))
+    if d <= 0:
+        raise SimulationError("softmax normalizer underflowed in FP16")
+    return fp16(exps / d)

@@ -1,0 +1,117 @@
+"""FP16 datapath emulation.
+
+The accelerator computes in IEEE half precision (Sec. VI-B: "we adopt FP16
+computation on FPGA").  NumPy's ``float16`` arithmetic computes in float32
+and rounds the result to float16, which matches a hardware FP16 unit with
+round-to-nearest-even on every operation output.  These helpers make the
+per-operation rounding explicit so the functional model exhibits the same
+rounding behaviour as the RTL datapath: multiply, add, and an adder *tree*
+that rounds at every tree level (the paper's DOT engine sums 128 products
+through a 7-level tree).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+FP16_MAX = float(np.finfo(np.float16).max)
+
+
+def fp16(x) -> np.ndarray:
+    """Round ``x`` to float16 (the output register of any FP16 unit)."""
+    return np.asarray(x, dtype=np.float32).astype(np.float16)
+
+
+def is_fp16_exact(x) -> bool:
+    """True if every element of ``x`` is exactly representable in FP16."""
+    arr = np.asarray(x, dtype=np.float32)
+    return bool(np.all(arr == arr.astype(np.float16).astype(np.float32)))
+
+
+def fp16_mul(a, b) -> np.ndarray:
+    """Elementwise FP16 multiply with per-op rounding."""
+    a16 = fp16(a).astype(np.float32)
+    b16 = fp16(b).astype(np.float32)
+    return fp16(a16 * b16)
+
+
+def fp16_add(a, b) -> np.ndarray:
+    """Elementwise FP16 add with per-op rounding."""
+    a16 = fp16(a).astype(np.float32)
+    b16 = fp16(b).astype(np.float32)
+    return fp16(a16 + b16)
+
+
+def fp16_tree_sum(values) -> np.float16:
+    """Sum a vector through a balanced binary adder tree.
+
+    Each tree level rounds to FP16, exactly as a pipelined FP16 adder tree
+    does.  Odd-width levels forward the unpaired element unchanged.
+    """
+    level = fp16(np.asarray(values).reshape(-1))
+    if level.size == 0:
+        return np.float16(0.0)
+    while level.size > 1:
+        pairs = level.size // 2
+        left = level[: 2 * pairs : 2].astype(np.float32)
+        right = level[1 : 2 * pairs : 2].astype(np.float32)
+        summed = fp16(left + right)
+        if level.size % 2:
+            summed = np.concatenate([summed, level[-1:]])
+        level = summed
+    return np.float16(level[0])
+
+
+def fp16_dot(a, b) -> np.float16:
+    """128-lane-style dot product: FP16 multipliers feeding an adder tree."""
+    products = fp16_mul(a, b)
+    return fp16_tree_sum(products)
+
+
+def fp16_matvec(w, x, lanes: int = 128) -> np.ndarray:
+    """FP16 matrix-vector product the way the VPU computes it.
+
+    ``w`` is (out_features, in_features); each output element is produced
+    by streaming the row through the 128-lane multiplier array, summing
+    each tile through the FP16 adder tree, and accumulating tiles in an
+    FP16 register.  Vectorized across output rows (every row sees the same
+    schedule, so batching them does not change the rounding).
+    """
+    w16 = fp16(w)
+    x16 = fp16(np.asarray(x).reshape(-1))
+    if w16.ndim != 2 or w16.shape[1] != x16.size:
+        raise ValueError(f"matvec shape mismatch: {w16.shape} @ {x16.shape}")
+    out_f, in_f = w16.shape
+    acc = np.zeros(out_f, dtype=np.float32)
+    for start in range(0, in_f, lanes):
+        tile_w = w16[:, start : start + lanes].astype(np.float32)
+        tile_x = x16[start : start + lanes].astype(np.float32)
+        level = fp16(tile_w * tile_x)
+        while level.shape[1] > 1:
+            pairs = level.shape[1] // 2
+            left = level[:, : 2 * pairs : 2].astype(np.float32)
+            right = level[:, 1 : 2 * pairs : 2].astype(np.float32)
+            summed = fp16(left + right)
+            if level.shape[1] % 2:
+                summed = np.concatenate([summed, level[:, -1:]], axis=1)
+            level = summed
+        acc = fp16(acc + level[:, 0].astype(np.float32)).astype(np.float32)
+    return fp16(acc)
+
+
+def fp16_dot_tiled(a, b, lanes: int = 128) -> np.float16:
+    """Dot product of arbitrary length, accumulated ``lanes`` at a time.
+
+    Models the VPU's accumulator: each group of ``lanes`` elements goes
+    through the multiplier array + adder tree, and partial sums accumulate
+    in an FP16 register.
+    """
+    a = fp16(np.asarray(a).reshape(-1))
+    b = fp16(np.asarray(b).reshape(-1))
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    acc = np.float16(0.0)
+    for start in range(0, a.size, lanes):
+        partial = fp16_dot(a[start : start + lanes], b[start : start + lanes])
+        acc = np.float16(np.float32(acc) + np.float32(partial))
+    return acc

@@ -1,0 +1,125 @@
+"""Look-up-table generators for the RoPE submodule (paper Sec. VI-C, Fig. 5C1).
+
+The RoPE hardware uses two ROMs:
+
+* a *sin/cos generator* holding 4096 points of one quarter cycle of a sine
+  wave, folded to produce full-cycle sine and cosine values, and
+* an *address generator* holding inverted frequency values
+  ``theta ** (-i / d)`` used to turn (token position, channel pair) into a
+  phase, hence a ROM address.
+
+Both are modelled bit-faithfully enough for error analysis: the quarter
+table stores FP16 samples, phases are quantized to the table's angular
+resolution, and inverse frequencies are stored as FP16 like the RTL.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from .fp16 import fp16
+
+
+class QuarterSineRom:
+    """ROM holding one quarter cycle of sine, folded into sin/cos lookups.
+
+    ``depth`` samples cover phases [0, pi/2).  A full cycle is addressed by
+    ``4 * depth`` phase steps; quadrant folding turns a full-cycle address
+    into a quarter-table read plus a sign flip, exactly as the RTL does.
+    """
+
+    def __init__(self, depth: int = 4096) -> None:
+        if depth <= 0 or depth & (depth - 1):
+            raise ConfigError(f"ROM depth must be a power of two, got {depth}")
+        self.depth = depth
+        self.full_cycle = 4 * depth
+        phases = np.arange(depth, dtype=np.float64) * (np.pi / 2) / depth
+        self._table = fp16(np.sin(phases))
+
+    def _fold(self, address: np.ndarray) -> np.ndarray:
+        """Quarter-wave folding: full-cycle address -> signed table sample."""
+        address = np.asarray(address) % self.full_cycle
+        quadrant = address // self.depth
+        offset = address % self.depth
+        # Quadrants 1 and 3 read the table backwards (mirror), 2 and 3 negate.
+        mirrored = np.where(quadrant % 2 == 1, self.depth - 1 - offset, offset)
+        sample = self._table[mirrored].astype(np.float32)
+        sign = np.where(quadrant >= 2, -1.0, 1.0).astype(np.float32)
+        return fp16(sign * sample)
+
+    def sin(self, address) -> np.ndarray:
+        """Sine at ``address`` full-cycle phase steps."""
+        return self._fold(np.asarray(address, dtype=np.int64))
+
+    def cos(self, address) -> np.ndarray:
+        """Cosine via the identity cos(x) = sin(x + pi/2)."""
+        return self._fold(np.asarray(address, dtype=np.int64) + self.depth)
+
+    def phase_to_address(self, phase) -> np.ndarray:
+        """Quantize a radian phase to the nearest full-cycle ROM address."""
+        steps = np.round(np.asarray(phase, dtype=np.float64)
+                         / (2 * np.pi) * self.full_cycle)
+        return steps.astype(np.int64) % self.full_cycle
+
+
+class InvFreqRom:
+    """ROM of RoPE inverse frequencies ``theta ** (-i / d)`` for even ``i``.
+
+    The paper stores ``10000.0 ** (-i/4096), i = 0, 2, 4, ..., 4094`` — a
+    generic table for head dimensions up to 4096.  We generate the slice
+    the model's head dimension actually uses.  Entries are float32: the
+    phase is ``position * inv_freq``, so at position 1023 an FP16 entry
+    would already contribute ~0.25 rad of phase error; the RTL stores
+    these as wide fixed-point words for the same reason.
+    """
+
+    def __init__(self, head_dim: int, theta: float = 10000.0) -> None:
+        if head_dim <= 0 or head_dim % 2:
+            raise ConfigError(f"head_dim must be positive and even, got {head_dim}")
+        self.head_dim = head_dim
+        self.theta = theta
+        exponents = np.arange(0, head_dim, 2, dtype=np.float64) / head_dim
+        self._table = (theta ** (-exponents)).astype(np.float32)
+
+    @property
+    def num_pairs(self) -> int:
+        return self.head_dim // 2
+
+    def inv_freq(self, pair_index) -> np.ndarray:
+        """Inverse frequency of rotation pair ``pair_index`` (0-based)."""
+        idx = np.asarray(pair_index, dtype=np.int64)
+        if np.any(idx < 0) or np.any(idx >= self.num_pairs):
+            raise ConfigError(
+                f"pair index out of range [0, {self.num_pairs}): {pair_index}"
+            )
+        return self._table[idx]
+
+
+class RopeAngleGenerator:
+    """Address generator: (position, pair) -> sin/cos ROM addresses.
+
+    Combines the inverse-frequency ROM with the quarter-sine ROM's phase
+    quantization.  ``angles`` returns the quantized addresses used by the
+    rotator, so RoPE error in the functional model comes from the same two
+    sources as in hardware: FP16 inverse frequencies and finite ROM depth.
+    """
+
+    def __init__(self, head_dim: int, theta: float = 10000.0,
+                 rom: QuarterSineRom | None = None) -> None:
+        self.inv_freq_rom = InvFreqRom(head_dim, theta)
+        self.rom = rom if rom is not None else QuarterSineRom()
+
+    def addresses(self, position: int) -> np.ndarray:
+        """ROM addresses for every rotation pair at token ``position``."""
+        if position < 0:
+            raise ConfigError(f"position must be non-negative, got {position}")
+        pairs = np.arange(self.inv_freq_rom.num_pairs)
+        inv_freq = self.inv_freq_rom.inv_freq(pairs).astype(np.float64)
+        phase = position * inv_freq
+        return self.rom.phase_to_address(phase)
+
+    def sin_cos(self, position: int) -> tuple[np.ndarray, np.ndarray]:
+        """FP16 (sin, cos) vectors for all rotation pairs at ``position``."""
+        addr = self.addresses(position)
+        return self.rom.sin(addr), self.rom.cos(addr)

@@ -1,0 +1,60 @@
+"""RMSNorm: reference and the paper's two-pass hardware variant.
+
+The SPU RMSNorm submodule (Fig. 5C2) makes two passes over the hidden
+state: pass 1 computes the mean of squares (which the paper notes can be
+bypassed when the DOT engine already produced the square-sum during the
+preceding residual add), and pass 2 multiplies each element by the
+reciprocal square root and the per-channel norm weight.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SimulationError
+from .fp16 import fp16
+
+
+def reference_rmsnorm(x: np.ndarray, weight: np.ndarray | None = None,
+                      eps: float = 1e-5) -> np.ndarray:
+    """Float64 RMSNorm: ``x / sqrt(mean(x^2) + eps) * weight``."""
+    x = np.asarray(x, dtype=np.float64)
+    rms = np.sqrt(np.mean(x * x, axis=-1, keepdims=True) + eps)
+    out = x / rms
+    if weight is not None:
+        out = out * np.asarray(weight, dtype=np.float64)
+    return out
+
+
+def two_pass_rmsnorm(x: np.ndarray, weight: np.ndarray | None = None,
+                     eps: float = 1e-5,
+                     square_sum: float | None = None) -> np.ndarray:
+    """FP16 two-pass RMSNorm over a 1-D hidden-state vector.
+
+    ``square_sum`` lets the caller inject the square-sum computed for free
+    by the DOT engine during the residual add (Sec. V-A / VI-C2); when it
+    is None the first pass computes it locally with an FP32 accumulator
+    (the RTL keeps a wide accumulator for the square sum to avoid FP16
+    overflow on 4096-element vectors).
+    """
+    x16 = fp16(np.asarray(x).reshape(-1))
+    n = x16.size
+    if n == 0:
+        raise SimulationError("RMSNorm of an empty vector")
+    x32 = x16.astype(np.float32)
+
+    if square_sum is None:
+        square_sum = float(np.sum(x32.astype(np.float64) ** 2))
+
+    mean_sq = np.float32(square_sum / n)
+    inv_rms = fp16(1.0 / np.sqrt(mean_sq + np.float32(eps))).astype(np.float32)
+
+    out = fp16(x32 * inv_rms)
+    if weight is not None:
+        w32 = fp16(weight).astype(np.float32)
+        if w32.size != n:
+            raise SimulationError(
+                f"RMSNorm weight length {w32.size} != input length {n}"
+            )
+        out = fp16(out.astype(np.float32) * w32)
+    return out

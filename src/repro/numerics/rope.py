@@ -1,0 +1,89 @@
+"""Rotary position embedding: exact reference and hardware rotator model.
+
+The rotator (Fig. 5C1) caches half of the query/key vector and forms
+rotation pairs ``(x[i], x[i + d/2])`` — the "rotate-half" convention of
+LLaMA.  The hardware version multiplies each pair by ROM-sourced FP16
+sin/cos values; the reference version uses exact float64 trigonometry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from .fp16 import fp16
+from .lut import RopeAngleGenerator
+
+
+def rotate_half_pairs(x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split a head vector into its (first-half, second-half) rotation pairs."""
+    x = np.asarray(x)
+    d = x.shape[-1]
+    if d % 2:
+        raise ConfigError(f"RoPE input length must be even, got {d}")
+    return x[..., : d // 2], x[..., d // 2 :]
+
+
+def reference_rope(x: np.ndarray, position: int,
+                   theta: float = 10000.0) -> np.ndarray:
+    """Exact float64 RoPE for one head vector (or a batch of them).
+
+    ``x`` has shape ``(..., head_dim)``; the same position applies to all
+    leading dimensions.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    lo, hi = rotate_half_pairs(x)
+    d = x.shape[-1]
+    inv_freq = theta ** (-np.arange(0, d, 2, dtype=np.float64) / d)
+    angle = position * inv_freq
+    cos, sin = np.cos(angle), np.sin(angle)
+    out = np.empty_like(x)
+    out[..., : d // 2] = lo * cos - hi * sin
+    out[..., d // 2 :] = lo * sin + hi * cos
+    return out
+
+
+class HardwareRope:
+    """FP16 rotator fed by the quarter-sine and inverse-frequency ROMs."""
+
+    def __init__(self, head_dim: int, theta: float = 10000.0,
+                 rom_depth: int = 4096) -> None:
+        from .lut import QuarterSineRom
+
+        self.head_dim = head_dim
+        self.angles = RopeAngleGenerator(head_dim, theta,
+                                         rom=QuarterSineRom(rom_depth))
+
+    def apply(self, x: np.ndarray, position: int) -> np.ndarray:
+        """Rotate one head vector (shape ``(..., head_dim)``) in FP16."""
+        x16 = fp16(x)
+        if x16.shape[-1] != self.head_dim:
+            raise ConfigError(
+                f"expected head_dim {self.head_dim}, got {x16.shape[-1]}"
+            )
+        lo, hi = rotate_half_pairs(x16.astype(np.float32))
+        sin, cos = self.angles.sin_cos(position)
+        sin = sin.astype(np.float32)
+        cos = cos.astype(np.float32)
+        out = np.empty_like(x16)
+        # Two FP16 multiplies and one FP16 add per output element, with
+        # rounding after each stage as in the RTL pipeline.
+        lo_cos = fp16(lo * cos).astype(np.float32)
+        hi_sin = fp16(hi * sin).astype(np.float32)
+        lo_sin = fp16(lo * sin).astype(np.float32)
+        hi_cos = fp16(hi * cos).astype(np.float32)
+        out[..., : self.head_dim // 2] = fp16(lo_cos - hi_sin)
+        out[..., self.head_dim // 2 :] = fp16(lo_sin + hi_cos)
+        return out
+
+    def max_error(self, position: int, trials: int = 64,
+                  seed: int = 0) -> float:
+        """Worst observed |hardware - reference| on random unit-scale inputs."""
+        rng = np.random.default_rng(seed)
+        worst = 0.0
+        for _ in range(trials):
+            x = rng.standard_normal(self.head_dim)
+            hw = self.apply(x, position).astype(np.float64)
+            ref = reference_rope(x, position, self.angles.inv_freq_rom.theta)
+            worst = max(worst, float(np.max(np.abs(hw - ref))))
+        return worst

@@ -1,0 +1,34 @@
+"""SiLU activation: reference and the FP16 pipeline of the SPU (Fig. 5C5).
+
+The hardware computes ``x / (1 + exp(-x))`` with an exp unit, an adder, and
+a divider, each rounding its FP16 output.  The SiLU result is then
+multiplied by the up-projection output to form the gated MLP input, which
+is modelled here as well because the multiply shares the same pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .fp16 import fp16
+
+
+def reference_silu(x: np.ndarray) -> np.ndarray:
+    """Float64 SiLU: ``x * sigmoid(x)``."""
+    x = np.asarray(x, dtype=np.float64)
+    return x / (1.0 + np.exp(-x))
+
+
+def hardware_silu(x: np.ndarray) -> np.ndarray:
+    """FP16 SiLU with per-stage rounding (exp, add, divide)."""
+    x32 = fp16(x).astype(np.float32)
+    e = fp16(np.exp(-x32)).astype(np.float32)
+    denom = fp16(np.float32(1.0) + e).astype(np.float32)
+    return fp16(x32 / denom)
+
+
+def hardware_gated_silu(gate: np.ndarray, up: np.ndarray) -> np.ndarray:
+    """SiLU(gate) * up — the gated-MLP elementwise stage, in FP16."""
+    act = hardware_silu(gate).astype(np.float32)
+    up32 = fp16(up).astype(np.float32)
+    return fp16(act * up32)

@@ -1,0 +1,75 @@
+"""Softmax: reference, the paper's three-pass stable variant, and the
+online (single-pass) variant the three-pass design is derived from.
+
+The SPU softmax submodule (Fig. 5C4) makes three sequential passes over the
+attention-score vector:
+
+1. find the maximum ``m``,
+2. accumulate the normalizer ``d = sum(exp(x_i - m))``,
+3. emit ``s_i = exp(x_i - m) / d``.
+
+The hardware version rounds to FP16 after the exponential, the accumulation,
+and the final divide, which is where its (tiny) deviation from the float64
+reference comes from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SimulationError
+from .fp16 import fp16
+
+
+def reference_softmax(x: np.ndarray) -> np.ndarray:
+    """Numerically stable float64 softmax."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.size == 0:
+        raise SimulationError("softmax of an empty vector")
+    shifted = x - np.max(x, axis=-1, keepdims=True)
+    e = np.exp(shifted)
+    return e / np.sum(e, axis=-1, keepdims=True)
+
+
+def three_pass_softmax(x: np.ndarray) -> np.ndarray:
+    """The paper's three-pass FP16 softmax over a 1-D score vector."""
+    x16 = fp16(np.asarray(x).reshape(-1))
+    if x16.size == 0:
+        raise SimulationError("softmax of an empty vector")
+    x32 = x16.astype(np.float32)
+
+    # Pass 1: running maximum (comparators are exact, no rounding).
+    m = np.float32(x32[0])
+    for v in x32[1:]:
+        m = max(m, v)
+
+    # Pass 2: normalizer accumulation; exp unit and accumulator round to FP16.
+    d = np.float32(0.0)
+    exps = np.empty_like(x32)
+    for i, v in enumerate(x32):
+        e = fp16(np.exp(np.float32(v - m)))
+        exps[i] = np.float32(e)
+        d = np.float32(fp16(d + np.float32(e)))
+    if d <= 0:
+        raise SimulationError("softmax normalizer underflowed to zero in FP16")
+
+    # Pass 3: divide (one FP16 divider, rounding the quotient).
+    return fp16(exps / d)
+
+
+def online_softmax(x: np.ndarray) -> np.ndarray:
+    """Milakov–Gimelshein online softmax (single pass max+normalizer).
+
+    Included because the paper cites it as the origin of the stable
+    formulation; useful as an ablation of pass count in the SPU model.
+    """
+    x = np.asarray(x, dtype=np.float64).reshape(-1)
+    if x.size == 0:
+        raise SimulationError("softmax of an empty vector")
+    m = -np.inf
+    d = 0.0
+    for v in x:
+        m_new = max(m, v)
+        d = d * np.exp(m - m_new) + np.exp(v - m_new)
+        m = m_new
+    return np.exp(x - m) / d

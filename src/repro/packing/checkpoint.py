@@ -1,0 +1,127 @@
+"""Single-file checkpoint format — the SD-card image of Sec. VII-A.
+
+The paper converts the AutoAWQ checkpoint into "our proposed format" and
+loads it from an SD card.  This module defines that container: a flat
+binary with a fixed header, a region table (name, offset, size, CRC32),
+and the concatenated region payloads — exactly the memory-image regions,
+stored in placement order so the bare-metal loader can stream them to
+their DDR addresses with sequential reads.
+
+Layout (all little-endian):
+
+    magic     8 bytes   b"REPROCKP"
+    version   u32
+    n_regions u32
+    regions   n x { name_len u16, name utf-8, dst_addr u64,
+                    size u64, crc32 u32 }
+    payloads  concatenated, in table order
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+import zlib
+from dataclasses import dataclass
+
+from ..errors import LayoutError
+from .memimage import MemoryImage
+
+MAGIC = b"REPROCKP"
+VERSION = 1
+
+
+@dataclass(frozen=True)
+class CheckpointRegion:
+    """One entry of the region table."""
+
+    name: str
+    dst_addr: int
+    size: int
+    crc32: int
+
+
+def write_checkpoint(image: MemoryImage, stream: io.BufferedIOBase) -> int:
+    """Serialize a *materialized* memory image; returns bytes written.
+
+    Regions are emitted in ascending DDR address order so the loader's SD
+    reads stay sequential.
+    """
+    if not image.data:
+        raise LayoutError(
+            "memory image has no materialized regions; build it with "
+            "qweights to create a checkpoint"
+        )
+    named = sorted(image.data.items(),
+                   key=lambda kv: image.allocations[kv[0]].start)
+
+    table = []
+    for name, payload in named:
+        alloc = image.allocations[name]
+        if len(payload) != alloc.size:
+            raise LayoutError(
+                f"region {name!r}: payload {len(payload)} B != allocation "
+                f"{alloc.size} B"
+            )
+        table.append((name, alloc.start, payload))
+
+    written = 0
+
+    def put(data: bytes) -> None:
+        nonlocal written
+        stream.write(data)
+        written += len(data)
+
+    put(MAGIC)
+    put(struct.pack("<II", VERSION, len(table)))
+    for name, addr, payload in table:
+        encoded = name.encode("utf-8")
+        put(struct.pack("<H", len(encoded)))
+        put(encoded)
+        put(struct.pack("<QQI", addr, len(payload), zlib.crc32(payload)))
+    for _, _, payload in table:
+        put(payload)
+    return written
+
+
+def read_checkpoint(stream: io.BufferedIOBase,
+                    verify: bool = True) -> dict[str, tuple[CheckpointRegion, bytes]]:
+    """Parse a checkpoint; returns {name: (region meta, payload)}.
+
+    With ``verify`` (the default, as the bare-metal loader should), every
+    payload's CRC is checked and a mismatch raises :class:`LayoutError`.
+    """
+    magic = stream.read(len(MAGIC))
+    if magic != MAGIC:
+        raise LayoutError(f"bad checkpoint magic {magic!r}")
+    version, n_regions = struct.unpack("<II", stream.read(8))
+    if version != VERSION:
+        raise LayoutError(f"unsupported checkpoint version {version}")
+
+    regions: list[CheckpointRegion] = []
+    for _ in range(n_regions):
+        (name_len,) = struct.unpack("<H", stream.read(2))
+        name = stream.read(name_len).decode("utf-8")
+        addr, size, crc = struct.unpack("<QQI", stream.read(20))
+        regions.append(CheckpointRegion(name, addr, size, crc))
+
+    out: dict[str, tuple[CheckpointRegion, bytes]] = {}
+    for region in regions:
+        payload = stream.read(region.size)
+        if len(payload) != region.size:
+            raise LayoutError(f"truncated payload for region {region.name!r}")
+        if verify and zlib.crc32(payload) != region.crc32:
+            raise LayoutError(f"CRC mismatch in region {region.name!r}")
+        out[region.name] = (region, payload)
+    return out
+
+
+def checkpoint_matches_image(parsed: dict, image: MemoryImage) -> bool:
+    """True when a parsed checkpoint byte-matches a memory image."""
+    if set(parsed) != set(image.data):
+        return False
+    for name, (region, payload) in parsed.items():
+        alloc = image.allocations[name]
+        if region.dst_addr != alloc.start or payload != image.data[name]:
+            return False
+    return True

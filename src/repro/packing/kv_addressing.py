@@ -1,0 +1,103 @@
+"""KV-cache address layouts: why the cache is stored head-major.
+
+The head-wise pipeline (Fig. 3) reads one head's entire history per QK/AV
+stage.  Whether that read is one clean burst or a strided mess depends on
+the in-DDR layout of the per-layer KV region:
+
+* ``head-major``  — [head][token][dim]: one head's history is contiguous;
+  the per-token *write* scatters across head strides (16 small writes).
+* ``token-major`` — [token][head][dim]: the write is one contiguous
+  append, but each head's history read is strided by ``kv_dim``.
+
+The paper streams ~3.3 GB of reads per token against ~256 KB of writes,
+so the layout must favour reads; this module computes both layouts'
+addresses and transaction lists so the benchmark can show the read-cost
+asymmetry on the DDR model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import ModelConfig, QuantConfig
+from ..errors import LayoutError
+
+
+@dataclass(frozen=True)
+class KVAddressMap:
+    """Address arithmetic for one layer's K (or V) cache region."""
+
+    model: ModelConfig
+    quant: QuantConfig
+    base: int = 0
+    layout: str = "head-major"  # or "token-major"
+    max_context: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.layout not in ("head-major", "token-major"):
+            raise LayoutError(f"unknown KV layout {self.layout!r}")
+
+    @property
+    def context(self) -> int:
+        return self.max_context if self.max_context is not None \
+            else self.model.max_context
+
+    @property
+    def head_bytes(self) -> int:
+        return self.model.head_dim * self.quant.kv_bits // 8
+
+    @property
+    def token_bytes(self) -> int:
+        return self.model.kv_heads * self.head_bytes
+
+    @property
+    def region_bytes(self) -> int:
+        return self.context * self.token_bytes
+
+    def address(self, head: int, token: int) -> int:
+        """DDR address of one head vector."""
+        if not 0 <= head < self.model.kv_heads:
+            raise LayoutError(f"head {head} out of range")
+        if not 0 <= token < self.context:
+            raise LayoutError(f"token {token} out of range")
+        if self.layout == "head-major":
+            return self.base + head * self.context * self.head_bytes \
+                + token * self.head_bytes
+        return self.base + token * self.token_bytes + head * self.head_bytes
+
+    # -- transaction generators (for the DDR model) ---------------------------
+
+    def head_read_transactions(self, head: int, length: int):
+        """Read one head's history of ``length`` tokens."""
+        from ..memory.ddr import Transaction
+
+        if length <= 0:
+            raise LayoutError("length must be positive")
+        if self.layout == "head-major":
+            return [Transaction(address=self.address(head, 0),
+                                size=length * self.head_bytes)]
+        return [Transaction(address=self.address(head, t),
+                            size=self.head_bytes)
+                for t in range(length)]
+
+    def token_write_transactions(self, token: int):
+        """Write one new token's vectors for every head."""
+        from ..memory.ddr import Transaction
+
+        if self.layout == "token-major":
+            return [Transaction(address=self.address(0, token),
+                                size=self.token_bytes, is_write=True)]
+        return [Transaction(address=self.address(h, token),
+                            size=self.head_bytes, is_write=True)
+                for h in range(self.model.kv_heads)]
+
+    def read_write_cost(self, context: int):
+        """(read ns, write ns) for one decode step on the DDR model."""
+        from ..memory.ddr import DdrModel
+
+        reads = DdrModel()
+        for head in range(self.model.kv_heads):
+            reads.run(self.head_read_transactions(head, context))
+        writes = DdrModel()
+        writes.run(self.token_write_transactions(context))
+        return reads.total_ns, writes.total_ns

@@ -1,0 +1,179 @@
+"""Whole-DDR memory image construction and capacity reporting.
+
+Reproduces the placement of Sec. VII-A and the capacity breakdown of
+Fig. 1: the embedding table, all quantized layer weights, and the KV cache
+of the first half of the layers go to the upper 2 GB; the remaining layers'
+KV cache, the KV scale-zero region, and runtime buffers go to the lower
+2 GB (which also holds the 1 MB compiler reservation).
+
+For big models the image is *virtual* — regions carry exact sizes computed
+from the configs without materializing 3.5 GB of bytes.  For tiny test
+models, :func:`build_memory_image` can materialize every region from an
+actual quantized checkpoint so tests can round-trip the bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import ModelConfig, QuantConfig
+from ..errors import CapacityError
+from ..memory.memmap import AddressMap, Allocation, kv260_address_map
+from ..units import MIB
+from .busformat import BUS_BYTES, pad_to_beat
+from .weight_layout import WeightLayoutSpec
+
+
+@dataclass
+class MemoryImage:
+    """A placed memory image: allocations plus optional materialized bytes."""
+
+    model: ModelConfig
+    quant: QuantConfig
+    context: int
+    address_map: AddressMap
+    allocations: dict[str, Allocation] = field(default_factory=dict)
+    data: dict[str, bytes] = field(default_factory=dict)
+
+    # -- capacity report (Fig. 1) -------------------------------------------
+
+    def weight_bytes(self) -> int:
+        return sum(a.size for name, a in self.allocations.items()
+                   if name.startswith(("weights.", "embedding", "norms")))
+
+    def kv_bytes(self) -> int:
+        return sum(a.size for name, a in self.allocations.items()
+                   if name.startswith("kv."))
+
+    def total_bytes(self) -> int:
+        return sum(a.size for a in self.allocations.values())
+
+    def weight_mib(self) -> float:
+        return self.weight_bytes() / MIB
+
+    def kv_mib(self) -> float:
+        return self.kv_bytes() / MIB
+
+    def capacity_utilization(self, dram_bytes: int = 4 * 1024 * MIB) -> float:
+        """Fraction of raw DRAM used by weights + KV (the 93.3% figure)."""
+        return self.total_bytes() / dram_bytes
+
+
+def _layer_stream_bytes(model: ModelConfig, quant: QuantConfig,
+                        spec: WeightLayoutSpec) -> list[tuple[str, int]]:
+    """(name, size) for each projection of one layer, in stream order."""
+    h = model.hidden_size
+    kv = model.kv_dim
+    inter = model.intermediate_size
+    shapes = [("wq", h, h), ("wk", kv, h), ("wv", kv, h), ("wo", h, h)]
+    if model.gated_mlp:
+        shapes.append(("w_gate", inter, h))
+    shapes += [("w_up", inter, h), ("w_down", h, inter)]
+    out = []
+    for name, out_f, in_f in shapes:
+        n_groups = out_f * (in_f // spec.group_size)
+        out.append((name, spec.stream_bytes(n_groups)))
+    return out
+
+
+def build_memory_image(model: ModelConfig, quant: QuantConfig,
+                       context: int | None = None,
+                       address_map: AddressMap | None = None,
+                       qweights=None) -> MemoryImage:
+    """Place the full model in DDR; optionally materialize from weights.
+
+    ``qweights`` (a :class:`repro.model.weights.QuantizedModelWeights`)
+    triggers materialization: every region's bytes are produced with the
+    interleaved encoder so the image is loadable by the simulated MCU.
+    """
+    if context is None:
+        context = model.max_context
+    if context > model.max_context:
+        raise CapacityError(
+            f"context {context} exceeds the model's max {model.max_context}"
+        )
+    if address_map is None:
+        address_map = kv260_address_map()
+    if model.hidden_size % quant.weight_group_size == 0:
+        group = quant.weight_group_size
+    else:
+        raise CapacityError(
+            f"hidden size {model.hidden_size} not divisible by quant group "
+            f"{quant.weight_group_size}"
+        )
+    spec = WeightLayoutSpec(weight_bits=quant.weight_bits,
+                            scale_bits=quant.weight_scale_bits,
+                            zero_bits=quant.weight_zero_bits,
+                            group_size=group)
+
+    image = MemoryImage(model=model, quant=quant, context=context,
+                        address_map=address_map)
+
+    def place(name: str, size: int, region: str,
+              payload: bytes | None = None) -> None:
+        # Preferred region first; the paper fills the upper 2 GB to the
+        # brim and places "the remaining data" low, so spill to the other
+        # region before declaring the model unfit.
+        other = "low" if region == "high" else "high"
+        try:
+            alloc = address_map.allocate(name, size, region)
+        except CapacityError:
+            alloc = address_map.allocate(name, size, other)
+        image.allocations[name] = alloc
+        if payload is not None:
+            if len(payload) != size:
+                raise CapacityError(
+                    f"payload for {name} is {len(payload)} B, expected {size}"
+                )
+            image.data[name] = payload
+
+    # Sec. VII-A placement: the embedding table plus the weights and KV
+    # space of the first 16 (= half the) layers go to the upper 2 GB; the
+    # remaining layers, the LM head, and the scale-zero region go low.
+    split = model.num_layers - model.num_layers // 2
+
+    # Embedding table (FP16 rows, read one row per token) -> high region.
+    emb_size = model.embedding_params() * quant.activation_bits // 8
+    emb_payload = None
+    if qweights is not None:
+        emb_payload = pad_to_beat(qweights.embedding.tobytes())
+        emb_size = len(emb_payload)
+    place("embedding", emb_size, "high", emb_payload)
+
+    # Layer weights and KV space, one interleaved stream per projection.
+    from .weight_layout import encode_weight_stream
+
+    kv_per_layer = 2 * context * model.kv_dim * quant.kv_bits // 8
+    kv_per_layer = -(-kv_per_layer // BUS_BYTES) * BUS_BYTES
+    for layer in range(model.num_layers):
+        region = "high" if layer < split else "low"
+        for proj, size in _layer_stream_bytes(model, quant, spec):
+            payload = None
+            if qweights is not None:
+                result = qweights.projection(layer, proj)
+                payload = encode_weight_stream(result.params, spec)
+                size = len(payload)
+            place(f"weights.layer{layer}.{proj}", size, region, payload)
+        place(f"kv.layer{layer}", kv_per_layer, region)
+
+    # LM head stream -> low region.
+    head_groups = model.vocab_size * (model.hidden_size // group)
+    head_size = spec.stream_bytes(head_groups)
+    head_payload = None
+    if qweights is not None:
+        head_payload = encode_weight_stream(qweights.lm_head.params, spec)
+        head_size = len(head_payload)
+    place("weights.lm_head", head_size, "low", head_payload)
+
+    # Norm weights (FP16, tiny) -> low region.
+    norm_size = model.norm_params() * 2
+    norm_size = -(-norm_size // BUS_BYTES) * BUS_BYTES
+    place("norms", norm_size, "low")
+
+    # KV scale-zero packs -> low region (written in whole bus words).
+    packs = 2 * model.num_layers * model.kv_heads * context
+    pack_bytes = packs * quant.kv_pack_bits // 8
+    pack_bytes = -(-pack_bytes // BUS_BYTES) * BUS_BYTES
+    place("kv.scale_zero", pack_bytes, "low")
+
+    return image

@@ -1,0 +1,37 @@
+"""Quantization: W4A16 group weight quantization (AWQ-style) and KV8.
+
+* :mod:`repro.quant.groupquant` — asymmetric per-group integer quantization
+  with bit-exact code packing (the storage format consumed by
+  :mod:`repro.packing`).
+* :mod:`repro.quant.awq` — activation-aware scale search (Sec. IV-A).
+* :mod:`repro.quant.kv8` — on-the-fly 8-bit KV-cache quantization
+  (Sec. IV-B, Fig. 5C6).
+* :mod:`repro.quant.calibration` — activation statistics collection used
+  by the AWQ search.
+"""
+
+from .awq import AwqResult, awq_quantize_matrix, search_awq_scales
+from .calibration import ActivationStats
+from .groupquant import (
+    GroupQuantParams,
+    dequantize_groups,
+    pack_codes,
+    quantize_groups,
+    unpack_codes,
+)
+from .kv8 import KVQuantParams, kv_dequantize, kv_quantize
+
+__all__ = [
+    "AwqResult",
+    "awq_quantize_matrix",
+    "search_awq_scales",
+    "ActivationStats",
+    "GroupQuantParams",
+    "dequantize_groups",
+    "pack_codes",
+    "quantize_groups",
+    "unpack_codes",
+    "KVQuantParams",
+    "kv_dequantize",
+    "kv_quantize",
+]

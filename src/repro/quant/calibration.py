@@ -1,0 +1,50 @@
+"""Activation statistics for the AWQ scale search.
+
+AWQ (Lin et al.) protects the weight channels that multiply large
+activations.  The statistic it needs is the per-input-channel mean
+absolute activation magnitude observed on calibration data; this module
+provides a small streaming accumulator for it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import QuantizationError
+
+
+class ActivationStats:
+    """Streaming per-channel mean-absolute-value accumulator."""
+
+    def __init__(self, num_channels: int) -> None:
+        if num_channels <= 0:
+            raise QuantizationError("num_channels must be positive")
+        self.num_channels = num_channels
+        self._abs_sum = np.zeros(num_channels, dtype=np.float64)
+        self._count = 0
+
+    def update(self, activations: np.ndarray) -> None:
+        """Accumulate a batch of activations of shape ``(..., channels)``."""
+        acts = np.asarray(activations, dtype=np.float64)
+        if acts.shape[-1] != self.num_channels:
+            raise QuantizationError(
+                f"expected {self.num_channels} channels, got {acts.shape[-1]}"
+            )
+        flat = acts.reshape(-1, self.num_channels)
+        self._abs_sum += np.abs(flat).sum(axis=0)
+        self._count += flat.shape[0]
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def mean_abs(self) -> np.ndarray:
+        """Per-channel mean |activation|; uniform ones if nothing observed."""
+        if self._count == 0:
+            return np.ones(self.num_channels, dtype=np.float64)
+        mean = self._abs_sum / self._count
+        # Channels that were always exactly zero get the global mean so the
+        # AWQ scale search never divides by zero.
+        positive = mean[mean > 0]
+        fill = positive.mean() if positive.size else 1.0
+        return np.where(mean > 0, mean, fill)

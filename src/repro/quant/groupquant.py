@@ -1,0 +1,171 @@
+"""Asymmetric per-group integer weight quantization.
+
+A weight matrix of shape ``(out_features, in_features)`` is quantized in
+groups of ``group_size`` consecutive input channels (the paper uses group
+size 128).  Each group gets an FP16 scale and an integer zero point:
+
+    q = clamp(round(w / scale) + zero, 0, 2**bits - 1)
+    w_hat = (q - zero) * scale
+
+Codes can be packed into a dense byte stream (:func:`pack_codes`) matching
+what the accelerator streams from DDR, and unpacked bit-exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import QuantizationError
+
+
+@dataclass(frozen=True)
+class GroupQuantParams:
+    """Quantized representation of one weight matrix.
+
+    ``codes`` holds unsigned integer codes (one per weight, stored unpacked
+    in a uint8/uint16 array); ``scales`` and ``zeros`` have one entry per
+    (output row, group).
+    """
+
+    codes: np.ndarray  # (out, in) unsigned codes
+    scales: np.ndarray  # (out, n_groups) float16
+    zeros: np.ndarray  # (out, n_groups) integer zero points
+    bits: int
+    group_size: int
+
+    @property
+    def out_features(self) -> int:
+        return self.codes.shape[0]
+
+    @property
+    def in_features(self) -> int:
+        return self.codes.shape[1]
+
+    @property
+    def n_groups(self) -> int:
+        return self.scales.shape[1]
+
+    def storage_bits(self, scale_bits: int = 16, zero_bits: int = 8) -> int:
+        """Total stored bits: codes + per-group scale/zero metadata."""
+        n_weights = self.codes.size
+        n_meta = self.scales.size
+        return n_weights * self.bits + n_meta * (scale_bits + zero_bits)
+
+
+def _check_shape(weights: np.ndarray, group_size: int) -> None:
+    if weights.ndim != 2:
+        raise QuantizationError(f"expected 2-D weights, got shape {weights.shape}")
+    if group_size <= 0:
+        raise QuantizationError(f"group_size must be positive, got {group_size}")
+    if weights.shape[1] % group_size != 0:
+        raise QuantizationError(
+            f"in_features {weights.shape[1]} not divisible by group {group_size}"
+        )
+
+
+def quantize_groups(weights: np.ndarray, bits: int = 4,
+                    group_size: int = 128) -> GroupQuantParams:
+    """Quantize a 2-D weight matrix to asymmetric per-group integers."""
+    weights = np.asarray(weights, dtype=np.float64)
+    _check_shape(weights, group_size)
+    if not (1 <= bits <= 8):
+        raise QuantizationError(f"bits must be in [1, 8], got {bits}")
+
+    out, inp = weights.shape
+    n_groups = inp // group_size
+    grouped = weights.reshape(out, n_groups, group_size)
+
+    qmax = (1 << bits) - 1
+    gmin = grouped.min(axis=2)
+    gmax = grouped.max(axis=2)
+    span = gmax - gmin
+    # Degenerate (constant) groups: pick scale = |v| / qmax and park the
+    # zero point at the far end so (q - zero) * scale reproduces v exactly.
+    degenerate_scale = np.where(np.abs(gmin) > 0, np.abs(gmin) / qmax, 1.0)
+    scale = np.where(span > 0, span / qmax, degenerate_scale)
+    zero = np.where(span > 0,
+                    np.clip(np.round(-gmin / scale), 0, qmax),
+                    np.where(gmin < 0, qmax, 0))
+
+    codes = np.round(grouped / scale[:, :, None]) + zero[:, :, None]
+    codes = np.clip(codes, 0, qmax).astype(np.uint8)
+
+    return GroupQuantParams(
+        codes=codes.reshape(out, inp),
+        scales=scale.astype(np.float16),
+        zeros=zero.astype(np.uint8),
+        bits=bits,
+        group_size=group_size,
+    )
+
+
+def dequantize_groups(params: GroupQuantParams,
+                      dtype=np.float32) -> np.ndarray:
+    """Recover the FP approximation ``(q - zero) * scale`` of the weights."""
+    out, inp = params.codes.shape
+    n_groups = params.n_groups
+    codes = params.codes.reshape(out, n_groups, params.group_size)
+    codes = codes.astype(np.float32)
+    zeros = params.zeros.astype(np.float32)[:, :, None]
+    scales = params.scales.astype(np.float32)[:, :, None]
+    return ((codes - zeros) * scales).reshape(out, inp).astype(dtype)
+
+
+def quantization_error(weights: np.ndarray, params: GroupQuantParams) -> float:
+    """RMS error between the original weights and their dequantization."""
+    w = np.asarray(weights, dtype=np.float64)
+    w_hat = dequantize_groups(params, dtype=np.float64)
+    return float(np.sqrt(np.mean((w - w_hat) ** 2)))
+
+
+# ---------------------------------------------------------------------------
+# Bit packing
+# ---------------------------------------------------------------------------
+
+
+def pack_codes(codes: np.ndarray, bits: int) -> bytes:
+    """Pack unsigned integer codes into a little-endian-bit byte stream.
+
+    Code ``i`` occupies bits ``[i*bits, (i+1)*bits)`` of the stream, LSB
+    first within each byte — the layout a hardware slicer peels apart with
+    simple wiring.  The stream is zero-padded to a whole byte.
+    """
+    codes = np.asarray(codes).reshape(-1)
+    if not (1 <= bits <= 16):
+        raise QuantizationError(f"bits must be in [1, 16], got {bits}")
+    qmax = (1 << bits) - 1
+    if codes.size and (codes.min() < 0 or codes.max() > qmax):
+        raise QuantizationError(f"codes out of range for {bits}-bit packing")
+
+    codes = codes.astype(np.uint32)
+    positions = np.arange(codes.size, dtype=np.int64) * bits
+    total_bits = int(codes.size) * bits
+    n_bytes = (total_bits + 7) // 8
+    out = np.zeros(n_bytes, dtype=np.uint8)
+    for b in range(bits):
+        bit_vals = (codes >> b) & 1
+        bit_pos = positions + b
+        np.bitwise_or.at(out, bit_pos // 8,
+                         (bit_vals << (bit_pos % 8)).astype(np.uint8))
+    return out.tobytes()
+
+
+def unpack_codes(data: bytes, bits: int, count: int) -> np.ndarray:
+    """Inverse of :func:`pack_codes`: recover ``count`` codes from a stream."""
+    if not (1 <= bits <= 16):
+        raise QuantizationError(f"bits must be in [1, 16], got {bits}")
+    raw = np.frombuffer(data, dtype=np.uint8)
+    if raw.size * 8 < count * bits:
+        raise QuantizationError(
+            f"stream of {raw.size} bytes too short for {count} x {bits}-bit codes"
+        )
+    positions = np.arange(count, dtype=np.int64) * bits
+    out = np.zeros(count, dtype=np.uint32)
+    for b in range(bits):
+        bit_pos = positions + b
+        bit_vals = (raw[bit_pos // 8] >> (bit_pos % 8)) & 1
+        out |= bit_vals.astype(np.uint32) << b
+    dtype = np.uint8 if bits <= 8 else np.uint16
+    return out.astype(dtype)

@@ -1,0 +1,85 @@
+"""KV8: on-chip 8-bit linear quantization of the KV cache (Sec. IV-B).
+
+The SPU quantization submodule (Fig. 5C6) makes two passes over each
+freshly generated key/value head vector:
+
+* pass 1 finds ``xmax``/``xmin`` and derives the scale
+  ``s = (xmax - xmin) / 255`` and zero point ``z = ceil(xmin / s)``;
+* pass 2 emits the 8-bit codes ``q = clamp(round(x / s) - z, 0, 255)``.
+
+Dequantization on fetch is ``x_hat = (q + z) * s``.
+
+The quantization range is widened to include zero (``[min(xmin, 0),
+max(xmax, 0)]``), which keeps the zero point in ``[-255, 0]`` so its
+magnitude fits the 8-bit field of the 32-bit scale-zero pack (Fig. 4B:
+16-bit FP16 scale, 8-bit zero, 8-bit pad).  For K/V vectors — which in
+practice always straddle zero — this is identical to the paper's formulas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import QuantizationError
+from ..numerics.fp16 import fp16
+
+
+@dataclass(frozen=True)
+class KVQuantParams:
+    """Scale-zero pair for one quantized key/value head vector."""
+
+    scale: np.float16
+    zero: int  # signed, fits in int8
+
+    def pack_bits(self, scale_bits: int = 16, zero_bits: int = 8,
+                  pad_bits: int = 8) -> int:
+        """Size of the packed scale-zero word (paper: 16 + 8 + 8 = 32)."""
+        return scale_bits + zero_bits + pad_bits
+
+
+def kv_quantize(x: np.ndarray, bits: int = 8) -> tuple[np.ndarray, KVQuantParams]:
+    """Quantize one head vector; returns (codes, scale/zero params)."""
+    x = np.asarray(x, dtype=np.float64).reshape(-1)
+    if x.size == 0:
+        raise QuantizationError("cannot quantize an empty vector")
+    qmax = (1 << bits) - 1
+
+    # Widen the range to include zero so the zero point stays in
+    # [-qmax, 0] (see module docstring).
+    xmin = min(float(x.min()), 0.0)
+    xmax = max(float(x.max()), 0.0)
+    span = xmax - xmin
+    scale = span / qmax if span > 0 else 1.0
+    # The hardware stores the scale in FP16; quantize it first so the codes
+    # are computed against the value the dequantizer will actually use.
+    # Round *up* to the next FP16 value: a scale that rounds down makes
+    # span/scale exceed qmax and clips the top codes (a full-step error).
+    scale16 = float(np.float16(scale)) if scale > 0 else 1.0
+    if scale16 == 0.0:
+        scale16 = float(np.finfo(np.float16).tiny)
+    if scale16 < scale:
+        scale16 = float(np.nextafter(np.float16(scale16),
+                                     np.float16(np.inf)))
+    zero = int(np.ceil(xmin / scale16))
+    zero = max(-qmax, min(0, zero))
+
+    codes = np.clip(np.round(x / scale16) - zero, 0, qmax).astype(np.uint8)
+    return codes, KVQuantParams(scale=np.float16(scale16), zero=zero)
+
+
+def kv_dequantize(codes: np.ndarray, params: KVQuantParams,
+                  dtype=np.float16) -> np.ndarray:
+    """Recover ``(q + z) * s`` in FP16, as the on-the-fly dequantizer does."""
+    q = np.asarray(codes, dtype=np.float32)
+    centered = q + np.float32(params.zero)
+    return fp16(centered * np.float32(params.scale)).astype(dtype)
+
+
+def kv_roundtrip_error(x: np.ndarray, bits: int = 8) -> float:
+    """Max |x - dequant(quant(x))|: ~scale/2 in the interior, up to one
+    full step at the range minimum (the paper ceils the zero point)."""
+    codes, params = kv_quantize(x, bits)
+    x_hat = kv_dequantize(codes, params, dtype=np.float64)
+    return float(np.max(np.abs(np.asarray(x, np.float64).reshape(-1) - x_hat)))

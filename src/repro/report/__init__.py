@@ -1,0 +1,22 @@
+"""Renderers that regenerate the paper's tables and figure series."""
+
+from .figures import (
+    fig1_memory_breakdown,
+    fig2_phase_breakdown,
+    fig3_pipeline_comparison,
+    fig4_arrangement_comparison,
+    fig5_component_throughput,
+)
+from .tables import format_table, table1_resources, table2_fpga, table3_edge
+
+__all__ = [
+    "fig1_memory_breakdown",
+    "fig2_phase_breakdown",
+    "fig3_pipeline_comparison",
+    "fig4_arrangement_comparison",
+    "fig5_component_throughput",
+    "format_table",
+    "table1_resources",
+    "table2_fpga",
+    "table3_edge",
+]

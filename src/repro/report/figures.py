@@ -1,0 +1,152 @@
+"""Data-series generators for the paper's figures.
+
+Each function returns a dict of named series (plus a rendered text block
+where useful) so the benchmarks can assert on the numbers and the examples
+can print them.
+"""
+
+from __future__ import annotations
+
+from ..config import KV260, LLAMA2_7B, ModelConfig, QuantConfig, W4A16_KV8
+from ..core.cyclemodel import CycleModel
+from ..core.pipeline import AttentionPipeline
+from ..memory.ddr import stream_efficiency
+from ..packing.kv_layout import KVScaleZeroFifo
+from ..packing.memimage import build_memory_image
+from ..packing.weight_layout import (
+    WeightLayoutSpec,
+    interleaved_read_transactions,
+    naive_read_transactions,
+)
+from ..units import MIB
+
+
+def fig1_memory_breakdown(model: ModelConfig = LLAMA2_7B,
+                          quant: QuantConfig = W4A16_KV8,
+                          context: int = 1024) -> dict:
+    """Fig. 1: weights / KV / free capacity of the 4 GB DDR."""
+    image = build_memory_image(model, quant, context=context)
+    dram = KV260.dram_bytes
+    weights = image.weight_bytes()
+    kv = image.kv_bytes()
+    return {
+        "weights_mib": weights / MIB,
+        "kv_mib": kv / MIB,
+        "free_mib": (dram - weights - kv) / MIB,
+        "utilization": (weights + kv) / dram,
+        "paper_weights_mib": 3556.0,
+        "paper_kv_mib": 264.0,
+        "paper_utilization": 0.933,
+    }
+
+
+def fig2_phase_breakdown(model: ModelConfig = LLAMA2_7B,
+                         quant: QuantConfig = W4A16_KV8,
+                         prompt_len: int = 64,
+                         new_tokens: int = 64) -> dict:
+    """Fig. 2: prefill (GEMM / TTFT) vs decode (GEMV / TOPT) structure."""
+    cm = CycleModel(model, quant, KV260)
+    prefill = cm.prefill_cycles(prompt_len)
+    decode_steps = [cm.decode_step(prompt_len + i).cycles
+                    for i in range(new_tokens)]
+    freq = KV260.pl_freq_hz
+    # Arithmetic-intensity contrast between the phases: in prefill every
+    # streamed weight multiplies `prompt_len` activations, in decode one.
+    return {
+        "ttft_s": prefill / freq,
+        "topt_s": sum(decode_steps) / len(decode_steps) / freq,
+        "prefill_ops_per_weight": 2 * prompt_len,
+        "decode_ops_per_weight": 2,
+        "decode_tokens_per_s": freq / (sum(decode_steps) / len(decode_steps)),
+    }
+
+
+def fig3_pipeline_comparison(model: ModelConfig = LLAMA2_7B,
+                             quant: QuantConfig = W4A16_KV8,
+                             context: int = 512) -> dict:
+    """Fig. 3: fused head-wise pipeline vs coarse-grained baseline."""
+    pipe = AttentionPipeline(model, quant)
+    fused = pipe.fused_schedule(context)
+    coarse = pipe.coarse_schedule(context)
+    return {
+        "fused_cycles": fused.total_cycles,
+        "coarse_cycles": coarse.total_cycles,
+        "fused_exposed_misc": fused.exposed_misc_cycles,
+        "coarse_exposed_misc": coarse.exposed_misc_cycles,
+        "fused_all_hidden": fused.all_hidden(),
+        "coarse_penalty": coarse.total_cycles / fused.total_cycles - 1.0,
+        "fused_report": fused,
+        "coarse_report": coarse,
+    }
+
+
+def fig4_arrangement_comparison(out_features: int = 4096,
+                                in_features: int = 4096) -> dict:
+    """Fig. 4A: interleaved vs naive-split weight fetch efficiency, and
+    Fig. 4B: KV scale-zero FIFO vs per-pack writes."""
+    from ..memory.ddr import DdrModel
+
+    spec = WeightLayoutSpec()
+    n_groups = out_features * (in_features // spec.group_size)
+
+    inter = DdrModel()
+    inter.run(interleaved_read_transactions(n_groups, spec=spec))
+    naive = DdrModel()
+    naive.run(naive_read_transactions(n_groups, spec=spec))
+
+    # Fig. 4B: pack writes for 64 tokens of a 32-layer, 32-head model.
+    tokens = 64
+    fifo = KVScaleZeroFifo(num_layers=32, num_kv_heads=32)
+    from ..quant.kv8 import KVQuantParams
+    import numpy as np
+
+    for _ in range(tokens):
+        for layer in range(32):
+            for head in range(32):
+                for is_value in (False, True):
+                    fifo.push(layer, head, is_value,
+                              KVQuantParams(np.float16(1.0), 0))
+    fifo.flush_all()  # end of generation: drain partial words too
+    naive_writes = KVScaleZeroFifo.naive_write_count(32, 32, tokens)
+
+    return {
+        "interleaved_efficiency": inter.efficiency(),
+        "naive_efficiency": naive.efficiency(),
+        "efficiency_gain": inter.efficiency() / naive.efficiency(),
+        "fifo_writes": fifo.fifo_write_count(),
+        "naive_pack_writes": naive_writes,
+        "write_reduction": naive_writes / max(1, fifo.fifo_write_count()),
+        "fifo_buffer_bytes": fifo.buffer_bytes(),
+    }
+
+
+def fig5_component_throughput(context: int = 512) -> dict:
+    """Fig. 5: are MCU, VPU, and SPU rate-matched at 300 MHz?"""
+    from ..core.spu import SpuModel
+    from ..core.vpu import VpuSpec
+
+    vpu = VpuSpec()
+    spu = SpuModel()
+    m = LLAMA2_7B
+    return {
+        "mcu_bytes_per_cycle": KV260.bus_bytes_per_cycle,
+        "vpu_weight_bytes_per_cycle": vpu.stream_bytes_per_cycle(4),
+        "rate_matched": KV260.bus_bytes_per_cycle
+        == vpu.stream_bytes_per_cycle(4),
+        "vpu_lanes": vpu.lanes,
+        "spu_softmax_cycles": spu.softmax_cycles(context + 1),
+        "spu_rope_cycles": spu.rope_cycles(m.head_dim),
+        "spu_rmsnorm_cycles": spu.rmsnorm_cycles(m.hidden_size),
+        "spu_quant_cycles": spu.quant_cycles(m.head_dim),
+    }
+
+
+def ddr_burst_curve(burst_sizes=(4, 16, 64, 256, 1024, 4096, 16384, 65536,
+                                 262144, 1048576)) -> dict:
+    """Supporting series: DDR efficiency vs burst size (Sec. V-B's premise)."""
+    scattered = {b: stream_efficiency(max(b * 64, 1 << 20), b,
+                                      stride=b + 8192)
+                 for b in burst_sizes}
+    sequential = {b: stream_efficiency(max(b * 64, 1 << 20), b)
+                  for b in burst_sizes}
+    return {"scattered": scattered, "sequential": sequential}

@@ -1,0 +1,115 @@
+"""Whole-reproduction summary: every headline number in one report.
+
+``reproduction_summary()`` runs the capacity, timing, resource, power, and
+pipeline models and returns a structured record plus a rendered markdown
+block — the programmatic source for EXPERIMENTS.md's headline table and a
+one-call health check that the reproduction still holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import KV260, LLAMA2_7B, ModelConfig, PlatformConfig, QuantConfig, W4A16_KV8
+from ..core.analytical import theoretical_tokens_per_s
+from ..core.cyclemodel import CycleModel
+from ..core.pipeline import AttentionPipeline
+from ..core.power import estimate_power
+from ..core.resources import estimate_resources
+from ..packing.memimage import build_memory_image
+from ..runtime.baremetal import BareMetalSystem
+
+
+@dataclass(frozen=True)
+class HeadlineNumbers:
+    """The reproduction contract, as one record."""
+
+    theoretical_tokens_per_s: float
+    decode_tokens_per_s: float
+    utilization: float
+    weights_mib: float
+    kv_mib: float
+    capacity_utilization: float
+    linux_fits: bool
+    exposed_misc_cycles: float
+    lut: float
+    dsp: float
+    power_w: float
+
+    def matches_paper(self) -> dict[str, bool]:
+        """Per-claim pass/fail against the paper's published values."""
+        return {
+            "theoretical 5.8 token/s":
+                abs(self.theoretical_tokens_per_s - 5.8) < 0.1,
+            "decode ~4.9 token/s":
+                abs(self.decode_tokens_per_s - 4.9) < 0.2,
+            "utilization ~84.5%": abs(self.utilization - 0.845) < 0.02,
+            "weights ~3556 MB": abs(self.weights_mib - 3556) < 40,
+            "KV cache 264 MB": abs(self.kv_mib - 264) < 1,
+            "capacity ~93.3%":
+                abs(self.capacity_utilization - 0.933) < 0.01,
+            "bare-metal required": not self.linux_fits,
+            "no cycle penalties": self.exposed_misc_cycles == 0,
+            "fits at ~2/3 LUT": self.lut < 0.70 * 117_120,
+            "291 DSP": abs(self.dsp - 291) < 3,
+            "6.57 W": abs(self.power_w - 6.57) < 0.15,
+        }
+
+    def all_match(self) -> bool:
+        return all(self.matches_paper().values())
+
+
+def reproduction_summary(model: ModelConfig = LLAMA2_7B,
+                         quant: QuantConfig = W4A16_KV8,
+                         platform: PlatformConfig = KV260,
+                         context: int = 1023) -> HeadlineNumbers:
+    """Run every model once and collect the headline record."""
+    cm = CycleModel(model, quant, platform)
+    step = cm.decode_step(context)
+    image = build_memory_image(model, quant, context=model.max_context)
+    system = BareMetalSystem(platform)
+    pipe = AttentionPipeline(model, quant)
+    resources = estimate_resources(axi_ports=platform.axi_ports)
+    return HeadlineNumbers(
+        theoretical_tokens_per_s=theoretical_tokens_per_s(
+            model, platform, quant.weight_bits),
+        decode_tokens_per_s=step.tokens_per_s,
+        utilization=step.utilization,
+        weights_mib=image.weight_mib(),
+        kv_mib=image.kv_mib(),
+        capacity_utilization=image.capacity_utilization(platform.dram_bytes),
+        linux_fits=system.linux_would_fit(model, quant, model.max_context),
+        exposed_misc_cycles=pipe.fused_schedule(context).exposed_misc_cycles,
+        lut=resources.total.lut,
+        dsp=resources.total.dsp,
+        power_w=estimate_power(resources, platform.pl_freq_hz),
+    )
+
+
+def render_summary(numbers: HeadlineNumbers) -> str:
+    """Markdown block for EXPERIMENTS.md / the CLI."""
+    checks = numbers.matches_paper()
+    lines = [
+        "| Claim | Measured | Matches paper |",
+        "|---|---|---|",
+        f"| theoretical ceiling | {numbers.theoretical_tokens_per_s:.2f} "
+        f"token/s | {checks['theoretical 5.8 token/s']} |",
+        f"| decode speed | {numbers.decode_tokens_per_s:.2f} token/s | "
+        f"{checks['decode ~4.9 token/s']} |",
+        f"| bandwidth utilization | {numbers.utilization:.1%} | "
+        f"{checks['utilization ~84.5%']} |",
+        f"| weights | {numbers.weights_mib:.1f} MiB | "
+        f"{checks['weights ~3556 MB']} |",
+        f"| KV cache | {numbers.kv_mib:.1f} MiB | "
+        f"{checks['KV cache 264 MB']} |",
+        f"| capacity | {numbers.capacity_utilization:.1%} | "
+        f"{checks['capacity ~93.3%']} |",
+        f"| bare-metal required | {not numbers.linux_fits} | "
+        f"{checks['bare-metal required']} |",
+        f"| exposed misc cycles | {numbers.exposed_misc_cycles:.0f} | "
+        f"{checks['no cycle penalties']} |",
+        f"| LUT / DSP | {numbers.lut:.0f} / {numbers.dsp:.0f} | "
+        f"{checks['fits at ~2/3 LUT'] and checks['291 DSP']} |",
+        f"| power | {numbers.power_w:.2f} W | {checks['6.57 W']} |",
+    ]
+    return "\n".join(lines)

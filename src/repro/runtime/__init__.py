@@ -1,0 +1,21 @@
+"""Bare-metal runtime substrate.
+
+* :mod:`repro.runtime.baremetal` — the no-OS memory reservation model
+  behind the paper's 93.3% capacity claim.
+* :mod:`repro.runtime.session` — an end-to-end inference session
+  (tokenizer -> accelerator -> sampler), the PS-side decode program.
+* :mod:`repro.runtime.trace` — cycle-timeline tracing for schedules.
+"""
+
+from .baremetal import BareMetalSystem, LINUX_RESERVED_BYTES
+from .session import InferenceSession, SessionResult
+from .trace import Trace, TraceEvent
+
+__all__ = [
+    "BareMetalSystem",
+    "LINUX_RESERVED_BYTES",
+    "InferenceSession",
+    "SessionResult",
+    "Trace",
+    "TraceEvent",
+]

@@ -1,0 +1,103 @@
+"""Bare-metal capacity model (paper Sec. I, VII-A).
+
+"To fully reserve the memory capacity for model weights and key-value
+cache, we develop the system in a bare-metal environment without an
+operating system."  This module quantifies that choice: a bare-metal
+program costs ~1 MB of compiler-reserved space, while an embedded Linux
+needs hundreds of MB — the difference decides whether LLaMA2-7B fits at
+all on a 4 GB board.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import KV260, ModelConfig, PlatformConfig, QuantConfig
+from ..errors import CapacityError
+from ..units import MIB
+
+BAREMETAL_RESERVED_BYTES = 1 * MIB       # compiler reservation (Sec. VII-A)
+LINUX_RESERVED_BYTES = 600 * MIB         # typical embedded Linux + PYNQ stack
+
+
+@dataclass(frozen=True)
+class CapacityReport:
+    """Whether (and how) a model fits a platform's DRAM."""
+
+    weight_bytes: int
+    kv_bytes: int
+    reserved_bytes: int
+    dram_bytes: int
+    context: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.weight_bytes + self.kv_bytes + self.reserved_bytes
+
+    @property
+    def fits(self) -> bool:
+        return self.total_bytes <= self.dram_bytes
+
+    @property
+    def model_utilization(self) -> float:
+        """Weights + KV as a fraction of raw DRAM (the paper's 93.3%)."""
+        return (self.weight_bytes + self.kv_bytes) / self.dram_bytes
+
+    @property
+    def headroom_bytes(self) -> int:
+        return self.dram_bytes - self.total_bytes
+
+
+class BareMetalSystem:
+    """Capacity accounting for a bare-metal (or OS-hosted) deployment."""
+
+    def __init__(self, platform: PlatformConfig = KV260,
+                 os_reserved_bytes: int = BAREMETAL_RESERVED_BYTES) -> None:
+        self.platform = platform
+        self.os_reserved_bytes = os_reserved_bytes
+
+    def _weight_bytes(self, model: ModelConfig, quant: QuantConfig) -> int:
+        streamed = model.decode_stream_params() - model.norm_params()
+        quantized = int(streamed * quant.effective_weight_bits / 8)
+        fp16 = (model.embedding_params() + model.norm_params()) * 2
+        return quantized + fp16
+
+    def _kv_bytes(self, model: ModelConfig, quant: QuantConfig,
+                  context: int) -> int:
+        payload = context * 2 * model.num_layers * model.kv_dim \
+            * quant.kv_bits // 8
+        packs = context * 2 * model.num_layers * model.kv_heads \
+            * quant.kv_pack_bits // 8
+        return payload + packs
+
+    def capacity_report(self, model: ModelConfig, quant: QuantConfig,
+                        context: int) -> CapacityReport:
+        return CapacityReport(
+            weight_bytes=self._weight_bytes(model, quant),
+            kv_bytes=self._kv_bytes(model, quant, context),
+            reserved_bytes=self.os_reserved_bytes,
+            dram_bytes=self.platform.dram_bytes,
+            context=context,
+        )
+
+    def fits(self, model: ModelConfig, quant: QuantConfig,
+             context: int) -> bool:
+        return self.capacity_report(model, quant, context).fits
+
+    def max_context(self, model: ModelConfig, quant: QuantConfig) -> int:
+        """Largest KV-cache context the remaining capacity supports."""
+        base = self._weight_bytes(model, quant) + self.os_reserved_bytes
+        free = self.platform.dram_bytes - base
+        if free <= 0:
+            raise CapacityError(
+                f"{model.name} weights alone exceed {self.platform.name}'s "
+                "DRAM"
+            )
+        per_token = self._kv_bytes(model, quant, 1)
+        return free // per_token
+
+    def linux_would_fit(self, model: ModelConfig, quant: QuantConfig,
+                        context: int) -> bool:
+        """Could the same deployment survive under embedded Linux?"""
+        hosted = BareMetalSystem(self.platform, LINUX_RESERVED_BYTES)
+        return hosted.fits(model, quant, context)

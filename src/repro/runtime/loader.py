@@ -1,0 +1,91 @@
+"""Model loading: the SD-card -> DDR boot path of the bare-metal system.
+
+The paper's flow (Sec. VII-A): the AutoAWQ checkpoint is converted to the
+proposed format, written to an SD card, and the C bare-metal program
+copies it into DDR at boot.  At SD-card speeds, moving ~3.5 GB dominates
+startup — this module models the boot timeline (and verifies the image
+with checksums, as a careful loader would).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from ..errors import CapacityError, SimulationError
+from ..packing.memimage import MemoryImage
+from ..units import MIB
+
+SD_UHS1_BYTES_PER_S = 40e6   # realistic sustained sequential read, UHS-I
+DDR_COPY_BYTES_PER_S = 3.0e9  # PS-side memcpy into place
+
+
+@dataclass(frozen=True)
+class BootTimeline:
+    """Where the boot seconds go."""
+
+    sd_read_s: float
+    ddr_copy_s: float
+    verify_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.sd_read_s + self.ddr_copy_s + self.verify_s
+
+
+class ModelLoader:
+    """Boot-time model loading: timing and integrity."""
+
+    def __init__(self, sd_bytes_per_s: float = SD_UHS1_BYTES_PER_S,
+                 ddr_bytes_per_s: float = DDR_COPY_BYTES_PER_S) -> None:
+        if sd_bytes_per_s <= 0 or ddr_bytes_per_s <= 0:
+            raise SimulationError("transfer rates must be positive")
+        self.sd_bytes_per_s = sd_bytes_per_s
+        self.ddr_bytes_per_s = ddr_bytes_per_s
+
+    def boot_timeline(self, image: MemoryImage,
+                      verify: bool = True) -> BootTimeline:
+        """Estimated boot time for a memory image."""
+        total = image.total_bytes()
+        if total <= 0:
+            raise CapacityError("empty memory image")
+        sd = total / self.sd_bytes_per_s
+        copy = total / self.ddr_bytes_per_s
+        # CRC pass over everything, at memory-copy speed.
+        check = total / self.ddr_bytes_per_s if verify else 0.0
+        return BootTimeline(sd_read_s=sd, ddr_copy_s=copy, verify_s=check)
+
+    @staticmethod
+    def checksum_regions(image: MemoryImage) -> dict[str, int]:
+        """CRC32 of every materialized region (tiny models only)."""
+        if not image.data:
+            raise SimulationError(
+                "image is virtual (no materialized bytes); build it with "
+                "qweights to checksum"
+            )
+        return {name: zlib.crc32(payload)
+                for name, payload in sorted(image.data.items())}
+
+    @staticmethod
+    def verify_against(image: MemoryImage,
+                       expected: dict[str, int]) -> list[str]:
+        """Names of regions whose bytes do not match ``expected`` CRCs."""
+        actual = ModelLoader.checksum_regions(image)
+        bad = [name for name, crc in expected.items()
+               if actual.get(name) != crc]
+        bad += [name for name in actual if name not in expected]
+        return sorted(bad)
+
+    def describe(self, image: MemoryImage) -> str:
+        """Human-readable boot report."""
+        timeline = self.boot_timeline(image)
+        total_mib = image.total_bytes() / MIB
+        return (
+            f"model image: {total_mib:.0f} MiB "
+            f"({len(image.allocations)} regions)\n"
+            f"  SD read : {timeline.sd_read_s:6.1f} s "
+            f"@ {self.sd_bytes_per_s / 1e6:.0f} MB/s\n"
+            f"  DDR copy: {timeline.ddr_copy_s:6.1f} s\n"
+            f"  verify  : {timeline.verify_s:6.1f} s\n"
+            f"  total   : {timeline.total_s:6.1f} s to first prompt"
+        )

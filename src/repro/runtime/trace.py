@@ -1,0 +1,92 @@
+"""Cycle-timeline tracing: turn schedules into inspectable event lists.
+
+Used by the Fig. 3 benchmark and the examples to render the fused
+pipeline's stage/misc overlap as a text Gantt chart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced interval."""
+
+    name: str
+    start: float
+    duration: float
+    lane: str = "dense"
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+class Trace:
+    """An ordered collection of trace events."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def add(self, name: str, start: float, duration: float,
+            lane: str = "dense") -> None:
+        if duration < 0:
+            raise SimulationError(f"negative duration for event {name!r}")
+        self.events.append(TraceEvent(name, start, duration, lane))
+
+    @classmethod
+    def from_attention_report(cls, report) -> "Trace":
+        """Build a trace from an AttentionLayerReport (dense + misc lanes)."""
+        trace = cls()
+        for stage in report.stages:
+            trace.add(stage.name, stage.start, stage.duration, lane="dense")
+        for misc in report.misc:
+            trace.add(misc.name, misc.window_start, misc.cycles, lane="misc")
+        return trace
+
+    @classmethod
+    def from_token_schedule(cls, schedule) -> "Trace":
+        """Build a trace from a TokenSchedule (one bar per segment)."""
+        trace = cls()
+        t = 0.0
+        for segment in schedule.segments:
+            trace.add(segment.name, t, segment.cycles, lane="dense")
+            if segment.exposed_misc_cycles:
+                trace.add(f"{segment.name}.exposed",
+                          t + segment.cycles - segment.exposed_misc_cycles,
+                          segment.exposed_misc_cycles, lane="misc")
+            t += segment.cycles
+        return trace
+
+    @property
+    def span(self) -> float:
+        if not self.events:
+            return 0.0
+        return max(e.end for e in self.events)
+
+    def lanes(self) -> list[str]:
+        seen: list[str] = []
+        for e in self.events:
+            if e.lane not in seen:
+                seen.append(e.lane)
+        return seen
+
+    def render(self, width: int = 80, max_events: int = 40) -> str:
+        """ASCII Gantt chart: one row per event, bars scaled to the span."""
+        if not self.events:
+            return "(empty trace)"
+        span = self.span or 1.0
+        scale = width / span
+        rows = []
+        label_w = max(len(e.name) for e in self.events[:max_events]) + 2
+        for e in self.events[:max_events]:
+            pad = int(e.start * scale)
+            bar = max(1, int(e.duration * scale))
+            marker = "#" if e.lane == "dense" else "~"
+            rows.append(f"{e.name:<{label_w}}|{' ' * pad}{marker * bar}")
+        if len(self.events) > max_events:
+            rows.append(f"... ({len(self.events) - max_events} more events)")
+        return "\n".join(rows)

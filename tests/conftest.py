@@ -1,0 +1,30 @@
+"""Shared fixtures: tiny synthetic models and their quantized forms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import QuantConfig, TINY_MODEL
+from repro.model.weights import quantize_model, random_weights
+
+
+@pytest.fixture(scope="session")
+def tiny_quant() -> QuantConfig:
+    """Quant config whose group size divides the tiny model's hidden size."""
+    return QuantConfig(weight_group_size=32)
+
+
+@pytest.fixture(scope="session")
+def tiny_weights():
+    return random_weights(TINY_MODEL, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_qweights(tiny_weights, tiny_quant):
+    return quantize_model(tiny_weights, tiny_quant)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

@@ -1,0 +1,96 @@
+"""Top-level accelerator: functional + timing integration."""
+
+import pytest
+
+from repro.config import KV260, LLAMA2_7B, TINY_MODEL, W4A16_KV8
+from repro.core.accelerator import Accelerator
+from repro.errors import SimulationError
+from repro.model.sampler import Sampler
+
+
+@pytest.fixture(scope="module")
+def analytical():
+    return Accelerator.analytical(LLAMA2_7B, W4A16_KV8, KV260)
+
+
+@pytest.fixture(scope="module")
+def functional(tiny_qweights):
+    return Accelerator.from_quantized_weights(tiny_qweights)
+
+
+class TestAnalytical:
+    def test_theoretical_rate(self, analytical):
+        assert analytical.theoretical_tokens_per_s() == pytest.approx(
+            5.8, abs=0.05)
+
+    def test_decode_perf(self, analytical):
+        perf = analytical.decode_perf(1023)
+        assert perf.tokens_per_s == pytest.approx(4.9, abs=0.15)
+
+    def test_decode_without_functional_raises(self, analytical):
+        with pytest.raises(SimulationError):
+            analytical.decode([1, 2], 4)
+
+    def test_resources_and_power(self, analytical):
+        assert analytical.resources().fits()
+        assert analytical.power_w() == pytest.approx(6.57, abs=0.1)
+
+
+class TestFunctional:
+    def test_decode_returns_tokens_and_perf(self, functional):
+        tokens, perf = functional.decode([256, 1, 2], max_new_tokens=4)
+        assert len(tokens) == 4
+        assert perf.new_tokens == 4
+        assert len(perf.decode_cycles) == 4
+        assert perf.tokens_per_s > 0
+
+    def test_perf_has_ttft(self, functional):
+        _, perf = functional.decode([256, 1, 2, 3], max_new_tokens=2)
+        assert perf.ttft_s > 0
+        assert perf.prompt_len == 4
+
+    def test_utilization_known_ceiling(self, functional):
+        _, perf = functional.decode([256, 1], max_new_tokens=2)
+        assert 0 < perf.utilization < 1.2
+
+    def test_sampler_integration(self, functional):
+        sampler = Sampler(temperature=1.0, seed=9)
+        tokens, _ = functional.decode([256, 1, 2], max_new_tokens=4,
+                                      sampler=sampler)
+        assert all(0 <= t < TINY_MODEL.vocab_size for t in tokens)
+
+    def test_empty_prompt_rejected(self, functional):
+        with pytest.raises(SimulationError):
+            functional.decode([], 4)
+
+    def test_stops_at_context_limit(self, functional):
+        prompt = [1] * (TINY_MODEL.max_context - 2)
+        tokens, _ = functional.decode(prompt, max_new_tokens=10)
+        assert len(tokens) <= 2
+
+    def test_perf_without_steps_raises(self, functional):
+        from repro.core.accelerator import DecodePerf
+
+        perf = DecodePerf(prompt_len=1, new_tokens=0, prefill_cycles=100)
+        with pytest.raises(SimulationError):
+            _ = perf.tokens_per_s
+
+
+class TestLatencyPercentiles:
+    def test_percentiles_ordered(self, functional):
+        _, perf = functional.decode([256, 1, 2], max_new_tokens=6)
+        p50 = perf.latency_percentile_s(50)
+        p95 = perf.latency_percentile_s(95)
+        assert 0 < p50 <= p95
+
+    def test_extremes(self, functional):
+        _, perf = functional.decode([256, 1], max_new_tokens=4)
+        assert perf.latency_percentile_s(0) == min(perf.decode_cycles) \
+            / perf.freq_hz
+        assert perf.latency_percentile_s(100) == max(perf.decode_cycles) \
+            / perf.freq_hz
+
+    def test_bad_percentile_rejected(self, functional):
+        _, perf = functional.decode([256, 1], max_new_tokens=2)
+        with pytest.raises(SimulationError):
+            perf.latency_percentile_s(120)

@@ -1,0 +1,92 @@
+"""AWQ activation-aware quantization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantizationError
+from repro.quant.awq import (
+    awq_quantize_matrix,
+    search_awq_scales,
+)
+from repro.quant.groupquant import quantize_groups, dequantize_groups
+
+
+def _outlier_setup(rng, out=16, inp=128):
+    """Weights + activation stats with a strong outlier channel."""
+    w = rng.standard_normal((out, inp)) * 0.05
+    act = np.ones(inp)
+    act[7] = 50.0  # one channel sees huge activations
+    return w, act
+
+
+def test_search_returns_valid_result(rng):
+    w, act = _outlier_setup(rng)
+    res = search_awq_scales(w, act, bits=4, group_size=32)
+    assert 0.0 <= res.alpha <= 1.0
+    assert res.channel_scales.shape == (128,)
+    assert res.params.codes.shape == w.shape
+
+
+def test_awq_beats_plain_rtn_on_outliers(rng):
+    """The whole point of AWQ: activation-weighted output error drops."""
+    w, act = _outlier_setup(rng)
+    res = search_awq_scales(w, act, bits=4, group_size=32)
+
+    plain = quantize_groups(w, 4, 32)
+    w_plain = dequantize_groups(plain, np.float64)
+    dw_plain = (w - w_plain) * act[None, :]
+    plain_err = float(np.mean(dw_plain**2))
+
+    assert res.search_error <= plain_err
+    # With a 50x outlier the improvement should be substantial.
+    assert res.search_error < plain_err * 0.9
+
+
+def test_alpha_zero_is_plain_quantization(rng):
+    w, act = _outlier_setup(rng)
+    res = search_awq_scales(w, act, bits=4, group_size=32,
+                            alpha_grid=(0.0,))
+    assert np.allclose(res.channel_scales, 1.0)
+
+
+def test_effective_weight_close_to_original(rng):
+    w, act = _outlier_setup(rng)
+    res = search_awq_scales(w, act, bits=4, group_size=32)
+    w_eff = res.effective_weight(np.float64)
+    assert np.max(np.abs(w - w_eff)) < 0.05
+
+
+def test_no_stats_falls_back_to_rtn(rng):
+    w = rng.standard_normal((8, 64))
+    res = awq_quantize_matrix(w, None, bits=4, group_size=32)
+    assert res.alpha == 0.0
+    assert np.allclose(res.channel_scales, 1.0)
+
+
+def test_channel_scales_normalized(rng):
+    w, act = _outlier_setup(rng)
+    res = search_awq_scales(w, act, bits=4, group_size=32)
+    # Unit geometric mean keeps the weight magnitude comparable.
+    assert np.exp(np.mean(np.log(res.channel_scales))) == pytest.approx(1.0)
+
+
+def test_rejects_mismatched_stats(rng):
+    with pytest.raises(QuantizationError):
+        search_awq_scales(rng.standard_normal((4, 64)), np.ones(32),
+                          bits=4, group_size=32)
+
+
+def test_rejects_nonpositive_activations(rng):
+    with pytest.raises(QuantizationError):
+        search_awq_scales(rng.standard_normal((4, 64)),
+                          np.zeros(64), bits=4, group_size=32)
+
+
+def test_higher_alpha_protects_outlier_channel(rng):
+    w, act = _outlier_setup(rng)
+    lo = search_awq_scales(w, act, bits=4, group_size=32, alpha_grid=(0.0,))
+    hi = search_awq_scales(w, act, bits=4, group_size=32, alpha_grid=(0.8,))
+    col = 7
+    err_lo = np.abs(lo.effective_weight(np.float64)[:, col] - w[:, col]).max()
+    err_hi = np.abs(hi.effective_weight(np.float64)[:, col] - w[:, col]).max()
+    assert err_hi <= err_lo

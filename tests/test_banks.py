@@ -1,0 +1,95 @@
+"""Multi-bank DDR model and its agreement with the first-order model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.memory.banks import BankedDdrModel, DdrBankParams
+from repro.memory.ddr import stream_efficiency
+
+
+@pytest.fixture()
+def model():
+    return BankedDdrModel()
+
+
+class TestBankMechanics:
+    def test_sequential_stream_is_efficient(self, model):
+        ns = model.stream(0, 1 << 22)
+        assert model.efficiency(ns) > 0.90
+
+    def test_row_hit_needs_no_activate(self, model):
+        model.read_burst(0)
+        activates_before = model.activates
+        model.read_burst(64)  # same 2 KiB page
+        assert model.activates == activates_before
+
+    def test_row_change_activates(self, model):
+        model.read_burst(0)
+        before = model.activates
+        # Same bank, different row: stride = n_banks * row_bytes.
+        p = model.params
+        model.read_burst(p.n_banks * p.row_bytes)
+        assert model.activates == before + 1
+
+    def test_bank_interleave_mapping(self, model):
+        p = model.params
+        b0, _ = model._decode(0)
+        b1, _ = model._decode(p.row_bytes)
+        assert b0 != b1  # consecutive pages land in different banks
+
+    def test_scattered_accesses_are_slow(self, model):
+        seq_model = BankedDdrModel()
+        seq_ns = seq_model.stream(0, 256 * 64)
+        scat_ns = model.scattered(256, stride=1 << 20)
+        assert scat_ns > 3 * seq_ns
+
+    def test_faw_limits_activate_bursts(self):
+        # Hammering different rows of different banks back-to-back must
+        # run slower than tRRD alone would allow (tFAW kicks in).
+        p = DdrBankParams()
+        model = BankedDdrModel(p)
+        end = model.scattered(8, stride=p.row_bytes)
+        lower_bound = 4 * p.t_faw_ns / (1 - p.refresh_overhead) * 0.4
+        assert end > lower_bound
+
+    def test_rejects_bad_sizes(self, model):
+        with pytest.raises(SimulationError):
+            model.stream(0, 0)
+        with pytest.raises(SimulationError):
+            model.scattered(0, 64)
+        with pytest.raises(SimulationError):
+            model.efficiency(0)
+
+
+class TestCrossValidation:
+    """The detailed model justifies the first-order abstraction."""
+
+    def test_streaming_ceiling_agrees(self):
+        banked = BankedDdrModel()
+        ns = banked.stream(0, 1 << 23)
+        detailed = banked.efficiency(ns)
+        simple = stream_efficiency(1 << 23, 1 << 20)
+        assert detailed == pytest.approx(simple, abs=0.04)
+
+    def test_scattered_collapse_agrees(self):
+        banked = BankedDdrModel()
+        ns = banked.scattered(1024, stride=1 << 16)
+        detailed = banked.efficiency(ns)
+        simple = stream_efficiency(1024 * 64, 64, stride=1 << 16)
+        # Both models put scattered 64 B reads at a small fraction of peak.
+        assert detailed < 0.25
+        assert simple < 0.25
+
+    def test_ordering_preserved(self):
+        """Bigger scattered bursts -> better efficiency, in both models."""
+        def banked_eff(burst):
+            m = BankedDdrModel()
+            total = 0.0
+            for i in range(64):
+                addr = i * (burst + (1 << 16))
+                for b in range(burst // 64):
+                    total = m.read_burst(addr + b * 64)
+            return m.efficiency(total / (1 - m.params.refresh_overhead))
+
+        effs = [banked_eff(b) for b in (64, 512, 4096)]
+        assert effs[0] < effs[1] < effs[2]

@@ -1,0 +1,96 @@
+"""Cross-platform bandwidth analysis (Discussion section)."""
+
+import pytest
+
+from repro.baselines.analysis import (
+    bandwidth_for_tokens_per_s,
+    ddr5_projection,
+    efficiency_frontier,
+    max_params_for_capacity,
+)
+from repro.config import LLAMA2_7B
+from repro.errors import ConfigError
+
+
+def test_bandwidth_for_paper_rate():
+    # Inverting the paper's numbers recovers its bandwidth.
+    gbps = bandwidth_for_tokens_per_s(LLAMA2_7B, 4.9, utilization=0.845)
+    assert gbps == pytest.approx(19.2, rel=0.01)
+
+
+def test_bandwidth_for_interactive_rate():
+    # ~10 token/s needs roughly a DDR5-class interface.
+    gbps = bandwidth_for_tokens_per_s(LLAMA2_7B, 10.0)
+    assert 35 < gbps < 45
+
+
+def test_bandwidth_rejects_bad_inputs():
+    with pytest.raises(ConfigError):
+        bandwidth_for_tokens_per_s(LLAMA2_7B, 0)
+    with pytest.raises(ConfigError):
+        bandwidth_for_tokens_per_s(LLAMA2_7B, 5, utilization=0)
+
+
+def test_max_params_4gb_is_about_7b():
+    # The paper's point: 4 GB fits a 7B model at 4-bit and ctx 1024 —
+    # barely.
+    params = max_params_for_capacity(4 * 1024**3)
+    assert 6.5e9 < params < 8e9
+
+
+def test_max_params_scales_with_capacity():
+    p4 = max_params_for_capacity(4 * 1024**3)
+    p8 = max_params_for_capacity(8 * 1024**3)
+    assert p8 == pytest.approx(2 * p4, rel=0.01)
+
+
+def test_max_params_rejects_zero():
+    with pytest.raises(ConfigError):
+        max_params_for_capacity(0)
+
+
+def test_frontier_topped_by_ours():
+    frontier = efficiency_frontier()
+    assert frontier[0].name == "Ours"
+    assert frontier[0].utilization > frontier[1].utilization
+
+
+def test_frontier_sorted_by_utilization():
+    frontier = efficiency_frontier()
+    vals = [p.utilization for p in frontier]
+    assert vals == sorted(vals, reverse=True)
+
+
+def test_ddr5_doubles_decode():
+    projected = ddr5_projection(LLAMA2_7B, ddr5_gbps=38.4)
+    assert projected == pytest.approx(2 * 4.9, rel=0.02)
+
+
+class TestOversizedModels:
+    def test_7b_fits_and_keeps_rate(self):
+        from repro.baselines.analysis import oversized_model_rate
+
+        result = oversized_model_rate(6.61, 4 * 1024**3)
+        assert result["fits"]
+        assert result["tokens_per_s"] == pytest.approx(4.9, abs=0.2)
+
+    def test_13b_collapses_to_storage_speed(self):
+        from repro.baselines.analysis import oversized_model_rate
+
+        result = oversized_model_rate(13.0, 4 * 1024**3)
+        assert not result["fits"]
+        # ~2.4 GB re-read from SD per token: whole seconds per token.
+        assert result["tokens_per_s"] < 0.05
+
+    def test_rate_monotone_in_capacity(self):
+        from repro.baselines.analysis import oversized_model_rate
+
+        small = oversized_model_rate(13.0, 4 * 1024**3)
+        large = oversized_model_rate(13.0, 8 * 1024**3)
+        assert large["tokens_per_s"] > small["tokens_per_s"]
+
+    def test_rejects_bad_sizes(self):
+        from repro.baselines.analysis import oversized_model_rate
+
+        with pytest.raises(ConfigError):
+            oversized_model_rate(0, 1)

@@ -1,0 +1,66 @@
+"""Multi-batch decode analysis (why cloud FPGAs batch and the KV260
+does not — the Chen et al. framing in Sec. II)."""
+
+import pytest
+
+from repro.config import ALVEO_U280, KV260, LLAMA2_7B, W4A16_KV8
+from repro.core.analytical import batched_decode_rate
+from repro.errors import ConfigError
+
+# A U280-class compute capability (~10 TMAC/s of FP16) vs the KV260's
+# single-batch DOT engine.
+U280_MACS = 1e13
+KV260_DOT_MACS = 128 * 300e6  # 128 MACs/cycle at 300 MHz
+
+
+def test_single_batch_matches_roofline():
+    result = batched_decode_rate(LLAMA2_7B, KV260, W4A16_KV8, batch=1,
+                                 context=512,
+                                 compute_macs_per_s=KV260_DOT_MACS)
+    assert result["per_sequence_tokens_per_s"] == pytest.approx(4.9, abs=0.4)
+    assert not result["compute_bound"]
+
+
+def test_kv260_cannot_batch():
+    """The DOT engine computes one sequence per weight pass: batch 2 is
+    already compute-bound, aggregate gain collapses."""
+    one = batched_decode_rate(LLAMA2_7B, KV260, W4A16_KV8, 1, 512,
+                              KV260_DOT_MACS)
+    two = batched_decode_rate(LLAMA2_7B, KV260, W4A16_KV8, 2, 512,
+                              KV260_DOT_MACS)
+    assert two["compute_bound"]
+    assert two["aggregate_tokens_per_s"] < 1.2 * one["aggregate_tokens_per_s"]
+
+
+def test_u280_scales_with_batch():
+    """Cloud FPGAs with real compute get near-linear aggregate speedup."""
+    one = batched_decode_rate(LLAMA2_7B, ALVEO_U280, W4A16_KV8, 1, 512,
+                              U280_MACS)
+    eight = batched_decode_rate(LLAMA2_7B, ALVEO_U280, W4A16_KV8, 8, 512,
+                                U280_MACS)
+    assert eight["aggregate_tokens_per_s"] > \
+        6 * one["aggregate_tokens_per_s"]
+
+
+def test_batching_saturates_at_compute_roof():
+    rates = [batched_decode_rate(LLAMA2_7B, ALVEO_U280, W4A16_KV8, b, 512,
+                                 U280_MACS)["aggregate_tokens_per_s"]
+             for b in (1, 16, 64, 256)]
+    assert rates[-1] < 4 * rates[1]  # sublinear by 64+
+    assert all(a <= b * 1.001 for a, b in zip(rates, rates[1:]))
+
+
+def test_kv_traffic_penalizes_large_batches():
+    shallow = batched_decode_rate(LLAMA2_7B, ALVEO_U280, W4A16_KV8, 64, 64,
+                                  U280_MACS)
+    deep = batched_decode_rate(LLAMA2_7B, ALVEO_U280, W4A16_KV8, 64, 1024,
+                               U280_MACS)
+    assert deep["aggregate_tokens_per_s"] <= \
+        shallow["aggregate_tokens_per_s"]
+
+
+def test_rejects_bad_inputs():
+    with pytest.raises(ConfigError):
+        batched_decode_rate(LLAMA2_7B, KV260, W4A16_KV8, 0, 10, 1e12)
+    with pytest.raises(ConfigError):
+        batched_decode_rate(LLAMA2_7B, KV260, W4A16_KV8, 1, 10, 0)

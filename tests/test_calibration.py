@@ -1,0 +1,54 @@
+"""Activation statistics accumulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantizationError
+from repro.quant.calibration import ActivationStats
+
+
+def test_mean_abs_of_known_batch():
+    stats = ActivationStats(3)
+    stats.update(np.array([[1.0, -2.0, 3.0], [-1.0, 2.0, -3.0]]))
+    assert np.allclose(stats.mean_abs(), [1.0, 2.0, 3.0])
+
+
+def test_streaming_equals_batch(rng):
+    a = rng.standard_normal((10, 8))
+    b = rng.standard_normal((5, 8))
+    streaming = ActivationStats(8)
+    streaming.update(a)
+    streaming.update(b)
+    batch = ActivationStats(8)
+    batch.update(np.concatenate([a, b]))
+    assert np.allclose(streaming.mean_abs(), batch.mean_abs())
+
+
+def test_empty_stats_are_ones():
+    assert np.array_equal(ActivationStats(4).mean_abs(), np.ones(4))
+
+
+def test_zero_channels_get_filled(rng):
+    stats = ActivationStats(4)
+    acts = np.abs(rng.standard_normal((20, 4))) + 0.1
+    acts[:, 2] = 0.0
+    stats.update(acts)
+    mean = stats.mean_abs()
+    assert mean[2] > 0  # never returns a zero that would break AWQ
+
+
+def test_higher_dims_flattened(rng):
+    stats = ActivationStats(8)
+    stats.update(rng.standard_normal((2, 3, 8)))
+    assert stats.count == 6
+
+
+def test_channel_mismatch_raises(rng):
+    stats = ActivationStats(8)
+    with pytest.raises(QuantizationError):
+        stats.update(rng.standard_normal((4, 7)))
+
+
+def test_rejects_zero_channels():
+    with pytest.raises(QuantizationError):
+        ActivationStats(0)

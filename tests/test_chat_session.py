@@ -1,0 +1,67 @@
+"""Multi-turn chat session with KV-budget truncation."""
+
+import pytest
+
+from repro.config import TINY_MODEL
+from repro.errors import SimulationError
+from repro.runtime.session import ChatSession, InferenceSession
+
+
+@pytest.fixture()
+def chat(tiny_qweights):
+    session = InferenceSession(tiny_qweights, check_capacity=False)
+    return ChatSession(session, reserve_for_reply=8)
+
+
+def test_single_turn(chat):
+    result = chat.say("hi", max_new_tokens=4)
+    assert isinstance(result.completion, str)
+    assert len(chat.turns) == 1
+    assert len(chat.history_tokens) > 0
+
+
+def test_history_accumulates(chat):
+    chat.say("a", max_new_tokens=2)
+    len_after_one = len(chat.history_tokens)
+    chat.say("b", max_new_tokens=2)
+    assert len(chat.history_tokens) > len_after_one
+
+
+def test_history_contains_both_sides(chat):
+    result = chat.say("xy", max_new_tokens=3)
+    # user bytes and generated tokens are all in the history
+    assert ord("x") in chat.history_tokens
+    for tok in result.tokens:
+        assert tok in chat.history_tokens
+
+
+def test_truncation_keeps_context_bounded(chat):
+    # TINY_MODEL has a 64-token context; chat long enough to overflow it.
+    for i in range(12):
+        chat.say("hello world", max_new_tokens=4)
+    assert len(chat.history_tokens) <= TINY_MODEL.max_context
+
+
+def test_truncation_drops_oldest(chat):
+    chat.say("A" * 20, max_new_tokens=2)
+    first_history = list(chat.history_tokens)
+    for _ in range(8):
+        chat.say("B" * 10, max_new_tokens=2)
+    # The opening turn's tokens fell off the front.
+    assert chat.history_tokens[: len(first_history)] != first_history
+
+
+def test_oversized_turn_rejected(chat):
+    with pytest.raises(SimulationError):
+        chat.say("x" * (TINY_MODEL.max_context + 10), max_new_tokens=2)
+
+
+def test_bad_reservation_rejected(tiny_qweights):
+    session = InferenceSession(tiny_qweights, check_capacity=False)
+    with pytest.raises(SimulationError):
+        ChatSession(session, reserve_for_reply=0)
+
+
+def test_turns_record_perf(chat):
+    chat.say("q", max_new_tokens=2)
+    assert chat.turns[0].perf.tokens_per_s > 0

@@ -1,0 +1,104 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+def test_info_headline(capsys):
+    code, out = run(capsys, "info", "--context", "1023")
+    assert code == 0
+    assert "5.8" in out          # theoretical ceiling
+    assert "84" in out           # utilization percent
+    assert "6.5" in out or "6.6" in out  # watts
+
+
+def test_info_unknown_model_exits():
+    with pytest.raises(SystemExit):
+        main(["info", "--model", "GPT-9000"])
+
+
+def test_tables(capsys):
+    code, out = run(capsys, "tables", "--context", "512")
+    assert code == 0
+    for token in ("Table I", "Table II", "Table III", "FlightLLM",
+                  "NanoLLM", "KV260"):
+        assert token in out
+
+
+def test_capacity_fits(capsys):
+    code, out = run(capsys, "capacity", "--model", "LLaMA2-7B",
+                    "--context", "1024")
+    assert code == 0
+    assert "FITS" in out
+    assert "93" in out
+
+
+def test_capacity_w8_fails(capsys):
+    code, out = run(capsys, "capacity", "--model", "LLaMA2-7B",
+                    "--weight-bits", "8")
+    assert code == 1
+    assert "DOES NOT FIT" in out
+
+
+def test_sweep(capsys):
+    code, out = run(capsys, "sweep", "--context", "256", "--steps", "4")
+    assert code == 0
+    lines = [l for l in out.splitlines() if l and l[0].isspace() is False]
+    assert any("token/s" in l for l in out.splitlines())
+
+
+def test_sweep_coarse_mode(capsys):
+    code, out = run(capsys, "sweep", "--context", "128", "--steps", "2",
+                    "--mode", "coarse")
+    assert code == 0
+    assert "coarse" in out
+
+
+def test_explore(capsys):
+    code, out = run(capsys, "explore", "--context", "128")
+    assert code == 0
+    assert "pareto" in out
+    assert "128" in out
+
+
+def test_generate(capsys):
+    code, out = run(capsys, "generate", "--tokens", "4")
+    assert code == 0
+    assert "completion" in out
+    assert "token/s" in out
+
+
+def test_generate_sampled(capsys):
+    code, out = run(capsys, "generate", "--tokens", "4",
+                    "--temperature", "0.9")
+    assert code == 0
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_summary_holds(capsys):
+    code, out = run(capsys, "summary")
+    assert code == 0
+    assert "HOLDS" in out
+    assert out.count("True") >= 10
+    assert "False" not in out
+
+
+def test_convert_roundtrip(capsys, tmp_path):
+    out = str(tmp_path / "tiny.ckpt")
+    code = main(["convert", "--out", out])
+    text = capsys.readouterr().out
+    assert code == 0
+    assert "CRCs OK" in text
+    import os
+
+    assert os.path.getsize(out) > 1000

@@ -1,0 +1,129 @@
+"""Model / quant / platform configuration and parameter accounting."""
+
+import pytest
+
+from repro.config import (
+    CHATGLM_6B,
+    GPT2_1_5B,
+    KV260,
+    LLAMA2_7B,
+    MODEL_PRESETS,
+    PLATFORM_PRESETS,
+    TINY_MODEL,
+    TINYLLAMA_1_1B,
+    ModelConfig,
+    PlatformConfig,
+    QuantConfig,
+    W4A16_KV8,
+)
+from repro.errors import ConfigError
+
+
+class TestModelConfig:
+    def test_llama2_7b_total_params(self):
+        # LLaMA2-7B has 6.738e9 parameters.
+        assert LLAMA2_7B.total_params() == pytest.approx(6.74e9, rel=0.01)
+
+    def test_llama2_7b_decode_stream_params(self):
+        # Everything but the embedding table: ~6.61e9.
+        assert LLAMA2_7B.decode_stream_params() == pytest.approx(6.61e9,
+                                                                 rel=0.01)
+
+    def test_llama2_7b_head_dim(self):
+        assert LLAMA2_7B.head_dim == 128
+
+    def test_tinyllama_is_gqa(self):
+        assert TINYLLAMA_1_1B.kv_heads == 4
+        assert TINYLLAMA_1_1B.kv_dim == 4 * 64
+
+    def test_tinyllama_param_count_is_1_1b(self):
+        assert TINYLLAMA_1_1B.total_params() == pytest.approx(1.1e9, rel=0.02)
+
+    def test_gpt2_ties_embeddings(self):
+        assert GPT2_1_5B.lm_head_params() == 0
+        assert GPT2_1_5B.total_params() == pytest.approx(1.56e9, rel=0.05)
+
+    def test_chatglm_param_count(self):
+        assert CHATGLM_6B.total_params() == pytest.approx(6.2e9, rel=0.03)
+
+    def test_kv_bytes_per_token(self):
+        # 2 (K,V) x 32 layers x 4096 dims x 1 byte = 256 KiB.
+        assert LLAMA2_7B.kv_bytes_per_token(8) == 2 * 32 * 4096
+
+    def test_with_context_copies(self):
+        longer = LLAMA2_7B.with_context(2048)
+        assert longer.max_context == 2048
+        assert LLAMA2_7B.max_context == 1024
+
+    def test_rejects_indivisible_heads(self):
+        with pytest.raises(ConfigError):
+            ModelConfig(name="bad", hidden_size=100, num_layers=1,
+                        num_heads=3, intermediate_size=64, vocab_size=10)
+
+    def test_rejects_bad_gqa_grouping(self):
+        with pytest.raises(ConfigError):
+            ModelConfig(name="bad", hidden_size=64, num_layers=1,
+                        num_heads=4, num_kv_heads=3,
+                        intermediate_size=64, vocab_size=300)
+
+    def test_layer_params_split(self):
+        assert LLAMA2_7B.layer_params() == (LLAMA2_7B.attention_params()
+                                            + LLAMA2_7B.mlp_params())
+
+    def test_presets_registry(self):
+        assert MODEL_PRESETS["LLaMA2-7B"] is LLAMA2_7B
+        assert "tiny-test" in MODEL_PRESETS
+
+
+class TestQuantConfig:
+    def test_default_is_w4a16_kv8(self):
+        assert W4A16_KV8.weight_bits == 4
+        assert W4A16_KV8.activation_bits == 16
+        assert W4A16_KV8.kv_bits == 8
+
+    def test_effective_weight_bits(self):
+        # 4 + (16 + 8) / 128 = 4.1875 stored bits per weight.
+        assert W4A16_KV8.effective_weight_bits == pytest.approx(4.1875)
+
+    def test_fp16_weights_have_no_overhead(self):
+        assert QuantConfig(weight_bits=16,
+                           kv_bits=16).effective_weight_bits == 16
+
+    def test_kv_pack_is_32_bits(self):
+        # Fig. 4B: 16-bit scale + 8-bit zero + 8-bit pad.
+        assert W4A16_KV8.kv_pack_bits == 32
+
+    def test_levels(self):
+        assert W4A16_KV8.weight_levels() == 15
+        assert W4A16_KV8.kv_levels() == 255
+
+    def test_rejects_odd_weight_bits(self):
+        with pytest.raises(ConfigError):
+            QuantConfig(weight_bits=5)
+
+    def test_rejects_bad_kv_bits(self):
+        with pytest.raises(ConfigError):
+            QuantConfig(kv_bits=3)
+
+
+class TestPlatformConfig:
+    def test_kv260_bandwidth(self):
+        assert KV260.bandwidth_bytes_per_s == pytest.approx(19.2e9)
+
+    def test_kv260_axi_matches_ddr(self):
+        # 4 ports x 128 bit x 300 MHz = 19.2 GB/s, exactly the DDR peak.
+        assert KV260.port_bandwidth_bytes_per_s == pytest.approx(19.2e9)
+
+    def test_kv260_bus_bytes_per_cycle(self):
+        assert KV260.bus_bytes_per_cycle == 64
+
+    def test_kv260_reservation(self):
+        assert KV260.usable_bytes() == KV260.dram_bytes - 1024 * 1024
+
+    def test_platform_presets(self):
+        assert PLATFORM_PRESETS["KV260"] is KV260
+        assert PLATFORM_PRESETS["Jetson AGX Orin"].bandwidth_gbps == 204.8
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ConfigError):
+            PlatformConfig(name="bad", dram_bytes=1, bandwidth_gbps=0)

@@ -1,0 +1,82 @@
+"""Cycle model: the paper's headline decode numbers."""
+
+import pytest
+
+from repro.config import (
+    KV260,
+    LLAMA2_7B,
+    RASPBERRY_PI_4B,
+    TINYLLAMA_1_1B,
+    W4A16_KV8,
+)
+from repro.core.cyclemodel import CycleModel
+from repro.errors import SimulationError
+
+
+@pytest.fixture(scope="module")
+def cm():
+    return CycleModel(LLAMA2_7B, W4A16_KV8, KV260)
+
+
+class TestHeadlineNumbers:
+    def test_decode_speed_at_full_context(self, cm):
+        """Paper: ~4.9 token/s."""
+        step = cm.decode_step(1023, "fused")
+        assert step.tokens_per_s == pytest.approx(4.9, abs=0.15)
+
+    def test_utilization_at_full_context(self, cm):
+        """Paper: 84.5% of the bandwidth-bound ceiling."""
+        step = cm.decode_step(1023, "fused")
+        assert step.utilization == pytest.approx(0.845, abs=0.02)
+
+    def test_decode_speed_around_5(self, cm):
+        """Paper abstract: 'around 5 token/s'."""
+        for ctx in (128, 512, 1023):
+            assert 4.7 < cm.decode_step(ctx).tokens_per_s < 5.4
+
+    def test_utilization_above_80_everywhere(self, cm):
+        for ctx in (0, 256, 512, 1023):
+            assert cm.decode_step(ctx).utilization > 0.80
+
+
+class TestModelBehaviour:
+    def test_speed_decreases_with_context(self, cm):
+        sweep = cm.context_sweep([0, 256, 512, 1023])
+        rates = [s.tokens_per_s for s in sweep]
+        assert all(a > b for a, b in zip(rates, rates[1:]))
+
+    def test_coarse_mode_slower(self, cm):
+        fused = cm.decode_step(512, "fused")
+        coarse = cm.decode_step(512, "coarse")
+        assert coarse.tokens_per_s < fused.tokens_per_s
+        assert coarse.exposed_misc_cycles > fused.exposed_misc_cycles
+
+    def test_average_decode_between_extremes(self, cm):
+        avg = cm.average_decode(prompt_len=16, n_tokens=64)
+        lo = cm.decode_step(79).tokens_per_s
+        hi = cm.decode_step(16).tokens_per_s
+        assert lo <= avg.tokens_per_s <= hi
+
+    def test_prefill_scales_with_prompt(self, cm):
+        # The simple DOT engine restreams weights per prompt token.
+        one = cm.prefill_cycles(1)
+        four = cm.prefill_cycles(4)
+        assert four == pytest.approx(4 * one, rel=0.02)
+
+    def test_average_rejects_zero_tokens(self, cm):
+        with pytest.raises(SimulationError):
+            cm.average_decode(0, 0)
+
+    def test_tinyllama_utilization_lower_than_7b(self, cm):
+        """Smaller weight streams amortize overheads worse."""
+        tiny = CycleModel(TINYLLAMA_1_1B, W4A16_KV8, KV260)
+        assert tiny.decode_step(512).utilization < \
+            cm.decode_step(512).utilization
+
+    def test_non_fpga_platform_rejected(self):
+        with pytest.raises(SimulationError):
+            CycleModel(LLAMA2_7B, W4A16_KV8, RASPBERRY_PI_4B)
+
+    def test_transfer_bytes_reported(self, cm):
+        step = cm.decode_step(512)
+        assert 3.4e9 < step.transfer_bytes < 3.8e9

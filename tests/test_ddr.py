@@ -1,0 +1,109 @@
+"""DDR4 burst-efficiency timing model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.memory.ddr import (
+    DdrModel,
+    DdrTimingParams,
+    Transaction,
+    stream_efficiency,
+)
+
+
+class TestTransaction:
+    def test_valid(self):
+        t = Transaction(address=0, size=64)
+        assert not t.is_write
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(SimulationError):
+            Transaction(address=0, size=0)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(SimulationError):
+            Transaction(address=-1, size=64)
+
+
+class TestDdrModel:
+    def test_large_sequential_stream_is_efficient(self):
+        assert stream_efficiency(1 << 25, 1 << 20) > 0.93
+
+    def test_scattered_small_reads_are_terrible(self):
+        assert stream_efficiency(1 << 14, 4, stride=8192) < 0.01
+
+    def test_efficiency_monotonic_in_burst_size(self):
+        sizes = [64, 256, 1024, 4096, 65536]
+        effs = [stream_efficiency(1 << 22, b, stride=b + 8192)
+                for b in sizes]
+        assert all(a < b for a, b in zip(effs, effs[1:]))
+
+    def test_efficiency_never_exceeds_one(self):
+        assert stream_efficiency(1 << 24, 1 << 22) < 1.0
+
+    def test_contiguous_beats_scattered_at_same_size(self):
+        seq = stream_efficiency(1 << 20, 4096)
+        scat = stream_efficiency(1 << 20, 4096, stride=4096 + 8192)
+        assert seq > scat
+
+    def test_row_miss_counting(self):
+        model = DdrModel()
+        model.access(Transaction(address=0, size=64))
+        model.access(Transaction(address=1 << 20, size=64))  # far away
+        assert model.row_misses == 2
+
+    def test_contiguous_continuation_no_extra_miss(self):
+        model = DdrModel()
+        model.access(Transaction(address=0, size=64))
+        model.access(Transaction(address=64, size=64))
+        assert model.row_misses == 1
+
+    def test_turnaround_counted(self):
+        model = DdrModel()
+        model.access(Transaction(address=0, size=64, is_write=False))
+        model.access(Transaction(address=64, size=64, is_write=True))
+        assert model.turnarounds == 1
+
+    def test_sub_burst_reads_waste_slots(self):
+        # 4-byte reads still occupy 64-byte slots.
+        model = DdrModel()
+        model.access(Transaction(address=0, size=4))
+        tiny = model.busy_ns
+        model.reset()
+        model.access(Transaction(address=0, size=64))
+        full = model.busy_ns
+        assert tiny == full
+
+    def test_refresh_overhead_applied(self):
+        model = DdrModel()
+        model.access(Transaction(address=0, size=1 << 20))
+        assert model.total_ns > model.busy_ns
+
+    def test_no_transactions_raises(self):
+        with pytest.raises(SimulationError):
+            DdrModel().achieved_bytes_per_s()
+
+    def test_peak_bandwidth_param_respected(self):
+        slow = DdrTimingParams(peak_bytes_per_s=9.6e9)
+        fast = DdrTimingParams(peak_bytes_per_s=19.2e9)
+        a = DdrModel(slow)
+        a.access(Transaction(address=0, size=1 << 20))
+        b = DdrModel(fast)
+        b.access(Transaction(address=0, size=1 << 20))
+        assert a.total_ns > b.total_ns
+
+    def test_stream_efficiency_rejects_bad_sizes(self):
+        with pytest.raises(SimulationError):
+            stream_efficiency(0, 64)
+
+
+@given(st.integers(min_value=6, max_value=20))
+@settings(max_examples=20, deadline=None)
+def test_efficiency_increases_with_scattered_burst_size(log_burst):
+    small = stream_efficiency(1 << 22, 1 << log_burst,
+                              stride=(1 << log_burst) + 8192)
+    bigger = stream_efficiency(1 << 22, 1 << (log_burst + 1),
+                               stride=(1 << (log_burst + 1)) + 8192)
+    assert bigger >= small

@@ -1,0 +1,45 @@
+"""Error hierarchy and miscellaneous coverage."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in ("ConfigError", "QuantizationError", "LayoutError",
+                 "CapacityError", "ScheduleError", "SimulationError"):
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.ReproError)
+
+
+def test_single_except_catches_everything():
+    with pytest.raises(errors.ReproError):
+        raise errors.CapacityError("full")
+
+
+def test_errors_are_not_interchangeable():
+    assert not issubclass(errors.ConfigError, errors.LayoutError)
+
+
+def test_package_version():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_public_api_importable():
+    import repro
+
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_core_public_api_importable():
+    import repro.core as core
+
+    for name in core.__all__:
+        assert hasattr(core, name), name
+
+
+def test_cli_reachable_as_module():
+    import repro.__main__  # noqa: F401  (import side effects only)

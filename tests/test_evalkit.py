@@ -1,0 +1,145 @@
+"""Quantization-quality metrics and harness."""
+
+import numpy as np
+import pytest
+
+from repro.config import TINY_MODEL, QuantConfig
+from repro.errors import SimulationError
+from repro.evalkit.harness import (
+    collect_activation_stats,
+    compare_quant_configs,
+    evaluate_pair,
+    synthetic_corpus,
+)
+from repro.evalkit.metrics import (
+    cross_entropy,
+    kl_divergence,
+    perplexity,
+    topk_agreement,
+)
+
+
+class TestMetrics:
+    def test_cross_entropy_uniform(self):
+        logits = np.zeros(10)
+        assert cross_entropy(logits, 3) == pytest.approx(np.log(10))
+
+    def test_cross_entropy_confident(self):
+        logits = np.full(10, -100.0)
+        logits[2] = 100.0
+        assert cross_entropy(logits, 2) == pytest.approx(0.0, abs=1e-6)
+
+    def test_cross_entropy_bad_target(self):
+        with pytest.raises(SimulationError):
+            cross_entropy(np.zeros(4), 7)
+
+    def test_perplexity_of_uniform(self):
+        nlls = [np.log(10)] * 5
+        assert perplexity(nlls) == pytest.approx(10.0)
+
+    def test_perplexity_empty_raises(self):
+        with pytest.raises(SimulationError):
+            perplexity([])
+
+    def test_kl_self_is_zero(self, rng):
+        logits = rng.standard_normal(32)
+        assert kl_divergence(logits, logits) == pytest.approx(0.0, abs=1e-12)
+
+    def test_kl_nonnegative(self, rng):
+        for _ in range(10):
+            a = rng.standard_normal(16)
+            b = rng.standard_normal(16)
+            assert kl_divergence(a, b) >= 0
+
+    def test_kl_shape_mismatch(self, rng):
+        with pytest.raises(SimulationError):
+            kl_divergence(rng.standard_normal(4), rng.standard_normal(5))
+
+    def test_topk_agreement_identical(self, rng):
+        logits = rng.standard_normal(64)
+        assert topk_agreement(logits, logits, k=5) == 1.0
+
+    def test_topk_agreement_disjoint(self):
+        a = np.arange(10.0)
+        b = np.arange(10.0)[::-1].copy()
+        assert topk_agreement(a, b, k=3) == 0.0
+
+    def test_topk_rejects_bad_k(self, rng):
+        with pytest.raises(SimulationError):
+            topk_agreement(rng.standard_normal(4), rng.standard_normal(4), 0)
+
+
+class TestCorpus:
+    def test_shape(self):
+        corpus = synthetic_corpus(100, n_sequences=3, length=8, seed=1)
+        assert len(corpus) == 3
+        assert all(len(seq) == 8 for seq in corpus)
+        assert all(0 <= t < 100 for seq in corpus for t in seq)
+
+    def test_zipf_skew(self):
+        corpus = synthetic_corpus(1000, n_sequences=20, length=50, seed=2)
+        flat = [t for seq in corpus for t in seq]
+        # Zipf: low-rank tokens dominate.
+        assert sum(1 for t in flat if t < 100) > len(flat) * 0.5
+
+    def test_deterministic(self):
+        a = synthetic_corpus(50, 2, 5, seed=3)
+        b = synthetic_corpus(50, 2, 5, seed=3)
+        assert a == b
+
+    def test_rejects_empty(self):
+        with pytest.raises(SimulationError):
+            synthetic_corpus(50, 0, 5)
+
+
+class TestHarness:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return synthetic_corpus(TINY_MODEL.vocab_size, n_sequences=2,
+                                length=6, seed=5)
+
+    def test_evaluate_pair_basic(self, tiny_weights, corpus):
+        result = evaluate_pair(tiny_weights, QuantConfig(weight_group_size=32),
+                               corpus)
+        assert result.ref_perplexity > 0
+        assert result.quant_perplexity > 0
+        assert 0 <= result.top5_agreement <= 1
+        assert result.mean_kl >= 0
+
+    def test_quant_quality_close_to_reference(self, tiny_weights, corpus):
+        result = evaluate_pair(tiny_weights, QuantConfig(weight_group_size=32),
+                               corpus)
+        # W4A16+KV8 stays within a few percent of reference perplexity.
+        assert abs(result.perplexity_delta) < 0.10
+        assert result.top5_agreement > 0.6
+
+    def test_kv4_worse_than_kv8(self, tiny_weights, corpus):
+        """The Sec. IV-B claim that KV8 preserves quality better."""
+        results = compare_quant_configs(
+            tiny_weights,
+            {"KV8": QuantConfig(weight_group_size=32, kv_bits=8),
+             "KV4": QuantConfig(weight_group_size=32, kv_bits=4)},
+            corpus)
+        assert results["KV4"].mean_kl > results["KV8"].mean_kl
+
+    def test_w8_better_than_w4(self, tiny_weights, corpus):
+        results = compare_quant_configs(
+            tiny_weights,
+            {"W4": QuantConfig(weight_bits=4, weight_group_size=32),
+             "W8": QuantConfig(weight_bits=8, weight_group_size=32)},
+            corpus)
+        assert results["W8"].mean_kl < results["W4"].mean_kl
+
+    def test_activation_stats_collection(self, tiny_weights):
+        corpus = synthetic_corpus(TINY_MODEL.vocab_size, 1, 3, seed=6)
+        stats = collect_activation_stats(tiny_weights, corpus)
+        assert "layer0.wq" in stats
+        assert "lm_head" in stats
+        assert "layer0.w_down" in stats
+        assert stats["layer0.wq"].count > 0
+        assert stats["layer0.w_down"].num_channels == \
+            TINY_MODEL.intermediate_size
+
+    def test_empty_corpus_rejected(self, tiny_weights):
+        with pytest.raises(SimulationError):
+            evaluate_pair(tiny_weights, QuantConfig(weight_group_size=32), [])

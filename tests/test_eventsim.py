@@ -1,0 +1,98 @@
+"""Beat-accurate event simulation vs the analytical pipeline model."""
+
+import pytest
+
+from repro.config import LLAMA2_7B, TINYLLAMA_1_1B, W4A16_KV8
+from repro.core.eventsim import BeatSimulator, EventQueue, StreamSegment
+from repro.core.pipeline import AttentionPipeline
+from repro.errors import SimulationError
+
+
+class TestEventQueue:
+    def test_ordering(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(5, lambda: order.append("b"))
+        queue.schedule(1, lambda: order.append("a"))
+        queue.schedule(9, lambda: order.append("c"))
+        end = queue.run()
+        assert order == ["a", "b", "c"]
+        assert end == 9
+
+    def test_fifo_at_equal_times(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(1, lambda: order.append(1))
+        queue.schedule(1, lambda: order.append(2))
+        queue.run()
+        assert order == [1, 2]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().schedule(-1, lambda: None)
+
+    def test_nested_scheduling(self):
+        queue = EventQueue()
+        seen = []
+
+        def first():
+            seen.append("first")
+            queue.schedule(3, lambda: seen.append("second"))
+
+        queue.schedule(1, first)
+        end = queue.run()
+        assert seen == ["first", "second"]
+        assert end == 4
+
+
+class TestBeatSimulator:
+    @pytest.fixture(scope="class")
+    def sim(self):
+        return BeatSimulator(LLAMA2_7B, W4A16_KV8)
+
+    @pytest.fixture(scope="class")
+    def pipe(self):
+        return AttentionPipeline(LLAMA2_7B, W4A16_KV8)
+
+    def test_agrees_with_analytical_model(self, sim, pipe):
+        """The core cross-validation: beat-level simulation lands within
+        a few percent of the closed-form stage schedule."""
+        for ctx in (0, 128, 512, 1023):
+            beat = sim.attention_layer_cycles(ctx)["cycles"]
+            analytic = pipe.fused_schedule(ctx).total_cycles
+            assert beat == pytest.approx(analytic, rel=0.05), ctx
+
+    def test_no_stalls_for_7b(self, sim):
+        """The simulated interlock agrees with 'no cycle penalties'."""
+        for ctx in (64, 512, 1023):
+            assert sim.attention_layer_cycles(ctx)["stall_cycles"] == \
+                pytest.approx(0.0, abs=1e-6), ctx
+
+    def test_beats_match_traffic(self, sim):
+        stats = sim.attention_layer_cycles(256)
+        # Weight beats of one attention layer: 4 x 4096 x 4096 weights.
+        weight_bytes = LLAMA2_7B.attention_params() \
+            * W4A16_KV8.effective_weight_bits / 8
+        kv_bytes = 2 * 256 * (LLAMA2_7B.kv_dim
+                              + LLAMA2_7B.kv_heads * 4)
+        expected = (weight_bytes + kv_bytes) / 64
+        assert stats["beats"] == pytest.approx(expected, rel=0.01)
+
+    def test_cycles_grow_with_context(self, sim):
+        a = sim.attention_layer_cycles(64)["cycles"]
+        b = sim.attention_layer_cycles(768)["cycles"]
+        assert b > a
+
+    def test_gqa_model_simulates(self):
+        sim = BeatSimulator(TINYLLAMA_1_1B, W4A16_KV8)
+        stats = sim.attention_layer_cycles(256)
+        assert stats["cycles"] > 0
+
+    def test_artificial_stall_detected(self, sim):
+        """A segment with absurd misc work must show up as a stall."""
+        segments = [StreamSegment("dense", beats=100, compute_cycles=100,
+                                  misc_cycles=10_000),
+                    StreamSegment("next", beats=100, compute_cycles=100)]
+        stats = sim.simulate(segments)
+        assert stats["stall_cycles"] > 0
+        assert stats["cycles"] > 10_000

@@ -1,0 +1,114 @@
+"""Design-space exploration and the boot loader model."""
+
+import pytest
+
+from repro.config import LLAMA2_7B, TINY_MODEL, W4A16_KV8, QuantConfig
+from repro.core.explore import (
+    evaluate_design,
+    paper_design_point,
+    pareto_frontier,
+    sweep_design_space,
+)
+from repro.errors import ConfigError, SimulationError
+from repro.packing.memimage import build_memory_image
+from repro.runtime.loader import ModelLoader
+
+
+class TestDesignSpace:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return sweep_design_space(LLAMA2_7B, W4A16_KV8,
+                                  lanes_options=(64, 128, 256),
+                                  port_options=(2, 4),
+                                  freq_options=(200e6, 300e6),
+                                  context=256)
+
+    def test_paper_point_saturates(self):
+        point = paper_design_point(LLAMA2_7B, W4A16_KV8, context=256)
+        assert point.fits
+        assert point.utilization > 0.85
+        assert point.tokens_per_s == pytest.approx(5.2, abs=0.2)
+
+    def test_paper_point_on_frontier(self, sweep):
+        frontier = pareto_frontier(sweep)
+        assert any(p.lanes == 128 and p.axi_ports == 4
+                   and p.freq_mhz == 300 for p in frontier)
+
+    def test_frontier_monotone(self, sweep):
+        frontier = pareto_frontier(sweep)
+        rates = [p.tokens_per_s for p in frontier]
+        powers = [p.power_w for p in frontier]
+        assert all(a <= b for a, b in zip(rates, rates[1:]))
+        assert all(a <= b for a, b in zip(powers, powers[1:]))
+
+    def test_frontier_is_feasible_subset(self, sweep):
+        frontier = pareto_frontier(sweep)
+        assert frontier
+        assert all(p.fits for p in frontier)
+
+    def test_more_lanes_beyond_128_useless(self, sweep):
+        by_cfg = {(p.lanes, p.axi_ports, p.freq_mhz): p for p in sweep}
+        p128 = by_cfg[(128, 4, 300.0)]
+        p256 = by_cfg[(256, 4, 300.0)]
+        assert p256.tokens_per_s == pytest.approx(p128.tokens_per_s,
+                                                  rel=0.01)
+        assert p256.power_w > p128.power_w
+
+    def test_fewer_ports_throttle(self, sweep):
+        by_cfg = {(p.lanes, p.axi_ports, p.freq_mhz): p for p in sweep}
+        assert by_cfg[(128, 2, 300.0)].tokens_per_s < \
+            0.6 * by_cfg[(128, 4, 300.0)].tokens_per_s
+
+    def test_tokens_per_joule(self):
+        point = paper_design_point(LLAMA2_7B, W4A16_KV8)
+        assert point.tokens_per_joule == pytest.approx(
+            point.tokens_per_s / point.power_w)
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ConfigError):
+            evaluate_design(LLAMA2_7B, W4A16_KV8, freq_hz=0)
+
+
+class TestModelLoader:
+    @pytest.fixture(scope="class")
+    def llama_image(self):
+        return build_memory_image(LLAMA2_7B, W4A16_KV8, context=1024)
+
+    def test_boot_dominated_by_sd(self, llama_image):
+        timeline = ModelLoader().boot_timeline(llama_image)
+        assert timeline.sd_read_s > 0.8 * timeline.total_s
+        # ~4 GB at 40 MB/s: boot takes on the order of 100 seconds.
+        assert 60 < timeline.total_s < 300
+
+    def test_faster_card_helps(self, llama_image):
+        slow = ModelLoader(sd_bytes_per_s=20e6).boot_timeline(llama_image)
+        fast = ModelLoader(sd_bytes_per_s=90e6).boot_timeline(llama_image)
+        assert fast.total_s < slow.total_s
+
+    def test_describe_renders(self, llama_image):
+        text = ModelLoader().describe(llama_image)
+        assert "SD read" in text and "total" in text
+
+    def test_checksums_roundtrip(self, tiny_qweights, tiny_quant):
+        image = build_memory_image(TINY_MODEL, tiny_quant, context=64,
+                                   qweights=tiny_qweights)
+        crcs = ModelLoader.checksum_regions(image)
+        assert ModelLoader.verify_against(image, crcs) == []
+
+    def test_corruption_detected(self, tiny_qweights, tiny_quant):
+        image = build_memory_image(TINY_MODEL, tiny_quant, context=64,
+                                   qweights=tiny_qweights)
+        crcs = ModelLoader.checksum_regions(image)
+        name = "weights.layer0.wq"
+        corrupted = bytearray(image.data[name])
+        corrupted[0] ^= 0xFF
+        image.data[name] = bytes(corrupted)
+        assert ModelLoader.verify_against(image, crcs) == [name]
+
+    def test_virtual_image_cannot_checksum(self, llama_image):
+        with pytest.raises(SimulationError):
+            ModelLoader.checksum_regions(llama_image)
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(SimulationError):
+            ModelLoader(sd_bytes_per_s=0)

@@ -1,0 +1,75 @@
+"""Piecewise-LUT exponential unit."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.numerics.explut import ExpLut, lut_softmax
+from repro.numerics.softmax import reference_softmax
+
+
+@pytest.fixture(scope="module")
+def lut():
+    return ExpLut(depth=1024)
+
+
+def test_exp_zero_is_one(lut):
+    assert float(lut.exp(0.0)) == 1.0
+
+
+def test_exp_ln2_is_two(lut):
+    assert float(lut.exp(np.log(2.0))) == pytest.approx(2.0, rel=2e-3)
+
+
+def test_matches_numpy_over_range(lut):
+    xs = np.linspace(-8, 8, 500)
+    approx = lut.exp(xs).astype(np.float64)
+    exact = np.exp(np.float16(xs).astype(np.float64))
+    rel = np.abs(approx - exact) / np.maximum(exact, 1e-10)
+    assert np.max(rel) < 3e-3
+
+
+def test_relative_error_bound(lut):
+    assert lut.max_relative_error() < 3e-3
+
+
+def test_deeper_lut_is_more_accurate():
+    coarse = ExpLut(depth=64).max_relative_error()
+    fine = ExpLut(depth=4096).max_relative_error()
+    assert fine < coarse
+
+
+def test_negative_underflow_is_zero(lut):
+    assert float(lut.exp(-30.0)) == 0.0
+
+
+def test_saturates_instead_of_inf(lut):
+    out = float(lut.exp(100.0))
+    assert np.isfinite(out)
+    assert out == pytest.approx(65504.0)
+
+
+def test_rejects_bad_depth():
+    with pytest.raises(ConfigError):
+        ExpLut(depth=1000)
+
+
+class TestLutSoftmax:
+    def test_sums_to_one(self, rng, lut):
+        probs = lut_softmax(rng.standard_normal(64), lut).astype(np.float64)
+        assert probs.sum() == pytest.approx(1.0, abs=0.02)
+
+    def test_close_to_reference(self, rng, lut):
+        x = rng.standard_normal(48) * 3
+        got = lut_softmax(x, lut).astype(np.float64)
+        ref = reference_softmax(np.float16(x).astype(np.float64))
+        assert np.max(np.abs(got - ref)) < 6e-3
+
+    def test_empty_raises(self, lut):
+        with pytest.raises(SimulationError):
+            lut_softmax([], lut)
+
+    def test_argmax_preserved(self, rng, lut):
+        x = rng.standard_normal(32)
+        got = lut_softmax(x, lut).astype(np.float64)
+        assert int(np.argmax(got)) == int(np.argmax(x))

@@ -1,0 +1,126 @@
+"""Group quantization and bit packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QuantizationError
+from repro.quant.groupquant import (
+    dequantize_groups,
+    pack_codes,
+    quantization_error,
+    quantize_groups,
+    unpack_codes,
+)
+
+
+class TestQuantizeGroups:
+    def test_shapes(self, rng):
+        w = rng.standard_normal((8, 256))
+        p = quantize_groups(w, bits=4, group_size=128)
+        assert p.codes.shape == (8, 256)
+        assert p.scales.shape == (8, 2)
+        assert p.zeros.shape == (8, 2)
+        assert p.n_groups == 2
+
+    def test_codes_in_range(self, rng):
+        p = quantize_groups(rng.standard_normal((4, 128)) * 10, bits=4,
+                            group_size=64)
+        assert p.codes.min() >= 0
+        assert p.codes.max() <= 15
+
+    def test_error_bounded_by_half_step(self, rng):
+        w = rng.standard_normal((4, 128))
+        p = quantize_groups(w, bits=4, group_size=32)
+        w_hat = dequantize_groups(p, dtype=np.float64)
+        grouped = w.reshape(4, 4, 32)
+        steps = (grouped.max(axis=2) - grouped.min(axis=2)) / 15
+        max_step = steps.max()
+        # Scale is FP16-rounded, so allow a whisker beyond step/2.
+        assert np.max(np.abs(w - w_hat)) <= max_step / 2 * 1.01 + 1e-3
+
+    def test_more_bits_less_error(self, rng):
+        w = rng.standard_normal((8, 128))
+        e4 = quantization_error(w, quantize_groups(w, 4, 64))
+        e8 = quantization_error(w, quantize_groups(w, 8, 64))
+        assert e8 < e4 / 4
+
+    def test_smaller_groups_less_error(self, rng):
+        w = rng.standard_normal((8, 256)) * np.linspace(0.1, 5, 256)
+        coarse = quantization_error(w, quantize_groups(w, 4, 256))
+        fine = quantization_error(w, quantize_groups(w, 4, 32))
+        assert fine < coarse
+
+    def test_constant_group_is_exact(self):
+        w = np.full((2, 64), 3.25)
+        p = quantize_groups(w, 4, 64)
+        assert np.allclose(dequantize_groups(p, np.float64), 3.25, atol=2e-3)
+
+    def test_rejects_indivisible_groups(self, rng):
+        with pytest.raises(QuantizationError):
+            quantize_groups(rng.standard_normal((2, 100)), 4, 64)
+
+    def test_rejects_non_2d(self, rng):
+        with pytest.raises(QuantizationError):
+            quantize_groups(rng.standard_normal(64), 4, 32)
+
+    def test_rejects_bad_bits(self, rng):
+        with pytest.raises(QuantizationError):
+            quantize_groups(rng.standard_normal((2, 64)), 0, 32)
+
+    def test_storage_bits(self, rng):
+        p = quantize_groups(rng.standard_normal((4, 128)), 4, 128)
+        # 512 weights x 4 bits + 4 groups x 24 bits metadata.
+        assert p.storage_bits(16, 8) == 512 * 4 + 4 * 24
+
+
+class TestPackCodes:
+    def test_roundtrip_4bit(self, rng):
+        codes = rng.integers(0, 16, size=333).astype(np.uint8)
+        data = pack_codes(codes, 4)
+        assert np.array_equal(unpack_codes(data, 4, 333), codes)
+
+    def test_roundtrip_3bit(self, rng):
+        codes = rng.integers(0, 8, size=100).astype(np.uint8)
+        assert np.array_equal(unpack_codes(pack_codes(codes, 3), 3, 100),
+                              codes)
+
+    def test_packed_length(self):
+        assert len(pack_codes(np.zeros(128, dtype=np.uint8), 4)) == 64
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(QuantizationError):
+            pack_codes(np.array([16]), 4)
+
+    def test_unpack_short_stream_raises(self):
+        with pytest.raises(QuantizationError):
+            unpack_codes(b"\x00", 4, 100)
+
+    def test_known_nibble_order(self):
+        # LSB-first: codes [0x1, 0x2] pack into byte 0x21.
+        assert pack_codes(np.array([1, 2]), 4) == b"\x21"
+
+    @given(st.lists(st.integers(min_value=0, max_value=255), min_size=1,
+                    max_size=200),
+           st.sampled_from([2, 3, 4, 5, 8]))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, values, bits):
+        codes = np.array([v % (1 << bits) for v in values], dtype=np.uint8)
+        assert np.array_equal(
+            unpack_codes(pack_codes(codes, bits), bits, len(codes)), codes)
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1),
+       st.sampled_from([32, 64, 128]),
+       st.sampled_from([2, 4, 8]))
+@settings(max_examples=40, deadline=None)
+def test_quant_dequant_code_roundtrip(seed, group, bits):
+    """dequantize(quantize(w)) re-quantizes to identical codes (stability)."""
+    rng = np.random.default_rng(seed)
+    w = rng.standard_normal((2, 2 * group))
+    p = quantize_groups(w, bits, group)
+    w_hat = dequantize_groups(p, np.float64)
+    p2 = quantize_groups(w_hat, bits, group)
+    # Allow off-by-one codes at bin boundaries from FP16 scale rounding.
+    assert np.max(np.abs(p2.codes.astype(int) - p.codes.astype(int))) <= 1

@@ -1,0 +1,117 @@
+"""Integration: every headline claim of the paper, in one place.
+
+These tests are the reproduction contract — if they pass, the simulated
+system exhibits the paper's results:
+
+* Fig. 1  — 93.3% capacity (weights 3556 MB, KV 264 MB of 4096 MB)
+* Table II — 5.8 token/s ceiling, ~4.9 token/s simulated, ~84.5% util
+* Fig. 3  — no cycle penalties in the fused attention pipeline
+* Fig. 4  — bus-aligned formats beat naive layouts by a large factor
+* Table I — the design fits the KV260 at ~2/3 LUT utilization, 6.57 W
+* Sec. VII-A — bare-metal is mandatory (Linux would not fit)
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Accelerator,
+    BareMetalSystem,
+    KV260,
+    LLAMA2_7B,
+    W4A16_KV8,
+    build_memory_image,
+    estimate_power,
+    estimate_resources,
+    theoretical_tokens_per_s,
+)
+from repro.core.cyclemodel import CycleModel
+from repro.core.pipeline import AttentionPipeline
+
+
+class TestCapacityClaims:
+    def test_93_percent_capacity(self):
+        image = build_memory_image(LLAMA2_7B, W4A16_KV8, context=1024)
+        assert image.capacity_utilization() == pytest.approx(0.933, abs=0.005)
+
+    def test_linux_impossible(self):
+        system = BareMetalSystem(KV260)
+        assert system.fits(LLAMA2_7B, W4A16_KV8, 1024)
+        assert not system.linux_would_fit(LLAMA2_7B, W4A16_KV8, 1024)
+
+
+class TestSpeedClaims:
+    def test_theoretical_5_8(self):
+        assert theoretical_tokens_per_s(LLAMA2_7B, KV260, 4) == \
+            pytest.approx(5.8, abs=0.05)
+
+    def test_decoding_around_5_tokens(self):
+        cm = CycleModel(LLAMA2_7B, W4A16_KV8, KV260)
+        mid = cm.decode_step(512).tokens_per_s
+        assert mid == pytest.approx(5.0, abs=0.2)
+
+    def test_utilization_84_5(self):
+        cm = CycleModel(LLAMA2_7B, W4A16_KV8, KV260)
+        assert cm.decode_step(1023).utilization == pytest.approx(0.845,
+                                                                 abs=0.02)
+
+
+class TestDataflowClaims:
+    def test_no_cycle_penalties(self):
+        pipe = AttentionPipeline(LLAMA2_7B, W4A16_KV8)
+        for ctx in (1, 64, 512, 1023):
+            assert pipe.fused_schedule(ctx).exposed_misc_cycles == 0
+
+    def test_fusion_buys_measurable_speed(self):
+        cm = CycleModel(LLAMA2_7B, W4A16_KV8, KV260)
+        fused = cm.decode_step(1023, "fused").tokens_per_s
+        coarse = cm.decode_step(1023, "coarse").tokens_per_s
+        assert fused / coarse > 1.05
+
+
+class TestResourceClaims:
+    def test_fits_kv260(self):
+        report = estimate_resources()
+        assert report.fits()
+        assert report.utilization()["lut"] < 0.70
+
+    def test_300mhz_power(self):
+        assert estimate_power(estimate_resources(), 300e6) == \
+            pytest.approx(6.57, abs=0.1)
+
+
+class TestEndToEnd:
+    def test_tiny_model_full_stack(self, tiny_qweights):
+        """Functional decode on the simulated accelerator produces valid
+        tokens with KV260 timing attached."""
+        acc = Accelerator.from_quantized_weights(tiny_qweights)
+        tokens, perf = acc.decode([256, 72, 101, 108], max_new_tokens=6)
+        assert len(tokens) == 6
+        assert all(isinstance(t, int) for t in tokens)
+        # Tiny model, same bus: timing is dominated by tiny transfers, so
+        # token rate must far exceed the 7B rate.
+        assert perf.tokens_per_s > 100
+
+    def test_functional_equals_standalone_pipeline(self, tiny_qweights):
+        """Accelerator-driven generation equals the bare QuantizedModel."""
+        from repro.model.quantized import QuantizedModel
+
+        acc = Accelerator.from_quantized_weights(tiny_qweights)
+        tokens_acc, _ = acc.decode([256, 5, 6], max_new_tokens=5)
+        model = QuantizedModel(tiny_qweights)
+        tokens_ref = model.generate([256, 5, 6], max_new_tokens=5)
+        assert tokens_acc == tokens_ref
+
+    def test_quantized_close_to_float_reference(self, tiny_weights,
+                                                tiny_qweights):
+        from repro.model.llama import ReferenceModel
+        from repro.model.quantized import QuantizedModel
+
+        ref = ReferenceModel(tiny_weights)
+        hw = QuantizedModel(tiny_qweights)
+        prompt = [256, 40, 41, 42]
+        lr, _ = ref.prefill(prompt)
+        lh, _ = hw.prefill(prompt)
+        corr = np.corrcoef(np.asarray(lr),
+                           np.asarray(lh, dtype=np.float64))[0, 1]
+        assert corr > 0.9

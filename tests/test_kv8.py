@@ -1,0 +1,85 @@
+"""KV8 cache quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QuantizationError
+from repro.quant.kv8 import (
+    kv_dequantize,
+    kv_quantize,
+    kv_roundtrip_error,
+)
+
+
+def test_codes_are_uint8(rng):
+    codes, params = kv_quantize(rng.standard_normal(128))
+    assert codes.dtype == np.uint8
+
+
+def test_scale_matches_span(rng):
+    x = rng.standard_normal(64) * 3
+    _, params = kv_quantize(x)
+    expected = (x.max() - x.min()) / 255
+    assert float(params.scale) == pytest.approx(expected, rel=1e-2)
+
+
+def test_zero_point_definition(rng):
+    x = rng.standard_normal(64)
+    _, params = kv_quantize(x)
+    assert params.zero == int(np.ceil(x.min() / float(params.scale)))
+
+
+def test_roundtrip_error_within_half_step(rng):
+    x = rng.standard_normal(128)
+    _, params = kv_quantize(x)
+    err = kv_roundtrip_error(x)
+    # The paper's ceil'd zero point clips up to one full step at the range
+    # minimum; everywhere else the error is half a step plus FP16 noise.
+    assert err <= float(params.scale) * 1.01 + 2e-3
+
+
+def test_8bit_beats_4bit(rng):
+    x = rng.standard_normal(128)
+    assert kv_roundtrip_error(x, bits=8) < kv_roundtrip_error(x, bits=4) / 4
+
+
+def test_constant_vector(rng):
+    codes, params = kv_quantize(np.full(16, 2.5))
+    x_hat = kv_dequantize(codes, params, np.float64)
+    assert np.allclose(x_hat, 2.5, atol=2e-3)
+
+
+def test_empty_raises():
+    with pytest.raises(QuantizationError):
+        kv_quantize(np.array([]))
+
+
+def test_all_zero_vector():
+    codes, params = kv_quantize(np.zeros(32))
+    assert np.allclose(kv_dequantize(codes, params, np.float64), 0.0,
+                       atol=1e-6)
+
+
+def test_pack_bits_is_32():
+    _, params = kv_quantize(np.arange(8.0))
+    assert params.pack_bits() == 32
+
+
+def test_dequantize_uses_fp16(rng):
+    codes, params = kv_quantize(rng.standard_normal(16))
+    assert kv_dequantize(codes, params).dtype == np.float16
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1),
+       st.floats(min_value=0.01, max_value=100.0))
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_error_scales_with_magnitude(seed, magnitude):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(64) * magnitude
+    _, params = kv_quantize(x)
+    err = kv_roundtrip_error(x)
+    # One step at worst (ceil'd zero point), plus FP16 rounding of the
+    # scale and dequantized product (proportional to the data magnitude).
+    assert err <= float(params.scale) * 1.01 + magnitude * 6e-3

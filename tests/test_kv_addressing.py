@@ -1,0 +1,83 @@
+"""KV-cache address layouts (head-major vs token-major)."""
+
+import pytest
+
+from repro.config import LLAMA2_7B, W4A16_KV8
+from repro.errors import LayoutError
+from repro.packing.kv_addressing import KVAddressMap
+
+
+@pytest.fixture(scope="module")
+def head_major():
+    return KVAddressMap(LLAMA2_7B, W4A16_KV8, base=0x1000,
+                        layout="head-major", max_context=1024)
+
+
+@pytest.fixture(scope="module")
+def token_major():
+    return KVAddressMap(LLAMA2_7B, W4A16_KV8, base=0x1000,
+                        layout="token-major", max_context=1024)
+
+
+def test_region_size_identical(head_major, token_major):
+    assert head_major.region_bytes == token_major.region_bytes
+    assert head_major.region_bytes == 1024 * 32 * 128  # ctx x heads x dim
+
+
+def test_no_address_collisions(head_major, token_major):
+    for amap in (head_major, token_major):
+        seen = set()
+        for head in range(0, 32, 7):
+            for token in range(0, 1024, 101):
+                addr = amap.address(head, token)
+                assert addr not in seen
+                seen.add(addr)
+                assert 0x1000 <= addr < 0x1000 + amap.region_bytes
+
+
+def test_head_major_history_contiguous(head_major):
+    txns = head_major.head_read_transactions(3, 512)
+    assert len(txns) == 1
+    assert txns[0].size == 512 * 128
+
+
+def test_token_major_history_strided(token_major):
+    txns = token_major.head_read_transactions(3, 512)
+    assert len(txns) == 512
+    assert all(t.size == 128 for t in txns)
+
+
+def test_head_major_write_scatters(head_major):
+    txns = head_major.token_write_transactions(100)
+    assert len(txns) == 32
+
+
+def test_token_major_write_contiguous(token_major):
+    txns = token_major.token_write_transactions(100)
+    assert len(txns) == 1
+    assert txns[0].size == 32 * 128
+
+
+def test_read_cost_asymmetry(head_major, token_major):
+    """The design argument: reads dominate, so head-major wins."""
+    hm_read, hm_write = head_major.read_write_cost(512)
+    tm_read, tm_write = token_major.read_write_cost(512)
+    # Head-major reads are much faster; its writes are worse, but writes
+    # are one token against 512 read back.
+    assert hm_read < tm_read / 3
+    assert hm_write > tm_write
+    assert (hm_read + hm_write) < (tm_read + tm_write)
+
+
+def test_bad_layout_rejected():
+    with pytest.raises(LayoutError):
+        KVAddressMap(LLAMA2_7B, W4A16_KV8, layout="diagonal")
+
+
+def test_out_of_range_rejected(head_major):
+    with pytest.raises(LayoutError):
+        head_major.address(99, 0)
+    with pytest.raises(LayoutError):
+        head_major.address(0, 5000)
+    with pytest.raises(LayoutError):
+        head_major.head_read_transactions(0, 0)

@@ -1,0 +1,92 @@
+"""Float and KV8-quantized caches."""
+
+import numpy as np
+import pytest
+
+from repro.config import TINY_MODEL
+from repro.errors import SimulationError
+from repro.model.kvcache import FloatKVCache, QuantizedKVCache
+
+
+def _head_vectors(rng):
+    return (rng.standard_normal((TINY_MODEL.kv_heads, TINY_MODEL.head_dim)),
+            rng.standard_normal((TINY_MODEL.kv_heads, TINY_MODEL.head_dim)))
+
+
+class TestFloatKVCache:
+    def test_append_and_read(self, rng):
+        cache = FloatKVCache(TINY_MODEL)
+        k, v = _head_vectors(rng)
+        for layer in range(TINY_MODEL.num_layers):
+            cache.append(layer, k, v, 0)
+        assert cache.length == 1
+        assert np.array_equal(cache.keys(0, 1)[0], k)
+        assert np.array_equal(cache.values(0, 1)[0], v)
+
+    def test_position_out_of_range(self, rng):
+        cache = FloatKVCache(TINY_MODEL)
+        k, v = _head_vectors(rng)
+        with pytest.raises(SimulationError):
+            cache.append(0, k, v, TINY_MODEL.max_context)
+
+    def test_length_tracks_last_layer(self, rng):
+        cache = FloatKVCache(TINY_MODEL)
+        k, v = _head_vectors(rng)
+        cache.append(0, k, v, 0)
+        assert cache.length == 0  # only advances on the final layer
+        cache.append(TINY_MODEL.num_layers - 1, k, v, 0)
+        assert cache.length == 1
+
+
+class TestQuantizedKVCache:
+    def test_roundtrip_accuracy(self, rng):
+        cache = QuantizedKVCache(TINY_MODEL)
+        k, v = _head_vectors(rng)
+        cache.append(0, k, v, 0)
+        got_k = cache.keys(0, 0, 1).astype(np.float64)[0]
+        got_v = cache.values(0, 0, 1).astype(np.float64)[0]
+        assert np.max(np.abs(got_k - k[0])) < 0.05
+        assert np.max(np.abs(got_v - v[0])) < 0.05
+
+    def test_read_unwritten_slot_raises(self):
+        cache = QuantizedKVCache(TINY_MODEL)
+        with pytest.raises(SimulationError):
+            cache.keys(0, 0, 1)
+
+    def test_payload_bytes(self, rng):
+        cache = QuantizedKVCache(TINY_MODEL)
+        k, v = _head_vectors(rng)
+        for layer in range(TINY_MODEL.num_layers):
+            cache.append(layer, k, v, 0)
+        expected = 2 * TINY_MODEL.num_layers * TINY_MODEL.kv_dim
+        assert cache.payload_bytes() == expected
+
+    def test_pack_bytes(self, rng):
+        cache = QuantizedKVCache(TINY_MODEL)
+        k, v = _head_vectors(rng)
+        for layer in range(TINY_MODEL.num_layers):
+            cache.append(layer, k, v, 0)
+        expected = 2 * TINY_MODEL.num_layers * TINY_MODEL.kv_heads * 4
+        assert cache.pack_bytes() == expected
+
+    def test_multiple_positions(self, rng):
+        cache = QuantizedKVCache(TINY_MODEL)
+        vectors = []
+        for pos in range(4):
+            k, v = _head_vectors(rng)
+            vectors.append(k)
+            for layer in range(TINY_MODEL.num_layers):
+                cache.append(layer, k, v, pos)
+        keys = cache.keys(0, 0, 4).astype(np.float64)
+        for pos in range(4):
+            assert np.max(np.abs(keys[pos] - vectors[pos][0])) < 0.05
+
+    def test_kv4_coarser_than_kv8(self, rng):
+        k, v = _head_vectors(rng)
+        c8 = QuantizedKVCache(TINY_MODEL, kv_bits=8)
+        c4 = QuantizedKVCache(TINY_MODEL, kv_bits=4)
+        c8.append(0, k, v, 0)
+        c4.append(0, k, v, 0)
+        e8 = np.abs(c8.keys(0, 0, 1).astype(np.float64)[0] - k[0]).max()
+        e4 = np.abs(c4.keys(0, 0, 1).astype(np.float64)[0] - k[0]).max()
+        assert e4 > e8

@@ -1,0 +1,100 @@
+"""Quarter-sine ROM and RoPE address generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.numerics.lut import InvFreqRom, QuarterSineRom, RopeAngleGenerator
+
+
+class TestQuarterSineRom:
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigError):
+            QuarterSineRom(depth=1000)
+
+    def test_cardinal_points(self):
+        rom = QuarterSineRom(4096)
+        full = rom.full_cycle
+        assert float(rom.sin(0)) == 0.0
+        assert float(rom.sin(full // 4)) == pytest.approx(1.0, abs=2e-3)
+        assert float(rom.sin(full // 2)) == pytest.approx(0.0, abs=2e-3)
+        assert float(rom.sin(3 * full // 4)) == pytest.approx(-1.0, abs=2e-3)
+
+    def test_cos_is_shifted_sin(self):
+        rom = QuarterSineRom(1024)
+        addr = np.arange(0, rom.full_cycle, 13)
+        assert np.array_equal(rom.cos(addr), rom.sin(addr + rom.depth))
+
+    def test_matches_numpy_sin_everywhere(self):
+        rom = QuarterSineRom(4096)
+        addr = np.arange(0, rom.full_cycle, 97)
+        phases = addr * 2 * np.pi / rom.full_cycle
+        # FP16 storage + table quantization: error stays under ~1e-3.
+        assert np.max(np.abs(rom.sin(addr).astype(np.float64)
+                             - np.sin(phases))) < 1.5e-3
+
+    def test_wraps_past_full_cycle(self):
+        rom = QuarterSineRom(256)
+        assert rom.sin(rom.full_cycle + 5) == rom.sin(5)
+
+    def test_phase_to_address_quantizes(self):
+        rom = QuarterSineRom(4096)
+        assert rom.phase_to_address(0.0) == 0
+        assert rom.phase_to_address(2 * np.pi) == 0
+        assert rom.phase_to_address(np.pi) == rom.full_cycle // 2
+
+
+class TestInvFreqRom:
+    def test_rejects_odd_head_dim(self):
+        with pytest.raises(ConfigError):
+            InvFreqRom(head_dim=63)
+
+    def test_first_frequency_is_one(self):
+        rom = InvFreqRom(128)
+        assert float(rom.inv_freq(0)) == 1.0
+
+    def test_frequencies_decrease(self):
+        rom = InvFreqRom(128)
+        freqs = rom.inv_freq(np.arange(rom.num_pairs)).astype(np.float64)
+        assert np.all(np.diff(freqs) < 0)
+
+    def test_matches_formula(self):
+        rom = InvFreqRom(64, theta=10000.0)
+        expected = 10000.0 ** (-np.arange(0, 64, 2) / 64)
+        got = rom.inv_freq(np.arange(32)).astype(np.float64)
+        assert np.allclose(got, expected, rtol=1e-3)
+
+    def test_out_of_range_pair_raises(self):
+        rom = InvFreqRom(64)
+        with pytest.raises(ConfigError):
+            rom.inv_freq(32)
+
+
+class TestRopeAngleGenerator:
+    def test_position_zero_all_cos_one(self):
+        gen = RopeAngleGenerator(head_dim=64)
+        sin, cos = gen.sin_cos(0)
+        assert np.all(sin.astype(np.float64) == 0.0)
+        assert np.allclose(cos.astype(np.float64), 1.0, atol=2e-3)
+
+    def test_negative_position_rejected(self):
+        gen = RopeAngleGenerator(head_dim=64)
+        with pytest.raises(ConfigError):
+            gen.addresses(-1)
+
+    def test_addresses_match_exact_phases(self):
+        gen = RopeAngleGenerator(head_dim=128)
+        pos = 100
+        addr = gen.addresses(pos)
+        inv = 10000.0 ** (-np.arange(0, 128, 2) / 128)
+        exact = (pos * inv) % (2 * np.pi)
+        got = addr * 2 * np.pi / gen.rom.full_cycle
+        err = np.abs(np.angle(np.exp(1j * (got - exact))))
+        # Quantization: half a ROM step plus FP16 inv-freq error at pos=100.
+        assert np.max(err) < 2 * np.pi / gen.rom.full_cycle + 0.05
+
+    def test_sin_cos_norm_close_to_one(self):
+        gen = RopeAngleGenerator(head_dim=128)
+        sin, cos = gen.sin_cos(517)
+        norm = sin.astype(np.float64) ** 2 + cos.astype(np.float64) ** 2
+        assert np.allclose(norm, 1.0, atol=5e-3)

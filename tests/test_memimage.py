@@ -1,0 +1,87 @@
+"""DDR memory image construction (Sec. VII-A, Fig. 1)."""
+
+import pytest
+
+from repro.config import KV260, LLAMA2_7B, TINY_MODEL, QuantConfig, W4A16_KV8
+from repro.errors import CapacityError
+from repro.packing.memimage import build_memory_image
+from repro.packing.weight_layout import WeightLayoutSpec, decode_weight_stream
+
+
+@pytest.fixture(scope="module")
+def llama_image():
+    return build_memory_image(LLAMA2_7B, W4A16_KV8, context=1024)
+
+
+class TestLlamaImage:
+    def test_weights_match_paper(self, llama_image):
+        # Paper: 3556 MB.  Our layout (padded superblocks, FP16 embedding)
+        # lands within 1%.
+        assert llama_image.weight_mib() == pytest.approx(3556, rel=0.01)
+
+    def test_kv_matches_paper_exactly(self, llama_image):
+        # 256 MiB payload + 8 MiB scale-zero packs = 264 MB.
+        assert llama_image.kv_mib() == pytest.approx(264, rel=0.002)
+
+    def test_capacity_utilization_93_percent(self, llama_image):
+        assert llama_image.capacity_utilization() == pytest.approx(0.933,
+                                                                   abs=0.005)
+
+    def test_no_overlapping_allocations(self, llama_image):
+        assert llama_image.address_map.overlaps() == []
+
+    def test_embedding_in_high_region(self, llama_image):
+        assert llama_image.allocations["embedding"].region == "high"
+
+    def test_first_layers_high_rest_low(self, llama_image):
+        assert llama_image.allocations["weights.layer0.wq"].region == "high"
+        assert llama_image.allocations["weights.layer31.wq"].region == "low"
+
+    def test_kv_follows_its_layer(self, llama_image):
+        assert llama_image.allocations["kv.layer0"].region == "high"
+        assert llama_image.allocations["kv.layer31"].region == "low"
+
+    def test_everything_beat_aligned(self, llama_image):
+        for alloc in llama_image.allocations.values():
+            assert alloc.start % 64 == 0
+
+
+class TestConstraints:
+    def test_context_beyond_max_rejected(self):
+        with pytest.raises(CapacityError):
+            build_memory_image(LLAMA2_7B, W4A16_KV8, context=2048)
+
+    def test_indivisible_group_rejected(self):
+        with pytest.raises(CapacityError):
+            build_memory_image(TINY_MODEL, W4A16_KV8)  # hidden 64 < group 128
+
+    def test_w16_llama_does_not_fit(self):
+        # FP16 LLaMA2-7B is ~13 GB: must overflow the 4 GB map.
+        w16 = QuantConfig(weight_bits=16, kv_bits=16)
+        with pytest.raises(CapacityError):
+            build_memory_image(LLAMA2_7B, w16, context=1024)
+
+
+class TestMaterialized:
+    def test_tiny_image_materializes_and_roundtrips(self, tiny_qweights,
+                                                    tiny_quant):
+        image = build_memory_image(TINY_MODEL, tiny_quant, context=64,
+                                   qweights=tiny_qweights)
+        name = "weights.layer0.wq"
+        data = image.data[name]
+        assert len(data) == image.allocations[name].size
+        spec = WeightLayoutSpec(weight_bits=tiny_quant.weight_bits,
+                                zero_bits=tiny_quant.weight_zero_bits,
+                                group_size=tiny_quant.weight_group_size)
+        decoded = decode_weight_stream(data, TINY_MODEL.hidden_size,
+                                       TINY_MODEL.hidden_size, spec)
+        original = tiny_qweights.projection(0, "wq").params
+        import numpy as np
+
+        assert np.array_equal(decoded.codes, original.codes)
+        assert np.array_equal(decoded.scales, original.scales)
+
+    def test_tiny_image_fits_easily(self, tiny_qweights, tiny_quant):
+        image = build_memory_image(TINY_MODEL, tiny_quant, context=64,
+                                   qweights=tiny_qweights)
+        assert image.capacity_utilization(KV260.dram_bytes) < 0.01

@@ -1,0 +1,73 @@
+"""Address map and allocator."""
+
+import pytest
+
+from repro.errors import CapacityError
+from repro.memory.memmap import (
+    HIGH_BASE,
+    LOW_LIMIT,
+    AddressMap,
+    kv260_address_map,
+)
+
+
+def test_default_regions():
+    amap = kv260_address_map()
+    assert amap.free_bytes("low") == LOW_LIMIT
+    assert amap.free_bytes("high") == 2 * 1024**3
+
+
+def test_allocation_is_aligned():
+    amap = AddressMap()
+    amap.allocate("a", 100, "low")
+    b = amap.allocate("b", 100, "low")
+    assert b.start % 64 == 0
+    assert b.start >= 128  # after a's padded footprint
+
+
+def test_high_region_base():
+    amap = AddressMap()
+    alloc = amap.allocate("x", 64, "high")
+    assert alloc.start == HIGH_BASE
+
+
+def test_overflow_raises():
+    amap = AddressMap()
+    with pytest.raises(CapacityError):
+        amap.allocate("big", 3 * 1024**3, "high")
+
+
+def test_exact_fill():
+    amap = AddressMap()
+    amap.allocate("all", 2 * 1024**3, "high")
+    with pytest.raises(CapacityError):
+        amap.allocate("more", 64, "high")
+
+
+def test_unknown_region_raises():
+    with pytest.raises(CapacityError):
+        AddressMap().allocate("x", 64, "middle")
+
+
+def test_negative_size_raises():
+    with pytest.raises(CapacityError):
+        AddressMap().allocate("x", -1, "low")
+
+
+def test_utilization_counts_against_raw_4gb():
+    amap = AddressMap()
+    amap.allocate("half", 2 * 1024**3, "high")
+    assert amap.utilization() == pytest.approx(0.5)
+
+
+def test_no_overlaps_reported_for_valid_allocations():
+    amap = AddressMap()
+    for i in range(10):
+        amap.allocate(f"r{i}", 1000, "low")
+    assert amap.overlaps() == []
+
+
+def test_total_capacity():
+    amap = AddressMap()
+    # 4 GiB minus the 1 MiB compiler reservation.
+    assert amap.total_capacity() == 4 * 1024**3 - 1024**2

@@ -1,0 +1,58 @@
+"""Prefill-engine comparison (the Sec. VI-B PPA trade)."""
+
+import pytest
+
+from repro.config import LLAMA2_7B, W4A16_KV8
+from repro.core.prefill import (
+    BatchEnginePrefill,
+    DotEnginePrefill,
+    compare_prefill_engines,
+    dsp_budget_exceeded,
+)
+from repro.errors import SimulationError
+
+
+class TestDotEnginePrefill:
+    def test_ttft_linear_in_prompt(self):
+        engine = DotEnginePrefill(LLAMA2_7B, W4A16_KV8)
+        a = engine.report(8).ttft_s
+        b = engine.report(16).ttft_s
+        assert b == pytest.approx(2 * a, rel=0.05)
+
+    def test_no_extra_area(self):
+        engine = DotEnginePrefill(LLAMA2_7B, W4A16_KV8)
+        assert engine.report(8).extra_dsp == 0
+
+    def test_rejects_empty_prompt(self):
+        with pytest.raises(SimulationError):
+            DotEnginePrefill(LLAMA2_7B, W4A16_KV8).report(0)
+
+
+class TestBatchEnginePrefill:
+    def test_batching_cuts_ttft(self):
+        reports = compare_prefill_engines(LLAMA2_7B, W4A16_KV8,
+                                          prompt_len=32, batch=8)
+        assert reports["batch"].ttft_s < reports["dot"].ttft_s / 4
+
+    def test_decode_speed_unchanged(self):
+        """The punchline: batching buys nothing in the decode phase."""
+        reports = compare_prefill_engines(LLAMA2_7B, W4A16_KV8,
+                                          prompt_len=32, batch=8)
+        assert reports["batch"].decode_tokens_per_s == pytest.approx(
+            reports["dot"].decode_tokens_per_s)
+
+    def test_area_cost_is_real(self):
+        engine = BatchEnginePrefill(LLAMA2_7B, W4A16_KV8, batch=8)
+        # 7 extra MAC columns x 255 DSP each.
+        assert engine.extra_dsp() == 7 * 255
+
+    def test_large_batch_blows_dsp_budget(self):
+        # The XCK26 has 1248 DSPs; the paper's VPU uses 266.  Even a
+        # batch-4 matrix engine does not fit, which is the area argument.
+        assert not dsp_budget_exceeded(1)
+        assert dsp_budget_exceeded(8)
+        assert dsp_budget_exceeded(5)
+
+    def test_rejects_bad_batch(self):
+        with pytest.raises(SimulationError):
+            BatchEnginePrefill(LLAMA2_7B, W4A16_KV8, batch=0)

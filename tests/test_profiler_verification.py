@@ -1,0 +1,101 @@
+"""Traffic profiler and datapath self-verification."""
+
+import numpy as np
+import pytest
+
+from repro.config import GPT2_1_5B, LLAMA2_7B, W4A16_KV8
+from repro.core.commands import CommandGenerator
+from repro.core.verification import verify_datapath
+from repro.errors import SimulationError
+from repro.memory.profiler import profile_decode_step
+from repro.packing.memimage import build_memory_image
+
+
+@pytest.fixture(scope="module")
+def descriptors():
+    image = build_memory_image(LLAMA2_7B, W4A16_KV8, context=1024)
+    gen = CommandGenerator(image)
+    return gen.decode_step_descriptors(token_index=16, context=512)
+
+
+class TestProfiler:
+    def test_weights_dominate_bus_time(self, descriptors):
+        profile = profile_decode_step(descriptors)
+        assert profile.time_fraction("weights") > 0.9
+
+    def test_kv_read_share_grows_with_context(self):
+        image = build_memory_image(LLAMA2_7B, W4A16_KV8, context=1024)
+        gen = CommandGenerator(image)
+        small = profile_decode_step(gen.decode_step_descriptors(1, 64))
+        large = profile_decode_step(gen.decode_step_descriptors(1, 1000))
+        assert large.time_fraction("kv read") > small.time_fraction("kv read")
+
+    def test_total_time_implies_token_rate(self, descriptors):
+        """The profile's total bus time reproduces ~5 token/s."""
+        profile = profile_decode_step(descriptors)
+        tokens_per_s = 1e9 / profile.total_ns
+        assert tokens_per_s == pytest.approx(5.1, abs=0.25)
+
+    def test_buckets_cover_all_bytes(self, descriptors):
+        profile = profile_decode_step(descriptors)
+        assert profile.total_bytes == sum(d.size for d in descriptors)
+
+    def test_render(self, descriptors):
+        text = profile_decode_step(descriptors).render()
+        assert "weights" in text and "total" in text
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(SimulationError):
+            profile_decode_step([])
+
+    def test_gpt2_image_profiles(self):
+        """Ungated, tied-embedding model goes through the whole path."""
+        from repro.config import QuantConfig
+
+        # GPT-2's hidden size (1600) needs a group width that divides it.
+        quant = QuantConfig(weight_group_size=64)
+        image = build_memory_image(GPT2_1_5B, quant, context=512)
+        gen = CommandGenerator(image)
+        descs = gen.decode_step_descriptors(0, 128)
+        gen.check_bounds(descs)
+        profile = profile_decode_step(descs)
+        assert profile.time_fraction("weights") > 0.8
+
+
+class TestVerification:
+    def test_tiny_model_passes(self, tiny_qweights):
+        report = verify_datapath(tiny_qweights)
+        assert report.passed, report.render()
+        # 2 layers x 7 projections + lm_head.
+        assert report.checked == 2 * 7 + 1
+        assert report.worst_error < 0.02
+
+    def test_render_mentions_status(self, tiny_qweights):
+        text = verify_datapath(tiny_qweights).render()
+        assert "PASS" in text
+
+    def test_detects_corrupted_stored_bytes(self, tiny_qweights,
+                                            tiny_quant):
+        """Corrupting the DDR image's bytes must fail verification."""
+        from repro.config import TINY_MODEL
+
+        image = build_memory_image(TINY_MODEL, tiny_quant, context=64,
+                                   qweights=tiny_qweights)
+        streams = {name[len("weights."):]: data
+                   for name, data in image.data.items()
+                   if name.startswith("weights.")}
+        clean = verify_datapath(tiny_qweights, streams=streams)
+        assert clean.passed
+
+        corrupted = bytearray(streams["layer0.wq"])
+        corrupted[300] ^= 0xFF  # flip weight-code bits mid-superblock
+        streams["layer0.wq"] = bytes(corrupted)
+        report = verify_datapath(tiny_qweights, streams=streams)
+        assert not report.passed
+        assert any("layer0.wq" in f for f in report.failures)
+
+    def test_tolerance_knob(self, tiny_qweights):
+        strict = verify_datapath(tiny_qweights, tolerance=1e-9)
+        # FP16 rounding differences exist, so an impossible tolerance
+        # reports failures rather than silently passing.
+        assert strict.checked == 15

@@ -1,0 +1,123 @@
+"""Cross-module property-based tests: invariants the system must keep.
+
+These span module boundaries: traffic accounting vs the scheduler, the
+cycle model vs the analytical ceiling, capacity vs the address map — the
+relationships the reproduction's numbers rest on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import KV260, LLAMA2_7B, W4A16_KV8, ModelConfig, QuantConfig
+from repro.core.analytical import intrinsic_utilization_ceiling
+from repro.core.cyclemodel import CycleModel
+from repro.core.pipeline import AttentionPipeline
+from repro.memory.traffic import decode_traffic
+
+contexts = st.integers(min_value=0, max_value=1023)
+
+
+@pytest.fixture(scope="module")
+def cm():
+    return CycleModel(LLAMA2_7B, W4A16_KV8, KV260)
+
+
+@given(contexts, contexts)
+@settings(max_examples=20, deadline=None)
+def test_traffic_monotone_in_context(a, b):
+    lo, hi = sorted((a, b))
+    t_lo = decode_traffic(LLAMA2_7B, W4A16_KV8, lo)
+    t_hi = decode_traffic(LLAMA2_7B, W4A16_KV8, hi)
+    assert t_hi.total_bytes >= t_lo.total_bytes
+    # Weight traffic is context-independent.
+    assert t_hi.weight_bytes == t_lo.weight_bytes
+
+
+@given(contexts)
+@settings(max_examples=15, deadline=None)
+def test_traffic_affine_in_context(ctx):
+    """KV traffic is exactly linear: t(c) = t(0) + c * slope."""
+    t0 = decode_traffic(LLAMA2_7B, W4A16_KV8, 0)
+    t1 = decode_traffic(LLAMA2_7B, W4A16_KV8, 1)
+    tc = decode_traffic(LLAMA2_7B, W4A16_KV8, ctx)
+    slope = t1.total_bytes - t0.total_bytes
+    assert tc.total_bytes == pytest.approx(t0.total_bytes + ctx * slope)
+
+
+@given(st.integers(min_value=0, max_value=900))
+@settings(max_examples=8, deadline=None)
+def test_cycle_model_never_beats_intrinsic_ceiling(cm, ctx):
+    """Simulated utilization must sit below the metadata-only bound."""
+    step = cm.decode_step(ctx)
+    ceiling = intrinsic_utilization_ceiling(LLAMA2_7B, W4A16_KV8, ctx)
+    assert step.utilization < ceiling
+
+
+@given(st.integers(min_value=1, max_value=1000),
+       st.integers(min_value=1, max_value=1000))
+@settings(max_examples=10, deadline=None)
+def test_cycles_monotone_in_context(cm, a, b):
+    lo, hi = sorted((a, b))
+    assert cm.decode_step(hi).cycles >= cm.decode_step(lo).cycles
+
+
+@given(st.integers(min_value=0, max_value=1000))
+@settings(max_examples=8, deadline=None)
+def test_coarse_never_faster_than_fused(cm, ctx):
+    assert cm.decode_step(ctx, "coarse").cycles >= \
+        cm.decode_step(ctx, "fused").cycles
+
+
+@given(st.integers(min_value=1, max_value=1023))
+@settings(max_examples=8, deadline=None)
+def test_fused_attention_dense_cycles_bound_transfer(ctx):
+    """Dense duration can never be less than the pure transfer time."""
+    pipe = AttentionPipeline(LLAMA2_7B, W4A16_KV8)
+    report = pipe.fused_schedule(ctx)
+    assert report.dense_cycles >= report.transfer_cycles * 0.999
+
+
+@given(st.sampled_from([4, 8]), st.sampled_from([4, 8, 16]))
+@settings(max_examples=6, deadline=None)
+def test_effective_bits_ordering(wbits, kvbits):
+    """More bits anywhere -> more bytes per token, fewer tokens/s."""
+    base = decode_traffic(LLAMA2_7B, QuantConfig(weight_bits=4, kv_bits=4),
+                          256)
+    other = decode_traffic(LLAMA2_7B,
+                           QuantConfig(weight_bits=wbits, kv_bits=kvbits),
+                           256)
+    assert other.total_bytes >= base.total_bytes
+
+
+@given(st.integers(min_value=1, max_value=6),
+       st.integers(min_value=1, max_value=4))
+@settings(max_examples=10, deadline=None)
+def test_param_counting_consistency(layers, heads):
+    """total = embedding + layers + head + norms for arbitrary shapes."""
+    cfg = ModelConfig(name="prop", hidden_size=16 * heads, num_layers=layers,
+                      num_heads=heads, intermediate_size=48,
+                      vocab_size=300, max_context=32)
+    total = cfg.total_params()
+    parts = (cfg.embedding_params() + layers * cfg.layer_params()
+             + cfg.lm_head_params() + cfg.norm_params())
+    assert total == parts
+    assert cfg.decode_stream_params() == total - cfg.embedding_params()
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=10, deadline=None)
+def test_functional_decode_reproducible(seed):
+    """Same seed -> same weights -> same greedy tokens, end to end."""
+    from repro.config import TINY_MODEL
+    from repro.model.quantized import QuantizedModel
+    from repro.model.weights import quantize_model, random_weights
+
+    quant = QuantConfig(weight_group_size=32)
+    qw = quantize_model(random_weights(TINY_MODEL, seed=seed), quant)
+    model = QuantizedModel(qw)
+    a = model.generate([256, 1], max_new_tokens=3)
+    b = model.generate([256, 1], max_new_tokens=3)
+    assert a == b
+    assert all(0 <= t < TINY_MODEL.vocab_size for t in a)

@@ -1,0 +1,117 @@
+"""Resource (Table I) and power models."""
+
+import pytest
+
+from repro.core.power import estimate_power, tokens_per_joule
+from repro.core.resources import (
+    KV260_BUDGET,
+    PAPER_TABLE_I,
+    estimate_mcu,
+    estimate_resources,
+    estimate_spu,
+    estimate_vpu,
+)
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def report():
+    return estimate_resources()
+
+
+class TestTableI:
+    def test_totals_close_to_paper(self, report):
+        total = report.total
+        paper = PAPER_TABLE_I["Total"]
+        assert total.lut == pytest.approx(paper["lut"], rel=0.03)
+        assert total.ff == pytest.approx(paper["ff"], rel=0.03)
+        assert total.carry == pytest.approx(paper["carry"], rel=0.03)
+        assert total.dsp == paper["dsp"]
+        assert total.bram == pytest.approx(paper["bram"], rel=0.03)
+        assert total.uram == paper["uram"]
+
+    def test_component_breakdown_close_to_paper(self, report):
+        for name in ("MemCtrl", "VPU", "SPU"):
+            got = report.components[name]
+            paper = PAPER_TABLE_I[name]
+            assert got.lut == pytest.approx(paper["lut"], rel=0.05), name
+            assert got.dsp == pytest.approx(paper["dsp"], abs=1), name
+
+    def test_utilization_percentages(self, report):
+        util = report.utilization()
+        # Paper: 67% LUT, 45% FF, 26% CARRY, 24% DSP, 16% URAM, 25% BRAM.
+        assert util["lut"] == pytest.approx(0.67, abs=0.02)
+        assert util["ff"] == pytest.approx(0.45, abs=0.02)
+        assert util["carry"] == pytest.approx(0.26, abs=0.02)
+        assert util["dsp"] == pytest.approx(0.24, abs=0.02)
+        assert util["uram"] == pytest.approx(0.16, abs=0.01)
+        assert util["bram"] == pytest.approx(0.25, abs=0.01)
+
+    def test_design_fits_device(self, report):
+        assert report.fits()
+
+    def test_vpu_is_biggest_lut_and_dsp_consumer(self, report):
+        vpu = report.components["VPU"]
+        for other in ("MemCtrl", "SPU"):
+            assert vpu.lut > report.components[other].lut
+            assert vpu.dsp > report.components[other].dsp
+
+    def test_mcu_holds_most_bram(self, report):
+        mcu = report.components["MemCtrl"]
+        for other in ("VPU", "SPU"):
+            assert mcu.bram > report.components[other].bram
+
+
+class TestScaling:
+    def test_vpu_dsp_scales_with_lanes(self):
+        # Lanes dominate DSP count: 128 -> 64 lanes roughly halves it.
+        full = estimate_vpu(128)
+        half = estimate_vpu(64)
+        assert half.dsp < full.dsp * 0.55
+
+    def test_mcu_scales_with_ports(self):
+        assert estimate_mcu(2).bram < estimate_mcu(4).bram
+
+    def test_256_lane_vpu_would_not_fit_with_rest(self):
+        report = estimate_resources(lanes=256)
+        # 256 lanes double the VPU: LUT utilization blows past the budget
+        # headroom the paper reports (70% system LUT).
+        assert report.total.lut > PAPER_TABLE_I["Total"]["lut"] * 1.3
+
+    def test_rejects_bad_lanes(self):
+        with pytest.raises(ConfigError):
+            estimate_vpu(lanes=96)
+
+    def test_rejects_zero_ports(self):
+        with pytest.raises(ConfigError):
+            estimate_mcu(0)
+
+    def test_spu_without_gate_is_smaller(self):
+        assert estimate_spu(with_gate=False).lut < estimate_spu().lut
+
+
+class TestPower:
+    def test_paper_power_reproduced(self, report):
+        assert estimate_power(report) == pytest.approx(6.57, abs=0.1)
+
+    def test_power_scales_with_frequency(self, report):
+        assert estimate_power(report, 150e6) < estimate_power(report, 300e6)
+
+    def test_static_floor(self, report):
+        # Even at a crawl the PS keeps burning its static power.
+        assert estimate_power(report, 1e6) > 2.5
+
+    def test_rejects_bad_frequency(self, report):
+        with pytest.raises(ConfigError):
+            estimate_power(report, 0)
+
+    def test_tokens_per_joule(self):
+        assert tokens_per_joule(4.9, 6.57) == pytest.approx(0.746, abs=0.01)
+
+    def test_tokens_per_joule_rejects_zero_power(self):
+        with pytest.raises(ConfigError):
+            tokens_per_joule(1.0, 0.0)
+
+    def test_budget_is_xck26(self):
+        assert KV260_BUDGET.lut == 117_120
+        assert KV260_BUDGET.dsp == 1_248

@@ -1,0 +1,82 @@
+"""RMSNorm and SiLU: reference vs hardware variants."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.numerics.rmsnorm import reference_rmsnorm, two_pass_rmsnorm
+from repro.numerics.silu import (
+    hardware_gated_silu,
+    hardware_silu,
+    reference_silu,
+)
+
+
+class TestRmsNorm:
+    def test_reference_unit_rms(self, rng):
+        x = rng.standard_normal(512)
+        out = reference_rmsnorm(x)
+        assert np.sqrt(np.mean(out**2)) == pytest.approx(1.0, rel=1e-4)
+
+    def test_reference_weight_scaling(self, rng):
+        x = rng.standard_normal(64)
+        w = np.full(64, 2.0)
+        assert np.allclose(reference_rmsnorm(x, w),
+                           2 * reference_rmsnorm(x))
+
+    def test_two_pass_matches_reference(self, rng):
+        x = rng.standard_normal(256)
+        hw = two_pass_rmsnorm(x).astype(np.float64)
+        ref = reference_rmsnorm(np.float16(x).astype(np.float64))
+        assert np.max(np.abs(hw - ref)) < 0.01
+
+    def test_two_pass_with_injected_square_sum(self, rng):
+        # The DOT-engine-provided square sum must give the same answer as
+        # the locally computed one.
+        x = np.float16(rng.standard_normal(128))
+        sq = float(np.sum(x.astype(np.float64) ** 2))
+        a = two_pass_rmsnorm(x)
+        b = two_pass_rmsnorm(x, square_sum=sq)
+        assert np.array_equal(a, b)
+
+    def test_two_pass_weight_length_mismatch(self, rng):
+        with pytest.raises(SimulationError):
+            two_pass_rmsnorm(rng.standard_normal(16), weight=np.ones(8))
+
+    def test_two_pass_empty_raises(self):
+        with pytest.raises(SimulationError):
+            two_pass_rmsnorm([])
+
+    def test_eps_prevents_blowup(self):
+        out = two_pass_rmsnorm(np.zeros(32), eps=1e-5)
+        assert np.all(np.isfinite(out.astype(np.float64)))
+
+
+class TestSilu:
+    def test_reference_known_values(self):
+        assert reference_silu(0.0) == 0.0
+        assert reference_silu(100.0) == pytest.approx(100.0)
+        assert reference_silu(-100.0) == pytest.approx(0.0, abs=1e-10)
+
+    def test_reference_minimum_location(self):
+        # SiLU's minimum is near x = -1.278, value ~ -0.278.
+        xs = np.linspace(-3, 1, 2001)
+        ys = reference_silu(xs)
+        assert ys.min() == pytest.approx(-0.278, abs=1e-3)
+
+    def test_hardware_matches_reference(self, rng):
+        x = rng.standard_normal(512) * 4
+        hw = hardware_silu(x).astype(np.float64)
+        ref = reference_silu(np.float16(x).astype(np.float64))
+        assert np.max(np.abs(hw - ref)) < 0.02
+
+    def test_gated_silu(self, rng):
+        gate = rng.standard_normal(64)
+        up = rng.standard_normal(64)
+        out = hardware_gated_silu(gate, up).astype(np.float64)
+        ref = reference_silu(np.float16(gate).astype(np.float64)) \
+            * np.float16(up).astype(np.float64)
+        assert np.max(np.abs(out - ref)) < 0.05
+
+    def test_hardware_silu_is_fp16(self, rng):
+        assert hardware_silu(rng.standard_normal(8)).dtype == np.float16

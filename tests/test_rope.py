@@ -1,0 +1,87 @@
+"""RoPE: reference rotation and the hardware rotator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.numerics.rope import HardwareRope, reference_rope, rotate_half_pairs
+
+
+def test_rotate_half_pairs_splits():
+    lo, hi = rotate_half_pairs(np.arange(8.0))
+    assert np.array_equal(lo, [0, 1, 2, 3])
+    assert np.array_equal(hi, [4, 5, 6, 7])
+
+
+def test_rotate_half_rejects_odd():
+    with pytest.raises(ConfigError):
+        rotate_half_pairs(np.arange(7.0))
+
+
+def test_reference_rope_position_zero_is_identity(rng):
+    x = rng.standard_normal(64)
+    assert np.allclose(reference_rope(x, 0), x)
+
+
+def test_reference_rope_preserves_norm(rng):
+    # Rotations are orthogonal: the vector norm is invariant.
+    x = rng.standard_normal(128)
+    for pos in (1, 17, 512):
+        assert np.linalg.norm(reference_rope(x, pos)) == pytest.approx(
+            np.linalg.norm(x))
+
+
+def test_reference_rope_relative_property(rng):
+    # <RoPE(q, m), RoPE(k, n)> depends only on m - n.
+    q = rng.standard_normal(64)
+    k = rng.standard_normal(64)
+    dot_a = reference_rope(q, 10) @ reference_rope(k, 7)
+    dot_b = reference_rope(q, 23) @ reference_rope(k, 20)
+    assert dot_a == pytest.approx(dot_b, rel=1e-9)
+
+
+def test_reference_rope_batched(rng):
+    x = rng.standard_normal((4, 64))
+    batched = reference_rope(x, 5)
+    for i in range(4):
+        assert np.allclose(batched[i], reference_rope(x[i], 5))
+
+
+class TestHardwareRope:
+    def test_matches_reference_within_lut_error(self, rng):
+        hw = HardwareRope(head_dim=128)
+        x = rng.standard_normal(128)
+        for pos in (0, 1, 63, 511, 1023):
+            ref = reference_rope(x, pos)
+            got = hw.apply(x, pos).astype(np.float64)
+            assert np.max(np.abs(got - ref)) < 0.02
+
+    def test_rejects_wrong_head_dim(self):
+        hw = HardwareRope(head_dim=64)
+        with pytest.raises(ConfigError):
+            hw.apply(np.ones(128), 0)
+
+    def test_position_zero_close_to_identity(self, rng):
+        hw = HardwareRope(head_dim=64)
+        x = rng.standard_normal(64)
+        out = hw.apply(x, 0).astype(np.float64)
+        assert np.max(np.abs(out - np.float16(x).astype(np.float64))) < 5e-3
+
+    def test_max_error_reporting(self):
+        hw = HardwareRope(head_dim=64)
+        err = hw.max_error(position=700, trials=8)
+        assert 0 <= err < 0.05
+
+    def test_smaller_rom_is_coarser(self):
+        fine = HardwareRope(head_dim=64, rom_depth=4096)
+        coarse = HardwareRope(head_dim=64, rom_depth=64)
+        # A much shallower ROM must show a larger worst-case error.
+        assert coarse.max_error(901, trials=16) > fine.max_error(901, trials=16)
+
+    def test_batched_heads(self, rng):
+        hw = HardwareRope(head_dim=32)
+        x = rng.standard_normal((3, 32))
+        out = hw.apply(x, 9)
+        assert out.shape == (3, 32)
+        for i in range(3):
+            assert np.array_equal(out[i], hw.apply(x[i], 9))

@@ -1,0 +1,94 @@
+"""Softmax variants: reference, three-pass hardware, online."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.numerics.softmax import (
+    online_softmax,
+    reference_softmax,
+    three_pass_softmax,
+)
+
+finite_vectors = st.lists(
+    st.floats(min_value=-30, max_value=30, allow_nan=False),
+    min_size=1, max_size=64,
+)
+
+
+def test_reference_sums_to_one(rng):
+    probs = reference_softmax(rng.standard_normal(100))
+    assert probs.sum() == pytest.approx(1.0)
+
+
+def test_reference_handles_large_values():
+    # Stability: shifting by the max prevents overflow.
+    probs = reference_softmax(np.array([1000.0, 1000.0]))
+    assert np.allclose(probs, 0.5)
+
+
+def test_reference_empty_raises():
+    with pytest.raises(SimulationError):
+        reference_softmax(np.array([]))
+
+
+def test_three_pass_sums_to_one(rng):
+    probs = three_pass_softmax(rng.standard_normal(64)).astype(np.float64)
+    assert probs.sum() == pytest.approx(1.0, abs=0.02)
+
+
+def test_three_pass_matches_reference(rng):
+    x = rng.standard_normal(48) * 3
+    hw = three_pass_softmax(x).astype(np.float64)
+    ref = reference_softmax(np.float16(x).astype(np.float64))
+    assert np.max(np.abs(hw - ref)) < 5e-3
+
+
+def test_three_pass_monotonic(rng):
+    # Larger score -> larger probability, regardless of rounding.
+    x = np.sort(rng.standard_normal(32))
+    probs = three_pass_softmax(x).astype(np.float64)
+    assert np.all(np.diff(probs) >= -1e-6)
+
+
+def test_three_pass_single_element():
+    assert float(three_pass_softmax([3.0])[0]) == 1.0
+
+
+def test_three_pass_empty_raises():
+    with pytest.raises(SimulationError):
+        three_pass_softmax([])
+
+
+def test_three_pass_extreme_spread():
+    # A -30 score should get (almost) zero without poisoning the rest.
+    probs = three_pass_softmax([10.0, -30.0]).astype(np.float64)
+    assert probs[0] == pytest.approx(1.0, abs=1e-3)
+    assert probs[1] < 1e-3
+
+
+def test_online_matches_reference(rng):
+    x = rng.standard_normal(40)
+    assert np.allclose(online_softmax(x), reference_softmax(x), atol=1e-12)
+
+
+def test_online_empty_raises():
+    with pytest.raises(SimulationError):
+        online_softmax([])
+
+
+@given(finite_vectors)
+@settings(max_examples=60, deadline=None)
+def test_three_pass_valid_distribution(values):
+    probs = three_pass_softmax(values).astype(np.float64)
+    assert np.all(probs >= 0)
+    assert probs.sum() == pytest.approx(1.0, abs=0.05)
+
+
+@given(finite_vectors)
+@settings(max_examples=60, deadline=None)
+def test_online_equals_reference(values):
+    x = np.asarray(values)
+    assert np.allclose(online_softmax(x), reference_softmax(x), atol=1e-9)

@@ -1,0 +1,49 @@
+"""Whole-reproduction summary."""
+
+import pytest
+
+from repro.report.summary import (
+    HeadlineNumbers,
+    render_summary,
+    reproduction_summary,
+)
+
+
+@pytest.fixture(scope="module")
+def summary():
+    return reproduction_summary()
+
+
+def test_every_headline_claim_holds(summary):
+    checks = summary.matches_paper()
+    failing = [name for name, ok in checks.items() if not ok]
+    assert not failing, f"claims not reproduced: {failing}"
+
+
+def test_all_match_aggregate(summary):
+    assert summary.all_match()
+
+
+def test_render_contains_all_rows(summary):
+    text = render_summary(summary)
+    assert text.count("\n") >= 10
+    assert "token/s" in text
+    assert "True" in text
+    assert "False" not in text  # every claim matches
+
+
+def test_summary_values_sane(summary):
+    assert 5.7 < summary.theoretical_tokens_per_s < 5.9
+    assert 0 < summary.decode_tokens_per_s < summary.theoretical_tokens_per_s
+    assert summary.kv_mib == pytest.approx(264, abs=0.5)
+
+
+def test_matches_paper_detects_regression():
+    broken = HeadlineNumbers(
+        theoretical_tokens_per_s=5.8, decode_tokens_per_s=3.0,
+        utilization=0.52, weights_mib=3556, kv_mib=264,
+        capacity_utilization=0.93, linux_fits=False,
+        exposed_misc_cycles=0, lut=77000, dsp=291, power_w=6.57)
+    checks = broken.matches_paper()
+    assert not checks["decode ~4.9 token/s"]
+    assert not broken.all_match()

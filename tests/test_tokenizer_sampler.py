@@ -1,0 +1,111 @@
+"""Byte tokenizer and samplers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.model.sampler import Sampler
+from repro.model.tokenizer import ByteTokenizer
+
+
+class TestByteTokenizer:
+    def test_roundtrip_ascii(self):
+        tok = ByteTokenizer()
+        assert tok.decode(tok.encode("hello FPGA")) == "hello FPGA"
+
+    def test_roundtrip_unicode(self):
+        tok = ByteTokenizer()
+        text = "大语言模型 ünïcode ✓"
+        assert tok.decode(tok.encode(text)) == text
+
+    def test_bos_prepended(self):
+        tok = ByteTokenizer()
+        ids = tok.encode("a")
+        assert ids[0] == tok.bos_id
+        assert ids[1] == ord("a")
+
+    def test_no_bos_option(self):
+        tok = ByteTokenizer()
+        assert tok.encode("a", add_bos=False) == [ord("a")]
+
+    def test_eos_appended(self):
+        tok = ByteTokenizer()
+        assert tok.encode("a", add_eos=True)[-1] == tok.eos_id
+
+    def test_specials_dropped_on_decode(self):
+        tok = ByteTokenizer()
+        assert tok.decode([tok.bos_id, ord("x"), tok.eos_id]) == "x"
+
+    def test_out_of_vocab_id_raises(self):
+        tok = ByteTokenizer()
+        with pytest.raises(ConfigError):
+            tok.decode([500])
+
+    def test_padding_ids_are_dropped(self):
+        # A synthetic model with a padded vocabulary may emit non-byte ids
+        # below vocab_size; they decode to nothing.
+        tok = ByteTokenizer(vocab_size=272)
+        assert tok.decode([ord("a"), 266, ord("b")]) == "ab"
+
+    def test_too_small_vocab_rejected(self):
+        with pytest.raises(ConfigError):
+            ByteTokenizer(vocab_size=100)
+
+    @given(st.text(max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, text):
+        tok = ByteTokenizer()
+        assert tok.decode(tok.encode(text)) == text
+
+
+class TestSampler:
+    def test_greedy_is_argmax(self, rng):
+        logits = rng.standard_normal(100)
+        assert Sampler().sample(logits) == int(np.argmax(logits))
+
+    def test_temperature_zero_deterministic(self, rng):
+        logits = rng.standard_normal(50)
+        s = Sampler(temperature=0.0)
+        assert len({s.sample(logits) for _ in range(5)}) == 1
+
+    def test_seeded_reproducibility(self, rng):
+        logits = rng.standard_normal(50)
+        a = Sampler(temperature=1.0, seed=42)
+        b = Sampler(temperature=1.0, seed=42)
+        assert [a.sample(logits) for _ in range(10)] == \
+            [b.sample(logits) for _ in range(10)]
+
+    def test_top_k_restricts_support(self, rng):
+        logits = rng.standard_normal(100)
+        top3 = set(np.argsort(logits)[-3:])
+        s = Sampler(temperature=1.0, top_k=3, seed=0)
+        for _ in range(50):
+            assert s.sample(logits) in top3
+
+    def test_top_p_restricts_support(self):
+        # One dominant logit: nucleus of p=0.5 is just that token.
+        logits = np.array([10.0, 0.0, 0.0, 0.0])
+        s = Sampler(temperature=1.0, top_p=0.5, seed=0)
+        for _ in range(20):
+            assert s.sample(logits) == 0
+
+    def test_high_temperature_spreads(self, rng):
+        logits = np.zeros(10)
+        logits[3] = 1.0
+        s = Sampler(temperature=100.0, seed=0)
+        seen = {s.sample(logits) for _ in range(200)}
+        assert len(seen) > 5  # near-uniform at huge temperature
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigError):
+            Sampler(temperature=-1)
+        with pytest.raises(ConfigError):
+            Sampler(top_k=-1)
+        with pytest.raises(ConfigError):
+            Sampler(top_p=0.0)
+
+    def test_empty_logits_rejected(self):
+        with pytest.raises(ConfigError):
+            Sampler().sample(np.array([]))

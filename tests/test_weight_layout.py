@@ -1,0 +1,127 @@
+"""Interleaved weight arrangement format (Fig. 4A)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LayoutError
+from repro.memory.ddr import DdrModel
+from repro.packing.weight_layout import (
+    WeightLayoutSpec,
+    decode_weight_stream,
+    encode_weight_stream,
+    interleaved_read_transactions,
+    naive_read_transactions,
+)
+from repro.quant.groupquant import quantize_groups
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return WeightLayoutSpec()
+
+
+class TestSpec:
+    def test_superblock_geometry(self, spec):
+        # 512-bit bus, 8-bit zeros: 64 groups per superblock.
+        assert spec.groups_per_superblock == 64
+        assert spec.zero_beats == 1
+        assert spec.scale_beats == 2  # 64 x 16-bit scales
+        assert spec.weight_beats_per_group == 1  # 128 x 4-bit weights
+        assert spec.superblock_beats == 1 + 2 + 64
+
+    def test_superblock_bytes(self, spec):
+        assert spec.superblock_bytes == 67 * 64
+
+    def test_stream_bytes_pads_partial_blocks(self, spec):
+        assert spec.stream_bytes(1) == spec.superblock_bytes
+        assert spec.stream_bytes(64) == spec.superblock_bytes
+        assert spec.stream_bytes(65) == 2 * spec.superblock_bytes
+
+    def test_overhead_fraction(self, spec):
+        # 3 metadata beats per 64 code beats.
+        assert spec.overhead_fraction() == pytest.approx(3 / 64)
+
+    def test_rejects_non_dividing_widths(self):
+        with pytest.raises(LayoutError):
+            WeightLayoutSpec(zero_bits=7)
+
+    def test_8bit_weight_variant(self):
+        spec8 = WeightLayoutSpec(weight_bits=8)
+        assert spec8.weight_beats_per_group == 2  # 128 x 8-bit = 2 beats
+
+
+class TestRoundtrip:
+    def test_exact_roundtrip(self, rng, spec):
+        w = rng.standard_normal((48, 256))
+        p = quantize_groups(w, 4, 128)
+        data = encode_weight_stream(p, spec)
+        p2 = decode_weight_stream(data, 48, 256, spec)
+        assert np.array_equal(p.codes, p2.codes)
+        assert np.array_equal(p.scales, p2.scales)
+        assert np.array_equal(p.zeros, p2.zeros)
+
+    def test_roundtrip_partial_superblock(self, rng, spec):
+        # 10 rows x 1 group = 10 groups: far less than one superblock.
+        w = rng.standard_normal((10, 128))
+        p = quantize_groups(w, 4, 128)
+        data = encode_weight_stream(p, spec)
+        assert len(data) == spec.superblock_bytes
+        p2 = decode_weight_stream(data, 10, 128, spec)
+        assert np.array_equal(p.codes, p2.codes)
+
+    def test_stream_is_beat_aligned(self, rng, spec):
+        p = quantize_groups(rng.standard_normal((16, 128)), 4, 128)
+        assert len(encode_weight_stream(p, spec)) % spec.bus_bytes == 0
+
+    def test_mismatched_bits_rejected(self, rng, spec):
+        p = quantize_groups(rng.standard_normal((4, 128)), 8, 128)
+        with pytest.raises(LayoutError):
+            encode_weight_stream(p, spec)
+
+    def test_decode_wrong_length_rejected(self, spec):
+        with pytest.raises(LayoutError):
+            decode_weight_stream(b"\x00" * 64, 4, 128, spec)
+
+    def test_decode_indivisible_features_rejected(self, spec):
+        with pytest.raises(LayoutError):
+            decode_weight_stream(b"", 4, 100, spec)
+
+    @given(st.integers(min_value=1, max_value=5),
+           st.integers(min_value=1, max_value=4),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, rows, groups_per_row, seed):
+        rng = np.random.default_rng(seed)
+        spec = WeightLayoutSpec()
+        w = rng.standard_normal((rows, groups_per_row * 128))
+        p = quantize_groups(w, 4, 128)
+        data = encode_weight_stream(p, spec)
+        p2 = decode_weight_stream(data, rows, groups_per_row * 128, spec)
+        assert np.array_equal(p.codes, p2.codes)
+        assert np.array_equal(p.scales, p2.scales)
+        assert np.array_equal(p.zeros, p2.zeros)
+
+
+class TestTransactionStreams:
+    def test_interleaved_is_few_large_bursts(self, spec):
+        txns = interleaved_read_transactions(4096, spec=spec)
+        assert len(txns) <= 2
+        assert all(t.size >= 1 << 18 for t in txns[:-1] or txns)
+
+    def test_naive_is_many_small_transactions(self, spec):
+        txns = naive_read_transactions(64, spec=spec)
+        assert len(txns) == 3 * 64
+        assert min(t.size for t in txns) <= 2
+
+    def test_interleaved_beats_naive_on_ddr(self, spec):
+        """The Fig. 4A claim, quantified on the DDR model."""
+        n_groups = 2048
+        inter = DdrModel()
+        inter.run(interleaved_read_transactions(n_groups, spec=spec))
+        naive = DdrModel()
+        naive.run(naive_read_transactions(n_groups, spec=spec))
+        assert inter.efficiency() > 0.9
+        assert naive.efficiency() < 0.5
+        assert inter.efficiency() / naive.efficiency() > 2

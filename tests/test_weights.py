@@ -1,0 +1,109 @@
+"""Weight containers, synthetic init, and whole-model quantization."""
+
+import numpy as np
+import pytest
+
+from repro.config import SMALL_MODEL, TINY_MODEL, QuantConfig
+from repro.errors import ConfigError
+from repro.model.weights import (
+    QuantizedModelWeights,
+    quantize_model,
+    random_weights,
+)
+from repro.quant.calibration import ActivationStats
+
+
+class TestRandomWeights:
+    def test_param_count_matches_config(self):
+        w = random_weights(TINY_MODEL, seed=0)
+        assert w.param_count() == TINY_MODEL.total_params()
+
+    def test_param_count_small_model(self):
+        w = random_weights(SMALL_MODEL, seed=0)
+        assert w.param_count() == SMALL_MODEL.total_params()
+
+    def test_deterministic_by_seed(self):
+        a = random_weights(TINY_MODEL, seed=5)
+        b = random_weights(TINY_MODEL, seed=5)
+        assert np.array_equal(a.layers[0].wq, b.layers[0].wq)
+
+    def test_different_seeds_differ(self):
+        a = random_weights(TINY_MODEL, seed=5)
+        b = random_weights(TINY_MODEL, seed=6)
+        assert not np.array_equal(a.layers[0].wq, b.layers[0].wq)
+
+    def test_projection_scaling(self):
+        # std ~ 1/sqrt(in_features) keeps activations near unit variance.
+        w = random_weights(SMALL_MODEL, seed=1)
+        std = w.layers[0].wq.std()
+        assert std == pytest.approx(1 / np.sqrt(SMALL_MODEL.hidden_size),
+                                    rel=0.15)
+
+    def test_norm_weights_near_one(self):
+        w = random_weights(TINY_MODEL, seed=2)
+        assert w.layers[0].input_norm.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_gate_present_for_gated_mlp(self):
+        w = random_weights(TINY_MODEL, seed=0)
+        assert w.layers[0].w_gate is not None
+
+    def test_head_matrix_untied(self):
+        w = random_weights(TINY_MODEL, seed=0)
+        assert w.head_matrix() is w.lm_head
+
+    def test_projections_dict(self):
+        projs = random_weights(TINY_MODEL, seed=0).layers[0].projections()
+        assert set(projs) == {"wq", "wk", "wv", "wo", "w_gate", "w_up",
+                              "w_down"}
+
+
+class TestQuantizeModel:
+    def test_produces_all_layers(self, tiny_weights, tiny_quant):
+        qw = quantize_model(tiny_weights, tiny_quant)
+        assert isinstance(qw, QuantizedModelWeights)
+        assert len(qw.layers) == TINY_MODEL.num_layers
+        assert len(qw.norms) == TINY_MODEL.num_layers
+
+    def test_embedding_stays_fp16(self, tiny_qweights):
+        assert tiny_qweights.embedding.dtype == np.float16
+
+    def test_projection_lookup(self, tiny_qweights):
+        res = tiny_qweights.projection(0, "wq")
+        assert res.params.codes.shape == (TINY_MODEL.hidden_size,
+                                          TINY_MODEL.hidden_size)
+
+    def test_projection_missing_raises(self, tiny_qweights):
+        with pytest.raises(ConfigError):
+            tiny_qweights.projection(0, "nonexistent")
+
+    def test_stored_bytes_close_to_analytic(self, tiny_qweights):
+        got = tiny_qweights.stored_weight_bytes()
+        q = tiny_qweights.quant
+        streamed = TINY_MODEL.decode_stream_params() - TINY_MODEL.norm_params()
+        expected = streamed * q.effective_weight_bits / 8 \
+            + (TINY_MODEL.embedding_params() + TINY_MODEL.norm_params()) * 2
+        assert got == pytest.approx(expected, rel=0.01)
+
+    def test_quantization_error_is_small(self, tiny_weights, tiny_qweights):
+        w = tiny_weights.layers[0].wq
+        w_hat = tiny_qweights.projection(0, "wq").effective_weight(np.float64)
+        rel = np.abs(w - w_hat).max() / np.abs(w).max()
+        assert rel < 0.1
+
+    def test_awq_stats_are_used(self, tiny_weights, tiny_quant):
+        stats = {}
+        key = "layer0.wq"
+        s = ActivationStats(TINY_MODEL.hidden_size)
+        acts = np.ones((4, TINY_MODEL.hidden_size))
+        acts[:, 0] = 100.0
+        s.update(acts)
+        stats[key] = s
+        qw = quantize_model(tiny_weights, tiny_quant, act_stats=stats)
+        assert qw.projection(0, "wq").alpha >= 0.0
+        # Other layers fall back to plain RTN (alpha 0, unit scales).
+        assert np.allclose(qw.projection(1, "wq").channel_scales, 1.0)
+
+    def test_mismatched_stats_raise(self, tiny_weights, tiny_quant):
+        stats = {"layer0.wq": ActivationStats(7)}
+        with pytest.raises(ConfigError):
+            quantize_model(tiny_weights, tiny_quant, act_stats=stats)
