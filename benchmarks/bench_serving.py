@@ -1,0 +1,77 @@
+"""Batched serving throughput: the perf trajectory for future PRs.
+
+Two artifacts: the throughput-vs-batch curve of the batched cycle model
+(weight-stream amortization on LLaMA2-7B), and a full continuous-batching
+trace replay on the cycle-model backend recording aggregate tokens/s,
+TTFT, and tail latency.  Records go to ``benchmarks/results/`` so every
+later PR can diff against them.
+"""
+
+import pytest
+
+from repro.config import KV260, LLAMA2_7B, TINY_MODEL, W4A16_KV8, QuantConfig
+from repro.core.cyclemodel import CycleModel
+from repro.engine import (
+    ContinuousBatchScheduler,
+    CycleModelBackend,
+    synthetic_trace,
+)
+
+
+def _render_curve(points) -> str:
+    lines = ["Batched decode — LLaMA2-7B W4A16/KV8 on KV260 @ctx 512",
+             "  batch   agg tok/s   per-seq   speedup"]
+    single = points[0].aggregate_tokens_per_s
+    for p in points:
+        lines.append(f"  {p.batch:5d}   {p.aggregate_tokens_per_s:9.3f}"
+                     f"   {p.per_sequence_tokens_per_s:7.3f}"
+                     f"   {p.aggregate_tokens_per_s / single:6.2f}x")
+    return "\n".join(lines)
+
+
+def bench_batch_amortization_curve(benchmark, save_result):
+    cm = CycleModel(LLAMA2_7B, W4A16_KV8, KV260)
+    batches = [1, 2, 4, 8, 16]
+    points = benchmark(cm.batch_sweep, batches, 512)
+    save_result("serving_batch_curve", _render_curve(points))
+
+    single = points[0].aggregate_tokens_per_s
+    assert single == pytest.approx(5.1, abs=0.15)
+    # Acceptance: aggregate rate strictly above single-batch from batch 2 on.
+    for p in points[1:]:
+        assert p.aggregate_tokens_per_s > single
+
+
+def bench_continuous_batching_trace(benchmark, save_result):
+    """Replay a 24-request synthetic trace through the engine."""
+    quant = QuantConfig(weight_group_size=32)
+
+    def serve(max_batch=8):
+        backend = CycleModelBackend(TINY_MODEL, quant, KV260,
+                                    n_slots=max_batch)
+        engine = ContinuousBatchScheduler(backend, max_batch=max_batch)
+        trace = synthetic_trace(TINY_MODEL, n_requests=24,
+                                arrival_rate_rps=1e6,
+                                prompt_len=(4, 12), decode_len=(8, 24),
+                                seed=11)
+        return engine.run(trace)
+
+    report = benchmark.pedantic(serve, rounds=3, iterations=1)
+    serial = serve(max_batch=1)
+    text = "\n".join([
+        "Continuous batching — 24 requests, tiny-test on KV260, batch <= 8",
+        f"  aggregate  : {report.aggregate_tokens_per_s:12.1f} token/s"
+        f"  (serial engine: {serial.aggregate_tokens_per_s:.1f})",
+        f"  mean batch : {report.mean_batch:12.2f}",
+        f"  max batch  : {report.max_batch_observed:12d}",
+        f"  mean TTFT  : {report.mean_ttft_s * 1e3:12.3f} ms",
+        f"  p50 lat    : {report.latency_percentile_s(50) * 1e3:12.3f} ms",
+        f"  p99 lat    : {report.latency_percentile_s(99) * 1e3:12.3f} ms",
+        f"  preemptions: {report.preemptions:12d}",
+    ])
+    save_result("serving_trace_replay", text)
+
+    assert len(report.results) == 24
+    assert report.max_batch_observed == 8
+    # Batched serving must beat the same trace served one request at a time.
+    assert report.aggregate_tokens_per_s > serial.aggregate_tokens_per_s

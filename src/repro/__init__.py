@@ -12,6 +12,8 @@ The package models the paper's KV260 LLM-decode accelerator end to end:
 * the accelerator itself: fused dataflow, cycle model, resources, power
   — :mod:`repro.core`
 * the bare-metal runtime and end-to-end sessions — :mod:`repro.runtime`
+* the execution engine: requests, backends, continuous batching
+  — :mod:`repro.engine`
 * every comparison row of Tables II/III — :mod:`repro.baselines`
 * table/figure regeneration — :mod:`repro.report`
 
@@ -43,7 +45,16 @@ from .config import (
 )
 from .core.accelerator import Accelerator, DecodePerf
 from .core.analytical import theoretical_tokens_per_s, utilization
-from .core.cyclemodel import CycleModel
+from .core.cyclemodel import BatchCycles, CycleModel
+from .engine import (
+    AnalyticalBackend,
+    ContinuousBatchScheduler,
+    CycleModelBackend,
+    FunctionalBackend,
+    Request,
+    ServeReport,
+    synthetic_trace,
+)
 from .core.resources import estimate_resources
 from .core.power import estimate_power
 from .errors import (
@@ -84,7 +95,15 @@ __all__ = [
     "W8A16_KV8",
     "W16",
     "Accelerator",
+    "AnalyticalBackend",
+    "BatchCycles",
+    "ContinuousBatchScheduler",
+    "CycleModelBackend",
     "DecodePerf",
+    "FunctionalBackend",
+    "Request",
+    "ServeReport",
+    "synthetic_trace",
     "theoretical_tokens_per_s",
     "utilization",
     "CycleModel",

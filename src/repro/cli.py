@@ -8,6 +8,9 @@ Commands:
 * ``sweep``     — decode-rate context sweep.
 * ``explore``   — design-space sweep with the Pareto frontier.
 * ``generate``  — run the functional pipeline on a tiny synthetic model.
+* ``serve-sim`` — replay a synthetic request trace through the
+  continuous-batching engine and report serving metrics.
+* ``bench-serve`` — throughput-vs-batch curve of the batched cycle model.
 """
 
 from __future__ import annotations
@@ -175,6 +178,106 @@ def cmd_generate(args) -> int:
     return 0
 
 
+def _serve_backend(args, model, platform, quant):
+    from .engine import AnalyticalBackend, CycleModelBackend, FunctionalBackend
+
+    if args.backend == "cycle":
+        return CycleModelBackend(model, quant, platform, mode=args.mode,
+                                 n_slots=args.max_batch)
+    if args.backend == "analytical":
+        return AnalyticalBackend(model, quant, platform,
+                                 n_slots=args.max_batch)
+    if args.backend == "functional":
+        from .model.weights import quantize_model, random_weights
+
+        if model.total_params() > 50_000_000:
+            raise ReproError(
+                f"{model.name} is too large for the functional backend "
+                "(numpy forward pass); use --backend cycle or analytical")
+        group = min(quant.weight_group_size, model.hidden_size)
+        fq = QuantConfig(weight_bits=quant.weight_bits,
+                         kv_bits=quant.kv_bits, weight_group_size=group)
+        qweights = quantize_model(random_weights(model, seed=args.seed), fq)
+        return FunctionalBackend(qweights, platform, mode=args.mode,
+                                 n_slots=args.max_batch)
+    raise ReproError(f"unknown backend {args.backend!r}")
+
+
+def cmd_serve_sim(args) -> int:
+    from .engine import ContinuousBatchScheduler, synthetic_trace
+
+    model = _model(args.model)
+    platform = _platform(args.platform)
+    backend = _serve_backend(args, model, platform, _quant(args))
+    engine = ContinuousBatchScheduler(
+        backend, max_batch=args.max_batch,
+        kv_token_budget=args.kv_budget if args.kv_budget else None)
+    trace = synthetic_trace(
+        model, n_requests=args.requests,
+        arrival_rate_rps=args.arrival_rate,
+        prompt_len=(args.prompt_min, args.prompt_max),
+        decode_len=(args.decode_min, args.decode_max),
+        seed=args.seed)
+    report = engine.run(trace)
+
+    print(f"serve-sim: {args.requests} requests, {model.name} on "
+          f"{platform.name} ({args.backend} backend, max batch "
+          f"{args.max_batch}, KV budget {engine.kv_token_budget} tokens)")
+    print(f"  simulated time : {report.total_time_s:10.3f} s "
+          f"({report.n_steps} engine steps)")
+    print(f"  aggregate rate : {report.aggregate_tokens_per_s:10.3f} "
+          f"token/s ({report.total_new_tokens} tokens)")
+    print(f"  batch occupancy: mean {report.mean_batch:.2f}, "
+          f"max {report.max_batch_observed}, "
+          f"preemptions {report.preemptions}")
+    print(f"  mean TTFT      : {report.mean_ttft_s * 1e3:10.3f} ms")
+    for p in (50, 95, 99):
+        print(f"  token lat p{p:<3}: "
+              f"{report.latency_percentile_s(p) * 1e3:10.3f} ms")
+    if args.per_request:
+        print("  id  prompt  new  ttft_ms    e2e_ms  reason")
+        for r in report.results:
+            print(f"  {r.request_id:2d}  {r.prompt_len:6d}  "
+                  f"{len(r.tokens):3d}  {r.ttft_s * 1e3:7.2f}  "
+                  f"{r.e2e_s * 1e3:8.2f}  {r.finish_reason.value}")
+    return 0
+
+
+def cmd_bench_serve(args) -> int:
+    from .core.cyclemodel import CycleModel
+    from .core.vpu import VpuSpec
+
+    if args.max_batch < 2:
+        raise ReproError(
+            "bench-serve needs --max-batch >= 2 to compare against the "
+            "single-request rate")
+    model = _model(args.model)
+    platform = _platform(args.platform)
+    vpu = VpuSpec(lanes=args.lanes) if args.lanes else None
+    cm = CycleModel(model, _quant(args), platform, vpu=vpu)
+    batches = []
+    b = 1
+    while b <= args.max_batch:
+        batches.append(b)
+        b *= 2
+    points = cm.batch_sweep(batches, args.context, args.mode)
+    single = points[0].aggregate_tokens_per_s
+    print(f"{model.name} on {platform.name} @ctx {args.context} "
+          f"({args.mode} pipeline"
+          + (f", {args.lanes} lanes" if args.lanes else "") + ")")
+    print("batch   agg tok/s   per-seq    util    speedup")
+    for p in points:
+        print(f"{p.batch:5d}   {p.aggregate_tokens_per_s:9.3f}   "
+              f"{p.per_sequence_tokens_per_s:7.3f}   {p.utilization:5.1%}"
+              f"   {p.aggregate_tokens_per_s / single:6.2f}x")
+    amortized = all(p.aggregate_tokens_per_s > single
+                    for p in points if p.batch >= 2)
+    print("weight-stream amortization "
+          + ("VISIBLE" if amortized else "NOT VISIBLE")
+          + " (aggregate rate vs batch=1)")
+    return 0 if amortized else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -222,6 +325,38 @@ def build_parser() -> argparse.ArgumentParser:
                        help="every headline claim, pass/fail vs the paper")
     p.add_argument("--context", type=int, default=1023)
     p.set_defaults(fn=cmd_summary)
+
+    p = sub.add_parser("serve-sim",
+                       help="continuous-batching serving simulation")
+    common(p, model_default="tiny-test")
+    p.add_argument("--backend", choices=("cycle", "analytical", "functional"),
+                   default="cycle")
+    p.add_argument("--mode", choices=("fused", "coarse"), default="fused")
+    p.add_argument("--requests", type=int, default=16)
+    p.add_argument("--max-batch", type=int, default=8)
+    p.add_argument("--arrival-rate", type=float, default=1e6,
+                   help="requests per simulated second")
+    p.add_argument("--prompt-min", type=int, default=4)
+    p.add_argument("--prompt-max", type=int, default=16)
+    p.add_argument("--decode-min", type=int, default=8)
+    p.add_argument("--decode-max", type=int, default=32)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--kv-budget", type=int, default=0,
+                   help="override the KV token budget (0 = derive from "
+                        "the capacity report); small values force "
+                        "preemption")
+    p.add_argument("--per-request", action="store_true",
+                   help="print the per-request table")
+    p.set_defaults(fn=cmd_serve_sim)
+
+    p = sub.add_parser("bench-serve",
+                       help="batched decode throughput vs batch size")
+    common(p)
+    p.add_argument("--mode", choices=("fused", "coarse"), default="fused")
+    p.add_argument("--max-batch", type=int, default=16)
+    p.add_argument("--lanes", type=int, default=0,
+                   help="override DOT-engine lanes (0 = platform default)")
+    p.set_defaults(fn=cmd_bench_serve, context=512)
 
     p = sub.add_parser("generate", help="functional generation (tiny models)")
     common(p, model_default="tiny-test")

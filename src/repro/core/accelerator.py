@@ -52,15 +52,12 @@ class DecodePerf:
 
     def latency_percentile_s(self, percentile: float) -> float:
         """Per-token latency percentile (context growth skews the tail)."""
-        if not 0 <= percentile <= 100:
-            raise SimulationError(
-                f"percentile must be in [0, 100], got {percentile}")
+        from ..stats import percentile_nearest_rank
+
         if not self.decode_cycles:
             raise SimulationError("no decode steps recorded")
-        ordered = sorted(self.decode_cycles)
-        index = min(len(ordered) - 1,
-                    int(round(percentile / 100 * (len(ordered) - 1))))
-        return ordered[index] / self.freq_hz
+        return percentile_nearest_rank(self.decode_cycles, percentile) \
+            / self.freq_hz
 
     @property
     def utilization(self) -> float:
@@ -113,21 +110,41 @@ class Accelerator:
                                         self.quant.weight_bits)
 
     def resources(self) -> ResourceReport:
+        """PL resource estimate for *this* platform's geometry.
+
+        Lane count is derived from the platform's AXI bus and the weight
+        bit-width (the bandwidth-matched engine of Sec. VI-B), so
+        non-KV260 platforms report their own resources rather than the
+        KV260's.
+        """
+        if self.platform.kind != "fpga" or self.platform.axi_ports <= 0:
+            raise SimulationError(
+                f"{self.platform.name} is not an FPGA platform; no PL "
+                "resources to estimate")
+        from .vpu import bandwidth_matched_lanes
+
         return estimate_resources(
-            lanes=128, axi_ports=self.platform.axi_ports or 4)
+            lanes=bandwidth_matched_lanes(self.platform,
+                                          self.quant.weight_bits),
+            axi_ports=self.platform.axi_ports)
 
     def power_w(self) -> float:
-        return estimate_power(self.resources(),
-                              self.platform.pl_freq_hz or 300e6)
+        return estimate_power(self.resources(), self.platform.pl_freq_hz)
 
     # -- functional + timing API ---------------------------------------------------
 
     def decode(self, prompt: list[int], max_new_tokens: int,
-               sampler=None) -> tuple[list[int], DecodePerf]:
+               sampler=None, eos_id: int | None = None,
+               ) -> tuple[list[int], DecodePerf]:
         """Generate tokens on the functional model while timing each step.
 
         Requires a functional model (small synthetic configs); for
         timing-only studies of big models use :meth:`decode_perf`.
+
+        When ``eos_id`` is given, a sampled EOS ends the run immediately:
+        the EOS token is returned but never forwarded, so no decode step
+        is charged for it — callers that strip EOS from the tokens see a
+        perf record consistent with the text they kept.
         """
         if self.functional is None:
             raise SimulationError(
@@ -154,6 +171,8 @@ class Accelerator:
             token = (int(np.argmax(logits)) if sampler is None
                      else sampler.sample(logits))
             out.append(token)
+            if eos_id is not None and token == eos_id:
+                break
             step = self.cycles.decode_step(position, self.mode)
             perf.decode_cycles.append(step.cycles)
             logits = self.functional.decode_step(token, cache, position)

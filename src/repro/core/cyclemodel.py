@@ -9,12 +9,13 @@ KV260, decaying slowly with context as KV traffic grows.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from ..config import KV260, ModelConfig, PlatformConfig, QuantConfig
 from ..errors import SimulationError
 from .analytical import theoretical_tokens_per_s
 from .mcu import Mcu
-from .scheduler import TokenScheduler, TokenSchedule
+from .scheduler import BatchSchedule, TokenScheduler, TokenSchedule
 from .spu import SpuModel
 from .vpu import VpuSpec
 
@@ -30,6 +31,30 @@ class TokenCycles:
     utilization: float
     transfer_bytes: float
     exposed_misc_cycles: float
+
+
+@dataclass(frozen=True)
+class BatchCycles:
+    """Cycle-model output for one *batched* decode step.
+
+    ``aggregate_tokens_per_s`` counts one token per batch member per step;
+    ``utilization`` compares it against the single-sequence bandwidth
+    ceiling, so it exceeds 1.0 exactly when weight-stream amortization
+    pays off.
+    """
+
+    contexts: tuple[int, ...]
+    mode: str
+    cycles: float
+    aggregate_tokens_per_s: float
+    per_sequence_tokens_per_s: float
+    utilization: float
+    transfer_bytes: float
+    exposed_misc_cycles: float
+
+    @property
+    def batch(self) -> int:
+        return len(self.contexts)
 
 
 class CycleModel:
@@ -80,6 +105,41 @@ class CycleModel:
             transfer_bytes=sched.total_transfer_bytes,
             exposed_misc_cycles=sched.exposed_misc_cycles,
         )
+
+    def batched_token_schedule(self, contexts: Sequence[int],
+                               mode: str = "fused") -> BatchSchedule:
+        return self.scheduler.build_batched(contexts, mode)
+
+    def batched_decode_step(self, contexts: Sequence[int],
+                            mode: str = "fused") -> BatchCycles:
+        """Cycle-model one decode step shared by concurrent sequences.
+
+        The quantized weight stream is read once per step regardless of
+        batch size (the paper's dominant cost, amortized); KV traffic and
+        misc work scale per member.
+        """
+        sched = self.batched_token_schedule(contexts, mode)
+        cycles = sched.total_cycles
+        per_seq = self.platform.pl_freq_hz / cycles
+        aggregate = sched.batch * per_seq
+        ceiling = theoretical_tokens_per_s(self.model, self.platform,
+                                           self.quant.weight_bits)
+        return BatchCycles(
+            contexts=sched.contexts,
+            mode=mode,
+            cycles=cycles,
+            aggregate_tokens_per_s=aggregate,
+            per_sequence_tokens_per_s=per_seq,
+            utilization=aggregate / ceiling,
+            transfer_bytes=sched.total_transfer_bytes,
+            exposed_misc_cycles=sched.exposed_misc_cycles,
+        )
+
+    def batch_sweep(self, batches: Sequence[int], context: int,
+                    mode: str = "fused") -> list[BatchCycles]:
+        """Throughput-vs-batch curve at a fixed per-sequence context."""
+        return [self.batched_decode_step([context] * b, mode)
+                for b in batches]
 
     def context_sweep(self, contexts, mode: str = "fused",
                       ) -> list[TokenCycles]:

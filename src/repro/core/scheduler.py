@@ -21,6 +21,7 @@ under the next projection's stream.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from ..config import ModelConfig, QuantConfig
 from ..errors import ScheduleError
@@ -67,6 +68,43 @@ class TokenSchedule:
         raise ScheduleError(f"no segment named {name!r}")
 
 
+@dataclass
+class BatchSchedule:
+    """All segments of one *batched* decode step.
+
+    Weight-streaming segments appear once (the stream is shared by every
+    sequence in the batch); attention KV segments appear per member, each
+    at that sequence's own context.  ``contexts[i]`` is the number of
+    cached tokens of batch member ``i``.
+    """
+
+    mode: str
+    contexts: tuple[int, ...]
+    segments: list[Segment] = field(default_factory=list)
+
+    @property
+    def batch(self) -> int:
+        return len(self.contexts)
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(s.cycles for s in self.segments)
+
+    @property
+    def total_transfer_bytes(self) -> float:
+        return sum(s.transfer_bytes for s in self.segments)
+
+    @property
+    def exposed_misc_cycles(self) -> float:
+        return sum(s.exposed_misc_cycles for s in self.segments)
+
+    def segment(self, name: str) -> Segment:
+        for s in self.segments:
+            if s.name == name:
+                return s
+        raise ScheduleError(f"no segment named {name!r}")
+
+
 class TokenScheduler:
     """Builds :class:`TokenSchedule` objects for decode steps."""
 
@@ -88,15 +126,18 @@ class TokenScheduler:
 
     def _proj_segment(self, name: str, out_rows: int, in_cols: int,
                       hidden_misc: float = 0.0, mode: str = "fused",
-                      ) -> Segment:
+                      batch: int = 1) -> Segment:
+        """Weight-streamed projection: the stream is charged once, the
+        per-token compute and hidden misc once per batch member."""
         n_bytes = out_rows * in_cols * self.quant.effective_weight_bits / 8
         transfer = self.mcu.stream_transfer(n_bytes).cycles
-        compute = out_rows * self._tiles(in_cols)
+        compute = batch * out_rows * self._tiles(in_cols)
         dense = max(transfer, compute)
+        misc = batch * hidden_misc
         if mode == "fused":
-            exposed = max(0.0, hidden_misc - dense)
+            exposed = max(0.0, misc - dense)
         else:
-            exposed = hidden_misc
+            exposed = misc
         return Segment(name, dense + exposed, n_bytes, exposed)
 
     # -- public API --------------------------------------------------------------
@@ -114,7 +155,8 @@ class TokenScheduler:
                        weight_bytes + kv_read + kv_write,
                        report.exposed_misc_cycles)
 
-    def mlp_segments(self, layer: int, mode: str) -> list[Segment]:
+    def mlp_segments(self, layer: int, mode: str,
+                     batch: int = 1) -> list[Segment]:
         m = self.model
         h, inter = m.hidden_size, m.intermediate_size
         segs = []
@@ -123,20 +165,80 @@ class TokenScheduler:
         norm = self.spu.rmsnorm_cycles(h, square_sum_free=True)
         if m.gated_mlp:
             segs.append(self._proj_segment(f"layer{layer}.mlp.gate", inter, h,
-                                           hidden_misc=norm, mode=mode))
+                                           hidden_misc=norm, mode=mode,
+                                           batch=batch))
             silu = self.spu.silu_cycles(inter)
             segs.append(self._proj_segment(f"layer{layer}.mlp.up", inter, h,
-                                           hidden_misc=silu, mode=mode))
+                                           hidden_misc=silu, mode=mode,
+                                           batch=batch))
         else:
             segs.append(self._proj_segment(f"layer{layer}.mlp.up", inter, h,
-                                           hidden_misc=norm, mode=mode))
+                                           hidden_misc=norm, mode=mode,
+                                           batch=batch))
             silu = self.spu.silu_cycles(inter)
         down_misc = self.spu.residual_cycles(h)
         if not m.gated_mlp:
             down_misc += silu
         segs.append(self._proj_segment(f"layer{layer}.mlp.down", h, inter,
-                                       hidden_misc=down_misc, mode=mode))
+                                       hidden_misc=down_misc, mode=mode,
+                                       batch=batch))
         return segs
+
+    def batched_attention_segment(self, layer: int, contexts: Sequence[int],
+                                  mode: str) -> Segment:
+        """One layer's attention for a whole batch (Fig. 2 split, batched).
+
+        The Q/K/V/O weight slices stream from DRAM once and serve every
+        sequence (compute scales with the batch); the KV-history DOT
+        stages are inherently per sequence, each at its own context, and
+        so is the misc exposure.
+        """
+        m, q = self.model, self.quant
+        batch = len(contexts)
+        d = m.head_dim
+        group = m.num_heads // m.kv_heads
+        tiles_h = self._tiles(m.hidden_size)
+        tiles_d = self._tiles(d)
+
+        def weight_stage(out_rows: int, copies: int) -> float:
+            n_bytes = out_rows * m.hidden_size * q.effective_weight_bits / 8
+            transfer = self.mcu.stream_transfer(n_bytes).cycles
+            compute = batch * out_rows * tiles_h
+            return copies * max(transfer, compute)
+
+        cycles = 0.0
+        if mode == "fused":
+            # Head-wise slices: Q per head, K/V per KV head, O once.
+            cycles += weight_stage(d, m.num_heads)
+            cycles += 2 * weight_stage(d, m.kv_heads)
+            cycles += weight_stage(m.hidden_size, 1)
+        else:
+            # Coarse: whole-matrix projections.
+            cycles += weight_stage(m.hidden_size, 1)
+            cycles += 2 * weight_stage(m.kv_dim, 1)
+            cycles += weight_stage(m.hidden_size, 1)
+
+        weight_bytes = m.attention_params() * q.effective_weight_bits / 8
+        kv_bytes = 0.0
+        exposed = 0.0
+        for ctx in contexts:
+            if ctx > 0:
+                payload = ctx * d * q.kv_bits / 8
+                packs = ctx * q.kv_pack_bits / 8
+                kv_tx = self.mcu.stream_transfer(payload + packs).cycles \
+                    / group
+            else:
+                kv_tx = 0.0
+            # QK dot + weighted-V accumulation for every head of this
+            # sequence; heads of one GQA group share the history stream.
+            cycles += 2 * m.num_heads * max(kv_tx, (ctx + 1) * tiles_d)
+            exposed += self.pipeline.schedule(ctx, mode).exposed_misc_cycles
+            kv_bytes += 2 * ctx * m.kv_dim * q.kv_bits / 8 \
+                + 2 * ctx * m.kv_heads * q.kv_pack_bits / 8 \
+                + 2 * m.kv_dim * q.kv_bits / 8 \
+                + 2 * m.kv_heads * q.kv_pack_bits / 8
+        return Segment(f"layer{layer}.attn", cycles + exposed,
+                       weight_bytes + kv_bytes, exposed)
 
     def build(self, context: int, mode: str = "fused") -> TokenSchedule:
         """Schedule one decode step with ``context`` cached tokens."""
@@ -163,6 +265,48 @@ class TokenScheduler:
 
         sched.segments.append(self._proj_segment(
             "lm_head", m.vocab_size, m.hidden_size, mode=mode))
+        return sched
+
+    def build_batched(self, contexts: Sequence[int],
+                      mode: str = "fused") -> BatchSchedule:
+        """Schedule one decode step for a batch of concurrent sequences.
+
+        Each entry of ``contexts`` is one sequence's cached-token count.
+        The quantized weight stream — the dominant cost of embedded decode
+        — is charged once for the whole batch; per-sequence work (KV
+        history, misc ops, embedding row, final norm) is charged per
+        member.  ``build_batched([ctx])`` totals equal ``build(ctx)``.
+        """
+        if mode not in ("fused", "coarse"):
+            raise ScheduleError(f"unknown mode {mode!r}")
+        if not contexts:
+            raise ScheduleError("batched schedule needs at least one context")
+        if any(c < 0 for c in contexts):
+            raise ScheduleError(f"negative context in batch: {list(contexts)}")
+        m, q = self.model, self.quant
+        batch = len(contexts)
+        sched = BatchSchedule(mode=mode, contexts=tuple(contexts))
+
+        # One embedding row fetch per sequence.
+        row_bytes = m.hidden_size * q.activation_bits / 8
+        emb = self.mcu.stream_transfer(row_bytes)
+        sched.segments.append(Segment("embedding", batch * emb.cycles,
+                                      batch * row_bytes))
+
+        for layer in range(m.num_layers):
+            sched.segments.append(
+                self.batched_attention_segment(layer, contexts, mode))
+            sched.segments.extend(self.mlp_segments(layer, mode, batch=batch))
+
+        # The final RMSNorm stays serial per sequence (each logits
+        # projection input must be normalized before its head pass).
+        final_norm = self.spu.rmsnorm_cycles(m.hidden_size,
+                                             square_sum_free=True)
+        sched.segments.append(Segment("final_norm", batch * final_norm, 0.0,
+                                      exposed_misc_cycles=batch * final_norm))
+
+        sched.segments.append(self._proj_segment(
+            "lm_head", m.vocab_size, m.hidden_size, mode=mode, batch=batch))
         return sched
 
 

@@ -48,6 +48,31 @@ class VpuSpec:
         return self.lanes * weight_bits / 8
 
 
+def bandwidth_matched_lanes(platform, weight_bits: int = 4) -> int:
+    """DOT-engine width that exactly consumes the platform's AXI stream.
+
+    The paper's PPA argument (Sec. VI-B): one dequantized weight per lane
+    per cycle, sized so the engine eats precisely what the concatenated
+    AXI ports deliver.  ``ports x port_bits / weight_bits`` weights arrive
+    per cycle; the lane count is that figure rounded down to a power of
+    two (the adder tree is binary).  KV260 at W4: 4 x 128 / 4 = 128.
+    """
+    if weight_bits <= 0:
+        raise ConfigError(f"weight_bits must be positive, got {weight_bits}")
+    if platform.axi_ports <= 0 or platform.axi_port_bits <= 0:
+        raise ConfigError(
+            f"{platform.name} has no AXI ports; not an FPGA platform")
+    raw = platform.axi_ports * platform.axi_port_bits // weight_bits
+    if raw < 1:
+        raise ConfigError(
+            f"{platform.name}: bus narrower than one {weight_bits}-bit "
+            "weight per cycle")
+    lanes = 1
+    while lanes * 2 <= raw:
+        lanes *= 2
+    return lanes
+
+
 class DotEngine:
     """Functional + cycle model of the VPU."""
 

@@ -1,0 +1,54 @@
+"""repro.engine — the unified execution-engine layer.
+
+One request/scheduling model over the repo's three execution paths:
+
+* the functional pipeline (exact tokens + exact timing, small models),
+* the cycle model (exact timing, any model size),
+* the closed-form analytical roofline (instant estimates).
+
+The entry point is :class:`ContinuousBatchScheduler`: submit
+:class:`Request` objects (or a synthetic trace), call :meth:`run`, and
+read the :class:`ServeReport` — aggregate tokens/s, per-request TTFT,
+and tail latency under weight-stream amortization.
+
+Quickstart::
+
+    from repro import LLAMA2_7B, W4A16_KV8
+    from repro.engine import (CycleModelBackend, ContinuousBatchScheduler,
+                              synthetic_trace)
+    backend = CycleModelBackend(LLAMA2_7B, W4A16_KV8)
+    engine = ContinuousBatchScheduler(backend, max_batch=8)
+    report = engine.run(synthetic_trace(LLAMA2_7B, n_requests=16))
+    print(report.aggregate_tokens_per_s, report.latency_percentile_s(95))
+"""
+
+from .backends import (
+    AnalyticalBackend,
+    CycleModelBackend,
+    EngineBackend,
+    FunctionalBackend,
+)
+from .request import FinishReason, Request, RequestState, RequestStatus
+from .scheduler import (
+    ContinuousBatchScheduler,
+    RequestResult,
+    ServeReport,
+    StepEvent,
+)
+from .trace import synthetic_trace
+
+__all__ = [
+    "AnalyticalBackend",
+    "ContinuousBatchScheduler",
+    "CycleModelBackend",
+    "EngineBackend",
+    "FinishReason",
+    "FunctionalBackend",
+    "Request",
+    "RequestResult",
+    "RequestState",
+    "RequestStatus",
+    "ServeReport",
+    "StepEvent",
+    "synthetic_trace",
+]

@@ -1,0 +1,305 @@
+"""Execution backends of the engine: who actually runs a batched step.
+
+Three implementations of one protocol, mirroring the repo's three
+fidelity levels:
+
+* :class:`FunctionalBackend` — the hardware-equivalent functional
+  pipeline (:class:`repro.model.quantized.QuantizedModel`) over a
+  multi-sequence :class:`repro.model.kvcache.SlottedKVCache`, timed by
+  the batched cycle model.  Exact tokens *and* exact timing; only for
+  models small enough to run in numpy.
+* :class:`CycleModelBackend` — timing-only.  Tokens are a deterministic
+  synthetic stream (no EOS), so requests retire at their length limit;
+  the per-step cost comes from
+  :meth:`repro.core.cyclemodel.CycleModel.batched_decode_step`.  Works
+  for any model size, including LLaMA2-7B.
+* :class:`AnalyticalBackend` — closed-form bandwidth/compute roofline
+  per step, no scheduling detail.  The fastest way to sweep serving
+  scenarios analytically.
+
+All three share the batch cost split of the paper's Fig. 2: the
+quantized weight stream is charged once per step; KV traffic and misc
+work are charged per batch member.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from ..config import KV260, ModelConfig, PlatformConfig, QuantConfig
+from ..core.cyclemodel import CycleModel
+from ..core.vpu import VpuSpec
+from ..errors import SimulationError
+from ..model.kvcache import SlottedKVCache
+from ..model.quantized import QuantizedModel
+from .request import RequestState
+
+
+@runtime_checkable
+class EngineBackend(Protocol):
+    """What the continuous-batching scheduler needs from an executor."""
+
+    model_config: ModelConfig
+    quant: QuantConfig
+    platform: PlatformConfig
+
+    @property
+    def freq_hz(self) -> float:
+        """Clock that converts charged cycles into seconds."""
+        ...
+
+    def admit(self, state: RequestState) -> None:
+        """Claim per-sequence resources (a KV slot) for ``state``."""
+        ...
+
+    def release(self, state: RequestState) -> None:
+        """Free ``state``'s per-sequence resources (retire or preempt)."""
+        ...
+
+    def prefill(self, state: RequestState) -> float:
+        """Feed prompt (+ any recomputed tokens); return cycles spent."""
+        ...
+
+    def sample(self, state: RequestState) -> int:
+        """Produce the next token for ``state`` from its current logits."""
+        ...
+
+    def decode_batch(self, states: Sequence[RequestState]) -> float:
+        """Forward each state's pending token in one shared step; return cycles."""
+        ...
+
+
+class _SlotCounter:
+    """Slot accounting for timing-only backends (no real storage)."""
+
+    def __init__(self, n_slots: int) -> None:
+        self.n_slots = n_slots
+        self._used: set[int] = set()
+
+    def allocate(self) -> int:
+        for slot in range(self.n_slots):
+            if slot not in self._used:
+                self._used.add(slot)
+                return slot
+        raise SimulationError(f"all {self.n_slots} KV slots are allocated")
+
+    def free(self, slot: int) -> None:
+        if slot not in self._used:
+            raise SimulationError(f"slot {slot} is not allocated")
+        self._used.discard(slot)
+
+
+def _synthetic_token(state: RequestState, vocab_size: int,
+                     eos_id: int | None) -> int:
+    """Deterministic pseudo-token stream for timing-only backends.
+
+    Knuth-style multiplicative hash of (request, step); never returns the
+    EOS id, so timing-only requests always run to their length limit.
+    """
+    token = (2654435761 * (state.request_id + 1)
+             + 40503 * (state.n_generated + 1)) % vocab_size
+    if eos_id is not None and token == eos_id:
+        token = (token + 1) % vocab_size
+    return token
+
+
+class _CycleTimedBackend:
+    """Shared plumbing: batched cycle-model timing + slot bookkeeping."""
+
+    def __init__(self, model_config: ModelConfig, quant: QuantConfig,
+                 platform: PlatformConfig, mode: str, n_slots: int,
+                 vpu: VpuSpec | None = None) -> None:
+        self.model_config = model_config
+        self.quant = quant
+        self.platform = platform
+        self.mode = mode
+        self.cycles = CycleModel(model_config, quant, platform, vpu=vpu)
+        self._slots = _SlotCounter(n_slots)
+
+    @property
+    def freq_hz(self) -> float:
+        return self.platform.pl_freq_hz
+
+    @property
+    def n_slots(self) -> int:
+        return self._slots.n_slots
+
+    def admit(self, state: RequestState) -> None:
+        state.slot = self._slots.allocate()
+
+    def release(self, state: RequestState) -> None:
+        if state.slot is None:
+            raise SimulationError(
+                f"request {state.request_id} holds no slot")
+        self._slots.free(state.slot)
+        state.slot = None
+
+    def step_cycles(self, contexts: Sequence[int]) -> float:
+        return self.cycles.batched_decode_step(contexts, self.mode).cycles
+
+    def prefill_cycles(self, n_tokens: int) -> float:
+        return self.cycles.prefill_cycles(n_tokens)
+
+
+class CycleModelBackend(_CycleTimedBackend):
+    """Timing-only backend: exact cycle model, synthetic token stream."""
+
+    def __init__(self, model_config: ModelConfig, quant: QuantConfig,
+                 platform: PlatformConfig = KV260, mode: str = "fused",
+                 n_slots: int = 8, vpu: VpuSpec | None = None) -> None:
+        super().__init__(model_config, quant, platform, mode, n_slots, vpu)
+
+    def prefill(self, state: RequestState) -> float:
+        tokens = state.sequence_tokens()
+        state.position = len(tokens)
+        state.logits = None
+        return self.prefill_cycles(len(tokens))
+
+    def sample(self, state: RequestState) -> int:
+        return _synthetic_token(state, self.model_config.vocab_size,
+                                state.request.eos_id)
+
+    def decode_batch(self, states: Sequence[RequestState]) -> float:
+        cycles = self.step_cycles([s.context for s in states])
+        for state in states:
+            state.pending_token  # validates the step is owed
+            state.position += 1
+        return cycles
+
+
+class FunctionalBackend(_CycleTimedBackend):
+    """Functional pipeline + batched cycle model over slotted KV storage."""
+
+    def __init__(self, qweights, platform: PlatformConfig = KV260,
+                 mode: str = "fused", n_slots: int = 8,
+                 functional: QuantizedModel | None = None) -> None:
+        super().__init__(qweights.config, qweights.quant, platform, mode,
+                         n_slots)
+        self.functional = functional if functional is not None \
+            else QuantizedModel(qweights)
+        self.kv = SlottedKVCache(qweights.config, n_slots,
+                                 qweights.quant.kv_bits)
+
+    def admit(self, state: RequestState) -> None:
+        state.slot = self.kv.allocate()
+
+    def release(self, state: RequestState) -> None:
+        if state.slot is None:
+            raise SimulationError(
+                f"request {state.request_id} holds no slot")
+        self.kv.free(state.slot)
+        state.slot = None
+
+    def prefill(self, state: RequestState) -> float:
+        if state.slot is None:
+            raise SimulationError(
+                f"request {state.request_id} not admitted")
+        tokens = state.sequence_tokens()
+        if len(tokens) > self.model_config.max_context:
+            raise SimulationError(
+                f"request {state.request_id}: {len(tokens)} tokens exceed "
+                f"the {self.model_config.max_context}-token context")
+        logits, _ = self.functional.prefill(tokens, self.kv.view(state.slot))
+        state.logits = logits
+        state.position = len(tokens)
+        return self.prefill_cycles(len(tokens))
+
+    def sample(self, state: RequestState) -> int:
+        if state.logits is None:
+            raise SimulationError(
+                f"request {state.request_id} has no logits to sample")
+        sampler = state.request.sampler
+        if sampler is None:
+            return int(np.argmax(state.logits))
+        return sampler.sample(state.logits)
+
+    def decode_batch(self, states: Sequence[RequestState]) -> float:
+        cycles = self.step_cycles([s.context for s in states])
+        for state in states:
+            if state.slot is None:
+                raise SimulationError(
+                    f"request {state.request_id} not admitted")
+            token = state.pending_token
+            state.logits = self.functional.decode_step(
+                token, self.kv.view(state.slot), state.position)
+            state.position += 1
+        return cycles
+
+
+class AnalyticalBackend:
+    """Closed-form roofline backend (Table II arithmetic, batched).
+
+    Per step: the weight stream plus per-sequence KV traffic at the
+    platform's (derated) bandwidth, against the DOT engine's compute
+    rate scaled by batch — whichever is slower sets the step time.
+    """
+
+    def __init__(self, model_config: ModelConfig, quant: QuantConfig,
+                 platform: PlatformConfig = KV260, n_slots: int = 8,
+                 lanes: int = 128, ddr_efficiency: float = 0.95) -> None:
+        if platform.pl_freq_hz <= 0:
+            raise SimulationError(
+                f"platform {platform.name} has no PL clock")
+        if not 0 < ddr_efficiency <= 1:
+            raise SimulationError(
+                f"ddr_efficiency must be in (0, 1], got {ddr_efficiency}")
+        self.model_config = model_config
+        self.quant = quant
+        self.platform = platform
+        self.lanes = lanes
+        self.ddr_efficiency = ddr_efficiency
+        self._slots = _SlotCounter(n_slots)
+
+    @property
+    def freq_hz(self) -> float:
+        return self.platform.pl_freq_hz
+
+    @property
+    def n_slots(self) -> int:
+        return self._slots.n_slots
+
+    def admit(self, state: RequestState) -> None:
+        state.slot = self._slots.allocate()
+
+    def release(self, state: RequestState) -> None:
+        if state.slot is None:
+            raise SimulationError(
+                f"request {state.request_id} holds no slot")
+        self._slots.free(state.slot)
+        state.slot = None
+
+    def step_cycles(self, contexts: Sequence[int]) -> float:
+        from ..memory.traffic import decode_traffic
+
+        m, q = self.model_config, self.quant
+        base = decode_traffic(m, q, 0)
+        shared = base.weight_bytes + base.norm_bytes
+        per_seq = 0.0
+        for ctx in contexts:
+            t = decode_traffic(m, q, ctx)
+            per_seq += t.kv_bytes + t.embedding_row_bytes
+        n_bytes = shared + per_seq
+        bandwidth_s = n_bytes / (self.platform.bandwidth_bytes_per_s
+                                 * self.ddr_efficiency)
+        macs = len(contexts) * m.decode_stream_params()
+        compute_s = macs / (self.lanes * self.freq_hz)
+        return max(bandwidth_s, compute_s) * self.freq_hz
+
+    def prefill(self, state: RequestState) -> float:
+        tokens = state.sequence_tokens()
+        state.position = len(tokens)
+        state.logits = None
+        return sum(self.step_cycles([pos]) for pos in range(len(tokens)))
+
+    def sample(self, state: RequestState) -> int:
+        return _synthetic_token(state, self.model_config.vocab_size,
+                                state.request.eos_id)
+
+    def decode_batch(self, states: Sequence[RequestState]) -> float:
+        cycles = self.step_cycles([s.context for s in states])
+        for state in states:
+            state.pending_token
+            state.position += 1
+        return cycles

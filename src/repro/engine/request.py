@@ -1,0 +1,148 @@
+"""Request model of the execution engine.
+
+A :class:`Request` is what a client submits: a prompt, a generation
+budget, an arrival time, and (for functional backends) a sampler.  A
+:class:`RequestState` is the engine's mutable view of one request as it
+moves through admission, prefill, batched decode, possible preemption,
+and retirement.
+
+The decode state machine mirrors the bare-metal loop exactly so that a
+single-request engine reproduces ``Accelerator.decode`` step for step:
+
+* prefill feeds the prompt and yields logits; the first new token is
+  sampled the moment prefill ends (TTFT = prefill latency),
+* every sampled non-EOS token is then *forwarded* through the model in a
+  later batched step (charged one step of decode time), producing the
+  logits for the next sample,
+* a sampled EOS retires the request immediately — the EOS token itself
+  is never forwarded, so no decode step is charged for it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+from ..model.sampler import Sampler
+
+
+class RequestStatus(enum.Enum):
+    """Lifecycle of a request inside the engine."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    PREEMPTED = "preempted"
+    FINISHED = "finished"
+
+
+class FinishReason(enum.Enum):
+    """Why a request retired."""
+
+    EOS = "eos"
+    LENGTH = "length"
+
+
+@dataclass(frozen=True)
+class Request:
+    """One client generation request."""
+
+    request_id: int
+    prompt: tuple[int, ...]
+    max_new_tokens: int
+    arrival_s: float = 0.0
+    sampler: Sampler | None = None
+    eos_id: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.prompt:
+            raise SimulationError(
+                f"request {self.request_id}: prompt must not be empty")
+        if self.max_new_tokens <= 0:
+            raise SimulationError(
+                f"request {self.request_id}: max_new_tokens must be positive")
+        if self.arrival_s < 0:
+            raise SimulationError(
+                f"request {self.request_id}: arrival time must be >= 0")
+        object.__setattr__(self, "prompt", tuple(self.prompt))
+
+
+@dataclass
+class RequestState:
+    """Mutable engine-side state of one request."""
+
+    request: Request
+    status: RequestStatus = RequestStatus.QUEUED
+    generated: list[int] = field(default_factory=list)
+    #: tokens fed through the model so far (prompt + forwarded generated);
+    #: equals the KV-cache occupancy of this sequence.
+    position: int = 0
+    slot: int | None = None
+    logits: object | None = None
+    prefill_cycles: float = 0.0
+    decode_cycles: list[float] = field(default_factory=list)
+    first_token_s: float | None = None
+    finish_s: float | None = None
+    finish_reason: FinishReason | None = None
+    preemptions: int = 0
+
+    # -- identity ---------------------------------------------------------
+
+    @property
+    def request_id(self) -> int:
+        return self.request.request_id
+
+    @property
+    def prompt_len(self) -> int:
+        return len(self.request.prompt)
+
+    @property
+    def n_generated(self) -> int:
+        return len(self.generated)
+
+    # -- decode state machine ----------------------------------------------
+
+    @property
+    def context(self) -> int:
+        """Cached tokens this sequence's next forward attends over."""
+        return self.position
+
+    @property
+    def pending_token(self) -> int:
+        """The sampled-but-not-yet-forwarded token (next forward input)."""
+        if not self.has_pending_forward:
+            raise SimulationError(
+                f"request {self.request_id}: no pending forward")
+        return self.generated[self.position - self.prompt_len]
+
+    @property
+    def has_pending_forward(self) -> bool:
+        """A sampled token still owes its decode step."""
+        return (self.status == RequestStatus.RUNNING
+                and self.position < self.prompt_len + self.n_generated)
+
+    @property
+    def done(self) -> bool:
+        return self.status == RequestStatus.FINISHED
+
+    def sequence_tokens(self) -> list[int]:
+        """Prompt plus everything generated so far (recompute input)."""
+        return list(self.request.prompt) + self.generated
+
+    # -- timing -----------------------------------------------------------
+
+    @property
+    def ttft_s(self) -> float:
+        """Arrival to first sampled token (queueing + prefill)."""
+        if self.first_token_s is None:
+            raise SimulationError(
+                f"request {self.request_id}: no token produced yet")
+        return self.first_token_s - self.request.arrival_s
+
+    @property
+    def e2e_s(self) -> float:
+        """Arrival to retirement."""
+        if self.finish_s is None:
+            raise SimulationError(
+                f"request {self.request_id}: not finished")
+        return self.finish_s - self.request.arrival_s

@@ -1,0 +1,343 @@
+"""Continuous batching over one embedded accelerator.
+
+The scheduler is iteration-level (Orca-style): every :meth:`step` first
+admits waiting requests against the bare-metal capacity report, runs
+their prefills, then executes ONE batched decode step over every running
+sequence.  Sequences join and leave the batch at token granularity —
+no waiting for stragglers, which is what makes the weight-stream
+amortization of :meth:`CycleModel.batched_decode_step` reachable under
+real traffic.
+
+Capacity discipline (the paper's Sec. VII-A carried to serving): the
+KV budget is derived from what the platform's DRAM holds beyond the
+quantized weights and the bare-metal reservation.  Admission is
+optimistic (a request needs room for its prompt plus one token); when
+decode growth would overflow the budget, the youngest running sequence
+is preempted — its slot freed, its tokens kept — and it re-enters the
+queue to be recomputed when pressure clears.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from ..errors import CapacityError, SimulationError
+from .backends import EngineBackend
+from .request import FinishReason, Request, RequestState, RequestStatus
+
+if TYPE_CHECKING:  # avoids the runtime<->engine package-import cycle
+    from ..runtime.baremetal import BareMetalSystem
+
+
+@dataclass(frozen=True)
+class StepEvent:
+    """What one scheduler iteration did (for logs and tests)."""
+
+    clock_s: float
+    batch: int
+    cycles: float
+    admitted: int
+    preempted: int
+    retired: int
+
+
+@dataclass(frozen=True)
+class RequestResult:
+    """Summary of one retired request."""
+
+    request_id: int
+    tokens: tuple[int, ...]
+    prompt_len: int
+    ttft_s: float
+    e2e_s: float
+    finish_reason: FinishReason
+    preemptions: int
+    decode_step_s: tuple[float, ...]
+
+
+@dataclass
+class ServeReport:
+    """Aggregate serving metrics of one engine run."""
+
+    results: list[RequestResult] = field(default_factory=list)
+    total_time_s: float = 0.0
+    n_steps: int = 0
+    preemptions: int = 0
+    max_batch_observed: int = 0
+    step_batches: list[int] = field(default_factory=list)
+
+    @property
+    def total_new_tokens(self) -> int:
+        return sum(len(r.tokens) for r in self.results)
+
+    @property
+    def aggregate_tokens_per_s(self) -> float:
+        if self.total_time_s <= 0:
+            raise SimulationError("report covers no simulated time")
+        return self.total_new_tokens / self.total_time_s
+
+    @property
+    def mean_ttft_s(self) -> float:
+        if not self.results:
+            raise SimulationError("no retired requests")
+        return sum(r.ttft_s for r in self.results) / len(self.results)
+
+    @property
+    def mean_batch(self) -> float:
+        if not self.step_batches:
+            raise SimulationError("no decode steps recorded")
+        return sum(self.step_batches) / len(self.step_batches)
+
+    def latency_percentile_s(self, percentile: float) -> float:
+        """Per-token decode latency percentile across all requests."""
+        from ..stats import percentile_nearest_rank
+
+        lats = [s for r in self.results for s in r.decode_step_s]
+        if not lats:
+            raise SimulationError("no decode steps recorded")
+        return percentile_nearest_rank(lats, percentile)
+
+
+class ContinuousBatchScheduler:
+    """Admits, batches, preempts, and retires requests on one backend."""
+
+    def __init__(self, backend: EngineBackend,
+                 system: "BareMetalSystem | None" = None,
+                 max_batch: int = 8,
+                 kv_token_budget: int | None = None) -> None:
+        if max_batch <= 0:
+            raise SimulationError(f"max_batch must be positive: {max_batch}")
+        self.backend = backend
+        self.max_batch = max_batch
+        model = backend.model_config
+        if kv_token_budget is None:
+            if system is None:
+                from ..runtime.baremetal import BareMetalSystem
+
+                system = BareMetalSystem(backend.platform)
+            report = system.capacity_report(model, backend.quant, 1)
+            per_token = report.kv_bytes
+            free = report.dram_bytes - report.weight_bytes \
+                - report.reserved_bytes
+            if free < per_token:
+                raise CapacityError(
+                    f"{model.name} weights leave no KV room on "
+                    f"{backend.platform.name}")
+            kv_token_budget = min(free // per_token,
+                                  max_batch * model.max_context)
+        if kv_token_budget <= 0:
+            raise CapacityError("KV token budget must be positive")
+        self.kv_token_budget = int(kv_token_budget)
+
+        self.clock_s = 0.0
+        self.waiting: deque[RequestState] = deque()
+        self.running: list[RequestState] = []
+        self.finished: list[RequestState] = []
+        self.events: list[StepEvent] = []
+        self._preemptions = 0
+        self._step_batches: list[int] = []
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, request: Request) -> RequestState:
+        """Queue one request; raises if it could never be served."""
+        model = self.backend.model_config
+        if len(request.prompt) >= model.max_context:
+            raise SimulationError(
+                f"request {request.request_id}: prompt of "
+                f"{len(request.prompt)} tokens fills the "
+                f"{model.max_context}-token context")
+        if len(request.prompt) + 1 > self.kv_token_budget:
+            raise CapacityError(
+                f"request {request.request_id}: prompt alone exceeds the "
+                f"KV budget of {self.kv_token_budget} tokens")
+        state = RequestState(request=request)
+        self.waiting.append(state)
+        return state
+
+    # -- internals ---------------------------------------------------------
+
+    def _cached_tokens(self) -> int:
+        return sum(s.position for s in self.running)
+
+    def _advance(self, cycles: float) -> None:
+        self.clock_s += cycles / self.backend.freq_hz
+
+    def _note_sampled(self, state: RequestState, token: int) -> None:
+        """Record a sampled token; retire on EOS or when the budget is hit
+        with nothing left to forward."""
+        state.generated.append(token)
+        if state.first_token_s is None:
+            state.first_token_s = self.clock_s
+        if state.request.eos_id is not None \
+                and token == state.request.eos_id:
+            # The EOS itself is never forwarded: retire right away.
+            self._retire(state, FinishReason.EOS)
+
+    def _retire(self, state: RequestState, reason: FinishReason) -> None:
+        self.backend.release(state)
+        state.status = RequestStatus.FINISHED
+        state.finish_reason = reason
+        state.finish_s = self.clock_s
+        if state in self.running:
+            self.running.remove(state)
+        self.finished.append(state)
+
+    def _preempt_one(self) -> bool:
+        """Evict the youngest running sequence back to the queue head."""
+        if len(self.running) <= 1:
+            return False
+        state = self.running.pop()
+        self.backend.release(state)
+        state.status = RequestStatus.PREEMPTED
+        state.position = 0
+        state.logits = None
+        state.preemptions += 1
+        self._preemptions += 1
+        self.waiting.appendleft(state)
+        return True
+
+    def _admit_ready(self) -> int:
+        admitted = 0
+        while self.waiting and len(self.running) < self.max_batch:
+            state = self.waiting[0]
+            if state.request.arrival_s > self.clock_s:
+                break
+            # Room for this prompt + its first decode token, *and* the
+            # one-token growth every running sequence makes this step —
+            # otherwise the admit would be preempted right back out after
+            # paying its whole prefill.
+            needed = len(state.sequence_tokens()) + 1
+            growth = sum(1 for s in self.running if s.has_pending_forward)
+            if self._cached_tokens() + growth + needed \
+                    > self.kv_token_budget:
+                break
+            try:
+                self.backend.admit(state)
+            except SimulationError:
+                break  # no free KV slot
+            self.waiting.popleft()
+            cycles = self.backend.prefill(state)
+            state.prefill_cycles += cycles
+            self._advance(cycles)
+            state.status = RequestStatus.RUNNING
+            self.running.append(state)
+            admitted += 1
+            # First token (or, after preemption, the next token) samples
+            # the moment prefill ends.
+            if state.n_generated < state.request.max_new_tokens \
+                    and state.position < self.backend.model_config.max_context:
+                self._note_sampled(state, self.backend.sample(state))
+            else:
+                self._retire(state, FinishReason.LENGTH)
+        return admitted
+
+    # -- the scheduling loop -------------------------------------------------
+
+    def step(self) -> StepEvent:
+        """One engine iteration: admit -> prefill -> one batched decode."""
+        if not self.waiting and not self.running:
+            raise SimulationError("nothing to schedule")
+
+        # Idle engine: jump to the next arrival.
+        if not self.running and self.waiting:
+            next_arrival = min(s.request.arrival_s for s in self.waiting)
+            if next_arrival > self.clock_s:
+                self.clock_s = next_arrival
+
+        admitted = self._admit_ready()
+
+        # KV pressure: the coming step appends one token per forwarding
+        # sequence; evict until the growth fits the budget.
+        preempted = 0
+        retired = 0
+        pending = [s for s in self.running if s.has_pending_forward]
+        while pending and self._cached_tokens() + len(pending) \
+                > self.kv_token_budget:
+            if not self._preempt_one():
+                # A lone sequence has outgrown the budget: it cannot be
+                # preempted in its own favour, so it retires where it is.
+                # Its sampled-but-never-forwarded tail token is dropped to
+                # keep the invariant that every reported non-EOS token was
+                # charged one decode step.
+                state = pending[0]
+                if state.has_pending_forward:
+                    state.generated.pop()
+                self._retire(state, FinishReason.LENGTH)
+                retired += 1
+            else:
+                preempted += 1
+            pending = [s for s in self.running if s.has_pending_forward]
+
+        cycles = 0.0
+        if pending:
+            cycles = self.backend.decode_batch(pending)
+            self._advance(cycles)
+            self._step_batches.append(len(pending))
+            for state in pending:
+                state.decode_cycles.append(cycles)
+                if state.n_generated < state.request.max_new_tokens \
+                        and state.position \
+                        < self.backend.model_config.max_context:
+                    before = len(self.finished)
+                    self._note_sampled(state, self.backend.sample(state))
+                    retired += len(self.finished) - before
+                else:
+                    # Budget (or context) reached and the final token's
+                    # forward was just charged: retire at the length limit.
+                    self._retire(state, FinishReason.LENGTH)
+                    retired += 1
+
+        event = StepEvent(clock_s=self.clock_s, batch=len(pending),
+                          cycles=cycles, admitted=admitted,
+                          preempted=preempted, retired=retired)
+        self.events.append(event)
+        return event
+
+    def run(self, requests: Iterable[Request] | None = None,
+            max_steps: int = 1_000_000) -> ServeReport:
+        """Drive the engine until every submitted request retires."""
+        if self.running:
+            raise SimulationError("engine is already mid-run")
+        self.clock_s = 0.0
+        self.finished = []
+        self.events = []
+        self._preemptions = 0
+        self._step_batches = []
+        if requests is not None:
+            for request in sorted(requests, key=lambda r: r.arrival_s):
+                self.submit(request)
+        steps = 0
+        while self.waiting or self.running:
+            self.step()
+            steps += 1
+            if steps > max_steps:
+                raise SimulationError(
+                    f"engine did not drain within {max_steps} steps")
+        return self._report()
+
+    def _report(self) -> ServeReport:
+        freq = self.backend.freq_hz
+        results = []
+        for state in sorted(self.finished, key=lambda s: s.request_id):
+            assert state.finish_reason is not None
+            results.append(RequestResult(
+                request_id=state.request_id,
+                tokens=tuple(state.generated),
+                prompt_len=state.prompt_len,
+                ttft_s=state.ttft_s,
+                e2e_s=state.e2e_s,
+                finish_reason=state.finish_reason,
+                preemptions=state.preemptions,
+                decode_step_s=tuple(c / freq for c in state.decode_cycles),
+            ))
+        return ServeReport(
+            results=results,
+            total_time_s=self.clock_s,
+            n_steps=len(self.events),
+            preemptions=self._preemptions,
+            max_batch_observed=max(self._step_batches, default=0),
+            step_batches=list(self._step_batches),
+        )

@@ -1,0 +1,64 @@
+"""Synthetic request traces for serving simulation.
+
+A trace is just a list of :class:`repro.engine.request.Request` with
+Poisson arrivals and randomized prompt/decode lengths — enough to
+exercise admission, continuous batching, and preemption without real
+user data.  Generation is fully deterministic from the seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import ModelConfig
+from ..errors import SimulationError
+from .request import Request
+
+
+def synthetic_trace(model: ModelConfig, n_requests: int,
+                    arrival_rate_rps: float = 1.0,
+                    prompt_len: tuple[int, int] = (4, 16),
+                    decode_len: tuple[int, int] = (8, 32),
+                    seed: int = 0,
+                    eos_id: int | None = None) -> list[Request]:
+    """Build ``n_requests`` synthetic requests against ``model``.
+
+    Arrivals are exponential inter-arrival times at ``arrival_rate_rps``
+    requests per second of *simulated* time; prompt and decode lengths
+    are uniform over the given inclusive ranges, clamped so every
+    request fits the model's context window.
+    """
+    if n_requests <= 0:
+        raise SimulationError(f"n_requests must be positive: {n_requests}")
+    if arrival_rate_rps <= 0:
+        raise SimulationError(
+            f"arrival rate must be positive: {arrival_rate_rps}")
+    lo_p, hi_p = prompt_len
+    lo_d, hi_d = decode_len
+    if not 1 <= lo_p <= hi_p or not 1 <= lo_d <= hi_d:
+        raise SimulationError(
+            f"bad length ranges prompt={prompt_len} decode={decode_len}")
+    if lo_p + 1 >= model.max_context:
+        raise SimulationError(
+            f"prompts of {lo_p}+ tokens cannot fit {model.name}'s "
+            f"{model.max_context}-token context")
+
+    rng = np.random.default_rng(seed)
+    requests = []
+    clock = 0.0
+    for rid in range(n_requests):
+        clock += float(rng.exponential(1.0 / arrival_rate_rps))
+        n_prompt = int(rng.integers(lo_p, hi_p + 1))
+        n_prompt = min(n_prompt, model.max_context - 2)
+        n_decode = int(rng.integers(lo_d, hi_d + 1))
+        n_decode = min(n_decode, model.max_context - n_prompt)
+        prompt = tuple(int(t) for t in
+                       rng.integers(0, model.vocab_size, size=n_prompt))
+        requests.append(Request(
+            request_id=rid,
+            prompt=prompt,
+            max_new_tokens=n_decode,
+            arrival_s=clock,
+            eos_id=eos_id,
+        ))
+    return requests

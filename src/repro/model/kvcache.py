@@ -1,9 +1,15 @@
-"""KV caches: float reference and the KV8-quantized cache of the paper.
+"""KV caches: float reference, the KV8 cache of the paper, and slots.
 
 The quantized cache mirrors the hardware behaviour: each key/value head
 vector is quantized with :func:`repro.quant.kv8.kv_quantize` the moment it
 is generated (per head, per token), stored as 8-bit codes plus a scale-zero
 pack, and dequantized to FP16 when fetched for the attention dot products.
+
+:class:`SlottedKVCache` extends this to multiple concurrent sequences: a
+fixed pool of per-sequence slots with explicit allocate/free, the storage
+substrate of the batched-serving engine (:mod:`repro.engine`).  Each slot
+exposes the exact :class:`QuantizedKVCache` interface, so the functional
+pipeline works unchanged against a slot view.
 """
 
 from __future__ import annotations
@@ -113,3 +119,101 @@ class QuantizedKVCache:
         """Scale-zero pack bytes for the current length (Fig. 4B)."""
         return (2 * self.config.num_layers * self.length
                 * self.config.kv_heads * pack_bits // 8)
+
+    def reset(self) -> None:
+        """Forget every cached token (storage is reused, not reallocated).
+
+        Cost is proportional to occupancy, not capacity: reads are gated
+        on the scale-zero params, so only written positions need clearing
+        (+1 covers a position mid-append when ``length`` lags the last
+        layer).  Codes are left in place — a position is only readable
+        after its params are rewritten, which overwrites its codes too.
+        """
+        upto = min(self.length + 1, self.config.max_context)
+        for layer in range(self.config.num_layers):
+            for pos in range(upto):
+                for head in range(self.config.kv_heads):
+                    self._k_params[layer][pos][head] = None
+                    self._v_params[layer][pos][head] = None
+        self.length = 0
+
+
+class SlottedKVCache:
+    """A pool of per-sequence KV8 caches with explicit allocate/free.
+
+    This is the multi-sequence generalization the batched engine needs:
+    ``n_slots`` independent sequences share one reservation, each slot
+    holding up to ``max_context`` tokens.  :meth:`view` returns the slot's
+    cache, which has the same interface as :class:`QuantizedKVCache` and
+    can be handed directly to ``QuantizedModel.prefill/decode_step``.
+
+    Slot storage is created lazily on first allocation and reused (reset,
+    not reallocated) afterwards — the bare-metal discipline of a fixed
+    memory map extended to a slot table.
+    """
+
+    def __init__(self, config: ModelConfig, n_slots: int,
+                 kv_bits: int = 8) -> None:
+        if n_slots <= 0:
+            raise SimulationError(
+                f"slot pool needs at least one slot, got {n_slots}")
+        self.config = config
+        self.kv_bits = kv_bits
+        self.n_slots = n_slots
+        self._slots: list[QuantizedKVCache | None] = [None] * n_slots
+        self._allocated: list[bool] = [False] * n_slots
+
+    @property
+    def n_allocated(self) -> int:
+        return sum(self._allocated)
+
+    @property
+    def n_free(self) -> int:
+        return self.n_slots - self.n_allocated
+
+    def allocate(self) -> int:
+        """Claim a free slot; raises :class:`SimulationError` when full."""
+        for slot, used in enumerate(self._allocated):
+            if not used:
+                if self._slots[slot] is None:
+                    self._slots[slot] = QuantizedKVCache(self.config,
+                                                         self.kv_bits)
+                self._allocated[slot] = True
+                return slot
+        raise SimulationError(
+            f"all {self.n_slots} KV slots are allocated")
+
+    def free(self, slot: int) -> None:
+        """Release a slot and forget its cached tokens."""
+        self._check(slot)
+        cache = self._slots[slot]
+        assert cache is not None
+        cache.reset()
+        self._allocated[slot] = False
+
+    def view(self, slot: int) -> QuantizedKVCache:
+        """The slot's cache, usable wherever a QuantizedKVCache is."""
+        self._check(slot)
+        cache = self._slots[slot]
+        assert cache is not None
+        return cache
+
+    def length(self, slot: int) -> int:
+        return self.view(slot).length
+
+    def total_tokens(self) -> int:
+        """Cached tokens across all live slots (the capacity pressure)."""
+        return sum(self._slots[s].length  # type: ignore[union-attr]
+                   for s in range(self.n_slots) if self._allocated[s])
+
+    def payload_bytes(self) -> int:
+        """Stored KV code bytes across all live slots."""
+        return (2 * self.config.num_layers * self.total_tokens()
+                * self.config.kv_dim * self.kv_bits // 8)
+
+    def _check(self, slot: int) -> None:
+        if not 0 <= slot < self.n_slots:
+            raise SimulationError(
+                f"slot {slot} outside pool of {self.n_slots}")
+        if not self._allocated[slot]:
+            raise SimulationError(f"slot {slot} is not allocated")

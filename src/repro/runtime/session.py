@@ -1,9 +1,13 @@
-"""End-to-end inference session: the PS-side "Tokenizer & Decode Program".
+"""End-to-end inference sessions: the PS-side "Tokenizer & Decode Program".
 
-Glues the byte tokenizer, the simulated accelerator, and a sampler into a
-chat-style API.  The session checks capacity before loading (the
-bare-metal discipline), then drives prefill + decode and reports both the
-generated text and the timing the cycle model produced.
+Both sessions are now thin adapters over the unified execution engine
+(:mod:`repro.engine`): :class:`InferenceSession` wraps a single-request
+:class:`~repro.engine.scheduler.ContinuousBatchScheduler` over the
+functional backend, so the exact same admission / prefill / decode /
+retire machinery serves one chat user here and a whole synthetic trace
+in ``repro serve-sim``.  The public API — ``generate`` returning a
+:class:`SessionResult`, ``ChatSession.say`` with history truncation —
+is unchanged, token for token.
 """
 
 from __future__ import annotations
@@ -12,6 +16,9 @@ from dataclasses import dataclass
 
 from ..config import KV260, PlatformConfig
 from ..core.accelerator import Accelerator, DecodePerf
+from ..engine.backends import FunctionalBackend
+from ..engine.request import Request
+from ..engine.scheduler import ContinuousBatchScheduler
 from ..errors import CapacityError, SimulationError
 from ..model.sampler import Sampler
 from ..model.tokenizer import ByteTokenizer
@@ -71,8 +78,7 @@ class ChatSession:
         self._truncate_history(len(user_tokens))
         prompt = self.history_tokens + user_tokens
 
-        tokens, perf = self.session.accelerator.decode(
-            prompt, max_new_tokens, self.session.sampler)
+        tokens, perf = self.session.generate_tokens(prompt, max_new_tokens)
         if tokenizer.eos_id in tokens:
             tokens = tokens[: tokens.index(tokenizer.eos_id)]
         result = SessionResult(prompt=text,
@@ -84,7 +90,7 @@ class ChatSession:
 
 
 class InferenceSession:
-    """Tokenize -> prefill -> decode -> detokenize, with timing."""
+    """Tokenize -> engine request -> detokenize, with timing."""
 
     def __init__(self, qweights, platform: PlatformConfig = KV260,
                  sampler: Sampler | None = None,
@@ -109,6 +115,50 @@ class InferenceSession:
         self.sampler = sampler
         self.accelerator = Accelerator.from_quantized_weights(
             qweights, platform)
+        # The session IS a one-slot engine: same scheduler, batch of one.
+        self._backend = FunctionalBackend(
+            qweights, platform, n_slots=1,
+            functional=self.accelerator.functional)
+        self._engine = ContinuousBatchScheduler(
+            self._backend, max_batch=1,
+            kv_token_budget=config.max_context)
+        self._next_request_id = 0
+
+    def generate_tokens(self, prompt_tokens: list[int],
+                        max_new_tokens: int,
+                        ) -> tuple[list[int], DecodePerf]:
+        """Run one engine request; returns raw tokens (EOS included) + perf.
+
+        Timing stops at a sampled EOS — post-EOS steps are never charged,
+        so the perf record matches the tokens callers actually keep.
+        """
+        perf = DecodePerf(
+            prompt_len=len(prompt_tokens),
+            new_tokens=0,
+            prefill_cycles=0.0,
+            freq_hz=self.accelerator.platform.pl_freq_hz,
+            theoretical_tokens_per_s=(
+                self.accelerator.theoretical_tokens_per_s()),
+        )
+        if max_new_tokens <= 0:
+            # Nothing to generate, but the prompt was still prefilled.
+            perf.prefill_cycles = self.accelerator.cycles.prefill_cycles(
+                len(prompt_tokens))
+            return [], perf
+        request = Request(
+            request_id=self._next_request_id,
+            prompt=tuple(prompt_tokens),
+            max_new_tokens=max_new_tokens,
+            sampler=self.sampler,
+            eos_id=self.tokenizer.eos_id,
+        )
+        self._next_request_id += 1
+        self._engine.run([request])
+        state = self._engine.finished[-1]
+        perf.new_tokens = state.n_generated
+        perf.prefill_cycles = state.prefill_cycles
+        perf.decode_cycles = list(state.decode_cycles)
+        return list(state.generated), perf
 
     def generate(self, prompt: str, max_new_tokens: int = 32,
                  ) -> SessionResult:
@@ -120,8 +170,7 @@ class InferenceSession:
                 f"prompt of {len(ids)} tokens fills the {max_ctx}-token "
                 "context"
             )
-        tokens, perf = self.accelerator.decode(ids, max_new_tokens,
-                                               self.sampler)
+        tokens, perf = self.generate_tokens(ids, max_new_tokens)
         # Stop at EOS like the bare-metal decode loop does.
         if self.tokenizer.eos_id in tokens:
             tokens = tokens[: tokens.index(self.tokenizer.eos_id)]

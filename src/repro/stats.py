@@ -1,0 +1,25 @@
+"""Small shared statistics helpers."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .errors import SimulationError
+
+
+def percentile_nearest_rank(values: Sequence[float],
+                            percentile: float) -> float:
+    """Nearest-rank percentile over ``values`` (no interpolation).
+
+    The convention both perf reports use: rank ``round(p/100 * (n-1))``
+    of the sorted sample, clamped to the last element.
+    """
+    if not 0 <= percentile <= 100:
+        raise SimulationError(
+            f"percentile must be in [0, 100], got {percentile}")
+    if not values:
+        raise SimulationError("no samples recorded")
+    ordered = sorted(values)
+    index = min(len(ordered) - 1,
+                int(round(percentile / 100 * (len(ordered) - 1))))
+    return ordered[index]

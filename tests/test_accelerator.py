@@ -94,3 +94,40 @@ class TestLatencyPercentiles:
         _, perf = functional.decode([256, 1], max_new_tokens=2)
         with pytest.raises(SimulationError):
             perf.latency_percentile_s(120)
+        with pytest.raises(SimulationError):
+            perf.latency_percentile_s(-1)
+
+    def test_single_step_every_percentile_identical(self, functional):
+        _, perf = functional.decode([256, 1], max_new_tokens=1)
+        assert len(perf.decode_cycles) == 1
+        only = perf.decode_cycles[0] / perf.freq_hz
+        for p in (0, 50, 100):
+            assert perf.latency_percentile_s(p) == only
+
+    def test_percentile_without_steps_raises(self):
+        from repro.core.accelerator import DecodePerf
+
+        perf = DecodePerf(prompt_len=1, new_tokens=0, prefill_cycles=1.0)
+        with pytest.raises(SimulationError):
+            perf.latency_percentile_s(50)
+
+
+class TestEosStopsTiming:
+    def test_eos_step_not_charged(self, functional):
+        full, full_perf = functional.decode([256, 1, 2], max_new_tokens=6)
+        eos = full[2]  # pretend the third generated token is EOS
+        tokens, perf = functional.decode([256, 1, 2], max_new_tokens=6,
+                                         eos_id=eos)
+        assert tokens == full[:3]
+        # Steps charged: one per forwarded token; EOS itself never runs.
+        assert len(perf.decode_cycles) == 2
+        assert perf.decode_cycles == pytest.approx(full_perf.decode_cycles[:2])
+        assert perf.new_tokens == 3
+
+    def test_no_eos_behaves_as_before(self, functional):
+        plain, plain_perf = functional.decode([256, 1, 2], max_new_tokens=4)
+        tagged, tagged_perf = functional.decode([256, 1, 2], max_new_tokens=4,
+                                                eos_id=-1)
+        assert tagged == plain
+        assert tagged_perf.decode_cycles \
+            == pytest.approx(plain_perf.decode_cycles)

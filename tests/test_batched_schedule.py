@@ -1,0 +1,92 @@
+"""Batch-aware token schedule and cycle model."""
+
+import pytest
+
+from repro.config import LLAMA2_7B, TINYLLAMA_1_1B, W4A16_KV8
+from repro.core.cyclemodel import CycleModel
+from repro.core.scheduler import TokenScheduler
+from repro.errors import ScheduleError
+
+
+@pytest.fixture(scope="module")
+def cm():
+    return CycleModel(LLAMA2_7B, W4A16_KV8)
+
+
+class TestBuildBatched:
+    @pytest.mark.parametrize("mode", ["fused", "coarse"])
+    @pytest.mark.parametrize("context", [0, 1, 64, 512])
+    def test_batch_of_one_equals_single(self, mode, context):
+        sched = TokenScheduler(LLAMA2_7B, W4A16_KV8)
+        single = sched.build(context, mode)
+        batched = sched.build_batched([context], mode)
+        assert batched.total_cycles == pytest.approx(single.total_cycles)
+        assert batched.total_transfer_bytes == pytest.approx(
+            single.total_transfer_bytes)
+        assert batched.exposed_misc_cycles == pytest.approx(
+            single.exposed_misc_cycles)
+
+    def test_gqa_batch_of_one_equals_single(self):
+        sched = TokenScheduler(TINYLLAMA_1_1B, W4A16_KV8)
+        single = sched.build(128, "fused")
+        batched = sched.build_batched([128], "fused")
+        assert batched.total_cycles == pytest.approx(single.total_cycles)
+
+    def test_step_cost_sublinear_in_batch(self):
+        """The whole point: weights stream once, so 2x batch < 2x cycles."""
+        sched = TokenScheduler(LLAMA2_7B, W4A16_KV8)
+        one = sched.build_batched([512], "fused").total_cycles
+        two = sched.build_batched([512, 512], "fused").total_cycles
+        assert one < two < 2 * one
+
+    def test_weight_bytes_charged_once(self):
+        sched = TokenScheduler(LLAMA2_7B, W4A16_KV8)
+        b1 = sched.build_batched([512], "fused")
+        b4 = sched.build_batched([512] * 4, "fused")
+        w = LLAMA2_7B.attention_params() * W4A16_KV8.effective_weight_bits / 8
+        kv1 = b1.segment("layer0.attn").transfer_bytes - w
+        kv4 = b4.segment("layer0.attn").transfer_bytes - w
+        assert kv4 == pytest.approx(4 * kv1)
+
+    def test_mixed_contexts(self):
+        sched = TokenScheduler(LLAMA2_7B, W4A16_KV8)
+        mixed = sched.build_batched([0, 256, 1023], "fused")
+        assert mixed.batch == 3
+        assert mixed.contexts == (0, 256, 1023)
+        uniform = sched.build_batched([1023] * 3, "fused")
+        assert mixed.total_cycles < uniform.total_cycles
+
+    def test_bad_inputs_rejected(self):
+        sched = TokenScheduler(LLAMA2_7B, W4A16_KV8)
+        with pytest.raises(ScheduleError):
+            sched.build_batched([], "fused")
+        with pytest.raises(ScheduleError):
+            sched.build_batched([1, -2], "fused")
+        with pytest.raises(ScheduleError):
+            sched.build_batched([1], "turbo")
+
+
+class TestBatchedDecodeStep:
+    def test_aggregate_above_single_at_batch_2(self, cm):
+        single = cm.decode_step(512).tokens_per_s
+        batched = cm.batched_decode_step([512, 512])
+        assert batched.aggregate_tokens_per_s > single
+
+    def test_per_sequence_rate_drops(self, cm):
+        b = cm.batched_decode_step([512] * 4)
+        assert b.per_sequence_tokens_per_s \
+            == pytest.approx(b.aggregate_tokens_per_s / 4)
+        assert b.per_sequence_tokens_per_s < cm.decode_step(512).tokens_per_s
+
+    def test_batch_sweep_monotone_nondecreasing(self, cm):
+        points = cm.batch_sweep([1, 2, 4, 8], 512)
+        rates = [p.aggregate_tokens_per_s for p in points]
+        for lo, hi in zip(rates, rates[1:]):
+            assert hi >= lo * (1 - 1e-12)  # up to FP noise at saturation
+        assert rates[1] > rates[0]
+
+    def test_utilization_can_approach_one(self, cm):
+        # Amortization drives tokens-based utilization above single-batch.
+        u1 = cm.batched_decode_step([512]).utilization
+        u8 = cm.batched_decode_step([512] * 8).utilization
+        assert u8 > u1

@@ -65,3 +65,29 @@ def test_bad_reservation_rejected(tiny_qweights):
 def test_turns_record_perf(chat):
     chat.say("q", max_new_tokens=2)
     assert chat.turns[0].perf.tokens_per_s > 0
+
+
+class TestTruncateHistoryEdges:
+    def test_budget_exactly_zero_clears_history(self, chat):
+        # reserve 8 + new tokens == max_context -> budget is exactly 0.
+        chat.history_tokens = list(range(40))
+        chat._truncate_history(TINY_MODEL.max_context - 8)
+        assert chat.history_tokens == []
+
+    def test_budget_zero_with_empty_history(self, chat):
+        chat._truncate_history(TINY_MODEL.max_context - 8)
+        assert chat.history_tokens == []
+
+    def test_single_turn_exceeding_context_raises(self, chat):
+        with pytest.raises(SimulationError):
+            chat._truncate_history(TINY_MODEL.max_context - 8 + 1)
+
+    def test_budget_one_keeps_newest_token(self, chat):
+        chat.history_tokens = [5, 6, 7]
+        chat._truncate_history(TINY_MODEL.max_context - 8 - 1)
+        assert chat.history_tokens == [7]
+
+    def test_history_under_budget_untouched(self, chat):
+        chat.history_tokens = [1, 2, 3]
+        chat._truncate_history(4)
+        assert chat.history_tokens == [1, 2, 3]

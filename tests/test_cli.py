@@ -93,6 +93,71 @@ def test_summary_holds(capsys):
     assert "False" not in out
 
 
+def test_serve_sim_cycle_backend(capsys):
+    code, out = run(capsys, "serve-sim", "--requests", "10",
+                    "--max-batch", "8", "--per-request")
+    assert code == 0
+    assert "aggregate rate" in out
+    assert "token lat p99" in out
+    assert out.count("length") == 10  # every request retires
+
+
+def test_serve_sim_functional_backend(capsys):
+    code, out = run(capsys, "serve-sim", "--backend", "functional",
+                    "--requests", "4", "--max-batch", "4",
+                    "--decode-max", "8")
+    assert code == 0
+    assert "functional backend" in out
+
+
+def test_serve_sim_analytical_7b(capsys):
+    code, out = run(capsys, "serve-sim", "--model", "LLaMA2-7B",
+                    "--backend", "analytical", "--requests", "3",
+                    "--arrival-rate", "0.5", "--decode-max", "8")
+    assert code == 0
+    assert "LLaMA2-7B" in out
+
+
+def test_serve_sim_kv_budget_forces_preemption(capsys):
+    code, out = run(capsys, "serve-sim", "--requests", "8",
+                    "--max-batch", "4", "--kv-budget", "60",
+                    "--decode-min", "20", "--decode-max", "30",
+                    "--prompt-min", "10", "--prompt-max", "14")
+    assert code == 0
+    assert "KV budget 60 tokens" in out
+    preemptions = int(out.split("preemptions")[1].split()[0])
+    assert preemptions > 0
+
+
+def test_serve_sim_functional_rejects_big_models():
+    with pytest.raises(SystemExit):
+        main(["serve-sim", "--model", "LLaMA2-7B",
+              "--backend", "functional"])
+
+
+def test_bench_serve_amortization_visible(capsys):
+    code, out = run(capsys, "bench-serve", "--max-batch", "8")
+    assert code == 0
+    assert "VISIBLE" in out
+    lines = [l for l in out.splitlines() if l.strip()
+             and l.strip()[0].isdigit()]
+    rates = [float(l.split()[1]) for l in lines]
+    assert len(rates) == 4  # batch 1, 2, 4, 8
+    assert all(r > rates[0] for r in rates[1:])
+
+
+def test_bench_serve_rejects_batch_below_two():
+    with pytest.raises(SystemExit):
+        main(["bench-serve", "--max-batch", "1"])
+
+
+def test_bench_serve_wider_engine(capsys):
+    code, out = run(capsys, "bench-serve", "--max-batch", "4",
+                    "--lanes", "512")
+    assert code == 0
+    assert "512 lanes" in out
+
+
 def test_convert_roundtrip(capsys, tmp_path):
     out = str(tmp_path / "tiny.ckpt")
     code = main(["convert", "--out", out])

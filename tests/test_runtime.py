@@ -85,6 +85,33 @@ class TestInferenceSession:
         # A 117k-parameter model trivially fits the KV260.
         InferenceSession(tiny_qweights, check_capacity=True)
 
+    def test_zero_budget_still_reports_prefill(self, tiny_qweights):
+        session = InferenceSession(tiny_qweights, check_capacity=False)
+        tokens, perf = session.generate_tokens([256, 1, 2], 0)
+        assert tokens == []
+        assert perf.ttft_s > 0  # the prompt was still prefilled
+
+    def test_immediate_eos_has_no_decode_steps(self, tiny_qweights):
+        """Intended post-EOS-fix semantics: an empty reply has TTFT but no
+        decode-phase timing (the EOS token is never forwarded)."""
+
+        class EosSampler:
+            def __init__(self, eos_id):
+                self.eos_id = eos_id
+
+            def sample(self, logits):
+                return self.eos_id
+
+        session = InferenceSession(tiny_qweights, check_capacity=False)
+        session.sampler = EosSampler(session.tokenizer.eos_id)
+        result = session.generate("hi", max_new_tokens=4)
+        assert result.tokens == []
+        assert result.completion == ""
+        assert result.perf.ttft_s > 0
+        assert result.perf.decode_cycles == []
+        with pytest.raises(SimulationError):
+            _ = result.perf.tokens_per_s
+
 
 class TestTrace:
     def test_from_attention_report(self):

@@ -1,0 +1,105 @@
+"""Multi-sequence slotted KV cache."""
+
+import numpy as np
+import pytest
+
+from repro.config import TINY_MODEL
+from repro.errors import SimulationError
+from repro.model.kvcache import QuantizedKVCache, SlottedKVCache
+
+
+@pytest.fixture()
+def pool():
+    return SlottedKVCache(TINY_MODEL, n_slots=3)
+
+
+def _kv(seed):
+    rng = np.random.default_rng(seed)
+    shape = (TINY_MODEL.kv_heads, TINY_MODEL.head_dim)
+    return rng.normal(size=shape), rng.normal(size=shape)
+
+
+class TestAllocation:
+    def test_allocate_all_slots(self, pool):
+        slots = [pool.allocate() for _ in range(3)]
+        assert sorted(slots) == [0, 1, 2]
+        assert pool.n_allocated == 3
+        assert pool.n_free == 0
+
+    def test_overflow_raises(self, pool):
+        for _ in range(3):
+            pool.allocate()
+        with pytest.raises(SimulationError):
+            pool.allocate()
+
+    def test_free_recycles(self, pool):
+        slot = pool.allocate()
+        pool.free(slot)
+        assert pool.n_free == 3
+        assert pool.allocate() == slot
+
+    def test_free_unallocated_raises(self, pool):
+        with pytest.raises(SimulationError):
+            pool.free(0)
+        with pytest.raises(SimulationError):
+            pool.free(99)
+
+    def test_view_of_unallocated_raises(self, pool):
+        with pytest.raises(SimulationError):
+            pool.view(1)
+
+    def test_bad_pool_size_rejected(self):
+        with pytest.raises(SimulationError):
+            SlottedKVCache(TINY_MODEL, n_slots=0)
+
+
+class TestSlotIsolation:
+    def test_views_are_independent_sequences(self, pool):
+        a, b = pool.allocate(), pool.allocate()
+        ka, va = _kv(1)
+        kb, vb = _kv(2)
+        pool.view(a).append(0, ka, va, position=0)
+        pool.view(b).append(0, kb, vb, position=0)
+        got_a = pool.view(a).keys(0, head=0, length=1)
+        got_b = pool.view(b).keys(0, head=0, length=1)
+        assert not np.allclose(got_a, got_b)
+
+    def test_view_quacks_like_quantized_cache(self, pool):
+        slot = pool.allocate()
+        view = pool.view(slot)
+        assert isinstance(view, QuantizedKVCache)
+
+    def test_free_resets_contents(self, pool):
+        slot = pool.allocate()
+        k, v = _kv(3)
+        for layer in range(TINY_MODEL.num_layers):
+            pool.view(slot).append(layer, k, v, position=0)
+        assert pool.view(slot).length == 1
+        pool.free(slot)
+        again = pool.allocate()
+        assert again == slot
+        assert pool.view(again).length == 0
+        with pytest.raises(SimulationError):
+            pool.view(again).keys(0, head=0, length=1)
+
+    def test_total_tokens_tracks_live_slots(self, pool):
+        a, b = pool.allocate(), pool.allocate()
+        k, v = _kv(4)
+        for layer in range(TINY_MODEL.num_layers):
+            pool.view(a).append(layer, k, v, position=0)
+            pool.view(b).append(layer, k, v, position=0)
+            pool.view(b).append(layer, k, v, position=1)
+        assert pool.total_tokens() == 3
+        assert pool.length(a) == 1
+        assert pool.length(b) == 2
+        pool.free(b)
+        assert pool.total_tokens() == 1
+
+    def test_payload_bytes_scale_with_tokens(self, pool):
+        a = pool.allocate()
+        assert pool.payload_bytes() == 0
+        k, v = _kv(5)
+        for layer in range(TINY_MODEL.num_layers):
+            pool.view(a).append(layer, k, v, position=0)
+        per_token = 2 * TINY_MODEL.num_layers * TINY_MODEL.kv_dim
+        assert pool.payload_bytes() == per_token
