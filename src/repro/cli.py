@@ -178,15 +178,26 @@ def cmd_generate(args) -> int:
     return 0
 
 
+def _kv_kwargs(args):
+    """(backend, scheduler) KV kwargs from the serve-sim flags."""
+    from .engine import kv_discipline_kwargs
+
+    return kv_discipline_kwargs(args.kv,
+                                budget_tokens=args.kv_budget or None,
+                                block_size=args.block_size,
+                                n_kv_blocks=args.kv_blocks or None)
+
+
 def _serve_backend(args, model, platform, quant):
     from .engine import AnalyticalBackend, CycleModelBackend, FunctionalBackend
 
+    kv, _ = _kv_kwargs(args)
     if args.backend == "cycle":
         return CycleModelBackend(model, quant, platform, mode=args.mode,
-                                 n_slots=args.max_batch)
+                                 n_slots=args.max_batch, **kv)
     if args.backend == "analytical":
         return AnalyticalBackend(model, quant, platform,
-                                 n_slots=args.max_batch)
+                                 n_slots=args.max_batch, **kv)
     if args.backend == "functional":
         from .model.weights import quantize_model, random_weights
 
@@ -199,7 +210,7 @@ def _serve_backend(args, model, platform, quant):
                          kv_bits=quant.kv_bits, weight_group_size=group)
         qweights = quantize_model(random_weights(model, seed=args.seed), fq)
         return FunctionalBackend(qweights, platform, mode=args.mode,
-                                 n_slots=args.max_batch)
+                                 n_slots=args.max_batch, **kv)
     raise ReproError(f"unknown backend {args.backend!r}")
 
 
@@ -209,20 +220,25 @@ def cmd_serve_sim(args) -> int:
     model = _model(args.model)
     platform = _platform(args.platform)
     backend = _serve_backend(args, model, platform, _quant(args))
+    _, scheduler_kv = _kv_kwargs(args)
     engine = ContinuousBatchScheduler(
-        backend, max_batch=args.max_batch,
-        kv_token_budget=args.kv_budget if args.kv_budget else None)
+        backend, max_batch=args.max_batch, **scheduler_kv)
     trace = synthetic_trace(
         model, n_requests=args.requests,
         arrival_rate_rps=args.arrival_rate,
         prompt_len=(args.prompt_min, args.prompt_max),
         decode_len=(args.decode_min, args.decode_max),
-        seed=args.seed)
+        seed=args.seed,
+        shared_prefix_len=args.shared_prefix)
     report = engine.run(trace)
 
+    kv_desc = f"KV budget {engine.kv_token_budget} tokens"
+    if args.kv == "paged":
+        kv_desc = (f"paged KV: {backend.paged_kv.n_total_blocks} blocks "
+                   f"x {args.block_size} tokens")
     print(f"serve-sim: {args.requests} requests, {model.name} on "
           f"{platform.name} ({args.backend} backend, max batch "
-          f"{args.max_batch}, KV budget {engine.kv_token_budget} tokens)")
+          f"{args.max_batch}, {kv_desc})")
     print(f"  simulated time : {report.total_time_s:10.3f} s "
           f"({report.n_steps} engine steps)")
     print(f"  aggregate rate : {report.aggregate_tokens_per_s:10.3f} "
@@ -234,6 +250,12 @@ def cmd_serve_sim(args) -> int:
     for p in (50, 95, 99):
         print(f"  token lat p{p:<3}: "
               f"{report.latency_percentile_s(p) * 1e3:10.3f} ms")
+    if args.kv == "paged":
+        kv = backend.paged_kv
+        print(f"  prefix reuse   : {kv.prefix_reused_tokens} prompt "
+              f"tokens served from cache "
+              f"({kv.prefix.hits} block hits, "
+              f"{kv.prefix.evictions} evictions)")
     if args.per_request:
         print("  id  prompt  new  ttft_ms    e2e_ms  reason")
         for r in report.results:
@@ -275,7 +297,64 @@ def cmd_bench_serve(args) -> int:
     print("weight-stream amortization "
           + ("VISIBLE" if amortized else "NOT VISIBLE")
           + " (aggregate rate vs batch=1)")
+    if args.kv_compare:
+        print()
+        return 0 if (cmd_bench_serve_kv_modes(args) == 0 and amortized) \
+            else 1
     return 0 if amortized else 1
+
+
+def cmd_bench_serve_kv_modes(args) -> int:
+    """Slotted-vs-paged engine replay on one shared-prefix trace."""
+    from .engine import (ContinuousBatchScheduler, CycleModelBackend,
+                         derive_kv_token_budget, kv_discipline_kwargs,
+                         synthetic_trace)
+
+    model = _model(args.model)
+    platform = _platform(args.platform)
+    quant = _quant(args)
+    budget = args.kv_budget or derive_kv_token_budget(
+        model, quant, platform,
+        cap_tokens=args.max_batch * model.max_context)
+    trace = synthetic_trace(
+        model, n_requests=args.requests, arrival_rate_rps=1e9,
+        prompt_len=(4, 12), decode_len=(16, 32), seed=args.seed,
+        shared_prefix_len=args.shared_prefix)
+
+    print(f"KV modes — {args.requests} requests sharing a "
+          f"{args.shared_prefix}-token prefix, budget {budget} tokens")
+    print("mode      agg tok/s   mean batch  max batch  preempt  reuse")
+    stats = {}
+    for kv_mode in ("slotted", "paged"):
+        backend_kv, scheduler_kv = kv_discipline_kwargs(
+            kv_mode, budget_tokens=budget, block_size=args.block_size)
+        backend = CycleModelBackend(model, quant, platform,
+                                    mode=args.mode,
+                                    n_slots=args.max_batch, **backend_kv)
+        engine = ContinuousBatchScheduler(backend,
+                                          max_batch=args.max_batch,
+                                          **scheduler_kv)
+        report = engine.run(trace)
+        reused = backend.paged_kv.prefix_reused_tokens \
+            if kv_mode == "paged" else 0
+        stats[kv_mode] = report
+        print(f"{kv_mode:8}  {report.aggregate_tokens_per_s:9.3f}   "
+              f"{report.mean_batch:10.2f}  {report.max_batch_observed:9d}"
+              f"  {report.preemptions:7d}  {reused:5d}")
+    # A win requires strictly more throughput, and a strictly larger
+    # admitted batch whenever the KV budget (not --max-batch) was what
+    # capped the slotted run — when slotted already reaches the
+    # concurrency cap, batch cannot differentiate and throughput decides.
+    slotted_budget_limited = \
+        stats["slotted"].max_batch_observed < args.max_batch
+    wins = (stats["paged"].aggregate_tokens_per_s
+            > stats["slotted"].aggregate_tokens_per_s
+            and (not slotted_budget_limited
+                 or stats["paged"].max_batch_observed
+                 > stats["slotted"].max_batch_observed))
+    print("paged KV " + ("WINS" if wins else "DOES NOT WIN")
+          + " (throughput + admitted batch vs slotted)")
+    return 0 if wins else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -345,6 +424,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="override the KV token budget (0 = derive from "
                         "the capacity report); small values force "
                         "preemption")
+    p.add_argument("--kv", choices=("slotted", "paged"), default="slotted",
+                   help="KV discipline: per-slot worst-case reservations "
+                        "or block-granular paging with prefix reuse")
+    p.add_argument("--block-size", type=int, default=16,
+                   help="tokens per KV block (paged mode)")
+    p.add_argument("--kv-blocks", type=int, default=0,
+                   help="paged pool size in blocks (0 = derive from the "
+                        "capacity report or --kv-budget)")
+    p.add_argument("--shared-prefix", type=int, default=0,
+                   help="prepend one fixed system prompt of this many "
+                        "tokens to every request")
     p.add_argument("--per-request", action="store_true",
                    help="print the per-request table")
     p.set_defaults(fn=cmd_serve_sim)
@@ -356,6 +446,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-batch", type=int, default=16)
     p.add_argument("--lanes", type=int, default=0,
                    help="override DOT-engine lanes (0 = platform default)")
+    p.add_argument("--kv-compare", action="store_true",
+                   help="also replay a shared-prefix trace through the "
+                        "engine with slotted and paged KV")
+    p.add_argument("--kv-budget", type=int, default=0,
+                   help="KV token budget for the comparison (0 = derive)")
+    p.add_argument("--block-size", type=int, default=16,
+                   help="tokens per KV block (paged side)")
+    p.add_argument("--shared-prefix", type=int, default=128,
+                   help="shared system-prompt tokens in the trace")
+    p.add_argument("--requests", type=int, default=16)
+    p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_bench_serve, context=512)
 
     p = sub.add_parser("generate", help="functional generation (tiny models)")

@@ -107,18 +107,24 @@ class CycleModel:
         )
 
     def batched_token_schedule(self, contexts: Sequence[int],
-                               mode: str = "fused") -> BatchSchedule:
-        return self.scheduler.build_batched(contexts, mode)
+                               mode: str = "fused",
+                               fetched: Sequence[int] | None = None,
+                               ) -> BatchSchedule:
+        return self.scheduler.build_batched(contexts, mode, fetched)
 
     def batched_decode_step(self, contexts: Sequence[int],
-                            mode: str = "fused") -> BatchCycles:
+                            mode: str = "fused",
+                            fetched: Sequence[int] | None = None,
+                            ) -> BatchCycles:
         """Cycle-model one decode step shared by concurrent sequences.
 
         The quantized weight stream is read once per step regardless of
         batch size (the paper's dominant cost, amortized); KV traffic and
-        misc work scale per member.
+        misc work scale per member.  ``fetched`` caps each member's KV
+        stream at its *resident-block* traffic (paged KV with shared
+        prefixes fetches a shared block once per batch).
         """
-        sched = self.batched_token_schedule(contexts, mode)
+        sched = self.batched_token_schedule(contexts, mode, fetched)
         cycles = sched.total_cycles
         per_seq = self.platform.pl_freq_hz / cycles
         aggregate = sched.batch * per_seq
@@ -167,14 +173,18 @@ class CycleModel:
                                     for s in steps) / n_tokens,
         )
 
-    def prefill_cycles(self, prompt_len: int) -> float:
+    def prefill_cycles(self, prompt_len: int, start: int = 0) -> float:
         """TTFT cycles for the bandwidth-area-balanced engine.
 
         The simple DOT engine has no weight reuse across tokens, so the
         prefill streams the full weight set once per prompt token — the
-        deliberate prefill sacrifice of Sec. VI-B.
+        deliberate prefill sacrifice of Sec. VI-B.  ``start`` skips the
+        leading positions whose K/V a shared prefix already provides.
         """
         if prompt_len <= 0:
             raise SimulationError("prompt_len must be positive")
+        if not 0 <= start < prompt_len:
+            raise SimulationError(
+                f"prefill start {start} outside prompt of {prompt_len}")
         return sum(self.token_schedule(pos, "fused").total_cycles
-                   for pos in range(prompt_len))
+                   for pos in range(start, prompt_len))

@@ -185,13 +185,22 @@ class TokenScheduler:
         return segs
 
     def batched_attention_segment(self, layer: int, contexts: Sequence[int],
-                                  mode: str) -> Segment:
+                                  mode: str,
+                                  fetched: Sequence[int] | None = None,
+                                  ) -> Segment:
         """One layer's attention for a whole batch (Fig. 2 split, batched).
 
         The Q/K/V/O weight slices stream from DRAM once and serve every
         sequence (compute scales with the batch); the KV-history DOT
         stages are inherently per sequence, each at its own context, and
         so is the misc exposure.
+
+        ``fetched[i]`` is the number of sequence *i*'s context tokens that
+        must actually stream from DRAM this step.  Under a paged cache
+        with shared prefixes, blocks resident for an earlier batch member
+        are served from the on-chip staging buffer, so the sharing member
+        fetches fewer tokens than it attends over (``fetched[i] <=
+        contexts[i]``); the QK/AV compute still covers the full context.
         """
         m, q = self.model, self.quant
         batch = len(contexts)
@@ -218,23 +227,33 @@ class TokenScheduler:
             cycles += 2 * weight_stage(m.kv_dim, 1)
             cycles += weight_stage(m.hidden_size, 1)
 
+        if fetched is None:
+            fetched = contexts
+        if len(fetched) != len(contexts):
+            raise ScheduleError(
+                f"fetched has {len(fetched)} entries for "
+                f"{len(contexts)} contexts")
         weight_bytes = m.attention_params() * q.effective_weight_bits / 8
         kv_bytes = 0.0
         exposed = 0.0
-        for ctx in contexts:
-            if ctx > 0:
-                payload = ctx * d * q.kv_bits / 8
-                packs = ctx * q.kv_pack_bits / 8
+        for ctx, fetch in zip(contexts, fetched):
+            if not 0 <= fetch <= ctx:
+                raise ScheduleError(
+                    f"fetched tokens {fetch} outside [0, {ctx}]")
+            if fetch > 0:
+                payload = fetch * d * q.kv_bits / 8
+                packs = fetch * q.kv_pack_bits / 8
                 kv_tx = self.mcu.stream_transfer(payload + packs).cycles \
                     / group
             else:
                 kv_tx = 0.0
             # QK dot + weighted-V accumulation for every head of this
-            # sequence; heads of one GQA group share the history stream.
+            # sequence; heads of one GQA group share the history stream
+            # and the compute always spans the full attended context.
             cycles += 2 * m.num_heads * max(kv_tx, (ctx + 1) * tiles_d)
             exposed += self.pipeline.schedule(ctx, mode).exposed_misc_cycles
-            kv_bytes += 2 * ctx * m.kv_dim * q.kv_bits / 8 \
-                + 2 * ctx * m.kv_heads * q.kv_pack_bits / 8 \
+            kv_bytes += 2 * fetch * m.kv_dim * q.kv_bits / 8 \
+                + 2 * fetch * m.kv_heads * q.kv_pack_bits / 8 \
                 + 2 * m.kv_dim * q.kv_bits / 8 \
                 + 2 * m.kv_heads * q.kv_pack_bits / 8
         return Segment(f"layer{layer}.attn", cycles + exposed,
@@ -268,7 +287,8 @@ class TokenScheduler:
         return sched
 
     def build_batched(self, contexts: Sequence[int],
-                      mode: str = "fused") -> BatchSchedule:
+                      mode: str = "fused",
+                      fetched: Sequence[int] | None = None) -> BatchSchedule:
         """Schedule one decode step for a batch of concurrent sequences.
 
         Each entry of ``contexts`` is one sequence's cached-token count.
@@ -276,6 +296,11 @@ class TokenScheduler:
         — is charged once for the whole batch; per-sequence work (KV
         history, misc ops, embedding row, final norm) is charged per
         member.  ``build_batched([ctx])`` totals equal ``build(ctx)``.
+
+        ``fetched`` (optional, defaults to ``contexts``) gives the KV
+        tokens each member actually streams from DRAM — see
+        :meth:`batched_attention_segment` for the paged/shared-prefix
+        semantics.
         """
         if mode not in ("fused", "coarse"):
             raise ScheduleError(f"unknown mode {mode!r}")
@@ -295,7 +320,8 @@ class TokenScheduler:
 
         for layer in range(m.num_layers):
             sched.segments.append(
-                self.batched_attention_segment(layer, contexts, mode))
+                self.batched_attention_segment(layer, contexts, mode,
+                                               fetched))
             sched.segments.extend(self.mlp_segments(layer, mode, batch=batch))
 
         # The final RMSNorm stays serial per sequence (each logits

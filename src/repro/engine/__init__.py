@@ -27,6 +27,8 @@ from .backends import (
     CycleModelBackend,
     EngineBackend,
     FunctionalBackend,
+    derive_kv_token_budget,
+    kv_discipline_kwargs,
 )
 from .request import FinishReason, Request, RequestState, RequestStatus
 from .scheduler import (
@@ -50,5 +52,7 @@ __all__ = [
     "RequestStatus",
     "ServeReport",
     "StepEvent",
+    "derive_kv_token_budget",
+    "kv_discipline_kwargs",
     "synthetic_trace",
 ]

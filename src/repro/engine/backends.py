@@ -4,10 +4,9 @@ Three implementations of one protocol, mirroring the repo's three
 fidelity levels:
 
 * :class:`FunctionalBackend` — the hardware-equivalent functional
-  pipeline (:class:`repro.model.quantized.QuantizedModel`) over a
-  multi-sequence :class:`repro.model.kvcache.SlottedKVCache`, timed by
-  the batched cycle model.  Exact tokens *and* exact timing; only for
-  models small enough to run in numpy.
+  pipeline (:class:`repro.model.quantized.QuantizedModel`) over multi-
+  sequence KV storage, timed by the batched cycle model.  Exact tokens
+  *and* exact timing; only for models small enough to run in numpy.
 * :class:`CycleModelBackend` — timing-only.  Tokens are a deterministic
   synthetic stream (no EOS), so requests retire at their length limit;
   the per-step cost comes from
@@ -20,21 +19,40 @@ fidelity levels:
 All three share the batch cost split of the paper's Fig. 2: the
 quantized weight stream is charged once per step; KV traffic and misc
 work are charged per batch member.
+
+Every backend also supports both KV disciplines (``kv_mode``):
+
+* ``"slotted"`` — one contiguous max-length reservation per sequence
+  (:class:`repro.model.kvcache.SlottedKVCache` or a slot counter).
+* ``"paged"`` — block-granular allocation with shared-prefix reuse
+  (:class:`repro.kv.PagedKVCache`).  Prefill skips prefix tokens whose
+  blocks are already resident, and batched decode charges each physical
+  block's DRAM stream once per step.  The timing-only backends run the
+  same accounting (``store_data=False``), so all three make identical
+  admission and reuse decisions — which is what the cross-backend
+  differential test harness checks.
 """
 
 from __future__ import annotations
 
-from typing import Protocol, Sequence, runtime_checkable
+from typing import Callable, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
 from ..config import KV260, ModelConfig, PlatformConfig, QuantConfig
 from ..core.cyclemodel import CycleModel
 from ..core.vpu import VpuSpec
-from ..errors import SimulationError
+from ..errors import CapacityError, SimulationError
+from ..kv import PagedKVCache, blocks_for_budget
 from ..model.kvcache import SlottedKVCache
 from ..model.quantized import QuantizedModel
 from .request import RequestState
+
+KV_MODES = ("slotted", "paged")
+
+#: maps (request_id, step index) to the token that step must produce —
+#: lets timing-only backends replay an exact recorded stream.
+TokenOracle = Callable[[int, int], int]
 
 
 @runtime_checkable
@@ -71,6 +89,53 @@ class EngineBackend(Protocol):
         ...
 
 
+def derive_kv_token_budget(model: ModelConfig, quant: QuantConfig,
+                           platform: PlatformConfig, cap_tokens: int,
+                           system=None) -> int:
+    """KV tokens the platform's DRAM holds beyond weights + reservation.
+
+    The capacity discipline of the paper's Sec. VII-A carried to serving:
+    whatever DRAM remains after the quantized weights and the bare-metal
+    reservation is the KV budget, clamped to ``cap_tokens`` (typically
+    ``max_batch * max_context`` — more can never be resident at once).
+    """
+    if system is None:
+        from ..runtime.baremetal import BareMetalSystem
+
+        system = BareMetalSystem(platform)
+    report = system.capacity_report(model, quant, 1)
+    per_token = report.kv_bytes
+    free = report.dram_bytes - report.weight_bytes - report.reserved_bytes
+    if free < per_token:
+        raise CapacityError(
+            f"{model.name} weights leave no KV room on {platform.name}")
+    return int(min(free // per_token, cap_tokens))
+
+
+def kv_discipline_kwargs(kv_mode: str, budget_tokens: int | None = None,
+                         block_size: int = 16,
+                         n_kv_blocks: int | None = None,
+                         ) -> tuple[dict, dict]:
+    """``(backend_kwargs, scheduler_kwargs)`` for one KV discipline.
+
+    The single encoding of the equal-DRAM rule every slotted-vs-paged
+    comparison relies on: a token budget caps the *scheduler* in slotted
+    mode but sizes the backend's block *pool* (via
+    :func:`repro.kv.blocks_for_budget`) in paged mode, so the two
+    disciplines always compete over the same storage.
+    """
+    backend = dict(kv_mode=kv_mode, block_size=block_size,
+                   n_kv_blocks=n_kv_blocks)
+    scheduler: dict = {}
+    if kv_mode == "paged":
+        if n_kv_blocks is None and budget_tokens:
+            backend["n_kv_blocks"] = blocks_for_budget(budget_tokens,
+                                                       block_size)
+    elif budget_tokens:
+        scheduler["kv_token_budget"] = budget_tokens
+    return backend, scheduler
+
+
 class _SlotCounter:
     """Slot accounting for timing-only backends (no real storage)."""
 
@@ -105,42 +170,125 @@ def _synthetic_token(state: RequestState, vocab_size: int,
     return token
 
 
-class _CycleTimedBackend:
-    """Shared plumbing: batched cycle-model timing + slot bookkeeping."""
+def _build_paged_kv(model_config: ModelConfig, quant: QuantConfig,
+                    platform: PlatformConfig, n_slots: int,
+                    block_size: int, n_kv_blocks: int | None,
+                    store_data: bool, prefix_sharing: bool) -> PagedKVCache:
+    """Size and build the paged pool; default capacity mirrors the
+    token budget the scheduler would derive for slotted KV, so the two
+    modes compete over the same DRAM bytes."""
+    if n_kv_blocks is None:
+        budget = derive_kv_token_budget(
+            model_config, quant, platform,
+            cap_tokens=n_slots * model_config.max_context)
+        n_kv_blocks = blocks_for_budget(budget, block_size)
+    return PagedKVCache(model_config, n_kv_blocks, block_size,
+                        kv_bits=quant.kv_bits, store_data=store_data,
+                        prefix_sharing=prefix_sharing)
 
-    def __init__(self, model_config: ModelConfig, quant: QuantConfig,
-                 platform: PlatformConfig, mode: str, n_slots: int,
-                 vpu: VpuSpec | None = None) -> None:
-        self.model_config = model_config
-        self.quant = quant
-        self.platform = platform
-        self.mode = mode
-        self.cycles = CycleModel(model_config, quant, platform, vpu=vpu)
-        self._slots = _SlotCounter(n_slots)
 
-    @property
-    def freq_hz(self) -> float:
-        return self.platform.pl_freq_hz
+class _KVMixin:
+    """Shared KV discipline plumbing over slotted or paged accounting.
+
+    :meth:`_init_kv` sets exactly one of ``_slots`` (slotted) or
+    ``paged_kv`` (paged); ``state.slot`` holds a slot index or a paged
+    sequence id.  Keeping this logic in one place is what guarantees
+    all backends make identical admission and reuse decisions — the
+    property the differential harness checks.
+    """
+
+    paged_kv: PagedKVCache | None = None
+    #: slot authority: a counter for timing backends, or the slotted
+    #: storage itself (same allocate/free surface) for the functional one.
+    _slots: _SlotCounter | SlottedKVCache | None = None
+
+    def _init_kv(self, model_config: ModelConfig, quant: QuantConfig,
+                 platform: PlatformConfig, kv_mode: str, n_slots: int,
+                 block_size: int, n_kv_blocks: int | None,
+                 prefix_sharing: bool, store_data: bool) -> None:
+        if kv_mode not in KV_MODES:
+            raise SimulationError(
+                f"unknown kv_mode {kv_mode!r}; choose from {KV_MODES}")
+        self.kv_mode = kv_mode
+        self._n_slots = n_slots
+        if kv_mode == "paged":
+            self.paged_kv = _build_paged_kv(
+                model_config, quant, platform, n_slots, block_size,
+                n_kv_blocks, store_data, prefix_sharing)
+        else:
+            self._slots = _SlotCounter(n_slots)
 
     @property
     def n_slots(self) -> int:
-        return self._slots.n_slots
+        return self._n_slots
 
     def admit(self, state: RequestState) -> None:
-        state.slot = self._slots.allocate()
+        if self.paged_kv is not None:
+            # The paged pool opens unlimited sequences; the slot count
+            # stays the concurrency authority so both KV disciplines
+            # enforce the same admission cap.
+            if self.paged_kv.n_sequences >= self._n_slots:
+                raise SimulationError(
+                    f"all {self._n_slots} KV slots are allocated")
+            state.slot = self.paged_kv.allocate(state.sequence_tokens())
+        else:
+            assert self._slots is not None
+            state.slot = self._slots.allocate()
 
     def release(self, state: RequestState) -> None:
         if state.slot is None:
             raise SimulationError(
                 f"request {state.request_id} holds no slot")
-        self._slots.free(state.slot)
+        if self.paged_kv is not None:
+            self.paged_kv.free(state.slot)
+        else:
+            assert self._slots is not None
+            self._slots.free(state.slot)
         state.slot = None
 
-    def step_cycles(self, contexts: Sequence[int]) -> float:
-        return self.cycles.batched_decode_step(contexts, self.mode).cycles
+    def _cached_prefix(self, state: RequestState) -> int:
+        """Prompt tokens whose KV the paged cache already holds."""
+        if self.paged_kv is None or state.slot is None:
+            return 0
+        return self.paged_kv.cached_length(state.slot)
 
-    def prefill_cycles(self, n_tokens: int) -> float:
-        return self.cycles.prefill_cycles(n_tokens)
+    def _fetch_plan(self, states: Sequence[RequestState],
+                    contexts: Sequence[int]) -> list[int] | None:
+        """Per-member KV fetch counts for a batched step (paged only)."""
+        if self.paged_kv is None:
+            return None
+        return self.paged_kv.fetch_plan([s.slot for s in states], contexts)
+
+
+class _CycleTimedBackend(_KVMixin):
+    """Shared plumbing: batched cycle-model timing + KV bookkeeping."""
+
+    def __init__(self, model_config: ModelConfig, quant: QuantConfig,
+                 platform: PlatformConfig, mode: str, n_slots: int,
+                 vpu: VpuSpec | None = None, kv_mode: str = "slotted",
+                 block_size: int = 16, n_kv_blocks: int | None = None,
+                 prefix_sharing: bool = True,
+                 store_kv_data: bool = False) -> None:
+        self.model_config = model_config
+        self.quant = quant
+        self.platform = platform
+        self.mode = mode
+        self.cycles = CycleModel(model_config, quant, platform, vpu=vpu)
+        self._init_kv(model_config, quant, platform, kv_mode, n_slots,
+                      block_size, n_kv_blocks, prefix_sharing,
+                      store_kv_data)
+
+    @property
+    def freq_hz(self) -> float:
+        return self.platform.pl_freq_hz
+
+    def step_cycles(self, contexts: Sequence[int],
+                    fetched: Sequence[int] | None = None) -> float:
+        return self.cycles.batched_decode_step(contexts, self.mode,
+                                               fetched).cycles
+
+    def prefill_cycles(self, n_tokens: int, start: int = 0) -> float:
+        return self.cycles.prefill_cycles(n_tokens, start)
 
 
 class CycleModelBackend(_CycleTimedBackend):
@@ -148,49 +296,71 @@ class CycleModelBackend(_CycleTimedBackend):
 
     def __init__(self, model_config: ModelConfig, quant: QuantConfig,
                  platform: PlatformConfig = KV260, mode: str = "fused",
-                 n_slots: int = 8, vpu: VpuSpec | None = None) -> None:
-        super().__init__(model_config, quant, platform, mode, n_slots, vpu)
+                 n_slots: int = 8, vpu: VpuSpec | None = None,
+                 kv_mode: str = "slotted", block_size: int = 16,
+                 n_kv_blocks: int | None = None,
+                 prefix_sharing: bool = True,
+                 token_oracle: TokenOracle | None = None) -> None:
+        super().__init__(model_config, quant, platform, mode, n_slots, vpu,
+                         kv_mode=kv_mode, block_size=block_size,
+                         n_kv_blocks=n_kv_blocks,
+                         prefix_sharing=prefix_sharing)
+        self.token_oracle = token_oracle
 
     def prefill(self, state: RequestState) -> float:
         tokens = state.sequence_tokens()
+        cached = self._cached_prefix(state)
+        if self.paged_kv is not None:
+            assert state.slot is not None
+            self.paged_kv.advance(state.slot, len(tokens) - cached)
+            self.paged_kv.commit_prefix(state.slot, tokens)
         state.position = len(tokens)
         state.logits = None
-        return self.prefill_cycles(len(tokens))
+        return self.prefill_cycles(len(tokens), start=cached)
 
     def sample(self, state: RequestState) -> int:
+        if self.token_oracle is not None:
+            return self.token_oracle(state.request_id, state.n_generated)
         return _synthetic_token(state, self.model_config.vocab_size,
                                 state.request.eos_id)
 
     def decode_batch(self, states: Sequence[RequestState]) -> float:
-        cycles = self.step_cycles([s.context for s in states])
+        contexts = [s.context for s in states]
+        cycles = self.step_cycles(contexts, self._fetch_plan(states,
+                                                             contexts))
         for state in states:
             state.pending_token  # validates the step is owed
+            if self.paged_kv is not None:
+                assert state.slot is not None
+                self.paged_kv.advance(state.slot)
             state.position += 1
         return cycles
 
 
 class FunctionalBackend(_CycleTimedBackend):
-    """Functional pipeline + batched cycle model over slotted KV storage."""
+    """Functional pipeline + batched cycle model over real KV storage."""
 
     def __init__(self, qweights, platform: PlatformConfig = KV260,
                  mode: str = "fused", n_slots: int = 8,
-                 functional: QuantizedModel | None = None) -> None:
+                 functional: QuantizedModel | None = None,
+                 kv_mode: str = "slotted", block_size: int = 16,
+                 n_kv_blocks: int | None = None,
+                 prefix_sharing: bool = True) -> None:
         super().__init__(qweights.config, qweights.quant, platform, mode,
-                         n_slots)
+                         n_slots, kv_mode=kv_mode, block_size=block_size,
+                         n_kv_blocks=n_kv_blocks,
+                         prefix_sharing=prefix_sharing, store_kv_data=True)
         self.functional = functional if functional is not None \
             else QuantizedModel(qweights)
-        self.kv = SlottedKVCache(qweights.config, n_slots,
-                                 qweights.quant.kv_bits)
-
-    def admit(self, state: RequestState) -> None:
-        state.slot = self.kv.allocate()
-
-    def release(self, state: RequestState) -> None:
-        if state.slot is None:
-            raise SimulationError(
-                f"request {state.request_id} holds no slot")
-        self.kv.free(state.slot)
-        state.slot = None
+        if kv_mode == "slotted":
+            # Real storage replaces the mixin's slot counter: the
+            # slotted cache has the same allocate()/free(slot) surface.
+            self.kv = SlottedKVCache(qweights.config, n_slots,
+                                     qweights.quant.kv_bits)
+            self._slots = self.kv
+        else:
+            assert self.paged_kv is not None
+            self.kv = self.paged_kv
 
     def prefill(self, state: RequestState) -> float:
         if state.slot is None:
@@ -201,10 +371,15 @@ class FunctionalBackend(_CycleTimedBackend):
             raise SimulationError(
                 f"request {state.request_id}: {len(tokens)} tokens exceed "
                 f"the {self.model_config.max_context}-token context")
-        logits, _ = self.functional.prefill(tokens, self.kv.view(state.slot))
+        cached = self._cached_prefix(state)
+        logits, _ = self.functional.prefill(tokens,
+                                            self.kv.view(state.slot),
+                                            start=cached)
+        if self.paged_kv is not None:
+            self.paged_kv.commit_prefix(state.slot, tokens)
         state.logits = logits
         state.position = len(tokens)
-        return self.prefill_cycles(len(tokens))
+        return self.prefill_cycles(len(tokens), start=cached)
 
     def sample(self, state: RequestState) -> int:
         if state.logits is None:
@@ -216,7 +391,9 @@ class FunctionalBackend(_CycleTimedBackend):
         return sampler.sample(state.logits)
 
     def decode_batch(self, states: Sequence[RequestState]) -> float:
-        cycles = self.step_cycles([s.context for s in states])
+        contexts = [s.context for s in states]
+        cycles = self.step_cycles(contexts, self._fetch_plan(states,
+                                                             contexts))
         for state in states:
             if state.slot is None:
                 raise SimulationError(
@@ -228,17 +405,23 @@ class FunctionalBackend(_CycleTimedBackend):
         return cycles
 
 
-class AnalyticalBackend:
+class AnalyticalBackend(_KVMixin):
     """Closed-form roofline backend (Table II arithmetic, batched).
 
     Per step: the weight stream plus per-sequence KV traffic at the
     platform's (derated) bandwidth, against the DOT engine's compute
-    rate scaled by batch — whichever is slower sets the step time.
+    rate scaled by batch — whichever is slower sets the step time.  In
+    paged mode the KV read traffic is charged per resident block
+    (:func:`repro.memory.traffic.batched_decode_traffic`).
     """
 
     def __init__(self, model_config: ModelConfig, quant: QuantConfig,
                  platform: PlatformConfig = KV260, n_slots: int = 8,
-                 lanes: int = 128, ddr_efficiency: float = 0.95) -> None:
+                 lanes: int = 128, ddr_efficiency: float = 0.95,
+                 kv_mode: str = "slotted", block_size: int = 16,
+                 n_kv_blocks: int | None = None,
+                 prefix_sharing: bool = True,
+                 token_oracle: TokenOracle | None = None) -> None:
         if platform.pl_freq_hz <= 0:
             raise SimulationError(
                 f"platform {platform.name} has no PL clock")
@@ -250,56 +433,53 @@ class AnalyticalBackend:
         self.platform = platform
         self.lanes = lanes
         self.ddr_efficiency = ddr_efficiency
-        self._slots = _SlotCounter(n_slots)
+        self.token_oracle = token_oracle
+        self._init_kv(model_config, quant, platform, kv_mode, n_slots,
+                      block_size, n_kv_blocks, prefix_sharing,
+                      store_data=False)
 
     @property
     def freq_hz(self) -> float:
         return self.platform.pl_freq_hz
 
-    @property
-    def n_slots(self) -> int:
-        return self._slots.n_slots
+    def step_cycles(self, contexts: Sequence[int],
+                    fetched: Sequence[int] | None = None) -> float:
+        from ..memory.traffic import batched_decode_traffic
 
-    def admit(self, state: RequestState) -> None:
-        state.slot = self._slots.allocate()
-
-    def release(self, state: RequestState) -> None:
-        if state.slot is None:
-            raise SimulationError(
-                f"request {state.request_id} holds no slot")
-        self._slots.free(state.slot)
-        state.slot = None
-
-    def step_cycles(self, contexts: Sequence[int]) -> float:
-        from ..memory.traffic import decode_traffic
-
-        m, q = self.model_config, self.quant
-        base = decode_traffic(m, q, 0)
-        shared = base.weight_bytes + base.norm_bytes
-        per_seq = 0.0
-        for ctx in contexts:
-            t = decode_traffic(m, q, ctx)
-            per_seq += t.kv_bytes + t.embedding_row_bytes
-        n_bytes = shared + per_seq
-        bandwidth_s = n_bytes / (self.platform.bandwidth_bytes_per_s
-                                 * self.ddr_efficiency)
+        m = self.model_config
+        traffic = batched_decode_traffic(m, self.quant, contexts, fetched)
+        bandwidth_s = traffic.total_bytes \
+            / (self.platform.bandwidth_bytes_per_s * self.ddr_efficiency)
         macs = len(contexts) * m.decode_stream_params()
         compute_s = macs / (self.lanes * self.freq_hz)
         return max(bandwidth_s, compute_s) * self.freq_hz
 
     def prefill(self, state: RequestState) -> float:
         tokens = state.sequence_tokens()
+        cached = self._cached_prefix(state)
+        if self.paged_kv is not None:
+            assert state.slot is not None
+            self.paged_kv.advance(state.slot, len(tokens) - cached)
+            self.paged_kv.commit_prefix(state.slot, tokens)
         state.position = len(tokens)
         state.logits = None
-        return sum(self.step_cycles([pos]) for pos in range(len(tokens)))
+        return sum(self.step_cycles([pos])
+                   for pos in range(cached, len(tokens)))
 
     def sample(self, state: RequestState) -> int:
+        if self.token_oracle is not None:
+            return self.token_oracle(state.request_id, state.n_generated)
         return _synthetic_token(state, self.model_config.vocab_size,
                                 state.request.eos_id)
 
     def decode_batch(self, states: Sequence[RequestState]) -> float:
-        cycles = self.step_cycles([s.context for s in states])
+        contexts = [s.context for s in states]
+        cycles = self.step_cycles(contexts, self._fetch_plan(states,
+                                                             contexts))
         for state in states:
             state.pending_token
+            if self.paged_kv is not None:
+                assert state.slot is not None
+                self.paged_kv.advance(state.slot)
             state.position += 1
         return cycles

@@ -15,6 +15,15 @@ optimistic (a request needs room for its prompt plus one token); when
 decode growth would overflow the budget, the youngest running sequence
 is preempted — its slot freed, its tokens kept — and it re-enters the
 queue to be recomputed when pressure clears.
+
+Two capacity disciplines, chosen by the backend's KV mode:
+
+* slotted — admission against a worst-case *token* budget: every
+  sequence is charged its full length, shared or not.
+* paged — admission against free *blocks* of the backend's
+  :class:`repro.kv.PagedKVCache`: prefix-shared blocks are charged
+  once, so identical system prompts stop competing for budget, and
+  preemption triggers on block pressure instead of token counts.
 """
 
 from __future__ import annotations
@@ -24,7 +33,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable
 
 from ..errors import CapacityError, SimulationError
-from .backends import EngineBackend
+from .backends import EngineBackend, derive_kv_token_budget
 from .request import FinishReason, Request, RequestState, RequestStatus
 
 if TYPE_CHECKING:  # avoids the runtime<->engine package-import cycle
@@ -112,21 +121,20 @@ class ContinuousBatchScheduler:
         self.backend = backend
         self.max_batch = max_batch
         model = backend.model_config
-        if kv_token_budget is None:
-            if system is None:
-                from ..runtime.baremetal import BareMetalSystem
-
-                system = BareMetalSystem(backend.platform)
-            report = system.capacity_report(model, backend.quant, 1)
-            per_token = report.kv_bytes
-            free = report.dram_bytes - report.weight_bytes \
-                - report.reserved_bytes
-            if free < per_token:
-                raise CapacityError(
-                    f"{model.name} weights leave no KV room on "
-                    f"{backend.platform.name}")
-            kv_token_budget = min(free // per_token,
-                                  max_batch * model.max_context)
+        self.paged_kv = getattr(backend, "paged_kv", None)
+        if self.paged_kv is not None:
+            # Block discipline: the backend's pool is the capacity
+            # authority; a token budget on top would double-account.
+            if kv_token_budget is not None:
+                raise SimulationError(
+                    "kv_token_budget does not apply to a paged backend; "
+                    "size the pool with n_kv_blocks instead")
+            kv_token_budget = self.paged_kv.n_total_blocks \
+                * self.paged_kv.block_size
+        elif kv_token_budget is None:
+            kv_token_budget = derive_kv_token_budget(
+                model, backend.quant, backend.platform,
+                cap_tokens=max_batch * model.max_context, system=system)
         if kv_token_budget <= 0:
             raise CapacityError("KV token budget must be positive")
         self.kv_token_budget = int(kv_token_budget)
@@ -161,6 +169,36 @@ class ContinuousBatchScheduler:
 
     def _cached_tokens(self) -> int:
         return sum(s.position for s in self.running)
+
+    def _growth_blocks(self, states: Iterable[RequestState]) -> int:
+        """Fresh blocks the coming one-token appends would claim."""
+        assert self.paged_kv is not None
+        return sum(1 for s in states
+                   if s.slot is not None
+                   and self.paged_kv.append_needs_block(s.slot))
+
+    def _admit_fits(self, state: RequestState) -> bool:
+        """Room for this request's prompt + first decode token, *and* the
+        one-token growth every running sequence makes this step —
+        otherwise the admit would be preempted right back out after
+        paying its whole prefill."""
+        if self.paged_kv is not None:
+            fresh, claimable = self.paged_kv.admission_plan(
+                state.sequence_tokens())
+            growth = self._growth_blocks(
+                s for s in self.running if s.has_pending_forward)
+            return fresh + growth <= claimable
+        needed = len(state.sequence_tokens()) + 1
+        growth = sum(1 for s in self.running if s.has_pending_forward)
+        return self._cached_tokens() + growth + needed \
+            <= self.kv_token_budget
+
+    def _growth_overflows(self, pending: list[RequestState]) -> bool:
+        """Would appending one token per pending sequence burst the KV?"""
+        if self.paged_kv is not None:
+            return self._growth_blocks(pending) \
+                > self.paged_kv.n_available_blocks
+        return self._cached_tokens() + len(pending) > self.kv_token_budget
 
     def _advance(self, cycles: float) -> None:
         self.clock_s += cycles / self.backend.freq_hz
@@ -205,14 +243,7 @@ class ContinuousBatchScheduler:
             state = self.waiting[0]
             if state.request.arrival_s > self.clock_s:
                 break
-            # Room for this prompt + its first decode token, *and* the
-            # one-token growth every running sequence makes this step —
-            # otherwise the admit would be preempted right back out after
-            # paying its whole prefill.
-            needed = len(state.sequence_tokens()) + 1
-            growth = sum(1 for s in self.running if s.has_pending_forward)
-            if self._cached_tokens() + growth + needed \
-                    > self.kv_token_budget:
+            if not self._admit_fits(state):
                 break
             try:
                 self.backend.admit(state)
@@ -254,8 +285,7 @@ class ContinuousBatchScheduler:
         preempted = 0
         retired = 0
         pending = [s for s in self.running if s.has_pending_forward]
-        while pending and self._cached_tokens() + len(pending) \
-                > self.kv_token_budget:
+        while pending and self._growth_overflows(pending):
             if not self._preempt_one():
                 # A lone sequence has outgrown the budget: it cannot be
                 # preempted in its own favour, so it retires where it is.

@@ -20,40 +20,54 @@ def synthetic_trace(model: ModelConfig, n_requests: int,
                     prompt_len: tuple[int, int] = (4, 16),
                     decode_len: tuple[int, int] = (8, 32),
                     seed: int = 0,
-                    eos_id: int | None = None) -> list[Request]:
+                    eos_id: int | None = None,
+                    shared_prefix_len: int = 0) -> list[Request]:
     """Build ``n_requests`` synthetic requests against ``model``.
 
     Arrivals are exponential inter-arrival times at ``arrival_rate_rps``
     requests per second of *simulated* time; prompt and decode lengths
     are uniform over the given inclusive ranges, clamped so every
     request fits the model's context window.
+
+    ``shared_prefix_len > 0`` prepends one fixed "system prompt" of that
+    many tokens (drawn once from the seed) to every request — the
+    workload shape that paged KV with prefix reuse is built for.  The
+    per-request prompt tail still follows ``prompt_len``.
     """
     if n_requests <= 0:
         raise SimulationError(f"n_requests must be positive: {n_requests}")
     if arrival_rate_rps <= 0:
         raise SimulationError(
             f"arrival rate must be positive: {arrival_rate_rps}")
+    if shared_prefix_len < 0:
+        raise SimulationError(
+            f"shared prefix length must be >= 0: {shared_prefix_len}")
     lo_p, hi_p = prompt_len
     lo_d, hi_d = decode_len
     if not 1 <= lo_p <= hi_p or not 1 <= lo_d <= hi_d:
         raise SimulationError(
             f"bad length ranges prompt={prompt_len} decode={decode_len}")
-    if lo_p + 1 >= model.max_context:
+    if shared_prefix_len + lo_p + 1 >= model.max_context:
         raise SimulationError(
-            f"prompts of {lo_p}+ tokens cannot fit {model.name}'s "
-            f"{model.max_context}-token context")
+            f"prompts of {shared_prefix_len + lo_p}+ tokens cannot fit "
+            f"{model.name}'s {model.max_context}-token context")
 
     rng = np.random.default_rng(seed)
+    system_prompt = tuple(int(t) for t in rng.integers(
+        0, model.vocab_size, size=shared_prefix_len))
     requests = []
     clock = 0.0
     for rid in range(n_requests):
         clock += float(rng.exponential(1.0 / arrival_rate_rps))
         n_prompt = int(rng.integers(lo_p, hi_p + 1))
-        n_prompt = min(n_prompt, model.max_context - 2)
+        n_prompt = min(n_prompt,
+                       model.max_context - 2 - shared_prefix_len)
         n_decode = int(rng.integers(lo_d, hi_d + 1))
-        n_decode = min(n_decode, model.max_context - n_prompt)
-        prompt = tuple(int(t) for t in
-                       rng.integers(0, model.vocab_size, size=n_prompt))
+        n_decode = min(n_decode, model.max_context - shared_prefix_len
+                       - n_prompt)
+        prompt = system_prompt + tuple(
+            int(t) for t in rng.integers(0, model.vocab_size,
+                                         size=n_prompt))
         requests.append(Request(
             request_id=rid,
             prompt=prompt,

@@ -1,0 +1,38 @@
+"""repro.kv — block-granular KV-cache management.
+
+The paged counterpart of :class:`repro.model.kvcache.SlottedKVCache`:
+a refcounted :class:`BlockPool`, a content-addressed :class:`PrefixCache`
+over full blocks, and the engine-facing :class:`PagedKVCache` whose
+:class:`PagedSequenceView` plugs into the functional pipeline wherever a
+``QuantizedKVCache`` is expected.
+
+Quickstart::
+
+    from repro.config import TINY_MODEL
+    from repro.kv import PagedKVCache
+
+    kv = PagedKVCache(TINY_MODEL, n_blocks=32, block_size=16)
+    a = kv.allocate(tokens=prompt)          # prefix-matched against cache
+    skip = kv.cached_length(a)              # tokens whose prefill to skip
+    ...                                     # prefill via kv.view(a)
+    kv.commit_prefix(a, prompt)             # publish blocks for reuse
+"""
+
+from .blockpool import BlockPool
+from .paged import (
+    PagedKVCache,
+    PagedSequenceView,
+    blocks_for_budget,
+    blocks_for_tokens,
+)
+from .prefix import PrefixCache, chain_hashes
+
+__all__ = [
+    "BlockPool",
+    "PagedKVCache",
+    "PagedSequenceView",
+    "PrefixCache",
+    "blocks_for_budget",
+    "blocks_for_tokens",
+    "chain_hashes",
+]

@@ -70,10 +70,26 @@ class QuantizedKVCache:
                            for _ in range(config.max_context)]
                           for _ in range(config.num_layers)]
         self.length = 0
+        self._released = False
+
+    def release(self) -> None:
+        """Permanently revoke this cache: every later access raises.
+
+        :class:`SlottedKVCache` releases a slot's cache on ``free`` so a
+        stale view held across the free cannot silently read (or corrupt)
+        the storage of whichever sequence claims the slot next.
+        """
+        self._released = True
+
+    def _guard(self) -> None:
+        if self._released:
+            raise SimulationError(
+                "KV cache used after its slot was freed")
 
     def append(self, layer: int, keys: np.ndarray, values: np.ndarray,
                position: int) -> None:
         """Quantize and store one token's K/V head vectors (on-chip quant)."""
+        self._guard()
         if position >= self.config.max_context:
             raise SimulationError(
                 f"position {position} exceeds context {self.config.max_context}"
@@ -92,6 +108,7 @@ class QuantizedKVCache:
 
     def _gather(self, codes: np.ndarray, params, layer: int, head: int,
                 length: int) -> np.ndarray:
+        self._guard()
         out = np.zeros((length, self.config.head_dim), dtype=np.float16)
         for pos in range(length):
             p = params[layer][pos][head]
@@ -120,23 +137,6 @@ class QuantizedKVCache:
         return (2 * self.config.num_layers * self.length
                 * self.config.kv_heads * pack_bits // 8)
 
-    def reset(self) -> None:
-        """Forget every cached token (storage is reused, not reallocated).
-
-        Cost is proportional to occupancy, not capacity: reads are gated
-        on the scale-zero params, so only written positions need clearing
-        (+1 covers a position mid-append when ``length`` lags the last
-        layer).  Codes are left in place — a position is only readable
-        after its params are rewritten, which overwrites its codes too.
-        """
-        upto = min(self.length + 1, self.config.max_context)
-        for layer in range(self.config.num_layers):
-            for pos in range(upto):
-                for head in range(self.config.kv_heads):
-                    self._k_params[layer][pos][head] = None
-                    self._v_params[layer][pos][head] = None
-        self.length = 0
-
 
 class SlottedKVCache:
     """A pool of per-sequence KV8 caches with explicit allocate/free.
@@ -147,9 +147,10 @@ class SlottedKVCache:
     cache, which has the same interface as :class:`QuantizedKVCache` and
     can be handed directly to ``QuantizedModel.prefill/decode_step``.
 
-    Slot storage is created lazily on first allocation and reused (reset,
-    not reallocated) afterwards — the bare-metal discipline of a fixed
-    memory map extended to a slot table.
+    Freeing a slot *revokes* its cache object: any stale view held across
+    the free raises :class:`SimulationError` instead of silently reading
+    (or clobbering) whichever sequence claims the slot next.  The next
+    allocation of the slot builds a fresh cache.
     """
 
     def __init__(self, config: ModelConfig, n_slots: int,
@@ -172,23 +173,28 @@ class SlottedKVCache:
         return self.n_slots - self.n_allocated
 
     def allocate(self) -> int:
-        """Claim a free slot; raises :class:`SimulationError` when full."""
+        """Claim a free slot; raises :class:`SimulationError` when full.
+
+        Each allocation builds a fresh cache — capacity-proportional,
+        which is cheap for the tiny functional models this pool serves
+        and what lets :meth:`free` revoke stale views outright.
+        """
         for slot, used in enumerate(self._allocated):
             if not used:
-                if self._slots[slot] is None:
-                    self._slots[slot] = QuantizedKVCache(self.config,
-                                                         self.kv_bits)
+                self._slots[slot] = QuantizedKVCache(self.config,
+                                                     self.kv_bits)
                 self._allocated[slot] = True
                 return slot
         raise SimulationError(
             f"all {self.n_slots} KV slots are allocated")
 
     def free(self, slot: int) -> None:
-        """Release a slot and forget its cached tokens."""
+        """Release a slot, revoking every outstanding view of it."""
         self._check(slot)
         cache = self._slots[slot]
         assert cache is not None
-        cache.reset()
+        cache.release()
+        self._slots[slot] = None
         self._allocated[slot] = False
 
     def view(self, slot: int) -> QuantizedKVCache:

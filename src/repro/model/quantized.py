@@ -125,14 +125,29 @@ class QuantizedModel:
 
     def prefill(self, tokens: list[int],
                 cache: QuantizedKVCache | None = None,
+                start: int = 0,
                 ) -> tuple[np.ndarray, QuantizedKVCache]:
+        """Feed ``tokens`` through the model, resuming at ``start``.
+
+        ``start > 0`` skips positions whose K/V the cache already holds
+        (shared-prefix reuse): only ``tokens[start:]`` are forwarded.  The
+        final prompt token is always forwarded — its logits seed the first
+        sample — so ``start`` must stay below ``len(tokens)``.
+        """
         if not tokens:
             raise SimulationError("prefill requires at least one token")
+        if not 0 <= start < len(tokens):
+            raise SimulationError(
+                f"prefill start {start} outside prompt of {len(tokens)}")
         if cache is None:
             cache = QuantizedKVCache(self.config, self.qweights.quant.kv_bits)
+        if start > cache.length:
+            raise SimulationError(
+                f"prefill start {start} beyond the cache's "
+                f"{cache.length} stored tokens")
         logits = None
-        for position, token in enumerate(tokens):
-            logits = self.forward_token(token, cache, position)
+        for position in range(start, len(tokens)):
+            logits = self.forward_token(tokens[position], cache, position)
         assert logits is not None
         return logits, cache
 

@@ -8,9 +8,16 @@ the in-DDR layout of the per-layer KV region:
   the per-token *write* scatters across head strides (16 small writes).
 * ``token-major`` — [token][head][dim]: the write is one contiguous
   append, but each head's history read is strided by ``kv_dim``.
+* ``paged``       — block indirection: tokens live in fixed-size blocks
+  placed anywhere in the region by a block table (the paged KV cache's
+  physical layout).  Inside a block the arrangement is head-major, so a
+  head's read is one burst *per block* instead of one per history —
+  the price of block granularity is one transaction per ``block_size``
+  tokens, the reward is allocation and prefix sharing at block rather
+  than max-context granularity.
 
 The paper streams ~3.3 GB of reads per token against ~256 KB of writes,
-so the layout must favour reads; this module computes both layouts'
+so the layout must favour reads; this module computes the layouts'
 addresses and transaction lists so the benchmark can show the read-cost
 asymmetry on the DDR model.
 """
@@ -30,12 +37,30 @@ class KVAddressMap:
     model: ModelConfig
     quant: QuantConfig
     base: int = 0
-    layout: str = "head-major"  # or "token-major"
+    layout: str = "head-major"  # or "token-major" / "paged"
     max_context: int | None = None
+    #: paged layout only: tokens per block and the block table mapping
+    #: logical block index -> physical block index within the region.
+    block_size: int | None = None
+    block_table: tuple[int, ...] | None = None
 
     def __post_init__(self) -> None:
-        if self.layout not in ("head-major", "token-major"):
+        if self.layout not in ("head-major", "token-major", "paged"):
             raise LayoutError(f"unknown KV layout {self.layout!r}")
+        if self.layout == "paged":
+            if self.block_size is None or self.block_size <= 0:
+                raise LayoutError(
+                    "paged layout needs a positive block_size")
+            if self.block_table is None:
+                raise LayoutError("paged layout needs a block_table")
+            covered = len(self.block_table) * self.block_size
+            if covered < self.context:
+                raise LayoutError(
+                    f"block table covers {covered} tokens, "
+                    f"context is {self.context}")
+        elif self.block_size is not None or self.block_table is not None:
+            raise LayoutError(
+                f"{self.layout} layout takes no block parameters")
 
     @property
     def context(self) -> int:
@@ -51,7 +76,17 @@ class KVAddressMap:
         return self.model.kv_heads * self.head_bytes
 
     @property
+    def block_bytes(self) -> int:
+        """Paged layout: bytes of one physical block (all heads)."""
+        if self.block_size is None:
+            raise LayoutError(f"{self.layout} layout has no blocks")
+        return self.block_size * self.token_bytes
+
+    @property
     def region_bytes(self) -> int:
+        if self.layout == "paged":
+            assert self.block_table is not None
+            return len(self.block_table) * self.block_bytes
         return self.context * self.token_bytes
 
     def address(self, head: int, token: int) -> int:
@@ -63,6 +98,13 @@ class KVAddressMap:
         if self.layout == "head-major":
             return self.base + head * self.context * self.head_bytes \
                 + token * self.head_bytes
+        if self.layout == "paged":
+            assert self.block_size is not None
+            assert self.block_table is not None
+            block, offset = divmod(token, self.block_size)
+            return self.base + self.block_table[block] * self.block_bytes \
+                + head * self.block_size * self.head_bytes \
+                + offset * self.head_bytes
         return self.base + token * self.token_bytes + head * self.head_bytes
 
     # -- transaction generators (for the DDR model) ---------------------------
@@ -76,6 +118,18 @@ class KVAddressMap:
         if self.layout == "head-major":
             return [Transaction(address=self.address(head, 0),
                                 size=length * self.head_bytes)]
+        if self.layout == "paged":
+            # One burst per resident block: a head's tokens are
+            # contiguous inside each block, so the read cost scales with
+            # blocks touched, not tokens.
+            assert self.block_size is not None
+            txns = []
+            for start in range(0, length, self.block_size):
+                occupied = min(length - start, self.block_size)
+                txns.append(Transaction(
+                    address=self.address(head, start),
+                    size=occupied * self.head_bytes))
+            return txns
         return [Transaction(address=self.address(head, t),
                             size=self.head_bytes)
                 for t in range(length)]

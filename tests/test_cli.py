@@ -158,6 +158,44 @@ def test_bench_serve_wider_engine(capsys):
     assert "512 lanes" in out
 
 
+def test_serve_sim_paged_kv_reports_reuse(capsys):
+    code, out = run(capsys, "serve-sim", "--kv", "paged",
+                    "--block-size", "8", "--requests", "8",
+                    "--shared-prefix", "24", "--decode-max", "8")
+    assert code == 0
+    assert "paged KV" in out
+    assert "prefix reuse" in out
+    reused = int(out.split("prefix reuse   :")[1].split()[0])
+    assert reused > 0
+
+
+def test_serve_sim_paged_functional_backend(capsys):
+    code, out = run(capsys, "serve-sim", "--kv", "paged",
+                    "--backend", "functional", "--requests", "4",
+                    "--max-batch", "4", "--shared-prefix", "16",
+                    "--decode-min", "4", "--decode-max", "6")
+    assert code == 0
+    assert "paged KV" in out
+
+
+def test_serve_sim_paged_kv_budget_sizes_pool(capsys):
+    code, out = run(capsys, "serve-sim", "--kv", "paged",
+                    "--block-size", "8", "--kv-budget", "128",
+                    "--requests", "6", "--decode-max", "8")
+    assert code == 0
+    assert "16 blocks x 8 tokens" in out
+
+
+def test_bench_serve_kv_compare_paged_wins(capsys):
+    code, out = run(capsys, "bench-serve", "--model", "tiny-test",
+                    "--group-size", "32", "--max-batch", "8",
+                    "--kv-compare", "--kv-budget", "192",
+                    "--shared-prefix", "32", "--requests", "12",
+                    "--block-size", "16", "--context", "48")
+    assert code == 0
+    assert "paged KV WINS" in out
+
+
 def test_convert_roundtrip(capsys, tmp_path):
     out = str(tmp_path / "tiny.ckpt")
     code = main(["convert", "--out", out])

@@ -1,4 +1,4 @@
-"""KV-cache address layouts (head-major vs token-major)."""
+"""KV-cache address layouts (head-major, token-major, paged)."""
 
 import pytest
 
@@ -81,3 +81,68 @@ def test_out_of_range_rejected(head_major):
         head_major.address(0, 5000)
     with pytest.raises(LayoutError):
         head_major.head_read_transactions(0, 0)
+
+
+# -- paged (block-indirection) layout ---------------------------------------
+
+@pytest.fixture(scope="module")
+def paged():
+    # 1024-token context in 64-token blocks; the table scatters logical
+    # blocks across the physical region (reverse order is the extreme).
+    table = tuple(reversed(range(16)))
+    return KVAddressMap(LLAMA2_7B, W4A16_KV8, base=0x1000, layout="paged",
+                        max_context=1024, block_size=64, block_table=table)
+
+
+def test_paged_region_and_no_collisions(paged, head_major):
+    assert paged.region_bytes == head_major.region_bytes
+    seen = set()
+    for head in range(0, 32, 7):
+        for token in range(0, 1024, 101):
+            addr = paged.address(head, token)
+            assert addr not in seen
+            seen.add(addr)
+            assert 0x1000 <= addr < 0x1000 + paged.region_bytes
+
+
+def test_paged_indirection_follows_block_table(paged):
+    # Token 0 lives in physical block 15 (reversed table); token 64 in 14.
+    assert paged.address(0, 0) == 0x1000 + 15 * paged.block_bytes
+    assert paged.address(0, 64) == 0x1000 + 14 * paged.block_bytes
+    # Within a block, tokens of one head are contiguous.
+    assert paged.address(0, 1) - paged.address(0, 0) == paged.head_bytes
+
+
+def test_paged_read_is_one_burst_per_block(paged, head_major, token_major):
+    txns = paged.head_read_transactions(3, 512)
+    assert len(txns) == 512 // 64  # one per resident block
+    assert all(t.size == 64 * paged.head_bytes for t in txns)
+    # Partial trailing block shrinks the last burst.
+    txns = paged.head_read_transactions(3, 130)
+    assert len(txns) == 3
+    assert txns[-1].size == 2 * paged.head_bytes
+    # Cost sits between the clean head-major burst and token-major chaos.
+    pg_read, _ = paged.read_write_cost(512)
+    hm_read, _ = head_major.read_write_cost(512)
+    tm_read, _ = token_major.read_write_cost(512)
+    assert hm_read <= pg_read < tm_read
+
+
+def test_paged_write_scatters_per_head(paged):
+    txns = paged.token_write_transactions(5)
+    assert len(txns) == LLAMA2_7B.kv_heads
+    assert all(t.is_write for t in txns)
+
+
+def test_paged_layout_validation():
+    with pytest.raises(LayoutError):  # no table
+        KVAddressMap(LLAMA2_7B, W4A16_KV8, layout="paged", block_size=64)
+    with pytest.raises(LayoutError):  # table too short for the context
+        KVAddressMap(LLAMA2_7B, W4A16_KV8, layout="paged", max_context=1024,
+                     block_size=64, block_table=(0, 1, 2))
+    with pytest.raises(LayoutError):  # blocks on a non-paged layout
+        KVAddressMap(LLAMA2_7B, W4A16_KV8, layout="head-major",
+                     block_size=64, block_table=tuple(range(16)))
+    with pytest.raises(LayoutError):  # bad block size
+        KVAddressMap(LLAMA2_7B, W4A16_KV8, layout="paged", max_context=64,
+                     block_size=0, block_table=(0,))

@@ -103,3 +103,45 @@ class TestSlotIsolation:
             pool.view(a).append(layer, k, v, position=0)
         per_token = 2 * TINY_MODEL.num_layers * TINY_MODEL.kv_dim
         assert pool.payload_bytes() == per_token
+
+
+class TestUseAfterFree:
+    """Freeing a slot revokes its views instead of silently handing a
+    stale reference the next sequence's storage."""
+
+    def test_stale_view_read_raises(self, pool):
+        slot = pool.allocate()
+        view = pool.view(slot)
+        k, v = _kv(6)
+        for layer in range(TINY_MODEL.num_layers):
+            view.append(layer, k, v, position=0)
+        pool.free(slot)
+        with pytest.raises(SimulationError):
+            view.keys(0, head=0, length=1)
+        with pytest.raises(SimulationError):
+            view.values(0, head=0, length=1)
+
+    def test_stale_view_write_raises(self, pool):
+        slot = pool.allocate()
+        view = pool.view(slot)
+        pool.free(slot)
+        k, v = _kv(7)
+        with pytest.raises(SimulationError):
+            view.append(0, k, v, position=0)
+
+    def test_stale_view_stays_revoked_after_slot_reuse(self, pool):
+        slot = pool.allocate()
+        stale = pool.view(slot)
+        pool.free(slot)
+        again = pool.allocate()
+        assert again == slot
+        fresh = pool.view(again)
+        k, v = _kv(8)
+        for layer in range(TINY_MODEL.num_layers):
+            fresh.append(layer, k, v, position=0)
+        # The new sequence's data is readable through the new view only.
+        assert fresh.keys(0, head=0, length=1).shape == (1, 16)
+        with pytest.raises(SimulationError):
+            stale.keys(0, head=0, length=1)
+        with pytest.raises(SimulationError):
+            stale.append(0, k, v, position=1)
