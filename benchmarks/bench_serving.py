@@ -1,17 +1,21 @@
 """Batched serving throughput: the perf trajectory for future PRs.
 
-Three artifacts: the throughput-vs-batch curve of the batched cycle
+Four artifacts: the throughput-vs-batch curve of the batched cycle
 model (weight-stream amortization on LLaMA2-7B), a full continuous-
 batching trace replay on the cycle-model backend recording aggregate
-tokens/s, TTFT, and tail latency, and the slotted-vs-paged KV
-comparison on a shared-prefix trace (the paging win: a strictly larger
-admitted batch and higher throughput from the same DRAM budget).
+tokens/s, TTFT, and tail latency, the slotted-vs-paged KV comparison
+on a shared-prefix trace (the paging win: a strictly larger admitted
+batch and higher throughput from the same DRAM budget), and the
+TP x DP multi-accelerator scaling curve (tensor parallelism divides
+the per-step weight stream sub-linearly — the interconnect model
+charges the gap — while replicas split the queue near-linearly).
 Records go to ``benchmarks/results/`` so every later PR can diff
 against them.
 """
 
 import pytest
 
+from repro.cluster import TEN_GIG_ETHERNET, scaling_sweep, tp_scaling_is_sane
 from repro.config import KV260, LLAMA2_7B, TINY_MODEL, W4A16_KV8, QuantConfig
 from repro.core.cyclemodel import CycleModel
 from repro.engine import (
@@ -20,6 +24,7 @@ from repro.engine import (
     kv_discipline_kwargs,
     synthetic_trace,
 )
+from repro.report.cluster import scaling_table
 
 
 def _render_curve(points) -> str:
@@ -134,3 +139,36 @@ def bench_kv_paging_vs_slotted(benchmark, save_result):
     # strictly more aggregate throughput than slotted on this trace.
     assert paged.max_batch_observed > slotted.max_batch_observed
     assert paged.aggregate_tokens_per_s > slotted.aggregate_tokens_per_s
+
+
+def bench_tp_dp_scaling_curve(benchmark, save_result):
+    """TP x DP grid replay on LLaMA2-7B over 10GbE: the cluster record.
+
+    One 10-request trace hits every (tp, replicas) point in
+    {1,2,4} x {1,2}; acceptance is the paper's natural follow-on shape:
+    aggregate throughput strictly rises with TP but stays sub-linear
+    (the interconnect's all-reduce time is the gap), and replicas
+    multiply it again near-linearly.
+    """
+    points = benchmark.pedantic(
+        scaling_sweep, args=(LLAMA2_7B, W4A16_KV8, KV260),
+        kwargs=dict(tp_values=(1, 2, 4), dp_values=(1, 2),
+                    interconnect=TEN_GIG_ETHERNET, n_requests=10,
+                    max_batch=8, seed=0),
+        rounds=1, iterations=1)
+    _, table = scaling_table(points)
+    header = ("TP x DP scaling — LLaMA2-7B W4A16/KV8 on KV260 boards, "
+              "10GbE ring interconnect, 10-request trace")
+    save_result("serving_tp_scaling", header + "\n" + table)
+
+    by_grid = {(p.tp, p.replicas): p for p in points}
+    base = by_grid[(1, 1)].aggregate_tokens_per_s
+    # TP scaling: strictly increasing, sub-linear, interconnect-gapped.
+    assert tp_scaling_is_sane(points)
+    assert by_grid[(4, 1)].aggregate_tokens_per_s > 3 * base
+    assert by_grid[(4, 1)].aggregate_tokens_per_s < 4 * base
+    # DP scaling: two replicas roughly double every TP point.
+    for tp in (1, 2, 4):
+        ratio = by_grid[(tp, 2)].aggregate_tokens_per_s \
+            / by_grid[(tp, 1)].aggregate_tokens_per_s
+        assert 1.5 < ratio <= 2.1

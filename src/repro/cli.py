@@ -9,8 +9,11 @@ Commands:
 * ``explore``   — design-space sweep with the Pareto frontier.
 * ``generate``  — run the functional pipeline on a tiny synthetic model.
 * ``serve-sim`` — replay a synthetic request trace through the
-  continuous-batching engine and report serving metrics.
-* ``bench-serve`` — throughput-vs-batch curve of the batched cycle model.
+  continuous-batching engine (optionally a TP x replicas cluster) and
+  report serving metrics.
+* ``bench-serve`` — throughput-vs-batch curve of the batched cycle
+  model; ``--scaling-sweep`` records the multi-accelerator TP x DP
+  curve instead.
 """
 
 from __future__ import annotations
@@ -188,41 +191,57 @@ def _kv_kwargs(args):
                                 n_kv_blocks=args.kv_blocks or None)
 
 
-def _serve_backend(args, model, platform, quant):
-    from .engine import AnalyticalBackend, CycleModelBackend, FunctionalBackend
+def _interconnect(args):
+    from .cluster import INTERCONNECT_PRESETS
+
+    try:
+        return INTERCONNECT_PRESETS[args.interconnect]
+    except KeyError:
+        raise ReproError(
+            f"unknown interconnect {args.interconnect!r}; choose from "
+            f"{sorted(INTERCONNECT_PRESETS)}") from None
+
+
+def _serve_qweights(args, model, quant):
+    from .model.weights import quantize_model, random_weights
+
+    if model.total_params() > 50_000_000:
+        raise ReproError(
+            f"{model.name} is too large for the functional backend "
+            "(numpy forward pass); use --backend cycle or analytical")
+    group = min(quant.weight_group_size, model.hidden_size)
+    fq = QuantConfig(weight_bits=quant.weight_bits,
+                     kv_bits=quant.kv_bits, weight_group_size=group)
+    return quantize_model(random_weights(model, seed=args.seed), fq)
+
+
+def _serve_backend(args, model, platform, quant, qweights=None):
+    from .engine import build_backend
 
     kv, _ = _kv_kwargs(args)
-    if args.backend == "cycle":
-        return CycleModelBackend(model, quant, platform, mode=args.mode,
-                                 n_slots=args.max_batch, **kv)
-    if args.backend == "analytical":
-        return AnalyticalBackend(model, quant, platform,
-                                 n_slots=args.max_batch, **kv)
-    if args.backend == "functional":
-        from .model.weights import quantize_model, random_weights
-
-        if model.total_params() > 50_000_000:
-            raise ReproError(
-                f"{model.name} is too large for the functional backend "
-                "(numpy forward pass); use --backend cycle or analytical")
-        group = min(quant.weight_group_size, model.hidden_size)
-        fq = QuantConfig(weight_bits=quant.weight_bits,
-                         kv_bits=quant.kv_bits, weight_group_size=group)
-        qweights = quantize_model(random_weights(model, seed=args.seed), fq)
-        return FunctionalBackend(qweights, platform, mode=args.mode,
-                                 n_slots=args.max_batch, **kv)
-    raise ReproError(f"unknown backend {args.backend!r}")
+    if args.backend == "functional" and qweights is None:
+        qweights = _serve_qweights(args, model, quant)
+    return build_backend(args.backend, model, quant, platform,
+                         mode=args.mode, n_slots=args.max_batch,
+                         tp=args.tp, interconnect=_interconnect(args),
+                         qweights=qweights, **kv)
 
 
 def cmd_serve_sim(args) -> int:
     from .engine import ContinuousBatchScheduler, synthetic_trace
 
+    if args.tp < 1 or args.replicas < 1:
+        raise ReproError("--tp and --replicas must be >= 1")
     model = _model(args.model)
     platform = _platform(args.platform)
-    backend = _serve_backend(args, model, platform, _quant(args))
+    quant = _quant(args)
+    qweights = _serve_qweights(args, model, quant) \
+        if args.backend == "functional" else None
     _, scheduler_kv = _kv_kwargs(args)
-    engine = ContinuousBatchScheduler(
-        backend, max_batch=args.max_batch, **scheduler_kv)
+    backends = [_serve_backend(args, model, platform, quant, qweights)
+                for _ in range(args.replicas)]
+    engines = [ContinuousBatchScheduler(b, max_batch=args.max_batch,
+                                        **scheduler_kv) for b in backends]
     trace = synthetic_trace(
         model, n_requests=args.requests,
         arrival_rate_rps=args.arrival_rate,
@@ -230,15 +249,26 @@ def cmd_serve_sim(args) -> int:
         decode_len=(args.decode_min, args.decode_max),
         seed=args.seed,
         shared_prefix_len=args.shared_prefix)
-    report = engine.run(trace)
+    if args.replicas > 1:
+        from .cluster import ReplicaRouter
+
+        router = ReplicaRouter(engines, policy=args.router)
+        report = router.run(trace)
+    else:
+        report = engines[0].run(trace)
+    backend, engine = backends[0], engines[0]
 
     kv_desc = f"KV budget {engine.kv_token_budget} tokens"
     if args.kv == "paged":
         kv_desc = (f"paged KV: {backend.paged_kv.n_total_blocks} blocks "
                    f"x {args.block_size} tokens")
+    cluster_desc = ""
+    if args.tp > 1 or args.replicas > 1:
+        cluster_desc = (f", tp {args.tp} x {args.replicas} replicas over "
+                        f"{args.interconnect} ({args.router})")
     print(f"serve-sim: {args.requests} requests, {model.name} on "
           f"{platform.name} ({args.backend} backend, max batch "
-          f"{args.max_batch}, {kv_desc})")
+          f"{args.max_batch}, {kv_desc}{cluster_desc})")
     print(f"  simulated time : {report.total_time_s:10.3f} s "
           f"({report.n_steps} engine steps)")
     print(f"  aggregate rate : {report.aggregate_tokens_per_s:10.3f} "
@@ -248,14 +278,24 @@ def cmd_serve_sim(args) -> int:
           f"preemptions {report.preemptions}")
     print(f"  mean TTFT      : {report.mean_ttft_s * 1e3:10.3f} ms")
     for p in (50, 95, 99):
+        print(f"  TTFT p{p:<3}      : "
+              f"{report.ttft_percentile_s(p) * 1e3:10.3f} ms")
+    for p in (50, 95, 99):
         print(f"  token lat p{p:<3}: "
               f"{report.latency_percentile_s(p) * 1e3:10.3f} ms")
     if args.kv == "paged":
-        kv = backend.paged_kv
-        print(f"  prefix reuse   : {kv.prefix_reused_tokens} prompt "
+        reused = sum(b.paged_kv.prefix_reused_tokens for b in backends)
+        hits = sum(b.paged_kv.prefix.hits for b in backends)
+        evictions = sum(b.paged_kv.prefix.evictions for b in backends)
+        print(f"  prefix reuse   : {reused} prompt "
               f"tokens served from cache "
-              f"({kv.prefix.hits} block hits, "
-              f"{kv.prefix.evictions} evictions)")
+              f"({hits} block hits, "
+              f"{evictions} evictions)")
+    if args.replicas > 1:
+        from .report.cluster import replica_table
+
+        _, text = replica_table(report)
+        print("  " + text.replace("\n", "\n  "))
     if args.per_request:
         print("  id  prompt  new  ttft_ms    e2e_ms  reason")
         for r in report.results:
@@ -265,10 +305,38 @@ def cmd_serve_sim(args) -> int:
     return 0
 
 
+def cmd_bench_serve_scaling(args) -> int:
+    """TP x DP grid replay: the multi-accelerator scaling curve."""
+    from .cluster import scaling_sweep, tp_scaling_is_sane
+    from .report.cluster import scaling_table
+
+    model = _model(args.model)
+    platform = _platform(args.platform)
+    points = scaling_sweep(model, _quant(args), platform,
+                           tp_values=(1, 2, 4), dp_values=(1, 2),
+                           interconnect=_interconnect(args),
+                           n_requests=args.requests,
+                           max_batch=args.max_batch, mode=args.mode,
+                           seed=args.seed)
+    _, text = scaling_table(points)
+    print(f"TP x DP scaling — {model.name} on {platform.name}, "
+          f"{args.interconnect} interconnect, "
+          f"{args.requests}-request trace")
+    print(text)
+    sane = tp_scaling_is_sane(points)
+    print("tensor-parallel scaling "
+          + ("HOLDS" if sane else "DOES NOT HOLD")
+          + " (throughput rises with tp, sub-linear under "
+          "interconnect cost)")
+    return 0 if sane else 1
+
+
 def cmd_bench_serve(args) -> int:
     from .core.cyclemodel import CycleModel
     from .core.vpu import VpuSpec
 
+    if args.scaling_sweep:
+        return cmd_bench_serve_scaling(args)
     if args.max_batch < 2:
         raise ReproError(
             "bench-serve needs --max-batch >= 2 to compare against the "
@@ -435,6 +503,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shared-prefix", type=int, default=0,
                    help="prepend one fixed system prompt of this many "
                         "tokens to every request")
+    p.add_argument("--tp", type=int, default=1,
+                   help="tensor-parallel shards per replica (1 = one "
+                        "board)")
+    p.add_argument("--replicas", type=int, default=1,
+                   help="data-parallel replicas behind the router")
+    p.add_argument("--interconnect", default="10GbE",
+                   help="board-to-board link preset for --tp > 1 "
+                        "(1GbE, 10GbE, Aurora-x4)")
+    p.add_argument("--router",
+                   choices=("round_robin", "least_loaded",
+                            "prefix_affinity"),
+                   default="round_robin",
+                   help="replica routing policy for --replicas > 1")
     p.add_argument("--per-request", action="store_true",
                    help="print the per-request table")
     p.set_defaults(fn=cmd_serve_sim)
@@ -457,6 +538,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="shared system-prompt tokens in the trace")
     p.add_argument("--requests", type=int, default=16)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--scaling-sweep", action="store_true",
+                   help="replay one trace over a TP in {1,2,4} x "
+                        "replicas in {1,2} grid and print the "
+                        "multi-accelerator scaling curve")
+    p.add_argument("--interconnect", default="10GbE",
+                   help="board-to-board link preset for the sweep")
     p.set_defaults(fn=cmd_bench_serve, context=512)
 
     p = sub.add_parser("generate", help="functional generation (tiny models)")

@@ -1,0 +1,158 @@
+"""Data-parallel replica routing over independent serving engines.
+
+A replica is one :class:`repro.engine.ContinuousBatchScheduler` (whose
+backend may itself be a tensor-parallel group, giving a TP x DP grid).
+The router assigns every incoming request to exactly one replica before
+the replay starts — the moment a real front-end would make the same
+decision — then runs each replica's engine over its share of the trace
+and merges the per-replica :class:`ServeReport` objects into one
+cluster view.
+
+Policies:
+
+* ``round_robin``   — strict rotation; uniform and stateless.
+* ``least_loaded``  — join the replica with the least outstanding work
+  (queued prompt + decode-budget tokens), the classic join-shortest-
+  queue approximation.
+* ``prefix_affinity`` — hash the leading prompt window so requests
+  sharing a system prompt land on the replica whose
+  :class:`repro.kv.PrefixCache` already holds those blocks; requests
+  with no shareable prefix fall back to least-loaded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..engine.request import Request
+from ..engine.scheduler import ContinuousBatchScheduler, ServeReport
+from ..errors import SimulationError
+
+POLICIES = ("round_robin", "least_loaded", "prefix_affinity")
+
+
+def _affinity_key(prompt: tuple, window: int) -> int:
+    """Stable hash of the leading ``window`` prompt tokens.
+
+    Never covers the final prompt token, mirroring the prefix cache's
+    sharing rule — a 2-token prompt has no shareable prefix at all.
+    """
+    head = prompt[:min(window, len(prompt) - 1)]
+    h = 0
+    for token in head:
+        h = (h * 1000003 + 1 + token) & 0xFFFFFFFFFFFF
+    return h
+
+
+@dataclass
+class ClusterServeReport(ServeReport):
+    """Merged serving metrics of a replicated engine run.
+
+    Inherits every :class:`ServeReport` metric over the union of the
+    replicas' results; ``total_time_s`` is the cluster makespan (the
+    slowest replica), so ``aggregate_tokens_per_s`` is genuine cluster
+    throughput.
+    """
+
+    replica_reports: list[ServeReport] = field(default_factory=list)
+    #: request_id -> replica index, as routed.
+    assignments: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def n_replicas(self) -> int:
+        return len(self.replica_reports)
+
+    def replica_request_counts(self) -> list[int]:
+        return [len(r.results) for r in self.replica_reports]
+
+
+def merge_reports(reports: list[ServeReport],
+                  assignments: dict[int, int]) -> ClusterServeReport:
+    """Fold per-replica reports into one cluster report."""
+    if not reports:
+        raise SimulationError("no replica reports to merge")
+    results = sorted((res for r in reports for res in r.results),
+                     key=lambda res: res.request_id)
+    return ClusterServeReport(
+        results=results,
+        total_time_s=max(r.total_time_s for r in reports),
+        n_steps=sum(r.n_steps for r in reports),
+        preemptions=sum(r.preemptions for r in reports),
+        max_batch_observed=max(r.max_batch_observed for r in reports),
+        step_batches=[b for r in reports for b in r.step_batches],
+        replica_reports=list(reports),
+        assignments=dict(assignments),
+    )
+
+
+class ReplicaRouter:
+    """Routes requests across replicas and drives their engines."""
+
+    def __init__(self, engines: list[ContinuousBatchScheduler],
+                 policy: str = "round_robin",
+                 affinity_window: int = 16) -> None:
+        # ``affinity_window``: leading tokens hashed by prefix_affinity.
+        # Keep it at or below the shared system-prompt length (the
+        # default matches the default KV block size) — a wider window
+        # mixes per-request tail tokens into the key and scatters
+        # sharers across replicas.
+        if not engines:
+            raise SimulationError("router needs at least one replica")
+        if policy not in POLICIES:
+            raise SimulationError(
+                f"unknown routing policy {policy!r}; choose from "
+                f"{POLICIES}")
+        if affinity_window <= 0:
+            raise SimulationError(
+                f"affinity window must be positive: {affinity_window}")
+        self.engines = engines
+        self.policy = policy
+        self.affinity_window = affinity_window
+        self._rr_next = 0
+        self._load = [0] * len(engines)
+        self.assignments: dict[int, int] = {}
+
+    @property
+    def n_replicas(self) -> int:
+        return len(self.engines)
+
+    def _least_loaded(self) -> int:
+        return min(range(self.n_replicas), key=lambda i: (self._load[i], i))
+
+    def route(self, request: Request) -> int:
+        """Pick a replica for ``request`` and record the assignment."""
+        if request.request_id in self.assignments:
+            raise SimulationError(
+                f"request {request.request_id} was already routed")
+        if self.policy == "round_robin":
+            replica = self._rr_next
+            self._rr_next = (self._rr_next + 1) % self.n_replicas
+        elif self.policy == "least_loaded":
+            replica = self._least_loaded()
+        else:  # prefix_affinity
+            if len(request.prompt) > 1:
+                replica = _affinity_key(request.prompt,
+                                        self.affinity_window) \
+                    % self.n_replicas
+            else:
+                replica = self._least_loaded()
+        self._load[replica] += len(request.prompt) + request.max_new_tokens
+        self.assignments[request.request_id] = replica
+        return replica
+
+    def run(self, requests) -> ClusterServeReport:
+        """Route every request, run each replica's engine, merge.
+
+        Like :meth:`ContinuousBatchScheduler.run`, each call is a fresh
+        replay: routing state from earlier calls (or manual
+        :meth:`route` invocations) is discarded.
+        """
+        self._rr_next = 0
+        self._load = [0] * self.n_replicas
+        self.assignments = {}
+        shares: list[list[Request]] = [[] for _ in range(self.n_replicas)]
+        for request in sorted(requests, key=lambda r: r.arrival_s):
+            shares[self.route(request)].append(request)
+        reports = [engine.run(share)
+                   for engine, share in zip(self.engines, shares)]
+        return merge_reports(reports, self.assignments)

@@ -1,0 +1,124 @@
+"""TP x DP scaling sweeps: how serving throughput grows with boards.
+
+Replays one synthetic trace through every (tensor-parallel degree,
+replica count) grid point on cycle-model backends and records cluster
+throughput.  The expected shape on a bandwidth-bound model: TP divides
+the per-step weight stream, so throughput rises with TP but sub-
+linearly (the interconnect's all-reduce time is the gap the link model
+charges); DP multiplies serving capacity near-linearly as replicas
+split the queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import KV260, ModelConfig, PlatformConfig, QuantConfig
+from ..engine.scheduler import ContinuousBatchScheduler
+from ..engine.trace import synthetic_trace
+from ..errors import SimulationError
+from .interconnect import TEN_GIG_ETHERNET, LinkSpec
+from .router import ClusterServeReport, ReplicaRouter
+from .tp import ShardedCycleBackend
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One grid point of a scaling sweep."""
+
+    tp: int
+    replicas: int
+    aggregate_tokens_per_s: float
+    #: vs the fewest-board grid point — (tp=1, replicas=1) when swept.
+    speedup: float
+    total_time_s: float
+    mean_batch: float
+    comm_step_time_s: float     # interconnect share of one decode step
+    kv_budget_tokens: int
+    #: boards of the grid point the speedups are measured against.
+    baseline_boards: int = 1
+
+    @property
+    def n_boards(self) -> int:
+        return self.tp * self.replicas
+
+    @property
+    def efficiency(self) -> float:
+        """Per-board speedup vs the baseline's per-board throughput —
+        1.0 is perfect linear scaling."""
+        return self.speedup * self.baseline_boards / self.n_boards
+
+
+def scaling_sweep(model: ModelConfig, quant: QuantConfig,
+                  platform: PlatformConfig = KV260,
+                  tp_values=(1, 2, 4), dp_values=(1, 2),
+                  interconnect: LinkSpec = TEN_GIG_ETHERNET,
+                  n_requests: int = 10, max_batch: int = 8,
+                  mode: str = "fused", router_policy: str = "round_robin",
+                  prompt_len=(6, 12), decode_len=(12, 20),
+                  seed: int = 0) -> list[ScalingPoint]:
+    """Replay one trace over the TP x DP grid on cycle backends.
+
+    The same trace (same seed) hits every grid point, so points differ
+    only in how the cluster splits the work: TP shards every step, DP
+    shards the queue.
+    """
+    if not tp_values or not dp_values:
+        raise SimulationError("scaling sweep needs tp and dp values")
+    trace = synthetic_trace(model, n_requests=n_requests,
+                            arrival_rate_rps=1e9, prompt_len=prompt_len,
+                            decode_len=decode_len, seed=seed)
+    runs: list[dict] = []
+    for tp in tp_values:
+        for dp in dp_values:
+            backends = [
+                ShardedCycleBackend(model, quant, platform, tp=tp,
+                                    interconnect=interconnect, mode=mode,
+                                    n_slots=max_batch)
+                for _ in range(dp)
+            ]
+            engines = [ContinuousBatchScheduler(b, max_batch=max_batch)
+                       for b in backends]
+            router = ReplicaRouter(engines, policy=router_policy)
+            report: ClusterServeReport = router.run(trace)
+            comm_s = backends[0].comm.decode_step_cost(
+                max(1, round(report.mean_batch))).time_s
+            runs.append(dict(
+                tp=tp, dp=dp,
+                throughput=report.aggregate_tokens_per_s,
+                total_time_s=report.total_time_s,
+                mean_batch=report.mean_batch,
+                comm_step_time_s=comm_s,
+                kv_budget_tokens=engines[0].kv_token_budget,
+            ))
+    # Speedups are relative to the fewest-board configuration in the
+    # grid — (tp=1, replicas=1) whenever it was swept — regardless of
+    # iteration order.
+    baseline = min(runs, key=lambda r: (r["tp"] * r["dp"], r["tp"]))
+    return [ScalingPoint(
+        tp=r["tp"], replicas=r["dp"],
+        aggregate_tokens_per_s=r["throughput"],
+        speedup=r["throughput"] / baseline["throughput"],
+        total_time_s=r["total_time_s"],
+        mean_batch=r["mean_batch"],
+        comm_step_time_s=r["comm_step_time_s"],
+        kv_budget_tokens=r["kv_budget_tokens"],
+        baseline_boards=baseline["tp"] * baseline["dp"],
+    ) for r in runs]
+
+
+def tp_scaling_is_sane(points: list[ScalingPoint]) -> bool:
+    """Acceptance shape at fixed DP: throughput strictly rises with TP
+    but stays below linear whenever the interconnect charges time."""
+    by_dp: dict[int, list[ScalingPoint]] = {}
+    for p in points:
+        by_dp.setdefault(p.replicas, []).append(p)
+    for series in by_dp.values():
+        series.sort(key=lambda p: p.tp)
+        for prev, cur in zip(series, series[1:]):
+            if cur.aggregate_tokens_per_s <= prev.aggregate_tokens_per_s:
+                return False
+            gain = cur.aggregate_tokens_per_s / prev.aggregate_tokens_per_s
+            if cur.comm_step_time_s > 0 and gain >= cur.tp / prev.tp:
+                return False
+    return True

@@ -1,0 +1,406 @@
+"""Tensor-parallel engine backends: N shards + interconnect, one clock.
+
+Three sharded counterparts of the single-device engine backends, all
+implementing the :class:`repro.engine.backends.EngineBackend` protocol
+so the continuous-batching scheduler drives a TP group exactly like one
+accelerator:
+
+* :class:`ShardedCycleBackend` — N identical per-shard cycle models
+  (the ``tp``-aware :class:`repro.core.cyclemodel.CycleModel`) plus the
+  collective costs of :class:`repro.cluster.interconnect.TPCommModel`.
+  Shards run in lock step, so the group's step time is one shard's
+  cycles plus the all-reduce/all-gather time.
+* :class:`ShardedAnalyticalBackend` — the per-shard roofline (1/tp of
+  the weight and KV streams against one board's DRAM bandwidth) plus
+  the same collective costs.
+* :class:`ShardedFunctionalBackend` — runs the real quantized-model
+  math per shard (column-parallel Q/K/V and gate/up, row-parallel O and
+  down over each shard's own KV8 cache) and combines the row-parallel
+  partial sums with an FP16 pairwise tree
+  (:func:`repro.numerics.fp16.fp16_tree_combine`), which reproduces the
+  single-device DOT-engine rounding bit for bit on alignment-compatible
+  models — so TP=N generation emits the identical token stream as TP=1.
+
+Capacity scales with the cluster: each board stores ``1/tp`` of the
+projections (plus replicated embedding/norms) and ``1/tp`` of every
+token's KV, so :func:`derive_tp_kv_token_budget` frees far more than
+``tp`` times the single-device KV headroom.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import KV260, ModelConfig, PlatformConfig, QuantConfig
+from ..core.vpu import VpuSpec
+from ..engine.backends import (AnalyticalBackend, CycleModelBackend,
+                               TokenOracle, _CycleTimedBackend)
+from ..engine.request import RequestState
+from ..errors import CapacityError, SimulationError
+from ..kv import PagedKVCache, blocks_for_budget
+from ..model.kvcache import SlottedKVCache
+from ..numerics.fp16 import fp16, fp16_matvec, fp16_tree_combine
+from ..numerics.rmsnorm import two_pass_rmsnorm
+from ..numerics.rope import HardwareRope
+from ..numerics.silu import hardware_gated_silu, hardware_silu
+from ..numerics.softmax import three_pass_softmax
+from .interconnect import TEN_GIG_ETHERNET, LinkSpec, TPCommModel
+from .sharding import (FunctionalShard, functional_reduction_is_exact,
+                       shard_functional_weights, validate_tp)
+
+
+def derive_tp_kv_token_budget(model: ModelConfig, quant: QuantConfig,
+                              platform: PlatformConfig, tp: int,
+                              cap_tokens: int, system=None) -> int:
+    """KV tokens one board of a ``tp`` group holds beyond its weights.
+
+    Each shard stores ``1/tp`` of the projections, the full embedding
+    table and norm weights (replicated), and ``1/tp`` of every resident
+    token's KV — so the per-board budget in *tokens* grows faster than
+    linearly with ``tp``: sharding frees weight bytes AND shrinks the
+    per-token cost.  ``tp = 1`` matches
+    :func:`repro.engine.backends.derive_kv_token_budget` exactly.
+    """
+    validate_tp(model, tp)
+    if system is None:
+        from ..runtime.baremetal import BareMetalSystem
+
+        system = BareMetalSystem(platform)
+    report = system.capacity_report(model, quant, 1)
+    replicated = (model.embedding_params() + model.norm_params()) * 2
+    shard_weights = (report.weight_bytes - replicated) / tp + replicated
+    per_token = report.kv_bytes / tp
+    free = report.dram_bytes - shard_weights - report.reserved_bytes
+    if free < per_token:
+        raise CapacityError(
+            f"{model.name} shard weights leave no KV room on "
+            f"{platform.name} at tp={tp}")
+    return int(min(free // per_token, cap_tokens))
+
+
+def _default_paged_blocks(model: ModelConfig, quant: QuantConfig,
+                          platform: PlatformConfig, tp: int, n_slots: int,
+                          block_size: int,
+                          n_kv_blocks: int | None) -> int | None:
+    """Size the per-board paged pool from the sharded capacity report."""
+    if n_kv_blocks is not None:
+        return n_kv_blocks
+    budget = derive_tp_kv_token_budget(
+        model, quant, platform, tp,
+        cap_tokens=n_slots * model.max_context)
+    return blocks_for_budget(budget, block_size)
+
+
+class _ShardedTimingMixin:
+    """Adds collective time on top of a per-shard timing backend.
+
+    Requires ``self.comm`` (a :class:`TPCommModel`) and the per-shard
+    ``step_cycles`` / ``prefill_cycles`` of the superclass.
+    """
+
+    comm: TPCommModel
+
+    def step_cycles(self, contexts, fetched=None) -> float:
+        return super().step_cycles(contexts, fetched) \
+            + self.comm.decode_step_cycles(len(contexts))
+
+    def prefill_cycles(self, n_tokens: int, start: int = 0) -> float:
+        return super().prefill_cycles(n_tokens, start) \
+            + self.comm.prefill_cycles(n_tokens - start)
+
+    def derive_kv_token_budget(self, cap_tokens: int, system=None) -> int:
+        return derive_tp_kv_token_budget(
+            self.model_config, self.quant, self.platform, self.tp,
+            cap_tokens, system=system)
+
+
+class ShardedCycleBackend(_ShardedTimingMixin, CycleModelBackend):
+    """Timing-only TP group: per-shard cycle model + interconnect."""
+
+    def __init__(self, model_config: ModelConfig, quant: QuantConfig,
+                 platform: PlatformConfig = KV260, tp: int = 2,
+                 interconnect: LinkSpec = TEN_GIG_ETHERNET,
+                 mode: str = "fused", n_slots: int = 8,
+                 vpu: VpuSpec | None = None, kv_mode: str = "slotted",
+                 block_size: int = 16, n_kv_blocks: int | None = None,
+                 prefix_sharing: bool = True,
+                 token_oracle: TokenOracle | None = None) -> None:
+        validate_tp(model_config, tp)
+        if kv_mode == "paged":
+            n_kv_blocks = _default_paged_blocks(
+                model_config, quant, platform, tp, n_slots, block_size,
+                n_kv_blocks)
+        super().__init__(model_config, quant, platform, mode=mode,
+                         n_slots=n_slots, vpu=vpu, kv_mode=kv_mode,
+                         block_size=block_size, n_kv_blocks=n_kv_blocks,
+                         prefix_sharing=prefix_sharing,
+                         token_oracle=token_oracle, tp=tp)
+        self.interconnect = interconnect
+        self.comm = TPCommModel(model_config, quant, interconnect, tp,
+                                self.freq_hz)
+
+
+class ShardedAnalyticalBackend(_ShardedTimingMixin, AnalyticalBackend):
+    """Roofline TP group: per-shard bandwidth/compute + interconnect."""
+
+    def __init__(self, model_config: ModelConfig, quant: QuantConfig,
+                 platform: PlatformConfig = KV260, tp: int = 2,
+                 interconnect: LinkSpec = TEN_GIG_ETHERNET,
+                 n_slots: int = 8, lanes: int = 128,
+                 ddr_efficiency: float = 0.95, kv_mode: str = "slotted",
+                 block_size: int = 16, n_kv_blocks: int | None = None,
+                 prefix_sharing: bool = True,
+                 token_oracle: TokenOracle | None = None) -> None:
+        validate_tp(model_config, tp)
+        if kv_mode == "paged":
+            n_kv_blocks = _default_paged_blocks(
+                model_config, quant, platform, tp, n_slots, block_size,
+                n_kv_blocks)
+        super().__init__(model_config, quant, platform, n_slots=n_slots,
+                         lanes=lanes, ddr_efficiency=ddr_efficiency,
+                         kv_mode=kv_mode, block_size=block_size,
+                         n_kv_blocks=n_kv_blocks,
+                         prefix_sharing=prefix_sharing,
+                         token_oracle=token_oracle, tp=tp)
+        self.interconnect = interconnect
+        self.comm = TPCommModel(model_config, quant, interconnect, tp,
+                                self.freq_hz)
+
+
+class _ShardWorker:
+    """One shard's functional math and KV storage.
+
+    Mirrors :class:`repro.model.quantized.QuantizedModel` over the
+    shard's head/channel slices; column-parallel outputs are exact
+    slices of the single-device intermediates, row-parallel outputs are
+    partial sums the backend tree-combines.
+    """
+
+    def __init__(self, shard: FunctionalShard, n_slots: int, kv_mode: str,
+                 block_size: int, n_kv_blocks: int | None, kv_bits: int,
+                 prefix_sharing: bool, lanes: int = 128) -> None:
+        self.shard = shard
+        self.lanes = lanes
+        cfg = shard.config
+        self.rope = HardwareRope(cfg.head_dim, cfg.rope_theta)
+        if kv_mode == "paged":
+            assert n_kv_blocks is not None
+            self.kv: PagedKVCache | SlottedKVCache = PagedKVCache(
+                shard.shard_config, n_kv_blocks, block_size,
+                kv_bits=kv_bits, store_data=True,
+                prefix_sharing=prefix_sharing)
+        else:
+            self.kv = SlottedKVCache(shard.shard_config, n_slots, kv_bits)
+
+    def _matvec(self, mat: np.ndarray, x: np.ndarray) -> np.ndarray:
+        return fp16_matvec(mat, x, lanes=self.lanes)
+
+    def attention_partial(self, layer_idx: int, x: np.ndarray,
+                          cache, position: int) -> np.ndarray:
+        """This shard's row-parallel O partial for one token."""
+        cfg = self.shard.config
+        d = cfg.head_dim
+        mats = self.shard.mats[layer_idx]
+        input_norm, _ = self.shard.norms[layer_idx]
+        normed = two_pass_rmsnorm(x, input_norm, cfg.norm_eps)
+
+        local_heads = self.shard.local_heads
+        local_kv = self.shard.local_kv_heads
+        q = self._matvec(mats["wq"], normed).reshape(local_heads, d)
+        k = self._matvec(mats["wk"], normed).reshape(local_kv, d)
+        v = self._matvec(mats["wv"], normed).reshape(local_kv, d)
+
+        q = np.stack([self.rope.apply(q[h], position)
+                      for h in range(local_heads)])
+        k = np.stack([self.rope.apply(k[h], position)
+                      for h in range(local_kv)])
+        cache.append(layer_idx, k, v, position)
+        length = position + 1
+
+        group = cfg.num_heads // cfg.kv_heads
+        inv_sqrt_d = fp16(1.0 / np.sqrt(d)).astype(np.float32)
+        head_outputs = []
+        for h in range(local_heads):
+            kv_h = h // group  # global and local offsets cancel per shard
+            keys = cache.keys(layer_idx, kv_h, length).astype(np.float32)
+            values = cache.values(layer_idx, kv_h, length).astype(np.float32)
+            scores = fp16_matvec(keys, q[h], lanes=self.lanes)
+            scores = fp16(scores.astype(np.float32) * inv_sqrt_d)
+            probs = three_pass_softmax(scores)
+            head_outputs.append(fp16_matvec(values.T, probs,
+                                            lanes=self.lanes))
+        attn = np.concatenate(head_outputs)
+        return self._matvec(mats["wo"], attn)
+
+    def mlp_partial(self, layer_idx: int, x: np.ndarray) -> np.ndarray:
+        """This shard's row-parallel down-projection partial."""
+        cfg = self.shard.config
+        mats = self.shard.mats[layer_idx]
+        _, post_norm = self.shard.norms[layer_idx]
+        normed = two_pass_rmsnorm(x, post_norm, cfg.norm_eps)
+        up = self._matvec(mats["w_up"], normed)
+        if cfg.gated_mlp:
+            gate = self._matvec(mats["w_gate"], normed)
+            hidden = hardware_gated_silu(gate, up)
+        else:
+            hidden = hardware_silu(up)
+        return self._matvec(mats["w_down"], hidden)
+
+    def head_partial(self, normed: np.ndarray) -> np.ndarray:
+        """This shard's vocabulary slice of the logits."""
+        return self._matvec(self.shard.lm_head, normed)
+
+
+class ShardedFunctionalBackend(_ShardedTimingMixin, _CycleTimedBackend):
+    """Bit-exact functional TP group over per-shard KV8 caches.
+
+    Token streams are identical to the single-device
+    :class:`repro.engine.backends.FunctionalBackend` (the FP16 tree
+    reduction reproduces the DOT engine's rounding); timing is the
+    per-shard cycle model plus interconnect, the sharded analogue of
+    how the single-device functional backend is timed.
+    """
+
+    def __init__(self, qweights, platform: PlatformConfig = KV260,
+                 tp: int = 2, interconnect: LinkSpec = TEN_GIG_ETHERNET,
+                 mode: str = "fused", n_slots: int = 8,
+                 kv_mode: str = "slotted", block_size: int = 16,
+                 n_kv_blocks: int | None = None,
+                 prefix_sharing: bool = True, lanes: int = 128,
+                 allow_inexact: bool = False) -> None:
+        model = qweights.config
+        validate_tp(model, tp)
+        if not allow_inexact \
+                and not functional_reduction_is_exact(model, tp, lanes):
+            raise SimulationError(
+                f"{model.name} at tp={tp} does not align with the "
+                f"{lanes}-lane FP16 accumulation tree, so sharded "
+                "partial sums would not be bit-identical to one device; "
+                "pass allow_inexact=True to accept drifting tokens")
+        if kv_mode == "paged":
+            n_kv_blocks = _default_paged_blocks(
+                model, qweights.quant, platform, tp, n_slots, block_size,
+                n_kv_blocks)
+        super().__init__(model, qweights.quant, platform, mode, n_slots,
+                         kv_mode=kv_mode, block_size=block_size,
+                         n_kv_blocks=n_kv_blocks,
+                         prefix_sharing=prefix_sharing,
+                         store_kv_data=False, tp=tp)
+        self.interconnect = interconnect
+        self.comm = TPCommModel(model, qweights.quant, interconnect, tp,
+                                self.freq_hz)
+        if kv_mode == "paged":
+            assert self.paged_kv is not None
+            n_kv_blocks = self.paged_kv.n_total_blocks
+        self.workers = [
+            _ShardWorker(shard, n_slots, kv_mode, block_size, n_kv_blocks,
+                         qweights.quant.kv_bits, prefix_sharing, lanes)
+            for shard in shard_functional_weights(qweights, tp)
+        ]
+        self.embedding = qweights.embedding
+        self.final_norm = qweights.final_norm
+
+    # -- KV mirroring -------------------------------------------------------
+
+    def admit(self, state: RequestState) -> None:
+        super().admit(state)  # the accounting twin decides admission
+        tokens = state.sequence_tokens()
+        for worker in self.workers:
+            if isinstance(worker.kv, PagedKVCache):
+                slot = worker.kv.allocate(tokens)
+            else:
+                slot = worker.kv.allocate()
+            # Same allocator, same call sequence: shard slot ids must
+            # mirror the accounting twin's, or workers would read the
+            # wrong sequence's KV.
+            if slot != state.slot:
+                raise SimulationError(
+                    f"shard {worker.shard.rank}: slot {slot} diverged "
+                    f"from the accounting twin's {state.slot}")
+
+    def release(self, state: RequestState) -> None:
+        slot = state.slot
+        super().release(state)
+        for worker in self.workers:
+            worker.kv.free(slot)
+
+    # -- functional math ----------------------------------------------------
+
+    def _embed(self, token: int) -> np.ndarray:
+        if not 0 <= token < self.model_config.vocab_size:
+            raise SimulationError(f"token {token} outside vocabulary")
+        return self.embedding[token]
+
+    def _forward_token(self, token: int, slot: int, position: int,
+                       with_logits: bool = True) -> np.ndarray | None:
+        """One token through every shard; all-reduces between layers."""
+        views = [w.kv.view(slot) for w in self.workers]
+        x = self._embed(token)
+        for layer in range(self.model_config.num_layers):
+            partials = [w.attention_partial(layer, x, views[i], position)
+                        for i, w in enumerate(self.workers)]
+            out = fp16_tree_combine(partials)
+            x = fp16(x.astype(np.float32) + out.astype(np.float32))
+            partials = [w.mlp_partial(layer, x) for w in self.workers]
+            out = fp16_tree_combine(partials)
+            x = fp16(x.astype(np.float32) + out.astype(np.float32))
+        if not with_logits:
+            return None
+        normed = two_pass_rmsnorm(x, self.final_norm,
+                                  self.model_config.norm_eps)
+        # All-gather of the vocabulary-sharded logits.
+        return np.concatenate([w.head_partial(normed)
+                               for w in self.workers])
+
+    # -- EngineBackend ------------------------------------------------------
+
+    def prefill(self, state: RequestState) -> float:
+        if state.slot is None:
+            raise SimulationError(
+                f"request {state.request_id} not admitted")
+        tokens = state.sequence_tokens()
+        if len(tokens) > self.model_config.max_context:
+            raise SimulationError(
+                f"request {state.request_id}: {len(tokens)} tokens exceed "
+                f"the {self.model_config.max_context}-token context")
+        cached = self._cached_prefix(state)
+        logits = None
+        for position in range(cached, len(tokens)):
+            logits = self._forward_token(
+                tokens[position], state.slot, position,
+                with_logits=position == len(tokens) - 1)
+        if self.paged_kv is not None:
+            # The accounting twin has no data path: charge its occupancy
+            # explicitly, then publish the prefix on every cache.
+            self.paged_kv.advance(state.slot, len(tokens) - cached)
+            self.paged_kv.commit_prefix(state.slot, tokens)
+            for worker in self.workers:
+                worker.kv.commit_prefix(state.slot, tokens)
+        state.logits = logits
+        state.position = len(tokens)
+        return self.prefill_cycles(len(tokens), start=cached)
+
+    def sample(self, state: RequestState) -> int:
+        if state.logits is None:
+            raise SimulationError(
+                f"request {state.request_id} has no logits to sample")
+        sampler = state.request.sampler
+        if sampler is None:
+            return int(np.argmax(state.logits))
+        return sampler.sample(state.logits)
+
+    def decode_batch(self, states) -> float:
+        contexts = [s.context for s in states]
+        cycles = self.step_cycles(contexts, self._fetch_plan(states,
+                                                             contexts))
+        for state in states:
+            if state.slot is None:
+                raise SimulationError(
+                    f"request {state.request_id} not admitted")
+            token = state.pending_token
+            state.logits = self._forward_token(token, state.slot,
+                                               state.position)
+            if self.paged_kv is not None:
+                self.paged_kv.advance(state.slot)
+            state.position += 1
+        return cycles

@@ -64,7 +64,7 @@ class CycleModel:
                  platform: PlatformConfig = KV260,
                  vpu: VpuSpec | None = None,
                  spu: SpuModel | None = None,
-                 mcu: Mcu | None = None) -> None:
+                 mcu: Mcu | None = None, tp: int = 1) -> None:
         if platform.pl_freq_hz <= 0:
             raise SimulationError(
                 f"platform {platform.name} has no PL clock; cycle model "
@@ -73,6 +73,7 @@ class CycleModel:
         self.model = model
         self.quant = quant
         self.platform = platform
+        self.tp = tp
         if mcu is None:
             from ..memory.axi import AxiPortGroup
             from ..memory.ddr import DdrTimingParams
@@ -83,7 +84,7 @@ class CycleModel:
             ddr = DdrTimingParams(
                 peak_bytes_per_s=platform.bandwidth_bytes_per_s)
             mcu = Mcu(axi, ddr)
-        self.scheduler = TokenScheduler(model, quant, mcu, vpu, spu)
+        self.scheduler = TokenScheduler(model, quant, mcu, vpu, spu, tp=tp)
 
     def token_schedule(self, context: int,
                        mode: str = "fused") -> TokenSchedule:

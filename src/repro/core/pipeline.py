@@ -110,14 +110,31 @@ class AttentionLayerReport:
 
 
 class AttentionPipeline:
-    """Builds fused (Fig. 3) and coarse attention-layer schedules."""
+    """Builds fused (Fig. 3) and coarse attention-layer schedules.
+
+    ``tp > 1`` schedules ONE shard of a tensor-parallel group: the shard
+    owns ``num_heads / tp`` query heads and ``kv_heads / tp`` KV heads
+    (Megatron-style column-parallel Q/K/V), and its output projection is
+    the row-parallel slice ``(hidden, hidden / tp)``.  The residual add
+    still spans the full hidden vector — partial sums are combined by
+    the interconnect (charged by :mod:`repro.cluster.interconnect`, not
+    here).
+    """
 
     def __init__(self, model: ModelConfig, quant: QuantConfig,
                  mcu: Mcu | None = None, vpu: VpuSpec | None = None,
                  spu: SpuModel | None = None,
-                 online_softmax: bool = False) -> None:
+                 online_softmax: bool = False, tp: int = 1) -> None:
+        if tp < 1:
+            raise ScheduleError(f"tensor-parallel degree must be >= 1: {tp}")
+        if model.num_heads % tp or model.kv_heads % tp \
+                or model.hidden_size % tp:
+            raise ScheduleError(
+                f"{model.name}: heads {model.num_heads}/{model.kv_heads} "
+                f"and hidden {model.hidden_size} must divide tp={tp}")
         self.model = model
         self.quant = quant
+        self.tp = tp
         self.mcu = mcu if mcu is not None else Mcu()
         self.vpu = vpu if vpu is not None else VpuSpec()
         self.spu = spu if spu is not None else SpuModel()
@@ -170,7 +187,7 @@ class AttentionPipeline:
         kv_tx = self._kv_transfer(context) / group if context else 0.0
 
         t = 0.0
-        for head in range(m.num_heads):
+        for head in range(m.num_heads // self.tp):
             leads_kv_group = head % group == 0
 
             q_proj = Stage("q_proj", t, self._weight_transfer(d, m.hidden_size),
@@ -232,8 +249,9 @@ class AttentionPipeline:
                 qk.start, av.end + self.spu.params.softmax_depth))
 
         o_proj = Stage("o_proj", t,
-                       self._weight_transfer(m.hidden_size, m.hidden_size),
-                       m.hidden_size * self._tiles(m.hidden_size))
+                       self._weight_transfer(m.hidden_size,
+                                             m.hidden_size // self.tp),
+                       m.hidden_size * self._tiles(m.hidden_size // self.tp))
         t = o_proj.end
         report.stages.append(o_proj)
         # Residual add + square-sum for the next RMSNorm stream with the
@@ -261,20 +279,21 @@ class AttentionPipeline:
             report.misc.append(MiscPlacement(name, cycles, at, at))
 
         t = 0.0
-        for name, rows in (("q_proj", m.hidden_size),
-                           ("k_proj", m.kv_dim), ("v_proj", m.kv_dim)):
+        for name, rows in (("q_proj", m.hidden_size // self.tp),
+                           ("k_proj", m.kv_dim // self.tp),
+                           ("v_proj", m.kv_dim // self.tp)):
             stage = Stage(name, t, self._weight_transfer(rows, m.hidden_size),
                           rows * self._tiles(m.hidden_size))
             t = stage.end
             report.stages.append(stage)
 
-        misc("rope_q", m.num_heads * self.spu.rope_cycles(d), t)
-        misc("rope_k", m.kv_heads * self.spu.rope_cycles(d), t)
-        misc("quant_k", m.kv_heads * self.spu.quant_cycles(d), t)
-        misc("quant_v", m.kv_heads * self.spu.quant_cycles(d), t)
+        misc("rope_q", m.num_heads // self.tp * self.spu.rope_cycles(d), t)
+        misc("rope_k", m.kv_heads // self.tp * self.spu.rope_cycles(d), t)
+        misc("quant_k", m.kv_heads // self.tp * self.spu.quant_cycles(d), t)
+        misc("quant_v", m.kv_heads // self.tp * self.spu.quant_cycles(d), t)
         t += sum(p.cycles for p in report.misc)
 
-        for head in range(m.num_heads):
+        for head in range(m.num_heads // self.tp):
             qk = Stage("qk_dot", t, self._kv_transfer(context) /
                        (m.num_heads // m.kv_heads),
                        (context + 1) * self._tiles(d))
@@ -289,8 +308,9 @@ class AttentionPipeline:
             report.stages.append(av)
 
         o_proj = Stage("o_proj", t,
-                       self._weight_transfer(m.hidden_size, m.hidden_size),
-                       m.hidden_size * self._tiles(m.hidden_size))
+                       self._weight_transfer(m.hidden_size,
+                                             m.hidden_size // self.tp),
+                       m.hidden_size * self._tiles(m.hidden_size // self.tp))
         t = o_proj.end
         report.stages.append(o_proj)
         misc("residual_sqsum", self.spu.residual_cycles(m.hidden_size), t)

@@ -106,18 +106,41 @@ class BatchSchedule:
 
 
 class TokenScheduler:
-    """Builds :class:`TokenSchedule` objects for decode steps."""
+    """Builds :class:`TokenSchedule` objects for decode steps.
+
+    ``tp > 1`` schedules ONE shard of a tensor-parallel group
+    (Megatron-style): Q/K/V, gate and up are column-parallel (heads and
+    intermediate channels divided across shards), O and down are
+    row-parallel (their input dimension divided), and the LM head is
+    split over vocabulary rows.  Norm weights and the embedding row are
+    replicated, so only ``1/tp`` of the streamed weights — but the full
+    misc/norm work — lands on each shard.  Interconnect time for the
+    partial-sum reductions is charged separately by
+    :mod:`repro.cluster.interconnect`.
+    """
 
     def __init__(self, model: ModelConfig, quant: QuantConfig,
                  mcu: Mcu | None = None, vpu: VpuSpec | None = None,
-                 spu: SpuModel | None = None) -> None:
+                 spu: SpuModel | None = None, tp: int = 1) -> None:
+        if tp < 1:
+            raise ScheduleError(f"tensor-parallel degree must be >= 1: {tp}")
+        if tp > 1 and (model.num_heads % tp or model.kv_heads % tp
+                       or model.hidden_size % tp
+                       or model.intermediate_size % tp
+                       or model.vocab_size % tp):
+            raise ScheduleError(
+                f"{model.name}: heads {model.num_heads}/{model.kv_heads}, "
+                f"hidden {model.hidden_size}, intermediate "
+                f"{model.intermediate_size} and vocab {model.vocab_size} "
+                f"must all divide tp={tp}")
         self.model = model
         self.quant = quant
+        self.tp = tp
         self.mcu = mcu if mcu is not None else Mcu()
         self.vpu = vpu if vpu is not None else VpuSpec()
         self.spu = spu if spu is not None else SpuModel()
         self.pipeline = AttentionPipeline(model, quant, self.mcu, self.vpu,
-                                          self.spu)
+                                          self.spu, tp=tp)
 
     # -- helpers ---------------------------------------------------------------
 
@@ -146,11 +169,12 @@ class TokenScheduler:
                           mode: str) -> Segment:
         report = self.pipeline.schedule(context, mode)
         m, q = self.model, self.quant
-        weight_bytes = m.attention_params() * q.effective_weight_bits / 8
-        kv_read = 2 * context * m.kv_dim * q.kv_bits / 8 \
-            + 2 * context * m.kv_heads * q.kv_pack_bits / 8
-        kv_write = 2 * m.kv_dim * q.kv_bits / 8 \
-            + 2 * m.kv_heads * q.kv_pack_bits / 8
+        weight_bytes = m.attention_params() * q.effective_weight_bits / 8 \
+            / self.tp
+        kv_read = (2 * context * m.kv_dim * q.kv_bits / 8
+                   + 2 * context * m.kv_heads * q.kv_pack_bits / 8) / self.tp
+        kv_write = (2 * m.kv_dim * q.kv_bits / 8
+                    + 2 * m.kv_heads * q.kv_pack_bits / 8) / self.tp
         return Segment(f"layer{layer}.attn", report.total_cycles,
                        weight_bytes + kv_read + kv_write,
                        report.exposed_misc_cycles)
@@ -158,7 +182,7 @@ class TokenScheduler:
     def mlp_segments(self, layer: int, mode: str,
                      batch: int = 1) -> list[Segment]:
         m = self.model
-        h, inter = m.hidden_size, m.intermediate_size
+        h, inter = m.hidden_size, m.intermediate_size // self.tp
         segs = []
         # Post-attention RMSNorm: square sum came from the DOT engine; the
         # normalize pass hides under the gate/up weight stream.
@@ -206,26 +230,31 @@ class TokenScheduler:
         batch = len(contexts)
         d = m.head_dim
         group = m.num_heads // m.kv_heads
-        tiles_h = self._tiles(m.hidden_size)
         tiles_d = self._tiles(d)
 
-        def weight_stage(out_rows: int, copies: int) -> float:
-            n_bytes = out_rows * m.hidden_size * q.effective_weight_bits / 8
+        def weight_stage(out_rows: int, copies: int,
+                         in_cols: int | None = None) -> float:
+            if in_cols is None:
+                in_cols = m.hidden_size
+            n_bytes = out_rows * in_cols * q.effective_weight_bits / 8
             transfer = self.mcu.stream_transfer(n_bytes).cycles
-            compute = batch * out_rows * tiles_h
+            compute = batch * out_rows * self._tiles(in_cols)
             return copies * max(transfer, compute)
 
         cycles = 0.0
         if mode == "fused":
-            # Head-wise slices: Q per head, K/V per KV head, O once.
-            cycles += weight_stage(d, m.num_heads)
-            cycles += 2 * weight_stage(d, m.kv_heads)
-            cycles += weight_stage(m.hidden_size, 1)
+            # Head-wise slices: Q per local head, K/V per local KV head,
+            # the (row-parallel) O slice once.
+            cycles += weight_stage(d, m.num_heads // self.tp)
+            cycles += 2 * weight_stage(d, m.kv_heads // self.tp)
+            cycles += weight_stage(m.hidden_size, 1,
+                                   in_cols=m.hidden_size // self.tp)
         else:
-            # Coarse: whole-matrix projections.
-            cycles += weight_stage(m.hidden_size, 1)
-            cycles += 2 * weight_stage(m.kv_dim, 1)
-            cycles += weight_stage(m.hidden_size, 1)
+            # Coarse: whole-matrix projections (this shard's slices).
+            cycles += weight_stage(m.hidden_size // self.tp, 1)
+            cycles += 2 * weight_stage(m.kv_dim // self.tp, 1)
+            cycles += weight_stage(m.hidden_size, 1,
+                                   in_cols=m.hidden_size // self.tp)
 
         if fetched is None:
             fetched = contexts
@@ -233,7 +262,8 @@ class TokenScheduler:
             raise ScheduleError(
                 f"fetched has {len(fetched)} entries for "
                 f"{len(contexts)} contexts")
-        weight_bytes = m.attention_params() * q.effective_weight_bits / 8
+        weight_bytes = m.attention_params() * q.effective_weight_bits / 8 \
+            / self.tp
         kv_bytes = 0.0
         exposed = 0.0
         for ctx, fetch in zip(contexts, fetched):
@@ -247,15 +277,16 @@ class TokenScheduler:
                     / group
             else:
                 kv_tx = 0.0
-            # QK dot + weighted-V accumulation for every head of this
-            # sequence; heads of one GQA group share the history stream
-            # and the compute always spans the full attended context.
-            cycles += 2 * m.num_heads * max(kv_tx, (ctx + 1) * tiles_d)
+            # QK dot + weighted-V accumulation for every local head of
+            # this sequence; heads of one GQA group share the history
+            # stream and the compute always spans the full context.
+            cycles += 2 * (m.num_heads // self.tp) \
+                * max(kv_tx, (ctx + 1) * tiles_d)
             exposed += self.pipeline.schedule(ctx, mode).exposed_misc_cycles
-            kv_bytes += 2 * fetch * m.kv_dim * q.kv_bits / 8 \
-                + 2 * fetch * m.kv_heads * q.kv_pack_bits / 8 \
-                + 2 * m.kv_dim * q.kv_bits / 8 \
-                + 2 * m.kv_heads * q.kv_pack_bits / 8
+            kv_bytes += (2 * fetch * m.kv_dim * q.kv_bits / 8
+                         + 2 * fetch * m.kv_heads * q.kv_pack_bits / 8
+                         + 2 * m.kv_dim * q.kv_bits / 8
+                         + 2 * m.kv_heads * q.kv_pack_bits / 8) / self.tp
         return Segment(f"layer{layer}.attn", cycles + exposed,
                        weight_bytes + kv_bytes, exposed)
 
@@ -283,7 +314,7 @@ class TokenScheduler:
                                       exposed_misc_cycles=final_norm))
 
         sched.segments.append(self._proj_segment(
-            "lm_head", m.vocab_size, m.hidden_size, mode=mode))
+            "lm_head", m.vocab_size // self.tp, m.hidden_size, mode=mode))
         return sched
 
     def build_batched(self, contexts: Sequence[int],
@@ -332,7 +363,8 @@ class TokenScheduler:
                                       exposed_misc_cycles=batch * final_norm))
 
         sched.segments.append(self._proj_segment(
-            "lm_head", m.vocab_size, m.hidden_size, mode=mode, batch=batch))
+            "lm_head", m.vocab_size // self.tp, m.hidden_size, mode=mode,
+            batch=batch))
         return sched
 
 

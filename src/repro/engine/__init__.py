@@ -27,6 +27,7 @@ from .backends import (
     CycleModelBackend,
     EngineBackend,
     FunctionalBackend,
+    build_backend,
     derive_kv_token_budget,
     kv_discipline_kwargs,
 )
@@ -52,6 +53,7 @@ __all__ = [
     "RequestStatus",
     "ServeReport",
     "StepEvent",
+    "build_backend",
     "derive_kv_token_budget",
     "kv_discipline_kwargs",
     "synthetic_trace",

@@ -136,6 +136,61 @@ def kv_discipline_kwargs(kv_mode: str, budget_tokens: int | None = None,
     return backend, scheduler
 
 
+def build_backend(kind: str, model_config: ModelConfig, quant: QuantConfig,
+                  platform: PlatformConfig = KV260, *, mode: str = "fused",
+                  n_slots: int = 8, tp: int = 1, interconnect=None,
+                  qweights=None, token_oracle: TokenOracle | None = None,
+                  vpu: VpuSpec | None = None, kv_mode: str = "slotted",
+                  block_size: int = 16, n_kv_blocks: int | None = None,
+                  prefix_sharing: bool = True) -> "EngineBackend":
+    """One constructor for every backend kind, single-device or sharded.
+
+    ``tp > 1`` returns the tensor-parallel counterpart from
+    :mod:`repro.cluster.tp` (imported lazily — the cluster layer sits
+    above the engine); ``interconnect`` is a
+    :class:`repro.cluster.interconnect.LinkSpec` and defaults to the
+    10GbE ring.  The functional kinds need ``qweights``.
+    """
+    if kind not in ("functional", "cycle", "analytical"):
+        raise SimulationError(
+            f"unknown backend kind {kind!r}; choose from "
+            "('functional', 'cycle', 'analytical')")
+    if kind == "functional" and qweights is None:
+        raise SimulationError("functional backend needs quantized weights")
+    kv = dict(kv_mode=kv_mode, block_size=block_size,
+              n_kv_blocks=n_kv_blocks, prefix_sharing=prefix_sharing)
+    if tp > 1:
+        from ..cluster.interconnect import TEN_GIG_ETHERNET
+        from ..cluster.tp import (ShardedAnalyticalBackend,
+                                  ShardedCycleBackend,
+                                  ShardedFunctionalBackend)
+
+        link = interconnect if interconnect is not None else TEN_GIG_ETHERNET
+        if kind == "cycle":
+            return ShardedCycleBackend(model_config, quant, platform, tp=tp,
+                                       interconnect=link, mode=mode,
+                                       n_slots=n_slots, vpu=vpu,
+                                       token_oracle=token_oracle, **kv)
+        if kind == "analytical":
+            return ShardedAnalyticalBackend(model_config, quant, platform,
+                                            tp=tp, interconnect=link,
+                                            n_slots=n_slots,
+                                            token_oracle=token_oracle, **kv)
+        return ShardedFunctionalBackend(qweights, platform, tp=tp,
+                                        interconnect=link, mode=mode,
+                                        n_slots=n_slots, **kv)
+    if kind == "cycle":
+        return CycleModelBackend(model_config, quant, platform, mode=mode,
+                                 n_slots=n_slots, vpu=vpu,
+                                 token_oracle=token_oracle, **kv)
+    if kind == "analytical":
+        return AnalyticalBackend(model_config, quant, platform,
+                                 n_slots=n_slots,
+                                 token_oracle=token_oracle, **kv)
+    return FunctionalBackend(qweights, platform, mode=mode,
+                             n_slots=n_slots, **kv)
+
+
 class _SlotCounter:
     """Slot accounting for timing-only backends (no real storage)."""
 
@@ -261,19 +316,27 @@ class _KVMixin:
 
 
 class _CycleTimedBackend(_KVMixin):
-    """Shared plumbing: batched cycle-model timing + KV bookkeeping."""
+    """Shared plumbing: batched cycle-model timing + KV bookkeeping.
+
+    ``tp > 1`` makes the cycle model account ONE tensor-parallel shard
+    (1/tp of the weight and KV streams); interconnect time for the
+    partial-sum collectives is added by the :mod:`repro.cluster.tp`
+    subclasses, never here.
+    """
 
     def __init__(self, model_config: ModelConfig, quant: QuantConfig,
                  platform: PlatformConfig, mode: str, n_slots: int,
                  vpu: VpuSpec | None = None, kv_mode: str = "slotted",
                  block_size: int = 16, n_kv_blocks: int | None = None,
                  prefix_sharing: bool = True,
-                 store_kv_data: bool = False) -> None:
+                 store_kv_data: bool = False, tp: int = 1) -> None:
         self.model_config = model_config
         self.quant = quant
         self.platform = platform
         self.mode = mode
-        self.cycles = CycleModel(model_config, quant, platform, vpu=vpu)
+        self.tp = tp
+        self.cycles = CycleModel(model_config, quant, platform, vpu=vpu,
+                                 tp=tp)
         self._init_kv(model_config, quant, platform, kv_mode, n_slots,
                       block_size, n_kv_blocks, prefix_sharing,
                       store_kv_data)
@@ -300,11 +363,12 @@ class CycleModelBackend(_CycleTimedBackend):
                  kv_mode: str = "slotted", block_size: int = 16,
                  n_kv_blocks: int | None = None,
                  prefix_sharing: bool = True,
-                 token_oracle: TokenOracle | None = None) -> None:
+                 token_oracle: TokenOracle | None = None,
+                 tp: int = 1) -> None:
         super().__init__(model_config, quant, platform, mode, n_slots, vpu,
                          kv_mode=kv_mode, block_size=block_size,
                          n_kv_blocks=n_kv_blocks,
-                         prefix_sharing=prefix_sharing)
+                         prefix_sharing=prefix_sharing, tp=tp)
         self.token_oracle = token_oracle
 
     def prefill(self, state: RequestState) -> float:
@@ -421,19 +485,24 @@ class AnalyticalBackend(_KVMixin):
                  kv_mode: str = "slotted", block_size: int = 16,
                  n_kv_blocks: int | None = None,
                  prefix_sharing: bool = True,
-                 token_oracle: TokenOracle | None = None) -> None:
+                 token_oracle: TokenOracle | None = None,
+                 tp: int = 1) -> None:
         if platform.pl_freq_hz <= 0:
             raise SimulationError(
                 f"platform {platform.name} has no PL clock")
         if not 0 < ddr_efficiency <= 1:
             raise SimulationError(
                 f"ddr_efficiency must be in (0, 1], got {ddr_efficiency}")
+        if tp < 1:
+            raise SimulationError(
+                f"tensor-parallel degree must be >= 1: {tp}")
         self.model_config = model_config
         self.quant = quant
         self.platform = platform
         self.lanes = lanes
         self.ddr_efficiency = ddr_efficiency
         self.token_oracle = token_oracle
+        self.tp = tp
         self._init_kv(model_config, quant, platform, kv_mode, n_slots,
                       block_size, n_kv_blocks, prefix_sharing,
                       store_data=False)
@@ -447,12 +516,27 @@ class AnalyticalBackend(_KVMixin):
         from ..memory.traffic import batched_decode_traffic
 
         m = self.model_config
-        traffic = batched_decode_traffic(m, self.quant, contexts, fetched)
+        traffic = batched_decode_traffic(m, self.quant, contexts, fetched,
+                                         tp=self.tp)
         bandwidth_s = traffic.total_bytes \
             / (self.platform.bandwidth_bytes_per_s * self.ddr_efficiency)
-        macs = len(contexts) * m.decode_stream_params()
+        # A shard multiplies 1/tp of the projections but the full
+        # (replicated) norm work.
+        sharded = (m.decode_stream_params() - m.norm_params()) / self.tp \
+            + m.norm_params()
+        macs = len(contexts) * sharded
         compute_s = macs / (self.lanes * self.freq_hz)
         return max(bandwidth_s, compute_s) * self.freq_hz
+
+    def prefill_cycles(self, n_tokens: int, start: int = 0) -> float:
+        """Roofline prefill: one single-member step per prompt position."""
+        if n_tokens <= 0:
+            raise SimulationError("prompt_len must be positive")
+        if not 0 <= start < n_tokens:
+            raise SimulationError(
+                f"prefill start {start} outside prompt of {n_tokens}")
+        return sum(AnalyticalBackend.step_cycles(self, [pos])
+                   for pos in range(start, n_tokens))
 
     def prefill(self, state: RequestState) -> float:
         tokens = state.sequence_tokens()
@@ -463,8 +547,7 @@ class AnalyticalBackend(_KVMixin):
             self.paged_kv.commit_prefix(state.slot, tokens)
         state.position = len(tokens)
         state.logits = None
-        return sum(self.step_cycles([pos])
-                   for pos in range(cached, len(tokens)))
+        return self.prefill_cycles(len(tokens), start=cached)
 
     def sample(self, state: RequestState) -> int:
         if self.token_oracle is not None:

@@ -108,6 +108,15 @@ class ServeReport:
             raise SimulationError("no decode steps recorded")
         return percentile_nearest_rank(lats, percentile)
 
+    def ttft_percentile_s(self, percentile: float) -> float:
+        """Time-to-first-token percentile across retired requests."""
+        from ..stats import percentile_nearest_rank
+
+        if not self.results:
+            raise SimulationError("no retired requests")
+        return percentile_nearest_rank([r.ttft_s for r in self.results],
+                                       percentile)
+
 
 class ContinuousBatchScheduler:
     """Admits, batches, preempts, and retires requests on one backend."""
@@ -132,9 +141,17 @@ class ContinuousBatchScheduler:
             kv_token_budget = self.paged_kv.n_total_blocks \
                 * self.paged_kv.block_size
         elif kv_token_budget is None:
-            kv_token_budget = derive_kv_token_budget(
-                model, backend.quant, backend.platform,
-                cap_tokens=max_batch * model.max_context, system=system)
+            derive = getattr(backend, "derive_kv_token_budget", None)
+            if derive is not None:
+                # Cluster backends size KV from their own (sharded)
+                # capacity split instead of the single-device report.
+                kv_token_budget = derive(
+                    cap_tokens=max_batch * model.max_context,
+                    system=system)
+            else:
+                kv_token_budget = derive_kv_token_budget(
+                    model, backend.quant, backend.platform,
+                    cap_tokens=max_batch * model.max_context, system=system)
         if kv_token_budget <= 0:
             raise CapacityError("KV token budget must be positive")
         self.kv_token_budget = int(kv_token_budget)

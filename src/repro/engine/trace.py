@@ -32,7 +32,12 @@ def synthetic_trace(model: ModelConfig, n_requests: int,
     ``shared_prefix_len > 0`` prepends one fixed "system prompt" of that
     many tokens (drawn once from the seed) to every request — the
     workload shape that paged KV with prefix reuse is built for.  The
-    per-request prompt tail still follows ``prompt_len``.
+    per-request prompt tail still follows ``prompt_len``, so a prompt is
+    never shorter than the shared prefix.  A prefix that leaves no room
+    for the minimum tail plus one generated token raises; a prefix that
+    only squeezes the *top* of the tail range clamps that range once, up
+    front (and every draw uses the clamped range), rather than silently
+    collapsing out-of-range samples onto the cap.
     """
     if n_requests <= 0:
         raise SimulationError(f"n_requests must be positive: {n_requests}")
@@ -49,8 +54,14 @@ def synthetic_trace(model: ModelConfig, n_requests: int,
             f"bad length ranges prompt={prompt_len} decode={decode_len}")
     if shared_prefix_len + lo_p + 1 >= model.max_context:
         raise SimulationError(
-            f"prompts of {shared_prefix_len + lo_p}+ tokens cannot fit "
-            f"{model.name}'s {model.max_context}-token context")
+            f"shared prefix of {shared_prefix_len} tokens leaves no room "
+            f"for a >= {lo_p}-token prompt tail plus one generated token "
+            f"in {model.name}'s {model.max_context}-token context")
+    # Longest tail that fits beside the shared prefix, one sampled token
+    # and the final forward; clamping the range ONCE keeps the draw
+    # uniform instead of piling every oversized sample onto the cap.
+    tail_cap = model.max_context - 2 - shared_prefix_len
+    hi_p = min(hi_p, tail_cap)
 
     rng = np.random.default_rng(seed)
     system_prompt = tuple(int(t) for t in rng.integers(
@@ -60,8 +71,6 @@ def synthetic_trace(model: ModelConfig, n_requests: int,
     for rid in range(n_requests):
         clock += float(rng.exponential(1.0 / arrival_rate_rps))
         n_prompt = int(rng.integers(lo_p, hi_p + 1))
-        n_prompt = min(n_prompt,
-                       model.max_context - 2 - shared_prefix_len)
         n_decode = int(rng.integers(lo_d, hi_d + 1))
         n_decode = min(n_decode, model.max_context - shared_prefix_len
                        - n_prompt)

@@ -61,22 +61,29 @@ class DecodeTraffic:
 
 
 def decode_traffic(model: ModelConfig, quant: QuantConfig,
-                   context: int) -> DecodeTraffic:
+                   context: int, tp: int = 1) -> DecodeTraffic:
     """Traffic of decoding one token when ``context`` tokens are cached.
 
     ``context`` is the number of previously cached tokens whose K/V must
     be read (the new token's K/V are produced on-chip and only written).
+
+    ``tp > 1`` accounts ONE shard of a tensor-parallel group: every
+    streamed projection and the KV cache are divided ``tp`` ways, while
+    the embedding row and the (replicated) norm weights still cross each
+    shard's bus in full.
     """
-    streamed = model.decode_stream_params() - model.norm_params()
+    if tp < 1:
+        raise SimulationError(f"tensor-parallel degree must be >= 1: {tp}")
+    streamed = (model.decode_stream_params() - model.norm_params()) / tp
     code_bytes = streamed * quant.weight_bits / 8
     meta_bytes = streamed * quant.weight_overhead_bits_per_weight / 8
 
     embedding_row = model.hidden_size * quant.activation_bits / 8
     norm_bytes = model.norm_params() * 2  # FP16 norm weights
 
-    kv_elems_per_token = 2 * model.num_layers * model.kv_dim
+    kv_elems_per_token = 2 * model.num_layers * model.kv_dim / tp
     kv_read = context * kv_elems_per_token * quant.kv_bits / 8
-    packs_per_token = 2 * model.num_layers * model.kv_heads
+    packs_per_token = 2 * model.num_layers * model.kv_heads / tp
     kv_read_packs = context * packs_per_token * quant.kv_pack_bits / 8
 
     kv_write = kv_elems_per_token * quant.kv_bits / 8
@@ -138,13 +145,14 @@ class BatchDecodeTraffic:
 def batched_decode_traffic(model: ModelConfig, quant: QuantConfig,
                            contexts: "list[int] | tuple[int, ...]",
                            fetched: "list[int] | tuple[int, ...] | None"
-                           = None) -> BatchDecodeTraffic:
+                           = None, tp: int = 1) -> BatchDecodeTraffic:
     """Traffic of one decode step shared by ``len(contexts)`` sequences.
 
     ``fetched[i]`` (default: ``contexts[i]``) is the number of member
     *i*'s cached tokens whose K/V must actually stream from DRAM — the
     per-resident-block accounting of the paged KV cache, where a block
-    already fetched for an earlier member this step is free.
+    already fetched for an earlier member this step is free.  ``tp``
+    accounts one tensor-parallel shard (see :func:`decode_traffic`).
     """
     if not contexts:
         raise SimulationError(
@@ -155,7 +163,7 @@ def batched_decode_traffic(model: ModelConfig, quant: QuantConfig,
         raise SimulationError(
             f"fetched has {len(fetched)} entries for "
             f"{len(contexts)} contexts")
-    base = decode_traffic(model, quant, 0)
+    base = decode_traffic(model, quant, 0, tp)
     batch = len(contexts)
     kv_read = 0.0
     kv_read_private = 0.0
@@ -163,9 +171,9 @@ def batched_decode_traffic(model: ModelConfig, quant: QuantConfig,
         if not 0 <= fetch <= ctx:
             raise SimulationError(
                 f"fetched tokens {fetch} outside [0, {ctx}]")
-        t = decode_traffic(model, quant, fetch)
+        t = decode_traffic(model, quant, fetch, tp)
         kv_read += t.kv_read_bytes + t.kv_read_pack_bytes
-        p = t if fetch == ctx else decode_traffic(model, quant, ctx)
+        p = t if fetch == ctx else decode_traffic(model, quant, ctx, tp)
         kv_read_private += p.kv_read_bytes + p.kv_read_pack_bytes
     return BatchDecodeTraffic(
         weight_bytes=base.weight_bytes,

@@ -99,6 +99,30 @@ def fp16_matvec(w, x, lanes: int = 128) -> np.ndarray:
     return fp16(acc)
 
 
+def fp16_tree_combine(vectors) -> np.ndarray:
+    """Elementwise pairwise-tree sum of a list of FP16 vectors.
+
+    Models a hardware all-reduce over 2^k devices whose combining
+    elements are FP16 adders: partial sums merge pairwise, rounding to
+    FP16 at every tree level — the same shape as :func:`fp16_tree_sum`,
+    lifted to whole vectors.  When each input is the tile/tree partial
+    of a contiguous power-of-two slice of one dot product, this
+    reproduces the single-device adder tree bit for bit (the property
+    the tensor-parallel functional backend relies on).
+    """
+    level = [fp16(v) for v in vectors]
+    if not level:
+        raise ValueError("tree combine needs at least one vector")
+    while len(level) > 1:
+        merged = [fp16(level[i].astype(np.float32)
+                       + level[i + 1].astype(np.float32))
+                  for i in range(0, len(level) - 1, 2)]
+        if len(level) % 2:
+            merged.append(level[-1])
+        level = merged
+    return level[0]
+
+
 def fp16_dot_tiled(a, b, lanes: int = 128) -> np.float16:
     """Dot product of arbitrary length, accumulated ``lanes`` at a time.
 

@@ -7,6 +7,7 @@ from .figures import (
     fig4_arrangement_comparison,
     fig5_component_throughput,
 )
+from .cluster import replica_table, scaling_table
 from .tables import format_table, table1_resources, table2_fpga, table3_edge
 
 __all__ = [
@@ -16,6 +17,8 @@ __all__ = [
     "fig4_arrangement_comparison",
     "fig5_component_throughput",
     "format_table",
+    "replica_table",
+    "scaling_table",
     "table1_resources",
     "table2_fpga",
     "table3_edge",

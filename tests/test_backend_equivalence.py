@@ -21,6 +21,12 @@ observable behaviour is invariant to the backend/KV combination:
 
 import pytest
 
+from repro.cluster import (
+    TEN_GIG_ETHERNET,
+    ShardedAnalyticalBackend,
+    ShardedCycleBackend,
+    ShardedFunctionalBackend,
+)
 from repro.config import LLAMA2_7B, TINY_MODEL, W4A16_KV8, QuantConfig
 from repro.core.cyclemodel import CycleModel
 from repro.engine import (
@@ -193,3 +199,59 @@ class TestAnalyticalTracksCycleModel:
             times[name] = run_engine(
                 backend, shared_prefix_trace()).total_time_s
         assert times["analytical"] <= times["cycle"]
+
+
+class TestShardedEquivalence:
+    """Cluster equivalence: a TP group is still the same engine.
+
+    The functional TP=2 (and TP=4) group must retire every request with
+    exactly the token stream of the single-device reference — the FP16
+    tree reduction reproducing the DOT engine's rounding — and the
+    sharded analytical roofline must stay within tolerance of the
+    sharded cycle model in the bandwidth-bound regime.
+    """
+
+    @pytest.mark.parametrize("kv_mode", KV_MODES)
+    @pytest.mark.parametrize("tp", [2, 4])
+    def test_functional_tp_streams_match_tp1(self, tp, kv_mode,
+                                             tiny_qweights, reference):
+        backend = ShardedFunctionalBackend(
+            tiny_qweights, tp=tp, kv_mode=kv_mode, block_size=BLOCK_SIZE,
+            n_kv_blocks=BUDGET_TOKENS // BLOCK_SIZE)
+        report = run_engine(backend, shared_prefix_trace())
+        assert streams_of(report) == streams_of(reference)
+        assert {r.request_id: r.finish_reason for r in report.results} \
+            == {r.request_id: r.finish_reason
+                for r in reference.results}
+
+    def test_sharded_functional_and_cycle_clocks_agree(self, tiny_qweights,
+                                                       quant32, oracle):
+        """Same per-shard cost model + same comm model + same tokens
+        => identical cluster clocks."""
+        fn = ShardedFunctionalBackend(
+            tiny_qweights, tp=2, kv_mode="slotted", block_size=BLOCK_SIZE,
+            n_kv_blocks=BUDGET_TOKENS // BLOCK_SIZE)
+        cy = ShardedCycleBackend(
+            TINY_MODEL, quant32, tp=2, kv_mode="slotted",
+            block_size=BLOCK_SIZE,
+            n_kv_blocks=BUDGET_TOKENS // BLOCK_SIZE, n_slots=MAX_BATCH,
+            token_oracle=oracle)
+        fn_report = run_engine(fn, shared_prefix_trace())
+        cy_report = run_engine(cy, shared_prefix_trace())
+        assert fn_report.total_time_s \
+            == pytest.approx(cy_report.total_time_s, rel=1e-12)
+
+    def test_analytical_tp_tracks_sharded_cycle_model(self):
+        """On LLaMA2-7B the sharded roofline and the sharded cycle
+        model must agree closely: both charge 1/tp of the DRAM bytes
+        plus the identical collective time."""
+        trace = synthetic_trace(LLAMA2_7B, 6, arrival_rate_rps=1e9,
+                                seed=3, shared_prefix_len=16)
+        times = {}
+        for cls in (ShardedCycleBackend, ShardedAnalyticalBackend):
+            backend = cls(LLAMA2_7B, W4A16_KV8, tp=2,
+                          interconnect=TEN_GIG_ETHERNET,
+                          n_slots=MAX_BATCH)
+            times[cls] = run_engine(backend, trace).total_time_s
+        ratio = times[ShardedAnalyticalBackend] / times[ShardedCycleBackend]
+        assert ratio == pytest.approx(1.0, rel=0.05)

@@ -1,0 +1,59 @@
+"""CLI coverage for the multi-accelerator serving flags."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+def test_serve_sim_prints_ttft_percentiles(capsys):
+    code, out = run(capsys, "serve-sim", "--model", "tiny-test",
+                    "--requests", "6")
+    assert code == 0
+    for token in ("TTFT p50", "TTFT p95", "TTFT p99", "token lat p50"):
+        assert token in out
+
+
+def test_serve_sim_tp_cycle(capsys):
+    code, out = run(capsys, "serve-sim", "--model", "tiny-test",
+                    "--requests", "6", "--tp", "2",
+                    "--interconnect", "Aurora-x4")
+    assert code == 0
+    assert "tp 2 x 1 replicas over Aurora-x4" in out
+
+
+def test_serve_sim_replicated_functional_paged(capsys):
+    code, out = run(capsys, "serve-sim", "--model", "tiny-test",
+                    "--backend", "functional", "--requests", "8",
+                    "--tp", "2", "--replicas", "2",
+                    "--router", "prefix_affinity",
+                    "--kv", "paged", "--shared-prefix", "16")
+    assert code == 0
+    assert "replica" in out        # per-replica table
+    assert "prefix reuse" in out
+
+
+def test_serve_sim_unknown_interconnect_exits():
+    with pytest.raises(SystemExit):
+        main(["serve-sim", "--model", "tiny-test", "--tp", "2",
+              "--interconnect", "carrier-pigeon"])
+
+
+def test_serve_sim_tp_must_divide_model():
+    with pytest.raises(SystemExit):
+        main(["serve-sim", "--model", "tiny-test", "--tp", "3"])
+
+
+def test_bench_serve_scaling_sweep(capsys):
+    """The TP x DP grid on the bandwidth-bound model must scale."""
+    code, out = run(capsys, "bench-serve", "--scaling-sweep",
+                    "--requests", "6", "--max-batch", "4")
+    assert code == 0
+    assert "TP x DP scaling" in out
+    assert "tensor-parallel scaling HOLDS" in out
+    # All six grid points rendered.
+    assert out.count("tok") >= 6

@@ -1,0 +1,113 @@
+"""Interconnect link model: collective algebra and TP comm accounting."""
+
+import pytest
+
+from repro.cluster.interconnect import (
+    AURORA_MESH,
+    GIG_ETHERNET,
+    TEN_GIG_ETHERNET,
+    LinkSpec,
+    TPCommModel,
+    all_gather_cost,
+    all_reduce_cost,
+)
+from repro.config import KV260, LLAMA2_7B, TINY_MODEL, W4A16_KV8
+from repro.errors import SimulationError
+
+RING = LinkSpec("test-ring", 1e9, 10e-6, "ring")
+MESH = LinkSpec("test-mesh", 1e9, 10e-6, "all_to_all")
+
+
+class TestCollectives:
+    def test_single_device_is_free(self):
+        for fn in (all_reduce_cost, all_gather_cost):
+            cost = fn(RING, 1, 1 << 20)
+            assert cost.time_s == 0.0 and cost.wire_bytes == 0.0
+
+    def test_zero_payload_is_free(self):
+        assert all_reduce_cost(RING, 4, 0).time_s == 0.0
+
+    def test_ring_all_reduce_closed_form(self):
+        n, payload = 4, 1 << 20
+        cost = all_reduce_cost(RING, n, payload)
+        steps = 2 * (n - 1)
+        chunk = payload / n
+        assert cost.steps == steps
+        assert cost.time_s == pytest.approx(
+            steps * (chunk / RING.bandwidth_bytes_per_s + RING.latency_s))
+        assert cost.wire_bytes == pytest.approx(steps * chunk)
+
+    def test_mesh_beats_ring_on_latency(self):
+        """Same bandwidth term, but all-to-all pays two hops always."""
+        ring = all_reduce_cost(RING, 8, 4096)
+        mesh = all_reduce_cost(MESH, 8, 4096)
+        assert mesh.time_s < ring.time_s
+        assert mesh.wire_bytes == pytest.approx(ring.wire_bytes)
+
+    def test_all_gather_is_half_an_all_reduce_on_ring(self):
+        reduce = all_reduce_cost(RING, 4, 1 << 16)
+        gather = all_gather_cost(RING, 4, 1 << 16)
+        assert gather.time_s == pytest.approx(reduce.time_s / 2)
+
+    def test_wire_bytes_grow_with_devices(self):
+        costs = [all_reduce_cost(RING, n, 1 << 20).wire_bytes
+                 for n in (2, 4, 8)]
+        assert costs == sorted(costs)
+
+    def test_bad_specs_raise(self):
+        with pytest.raises(SimulationError):
+            LinkSpec("bad", 0, 1e-6)
+        with pytest.raises(SimulationError):
+            LinkSpec("bad", 1e9, -1.0)
+        with pytest.raises(SimulationError):
+            LinkSpec("bad", 1e9, 1e-6, "torus")
+        with pytest.raises(SimulationError):
+            all_reduce_cost(RING, 0, 10)
+
+
+class TestTPCommModel:
+    def make(self, model=LLAMA2_7B, link=TEN_GIG_ETHERNET, tp=2):
+        return TPCommModel(model, W4A16_KV8, link, tp, KV260.pl_freq_hz)
+
+    def test_tp1_charges_nothing(self):
+        comm = self.make(tp=1)
+        assert comm.decode_step_cycles(8) == 0.0
+        assert comm.prefill_cycles(64) == 0.0
+
+    def test_decode_step_counts_two_reduces_per_layer(self):
+        comm = self.make()
+        cost = comm.decode_step_cost(1)
+        reduce = all_reduce_cost(TEN_GIG_ETHERNET, 2, comm.hidden_bytes)
+        gather = all_gather_cost(TEN_GIG_ETHERNET, 2, comm.logits_bytes)
+        expected = 2 * LLAMA2_7B.num_layers * reduce.time_s + gather.time_s
+        assert cost.time_s == pytest.approx(expected)
+
+    def test_batch_amortizes_latency(self):
+        """A batched all-reduce moves more bytes but far fewer hops than
+        one collective per member."""
+        comm = self.make(link=GIG_ETHERNET)
+        batched = comm.decode_step_cost(8).time_s
+        serial = 8 * comm.decode_step_cost(1).time_s
+        assert batched < serial
+
+    def test_prefill_gathers_logits_once(self):
+        comm = self.make()
+        two = comm.prefill_cost(2)
+        one = comm.prefill_cost(1)
+        gather = all_gather_cost(TEN_GIG_ETHERNET, 2, comm.logits_bytes)
+        reduce = all_reduce_cost(TEN_GIG_ETHERNET, 2, comm.hidden_bytes)
+        assert two.time_s - one.time_s == pytest.approx(
+            2 * LLAMA2_7B.num_layers * reduce.time_s)
+        assert one.time_s > gather.time_s  # but includes exactly one
+
+    def test_cycles_follow_the_pl_clock(self):
+        comm = self.make(model=TINY_MODEL)
+        cost = comm.decode_step_cost(4)
+        assert comm.decode_step_cycles(4) \
+            == pytest.approx(cost.time_s * KV260.pl_freq_hz)
+
+    def test_aurora_mesh_cheapest_on_small_payloads(self):
+        tiny_gige = self.make(model=TINY_MODEL, link=GIG_ETHERNET, tp=4)
+        tiny_mesh = self.make(model=TINY_MODEL, link=AURORA_MESH, tp=4)
+        assert tiny_mesh.decode_step_cost(1).time_s \
+            < tiny_gige.decode_step_cost(1).time_s

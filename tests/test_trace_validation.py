@@ -1,0 +1,112 @@
+"""Synthetic-trace validation and the TTFT percentile metric.
+
+Regression coverage for two satellites: ``shared_prefix_len`` must be
+validated/clamped against the prompt-length range instead of silently
+distorting the trace, and :class:`ServeReport` exposes TTFT
+percentiles next to the decode-latency ones.
+"""
+
+import pytest
+
+from repro.config import TINY_MODEL, QuantConfig
+from repro.engine import (
+    ContinuousBatchScheduler,
+    CycleModelBackend,
+    ServeReport,
+    synthetic_trace,
+)
+from repro.errors import SimulationError
+from repro.stats import percentile_nearest_rank
+
+
+@pytest.fixture(scope="module")
+def quant32():
+    return QuantConfig(weight_group_size=32)
+
+
+class TestSharedPrefixValidation:
+    def test_prompts_always_contain_the_full_prefix(self):
+        """No generated prompt may be shorter than the shared prefix."""
+        trace = synthetic_trace(TINY_MODEL, 16, prompt_len=(1, 8),
+                                shared_prefix_len=32, seed=5)
+        prefix = trace[0].prompt[:32]
+        for request in trace:
+            assert len(request.prompt) > 32
+            assert request.prompt[:32] == prefix
+
+    def test_prefix_crowding_out_min_tail_raises(self):
+        # 60 prefix + 3 tail + 1 decode token >= 64-token context.
+        with pytest.raises(SimulationError, match="shared prefix"):
+            synthetic_trace(TINY_MODEL, 4, prompt_len=(3, 8),
+                            shared_prefix_len=60)
+
+    def test_oversized_tail_range_is_clamped_not_collapsed(self):
+        """A top-of-range clamp keeps the draw uniform over what fits:
+        the old per-sample min() piled every oversized draw onto the
+        cap, silently changing the distribution."""
+        # Prefix 48 in a 64-token context caps tails at 14 (< hi=60).
+        trace = synthetic_trace(TINY_MODEL, 64, prompt_len=(2, 60),
+                                shared_prefix_len=48, seed=1)
+        tails = [len(r.prompt) - 48 for r in trace]
+        assert max(tails) <= 14
+        assert min(tails) >= 2
+        # Uniform over [2, 14]: the cap value must not dominate.
+        assert tails.count(14) < len(tails) // 3
+
+    def test_every_request_fits_context_with_decode_room(self):
+        trace = synthetic_trace(TINY_MODEL, 32, prompt_len=(2, 60),
+                                decode_len=(8, 32),
+                                shared_prefix_len=40, seed=2)
+        for request in trace:
+            assert len(request.prompt) + 1 <= TINY_MODEL.max_context
+            assert request.max_new_tokens >= 1
+
+    def test_unclamped_traces_are_unchanged(self):
+        """The clamp only engages when the range does not fit — the
+        PR 2 shared-prefix traces replay identically."""
+        a = synthetic_trace(TINY_MODEL, 8, prompt_len=(2, 6),
+                            shared_prefix_len=32, seed=23)
+        b = synthetic_trace(TINY_MODEL, 8, prompt_len=(2, 6),
+                            shared_prefix_len=32, seed=23)
+        assert [r.prompt for r in a] == [r.prompt for r in b]
+        assert max(len(r.prompt) for r in a) <= 32 + 6
+
+    def test_negative_prefix_rejected(self):
+        with pytest.raises(SimulationError):
+            synthetic_trace(TINY_MODEL, 4, shared_prefix_len=-1)
+
+
+class TestTTFTPercentiles:
+    @pytest.fixture(scope="class")
+    def report(self, quant32) -> ServeReport:
+        backend = CycleModelBackend(TINY_MODEL, quant32, n_slots=4)
+        engine = ContinuousBatchScheduler(backend, max_batch=4,
+                                          kv_token_budget=256)
+        trace = synthetic_trace(TINY_MODEL, 12, arrival_rate_rps=1e6,
+                                prompt_len=(2, 10), decode_len=(4, 12),
+                                seed=9)
+        return engine.run(trace)
+
+    def test_matches_nearest_rank_over_ttfts(self, report):
+        ttfts = [r.ttft_s for r in report.results]
+        for p in (0, 50, 95, 99, 100):
+            assert report.ttft_percentile_s(p) \
+                == percentile_nearest_rank(ttfts, p)
+
+    def test_monotone_and_bracketed(self, report):
+        p50 = report.ttft_percentile_s(50)
+        p95 = report.ttft_percentile_s(95)
+        p99 = report.ttft_percentile_s(99)
+        assert p50 <= p95 <= p99
+        assert report.ttft_percentile_s(0) \
+            == min(r.ttft_s for r in report.results)
+        assert report.ttft_percentile_s(100) \
+            == max(r.ttft_s for r in report.results)
+
+    def test_empty_report_raises(self):
+        with pytest.raises(SimulationError):
+            ServeReport().ttft_percentile_s(50)
+
+    def test_out_of_range_percentile_raises(self, report):
+        with pytest.raises(SimulationError):
+            report.ttft_percentile_s(101)
