@@ -1,0 +1,225 @@
+"""Simulator-performance trajectory: how fast the simulator itself runs.
+
+Every other benchmark in this directory measures the *modeled* hardware;
+this one measures the wall-clock cost of running the models.  Each
+section times an optimized path against the pre-optimization baseline
+kept in-tree for exactly this purpose (and for the bit-exactness tests):
+
+* functional decode — ``QuantizedModel.forward_batch`` (stacked
+  matmuls, batched attention kernels, vectorized KV gathers) vs the
+  scalar per-token reference ``forward_token_reference`` at batch 1, 8,
+  and 16;
+* functional prefill — all prompt positions per layer as one matmul vs
+  the sequential scalar path;
+* timing-backend sweeps — a 1k-request continuous-batching run on the
+  cycle-model and analytical backends with memoized step costs plus the
+  scheduler's fast-forward windows, vs ``reference_costs=True`` with
+  the step-by-step loop (the pre-optimization cost path, still the
+  oracle of the differential tests).
+
+Results go to ``BENCH_simperf.json`` at the repo root (machine-readable
+trajectory for later PRs to diff) and ``benchmarks/results/simperf.txt``.
+The assertions double as the CI smoke budget: optimized wall times and
+minimum speedups that fail loudly on regression.  Speedup floors are set
+well under the recorded values to absorb shared-runner noise.
+
+All timed pairs compute bit-identical results — that is pinned by
+``tests/test_batched_kernels.py`` and ``tests/test_backend_equivalence.py``,
+not here.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.config import SMALL_MODEL, TINY_MODEL, QuantConfig
+from repro.engine import (
+    AnalyticalBackend,
+    ContinuousBatchScheduler,
+    CycleModelBackend,
+    synthetic_trace,
+)
+from repro.model.kvcache import SlottedKVCache
+from repro.model.quantized import QuantizedModel
+from repro.model.weights import quantize_model, random_weights
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+RECORD_PATH = REPO_ROOT / "BENCH_simperf.json"
+
+QUANT = QuantConfig(weight_group_size=32)
+DECODE_CONTEXT = 96
+DECODE_BATCHES = (1, 8, 16)
+SWEEP_REQUESTS = 1000
+
+#: accumulated section results, written by bench_write_record (last in
+#: file, so pytest runs it after every measuring bench).
+RECORD: dict = {"schema": "simperf-v1", "sections": {}}
+
+
+def _model(config=SMALL_MODEL) -> QuantizedModel:
+    return QuantizedModel(quantize_model(random_weights(config, seed=7),
+                                         QUANT))
+
+
+def _prefilled_views(model, batch: int, context: int):
+    slots = SlottedKVCache(model.config, batch, QUANT.kv_bits)
+    prompt = [1 + (i % (model.config.vocab_size - 2))
+              for i in range(context)]
+    views = []
+    for _ in range(batch):
+        slot = slots.allocate()
+        model.prefill(prompt, slots.view(slot))
+        views.append(slots.view(slot))
+    return views
+
+
+def bench_functional_decode(save_result):
+    """Batched decode vs the scalar per-sequence reference path."""
+    model = _model()
+    rows = []
+    for batch in DECODE_BATCHES:
+        views = _prefilled_views(model, batch, DECODE_CONTEXT)
+        ref_views = _prefilled_views(model, batch, DECODE_CONTEXT)
+        tokens = [10 + i for i in range(batch)]
+
+        steps = 3 if batch >= 8 else 4
+        start = time.perf_counter()
+        for j in range(steps):
+            for i in range(batch):
+                model.forward_token_reference(tokens[i], ref_views[i],
+                                              DECODE_CONTEXT + j)
+        baseline_ms = (time.perf_counter() - start) / steps * 1e3
+
+        steps = 8
+        start = time.perf_counter()
+        for j in range(steps):
+            model.forward_batch(tokens, views,
+                                [DECODE_CONTEXT + j] * batch)
+        optimized_ms = (time.perf_counter() - start) / steps * 1e3
+
+        rows.append({"batch": batch, "context": DECODE_CONTEXT,
+                     "baseline_ms_per_step": round(baseline_ms, 2),
+                     "optimized_ms_per_step": round(optimized_ms, 2),
+                     "speedup": round(baseline_ms / optimized_ms, 2)})
+    RECORD["sections"]["functional_decode"] = {
+        "model": model.config.name, "rows": rows}
+    # Smoke budget: the batched path must stay fast and clearly ahead.
+    headline = rows[-1]
+    assert headline["optimized_ms_per_step"] < 500
+    assert headline["speedup"] >= 4.0
+    save_result("simperf_decode", json.dumps(rows, indent=2))
+
+
+def bench_functional_prefill(save_result):
+    """Whole-prompt-per-layer prefill vs sequential scalar forwards."""
+    model = _model()
+    prompt = list(range(1, DECODE_CONTEXT + 1))
+
+    from repro.model.kvcache import QuantizedKVCache
+
+    start = time.perf_counter()
+    cache = QuantizedKVCache(model.config, QUANT.kv_bits)
+    for pos, tok in enumerate(prompt):
+        model.forward_token_reference(tok, cache, pos)
+    baseline_ms = (time.perf_counter() - start) * 1e3
+
+    start = time.perf_counter()
+    model.prefill(prompt)
+    optimized_ms = (time.perf_counter() - start) * 1e3
+
+    section = {"model": model.config.name, "prompt_len": len(prompt),
+               "baseline_ms": round(baseline_ms, 1),
+               "optimized_ms": round(optimized_ms, 1),
+               "speedup": round(baseline_ms / optimized_ms, 2)}
+    RECORD["sections"]["functional_prefill"] = section
+    assert section["speedup"] >= 2.0
+    save_result("simperf_prefill", json.dumps(section, indent=2))
+
+
+def _sweep(backend_cls, n_requests: int, reference: bool) -> dict:
+    trace = synthetic_trace(TINY_MODEL, n_requests,
+                            arrival_rate_rps=2000.0, seed=5,
+                            prompt_len=(4, 16), decode_len=(8, 48))
+    backend = backend_cls(TINY_MODEL, QUANT, n_slots=16,
+                          reference_costs=reference)
+    engine = ContinuousBatchScheduler(backend, max_batch=16,
+                                      fast_forward=not reference)
+    start = time.perf_counter()
+    report = engine.run(trace)
+    wall_s = time.perf_counter() - start
+    return {"wall_s": round(wall_s, 3), "n_steps": report.n_steps,
+            "total_time_s": report.total_time_s}
+
+
+def bench_timing_backend_sweeps(save_result):
+    """1k-request serving sweeps: memoized + fast-forwarded vs the
+    original schedule/traffic builders stepped one by one."""
+    rows = {}
+    for name, cls in (("cycle", CycleModelBackend),
+                      ("analytical", AnalyticalBackend)):
+        baseline = _sweep(cls, SWEEP_REQUESTS, reference=True)
+        optimized = _sweep(cls, SWEEP_REQUESTS, reference=False)
+        # Same trace, same scheduler: the simulated outcome is identical
+        # (the equivalence tests pin it bitwise); only wall time moves.
+        assert baseline["n_steps"] == optimized["n_steps"]
+        rows[name] = {
+            "n_requests": SWEEP_REQUESTS,
+            "n_steps": optimized["n_steps"],
+            "baseline_wall_s": baseline["wall_s"],
+            "optimized_wall_s": optimized["wall_s"],
+            "speedup": round(baseline["wall_s"] / optimized["wall_s"], 1),
+        }
+    RECORD["sections"]["timing_sweeps"] = {"model": TINY_MODEL.name,
+                                           "rows": rows}
+    # Smoke budgets: the optimized 1k-request sweep must stay cheap and
+    # the cycle-model path decisively faster than the full builders.
+    assert rows["cycle"]["optimized_wall_s"] < 20.0
+    assert rows["cycle"]["speedup"] >= 10.0
+    assert rows["analytical"]["speedup"] >= 1.2
+    save_result("simperf_sweeps", json.dumps(rows, indent=2))
+
+
+def bench_write_record(save_result):
+    """Persist the machine-readable trajectory (runs last in this file)."""
+    sections = RECORD["sections"]
+    assert set(sections) == {"functional_decode", "functional_prefill",
+                             "timing_sweeps"}, sections
+    RECORD["note"] = (
+        "wall-clock of the simulator itself; every optimized/baseline "
+        "pair computes bit-identical results (see "
+        "tests/test_batched_kernels.py and "
+        "tests/test_backend_equivalence.py)")
+    RECORD_PATH.write_text(json.dumps(RECORD, indent=2) + "\n")
+
+    lines = ["Simulator performance (simperf) — optimized vs in-tree "
+             "pre-optimization baselines",
+             f"functional model: {SMALL_MODEL.name}, timing sweeps: "
+             f"{TINY_MODEL.name} x {SWEEP_REQUESTS} requests", ""]
+    for row in sections["functional_decode"]["rows"]:
+        lines.append(
+            f"  decode  batch {row['batch']:2d} @ctx {row['context']}: "
+            f"{row['baseline_ms_per_step']:9.1f} -> "
+            f"{row['optimized_ms_per_step']:7.1f} ms/step "
+            f"({row['speedup']:.1f}x)")
+    pf = sections["functional_prefill"]
+    lines.append(f"  prefill {pf['prompt_len']} tokens:      "
+                 f"{pf['baseline_ms']:9.1f} -> {pf['optimized_ms']:7.1f} "
+                 f"ms      ({pf['speedup']:.1f}x)")
+    for name, row in sections["timing_sweeps"]["rows"].items():
+        lines.append(
+            f"  {name:10s} sweep ({row['n_requests']} req, "
+            f"{row['n_steps']} steps): {row['baseline_wall_s']:7.2f} -> "
+            f"{row['optimized_wall_s']:6.2f} s   ({row['speedup']:.1f}x)")
+    save_result("simperf", "\n".join(lines))
+
+
+if __name__ == "__main__":
+    def _print_result(name, text):
+        print(f"[{name}]\n{text}\n")
+
+    bench_functional_decode(_print_result)
+    bench_functional_prefill(_print_result)
+    bench_timing_backend_sweeps(_print_result)
+    bench_write_record(_print_result)

@@ -39,11 +39,12 @@ from ..engine.request import RequestState
 from ..errors import CapacityError, SimulationError
 from ..kv import PagedKVCache, blocks_for_budget
 from ..model.kvcache import SlottedKVCache
-from ..numerics.fp16 import fp16, fp16_matvec, fp16_tree_combine
-from ..numerics.rmsnorm import two_pass_rmsnorm
+from ..model.quantized import attend_grouped
+from ..numerics.fp16 import (as_fp16_grid, fp16, fp16_matmul_t,
+                             fp16_matvec, fp16_tree_combine)
+from ..numerics.rmsnorm import batched_two_pass_rmsnorm, two_pass_rmsnorm
 from ..numerics.rope import HardwareRope
 from ..numerics.silu import hardware_gated_silu, hardware_silu
-from ..numerics.softmax import three_pass_softmax
 from .interconnect import TEN_GIG_ETHERNET, LinkSpec, TPCommModel
 from .sharding import (FunctionalShard, functional_reduction_is_exact,
                        shard_functional_weights, validate_tp)
@@ -107,6 +108,14 @@ class _ShardedTimingMixin:
     def prefill_cycles(self, n_tokens: int, start: int = 0) -> float:
         return super().prefill_cycles(n_tokens, start) \
             + self.comm.prefill_cycles(n_tokens - start)
+
+    def _fast_forward_cycles(self, contexts, fetched, n_steps):
+        """Per-shard window cycles plus the (batch-constant) collective
+        time, added per step in the same order as :meth:`step_cycles`."""
+        comm = self.comm.decode_step_cycles(len(contexts))
+        return [c + comm
+                for c in super()._fast_forward_cycles(contexts, fetched,
+                                                      n_steps)]
 
     def derive_kv_token_budget(self, cap_tokens: int, system=None) -> int:
         return derive_tp_kv_token_budget(
@@ -183,6 +192,21 @@ class _ShardWorker:
         self.lanes = lanes
         cfg = shard.config
         self.rope = HardwareRope(cfg.head_dim, cfg.rope_theta)
+        group = cfg.num_heads // cfg.kv_heads
+        self._head_map = np.repeat(np.arange(shard.local_kv_heads), group)
+        self._inv_sqrt_d = fp16(1.0 / np.sqrt(cfg.head_dim)) \
+            .astype(np.float32)
+        # Float32 copies carrying the FP16-grid weight values — the
+        # tiled kernels' native representation (shard.mats stays float16
+        # for the tiling validators).
+        # (in, out)-contiguous float32 weights for the transposed matmul
+        # kernel (shard.mats stays float16 for the tiling validators).
+        self._mats32_t = [
+            {name: as_fp16_grid(np.asarray(mat, dtype=np.float32).T)
+             for name, mat in layer.items()}
+            for layer in shard.mats]
+        self._lm_head32 = as_fp16_grid(shard.lm_head)
+        self._lm_head32_t = as_fp16_grid(self._lm_head32.T)
         if kv_mode == "paged":
             assert n_kv_blocks is not None
             self.kv: PagedKVCache | SlottedKVCache = PagedKVCache(
@@ -195,60 +219,73 @@ class _ShardWorker:
     def _matvec(self, mat: np.ndarray, x: np.ndarray) -> np.ndarray:
         return fp16_matvec(mat, x, lanes=self.lanes)
 
-    def attention_partial(self, layer_idx: int, x: np.ndarray,
-                          cache, position: int) -> np.ndarray:
-        """This shard's row-parallel O partial for one token."""
+    def _matmul_t(self, mat_t: np.ndarray, x: np.ndarray) -> np.ndarray:
+        return fp16_matmul_t(mat_t, x, lanes=self.lanes)
+
+    def _attend_many(self, layer_idx: int, q: np.ndarray, caches,
+                     lengths) -> np.ndarray:
+        """All local heads' scaled-dot attention for several rows.
+
+        One shared implementation with the single-device model
+        (:func:`repro.model.quantized.attend_grouped`), over this
+        shard's local heads — global and local GQA offsets cancel per
+        shard, so the local head map is exact.
+        """
+        return attend_grouped(q, caches, layer_idx, lengths,
+                              self._head_map, self._inv_sqrt_d,
+                              lanes=self.lanes)
+
+    def attention_partial_batch(self, layer_idx: int, x: np.ndarray,
+                                caches, positions) -> np.ndarray:
+        """This shard's row-parallel O partials for a stack of tokens.
+
+        ``x`` is (n, hidden) with one cache view and position per row —
+        either n concurrent sequences (decode) or n prompt positions of
+        one sequence (prefill; same view repeated, appends land before
+        any row attends, which matches the sequential order because
+        appends only extend the history a causal slice never reads).
+        """
         cfg = self.shard.config
         d = cfg.head_dim
-        mats = self.shard.mats[layer_idx]
+        mats = self._mats32_t[layer_idx]
         input_norm, _ = self.shard.norms[layer_idx]
-        normed = two_pass_rmsnorm(x, input_norm, cfg.norm_eps)
+        normed = batched_two_pass_rmsnorm(x, input_norm, cfg.norm_eps)
 
         local_heads = self.shard.local_heads
         local_kv = self.shard.local_kv_heads
-        q = self._matvec(mats["wq"], normed).reshape(local_heads, d)
-        k = self._matvec(mats["wk"], normed).reshape(local_kv, d)
-        v = self._matvec(mats["wv"], normed).reshape(local_kv, d)
+        q = self._matmul_t(mats["wq"], normed.T).T \
+            .reshape(-1, local_heads, d)
+        k = self._matmul_t(mats["wk"], normed.T).T.reshape(-1, local_kv, d)
+        v = self._matmul_t(mats["wv"], normed.T).T.reshape(-1, local_kv, d)
+        q = self.rope.apply_many(q, positions)
+        k = self.rope.apply_many(k, positions)
+        for i, (cache, position) in enumerate(zip(caches, positions)):
+            cache.append(layer_idx, k[i], v[i], position)
+        attn = self._attend_many(layer_idx, q, caches,
+                                 [p + 1 for p in positions])
+        return self._matmul_t(mats["wo"], attn.T).T
 
-        q = np.stack([self.rope.apply(q[h], position)
-                      for h in range(local_heads)])
-        k = np.stack([self.rope.apply(k[h], position)
-                      for h in range(local_kv)])
-        cache.append(layer_idx, k, v, position)
-        length = position + 1
-
-        group = cfg.num_heads // cfg.kv_heads
-        inv_sqrt_d = fp16(1.0 / np.sqrt(d)).astype(np.float32)
-        head_outputs = []
-        for h in range(local_heads):
-            kv_h = h // group  # global and local offsets cancel per shard
-            keys = cache.keys(layer_idx, kv_h, length).astype(np.float32)
-            values = cache.values(layer_idx, kv_h, length).astype(np.float32)
-            scores = fp16_matvec(keys, q[h], lanes=self.lanes)
-            scores = fp16(scores.astype(np.float32) * inv_sqrt_d)
-            probs = three_pass_softmax(scores)
-            head_outputs.append(fp16_matvec(values.T, probs,
-                                            lanes=self.lanes))
-        attn = np.concatenate(head_outputs)
-        return self._matvec(mats["wo"], attn)
-
-    def mlp_partial(self, layer_idx: int, x: np.ndarray) -> np.ndarray:
-        """This shard's row-parallel down-projection partial."""
+    def mlp_partial_batch(self, layer_idx: int, x: np.ndarray) -> np.ndarray:
+        """This shard's row-parallel down partials: ``x`` is (n, hidden)."""
         cfg = self.shard.config
-        mats = self.shard.mats[layer_idx]
+        mats = self._mats32_t[layer_idx]
         _, post_norm = self.shard.norms[layer_idx]
-        normed = two_pass_rmsnorm(x, post_norm, cfg.norm_eps)
-        up = self._matvec(mats["w_up"], normed)
+        normed = batched_two_pass_rmsnorm(x, post_norm, cfg.norm_eps)
+        up = self._matmul_t(mats["w_up"], normed.T)
         if cfg.gated_mlp:
-            gate = self._matvec(mats["w_gate"], normed)
+            gate = self._matmul_t(mats["w_gate"], normed.T)
             hidden = hardware_gated_silu(gate, up)
         else:
             hidden = hardware_silu(up)
-        return self._matvec(mats["w_down"], hidden)
+        return self._matmul_t(mats["w_down"], hidden).T
 
     def head_partial(self, normed: np.ndarray) -> np.ndarray:
         """This shard's vocabulary slice of the logits."""
-        return self._matvec(self.shard.lm_head, normed)
+        return self._matvec(self._lm_head32, normed)
+
+    def head_partial_batch(self, normed: np.ndarray) -> np.ndarray:
+        """Vocabulary-slice logits for a stack: (n, vocab / tp)."""
+        return self._matmul_t(self._lm_head32_t, normed.T).T
 
 
 class ShardedFunctionalBackend(_ShardedTimingMixin, _CycleTimedBackend):
@@ -331,26 +368,30 @@ class ShardedFunctionalBackend(_ShardedTimingMixin, _CycleTimedBackend):
             raise SimulationError(f"token {token} outside vocabulary")
         return self.embedding[token]
 
-    def _forward_token(self, token: int, slot: int, position: int,
-                       with_logits: bool = True) -> np.ndarray | None:
-        """One token through every shard; all-reduces between layers."""
-        views = [w.kv.view(slot) for w in self.workers]
-        x = self._embed(token)
+    def _forward_rows(self, tokens, view_rows, positions) -> np.ndarray:
+        """A stack of tokens through every shard; all-reduces per layer.
+
+        ``view_rows[i]`` holds one KV view per shard for row ``i`` —
+        distinct sequences for a batched decode step, or the same
+        sequence repeated for a prefill's prompt positions.  The
+        projections of all rows ride one matmul per shard per weight
+        matrix; the FP16 tree-combine of the row-parallel partials is
+        elementwise, so each row reduces exactly as it would alone.
+        Returns the final (n, hidden) hidden states.
+        """
+        x = fp16(np.stack([self._embed(t) for t in tokens]))
         for layer in range(self.model_config.num_layers):
-            partials = [w.attention_partial(layer, x, views[i], position)
-                        for i, w in enumerate(self.workers)]
+            partials = [
+                w.attention_partial_batch(
+                    layer, x, [row[i] for row in view_rows], positions)
+                for i, w in enumerate(self.workers)]
             out = fp16_tree_combine(partials)
             x = fp16(x.astype(np.float32) + out.astype(np.float32))
-            partials = [w.mlp_partial(layer, x) for w in self.workers]
+            partials = [w.mlp_partial_batch(layer, x)
+                        for w in self.workers]
             out = fp16_tree_combine(partials)
             x = fp16(x.astype(np.float32) + out.astype(np.float32))
-        if not with_logits:
-            return None
-        normed = two_pass_rmsnorm(x, self.final_norm,
-                                  self.model_config.norm_eps)
-        # All-gather of the vocabulary-sharded logits.
-        return np.concatenate([w.head_partial(normed)
-                               for w in self.workers])
+        return x
 
     # -- EngineBackend ------------------------------------------------------
 
@@ -364,11 +405,16 @@ class ShardedFunctionalBackend(_ShardedTimingMixin, _CycleTimedBackend):
                 f"request {state.request_id}: {len(tokens)} tokens exceed "
                 f"the {self.model_config.max_context}-token context")
         cached = self._cached_prefix(state)
-        logits = None
-        for position in range(cached, len(tokens)):
-            logits = self._forward_token(
-                tokens[position], state.slot, position,
-                with_logits=position == len(tokens) - 1)
+        positions = list(range(cached, len(tokens)))
+        views = [w.kv.view(state.slot) for w in self.workers]
+        hidden = self._forward_rows([tokens[p] for p in positions],
+                                    [views] * len(positions), positions)
+        normed = two_pass_rmsnorm(hidden[-1], self.final_norm,
+                                  self.model_config.norm_eps)
+        # All-gather of the vocabulary-sharded logits (last position only
+        # — its forward seeds the first sample).
+        logits = np.concatenate([w.head_partial(normed)
+                                 for w in self.workers])
         if self.paged_kv is not None:
             # The accounting twin has no data path: charge its occupancy
             # explicitly, then publish the prefix on every cache.
@@ -397,9 +443,18 @@ class ShardedFunctionalBackend(_ShardedTimingMixin, _CycleTimedBackend):
             if state.slot is None:
                 raise SimulationError(
                     f"request {state.request_id} not admitted")
-            token = state.pending_token
-            state.logits = self._forward_token(token, state.slot,
-                                               state.position)
+        view_rows = [[w.kv.view(s.slot) for w in self.workers]
+                     for s in states]
+        hidden = self._forward_rows([s.pending_token for s in states],
+                                    view_rows,
+                                    [s.position for s in states])
+        normed = batched_two_pass_rmsnorm(hidden, self.final_norm,
+                                          self.model_config.norm_eps)
+        # All-gather of the vocabulary-sharded logits, whole batch.
+        logits = np.concatenate([w.head_partial_batch(normed)
+                                 for w in self.workers], axis=1)
+        for i, state in enumerate(states):
+            state.logits = logits[i]
             if self.paged_kv is not None:
                 self.paged_kv.advance(state.slot)
             state.position += 1

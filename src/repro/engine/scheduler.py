@@ -76,6 +76,12 @@ class ServeReport:
     preemptions: int = 0
     max_batch_observed: int = 0
     step_batches: list[int] = field(default_factory=list)
+    #: lazy percentile caches — reports are built once and then queried;
+    #: mutate ``results`` and these go stale.
+    _decode_lat_sorted: list[float] | None = field(
+        default=None, init=False, repr=False, compare=False)
+    _ttft_sorted: list[float] | None = field(
+        default=None, init=False, repr=False, compare=False)
 
     @property
     def total_new_tokens(self) -> int:
@@ -99,23 +105,35 @@ class ServeReport:
             raise SimulationError("no decode steps recorded")
         return sum(self.step_batches) / len(self.step_batches)
 
+    def _sorted_decode_latencies(self) -> list[float]:
+        """Decode latencies flattened and sorted once, then reused by
+        every percentile query (serve-sim asks for three per report)."""
+        if self._decode_lat_sorted is None:
+            self._decode_lat_sorted = sorted(
+                s for r in self.results for s in r.decode_step_s)
+        return self._decode_lat_sorted
+
+    def _sorted_ttfts(self) -> list[float]:
+        if self._ttft_sorted is None:
+            self._ttft_sorted = sorted(r.ttft_s for r in self.results)
+        return self._ttft_sorted
+
     def latency_percentile_s(self, percentile: float) -> float:
         """Per-token decode latency percentile across all requests."""
-        from ..stats import percentile_nearest_rank
+        from ..stats import percentile_of_sorted
 
-        lats = [s for r in self.results for s in r.decode_step_s]
+        lats = self._sorted_decode_latencies()
         if not lats:
             raise SimulationError("no decode steps recorded")
-        return percentile_nearest_rank(lats, percentile)
+        return percentile_of_sorted(lats, percentile)
 
     def ttft_percentile_s(self, percentile: float) -> float:
         """Time-to-first-token percentile across retired requests."""
-        from ..stats import percentile_nearest_rank
+        from ..stats import percentile_of_sorted
 
         if not self.results:
             raise SimulationError("no retired requests")
-        return percentile_nearest_rank([r.ttft_s for r in self.results],
-                                       percentile)
+        return percentile_of_sorted(self._sorted_ttfts(), percentile)
 
 
 class ContinuousBatchScheduler:
@@ -124,11 +142,19 @@ class ContinuousBatchScheduler:
     def __init__(self, backend: EngineBackend,
                  system: "BareMetalSystem | None" = None,
                  max_batch: int = 8,
-                 kv_token_budget: int | None = None) -> None:
+                 kv_token_budget: int | None = None,
+                 fast_forward: bool = True) -> None:
         if max_batch <= 0:
             raise SimulationError(f"max_batch must be positive: {max_batch}")
         self.backend = backend
         self.max_batch = max_batch
+        #: timing-only backends may advance static windows in one call;
+        #: ``fast_forward=False`` forces the step-by-step loop (the
+        #: differential tests pin that both produce identical reports),
+        #: and a reference-cost backend is a deliberate baseline.
+        self.fast_forward = fast_forward \
+            and getattr(backend, "supports_fast_forward", False) \
+            and not getattr(backend, "reference_costs", False)
         model = backend.model_config
         self.paged_kv = getattr(backend, "paged_kv", None)
         if self.paged_kv is not None:
@@ -163,6 +189,10 @@ class ContinuousBatchScheduler:
         self.events: list[StepEvent] = []
         self._preemptions = 0
         self._step_batches: list[int] = []
+        #: running sum of cached tokens across the running set, kept in
+        #: lockstep by admit/retire/preempt/decode instead of re-summed
+        #: every scheduler step.
+        self._cached_total = 0
 
     # -- submission --------------------------------------------------------
 
@@ -185,7 +215,7 @@ class ContinuousBatchScheduler:
     # -- internals ---------------------------------------------------------
 
     def _cached_tokens(self) -> int:
-        return sum(s.position for s in self.running)
+        return self._cached_total
 
     def _growth_blocks(self, states: Iterable[RequestState]) -> int:
         """Fresh blocks the coming one-token appends would claim."""
@@ -238,6 +268,7 @@ class ContinuousBatchScheduler:
         state.finish_s = self.clock_s
         if state in self.running:
             self.running.remove(state)
+            self._cached_total -= state.position
         self.finished.append(state)
 
     def _preempt_one(self) -> bool:
@@ -245,6 +276,7 @@ class ContinuousBatchScheduler:
         if len(self.running) <= 1:
             return False
         state = self.running.pop()
+        self._cached_total -= state.position
         self.backend.release(state)
         state.status = RequestStatus.PREEMPTED
         state.position = 0
@@ -272,6 +304,7 @@ class ContinuousBatchScheduler:
             self._advance(cycles)
             state.status = RequestStatus.RUNNING
             self.running.append(state)
+            self._cached_total += state.position
             admitted += 1
             # First token (or, after preemption, the next token) samples
             # the moment prefill ends.
@@ -281,6 +314,95 @@ class ContinuousBatchScheduler:
             else:
                 self._retire(state, FinishReason.LENGTH)
         return admitted
+
+    # -- fast forward --------------------------------------------------------
+
+    def _fast_forward_window(self) -> int:
+        """Steps the running set can advance with no admission, retire,
+        preemption, or paged block boundary — 0 when any could occur.
+
+        While the set is static each step only increments every context
+        by one, so per-step cycles become a pure function of the step
+        index and a whole window can be charged in one backend call.
+        """
+        pending = self.running
+        if not pending or any(not s.has_pending_forward for s in pending):
+            return 0
+        if self.waiting and len(self.running) < self.max_batch:
+            head = self.waiting[0]
+            if head.request.arrival_s <= self.clock_s \
+                    and self._admit_fits(head):
+                # step() may admit right now; capacity-unfit heads stay
+                # unfit inside a window (pressure only grows), and
+                # arrival-gated heads are handled by the clock cut.
+                return 0
+        max_context = self.backend.model_config.max_context
+        limit = min(
+            min(s.request.max_new_tokens - s.n_generated for s in pending),
+            min(max_context - 1 - s.position for s in pending),
+        )
+        if self.paged_kv is not None:
+            block = self.paged_kv.block_size
+            for s in pending:
+                assert s.slot is not None
+                if self.paged_kv.append_needs_block(s.slot):
+                    return 0
+                room = s.position % block
+                limit = min(limit, block - room if room else block)
+        else:
+            limit = min(limit, (self.kv_token_budget - self._cached_total)
+                        // len(pending))
+        return max(0, limit)
+
+    def _fast_forward(self) -> int:
+        """Advance a static window in one call; returns steps applied.
+
+        Every per-step observable — clock increments, step events, the
+        per-request decode latencies and sampled tokens — is recorded
+        exactly as the step-by-step loop records it; only the cycle
+        computation is batched (and bit-identical, see the backends'
+        ``fast_forward_cycles``).
+        """
+        limit = self._fast_forward_window()
+        if limit < 2:
+            return 0
+        pending = self.running
+        planned: list[list[int]] = []
+        for s in pending:
+            tokens = self.backend.planned_tokens(s, limit)
+            eos = s.request.eos_id
+            if eos is not None and eos in tokens:
+                # The step that samples EOS retires the request: it ends
+                # the window and runs through the normal loop.
+                limit = min(limit, tokens.index(eos))
+            planned.append(tokens)
+        if limit < 2:
+            return 0
+        cycles = self.backend.fast_forward_cycles(pending, limit)
+        arrival = None
+        if self.waiting and len(self.running) < self.max_batch:
+            head_arrival = self.waiting[0].request.arrival_s
+            if head_arrival > self.clock_s:
+                arrival = head_arrival
+        batch = len(pending)
+        applied = 0
+        for j in range(limit):
+            if arrival is not None and self.clock_s >= arrival:
+                break  # step() admits the head next iteration
+            step_cycles = cycles[j]
+            self._advance(step_cycles)
+            self._step_batches.append(batch)
+            for i, s in enumerate(pending):
+                s.decode_cycles.append(step_cycles)
+                s.generated.append(planned[i][j])
+            self.events.append(StepEvent(
+                clock_s=self.clock_s, batch=batch, cycles=step_cycles,
+                admitted=0, preempted=0, retired=0))
+            applied += 1
+        if applied:
+            self.backend.commit_fast_forward(pending, applied)
+            self._cached_total += applied * batch
+        return applied
 
     # -- the scheduling loop -------------------------------------------------
 
@@ -321,6 +443,7 @@ class ContinuousBatchScheduler:
         cycles = 0.0
         if pending:
             cycles = self.backend.decode_batch(pending)
+            self._cached_total += len(pending)
             self._advance(cycles)
             self._step_batches.append(len(pending))
             for state in pending:
@@ -358,8 +481,11 @@ class ContinuousBatchScheduler:
                 self.submit(request)
         steps = 0
         while self.waiting or self.running:
-            self.step()
-            steps += 1
+            applied = self._fast_forward() if self.fast_forward else 0
+            if not applied:
+                self.step()
+                applied = 1
+            steps += applied
             if steps > max_steps:
                 raise SimulationError(
                     f"engine did not drain within {max_steps} steps")

@@ -30,7 +30,7 @@ class _Block:
     """One physical block: refcount, content tag, optional storage."""
 
     __slots__ = ("refcount", "content_hash", "k_codes", "v_codes",
-                 "k_params", "v_params")
+                 "k_scales", "v_scales", "k_zeros", "v_zeros", "written")
 
     def __init__(self) -> None:
         self.refcount = 0
@@ -39,8 +39,11 @@ class _Block:
         self.content_hash: int | None = None
         self.k_codes: np.ndarray | None = None
         self.v_codes: np.ndarray | None = None
-        self.k_params: list | None = None
-        self.v_params: list | None = None
+        self.k_scales: np.ndarray | None = None
+        self.v_scales: np.ndarray | None = None
+        self.k_zeros: np.ndarray | None = None
+        self.v_zeros: np.ndarray | None = None
+        self.written: np.ndarray | None = None
 
 
 class BlockPool:
@@ -60,6 +63,11 @@ class BlockPool:
         self.store_data = store_data
         self._blocks = [_Block() for _ in range(n_blocks)]
         self._free: list[int] = list(range(n_blocks - 1, -1, -1))
+        #: bumped on every allocate/incref/decref — a cheap cache tag
+        #: for derived per-sequence state (e.g. "does the next append
+        #: need a fresh block"), which can only change when some
+        #: refcount does.
+        self.mutation_epoch = 0
 
     # -- capacity ----------------------------------------------------------
 
@@ -80,6 +88,7 @@ class BlockPool:
                 f"all {self.n_blocks} KV blocks are allocated")
         bid = self._free.pop()
         block = self._blocks[bid]
+        self.mutation_epoch += 1
         block.refcount = 1
         block.content_hash = None
         if self.store_data:
@@ -88,17 +97,21 @@ class BlockPool:
 
     def incref(self, bid: int) -> None:
         self._live(bid).refcount += 1
+        self.mutation_epoch += 1
 
     def decref(self, bid: int) -> None:
         """Drop one reference; the block frees when the count hits zero."""
         block = self._live(bid)
         block.refcount -= 1
+        self.mutation_epoch += 1
         if block.refcount == 0:
             block.content_hash = None
             # Storage is dropped with the block: a freed block must never
             # leak a previous sequence's K/V into its next owner.
             block.k_codes = block.v_codes = None
-            block.k_params = block.v_params = None
+            block.k_scales = block.v_scales = None
+            block.k_zeros = block.v_zeros = None
+            block.written = None
             self._free.append(bid)
 
     def refcount(self, bid: int) -> int:
@@ -120,9 +133,12 @@ class BlockPool:
         assert src.k_codes is not None and dst.k_codes is not None
         dst.k_codes[...] = src.k_codes
         dst.v_codes[...] = src.v_codes
-        assert src.k_params is not None and src.v_params is not None
-        dst.k_params = [[list(h) for h in pos] for pos in src.k_params]
-        dst.v_params = [[list(h) for h in pos] for pos in src.v_params]
+        assert src.k_scales is not None and dst.k_scales is not None
+        dst.k_scales[...] = src.k_scales
+        dst.v_scales[...] = src.v_scales
+        dst.k_zeros[...] = src.k_zeros
+        dst.v_zeros[...] = src.v_zeros
+        dst.written[...] = src.written
 
     # -- storage access (store_data only) ----------------------------------
 
@@ -137,14 +153,14 @@ class BlockPool:
     def _init_storage(self, block: _Block) -> None:
         cfg = self.config
         shape = (cfg.num_layers, self.block_size, cfg.kv_heads, cfg.head_dim)
+        params = shape[:-1]
         block.k_codes = np.zeros(shape, dtype=np.uint8)
         block.v_codes = np.zeros(shape, dtype=np.uint8)
-        block.k_params = [[[None] * cfg.kv_heads
-                           for _ in range(self.block_size)]
-                          for _ in range(cfg.num_layers)]
-        block.v_params = [[[None] * cfg.kv_heads
-                           for _ in range(self.block_size)]
-                          for _ in range(cfg.num_layers)]
+        block.k_scales = np.zeros(params, dtype=np.float16)
+        block.v_scales = np.zeros(params, dtype=np.float16)
+        block.k_zeros = np.zeros(params, dtype=np.int64)
+        block.v_zeros = np.zeros(params, dtype=np.int64)
+        block.written = np.zeros(params, dtype=bool)
 
     def _check(self, bid: int) -> None:
         if not 0 <= bid < self.n_blocks:

@@ -26,7 +26,7 @@ import numpy as np
 
 from ..config import ModelConfig
 from ..errors import CapacityError, SimulationError
-from ..quant.kv8 import kv_dequantize, kv_quantize
+from ..quant.kv8 import kv_dequantize_batch, kv_quantize_batch
 from .blockpool import BlockPool
 from .prefix import PrefixCache, chain_hashes
 
@@ -60,6 +60,8 @@ class _Sequence:
     length: int = 0
     #: prefix tokens inherited from the prefix cache at allocation.
     cached_length: int = 0
+    #: memoized ``append_needs_block``: ((length, pool epoch), answer).
+    needs_block_cache: tuple[tuple[int, int], bool] | None = None
 
 
 class PagedKVCache:
@@ -217,12 +219,26 @@ class PagedKVCache:
 
     def append_needs_block(self, seq_id: int) -> bool:
         """Whether the next one-token append must claim a fresh block
-        (frontier crossing, or copy-on-write of a shared block)."""
+        (frontier crossing, or copy-on-write of a shared block).
+
+        The answer is a function of the sequence's length and the
+        frontier block's refcount, so it is memoized against (length,
+        pool mutation epoch) — the scheduler asks several times per
+        step, and the block-table walk only reruns after an append or a
+        refcount change somewhere in the pool.
+        """
         seq = self._get(seq_id)
+        tag = (seq.length, self.pool.mutation_epoch)
+        if seq.needs_block_cache is not None \
+                and seq.needs_block_cache[0] == tag:
+            return seq.needs_block_cache[1]
         idx = seq.length // self.block_size
         if idx >= len(seq.table):
-            return True
-        return self.pool.refcount(seq.table[idx]) > 1
+            answer = True
+        else:
+            answer = self.pool.refcount(seq.table[idx]) > 1
+        seq.needs_block_cache = (tag, answer)
+        return answer
 
     # -- append paths ------------------------------------------------------
 
@@ -397,48 +413,80 @@ class PagedSequenceView:
         bid = cache._writable_block(seq, position)
         block = cache.pool.storage(bid)
         offset = position % cache.block_size
-        keys = np.asarray(keys)
-        values = np.asarray(values)
         assert block.k_codes is not None and block.v_codes is not None
-        assert block.k_params is not None and block.v_params is not None
-        for head in range(self.config.kv_heads):
-            k_codes, k_params = kv_quantize(keys[head], self.kv_bits)
-            v_codes, v_params = kv_quantize(values[head], self.kv_bits)
-            block.k_codes[layer, offset, head] = k_codes
-            block.v_codes[layer, offset, head] = v_codes
-            block.k_params[layer][offset][head] = k_params
-            block.v_params[layer][offset][head] = v_params
+        k_codes, k_scales, k_zeros = kv_quantize_batch(keys, self.kv_bits)
+        v_codes, v_scales, v_zeros = kv_quantize_batch(values, self.kv_bits)
+        block.k_codes[layer, offset] = k_codes
+        block.v_codes[layer, offset] = v_codes
+        block.k_scales[layer, offset] = k_scales
+        block.v_scales[layer, offset] = v_scales
+        block.k_zeros[layer, offset] = k_zeros
+        block.v_zeros[layer, offset] = v_zeros
+        block.written[layer, offset] = True
         if layer == self.config.num_layers - 1:
             seq.length = max(seq.length, position + 1)
 
-    def _gather(self, which: str, layer: int, head: int,
-                length: int) -> np.ndarray:
+    def _gather(self, which: str, layer: int, length: int,
+                head: int | None = None, dtype=np.float16) -> np.ndarray:
+        """Dequantize positions ``[0, length)`` block by block.
+
+        Returns ``(length, head_dim)`` for one head or ``(length,
+        kv_heads, head_dim)`` for all heads; either way each entry is
+        dequantized exactly as the scalar path does (elementwise), so
+        the block-at-a-time vectorization is pure layout.
+        """
         cache = self.cache
         seq = cache._get(self.seq_id)
-        out = np.zeros((length, self.config.head_dim), dtype=np.float16)
-        for pos in range(length):
-            idx, offset = divmod(pos, cache.block_size)
+        head_sel = slice(None) if head is None else head
+        parts = []
+        for start in range(0, length, cache.block_size):
+            idx = start // cache.block_size
             if idx >= len(seq.table):
                 raise SimulationError(
-                    f"KV read beyond block table at pos={pos}")
+                    f"KV read beyond block table at pos={start}")
+            occ = min(length - start, cache.block_size)
             block = cache.pool.storage(seq.table[idx])
             codes = block.k_codes if which == "k" else block.v_codes
-            params = block.k_params if which == "k" else block.v_params
-            assert codes is not None and params is not None
-            p = params[layer][offset][head]
-            if p is None:
+            scales = block.k_scales if which == "k" else block.v_scales
+            zeros = block.k_zeros if which == "k" else block.v_zeros
+            assert codes is not None and block.written is not None
+            written = block.written[layer, :occ, head_sel]
+            if not written.all():
+                pos = start + int(np.argmin(
+                    written.reshape(occ, -1).all(axis=1)))
                 raise SimulationError(
                     f"KV cache read of unwritten slot layer={layer} "
-                    f"pos={pos} head={head}")
-            out[pos] = kv_dequantize(codes[layer, offset, head], p)
-        return out
+                    f"pos={pos} head={head if head is not None else 0}")
+            parts.append(kv_dequantize_batch(codes[layer, :occ, head_sel],
+                                             scales[layer, :occ, head_sel],
+                                             zeros[layer, :occ, head_sel],
+                                             dtype=dtype))
+        if not parts:
+            shape = (0, self.config.head_dim) if head is not None \
+                else (0, self.config.kv_heads, self.config.head_dim)
+            return np.zeros(shape, dtype=dtype)
+        return np.concatenate(parts, axis=0)
 
     def keys(self, layer: int, head: int, length: int) -> np.ndarray:
         """Dequantized FP16 keys: (length, head_dim) for one head."""
-        return self._gather("k", layer, head, length)
+        return self._gather("k", layer, length, head)
 
     def values(self, layer: int, head: int, length: int) -> np.ndarray:
-        return self._gather("v", layer, head, length)
+        return self._gather("v", layer, length, head)
+
+    def keys_batch(self, layer: int, length: int,
+                   dtype=np.float16) -> np.ndarray:
+        """Dequantized FP16 keys of every head: (kv_heads, length, head_dim).
+
+        ``dtype=np.float32`` keeps the FP16-grid values in float32 (the
+        attention kernels' native representation)."""
+        return self._gather("k", layer, length,
+                            dtype=dtype).transpose(1, 0, 2)
+
+    def values_batch(self, layer: int, length: int,
+                     dtype=np.float16) -> np.ndarray:
+        return self._gather("v", layer, length,
+                            dtype=dtype).transpose(1, 0, 2)
 
     def payload_bytes(self) -> int:
         """Stored code bytes for this sequence's logical length."""

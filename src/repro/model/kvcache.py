@@ -18,7 +18,7 @@ import numpy as np
 
 from ..config import ModelConfig
 from ..errors import SimulationError
-from ..quant.kv8 import KVQuantParams, kv_dequantize, kv_quantize
+from ..quant.kv8 import kv_dequantize_batch, kv_quantize_batch
 
 
 class FloatKVCache:
@@ -53,22 +53,28 @@ class FloatKVCache:
 
 
 class QuantizedKVCache:
-    """KV8 cache: uint8 codes + per-(token, head) scale-zero packs."""
+    """KV8 cache: uint8 codes + per-(token, head) scale-zero packs.
+
+    Codes, scales, and zero points live in dense arrays so whole-history
+    reads (:meth:`keys_batch` / :meth:`values_batch`) dequantize every
+    head and position in one vectorized pass — the gather the batched
+    attention kernels ride — while the per-head :meth:`keys` /
+    :meth:`values` views stay available for the scalar reference path.
+    """
 
     def __init__(self, config: ModelConfig, kv_bits: int = 8) -> None:
         self.config = config
         self.kv_bits = kv_bits
         shape = (config.num_layers, config.max_context,
                  config.kv_heads, config.head_dim)
+        params = shape[:-1]
         self._k_codes = np.zeros(shape, dtype=np.uint8)
         self._v_codes = np.zeros(shape, dtype=np.uint8)
-        empty = [[[None] * config.kv_heads
-                  for _ in range(config.max_context)]
-                 for _ in range(config.num_layers)]
-        self._k_params: list[list[list[KVQuantParams | None]]] = empty
-        self._v_params = [[[None] * config.kv_heads
-                           for _ in range(config.max_context)]
-                          for _ in range(config.num_layers)]
+        self._k_scales = np.zeros(params, dtype=np.float16)
+        self._v_scales = np.zeros(params, dtype=np.float16)
+        self._k_zeros = np.zeros(params, dtype=np.int64)
+        self._v_zeros = np.zeros(params, dtype=np.int64)
+        self._written = np.zeros(params, dtype=bool)
         self.length = 0
         self._released = False
 
@@ -94,38 +100,101 @@ class QuantizedKVCache:
             raise SimulationError(
                 f"position {position} exceeds context {self.config.max_context}"
             )
-        keys = np.asarray(keys)
-        values = np.asarray(values)
-        for head in range(self.config.kv_heads):
-            k_codes, k_params = kv_quantize(keys[head], self.kv_bits)
-            v_codes, v_params = kv_quantize(values[head], self.kv_bits)
-            self._k_codes[layer, position, head] = k_codes
-            self._v_codes[layer, position, head] = v_codes
-            self._k_params[layer][position][head] = k_params
-            self._v_params[layer][position][head] = v_params
+        k_codes, k_scales, k_zeros = kv_quantize_batch(keys, self.kv_bits)
+        v_codes, v_scales, v_zeros = kv_quantize_batch(values, self.kv_bits)
+        self._k_codes[layer, position] = k_codes
+        self._v_codes[layer, position] = v_codes
+        self._k_scales[layer, position] = k_scales
+        self._v_scales[layer, position] = v_scales
+        self._k_zeros[layer, position] = k_zeros
+        self._v_zeros[layer, position] = v_zeros
+        self._written[layer, position] = True
         if layer == self.config.num_layers - 1:
             self.length = max(self.length, position + 1)
 
-    def _gather(self, codes: np.ndarray, params, layer: int, head: int,
-                length: int) -> np.ndarray:
+    def _check_written(self, layer: int, length: int,
+                       head: int | None = None) -> None:
         self._guard()
-        out = np.zeros((length, self.config.head_dim), dtype=np.float16)
-        for pos in range(length):
-            p = params[layer][pos][head]
-            if p is None:
-                raise SimulationError(
-                    f"KV cache read of unwritten slot layer={layer} "
-                    f"pos={pos} head={head}"
-                )
-            out[pos] = kv_dequantize(codes[layer, pos, head], p)
-        return out
+        written = self._written[layer, :length]
+        if head is not None:
+            written = written[:, head]
+        if not written.all():
+            pos = int(np.argmin(written.reshape(length, -1).all(axis=1)))
+            raise SimulationError(
+                f"KV cache read of unwritten slot layer={layer} "
+                f"pos={pos} head={head if head is not None else 0}"
+            )
 
     def keys(self, layer: int, head: int, length: int) -> np.ndarray:
         """Dequantized FP16 keys: (length, head_dim) for one head."""
-        return self._gather(self._k_codes, self._k_params, layer, head, length)
+        self._check_written(layer, length, head)
+        return kv_dequantize_batch(self._k_codes[layer, :length, head],
+                                   self._k_scales[layer, :length, head],
+                                   self._k_zeros[layer, :length, head])
 
     def values(self, layer: int, head: int, length: int) -> np.ndarray:
-        return self._gather(self._v_codes, self._v_params, layer, head, length)
+        self._check_written(layer, length, head)
+        return kv_dequantize_batch(self._v_codes[layer, :length, head],
+                                   self._v_scales[layer, :length, head],
+                                   self._v_zeros[layer, :length, head])
+
+    def keys_reference(self, layer: int, head: int,
+                       length: int) -> np.ndarray:
+        """The pre-vectorization gather: one scalar dequantization per
+        position — kept as the oracle the batched gathers are pinned
+        against and the baseline the simperf benchmark measures."""
+        from ..quant.kv8 import KVQuantParams, kv_dequantize
+
+        self._check_written(layer, length, head)
+        out = np.zeros((length, self.config.head_dim), dtype=np.float16)
+        for pos in range(length):
+            params = KVQuantParams(
+                scale=self._k_scales[layer, pos, head],
+                zero=int(self._k_zeros[layer, pos, head]))
+            out[pos] = kv_dequantize(self._k_codes[layer, pos, head],
+                                     params)
+        return out
+
+    def values_reference(self, layer: int, head: int,
+                         length: int) -> np.ndarray:
+        """Per-position scalar gather of values (see
+        :meth:`keys_reference`)."""
+        from ..quant.kv8 import KVQuantParams, kv_dequantize
+
+        self._check_written(layer, length, head)
+        out = np.zeros((length, self.config.head_dim), dtype=np.float16)
+        for pos in range(length):
+            params = KVQuantParams(
+                scale=self._v_scales[layer, pos, head],
+                zero=int(self._v_zeros[layer, pos, head]))
+            out[pos] = kv_dequantize(self._v_codes[layer, pos, head],
+                                     params)
+        return out
+
+    def keys_batch(self, layer: int, length: int,
+                   dtype=np.float16) -> np.ndarray:
+        """Dequantized FP16 keys of every head: (kv_heads, length, head_dim).
+
+        Row ``h`` is bit-identical to ``keys(layer, h, length)`` — the
+        dequantization is elementwise, so gathering all heads at once is
+        pure layout.  ``dtype=np.float32`` keeps the FP16-grid values in
+        float32 (the attention kernels' native representation).
+        """
+        self._check_written(layer, length)
+        out = kv_dequantize_batch(self._k_codes[layer, :length],
+                                  self._k_scales[layer, :length],
+                                  self._k_zeros[layer, :length],
+                                  dtype=dtype)
+        return out.transpose(1, 0, 2)
+
+    def values_batch(self, layer: int, length: int,
+                     dtype=np.float16) -> np.ndarray:
+        self._check_written(layer, length)
+        out = kv_dequantize_batch(self._v_codes[layer, :length],
+                                  self._v_scales[layer, :length],
+                                  self._v_zeros[layer, :length],
+                                  dtype=dtype)
+        return out.transpose(1, 0, 2)
 
     def payload_bytes(self) -> int:
         """Stored code bytes for the current length (excludes packs)."""

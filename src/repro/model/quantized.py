@@ -11,6 +11,16 @@ Note on AWQ folding: the hardware divides activations by the AWQ channel
 scales (folded into the preceding operator); we fold the division into the
 dequantized weight matrix instead (``AwqResult.effective_weight``), which
 is algebraically identical and keeps the pipeline readable.
+
+Batching note: every hot path here is vectorized — all attention heads
+per token (:meth:`QuantizedModel._attention`), all prompt positions per
+layer (:meth:`QuantizedModel.prefill`), and all concurrent sequences per
+decode step (:meth:`QuantizedModel.forward_batch`).  Each added batch
+axis stacks *independent* reductions of identical length, which the
+tile/tree kernels of :mod:`repro.numerics.fp16` round identically, so
+the vectorized model emits bit-for-bit the token streams of the scalar
+reference (pinned by ``tests/test_backend_equivalence.py`` and the
+kernel property tests).
 """
 
 from __future__ import annotations
@@ -19,13 +29,66 @@ import numpy as np
 
 from ..config import ModelConfig
 from ..errors import SimulationError
-from ..numerics.fp16 import fp16, fp16_matvec
-from ..numerics.rmsnorm import two_pass_rmsnorm
+from ..numerics.fp16 import (as_fp16_grid, fp16, fp16_batched_scores,
+                             fp16_batched_weighted_values, fp16_matmul_t,
+                             fp16_matvec)
+from ..numerics.rmsnorm import batched_two_pass_rmsnorm, two_pass_rmsnorm
 from ..numerics.rope import HardwareRope
 from ..numerics.silu import hardware_gated_silu, hardware_silu
-from ..numerics.softmax import three_pass_softmax
+from ..numerics.softmax import batched_three_pass_softmax
 from .kvcache import QuantizedKVCache
 from .weights import QuantizedModelWeights
+
+
+def attend_grouped(q: np.ndarray, caches, layer_idx: int, lengths,
+                   head_map: np.ndarray, inv_sqrt_d: np.float32,
+                   lanes: int) -> np.ndarray:
+    """Scaled-dot attention for several rows of heads in as few kernel
+    calls as their context lengths allow.
+
+    ``q`` is (n, heads, head_dim) rotated queries with one KV cache and
+    context length per row; ``head_map`` maps each query head to its
+    (GQA-shared) KV head.  The tile/tree schedule depends only on the
+    reduction length, so rows with EQUAL context lengths stack along
+    the head axis into one kernel call per stage (sequences admitted
+    together decode in lockstep, so whole batches usually share one
+    length); unequal rows fall into separate groups.  Returns
+    (n, heads * head_dim), row-bit-identical either way.
+
+    Shared by the single-device model and every tensor-parallel shard
+    worker — one copy of the rounding-schedule-critical staging.
+    """
+    n, heads = q.shape[0], q.shape[1]
+    groups: dict[int, list[int]] = {}
+    for i, length in enumerate(lengths):
+        groups.setdefault(length, []).append(i)
+    out = [None] * n
+    for length, idxs in groups.items():
+        k_parts = [caches[i].keys_batch(layer_idx, length,
+                                        dtype=np.float32)[head_map]
+                   for i in idxs]
+        v_parts = [caches[i].values_batch(layer_idx, length,
+                                          dtype=np.float32)[head_map]
+                   for i in idxs]
+        if len(idxs) == 1:
+            keys, values, qs = k_parts[0], v_parts[0], q[idxs[0]]
+        else:
+            # Concatenation of on-grid gathers stays on the grid;
+            # re-certify so the kernels skip the re-rounding pass.
+            keys = as_fp16_grid(np.concatenate(k_parts))
+            values = as_fp16_grid(np.concatenate(v_parts))
+            qs = np.concatenate([q[i] for i in idxs])
+        # DOT of the rotated query against each (dequantized) cached
+        # key, then the scaling multiplier (Fig. 5B).
+        scores = fp16_batched_scores(keys, qs, lanes=lanes)
+        scores = fp16(scores.astype(np.float32) * inv_sqrt_d)
+        probs = batched_three_pass_softmax(scores)
+        # Scaled-dot: values weighted by softmax probabilities.
+        weighted = fp16_batched_weighted_values(values, probs,
+                                                lanes=lanes)
+        for j, i in enumerate(idxs):
+            out[i] = weighted[j * heads : (j + 1) * heads].reshape(-1)
+    return np.stack(out)
 
 
 class QuantizedModel:
@@ -39,20 +102,53 @@ class QuantizedModel:
         self.rope = HardwareRope(self.config.head_dim, self.config.rope_theta)
         # Dequantize once up front: the hardware dequantizes on the fly,
         # but the mapping code->FP16 value is deterministic, so the
-        # functional result is identical.
+        # functional result is identical.  Stored as float32 carrying
+        # FP16-grid values — the tiled kernels' native representation,
+        # so no per-call half upcasts on the weight matrices.
         self._mats: list[dict[str, np.ndarray]] = []
+        self._mats_t: list[dict[str, np.ndarray]] = []
         for layer in qweights.layers:
-            self._mats.append({name: fp16(result.effective_weight())
-                               for name, result in layer.items()})
-        self._head = fp16(qweights.lm_head.effective_weight())
+            mats = {name: as_fp16_grid(fp16(result.effective_weight()))
+                    for name, result in layer.items()}
+            self._mats.append(mats)
+            # (in, out)-contiguous twins: the layout fp16_matmul_t feeds
+            # the adder tree without a per-call axis move.
+            self._mats_t.append({name: as_fp16_grid(mat.T)
+                                 for name, mat in mats.items()})
+        self._head = as_fp16_grid(fp16(qweights.lm_head.effective_weight()))
+        self._head_t = as_fp16_grid(self._head.T)
+        # Which KV head serves each query head (GQA replication map).
+        group = self.config.num_heads // self.config.kv_heads
+        self._head_map = np.repeat(np.arange(self.config.kv_heads), group)
+        self._inv_sqrt_d = fp16(1.0 / np.sqrt(self.config.head_dim)) \
+            .astype(np.float32)
 
     # -- building blocks ----------------------------------------------------
 
     def _matvec(self, mat: np.ndarray, x: np.ndarray) -> np.ndarray:
         return fp16_matvec(mat, x, lanes=self.lanes)
 
+    def _matmul_t(self, mat_t: np.ndarray, x: np.ndarray) -> np.ndarray:
+        return fp16_matmul_t(mat_t, x, lanes=self.lanes)
+
     def _split_heads(self, x: np.ndarray, n_heads: int) -> np.ndarray:
         return x.reshape(n_heads, self.config.head_dim)
+
+    def _attend(self, q: np.ndarray, cache: QuantizedKVCache,
+                layer_idx: int, length: int) -> np.ndarray:
+        """Scaled-dot attention of every head over ``length`` cached
+        tokens; ``q`` is (num_heads, head_dim) rotated queries.  One
+        batched kernel per stage instead of a per-head Python loop —
+        row ``h`` sees the identical tile/tree schedule either way.
+        """
+        return self._attend_many(q[None], [cache], layer_idx, [length])[0]
+
+    def _attend_many(self, q: np.ndarray, caches, layer_idx: int,
+                     lengths) -> np.ndarray:
+        """:func:`attend_grouped` over this model's heads and GQA map."""
+        return attend_grouped(q, caches, layer_idx, lengths,
+                              self._head_map, self._inv_sqrt_d,
+                              lanes=self.lanes)
 
     def _attention(self, layer_idx: int, x: np.ndarray,
                    cache: QuantizedKVCache, position: int) -> np.ndarray:
@@ -65,30 +161,13 @@ class QuantizedModel:
         k = self._split_heads(self._matvec(mats["wk"], normed), cfg.kv_heads)
         v = self._split_heads(self._matvec(mats["wv"], normed), cfg.kv_heads)
 
-        q = np.stack([self.rope.apply(q[h], position)
-                      for h in range(cfg.num_heads)])
-        k = np.stack([self.rope.apply(k[h], position)
-                      for h in range(cfg.kv_heads)])
+        q = self.rope.apply(q, position)
+        k = self.rope.apply(k, position)
 
         # On-chip KV8 quantization happens as K/V are generated (Sec. IV-B).
         cache.append(layer_idx, k, v, position)
-        length = position + 1
 
-        group = cfg.num_heads // cfg.kv_heads
-        inv_sqrt_d = fp16(1.0 / np.sqrt(cfg.head_dim)).astype(np.float32)
-        head_outputs = []
-        for h in range(cfg.num_heads):
-            kv_h = h // group
-            keys = cache.keys(layer_idx, kv_h, length).astype(np.float32)
-            values = cache.values(layer_idx, kv_h, length).astype(np.float32)
-            # DOT of the rotated query against each (dequantized) cached key,
-            # then the scaling multiplier (Fig. 5B).
-            scores = fp16_matvec(keys, q[h], lanes=self.lanes)
-            scores = fp16(scores.astype(np.float32) * inv_sqrt_d)
-            probs = three_pass_softmax(scores)
-            # Scaled-dot: values weighted by softmax probabilities.
-            head_outputs.append(fp16_matvec(values.T, probs, lanes=self.lanes))
-        attn = np.concatenate(head_outputs)
+        attn = self._attend(q, cache, layer_idx, position + 1)
         out = self._matvec(mats["wo"], attn)
         return fp16(x.astype(np.float32) + out.astype(np.float32))
 
@@ -105,6 +184,21 @@ class QuantizedModel:
             hidden = hardware_silu(up)
         down = self._matvec(mats["w_down"], hidden)
         return fp16(x.astype(np.float32) + down.astype(np.float32))
+
+    def _mlp_batch(self, layer_idx: int, x: np.ndarray) -> np.ndarray:
+        """Gated MLP over a stack of hidden states: ``x`` is (n, hidden)."""
+        cfg = self.config
+        mats = self._mats_t[layer_idx]
+        _, post_norm = self.qweights.norms[layer_idx]
+        normed = batched_two_pass_rmsnorm(x, post_norm, cfg.norm_eps)
+        up = self._matmul_t(mats["w_up"], normed.T)
+        if cfg.gated_mlp:
+            gate = self._matmul_t(mats["w_gate"], normed.T)
+            hidden = hardware_gated_silu(gate, up)
+        else:
+            hidden = hardware_silu(up)
+        down = self._matmul_t(mats["w_down"], hidden)
+        return fp16(x.astype(np.float32) + down.T.astype(np.float32))
 
     # -- public API ----------------------------------------------------------
 
@@ -123,6 +217,59 @@ class QuantizedModel:
         x = two_pass_rmsnorm(x, self.qweights.final_norm, self.config.norm_eps)
         return self._matvec(self._head, x)
 
+    def forward_token_reference(self, token: int, cache: QuantizedKVCache,
+                                position: int) -> np.ndarray:
+        """Scalar-oracle forward: one head, one kernel call at a time.
+
+        The pre-vectorization decode path, kept as the reference the
+        batched kernels are pinned against (and the baseline the simperf
+        benchmark measures speedups from): per-head matvec scores,
+        per-head 1-D softmax, per-head weighted-value matvec, all over
+        per-head, per-position KV gathers (``keys_reference`` /
+        ``values_reference`` where the cache provides them).  Must stay
+        bit-identical to :meth:`forward_token`.
+        """
+        from ..numerics.softmax import three_pass_softmax
+
+        cfg = self.config
+        x = self.embed(token)
+        for layer_idx in range(cfg.num_layers):
+            mats = self._mats[layer_idx]
+            input_norm, _ = self.qweights.norms[layer_idx]
+            normed = two_pass_rmsnorm(x, input_norm, cfg.norm_eps)
+            q = self._split_heads(self._matvec(mats["wq"], normed),
+                                  cfg.num_heads)
+            k = self._split_heads(self._matvec(mats["wk"], normed),
+                                  cfg.kv_heads)
+            v = self._split_heads(self._matvec(mats["wv"], normed),
+                                  cfg.kv_heads)
+            q = np.stack([self.rope.apply(q[h], position)
+                          for h in range(cfg.num_heads)])
+            k = np.stack([self.rope.apply(k[h], position)
+                          for h in range(cfg.kv_heads)])
+            cache.append(layer_idx, k, v, position)
+            length = position + 1
+            group = cfg.num_heads // cfg.kv_heads
+            inv_sqrt_d = fp16(1.0 / np.sqrt(cfg.head_dim)).astype(np.float32)
+            gather_k = getattr(cache, "keys_reference", cache.keys)
+            gather_v = getattr(cache, "values_reference", cache.values)
+            head_outputs = []
+            for h in range(cfg.num_heads):
+                kv_h = h // group
+                keys = gather_k(layer_idx, kv_h, length)
+                values = gather_v(layer_idx, kv_h, length)
+                scores = fp16_matvec(keys, q[h], lanes=self.lanes)
+                scores = fp16(scores.astype(np.float32) * inv_sqrt_d)
+                probs = three_pass_softmax(scores)
+                head_outputs.append(fp16_matvec(values.T, probs,
+                                                lanes=self.lanes))
+            attn = np.concatenate(head_outputs)
+            out = self._matvec(mats["wo"], attn)
+            x = fp16(x.astype(np.float32) + out.astype(np.float32))
+            x = self._mlp(layer_idx, x)
+        x = two_pass_rmsnorm(x, self.qweights.final_norm, self.config.norm_eps)
+        return self._matvec(self._head, x)
+
     def prefill(self, tokens: list[int],
                 cache: QuantizedKVCache | None = None,
                 start: int = 0,
@@ -133,6 +280,12 @@ class QuantizedModel:
         (shared-prefix reuse): only ``tokens[start:]`` are forwarded.  The
         final prompt token is always forwarded — its logits seed the first
         sample — so ``start`` must stay below ``len(tokens)``.
+
+        All forwarded positions run each layer as ONE projection matmul
+        (the GEMM reuse the paper reserves for prefill); only the
+        causally-masked attention reductions stay per position, since
+        position ``p`` attends over ``p + 1`` cached tokens and the
+        tile/tree schedule depends on that length.
         """
         if not tokens:
             raise SimulationError("prefill requires at least one token")
@@ -145,15 +298,77 @@ class QuantizedModel:
             raise SimulationError(
                 f"prefill start {start} beyond the cache's "
                 f"{cache.length} stored tokens")
-        logits = None
-        for position in range(start, len(tokens)):
-            logits = self.forward_token(tokens[position], cache, position)
-        assert logits is not None
-        return logits, cache
+        cfg = self.config
+        positions = list(range(start, len(tokens)))
+        x = fp16(np.stack([self.embed(tokens[p]) for p in positions]))
+        for layer_idx in range(cfg.num_layers):
+            mats = self._mats_t[layer_idx]
+            input_norm, _ = self.qweights.norms[layer_idx]
+            normed = batched_two_pass_rmsnorm(x, input_norm, cfg.norm_eps)
+            q = self._matmul_t(mats["wq"], normed.T).T \
+                .reshape(-1, cfg.num_heads, cfg.head_dim)
+            k = self._matmul_t(mats["wk"], normed.T).T \
+                .reshape(-1, cfg.kv_heads, cfg.head_dim)
+            v = self._matmul_t(mats["wv"], normed.T).T \
+                .reshape(-1, cfg.kv_heads, cfg.head_dim)
+            q = self.rope.apply_many(q, positions)
+            k = self.rope.apply_many(k, positions)
+            for i, position in enumerate(positions):
+                cache.append(layer_idx, k[i], v[i], position)
+            attn = self._attend_many(q, [cache] * len(positions),
+                                     layer_idx,
+                                     [p + 1 for p in positions])
+            out = self._matmul_t(mats["wo"], attn.T)
+            x = fp16(x.astype(np.float32) + out.T.astype(np.float32))
+            x = self._mlp_batch(layer_idx, x)
+        last = two_pass_rmsnorm(x[-1], self.qweights.final_norm,
+                                cfg.norm_eps)
+        return self._matvec(self._head, last), cache
 
     def decode_step(self, token: int, cache: QuantizedKVCache,
                     position: int) -> np.ndarray:
         return self.forward_token(token, cache, position)
+
+    def forward_batch(self, tokens: list[int], caches: list,
+                      positions: list[int]) -> np.ndarray:
+        """One decode step for N independent sequences; (n, vocab) logits.
+
+        Each sequence owns its cache and position; the per-layer
+        projections of all sequences run as one stacked matmul per
+        weight matrix (the weight stream is read once — the same
+        amortization the batched cycle model charges), while the
+        attention reductions stay per sequence, each over its own
+        context length.  Row ``i`` is bit-identical to
+        ``decode_step(tokens[i], caches[i], positions[i])``.
+        """
+        if not (len(tokens) == len(caches) == len(positions)):
+            raise SimulationError(
+                f"forward_batch arity mismatch: {len(tokens)} tokens, "
+                f"{len(caches)} caches, {len(positions)} positions")
+        cfg = self.config
+        x = fp16(np.stack([self.embed(t) for t in tokens]))
+        for layer_idx in range(cfg.num_layers):
+            mats = self._mats_t[layer_idx]
+            input_norm, _ = self.qweights.norms[layer_idx]
+            normed = batched_two_pass_rmsnorm(x, input_norm, cfg.norm_eps)
+            q = self._matmul_t(mats["wq"], normed.T).T \
+                .reshape(-1, cfg.num_heads, cfg.head_dim)
+            k = self._matmul_t(mats["wk"], normed.T).T \
+                .reshape(-1, cfg.kv_heads, cfg.head_dim)
+            v = self._matmul_t(mats["wv"], normed.T).T \
+                .reshape(-1, cfg.kv_heads, cfg.head_dim)
+            q = self.rope.apply_many(q, positions)
+            k = self.rope.apply_many(k, positions)
+            for i, (cache, position) in enumerate(zip(caches, positions)):
+                cache.append(layer_idx, k[i], v[i], position)
+            attn = self._attend_many(q, caches, layer_idx,
+                                     [p + 1 for p in positions])
+            out = self._matmul_t(mats["wo"], attn.T)
+            x = fp16(x.astype(np.float32) + out.T.astype(np.float32))
+            x = self._mlp_batch(layer_idx, x)
+        normed = batched_two_pass_rmsnorm(x, self.qweights.final_norm,
+                                          cfg.norm_eps)
+        return self._matmul_t(self._head_t, normed.T).T
 
     def generate(self, prompt: list[int], max_new_tokens: int,
                  sampler=None) -> list[int]:

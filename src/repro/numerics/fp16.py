@@ -8,6 +8,15 @@ per-operation rounding explicit so the functional model exhibits the same
 rounding behaviour as the RTL datapath: multiply, add, and an adder *tree*
 that rounds at every tree level (the paper's DOT engine sums 128 products
 through a 7-level tree).
+
+Every reduction in this module runs one schedule — products through the
+128-lane multiplier array, tiles through the level-rounded adder tree,
+tiles accumulated in an FP16 register (:func:`fp16_tiled_reduce`).  Because
+the schedule depends only on the reduction *length*, any number of
+independent reductions of the same length can ride one vectorized numpy
+call without changing a single rounding: that batch invariance is what
+lets :func:`fp16_matmul` and the batched attention kernels replace the
+scalar loops bit for bit.
 """
 
 from __future__ import annotations
@@ -42,6 +51,171 @@ def fp16_add(a, b) -> np.ndarray:
     return fp16(a16 + b16)
 
 
+#: Dekker split constant: 2^13 + 1 — splitting at 13 bits leaves an
+#: 11-bit significand, FP16's precision.
+_SPLIT = np.float32(8193.0)
+_TWO24 = np.float32(16777216.0)        # 2^24
+#: 1.5 * 2^23 — adding it parks any |v| < 2^22 in [2^23, 2^24), where
+#: the float32 ulp is exactly 1, so the add rounds v to an integer with
+#: ties-to-even (plain 2^23 would fail: just below it the ulp is 0.5).
+_SNAP = np.float32(12582912.0)
+_INV_TWO24 = np.float32(5.9604644775390625e-08)   # 2^-24, exact
+_FP16_TINY_NORMAL = np.float32(6.103515625e-05)   # 2^-14
+_FP16_INF_THRESHOLD = np.float32(65520.0)  # halfway above FP16_MAX -> inf
+
+
+def fp16_round_f32(x: np.ndarray) -> np.ndarray:
+    """Round float32 values onto the FP16 grid, staying in float32.
+
+    Bit-identical to ``x.astype(float16).astype(float32)`` for every
+    finite and infinite input (pinned over all half bit patterns by the
+    kernel property tests; NaNs are not defined data in this model),
+    but built from a handful of SIMD-friendly float32 ops instead of
+    NumPy's scalar half casts — the hot-loop rounding primitive of the
+    tiled kernels.
+
+    * normals — a Dekker split at 13 bits: ``c - (c - x)`` with
+      ``c = (2^13 + 1) * x`` rounds to an 11-bit significand with the
+      FPU's own round-to-nearest-even;
+    * FP16 subnormals (|x| < 2^-14) — snap to multiples of 2^-24 via
+      the classic add-2^23 integer-rounding trick (sign restored so
+      negative underflow keeps its -0.0);
+    * overflow (|x| >= 65520, including inf) — +/-inf, as the FP16 cast
+      produces.
+    """
+    x = np.asarray(x, dtype=np.float32)
+    if x.size <= 1024:
+        # Small arrays are ufunc-dispatch-bound: the two half casts (one
+        # dispatch each) beat the multi-op float path, and are the very
+        # definition of the rounding being computed.
+        with np.errstate(over="ignore"):
+            return x.astype(np.float16).astype(np.float32)
+    shape = x.shape
+    if x.ndim == 0:
+        x = x.reshape(1)
+    with np.errstate(over="ignore", invalid="ignore"):
+        # inf inputs (FP16 overflow upstream) make the split compute
+        # inf - inf before the overflow branch repairs them — silence
+        # the transient, the fixup below restores the correct +/-inf.
+        c = x * _SPLIT
+        hi = c - (c - x)
+    ax = np.abs(x)
+    # NaN-ignoring range probes: a NaN (from upstream FP16 overflow
+    # arithmetic, e.g. inf - inf) must not mask genuine subnormal or
+    # overflow elements elsewhere in the array.
+    if np.fmin.reduce(ax, axis=None) < _FP16_TINY_NORMAL:
+        # Fix up only the affected elements (typically a few percent).
+        mask = ax < _FP16_TINY_NORMAL
+        xt = x[mask]
+        snapped = (xt * _TWO24 + _SNAP) - _SNAP
+        hi[mask] = np.copysign(snapped * _INV_TWO24, xt)
+    if np.fmax.reduce(ax, axis=None) >= _FP16_INF_THRESHOLD:
+        mask = ax >= _FP16_INF_THRESHOLD
+        hi[mask] = np.copysign(np.float32(np.inf), x[mask])
+    return hi.reshape(shape)
+
+
+class FP16GridArray(np.ndarray):
+    """A float32 ndarray *certified* to hold FP16-grid values.
+
+    Pure marker subclass: :func:`_as_rounded_f32` trusts it and skips
+    the (idempotent) re-rounding pass, so pre-rounded tensors that are
+    reused across many kernel calls — dequantized weight matrices, KV
+    gathers — are not re-rounded on every call.  Only create one via
+    :func:`as_fp16_grid` on data that is already on the grid.  Indexing
+    and transposing preserve both the marker and the property; any
+    ufunc arithmetic *demotes* the result to a plain ndarray (enforced
+    below — derived values leave the grid, so they must not inherit the
+    certificate), and ``np.concatenate`` also returns a plain ndarray
+    (re-certify explicitly when concatenating certified inputs).
+    """
+
+    def __array_ufunc__(self, ufunc, method, *inputs, **kwargs):
+        # Strip the certificate from every ufunc result: computed
+        # values are no longer guaranteed to sit on the FP16 grid.
+        inputs = tuple(np.asarray(i).view(np.ndarray)
+                       if isinstance(i, FP16GridArray) else i
+                       for i in inputs)
+        out = kwargs.get("out")
+        if out is not None:
+            kwargs["out"] = tuple(np.asarray(o).view(np.ndarray)
+                                  if isinstance(o, FP16GridArray) else o
+                                  for o in out)
+        return getattr(ufunc, method)(*inputs, **kwargs)
+
+
+def as_fp16_grid(x) -> np.ndarray:
+    """Certify ``x`` (already FP16-grid-valued) as :class:`FP16GridArray`.
+
+    The caller asserts every value of ``x`` is exactly representable in
+    FP16 — e.g. it came from ``fp16(...)`` or ``fp16_round_f32(...)``.
+    """
+    return np.ascontiguousarray(np.asarray(x, dtype=np.float32)) \
+        .view(FP16GridArray)
+
+
+def _as_rounded_f32(x) -> np.ndarray:
+    """``x`` as float32 carrying FP16-grid values.
+
+    Float16 input upcasts (exact); anything else rounds onto the grid
+    with :func:`fp16_round_f32` — the same values ``fp16(x)`` would
+    produce, kept in float32 so the tiled kernels never touch NumPy's
+    scalar half casts on their inputs.
+    """
+    if isinstance(x, FP16GridArray):
+        return x
+    x = np.asarray(x)
+    if x.dtype == np.float16:
+        return x.astype(np.float32)
+    return fp16_round_f32(np.asarray(x, dtype=np.float32))
+
+
+def _tree_reduce_last(level: np.ndarray) -> np.ndarray:
+    """Balanced binary adder tree over the last axis, rounding each level.
+
+    ``level`` is float16 of shape ``(..., width)``; odd-width levels
+    forward the unpaired element unchanged.  Returns shape ``(...)``.
+    Every leading axis sees the identical pair/forward schedule, so a
+    stack of reductions is bit-identical to reducing each row alone.
+
+    Layout: the reduction axis is moved to the front once, so every
+    pair-sum touches two contiguous slabs of rows (the stride-2 pair
+    picking happens across whole slabs, not per element), and the
+    levels stay in float32 carrying FP16-grid values, rounded by
+    :func:`fp16_round_f32` — the values and rounding schedule are
+    unchanged, only the memory traversal and dtype plumbing are.
+    """
+    return _tree_reduce_f32(np.asarray(level, dtype=np.float32)) \
+        .astype(np.float16)
+
+
+def _tree_reduce_f32(level: np.ndarray) -> np.ndarray:
+    """:func:`_tree_reduce_last` on float32 carrying FP16-grid values,
+    returning the same representation (see :func:`fp16_round_f32`)."""
+    lead = level.shape[:-1]
+    rows = np.ascontiguousarray(
+        np.moveaxis(level, -1, 0).reshape(level.shape[-1], -1))
+    return _tree_reduce_axis0(rows).reshape(lead)
+
+
+def _tree_reduce_axis0(rows: np.ndarray) -> np.ndarray:
+    """The level-rounded adder tree along axis 0 of a float32 array
+    whose trailing axes are contiguous slabs — pair ``i`` of each level
+    sums rows ``2i`` and ``2i+1``, exactly the schedule of
+    :func:`_tree_reduce_f32` (which is this function after moving the
+    reduction axis first)."""
+    width = rows.shape[0]
+    while width > 1:
+        pairs = width // 2
+        summed = fp16_round_f32(rows[: 2 * pairs : 2]
+                                + rows[1 : 2 * pairs : 2])
+        if width % 2:
+            summed = np.concatenate([summed, rows[-1:]], axis=0)
+        rows = summed
+        width = rows.shape[0]
+    return rows[0]
+
+
 def fp16_tree_sum(values) -> np.float16:
     """Sum a vector through a balanced binary adder tree.
 
@@ -51,21 +225,45 @@ def fp16_tree_sum(values) -> np.float16:
     level = fp16(np.asarray(values).reshape(-1))
     if level.size == 0:
         return np.float16(0.0)
-    while level.size > 1:
-        pairs = level.size // 2
-        left = level[: 2 * pairs : 2].astype(np.float32)
-        right = level[1 : 2 * pairs : 2].astype(np.float32)
-        summed = fp16(left + right)
-        if level.size % 2:
-            summed = np.concatenate([summed, level[-1:]])
-        level = summed
-    return np.float16(level[0])
+    return np.float16(_tree_reduce_last(level))
 
 
 def fp16_dot(a, b) -> np.float16:
     """128-lane-style dot product: FP16 multipliers feeding an adder tree."""
     products = fp16_mul(a, b)
     return fp16_tree_sum(products)
+
+
+def fp16_tiled_reduce(a, b, lanes: int = 128) -> np.ndarray:
+    """The shared tiled multiplier-array + adder-tree dot kernel.
+
+    ``a`` and ``b`` are broadcast-compatible arrays sharing their last
+    axis (the reduction axis).  Each group of ``lanes`` elements goes
+    through the FP16 multiplier array, sums through the level-rounded
+    adder tree, and the tile partials accumulate in an FP16 register —
+    one rounding schedule for every scalar/vector/matrix entry point in
+    this module.  Returns the broadcast shape of the leading axes.
+    """
+    a32 = _as_rounded_f32(a)
+    b32 = _as_rounded_f32(b)
+    if a32.shape[-1] != b32.shape[-1]:
+        raise ValueError(
+            f"reduction axis mismatch: {a32.shape} vs {b32.shape}")
+    n = a32.shape[-1]
+    out_shape = np.broadcast_shapes(a32.shape[:-1], b32.shape[:-1])
+    acc = np.zeros(out_shape, dtype=np.float32)
+    for start in range(0, n, lanes):
+        # Multiplier array, adder tree, and FP16 tile accumulator, all
+        # in float32 carrying FP16-grid values (fp16_round_f32 after
+        # every op — the identical per-op rounding, minus the half
+        # casts); one cast back to float16 at the very end.
+        products = fp16_round_f32(a32[..., start : start + lanes]
+                                  * b32[..., start : start + lanes])
+        partial = _tree_reduce_f32(products)
+        acc = fp16_round_f32(acc + partial)
+    # plain ndarray out: a derived result must not inherit the
+    # FP16GridArray certificate from a marked input
+    return np.asarray(acc).astype(np.float16)
 
 
 def fp16_matvec(w, x, lanes: int = 128) -> np.ndarray:
@@ -77,26 +275,98 @@ def fp16_matvec(w, x, lanes: int = 128) -> np.ndarray:
     FP16 register.  Vectorized across output rows (every row sees the same
     schedule, so batching them does not change the rounding).
     """
-    w16 = fp16(w)
-    x16 = fp16(np.asarray(x).reshape(-1))
-    if w16.ndim != 2 or w16.shape[1] != x16.size:
-        raise ValueError(f"matvec shape mismatch: {w16.shape} @ {x16.shape}")
-    out_f, in_f = w16.shape
-    acc = np.zeros(out_f, dtype=np.float32)
-    for start in range(0, in_f, lanes):
-        tile_w = w16[:, start : start + lanes].astype(np.float32)
-        tile_x = x16[start : start + lanes].astype(np.float32)
-        level = fp16(tile_w * tile_x)
-        while level.shape[1] > 1:
-            pairs = level.shape[1] // 2
-            left = level[:, : 2 * pairs : 2].astype(np.float32)
-            right = level[:, 1 : 2 * pairs : 2].astype(np.float32)
-            summed = fp16(left + right)
-            if level.shape[1] % 2:
-                summed = np.concatenate([summed, level[:, -1:]], axis=1)
-            level = summed
-        acc = fp16(acc + level[:, 0].astype(np.float32)).astype(np.float32)
-    return fp16(acc)
+    w = np.asarray(w)
+    x = np.asarray(x).reshape(-1)
+    if w.ndim != 2 or w.shape[1] != x.size:
+        raise ValueError(f"matvec shape mismatch: {w.shape} @ {x.shape}")
+    return fp16_tiled_reduce(w, x, lanes=lanes)
+
+
+def fp16_matmul(w, x, lanes: int = 128) -> np.ndarray:
+    """FP16 matrix-matrix product: a batch of matvecs in one call.
+
+    ``w`` is (out_features, in_features) and ``x`` is (in_features,
+    batch); column ``j`` of the (out_features, batch) result is exactly
+    ``fp16_matvec(w, x[:, j])`` — the batch dimension adds independent
+    reductions of the same length, which the tile/tree schedule rounds
+    identically, so stacking them changes no token anywhere.
+    """
+    w = np.asarray(w)
+    x = np.asarray(x)
+    if w.ndim != 2 or x.ndim != 2 or w.shape[1] != x.shape[0]:
+        raise ValueError(f"matmul shape mismatch: {w.shape} @ {x.shape}")
+    return fp16_tiled_reduce(w[:, None, :], x.T[None, :, :], lanes=lanes)
+
+
+def fp16_matmul_t(w_t, x, lanes: int = 128) -> np.ndarray:
+    """:func:`fp16_matmul` with the weight pre-transposed to
+    (in_features, out_features).
+
+    Identical output — ``fp16_matmul_t(w.T, x) == fp16_matmul(w, x)``
+    bit for bit (the products and the tree pair the same ``in`` indices
+    in the same order) — but the transposed layout feeds the adder tree
+    contiguous slabs directly, skipping the per-call axis move the
+    general kernel needs.  Callers that reuse one weight matrix across
+    many steps cache ``w.T`` contiguously (see
+    ``QuantizedModel``) and save the copy every call.
+    """
+    w32 = _as_rounded_f32(w_t)
+    x32 = _as_rounded_f32(x)
+    if w32.ndim != 2 or x32.ndim != 2 or w32.shape[0] != x32.shape[0]:
+        raise ValueError(
+            f"matmul_t shape mismatch: {w32.shape} vs {x32.shape}")
+    n = w32.shape[0]
+    # (tile, batch, out) product layout: the broadcast keeps the long
+    # `out` axis innermost (contiguous SIMD runs) and the tree reduces
+    # axis 0 over contiguous slabs; the result transposes back to
+    # (out, batch) as a view.  Same products, same pairing order.
+    acc = np.zeros((x32.shape[1], w32.shape[1]), dtype=np.float32)
+    for start in range(0, n, lanes):
+        products = fp16_round_f32(
+            x32[start : start + lanes, :, None]
+            * w32[start : start + lanes, None, :])
+        partial = _tree_reduce_axis0(products)
+        acc = fp16_round_f32(acc + partial)
+    return np.asarray(acc).astype(np.float16).T
+
+
+def fp16_batched_scores(keys, q, lanes: int = 128) -> np.ndarray:
+    """Attention scores of every head in one call.
+
+    ``keys`` is (heads, length, head_dim) and ``q`` is (heads,
+    head_dim); row ``h`` of the (heads, length) result is exactly
+    ``fp16_matvec(keys[h], q[h])`` — the per-head DOT of the rotated
+    query against each cached key (Fig. 5B), batched over heads.
+    """
+    keys = np.asarray(keys)
+    q = np.asarray(q)
+    if keys.ndim != 3 or q.ndim != 2 \
+            or keys.shape[0] != q.shape[0] \
+            or keys.shape[2] != q.shape[1]:
+        raise ValueError(
+            f"score shape mismatch: {keys.shape} vs {q.shape}")
+    return fp16_tiled_reduce(keys, q[:, None, :], lanes=lanes)
+
+
+def fp16_batched_weighted_values(values, probs, lanes: int = 128,
+                                 ) -> np.ndarray:
+    """Probability-weighted value reduction of every head in one call.
+
+    ``values`` is (heads, length, head_dim) and ``probs`` is (heads,
+    length); row ``h`` of the (heads, head_dim) result is exactly
+    ``fp16_matvec(values[h].T, probs[h])`` — the scaled-dot output
+    accumulation, batched over heads.
+    """
+    values = np.asarray(values)
+    probs = np.asarray(probs)
+    if values.ndim != 3 or probs.ndim != 2 \
+            or values.shape[0] != probs.shape[0] \
+            or values.shape[1] != probs.shape[1]:
+        raise ValueError(
+            f"weighted-value shape mismatch: {values.shape} vs "
+            f"{probs.shape}")
+    return fp16_tiled_reduce(values.transpose(0, 2, 1),
+                             probs[:, None, :], lanes=lanes)
 
 
 def fp16_tree_combine(vectors) -> np.ndarray:
@@ -128,14 +398,11 @@ def fp16_dot_tiled(a, b, lanes: int = 128) -> np.float16:
 
     Models the VPU's accumulator: each group of ``lanes`` elements goes
     through the multiplier array + adder tree, and partial sums accumulate
-    in an FP16 register.
+    in an FP16 register.  A thin scalar wrapper over
+    :func:`fp16_tiled_reduce` — one rounding schedule, one implementation.
     """
     a = fp16(np.asarray(a).reshape(-1))
     b = fp16(np.asarray(b).reshape(-1))
     if a.shape != b.shape:
         raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
-    acc = np.float16(0.0)
-    for start in range(0, a.size, lanes):
-        partial = fp16_dot(a[start : start + lanes], b[start : start + lanes])
-        acc = np.float16(np.float32(acc) + np.float32(partial))
-    return acc
+    return np.float16(fp16_tiled_reduce(a, b, lanes=lanes))

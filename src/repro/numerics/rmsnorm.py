@@ -37,17 +37,45 @@ def two_pass_rmsnorm(x: np.ndarray, weight: np.ndarray | None = None,
     (the RTL keeps a wide accumulator for the square sum to avoid FP16
     overflow on 4096-element vectors).
     """
-    x16 = fp16(np.asarray(x).reshape(-1))
-    n = x16.size
+    x = np.asarray(x).reshape(-1)
+    sums = None if square_sum is None else np.asarray([square_sum])
+    return batched_two_pass_rmsnorm(x, weight, eps, square_sums=sums)
+
+
+def batched_two_pass_rmsnorm(x: np.ndarray,
+                             weight: np.ndarray | None = None,
+                             eps: float = 1e-5,
+                             square_sums: np.ndarray | None = None,
+                             ) -> np.ndarray:
+    """FP16 two-pass RMSNorm over the last axis of a hidden-state stack.
+
+    Each row normalizes exactly as :func:`two_pass_rmsnorm` does — the
+    square-sum pass runs per row over the same contiguous buffer, so a
+    stack of rows is bit-identical to normalizing each row alone.
+    ``square_sums`` (one per leading row) mirrors ``square_sum``.
+    """
+    x16 = fp16(np.asarray(x))
+    n = x16.shape[-1]
     if n == 0:
         raise SimulationError("RMSNorm of an empty vector")
     x32 = x16.astype(np.float32)
 
-    if square_sum is None:
-        square_sum = float(np.sum(x32.astype(np.float64) ** 2))
+    rows = np.ascontiguousarray(x32).reshape(-1, n)
+    if square_sums is None:
+        # One reduction per contiguous row: numpy's pairwise summation
+        # over the same contiguous length gives the identical float for
+        # a row whether it sits alone or inside a stack (pinned by the
+        # kernel property tests).
+        square_sums = np.sum(rows.astype(np.float64) ** 2, axis=1)
+    else:
+        square_sums = np.asarray(square_sums, dtype=np.float64).reshape(-1)
+        if square_sums.size != rows.shape[0]:
+            raise SimulationError(
+                f"{square_sums.size} square sums for {rows.shape[0]} rows")
 
-    mean_sq = np.float32(square_sum / n)
+    mean_sq = (square_sums / n).astype(np.float32)
     inv_rms = fp16(1.0 / np.sqrt(mean_sq + np.float32(eps))).astype(np.float32)
+    inv_rms = inv_rms.reshape(x32.shape[:-1] + (1,))
 
     out = fp16(x32 * inv_rms)
     if weight is not None:
@@ -56,5 +84,5 @@ def two_pass_rmsnorm(x: np.ndarray, weight: np.ndarray | None = None,
             raise SimulationError(
                 f"RMSNorm weight length {w32.size} != input length {n}"
             )
-        out = fp16(out.astype(np.float32) * w32)
+        out = fp16(out.astype(np.float32) * w32.reshape(-1))
     return out

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ConfigError
-from .fp16 import fp16
+from .fp16 import fp16, fp16_round_f32
 from .lut import RopeAngleGenerator
 
 
@@ -53,28 +53,72 @@ class HardwareRope:
         self.head_dim = head_dim
         self.angles = RopeAngleGenerator(head_dim, theta,
                                          rom=QuarterSineRom(rom_depth))
+        #: memoized ROM fetches — the generator is a pure function of
+        #: the position, and decode touches the same position once per
+        #: layer and head group.
+        self._sin_cos_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    def _sin_cos(self, position: int) -> tuple[np.ndarray, np.ndarray]:
+        pair = self._sin_cos_cache.get(position)
+        if pair is None:
+            sin, cos = self.angles.sin_cos(position)
+            pair = (sin.astype(np.float32), cos.astype(np.float32))
+            self._sin_cos_cache[position] = pair
+        return pair
 
     def apply(self, x: np.ndarray, position: int) -> np.ndarray:
         """Rotate one head vector (shape ``(..., head_dim)``) in FP16."""
-        x16 = fp16(x)
+        x16 = x if isinstance(x, np.ndarray) and x.dtype == np.float16 \
+            else fp16(x)
         if x16.shape[-1] != self.head_dim:
             raise ConfigError(
                 f"expected head_dim {self.head_dim}, got {x16.shape[-1]}"
             )
         lo, hi = rotate_half_pairs(x16.astype(np.float32))
-        sin, cos = self.angles.sin_cos(position)
-        sin = sin.astype(np.float32)
-        cos = cos.astype(np.float32)
-        out = np.empty_like(x16)
-        # Two FP16 multiplies and one FP16 add per output element, with
-        # rounding after each stage as in the RTL pipeline.
-        lo_cos = fp16(lo * cos).astype(np.float32)
-        hi_sin = fp16(hi * sin).astype(np.float32)
-        lo_sin = fp16(lo * sin).astype(np.float32)
-        hi_cos = fp16(hi * cos).astype(np.float32)
-        out[..., : self.head_dim // 2] = fp16(lo_cos - hi_sin)
-        out[..., self.head_dim // 2 :] = fp16(lo_sin + hi_cos)
-        return out
+        sin, cos = self._sin_cos(position)
+        return self._rotate(lo, hi, sin, cos)
+
+    def _rotate(self, lo: np.ndarray, hi: np.ndarray, sin: np.ndarray,
+                cos: np.ndarray) -> np.ndarray:
+        """Two FP16 multiplies and one FP16 add per output element, with
+        rounding after each stage as in the RTL pipeline (the stages run
+        in float32 carrying FP16-grid values — same per-op rounding,
+        one half cast at the end)."""
+        lo_cos = fp16_round_f32(lo * cos)
+        hi_sin = fp16_round_f32(hi * sin)
+        lo_sin = fp16_round_f32(lo * sin)
+        hi_cos = fp16_round_f32(hi * cos)
+        out = np.empty(lo.shape[:-1] + (self.head_dim,), dtype=np.float32)
+        out[..., : self.head_dim // 2] = fp16_round_f32(lo_cos - hi_sin)
+        out[..., self.head_dim // 2 :] = fp16_round_f32(lo_sin + hi_cos)
+        return out.astype(np.float16)
+
+    def apply_many(self, x: np.ndarray, positions) -> np.ndarray:
+        """Rotate a stack of head groups, one position per leading row.
+
+        ``x`` has shape ``(n, ..., head_dim)`` and ``positions`` one
+        entry per leading row; row ``i`` is bit-identical to
+        ``apply(x[i], positions[i])`` — the sin/cos ROM values are
+        fetched per position and the rotation multiplies vectorize
+        elementwise across the stack.
+        """
+        x16 = x if isinstance(x, np.ndarray) and x.dtype == np.float16 \
+            else fp16(x)
+        if x16.shape[-1] != self.head_dim:
+            raise ConfigError(
+                f"expected head_dim {self.head_dim}, got {x16.shape[-1]}"
+            )
+        positions = list(positions)
+        if len(positions) != x16.shape[0]:
+            raise ConfigError(
+                f"{len(positions)} positions for {x16.shape[0]} rows")
+        pairs = [self._sin_cos(p) for p in positions]
+        bshape = (len(positions),) + (1,) * (x16.ndim - 2) \
+            + (self.head_dim // 2,)
+        sin = np.stack([s for s, _ in pairs]).reshape(bshape)
+        cos = np.stack([c for _, c in pairs]).reshape(bshape)
+        lo, hi = rotate_half_pairs(x16.astype(np.float32))
+        return self._rotate(lo, hi, sin, cos)
 
     def max_error(self, position: int, trials: int = 64,
                   seed: int = 0) -> float:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .fp16 import fp16
+from .fp16 import _as_rounded_f32, fp16_round_f32
 
 
 def reference_silu(x: np.ndarray) -> np.ndarray:
@@ -19,16 +19,21 @@ def reference_silu(x: np.ndarray) -> np.ndarray:
     return x / (1.0 + np.exp(-x))
 
 
+def _silu_stages(x32: np.ndarray) -> np.ndarray:
+    """The exp/add/divide pipeline on float32 carrying FP16-grid values
+    (identical per-stage rounding via ``fp16_round_f32``)."""
+    e = fp16_round_f32(np.exp(-x32))
+    denom = fp16_round_f32(np.float32(1.0) + e)
+    return fp16_round_f32(x32 / denom)
+
+
 def hardware_silu(x: np.ndarray) -> np.ndarray:
     """FP16 SiLU with per-stage rounding (exp, add, divide)."""
-    x32 = fp16(x).astype(np.float32)
-    e = fp16(np.exp(-x32)).astype(np.float32)
-    denom = fp16(np.float32(1.0) + e).astype(np.float32)
-    return fp16(x32 / denom)
+    return _silu_stages(_as_rounded_f32(x)).astype(np.float16)
 
 
 def hardware_gated_silu(gate: np.ndarray, up: np.ndarray) -> np.ndarray:
     """SiLU(gate) * up — the gated-MLP elementwise stage, in FP16."""
-    act = hardware_silu(gate).astype(np.float32)
-    up32 = fp16(up).astype(np.float32)
-    return fp16(act * up32)
+    act = _silu_stages(_as_rounded_f32(gate))
+    up32 = _as_rounded_f32(up)
+    return fp16_round_f32(act * up32).astype(np.float16)

@@ -18,7 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import SimulationError
-from .fp16 import fp16
+from .fp16 import fp16, fp16_round_f32
 
 
 def reference_softmax(x: np.ndarray) -> np.ndarray:
@@ -33,28 +33,42 @@ def reference_softmax(x: np.ndarray) -> np.ndarray:
 
 def three_pass_softmax(x: np.ndarray) -> np.ndarray:
     """The paper's three-pass FP16 softmax over a 1-D score vector."""
-    x16 = fp16(np.asarray(x).reshape(-1))
-    if x16.size == 0:
+    return batched_three_pass_softmax(np.asarray(x).reshape(-1))
+
+
+def batched_three_pass_softmax(x: np.ndarray) -> np.ndarray:
+    """Three-pass FP16 softmax over the last axis of a score stack.
+
+    Each row runs the identical pass structure as
+    :func:`three_pass_softmax` — running max, sequentially FP16-rounded
+    normalizer accumulation, one rounded divide — with the leading axes
+    vectorized.  Every row's accumulation visits its elements in the
+    same order as the scalar loop, so a batch of rows is bit-identical
+    to running each row alone (the SPU has one softmax unit per head
+    lane; batching heads changes which lane computes, not what).
+    """
+    x = np.asarray(x)
+    x16 = x if x.dtype == np.float16 else fp16(x)
+    if x16.size == 0 or x16.shape[-1] == 0:
         raise SimulationError("softmax of an empty vector")
     x32 = x16.astype(np.float32)
 
     # Pass 1: running maximum (comparators are exact, no rounding).
-    m = np.float32(x32[0])
-    for v in x32[1:]:
-        m = max(m, v)
+    m = np.max(x32, axis=-1, keepdims=True)
 
-    # Pass 2: normalizer accumulation; exp unit and accumulator round to FP16.
-    d = np.float32(0.0)
-    exps = np.empty_like(x32)
-    for i, v in enumerate(x32):
-        e = fp16(np.exp(np.float32(v - m)))
-        exps[i] = np.float32(e)
-        d = np.float32(fp16(d + np.float32(e)))
-    if d <= 0:
+    # Pass 2: normalizer accumulation; exp unit and accumulator round to
+    # FP16.  The exp of every element is independent (one vectorized
+    # call); the accumulator order over the score axis must stay serial
+    # (each add rounds), so only the rows are vectorized there.
+    exps = fp16_round_f32(np.exp(x32 - m))
+    d = np.zeros(x32.shape[:-1], dtype=np.float32)
+    for i in range(x32.shape[-1]):
+        d = fp16_round_f32(d + exps[..., i])
+    if np.any(d <= 0):
         raise SimulationError("softmax normalizer underflowed to zero in FP16")
 
     # Pass 3: divide (one FP16 divider, rounding the quotient).
-    return fp16(exps / d)
+    return fp16(exps / d[..., None])
 
 
 def online_softmax(x: np.ndarray) -> np.ndarray:

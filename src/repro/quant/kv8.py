@@ -23,7 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import QuantizationError
-from ..numerics.fp16 import fp16
+from ..numerics.fp16 import as_fp16_grid, fp16, fp16_round_f32
 
 
 @dataclass(frozen=True)
@@ -42,31 +42,48 @@ class KVQuantParams:
 def kv_quantize(x: np.ndarray, bits: int = 8) -> tuple[np.ndarray, KVQuantParams]:
     """Quantize one head vector; returns (codes, scale/zero params)."""
     x = np.asarray(x, dtype=np.float64).reshape(-1)
-    if x.size == 0:
+    codes, scales, zeros = kv_quantize_batch(x[None], bits)
+    return codes[0], KVQuantParams(scale=np.float16(scales[0]),
+                                   zero=int(zeros[0]))
+
+
+def kv_quantize_batch(x: np.ndarray, bits: int = 8,
+                      ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Quantize a stack of head vectors in one vectorized pass.
+
+    ``x`` has shape ``(..., head_dim)``; returns ``(codes, scales,
+    zeros)`` of shapes ``(..., head_dim)`` uint8, ``(...)`` float16 and
+    ``(...)`` int64.  Row ``i`` is bit-identical to
+    :func:`kv_quantize` of that row alone: the min/max/scale/zero
+    derivation is per row, and every rounding (FP16 scale, round-up
+    ``nextafter`` bump, ceil of the zero point) vectorizes elementwise.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.size == 0 or x.shape[-1] == 0:
         raise QuantizationError("cannot quantize an empty vector")
     qmax = (1 << bits) - 1
 
     # Widen the range to include zero so the zero point stays in
     # [-qmax, 0] (see module docstring).
-    xmin = min(float(x.min()), 0.0)
-    xmax = max(float(x.max()), 0.0)
+    xmin = np.minimum(x.min(axis=-1), 0.0)
+    xmax = np.maximum(x.max(axis=-1), 0.0)
     span = xmax - xmin
-    scale = span / qmax if span > 0 else 1.0
+    scale = np.where(span > 0, span / qmax, 1.0)
     # The hardware stores the scale in FP16; quantize it first so the codes
     # are computed against the value the dequantizer will actually use.
     # Round *up* to the next FP16 value: a scale that rounds down makes
     # span/scale exceed qmax and clips the top codes (a full-step error).
-    scale16 = float(np.float16(scale)) if scale > 0 else 1.0
-    if scale16 == 0.0:
-        scale16 = float(np.finfo(np.float16).tiny)
-    if scale16 < scale:
-        scale16 = float(np.nextafter(np.float16(scale16),
-                                     np.float16(np.inf)))
-    zero = int(np.ceil(xmin / scale16))
-    zero = max(-qmax, min(0, zero))
+    scale16 = scale.astype(np.float16).astype(np.float64)
+    scale16 = np.where(scale16 == 0.0,
+                       float(np.finfo(np.float16).tiny), scale16)
+    bumped = np.nextafter(scale16.astype(np.float16),
+                          np.float16(np.inf)).astype(np.float64)
+    scale16 = np.where(scale16 < scale, bumped, scale16)
+    zero = np.clip(np.ceil(xmin / scale16), -qmax, 0).astype(np.int64)
 
-    codes = np.clip(np.round(x / scale16) - zero, 0, qmax).astype(np.uint8)
-    return codes, KVQuantParams(scale=np.float16(scale16), zero=zero)
+    codes = np.clip(np.round(x / scale16[..., None]) - zero[..., None],
+                    0, qmax).astype(np.uint8)
+    return codes, scale16.astype(np.float16), zero
 
 
 def kv_dequantize(codes: np.ndarray, params: KVQuantParams,
@@ -75,6 +92,25 @@ def kv_dequantize(codes: np.ndarray, params: KVQuantParams,
     q = np.asarray(codes, dtype=np.float32)
     centered = q + np.float32(params.zero)
     return fp16(centered * np.float32(params.scale)).astype(dtype)
+
+
+def kv_dequantize_batch(codes: np.ndarray, scales: np.ndarray,
+                        zeros: np.ndarray, dtype=np.float16) -> np.ndarray:
+    """Vectorized :func:`kv_dequantize` over a stack of head vectors.
+
+    ``codes`` has shape ``(..., head_dim)`` with one scale/zero pair per
+    leading entry; each row dequantizes exactly as the scalar helper
+    does (``(q + z) * s`` rounded once to FP16).  ``dtype=np.float32``
+    returns the same FP16-grid values without the half cast — the
+    representation the batched attention kernels consume directly.
+    """
+    q = np.asarray(codes, dtype=np.float32)
+    centered = q + np.asarray(zeros, dtype=np.float32)[..., None]
+    scaled = centered * np.asarray(scales).astype(np.float32)[..., None]
+    rounded = fp16_round_f32(scaled)
+    if dtype == np.float32:
+        return as_fp16_grid(rounded)
+    return rounded.astype(dtype)
 
 
 def kv_roundtrip_error(x: np.ndarray, bits: int = 8) -> float:

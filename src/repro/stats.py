@@ -14,12 +14,23 @@ def percentile_nearest_rank(values: Sequence[float],
     The convention both perf reports use: rank ``round(p/100 * (n-1))``
     of the sorted sample, clamped to the last element.
     """
+    if not values:
+        raise SimulationError("no samples recorded")
+    return percentile_of_sorted(sorted(values), percentile)
+
+
+def percentile_of_sorted(ordered: Sequence[float],
+                         percentile: float) -> float:
+    """:func:`percentile_nearest_rank` over an already-sorted sample.
+
+    Callers that query several percentiles of one sample sort once and
+    index repeatedly instead of re-sorting per query.
+    """
     if not 0 <= percentile <= 100:
         raise SimulationError(
             f"percentile must be in [0, 100], got {percentile}")
-    if not values:
+    if not ordered:
         raise SimulationError("no samples recorded")
-    ordered = sorted(values)
     index = min(len(ordered) - 1,
                 int(round(percentile / 100 * (len(ordered) - 1))))
     return ordered[index]

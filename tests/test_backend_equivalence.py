@@ -19,6 +19,7 @@ observable behaviour is invariant to the backend/KV combination:
   blocks hold bit-identical K/V (else its argmax streams would drift).
 """
 
+import numpy as np
 import pytest
 
 from repro.cluster import (
@@ -199,6 +200,143 @@ class TestAnalyticalTracksCycleModel:
             times[name] = run_engine(
                 backend, shared_prefix_trace()).total_time_s
         assert times["analytical"] <= times["cycle"]
+
+
+def reports_identical(a, b):
+    """Every observable of two serving reports is bit-identical."""
+    assert a.total_time_s == b.total_time_s
+    assert a.n_steps == b.n_steps
+    assert a.step_batches == b.step_batches
+    assert a.preemptions == b.preemptions
+    assert len(a.results) == len(b.results)
+    for ra, rb in zip(a.results, b.results):
+        assert ra.request_id == rb.request_id
+        assert ra.tokens == rb.tokens
+        assert ra.decode_step_s == rb.decode_step_s
+        assert ra.ttft_s == rb.ttft_s
+        assert ra.e2e_s == rb.e2e_s
+        assert ra.finish_reason == rb.finish_reason
+
+
+class TestFastForwardEquivalence:
+    """The fast-forward path and the memoized step costs are pure
+    accelerations: every per-step observable — sampled tokens, per-step
+    cycles and latencies, step counts, clocks — must be bit-identical
+    to the step-by-step loop over the original schedule builders
+    (``reference_costs=True``), under both KV disciplines and with
+    arrival-gated traffic forcing windows to break mid-run.
+    """
+
+    @pytest.mark.parametrize("kv_mode", KV_MODES)
+    @pytest.mark.parametrize("name", ["cycle", "analytical"])
+    @pytest.mark.parametrize("arrival_rate", [1e9, 300.0])
+    def test_fast_forward_is_bit_identical(self, name, kv_mode,
+                                           arrival_rate, quant32):
+        trace = synthetic_trace(TINY_MODEL, 20,
+                                arrival_rate_rps=arrival_rate, seed=9,
+                                prompt_len=(3, 10), decode_len=(4, 30),
+                                shared_prefix_len=8)
+        cls = CycleModelBackend if name == "cycle" else AnalyticalBackend
+        kv = dict(kv_mode=kv_mode, block_size=BLOCK_SIZE,
+                  n_kv_blocks=BUDGET_TOKENS // BLOCK_SIZE)
+        budget = BUDGET_TOKENS if kv_mode == "slotted" else None
+
+        def run(fast_forward, reference_costs):
+            backend = cls(TINY_MODEL, quant32, n_slots=MAX_BATCH,
+                          reference_costs=reference_costs, **kv)
+            engine = ContinuousBatchScheduler(
+                backend, max_batch=MAX_BATCH, kv_token_budget=budget,
+                fast_forward=fast_forward)
+            return engine.run(trace)
+
+        reference = run(False, True)
+        reports_identical(run(False, False), reference)
+        reports_identical(run(True, False), reference)
+
+    @pytest.mark.parametrize("cls", [ShardedCycleBackend,
+                                     ShardedAnalyticalBackend])
+    def test_sharded_fast_forward_is_bit_identical(self, cls, quant32):
+        trace = synthetic_trace(TINY_MODEL, 12, arrival_rate_rps=500.0,
+                                seed=4, prompt_len=(3, 10),
+                                decode_len=(4, 24))
+
+        def run(fast_forward):
+            backend = cls(TINY_MODEL, quant32, tp=2, n_slots=MAX_BATCH)
+            engine = ContinuousBatchScheduler(
+                backend, max_batch=MAX_BATCH,
+                kv_token_budget=BUDGET_TOKENS, fast_forward=fast_forward)
+            return engine.run(trace)
+
+        reports_identical(run(True), run(False))
+
+    def test_fast_forward_handles_finite_oracle_stream(self, quant32):
+        """A recorded oracle ends at its EOS; the fast-forward window
+        probe must not index past it even when max_new_tokens is larger
+        (regression: planned_tokens used to prefetch the whole window)."""
+        stream = (21, 22, 7)  # EOS 7 sampled at step 2
+
+        def oracle(request_id, step):
+            return stream[step]
+
+        def run(fast_forward):
+            backend = CycleModelBackend(TINY_MODEL, quant32, n_slots=1,
+                                        token_oracle=oracle)
+            engine = ContinuousBatchScheduler(
+                backend, max_batch=1, kv_token_budget=BUDGET_TOKENS,
+                fast_forward=fast_forward)
+            return engine.run([Request(0, (5, 6), max_new_tokens=30,
+                                       eos_id=7)])
+
+        fast, slow = run(True), run(False)
+        reports_identical(fast, slow)
+        assert streams_of(fast) == {0: stream}
+
+    def test_fast_forward_respects_eos_retirement(self, quant32,
+                                                  reference, oracle):
+        """An oracle stream ending in EOS must retire at the same step
+        with and without fast-forward (windows cannot skip the EOS)."""
+        def run(fast_forward):
+            backend = make_backend("cycle", "slotted", None, quant32,
+                                   oracle=oracle)
+            engine = ContinuousBatchScheduler(
+                backend, max_batch=MAX_BATCH,
+                kv_token_budget=BUDGET_TOKENS, fast_forward=fast_forward)
+            return engine.run(shared_prefix_trace())
+
+        reports_identical(run(True), run(False))
+        assert streams_of(run(True)) == streams_of(reference)
+
+
+class TestBatchedDecodeEquivalence:
+    """The functional backend's stacked ``forward_batch`` decode must
+    emit the token stream of the scalar per-token reference path."""
+
+    def test_forward_batch_stream_matches_scalar_reference(
+            self, tiny_qweights, reference):
+        from repro.model.kvcache import QuantizedKVCache
+
+        model = FunctionalBackend(tiny_qweights,
+                                  n_slots=MAX_BATCH).functional
+        want = streams_of(reference)
+        for request in shared_prefix_trace():
+            cache = QuantizedKVCache(model.config,
+                                     model.qweights.quant.kv_bits)
+            logits = None
+            for pos, tok in enumerate(request.prompt):
+                logits = model.forward_token_reference(tok, cache, pos)
+            got = []
+            position = len(request.prompt)
+            for _ in range(request.max_new_tokens):
+                token = int(np.argmax(logits))
+                got.append(token)
+                if token == request.eos_id:
+                    break
+                if len(got) == request.max_new_tokens:
+                    break
+                logits = model.forward_token_reference(token, cache,
+                                                       position)
+                position += 1
+            assert tuple(got) == want[request.request_id]
 
 
 class TestShardedEquivalence:
