@@ -15,7 +15,13 @@ kept in-tree for exactly this purpose (and for the bit-exactness tests):
   cycle-model and analytical backends with memoized step costs plus the
   scheduler's fast-forward windows, vs ``reference_costs=True`` with
   the step-by-step loop (the pre-optimization cost path, still the
-  oracle of the differential tests).
+  oracle of the differential tests);
+* sweep scale — streamed traces + run-length telemetry (the PR 5
+  O(state-changes) path) vs the PR 4 pipeline (materialized trace,
+  ``telemetry="full"``) at 10k/100k requests, a million-request
+  streamed summary sweep, and tracemalloc peak-heap rows showing the
+  windowed footprint stays flat while decoded tokens double.
+  ``SIMPERF_SWEEP=smoke`` scales the points down to the CI budget.
 
 Results go to ``BENCH_simperf.json`` at the repo root (machine-readable
 trajectory for later PRs to diff) and ``benchmarks/results/simperf.txt``.
@@ -31,14 +37,17 @@ not here.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import time
+import tracemalloc
 
 from repro.config import SMALL_MODEL, TINY_MODEL, QuantConfig
 from repro.engine import (
     AnalyticalBackend,
     ContinuousBatchScheduler,
     CycleModelBackend,
+    iter_synthetic_trace,
     synthetic_trace,
 )
 from repro.model.kvcache import SlottedKVCache
@@ -53,9 +62,14 @@ DECODE_CONTEXT = 96
 DECODE_BATCHES = (1, 8, 16)
 SWEEP_REQUESTS = 1000
 
+#: ``full`` reproduces the committed record (10k / 100k / 1M points,
+#: several minutes of wall time); ``smoke`` is the CI budget subset
+#: with scaled-down points and the same floor assertions.
+SWEEP_SCALE_MODE = os.environ.get("SIMPERF_SWEEP", "full")
+
 #: accumulated section results, written by bench_write_record (last in
 #: file, so pytest runs it after every measuring bench).
-RECORD: dict = {"schema": "simperf-v1", "sections": {}}
+RECORD: dict = {"schema": "simperf-v2", "sections": {}}
 
 
 def _model(config=SMALL_MODEL) -> QuantizedModel:
@@ -181,11 +195,204 @@ def bench_timing_backend_sweeps(save_result):
     save_result("simperf_sweeps", json.dumps(rows, indent=2))
 
 
+SCALE_TRACE = dict(arrival_rate_rps=2000.0, seed=5, prompt_len=(4, 16))
+SCALE_DECODE = (8, 48)
+
+
+_SUBPROCESS_SWEEP = """
+import json, resource, sys, time
+from repro.config import TINY_MODEL, QuantConfig
+from repro.engine import (ContinuousBatchScheduler, CycleModelBackend,
+                          iter_synthetic_trace)
+
+params = json.loads(sys.argv[1])
+n, telemetry = params.pop("n_requests"), params.pop("telemetry")
+quant = QuantConfig(weight_group_size=params.pop("weight_group_size"))
+params["prompt_len"] = tuple(params["prompt_len"])
+params["decode_len"] = tuple(params["decode_len"])
+backend = CycleModelBackend(TINY_MODEL, quant, n_slots=16)
+engine = ContinuousBatchScheduler(backend, max_batch=16)
+start = time.perf_counter()
+report = engine.run(iter_synthetic_trace(TINY_MODEL, n, **params),
+                    max_steps=1_000_000_000, telemetry=telemetry)
+wall_s = time.perf_counter() - start
+print(json.dumps({
+    "n_requests": n, "telemetry": telemetry, "streamed": True,
+    "wall_s": round(wall_s, 2), "n_steps": report.n_steps,
+    "total_new_tokens": report.total_new_tokens,
+    "p99_token_lat_ms": round(report.latency_percentile_s(99) * 1e3, 4),
+    "peak_rss_mb": round(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024, 1),
+}))
+"""
+
+
+def _scale_run_subprocess(n_requests: int, telemetry: str) -> dict:
+    """The streamed sweep in a fresh interpreter, so the recorded wall
+    and peak RSS belong to this run alone (the parent process carries
+    the eager baselines' retained heap).  The workload ships as argv
+    from the same SCALE_TRACE/QUANT the in-process rows use."""
+    import subprocess
+    import sys
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    params = dict(SCALE_TRACE, n_requests=n_requests, telemetry=telemetry,
+                  decode_len=SCALE_DECODE,
+                  weight_group_size=QUANT.weight_group_size)
+    out = subprocess.run(
+        [sys.executable, "-c", _SUBPROCESS_SWEEP, json.dumps(params)],
+        check=True, capture_output=True, text=True, env=env)
+    return json.loads(out.stdout)
+
+
+def _scale_run(n_requests: int, telemetry: str, stream: bool,
+               decode_len=SCALE_DECODE,
+               measure_memory: bool = False) -> dict:
+    """One end-to-end sweep: trace generation + engine run, timed as a
+    whole (the baseline pays list materialization, the streamed path
+    pays lazy generation — each its own real cost)."""
+    backend = CycleModelBackend(TINY_MODEL, QUANT, n_slots=16)
+    engine = ContinuousBatchScheduler(backend, max_batch=16)
+    if measure_memory:
+        tracemalloc.start()
+    start = time.perf_counter()
+    requests = iter_synthetic_trace(TINY_MODEL, n_requests,
+                                    decode_len=decode_len,
+                                    **SCALE_TRACE) if stream \
+        else synthetic_trace(TINY_MODEL, n_requests,
+                             decode_len=decode_len, **SCALE_TRACE)
+    report = engine.run(requests, max_steps=1_000_000_000,
+                        telemetry=telemetry)
+    wall_s = time.perf_counter() - start
+    row = {"n_requests": n_requests, "telemetry": telemetry,
+           "streamed": stream, "wall_s": round(wall_s, 2),
+           "n_steps": report.n_steps,
+           "total_new_tokens": report.total_new_tokens,
+           "p99_token_lat_ms": round(
+               report.latency_percentile_s(99) * 1e3, 4)}
+    if measure_memory:
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        row["peak_heap_mb"] = round(peak / 1e6, 1)
+    return row
+
+
+def bench_sweep_scale(save_result):
+    """Streaming million-request sweeps vs the PR 4 fast-forward path.
+
+    The baseline is the pre-PR 5 serving pipeline exactly as PR 4 left
+    it: materialized trace, up-front submission, ``telemetry="full"``
+    per-step recording (that path is still the differential oracle).
+    The optimized path streams the trace incrementally and records
+    run-length windows — O(scheduler state changes) instead of O(total
+    decoded tokens) — with every expanded observable pinned
+    bit-identical by tests/test_telemetry_equivalence.py.
+    """
+    smoke = SWEEP_SCALE_MODE == "smoke"
+    pair_points = (10_000, 30_000) if smoke else (10_000, 100_000)
+    stream_point = 150_000 if smoke else 1_000_000
+
+    pairs = []
+    for n in pair_points:
+        # Best of two on BOTH sides of the big pair: min-of-repeats
+        # strips scheduler noise symmetrically (smoke keeps single
+        # shots for the CI budget).
+        repeats = 1 if smoke or n != pair_points[-1] else 2
+        baseline = min((_scale_run(n, "full", stream=False)
+                        for _ in range(repeats)),
+                       key=lambda r: r["wall_s"])
+        windows = min((_scale_run(n, "windows", stream=True)
+                       for _ in range(repeats)),
+                      key=lambda r: r["wall_s"])
+        assert baseline["n_steps"] == windows["n_steps"]
+        assert baseline["total_new_tokens"] == windows["total_new_tokens"]
+        assert baseline["p99_token_lat_ms"] == windows["p99_token_lat_ms"]
+        pairs.append({
+            "n_requests": n,
+            "baseline_wall_s": baseline["wall_s"],
+            "windows_wall_s": windows["wall_s"],
+            "speedup": round(baseline["wall_s"] / windows["wall_s"], 1),
+            "n_steps": windows["n_steps"],
+            "total_new_tokens": windows["total_new_tokens"],
+        })
+
+    # Memory: same request count, decoded tokens nearly doubled — the
+    # windowed telemetry's footprint must not follow the tokens.
+    mem_n = 10_000 if smoke else 20_000
+    memory = {}
+    for telemetry, stream in (("full", False), ("windows", True)):
+        rows = [_scale_run(mem_n, telemetry, stream, decode_len=dec,
+                           measure_memory=True)
+                for dec in ((8, 48), (32, 192))]
+        memory[telemetry] = [
+            {"n_requests": mem_n, "decode_len": list(dec),
+             "total_new_tokens": r["total_new_tokens"],
+             "peak_heap_mb": r["peak_heap_mb"]}
+            for dec, r in zip(((8, 48), (32, 192)), rows)]
+
+    # The headline streamed point runs in a FRESH subprocess: in-process
+    # RSS would carry the eager baselines' retained heap (glibc keeps
+    # freed arenas resident), and tracemalloc would inflate wall ~6x.
+    # A child process gives the run its own wall clock and its own RSS
+    # high-water.
+    streamed = _scale_run_subprocess(stream_point, "summary")
+    heap_point = 40_000 if smoke else 100_000
+    streamed_heap = _scale_run(heap_point, "summary", stream=True,
+                               measure_memory=True)
+
+    section = {
+        "model": TINY_MODEL.name,
+        "mode": SWEEP_SCALE_MODE,
+        "baseline": "PR 4 path: materialized trace + telemetry='full' "
+                    "fast-forward (still the differential oracle)",
+        "pairs": pairs,
+        "memory": memory,
+        "streamed": streamed,
+        "streamed_heap": streamed_heap,
+    }
+    RECORD["sections"]["sweep_scale"] = section
+
+    # CI floors — wall-clock, speedup, and memory.  Floors sit well
+    # under the recorded values to absorb shared-runner noise; the
+    # committed record (mode=full) is the trajectory of record.
+    big = pairs[-1]
+    if smoke:
+        assert big["speedup"] >= 2.5, big
+        assert big["windows_wall_s"] < 30.0, big
+        assert streamed["wall_s"] < 90.0, streamed
+        assert streamed_heap["peak_heap_mb"] < 150.0, streamed_heap
+    else:
+        # Tentpole acceptance: >= 10x over the PR 4 path at >= 100k
+        # requests (recorded value; the floor leaves noise margin).
+        assert big["n_requests"] >= 100_000
+        assert big["speedup"] >= 8.0, big
+        assert big["windows_wall_s"] < 60.0, big
+        assert streamed["n_requests"] == 1_000_000
+        assert streamed["wall_s"] < 500.0, streamed
+        # Whole fresh process, including the end-of-run percentile
+        # query's transient sort over ~18M latency runs.
+        assert streamed["peak_rss_mb"] < 1200.0, streamed
+        assert streamed_heap["peak_heap_mb"] < 250.0, streamed_heap
+    # Sub-linear memory in decoded tokens: near-doubling the tokens at
+    # fixed request count must not grow the windowed footprint by more
+    # than a sliver, while the eager footprint tracks the per-token
+    # lists it materializes.
+    win_lo, win_hi = memory["windows"]
+    token_ratio = win_hi["total_new_tokens"] / win_lo["total_new_tokens"]
+    assert token_ratio > 1.5
+    assert win_hi["peak_heap_mb"] <= win_lo["peak_heap_mb"] * 1.25, memory
+    full_lo = memory["full"][0]
+    assert win_lo["peak_heap_mb"] < full_lo["peak_heap_mb"] / 2, memory
+    save_result("simperf_sweep_scale", json.dumps(section, indent=2))
+
+
 def bench_write_record(save_result):
     """Persist the machine-readable trajectory (runs last in this file)."""
     sections = RECORD["sections"]
     assert set(sections) == {"functional_decode", "functional_prefill",
-                             "timing_sweeps"}, sections
+                             "timing_sweeps", "sweep_scale"}, sections
     RECORD["note"] = (
         "wall-clock of the simulator itself; every optimized/baseline "
         "pair computes bit-identical results (see "
@@ -212,6 +419,26 @@ def bench_write_record(save_result):
             f"  {name:10s} sweep ({row['n_requests']} req, "
             f"{row['n_steps']} steps): {row['baseline_wall_s']:7.2f} -> "
             f"{row['optimized_wall_s']:6.2f} s   ({row['speedup']:.1f}x)")
+    scale = sections["sweep_scale"]
+    lines.append(f"  sweep-scale mode: {scale['mode']} (baseline = "
+                 "PR 4 fast-forward path)")
+    for row in scale["pairs"]:
+        lines.append(
+            f"  {row['n_requests']:>9,d}-request sweep: "
+            f"{row['baseline_wall_s']:7.2f} -> {row['windows_wall_s']:6.2f} s"
+            f"   ({row['speedup']:.1f}x, telemetry=windows streamed)")
+    st = scale["streamed"]
+    lines.append(
+        f"  {st['n_requests']:>9,d}-request streamed summary sweep: "
+        f"{st['wall_s']:7.2f} s, peak RSS {st['peak_rss_mb']:.0f} MB "
+        f"({st['total_new_tokens']:,} tokens)")
+    for tel in ("full", "windows"):
+        lo, hi = scale["memory"][tel]
+        lines.append(
+            f"  telemetry={tel:7s} peak heap at {lo['n_requests']:,} req: "
+            f"{lo['peak_heap_mb']:6.1f} MB @ {lo['total_new_tokens']:,} tok"
+            f" -> {hi['peak_heap_mb']:6.1f} MB @ "
+            f"{hi['total_new_tokens']:,} tok")
     save_result("simperf", "\n".join(lines))
 
 
@@ -222,4 +449,5 @@ if __name__ == "__main__":
     bench_functional_decode(_print_result)
     bench_functional_prefill(_print_result)
     bench_timing_backend_sweeps(_print_result)
+    bench_sweep_scale(_print_result)
     bench_write_record(_print_result)

@@ -228,10 +228,14 @@ def _serve_backend(args, model, platform, quant, qweights=None):
 
 
 def cmd_serve_sim(args) -> int:
-    from .engine import ContinuousBatchScheduler, synthetic_trace
+    from .engine import ContinuousBatchScheduler, iter_synthetic_trace
 
     if args.tp < 1 or args.replicas < 1:
         raise ReproError("--tp and --replicas must be >= 1")
+    if args.per_request and args.telemetry == "summary":
+        raise ReproError(
+            "--per-request needs per-request results; use "
+            "--telemetry full or windows")
     model = _model(args.model)
     platform = _platform(args.platform)
     quant = _quant(args)
@@ -242,20 +246,33 @@ def cmd_serve_sim(args) -> int:
                 for _ in range(args.replicas)]
     engines = [ContinuousBatchScheduler(b, max_batch=args.max_batch,
                                         **scheduler_kv) for b in backends]
-    trace = synthetic_trace(
-        model, n_requests=args.requests,
-        arrival_rate_rps=args.arrival_rate,
-        prompt_len=(args.prompt_min, args.prompt_max),
-        decode_len=(args.decode_min, args.decode_max),
-        seed=args.seed,
-        shared_prefix_len=args.shared_prefix)
+
+    def trace_factory():
+        return iter_synthetic_trace(
+            model, n_requests=args.requests,
+            arrival_rate_rps=args.arrival_rate,
+            prompt_len=(args.prompt_min, args.prompt_max),
+            decode_len=(args.decode_min, args.decode_max),
+            seed=args.seed,
+            shared_prefix_len=args.shared_prefix)
+
+    # The trace streams into the engine(s): nothing is materialized, so
+    # --requests scales to millions at O(in-flight) memory.  Exception:
+    # a full-telemetry cluster keeps O(trace) per-request state anyway,
+    # so hand the router a materialized list instead of regenerating
+    # and re-routing the trace once per replica.
+    max_steps = max(1_000_000, 64 * args.requests)
     if args.replicas > 1:
         from .cluster import ReplicaRouter
 
         router = ReplicaRouter(engines, policy=args.router)
-        report = router.run(trace)
+        cluster_trace = list(trace_factory()) \
+            if args.telemetry == "full" else trace_factory
+        report = router.run(cluster_trace, telemetry=args.telemetry,
+                            max_steps=max_steps)
     else:
-        report = engines[0].run(trace)
+        report = engines[0].run(trace_factory(), max_steps=max_steps,
+                                telemetry=args.telemetry)
     backend, engine = backends[0], engines[0]
 
     kv_desc = f"KV budget {engine.kv_token_budget} tokens"
@@ -317,7 +334,8 @@ def cmd_bench_serve_scaling(args) -> int:
                            interconnect=_interconnect(args),
                            n_requests=args.requests,
                            max_batch=args.max_batch, mode=args.mode,
-                           seed=args.seed)
+                           seed=args.seed, telemetry=args.telemetry,
+                           max_steps=max(1_000_000, 64 * args.requests))
     _, text = scaling_table(points)
     print(f"TP x DP scaling — {model.name} on {platform.name}, "
           f"{args.interconnect} interconnect, "
@@ -516,6 +534,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "prefix_affinity"),
                    default="round_robin",
                    help="replica routing policy for --replicas > 1")
+    p.add_argument("--telemetry",
+                   choices=("full", "windows", "summary"),
+                   default="full",
+                   help="recording level: full materializes every "
+                        "step, windows keeps run-length records that "
+                        "expand to identical values, summary keeps "
+                        "aggregates and exact percentiles only")
     p.add_argument("--per-request", action="store_true",
                    help="print the per-request table")
     p.set_defaults(fn=cmd_serve_sim)
@@ -544,6 +569,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "multi-accelerator scaling curve")
     p.add_argument("--interconnect", default="10GbE",
                    help="board-to-board link preset for the sweep")
+    p.add_argument("--telemetry",
+                   choices=("full", "windows", "summary"),
+                   default="full",
+                   help="recording level for --scaling-sweep replays "
+                        "(summary streams million-request grids)")
     p.set_defaults(fn=cmd_bench_serve, context=512)
 
     p = sub.add_parser("generate", help="functional generation (tiny models)")

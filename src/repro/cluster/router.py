@@ -13,22 +13,40 @@ Policies:
 * ``round_robin``   — strict rotation; uniform and stateless.
 * ``least_loaded``  — join the replica with the least outstanding work
   (queued prompt + decode-budget tokens), the classic join-shortest-
-  queue approximation.
+  queue approximation.  The load ledger is a running counter updated
+  in O(1) per routed request; it always equals what re-summing every
+  assignment would give (pinned in the router tests).
 * ``prefix_affinity`` — hash the leading prompt window so requests
   sharing a system prompt land on the replica whose
   :class:`repro.kv.PrefixCache` already holds those blocks; requests
   with no shareable prefix fall back to least-loaded.
+
+Streaming: :meth:`ReplicaRouter.run` also accepts a zero-argument
+*trace factory* returning a fresh request iterator.  Routing is a
+deterministic state machine over the arrival sequence, so each replica
+replays the factory once and keeps only its own share — a
+million-request cluster sweep never materializes the trace, and the
+per-replica streamed reports merge without per-token lists.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+import numpy as np
 
 from ..engine.request import Request
-from ..engine.scheduler import ContinuousBatchScheduler, ServeReport
+from ..engine.scheduler import ContinuousBatchScheduler
+from ..engine.telemetry import (RequestResult, ServeReport,
+                                StreamedServeReport)
 from ..errors import SimulationError
+from ..stats import merge_sorted, percentile_of_runs, percentile_of_sorted
 
 POLICIES = ("round_robin", "least_loaded", "prefix_affinity")
+
+#: a materialized trace or a factory yielding a fresh iterator per call.
+TraceLike = Iterable[Request] | Callable[[], Iterable[Request]]
 
 
 def _affinity_key(prompt: tuple, window: int) -> int:
@@ -42,6 +60,46 @@ def _affinity_key(prompt: tuple, window: int) -> int:
     for token in head:
         h = (h * 1000003 + 1 + token) & 0xFFFFFFFFFFFF
     return h
+
+
+class _RoutingState:
+    """The pure routing state machine: policy + O(1) load ledger.
+
+    Deterministic over the request sequence, which is what lets a
+    streamed run rebuild identical assignments on every replica's
+    private pass over the trace factory.
+    """
+
+    def __init__(self, n_replicas: int, policy: str,
+                 affinity_window: int) -> None:
+        self.n_replicas = n_replicas
+        self.policy = policy
+        self.affinity_window = affinity_window
+        self.rr_next = 0
+        #: outstanding routed work per replica (prompt + decode budget
+        #: tokens), maintained incrementally — never re-summed.
+        self.loads = [0] * n_replicas
+
+    def _least_loaded(self) -> int:
+        return min(range(self.n_replicas),
+                   key=lambda i: (self.loads[i], i))
+
+    def route(self, request: Request) -> int:
+        if self.policy == "round_robin":
+            replica = self.rr_next
+            self.rr_next = (self.rr_next + 1) % self.n_replicas
+        elif self.policy == "least_loaded":
+            replica = self._least_loaded()
+        else:  # prefix_affinity
+            if len(request.prompt) > 1:
+                replica = _affinity_key(request.prompt,
+                                        self.affinity_window) \
+                    % self.n_replicas
+            else:
+                replica = self._least_loaded()
+        self.loads[replica] += len(request.prompt) \
+            + request.max_new_tokens
+        return replica
 
 
 @dataclass
@@ -64,6 +122,127 @@ class ClusterServeReport(ServeReport):
 
     def replica_request_counts(self) -> list[int]:
         return [len(r.results) for r in self.replica_reports]
+
+    def _sorted_decode_latencies(self) -> list[float]:
+        """K-way merge of the replicas' already-sorted latency caches
+        (:func:`repro.stats.merge_sorted`) — the replicas partition the
+        cluster's results, so the merge IS the sorted union, without
+        re-sorting it from scratch."""
+        if self._decode_lat_sorted is None:
+            if self.replica_reports:
+                self._decode_lat_sorted = merge_sorted(
+                    [r._sorted_decode_latencies()
+                     for r in self.replica_reports])
+            else:
+                self._decode_lat_sorted = sorted(
+                    s for r in self.results for s in r.decode_step_s)
+        return self._decode_lat_sorted
+
+    def _sorted_ttfts(self) -> list[float]:
+        if self._ttft_sorted is None:
+            if self.replica_reports:
+                self._ttft_sorted = merge_sorted(
+                    [r._sorted_ttfts() for r in self.replica_reports])
+            else:
+                self._ttft_sorted = sorted(r.ttft_s for r in self.results)
+        return self._ttft_sorted
+
+
+class StreamedClusterReport:
+    """Cluster merge of per-replica :class:`StreamedServeReport`\\ s.
+
+    Aggregates fold without expanding anything: counters add, the
+    decode-latency runs concatenate (still run-length), sorted TTFT
+    caches k-way merge through :func:`repro.stats.merge_sorted`.
+    Per-request results materialize lazily at ``"windows"`` level.
+    """
+
+    def __init__(self, reports: list[StreamedServeReport],
+                 assignments: dict[int, int] | None = None) -> None:
+        if not reports:
+            raise SimulationError("no replica reports to merge")
+        self.replica_reports = reports
+        self.assignments = dict(assignments or {})
+        self.telemetry = reports[0].telemetry
+        self.total_time_s = max(r.total_time_s for r in reports)
+        self.n_steps = sum(r.n_steps for r in reports)
+        self.preemptions = sum(r.preemptions for r in reports)
+        self.max_batch_observed = max(r.max_batch_observed
+                                      for r in reports)
+        self._lat_runs: tuple[np.ndarray, np.ndarray] | None = None
+        self._ttft_sorted: list[float] | None = None
+        self._results: list[RequestResult] | None = None
+
+    @property
+    def n_replicas(self) -> int:
+        return len(self.replica_reports)
+
+    def replica_request_counts(self) -> list[int]:
+        return [r.n_requests for r in self.replica_reports]
+
+    @property
+    def n_requests(self) -> int:
+        return sum(r.n_requests for r in self.replica_reports)
+
+    @property
+    def total_new_tokens(self) -> int:
+        return sum(r.total_new_tokens for r in self.replica_reports)
+
+    @property
+    def aggregate_tokens_per_s(self) -> float:
+        if self.total_time_s <= 0:
+            raise SimulationError("report covers no simulated time")
+        return self.total_new_tokens / self.total_time_s
+
+    @property
+    def mean_batch(self) -> float:
+        decode = sum(r.n_decode_steps for r in self.replica_reports)
+        if not decode:
+            raise SimulationError("no decode steps recorded")
+        return sum(r.batch_sum for r in self.replica_reports) / decode
+
+    @property
+    def mean_ttft_s(self) -> float:
+        columns = [r.ttft_columns() for r in self.replica_reports]
+        ids = np.concatenate([c[0] for c in columns])
+        if not len(ids):
+            raise SimulationError("no retired requests")
+        ttfts = np.concatenate([c[1] for c in columns])
+        # Request-id order: the accumulation order of the eager cluster
+        # report's mean, so the float matches bit for bit.
+        return sum(ttfts[np.argsort(ids, kind="stable")].tolist()) \
+            / len(ids)
+
+    def latency_percentile_s(self, percentile: float) -> float:
+        if self._lat_runs is None:
+            parts = [r.latency_runs() for r in self.replica_reports]
+            values = np.concatenate([p[0] for p in parts])
+            counts = np.concatenate([p[1] for p in parts])
+            if not len(values):
+                raise SimulationError("no decode steps recorded")
+            order = np.argsort(values, kind="stable")
+            self._lat_runs = (values[order], counts[order])
+        return percentile_of_runs(*self._lat_runs, percentile)
+
+    def ttft_percentile_s(self, percentile: float) -> float:
+        if self._ttft_sorted is None:
+            self._ttft_sorted = merge_sorted(
+                [r.sorted_ttfts() for r in self.replica_reports])
+        if not self._ttft_sorted:
+            raise SimulationError("no retired requests")
+        return percentile_of_sorted(self._ttft_sorted, percentile)
+
+    @property
+    def step_batches(self) -> list[int]:
+        return [b for r in self.replica_reports for b in r.step_batches]
+
+    @property
+    def results(self) -> list[RequestResult]:
+        if self._results is None:
+            self._results = sorted(
+                (res for r in self.replica_reports for res in r.results),
+                key=lambda res: res.request_id)
+        return self._results
 
 
 def merge_reports(reports: list[ServeReport],
@@ -108,51 +287,105 @@ class ReplicaRouter:
         self.engines = engines
         self.policy = policy
         self.affinity_window = affinity_window
-        self._rr_next = 0
-        self._load = [0] * len(engines)
+        self._routing = _RoutingState(len(engines), policy,
+                                      affinity_window)
         self.assignments: dict[int, int] = {}
 
     @property
     def n_replicas(self) -> int:
         return len(self.engines)
 
-    def _least_loaded(self) -> int:
-        return min(range(self.n_replicas), key=lambda i: (self._load[i], i))
+    @property
+    def loads(self) -> list[int]:
+        """Outstanding routed work per replica (running counters)."""
+        return list(self._routing.loads)
+
+    def recompute_loads(self, requests: Iterable[Request]) -> list[int]:
+        """The load ledger re-derived from scratch: sum every routed
+        request's cost under its recorded assignment.  Exists to pin
+        the running counters in tests — never used on the hot path."""
+        loads = [0] * self.n_replicas
+        for request in requests:
+            replica = self.assignments.get(request.request_id)
+            if replica is not None:
+                loads[replica] += len(request.prompt) \
+                    + request.max_new_tokens
+        return loads
 
     def route(self, request: Request) -> int:
         """Pick a replica for ``request`` and record the assignment."""
         if request.request_id in self.assignments:
             raise SimulationError(
                 f"request {request.request_id} was already routed")
-        if self.policy == "round_robin":
-            replica = self._rr_next
-            self._rr_next = (self._rr_next + 1) % self.n_replicas
-        elif self.policy == "least_loaded":
-            replica = self._least_loaded()
-        else:  # prefix_affinity
-            if len(request.prompt) > 1:
-                replica = _affinity_key(request.prompt,
-                                        self.affinity_window) \
-                    % self.n_replicas
-            else:
-                replica = self._least_loaded()
-        self._load[replica] += len(request.prompt) + request.max_new_tokens
+        replica = self._routing.route(request)
         self.assignments[request.request_id] = replica
         return replica
 
-    def run(self, requests) -> ClusterServeReport:
+    def _replica_share(self, factory: Callable[[], Iterable[Request]],
+                       replica: int,
+                       record: bool = False) -> Iterator[Request]:
+        """This replica's share of a streamed trace: replay the
+        deterministic routing state machine over a fresh iterator and
+        keep only the matching requests.
+
+        ``record=True`` (first replica's pass — it sees every request)
+        also writes the router's public ``assignments`` map and load
+        ledger, so full-telemetry factory runs report routing exactly
+        like materialized runs.
+        """
+        routing = self._routing if record \
+            else _RoutingState(self.n_replicas, self.policy,
+                               self.affinity_window)
+        for request in factory():
+            target = routing.route(request)
+            if record:
+                # Same duplicate guard route() applies on the
+                # materialized path.  (The streaming levels skip the
+                # O(trace) id set by design — duplicate-free traces are
+                # the caller's contract there.)
+                if request.request_id in self.assignments:
+                    raise SimulationError(
+                        f"request {request.request_id} was already "
+                        "routed")
+                self.assignments[request.request_id] = target
+            if target == replica:
+                yield request
+
+    def run(self, requests: TraceLike, telemetry: str = "full",
+            max_steps: int = 1_000_000
+            ) -> ClusterServeReport | StreamedClusterReport:
         """Route every request, run each replica's engine, merge.
 
         Like :meth:`ContinuousBatchScheduler.run`, each call is a fresh
         replay: routing state from earlier calls (or manual
         :meth:`route` invocations) is discarded.
+
+        A *callable* ``requests`` is treated as a trace factory: each
+        replica replays a fresh iterator through the routing state
+        machine and consumes only its own share, so nothing is
+        materialized.  At ``telemetry="full"`` the first pass also
+        records ``assignments`` and the load ledger (per-request detail
+        is being kept anyway); the streaming levels skip that O(trace)
+        map by design.
         """
-        self._rr_next = 0
-        self._load = [0] * self.n_replicas
+        self._routing = _RoutingState(self.n_replicas, self.policy,
+                                      self.affinity_window)
         self.assignments = {}
-        shares: list[list[Request]] = [[] for _ in range(self.n_replicas)]
-        for request in sorted(requests, key=lambda r: r.arrival_s):
-            shares[self.route(request)].append(request)
-        reports = [engine.run(share)
-                   for engine, share in zip(self.engines, shares)]
+        if callable(requests):
+            reports = [
+                engine.run(self._replica_share(
+                    requests, idx, record=idx == 0
+                    and telemetry == "full"),
+                    telemetry=telemetry, max_steps=max_steps)
+                for idx, engine in enumerate(self.engines)]
+        else:
+            shares: list[list[Request]] = [[] for _ in
+                                           range(self.n_replicas)]
+            for request in sorted(requests, key=lambda r: r.arrival_s):
+                shares[self.route(request)].append(request)
+            reports = [engine.run(share, telemetry=telemetry,
+                                  max_steps=max_steps)
+                       for engine, share in zip(self.engines, shares)]
+        if telemetry != "full":
+            return StreamedClusterReport(reports, self.assignments)
         return merge_reports(reports, self.assignments)

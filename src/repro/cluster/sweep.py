@@ -15,10 +15,10 @@ from dataclasses import dataclass
 
 from ..config import KV260, ModelConfig, PlatformConfig, QuantConfig
 from ..engine.scheduler import ContinuousBatchScheduler
-from ..engine.trace import synthetic_trace
+from ..engine.trace import iter_synthetic_trace, synthetic_trace
 from ..errors import SimulationError
 from .interconnect import TEN_GIG_ETHERNET, LinkSpec
-from .router import ClusterServeReport, ReplicaRouter
+from .router import ReplicaRouter
 from .tp import ShardedCycleBackend
 
 
@@ -56,18 +56,31 @@ def scaling_sweep(model: ModelConfig, quant: QuantConfig,
                   n_requests: int = 10, max_batch: int = 8,
                   mode: str = "fused", router_policy: str = "round_robin",
                   prompt_len=(6, 12), decode_len=(12, 20),
-                  seed: int = 0) -> list[ScalingPoint]:
+                  seed: int = 0, telemetry: str = "full",
+                  max_steps: int = 1_000_000) -> list[ScalingPoint]:
     """Replay one trace over the TP x DP grid on cycle backends.
 
     The same trace (same seed) hits every grid point, so points differ
     only in how the cluster splits the work: TP shards every step, DP
     shards the queue.
+
+    ``telemetry != "full"`` streams: every grid point regenerates the
+    trace lazily (identical requests — generation is pure in the seed)
+    and the replica metrics merge without per-token lists, so the grid
+    scales to million-request traces at O(in-flight) memory.
     """
     if not tp_values or not dp_values:
         raise SimulationError("scaling sweep needs tp and dp values")
-    trace = synthetic_trace(model, n_requests=n_requests,
-                            arrival_rate_rps=1e9, prompt_len=prompt_len,
-                            decode_len=decode_len, seed=seed)
+
+    def trace_factory():
+        return iter_synthetic_trace(
+            model, n_requests=n_requests, arrival_rate_rps=1e9,
+            prompt_len=prompt_len, decode_len=decode_len, seed=seed)
+
+    trace = synthetic_trace(
+        model, n_requests=n_requests, arrival_rate_rps=1e9,
+        prompt_len=prompt_len, decode_len=decode_len, seed=seed) \
+        if telemetry == "full" else trace_factory
     runs: list[dict] = []
     for tp in tp_values:
         for dp in dp_values:
@@ -80,7 +93,8 @@ def scaling_sweep(model: ModelConfig, quant: QuantConfig,
             engines = [ContinuousBatchScheduler(b, max_batch=max_batch)
                        for b in backends]
             router = ReplicaRouter(engines, policy=router_policy)
-            report: ClusterServeReport = router.run(trace)
+            report = router.run(trace, telemetry=telemetry,
+                                max_steps=max_steps)
             comm_s = backends[0].comm.decode_step_cost(
                 max(1, round(report.mean_batch))).time_s
             runs.append(dict(

@@ -20,6 +20,15 @@ Quickstart::
     engine = ContinuousBatchScheduler(backend, max_batch=8)
     report = engine.run(synthetic_trace(LLAMA2_7B, n_requests=16))
     print(report.aggregate_tokens_per_s, report.latency_percentile_s(95))
+
+At scale, stream instead of materializing — a generator trace is
+submitted incrementally and ``telemetry=`` picks how much detail the
+report keeps (``"windows"`` and ``"summary"`` are exact but
+run-length-encoded; see :mod:`repro.engine.telemetry`)::
+
+    report = engine.run(
+        iter_synthetic_trace(LLAMA2_7B, n_requests=1_000_000),
+        max_steps=100_000_000, telemetry="summary")
 """
 
 from .backends import (
@@ -32,13 +41,16 @@ from .backends import (
     kv_discipline_kwargs,
 )
 from .request import FinishReason, Request, RequestState, RequestStatus
-from .scheduler import (
-    ContinuousBatchScheduler,
+from .scheduler import ContinuousBatchScheduler
+from .telemetry import (
+    TELEMETRY_LEVELS,
     RequestResult,
     ServeReport,
     StepEvent,
+    StepWindow,
+    StreamedServeReport,
 )
-from .trace import synthetic_trace
+from .trace import iter_synthetic_trace, synthetic_trace
 
 __all__ = [
     "AnalyticalBackend",
@@ -53,8 +65,12 @@ __all__ = [
     "RequestStatus",
     "ServeReport",
     "StepEvent",
+    "StepWindow",
+    "StreamedServeReport",
+    "TELEMETRY_LEVELS",
     "build_backend",
     "derive_kv_token_budget",
+    "iter_synthetic_trace",
     "kv_discipline_kwargs",
     "synthetic_trace",
 ]

@@ -256,6 +256,23 @@ def _stream_token(request_id: int, step: int, vocab_size: int,
     return token
 
 
+def _stream_token_block(request_id: int, base: int, n: int,
+                        vocab_size: int,
+                        eos_id: int | None) -> np.ndarray:
+    """``n`` consecutive :func:`_stream_token` values in one vector op.
+
+    Same hash arithmetic on int64 (no overflow: the multiplier times
+    any realistic request id stays far below 2**63), so each entry
+    equals the scalar function exactly.
+    """
+    steps = np.arange(base + 1, base + n + 1, dtype=np.int64)
+    tokens = (2654435761 * (request_id + 1) + 40503 * steps) % vocab_size
+    if eos_id is not None:
+        tokens = np.where(tokens == eos_id, (tokens + 1) % vocab_size,
+                          tokens)
+    return tokens
+
+
 def _synthetic_token(state: RequestState, vocab_size: int,
                      eos_id: int | None) -> int:
     """The next :func:`_stream_token` of one request state."""
@@ -376,12 +393,14 @@ class _TimingStreamMixin:
         return _synthetic_token(state, self.model_config.vocab_size,
                                 state.request.eos_id)
 
-    def planned_tokens(self, state: RequestState, n: int) -> list[int]:
+    def planned_tokens(self, state: RequestState,
+                       n: int) -> Sequence[int]:
         """The next up-to-``n`` tokens :meth:`sample` would return for
         ``state`` (index ``j`` is the sample of fast-forward step ``j``).
 
         Stops at the first EOS: a recorded oracle stream ends there, so
         probing past it would read positions the recording never had.
+        The synthetic stream comes back as one int64 array.
         """
         base = state.n_generated
         eos = state.request.eos_id
@@ -393,9 +412,20 @@ class _TimingStreamMixin:
                 if eos is not None and token == eos:
                     break
             return tokens
-        vocab = self.model_config.vocab_size
-        return [_stream_token(state.request_id, base + j, vocab, eos)
-                for j in range(n)]
+        return _stream_token_block(state.request_id, base, n,
+                                   self.model_config.vocab_size, eos)
+
+    def replay_tokens(self, request_id: int, n: int,
+                      eos_id: int | None = None) -> tuple[int, ...]:
+        """The first ``n`` tokens request ``request_id`` generated —
+        the stream is a pure function of its arguments, so windowed
+        telemetry stores only the count and replays tokens on demand."""
+        if self.token_oracle is not None:
+            return tuple(self.token_oracle(request_id, j)
+                         for j in range(n))
+        return tuple(_stream_token_block(
+            request_id, 0, n, self.model_config.vocab_size,
+            eos_id).tolist())
 
     def fast_forward_cycles(self, states: Sequence[RequestState],
                             n_steps: int) -> Sequence[float]:
@@ -457,6 +487,11 @@ class _CycleTimedBackend(_KVMixin):
         self._ff_exp: dict[int, float] = {}
         self._ff_const: dict[tuple[int, str], tuple] = {}
         self._ff_prefill: dict[int, float] = {}
+        # Dense counterparts of the per-context memos, indexed by
+        # context / fetch count, so a whole window's values gather in
+        # one vectorized read (NaN marks a not-yet-computed entry).
+        self._ff_exp_tab: np.ndarray | None = None
+        self._ff_kvtx_tab: np.ndarray | None = None
 
     @property
     def freq_hz(self) -> float:
@@ -569,9 +604,34 @@ class _CycleTimedBackend(_KVMixin):
         self._ff_const[key] = val
         return val
 
+    def _ff_tables(self, max_ctx: int, max_fetch: int
+                   ) -> tuple[np.ndarray, np.ndarray]:
+        """Dense exposed-misc / KV-stream tables covering the given
+        context and fetch ranges (inclusive), filled lazily through the
+        scalar memo helpers so both paths share one value per entry."""
+        sch = self.cycles.scheduler
+        m, q = sch.model, sch.quant
+        d = m.head_dim
+        group = m.num_heads // m.kv_heads
+        size = m.max_context + 2
+        if self._ff_exp_tab is None:
+            self._ff_exp_tab = np.full(size, np.nan)
+            self._ff_kvtx_tab = np.full(size, np.nan)
+            self._ff_kvtx_tab[0] = 0.0
+        exp_tab, kvtx_tab = self._ff_exp_tab, self._ff_kvtx_tab
+        for ctx in np.nonzero(np.isnan(exp_tab[:max_ctx + 1]))[0].tolist():
+            exp_tab[ctx] = self._ff_exposed(ctx)
+        for fetch in np.nonzero(
+                np.isnan(kvtx_tab[:max_fetch + 1]))[0].tolist():
+            payload = fetch * d * q.kv_bits / 8
+            packs = fetch * q.kv_pack_bits / 8
+            kvtx_tab[fetch] = self._ff_stream_cycles(payload + packs) \
+                / group
+        return exp_tab, kvtx_tab
+
     def _fast_forward_cycles(self, contexts: Sequence[int],
                              fetched: Sequence[int] | None,
-                             n_steps: int) -> list[float]:
+                             n_steps: int) -> Sequence[float]:
         sch = self.cycles.scheduler
         m, q = sch.model, sch.quant
         d = m.head_dim
@@ -581,6 +641,34 @@ class _CycleTimedBackend(_KVMixin):
         emb, mlp, final, lm, wsum = self._ff_step_constants(len(contexts))
         if fetched is None:
             fetched = contexts
+        if n_steps > 1:
+            # Vectorized window: per-member terms gather from the dense
+            # memo tables and fold in the same member order, the layer
+            # fold runs as whole-window adds — every elementwise IEEE
+            # op pairs the same operands as the scalar loop below, so
+            # the floats are bit-identical (pinned by the telemetry
+            # property tests).
+            exp_tab, kvtx_tab = self._ff_tables(
+                max(contexts) + n_steps - 1,
+                max(fetched) + n_steps - 1)
+            steps = np.arange(n_steps, dtype=np.int64)
+            cycles = np.full(n_steps, wsum)
+            exposed = np.zeros(n_steps)
+            for c0, f0 in zip(contexts, fetched):
+                ctxs = c0 + steps
+                cycles = cycles + 2 * heads * np.maximum(
+                    kvtx_tab[f0 + steps], (ctxs + 1) * tiles_d)
+                exposed = exposed + exp_tab[ctxs]
+            attn = cycles + exposed
+            total = np.zeros(n_steps)
+            total = total + emb
+            for _ in range(m.num_layers):
+                total = total + attn
+                for seg in mlp:
+                    total = total + seg
+            total = total + final
+            total = total + lm
+            return total
         out = []
         for j in range(n_steps):
             cycles = wsum
@@ -837,7 +925,7 @@ class AnalyticalBackend(_TimingStreamMixin, _KVMixin):
 
     def _fast_forward_cycles(self, contexts: Sequence[int],
                              fetched: Sequence[int] | None,
-                             n_steps: int) -> list[float]:
+                             n_steps: int) -> Sequence[float]:
         """:meth:`step_cycles` over a static-batch window without the
         traffic-breakdown objects.
 
@@ -852,6 +940,23 @@ class AnalyticalBackend(_TimingStreamMixin, _KVMixin):
         if fetched is None:
             fetched = contexts
         freq = self.freq_hz
+        if n_steps > 1:
+            # Vectorized window: fold the per-member KV terms in member
+            # order with whole-window adds — the same IEEE ops on the
+            # same operands as the scalar loop below, so the cycles are
+            # bit-identical (pinned by the telemetry property tests).
+            steps = np.arange(n_steps, dtype=np.int64)
+            kv_read = np.zeros(n_steps)
+            for f0 in fetched:
+                fetches = f0 + steps
+                kv_read = kv_read \
+                    + (fetches * kv_elems_per_token
+                       * self.quant.kv_bits / 8
+                       + fetches * packs_per_token
+                       * self.quant.kv_pack_bits / 8)
+            total = fixed + kv_read + kv_write
+            bandwidth_s = total / denom
+            return np.maximum(bandwidth_s, compute_s) * freq
         out = []
         for j in range(n_steps):
             kv_read = 0.0

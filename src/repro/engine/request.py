@@ -85,6 +85,13 @@ class RequestState:
     finish_s: float | None = None
     finish_reason: FinishReason | None = None
     preemptions: int = 0
+    #: half-open ranges of global decode-step indices this request was
+    #: batched into — one per admission (preemption closes a span).
+    #: ``decode_step_s`` is exactly the scheduler's per-step latency
+    #: stream gathered over these spans, which is what lets windowed
+    #: telemetry drop the per-request latency lists.
+    spans: list[tuple[int, int]] = field(default_factory=list)
+    _span_start: int = field(default=0, repr=False)
 
     # -- identity ---------------------------------------------------------
 
@@ -118,8 +125,11 @@ class RequestState:
     @property
     def has_pending_forward(self) -> bool:
         """A sampled token still owes its decode step."""
+        # Hot path (checked per running sequence per scheduler step):
+        # reads lengths directly instead of through sibling properties.
         return (self.status == RequestStatus.RUNNING
-                and self.position < self.prompt_len + self.n_generated)
+                and self.position < len(self.request.prompt)
+                + len(self.generated))
 
     @property
     def done(self) -> bool:

@@ -29,111 +29,26 @@ Two capacity disciplines, chosen by the backend's KV mode:
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from collections.abc import Iterator
 from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
 
 from ..errors import CapacityError, SimulationError
 from .backends import EngineBackend, derive_kv_token_budget
 from .request import FinishReason, Request, RequestState, RequestStatus
+from .telemetry import (  # noqa: F401  (re-exported: public API lives here)
+    TELEMETRY_LEVELS,
+    RequestResult,
+    ServeReport,
+    StepEvent,
+    StepWindow,
+    StreamedServeReport,
+    TelemetryRecorder,
+)
 
 if TYPE_CHECKING:  # avoids the runtime<->engine package-import cycle
     from ..runtime.baremetal import BareMetalSystem
-
-
-@dataclass(frozen=True)
-class StepEvent:
-    """What one scheduler iteration did (for logs and tests)."""
-
-    clock_s: float
-    batch: int
-    cycles: float
-    admitted: int
-    preempted: int
-    retired: int
-
-
-@dataclass(frozen=True)
-class RequestResult:
-    """Summary of one retired request."""
-
-    request_id: int
-    tokens: tuple[int, ...]
-    prompt_len: int
-    ttft_s: float
-    e2e_s: float
-    finish_reason: FinishReason
-    preemptions: int
-    decode_step_s: tuple[float, ...]
-
-
-@dataclass
-class ServeReport:
-    """Aggregate serving metrics of one engine run."""
-
-    results: list[RequestResult] = field(default_factory=list)
-    total_time_s: float = 0.0
-    n_steps: int = 0
-    preemptions: int = 0
-    max_batch_observed: int = 0
-    step_batches: list[int] = field(default_factory=list)
-    #: lazy percentile caches — reports are built once and then queried;
-    #: mutate ``results`` and these go stale.
-    _decode_lat_sorted: list[float] | None = field(
-        default=None, init=False, repr=False, compare=False)
-    _ttft_sorted: list[float] | None = field(
-        default=None, init=False, repr=False, compare=False)
-
-    @property
-    def total_new_tokens(self) -> int:
-        return sum(len(r.tokens) for r in self.results)
-
-    @property
-    def aggregate_tokens_per_s(self) -> float:
-        if self.total_time_s <= 0:
-            raise SimulationError("report covers no simulated time")
-        return self.total_new_tokens / self.total_time_s
-
-    @property
-    def mean_ttft_s(self) -> float:
-        if not self.results:
-            raise SimulationError("no retired requests")
-        return sum(r.ttft_s for r in self.results) / len(self.results)
-
-    @property
-    def mean_batch(self) -> float:
-        if not self.step_batches:
-            raise SimulationError("no decode steps recorded")
-        return sum(self.step_batches) / len(self.step_batches)
-
-    def _sorted_decode_latencies(self) -> list[float]:
-        """Decode latencies flattened and sorted once, then reused by
-        every percentile query (serve-sim asks for three per report)."""
-        if self._decode_lat_sorted is None:
-            self._decode_lat_sorted = sorted(
-                s for r in self.results for s in r.decode_step_s)
-        return self._decode_lat_sorted
-
-    def _sorted_ttfts(self) -> list[float]:
-        if self._ttft_sorted is None:
-            self._ttft_sorted = sorted(r.ttft_s for r in self.results)
-        return self._ttft_sorted
-
-    def latency_percentile_s(self, percentile: float) -> float:
-        """Per-token decode latency percentile across all requests."""
-        from ..stats import percentile_of_sorted
-
-        lats = self._sorted_decode_latencies()
-        if not lats:
-            raise SimulationError("no decode steps recorded")
-        return percentile_of_sorted(lats, percentile)
-
-    def ttft_percentile_s(self, percentile: float) -> float:
-        """Time-to-first-token percentile across retired requests."""
-        from ..stats import percentile_of_sorted
-
-        if not self.results:
-            raise SimulationError("no retired requests")
-        return percentile_of_sorted(self._sorted_ttfts(), percentile)
 
 
 class ContinuousBatchScheduler:
@@ -186,13 +101,34 @@ class ContinuousBatchScheduler:
         self.waiting: deque[RequestState] = deque()
         self.running: list[RequestState] = []
         self.finished: list[RequestState] = []
-        self.events: list[StepEvent] = []
+        self._recorder = TelemetryRecorder(
+            "full", backend.freq_hz,
+            token_replay=getattr(backend, "replay_tokens", None))
         self._preemptions = 0
-        self._step_batches: list[int] = []
+        self._n_finished = 0
+        #: global decode-step counter — the index space request spans
+        #: point into.
+        self._decode_steps = 0
+        #: incremental submission source (a sorted Request iterator);
+        #: None outside streamed runs.
+        self._stream: Iterator[Request] | None = None
+        self._stream_head: Request | None = None
+        self._last_stream_arrival = 0.0
         #: running sum of cached tokens across the running set, kept in
         #: lockstep by admit/retire/preempt/decode instead of re-summed
         #: every scheduler step.
         self._cached_total = 0
+
+    @property
+    def events(self) -> list[StepEvent]:
+        """Per-step events of the current/last run.  At windowed
+        telemetry the run-length records expand lazily — the identical
+        event stream, paid only when read."""
+        return self._recorder.expanded_events()
+
+    @property
+    def telemetry(self) -> str:
+        return self._recorder.level
 
     # -- submission --------------------------------------------------------
 
@@ -269,7 +205,15 @@ class ContinuousBatchScheduler:
         if state in self.running:
             self.running.remove(state)
             self._cached_total -= state.position
-        self.finished.append(state)
+        state.spans.append((state._span_start, self._decode_steps))
+        self._n_finished += 1
+        if self._recorder.level == "full":
+            self.finished.append(state)
+        else:
+            # Streaming telemetry: fold the request into the report
+            # columns now and let the state object go — retired work
+            # must not grow with the trace.
+            self._recorder.fold_result(state)
 
     def _preempt_one(self) -> bool:
         """Evict the youngest running sequence back to the queue head."""
@@ -279,6 +223,7 @@ class ContinuousBatchScheduler:
         self._cached_total -= state.position
         self.backend.release(state)
         state.status = RequestStatus.PREEMPTED
+        state.spans.append((state._span_start, self._decode_steps))
         state.position = 0
         state.logits = None
         state.preemptions += 1
@@ -288,7 +233,14 @@ class ContinuousBatchScheduler:
 
     def _admit_ready(self) -> int:
         admitted = 0
-        while self.waiting and len(self.running) < self.max_batch:
+        while len(self.running) < self.max_batch:
+            # Streamed runs: each admission advances the clock through
+            # its prefill, so requests may arrive mid-loop — pull them
+            # in before looking at the head, exactly like a materialized
+            # queue would already hold them.
+            self._refill()
+            if not self.waiting:
+                break
             state = self.waiting[0]
             if state.request.arrival_s > self.clock_s:
                 break
@@ -303,6 +255,7 @@ class ContinuousBatchScheduler:
             state.prefill_cycles += cycles
             self._advance(cycles)
             state.status = RequestStatus.RUNNING
+            state._span_start = self._decode_steps
             self.running.append(state)
             self._cached_total += state.position
             admitted += 1
@@ -355,53 +308,70 @@ class ContinuousBatchScheduler:
         return max(0, limit)
 
     def _fast_forward(self) -> int:
-        """Advance a static window in one call; returns steps applied.
+        """Advance a static window in one closed-form charge; returns
+        the steps applied.
 
-        Every per-step observable — clock increments, step events, the
-        per-request decode latencies and sampled tokens — is recorded
-        exactly as the step-by-step loop records it; only the cycle
-        computation is batched (and bit-identical, see the backends'
-        ``fast_forward_cycles``).
+        The per-step loop is gone: the window clock is one sequential
+        ``cumsum`` over the backend's window cycles (the same IEEE fold
+        as stepping ``clock += cycles / freq``), the arrival cut is a
+        ``searchsorted`` into those cumulative clocks, and the
+        per-member token/latency recording is bulk array work — so
+        every observable is bit-identical to the step-by-step loop
+        while a K-step window costs O(batch) Python operations.
         """
         limit = self._fast_forward_window()
         if limit < 2:
             return 0
         pending = self.running
-        planned: list[list[int]] = []
+        planned: list[np.ndarray] = []
         for s in pending:
-            tokens = self.backend.planned_tokens(s, limit)
+            tokens = np.asarray(self.backend.planned_tokens(s, limit),
+                                dtype=np.int64)
             eos = s.request.eos_id
-            if eos is not None and eos in tokens:
-                # The step that samples EOS retires the request: it ends
-                # the window and runs through the normal loop.
-                limit = min(limit, tokens.index(eos))
+            if eos is not None:
+                hits = np.nonzero(tokens == eos)[0]
+                if len(hits):
+                    # The step that samples EOS retires the request: it
+                    # ends the window and runs through the normal loop.
+                    limit = min(limit, int(hits[0]))
             planned.append(tokens)
         if limit < 2:
             return 0
-        cycles = self.backend.fast_forward_cycles(pending, limit)
-        arrival = None
+        cycles = np.asarray(
+            self.backend.fast_forward_cycles(pending, limit),
+            dtype=np.float64)
+        deltas = cycles / self.backend.freq_hz
+        # Sequential prefix fold seeded with the current clock — the
+        # identical IEEE adds as stepping ``clock += cycles / freq``.
+        clocks = np.empty(limit + 1)
+        clocks[0] = self.clock_s
+        clocks[1:] = deltas
+        np.cumsum(clocks, out=clocks)
+        applied = limit
         if self.waiting and len(self.running) < self.max_batch:
             head_arrival = self.waiting[0].request.arrival_s
             if head_arrival > self.clock_s:
-                arrival = head_arrival
+                # Steps apply while the clock has not reached the next
+                # arrival; step() admits the head right after.
+                applied = int(np.searchsorted(clocks[:limit],
+                                              head_arrival, side="left"))
+        if applied <= 0:
+            return 0
         batch = len(pending)
-        applied = 0
-        for j in range(limit):
-            if arrival is not None and self.clock_s >= arrival:
-                break  # step() admits the head next iteration
-            step_cycles = cycles[j]
-            self._advance(step_cycles)
-            self._step_batches.append(batch)
-            for i, s in enumerate(pending):
-                s.decode_cycles.append(step_cycles)
-                s.generated.append(planned[i][j])
-            self.events.append(StepEvent(
-                clock_s=self.clock_s, batch=batch, cycles=step_cycles,
-                admitted=0, preempted=0, retired=0))
-            applied += 1
-        if applied:
-            self.backend.commit_fast_forward(pending, applied)
-            self._cached_total += applied * batch
+        clock0 = self.clock_s
+        self.clock_s = float(clocks[applied])
+        self._decode_steps += applied
+        self._recorder.record_window(clock0, clocks[1:applied + 1],
+                                     batch, cycles[:applied],
+                                     deltas[:applied])
+        full = self._recorder.level == "full"
+        lat_list = cycles[:applied].tolist() if full else None
+        for i, s in enumerate(pending):
+            if full:
+                s.decode_cycles.extend(lat_list)
+            s.generated.extend(planned[i][:applied].tolist())
+        self.backend.commit_fast_forward(pending, applied)
+        self._cached_total += applied * batch
         return applied
 
     # -- the scheduling loop -------------------------------------------------
@@ -411,9 +381,15 @@ class ContinuousBatchScheduler:
         if not self.waiting and not self.running:
             raise SimulationError("nothing to schedule")
 
-        # Idle engine: jump to the next arrival.
+        # Idle engine: jump to the next arrival.  Streamed runs submit
+        # in arrival order with preempted re-entries (already arrived)
+        # at the head, so the deque head IS the next arrival — no scan.
         if not self.running and self.waiting:
-            next_arrival = min(s.request.arrival_s for s in self.waiting)
+            if self._stream is not None or self._stream_head is not None:
+                next_arrival = self.waiting[0].request.arrival_s
+            else:
+                next_arrival = min(s.request.arrival_s
+                                   for s in self.waiting)
             if next_arrival > self.clock_s:
                 self.clock_s = next_arrival
 
@@ -445,15 +421,17 @@ class ContinuousBatchScheduler:
             cycles = self.backend.decode_batch(pending)
             self._cached_total += len(pending)
             self._advance(cycles)
-            self._step_batches.append(len(pending))
+            self._decode_steps += 1
+            full = self._recorder.level == "full"
             for state in pending:
-                state.decode_cycles.append(cycles)
+                if full:
+                    state.decode_cycles.append(cycles)
                 if state.n_generated < state.request.max_new_tokens \
                         and state.position \
                         < self.backend.model_config.max_context:
-                    before = len(self.finished)
+                    before = self._n_finished
                     self._note_sampled(state, self.backend.sample(state))
-                    retired += len(self.finished) - before
+                    retired += self._n_finished - before
                 else:
                     # Budget (or context) reached and the final token's
                     # forward was just charged: retire at the length limit.
@@ -463,24 +441,73 @@ class ContinuousBatchScheduler:
         event = StepEvent(clock_s=self.clock_s, batch=len(pending),
                           cycles=cycles, admitted=admitted,
                           preempted=preempted, retired=retired)
-        self.events.append(event)
+        self._recorder.record_event(event)
         return event
 
+    def _refill(self) -> None:
+        """Pull the stream into the waiting queue: every request that
+        has already arrived, plus one look-ahead so the admission gate,
+        the window arrival cut, and the idle jump always see the true
+        next arrival.  Keeps the queue O(in-flight), not O(trace)."""
+        while self._stream is not None:
+            if self._stream_head is None:
+                try:
+                    head = next(self._stream)
+                except StopIteration:
+                    self._stream = None
+                    return
+                if head.arrival_s < self._last_stream_arrival:
+                    raise SimulationError(
+                        f"streamed traces must be sorted by arrival: "
+                        f"request {head.request_id} arrives at "
+                        f"{head.arrival_s:.6f}s after one at "
+                        f"{self._last_stream_arrival:.6f}s")
+                self._last_stream_arrival = head.arrival_s
+                self._stream_head = head
+            if self.waiting and self._stream_head.arrival_s > self.clock_s:
+                return
+            self.submit(self._stream_head)
+            self._stream_head = None
+
     def run(self, requests: Iterable[Request] | None = None,
-            max_steps: int = 1_000_000) -> ServeReport:
-        """Drive the engine until every submitted request retires."""
+            max_steps: int = 1_000_000,
+            telemetry: str = "full") -> ServeReport | StreamedServeReport:
+        """Drive the engine until every submitted request retires.
+
+        A materialized ``requests`` collection (list, tuple, deque, any
+        non-iterator iterable) is sorted and submitted up front, as
+        before.  An *iterator* (e.g. an :func:`iter_synthetic_trace`
+        generator) is consumed *incrementally* in arrival order — a
+        million-request trace never exists in memory at once — and must
+        already be arrival-sorted.
+
+        ``telemetry`` picks the recording level: ``"full"`` materializes
+        every per-step observable (the reference), ``"windows"`` keeps
+        run-length records that expand lazily to the identical values,
+        ``"summary"`` keeps only aggregates and exact percentiles.
+        """
         if self.running:
             raise SimulationError("engine is already mid-run")
         self.clock_s = 0.0
         self.finished = []
-        self.events = []
         self._preemptions = 0
-        self._step_batches = []
+        self._n_finished = 0
+        self._decode_steps = 0
+        self._recorder = TelemetryRecorder(
+            telemetry, self.backend.freq_hz,
+            token_replay=getattr(self.backend, "replay_tokens", None))
+        self._stream = None
+        self._stream_head = None
+        self._last_stream_arrival = 0.0
         if requests is not None:
-            for request in sorted(requests, key=lambda r: r.arrival_s):
-                self.submit(request)
+            if isinstance(requests, Iterator):
+                self._stream = requests
+            else:
+                for request in sorted(requests, key=lambda r: r.arrival_s):
+                    self.submit(request)
+        self._refill()
         steps = 0
-        while self.waiting or self.running:
+        while self.waiting or self.running or self._stream is not None:
             applied = self._fast_forward() if self.fast_forward else 0
             if not applied:
                 self.step()
@@ -489,13 +516,21 @@ class ContinuousBatchScheduler:
             if steps > max_steps:
                 raise SimulationError(
                     f"engine did not drain within {max_steps} steps")
+            self._refill()
         return self._report()
 
-    def _report(self) -> ServeReport:
+    def _report(self) -> ServeReport | StreamedServeReport:
+        if self._recorder.level != "full":
+            return StreamedServeReport(self._recorder,
+                                       total_time_s=self.clock_s,
+                                       preemptions=self._preemptions)
         freq = self.backend.freq_hz
         results = []
         for state in sorted(self.finished, key=lambda s: s.request_id):
             assert state.finish_reason is not None
+            decode_step_s = tuple(
+                (np.asarray(state.decode_cycles) / freq).tolist()) \
+                if state.decode_cycles else ()
             results.append(RequestResult(
                 request_id=state.request_id,
                 tokens=tuple(state.generated),
@@ -504,13 +539,13 @@ class ContinuousBatchScheduler:
                 e2e_s=state.e2e_s,
                 finish_reason=state.finish_reason,
                 preemptions=state.preemptions,
-                decode_step_s=tuple(c / freq for c in state.decode_cycles),
+                decode_step_s=decode_step_s,
             ))
         return ServeReport(
             results=results,
             total_time_s=self.clock_s,
-            n_steps=len(self.events),
+            n_steps=self._recorder.n_steps,
             preemptions=self._preemptions,
-            max_batch_observed=max(self._step_batches, default=0),
-            step_batches=list(self._step_batches),
+            max_batch_observed=self._recorder.max_batch,
+            step_batches=[e.batch for e in self.events if e.batch],
         )

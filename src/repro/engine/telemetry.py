@@ -1,0 +1,536 @@
+"""Serving telemetry: per-step records, run-length windows, reports.
+
+The scheduler can record what happened at three levels of detail
+(``telemetry=`` on :meth:`ContinuousBatchScheduler.run`):
+
+* ``"full"`` — every decode step materializes a :class:`StepEvent`,
+  every request keeps its per-token latencies and tokens, and the run
+  returns the eager :class:`ServeReport`.  This is the reference
+  representation the differential harness compares against.
+* ``"windows"`` — a fast-forwarded static window is stored as ONE
+  :class:`StepWindow` (count + per-step cycle array shared by every
+  batch member) and per-request detail collapses to columnar scalars
+  plus *span* indices into the global decode-step stream.  The
+  existing APIs — ``events``, ``step_batches``, ``results`` with
+  ``decode_step_s`` and ``tokens`` — are served by lazy exact
+  expansion, so every value is bit-identical to ``"full"`` while a
+  static window costs O(1) memory instead of O(steps x batch).
+* ``"summary"`` — only aggregate counters and the run-length latency
+  sample survive; percentiles stay exact, per-request results are
+  gone.  The cheapest level, for million-request sweeps.
+
+Percentiles never need the expansion: the multiset of all requests'
+per-token latencies is exactly "each decode step's latency, once per
+batch member", so a run-length sample over the step stream
+(:func:`repro.stats.percentile_of_runs`) answers identically.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import SimulationError
+from .request import FinishReason, RequestState
+
+TELEMETRY_LEVELS = ("full", "windows", "summary")
+
+#: FinishReason <-> small-int codes for the columnar result store.
+_REASON_LIST = list(FinishReason)
+_REASON_CODES = {reason: i for i, reason in enumerate(_REASON_LIST)}
+
+
+@dataclass(frozen=True)
+class StepEvent:
+    """What one scheduler iteration did (for logs and tests)."""
+
+    clock_s: float
+    batch: int
+    cycles: float
+    admitted: int
+    preempted: int
+    retired: int
+
+
+@dataclass(frozen=True)
+class StepWindow:
+    """A run of ``count`` static decode steps recorded as one object.
+
+    Inside a static window nothing is admitted, retired, or preempted,
+    so the only per-step facts are the cycle counts — kept as one
+    float64 array shared by every batch member — and the clocks, which
+    :meth:`expand` re-derives through the same sequential ``cumsum``
+    the scheduler used to advance its clock, reproducing the eager
+    :class:`StepEvent` stream bit for bit.
+    """
+
+    clock0_s: float  # engine clock before the window's first step
+    freq_hz: float
+    batch: int
+    count: int
+    cycles: np.ndarray
+
+    def latencies(self) -> np.ndarray:
+        """Per-step seconds — the identical floats ``full`` telemetry
+        records into every member's ``decode_step_s``."""
+        return self.cycles / self.freq_hz
+
+    def expand(self) -> list[StepEvent]:
+        clocks = np.cumsum(np.concatenate(([self.clock0_s],
+                                           self.latencies())))
+        return [StepEvent(clock_s=clock, batch=self.batch, cycles=cyc,
+                          admitted=0, preempted=0, retired=0)
+                for clock, cyc in zip(clocks[1:].tolist(),
+                                      self.cycles.tolist())]
+
+
+@dataclass(frozen=True)
+class RequestResult:
+    """Summary of one retired request."""
+
+    request_id: int
+    tokens: tuple[int, ...]
+    prompt_len: int
+    ttft_s: float
+    e2e_s: float
+    finish_reason: FinishReason
+    preemptions: int
+    decode_step_s: tuple[float, ...]
+
+
+@dataclass
+class ServeReport:
+    """Aggregate serving metrics of one engine run."""
+
+    results: list[RequestResult] = field(default_factory=list)
+    total_time_s: float = 0.0
+    n_steps: int = 0
+    preemptions: int = 0
+    max_batch_observed: int = 0
+    step_batches: list[int] = field(default_factory=list)
+    #: lazy percentile caches — reports are built once and then queried;
+    #: mutate ``results`` and these go stale.
+    _decode_lat_sorted: list[float] | None = field(
+        default=None, init=False, repr=False, compare=False)
+    _ttft_sorted: list[float] | None = field(
+        default=None, init=False, repr=False, compare=False)
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.results)
+
+    @property
+    def total_new_tokens(self) -> int:
+        return sum(len(r.tokens) for r in self.results)
+
+    @property
+    def aggregate_tokens_per_s(self) -> float:
+        if self.total_time_s <= 0:
+            raise SimulationError("report covers no simulated time")
+        return self.total_new_tokens / self.total_time_s
+
+    @property
+    def mean_ttft_s(self) -> float:
+        if not self.results:
+            raise SimulationError("no retired requests")
+        return sum(r.ttft_s for r in self.results) / len(self.results)
+
+    @property
+    def mean_batch(self) -> float:
+        if not self.step_batches:
+            raise SimulationError("no decode steps recorded")
+        return sum(self.step_batches) / len(self.step_batches)
+
+    def _sorted_decode_latencies(self) -> list[float]:
+        """Decode latencies flattened and sorted once, then reused by
+        every percentile query (serve-sim asks for three per report)."""
+        if self._decode_lat_sorted is None:
+            self._decode_lat_sorted = sorted(
+                s for r in self.results for s in r.decode_step_s)
+        return self._decode_lat_sorted
+
+    def _sorted_ttfts(self) -> list[float]:
+        if self._ttft_sorted is None:
+            self._ttft_sorted = sorted(r.ttft_s for r in self.results)
+        return self._ttft_sorted
+
+    def latency_percentile_s(self, percentile: float) -> float:
+        """Per-token decode latency percentile across all requests."""
+        from ..stats import percentile_of_sorted
+
+        lats = self._sorted_decode_latencies()
+        if not lats:
+            raise SimulationError("no decode steps recorded")
+        return percentile_of_sorted(lats, percentile)
+
+    def ttft_percentile_s(self, percentile: float) -> float:
+        """Time-to-first-token percentile across retired requests."""
+        from ..stats import percentile_of_sorted
+
+        if not self.results:
+            raise SimulationError("no retired requests")
+        return percentile_of_sorted(self._sorted_ttfts(), percentile)
+
+
+class RunLengthSample:
+    """Run-length-encoded latency sample: values with multiplicities.
+
+    One decode step contributes its latency once per batch member, so
+    a window of K steps at batch B adds K runs of count B — O(K)
+    storage for K x B samples.  Queries sort the runs once (stable)
+    and select by cumulative count, matching
+    :func:`repro.stats.percentile_of_sorted` over the expanded sample
+    exactly.
+    """
+
+    def __init__(self) -> None:
+        # One flat (value, count) pair per decode step, packed into
+        # growable typed arrays — 16 bytes per run, no per-window
+        # object overhead, so a million-request sweep stays lean.
+        self._vals = array("d")
+        self._cnts = array("q")
+        self._sorted: tuple[np.ndarray, np.ndarray] | None = None
+
+    def add_single(self, value: float, count: int) -> None:
+        self._vals.append(value)
+        self._cnts.append(count)
+        self._sorted = None
+
+    def add_run(self, values: np.ndarray, count: int) -> None:
+        """``count`` occurrences of every entry of ``values``."""
+        if len(values):
+            self._vals.frombytes(np.ascontiguousarray(values).tobytes())
+            self._cnts.frombytes(
+                np.full(len(values), count, dtype=np.int64).tobytes())
+            self._sorted = None
+
+    @property
+    def n_samples(self) -> int:
+        return int(sum(self._cnts))
+
+    def sorted_runs(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(values, counts)`` with values ascending."""
+        if self._sorted is None:
+            values = np.frombuffer(self._vals, dtype=np.float64) \
+                if len(self._vals) else np.empty(0, dtype=np.float64)
+            counts = np.frombuffer(self._cnts, dtype=np.int64) \
+                if len(self._cnts) else np.empty(0, dtype=np.int64)
+            order = np.argsort(values, kind="stable")
+            self._sorted = (values[order], counts[order])
+        return self._sorted
+
+    def percentile(self, percentile: float) -> float:
+        from ..stats import percentile_of_runs
+
+        values, counts = self.sorted_runs()
+        if not len(values):
+            raise SimulationError("no decode steps recorded")
+        return percentile_of_runs(values, counts, percentile)
+
+
+class TelemetryRecorder:
+    """Accumulates one run's step records and retired-request columns.
+
+    The scheduler drives it level-agnostically: every eager step calls
+    :meth:`record_event`, every fast-forwarded window calls
+    :meth:`record_window`, every retirement at a streaming level calls
+    :meth:`fold_result` (at ``"full"`` the scheduler keeps the state
+    object instead).
+    """
+
+    def __init__(self, level: str, freq_hz: float,
+                 token_replay=None) -> None:
+        if level not in TELEMETRY_LEVELS:
+            raise SimulationError(
+                f"unknown telemetry level {level!r}; choose from "
+                f"{TELEMETRY_LEVELS}")
+        self.level = level
+        self.freq_hz = freq_hz
+        #: ``replay(request_id, n, eos_id) -> tuple`` for backends whose
+        #: token stream is a pure function; None stores tokens eagerly.
+        self.token_replay = token_replay
+        self.records: list[StepEvent | StepWindow] = []
+        self.n_steps = 0
+        self.n_decode_steps = 0
+        self.batch_sum = 0
+        self.max_batch = 0
+        self.runs = RunLengthSample()
+        # Columnar per-request results (streaming levels).
+        self.ids = array("q")
+        self.prompt_lens = array("q")
+        self.n_tokens = array("q")
+        self.ttfts = array("d")
+        self.e2es = array("d")
+        self.reasons = array("b")
+        self.n_preempts = array("q")
+        self.eos_ids = array("q")
+        self.spans: list[tuple[tuple[int, int], ...]] = []
+        self.stored_tokens: list[tuple[int, ...]] | None = \
+            None if token_replay is not None else []
+        self.total_new_tokens = 0
+        self._events_cache: tuple[int, list[StepEvent]] | None = None
+        self._lat_stream: tuple[int, np.ndarray] | None = None
+
+    # -- recording ---------------------------------------------------------
+
+    def record_event(self, event: StepEvent) -> None:
+        self.n_steps += 1
+        if event.batch:
+            self.n_decode_steps += 1
+            self.batch_sum += event.batch
+            if event.batch > self.max_batch:
+                self.max_batch = event.batch
+            if self.level != "full":
+                self.runs.add_single(event.cycles / self.freq_hz,
+                                     event.batch)
+        if self.level != "summary":
+            self.records.append(event)
+
+    def record_window(self, clock0_s: float, clocks_after: np.ndarray,
+                      batch: int, cycles: np.ndarray,
+                      latencies: np.ndarray) -> None:
+        """One fast-forwarded window of ``len(cycles)`` static steps.
+
+        ``clocks_after[j]`` is the engine clock after step ``j`` and
+        ``latencies`` is ``cycles / freq_hz`` — both already computed
+        by the scheduler's closed-form charge, so recording reuses the
+        exact floats instead of re-deriving them.
+        """
+        count = len(cycles)
+        self.n_steps += count
+        self.n_decode_steps += count
+        self.batch_sum += batch * count
+        if batch > self.max_batch:
+            self.max_batch = batch
+        if self.level == "full":
+            self.records.extend(
+                StepEvent(clock_s=clock, batch=batch, cycles=cyc,
+                          admitted=0, preempted=0, retired=0)
+                for clock, cyc in zip(clocks_after.tolist(),
+                                      cycles.tolist()))
+            return
+        self.runs.add_run(latencies, batch)
+        if self.level == "windows":
+            self.records.append(StepWindow(
+                clock0_s=clock0_s, freq_hz=self.freq_hz, batch=batch,
+                count=count, cycles=cycles))
+
+    def fold_result(self, state: RequestState) -> None:
+        """Absorb one retired request into the columns and drop it."""
+        self.total_new_tokens += len(state.generated)
+        self.ttfts.append(state.ttft_s)
+        self.ids.append(state.request_id)  # n_requests + result ordering
+        if self.level == "summary":
+            return
+        self.prompt_lens.append(state.prompt_len)
+        self.n_tokens.append(len(state.generated))
+        self.e2es.append(state.e2e_s)
+        assert state.finish_reason is not None
+        self.reasons.append(_REASON_CODES[state.finish_reason])
+        self.n_preempts.append(state.preemptions)
+        eos = state.request.eos_id
+        self.eos_ids.append(-1 if eos is None else eos)
+        self.spans.append(tuple(state.spans))
+        if self.stored_tokens is not None:
+            self.stored_tokens.append(tuple(state.generated))
+
+    # -- lazy exact expansion ----------------------------------------------
+
+    def expanded_events(self) -> list[StepEvent]:
+        """The eager per-step event list (windows expanded, cached)."""
+        if self.level == "summary":
+            raise SimulationError(
+                "telemetry='summary' records no step events")
+        if self.level == "full":
+            return self.records  # type: ignore[return-value]
+        if self._events_cache is None \
+                or self._events_cache[0] != len(self.records):
+            events: list[StepEvent] = []
+            for record in self.records:
+                if isinstance(record, StepWindow):
+                    events.extend(record.expand())
+                else:
+                    events.append(record)
+            self._events_cache = (len(self.records), events)
+        return self._events_cache[1]
+
+    def step_batches(self) -> list[int]:
+        if self.level == "summary":
+            raise SimulationError(
+                "telemetry='summary' records no step batches")
+        out: list[int] = []
+        for record in self.records:
+            if isinstance(record, StepWindow):
+                out.extend([record.batch] * record.count)
+            elif record.batch:
+                out.append(record.batch)
+        return out
+
+    def latency_stream(self) -> np.ndarray:
+        """Latency of every decode step, in global decode-step order —
+        the array request spans index into."""
+        if self.level == "summary":
+            raise SimulationError(
+                "telemetry='summary' records no decode latencies")
+        if self._lat_stream is None \
+                or self._lat_stream[0] != len(self.records):
+            parts: list[np.ndarray] = []
+            for record in self.records:
+                if isinstance(record, StepWindow):
+                    parts.append(record.latencies())
+                elif record.batch:
+                    parts.append(np.array([record.cycles / self.freq_hz]))
+            stream = np.concatenate(parts) if parts \
+                else np.empty(0, dtype=np.float64)
+            self._lat_stream = (len(self.records), stream)
+        return self._lat_stream[1]
+
+
+class StreamedServeReport:
+    """:class:`ServeReport`-compatible view over run-length telemetry.
+
+    Scalar aggregates are exact by construction; ``results``,
+    ``events``-style expansions and per-request ``decode_step_s`` /
+    ``tokens`` are materialized lazily (``"windows"`` level) from the
+    window records, the span columns, and the backend's pure token
+    replay — bit-identical to the eager report, paid only when asked.
+    """
+
+    def __init__(self, recorder: TelemetryRecorder, total_time_s: float,
+                 preemptions: int) -> None:
+        self._rec = recorder
+        self.telemetry = recorder.level
+        self.total_time_s = total_time_s
+        self.n_steps = recorder.n_steps
+        self.preemptions = preemptions
+        self.max_batch_observed = recorder.max_batch
+        #: retire-order -> request-id order, fixed once at build time so
+        #: every materialization walks requests the way the eager report
+        #: does (results are sorted by request id).
+        self._order = np.argsort(
+            np.frombuffer(recorder.ids, dtype=np.int64)
+            if len(recorder.ids) else np.empty(0, dtype=np.int64),
+            kind="stable")
+        self._results: list[RequestResult] | None = None
+
+    # -- aggregate metrics --------------------------------------------------
+
+    @property
+    def n_requests(self) -> int:
+        return len(self._rec.ids)
+
+    @property
+    def total_new_tokens(self) -> int:
+        return self._rec.total_new_tokens
+
+    @property
+    def aggregate_tokens_per_s(self) -> float:
+        if self.total_time_s <= 0:
+            raise SimulationError("report covers no simulated time")
+        return self.total_new_tokens / self.total_time_s
+
+    @property
+    def mean_ttft_s(self) -> float:
+        if not len(self._rec.ttfts):
+            raise SimulationError("no retired requests")
+        # Sum in request-id order — the accumulation order of the eager
+        # report's mean, so the float matches bit for bit.
+        ttfts = np.frombuffer(self._rec.ttfts, dtype=np.float64)
+        return sum(ttfts[self._order].tolist()) / len(ttfts)
+
+    @property
+    def mean_batch(self) -> float:
+        if not self._rec.n_decode_steps:
+            raise SimulationError("no decode steps recorded")
+        return self._rec.batch_sum / self._rec.n_decode_steps
+
+    # -- percentiles --------------------------------------------------------
+
+    def latency_percentile_s(self, percentile: float) -> float:
+        return self._rec.runs.percentile(percentile)
+
+    def ttft_percentile_s(self, percentile: float) -> float:
+        from ..stats import percentile_of_sorted
+
+        ttfts = self.sorted_ttfts()
+        if not len(ttfts):
+            raise SimulationError("no retired requests")
+        return percentile_of_sorted(ttfts, percentile)
+
+    def sorted_ttfts(self) -> np.ndarray:
+        if getattr(self, "_ttft_sorted", None) is None:
+            self._ttft_sorted = np.sort(
+                np.frombuffer(self._rec.ttfts, dtype=np.float64))
+        return self._ttft_sorted
+
+    def latency_runs(self) -> tuple[np.ndarray, np.ndarray]:
+        """Sorted ``(values, counts)`` of the decode-latency sample."""
+        return self._rec.runs.sorted_runs()
+
+    # -- merge accessors (cluster aggregation without expansion) ------------
+
+    def ttft_columns(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(request_ids, ttfts)`` in retire order — what a cluster
+        merge needs to re-establish global request-id summation order
+        without touching the recorder's storage layout."""
+        if not len(self._rec.ids):
+            return (np.empty(0, dtype=np.int64),
+                    np.empty(0, dtype=np.float64))
+        return (np.frombuffer(self._rec.ids, dtype=np.int64),
+                np.frombuffer(self._rec.ttfts, dtype=np.float64))
+
+    @property
+    def batch_sum(self) -> int:
+        """Sum of batch sizes over all decode steps."""
+        return self._rec.batch_sum
+
+    @property
+    def n_decode_steps(self) -> int:
+        return self._rec.n_decode_steps
+
+    # -- lazy per-step / per-request detail ---------------------------------
+
+    @property
+    def step_batches(self) -> list[int]:
+        return self._rec.step_batches()
+
+    @property
+    def events(self) -> list[StepEvent]:
+        return self._rec.expanded_events()
+
+    @property
+    def results(self) -> list[RequestResult]:
+        if self.telemetry == "summary":
+            raise SimulationError(
+                "telemetry='summary' keeps no per-request results; "
+                "use 'windows' or 'full'")
+        if self._results is None:
+            rec = self._rec
+            stream = rec.latency_stream()
+            ids = np.frombuffer(rec.ids, dtype=np.int64)
+            out: list[RequestResult] = []
+            for i in self._order.tolist():
+                n = rec.n_tokens[i]
+                if rec.stored_tokens is not None:
+                    tokens = rec.stored_tokens[i]
+                else:
+                    eos = rec.eos_ids[i]
+                    tokens = rec.token_replay(
+                        int(ids[i]), int(n), None if eos < 0 else int(eos))
+                lats: list[float] = []
+                for lo, hi in rec.spans[i]:
+                    lats.extend(stream[lo:hi].tolist())
+                out.append(RequestResult(
+                    request_id=int(ids[i]),
+                    tokens=tokens,
+                    prompt_len=int(rec.prompt_lens[i]),
+                    ttft_s=rec.ttfts[i],
+                    e2e_s=rec.e2es[i],
+                    finish_reason=_REASON_LIST[rec.reasons[i]],
+                    preemptions=int(rec.n_preempts[i]),
+                    decode_step_s=tuple(lats),
+                ))
+            self._results = out
+        return self._results

@@ -1,12 +1,21 @@
 """Synthetic request traces for serving simulation.
 
-A trace is just a list of :class:`repro.engine.request.Request` with
+A trace is a stream of :class:`repro.engine.request.Request` with
 Poisson arrivals and randomized prompt/decode lengths — enough to
 exercise admission, continuous batching, and preemption without real
 user data.  Generation is fully deterministic from the seed.
+
+:func:`iter_synthetic_trace` is the generator form: requests come out
+one by one in arrival order with nothing materialized up front, so a
+million-request sweep feeds :meth:`ContinuousBatchScheduler.run`
+incrementally at O(in-flight) memory.  :func:`synthetic_trace` is the
+same stream collected into a list — the two are element-for-element
+identical for equal parameters.
 """
 
 from __future__ import annotations
+
+from typing import Iterator
 
 import numpy as np
 
@@ -15,14 +24,14 @@ from ..errors import SimulationError
 from .request import Request
 
 
-def synthetic_trace(model: ModelConfig, n_requests: int,
-                    arrival_rate_rps: float = 1.0,
-                    prompt_len: tuple[int, int] = (4, 16),
-                    decode_len: tuple[int, int] = (8, 32),
-                    seed: int = 0,
-                    eos_id: int | None = None,
-                    shared_prefix_len: int = 0) -> list[Request]:
-    """Build ``n_requests`` synthetic requests against ``model``.
+def iter_synthetic_trace(model: ModelConfig, n_requests: int,
+                         arrival_rate_rps: float = 1.0,
+                         prompt_len: tuple[int, int] = (4, 16),
+                         decode_len: tuple[int, int] = (8, 32),
+                         seed: int = 0,
+                         eos_id: int | None = None,
+                         shared_prefix_len: int = 0) -> Iterator[Request]:
+    """Generate ``n_requests`` synthetic requests against ``model``.
 
     Arrivals are exponential inter-arrival times at ``arrival_rate_rps``
     requests per second of *simulated* time; prompt and decode lengths
@@ -63,25 +72,54 @@ def synthetic_trace(model: ModelConfig, n_requests: int,
     tail_cap = model.max_context - 2 - shared_prefix_len
     hi_p = min(hi_p, tail_cap)
 
-    rng = np.random.default_rng(seed)
-    system_prompt = tuple(int(t) for t in rng.integers(
-        0, model.vocab_size, size=shared_prefix_len))
-    requests = []
-    clock = 0.0
-    for rid in range(n_requests):
-        clock += float(rng.exponential(1.0 / arrival_rate_rps))
-        n_prompt = int(rng.integers(lo_p, hi_p + 1))
-        n_decode = int(rng.integers(lo_d, hi_d + 1))
-        n_decode = min(n_decode, model.max_context - shared_prefix_len
-                       - n_prompt)
-        prompt = system_prompt + tuple(
-            int(t) for t in rng.integers(0, model.vocab_size,
-                                         size=n_prompt))
-        requests.append(Request(
-            request_id=rid,
-            prompt=prompt,
-            max_new_tokens=n_decode,
-            arrival_s=clock,
-            eos_id=eos_id,
-        ))
-    return requests
+    # Validation stays eager (above); only the draws are deferred, so a
+    # bad parameter set fails at the call, not at the first next().
+    def generate() -> Iterator[Request]:
+        rng = np.random.default_rng(seed)
+        system_prompt = tuple(int(t) for t in rng.integers(
+            0, model.vocab_size, size=shared_prefix_len))
+        decode_cap = model.max_context - shared_prefix_len
+        clock = 0.0
+        rid = 0
+        # Draws come in blocks (4 RNG calls per up-to-1024 requests
+        # instead of 4 per request); the stream itself stays lazy, so
+        # peak memory is one block, not the trace.
+        while rid < n_requests:
+            block = min(1024, n_requests - rid)
+            gaps = rng.exponential(1.0 / arrival_rate_rps, size=block)
+            n_prompts = rng.integers(lo_p, hi_p + 1, size=block)
+            n_decodes = rng.integers(lo_d, hi_d + 1, size=block)
+            tokens = rng.integers(0, model.vocab_size,
+                                  size=int(n_prompts.sum()))
+            offset = 0
+            for i in range(block):
+                clock += float(gaps[i])
+                n_prompt = int(n_prompts[i])
+                prompt = system_prompt + tuple(
+                    tokens[offset:offset + n_prompt].tolist())
+                offset += n_prompt
+                yield Request(
+                    request_id=rid,
+                    prompt=prompt,
+                    max_new_tokens=min(int(n_decodes[i]),
+                                       decode_cap - n_prompt),
+                    arrival_s=clock,
+                    eos_id=eos_id,
+                )
+                rid += 1
+
+    return generate()
+
+
+def synthetic_trace(model: ModelConfig, n_requests: int,
+                    arrival_rate_rps: float = 1.0,
+                    prompt_len: tuple[int, int] = (4, 16),
+                    decode_len: tuple[int, int] = (8, 32),
+                    seed: int = 0,
+                    eos_id: int | None = None,
+                    shared_prefix_len: int = 0) -> list[Request]:
+    """:func:`iter_synthetic_trace`, materialized into a list."""
+    return list(iter_synthetic_trace(
+        model, n_requests, arrival_rate_rps=arrival_rate_rps,
+        prompt_len=prompt_len, decode_len=decode_len, seed=seed,
+        eos_id=eos_id, shared_prefix_len=shared_prefix_len))

@@ -53,7 +53,9 @@ def replica_table(report) -> tuple[list[dict], str]:
         raise ReproError("cluster report has no replicas")
     rows = []
     for idx, rep in enumerate(report.replica_reports):
-        served = len(rep.results)
+        # n_requests (not len(results)) so summary-level streamed
+        # replica reports — which keep no per-request results — render.
+        served = rep.n_requests
         rows.append({
             "replica": idx,
             "requests": served,

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import heapq
 from typing import Sequence
 
 from .errors import SimulationError
@@ -29,8 +30,53 @@ def percentile_of_sorted(ordered: Sequence[float],
     if not 0 <= percentile <= 100:
         raise SimulationError(
             f"percentile must be in [0, 100], got {percentile}")
-    if not ordered:
+    if len(ordered) == 0:
         raise SimulationError("no samples recorded")
     index = min(len(ordered) - 1,
                 int(round(percentile / 100 * (len(ordered) - 1))))
     return ordered[index]
+
+
+def merge_sorted(sequences: Sequence[Sequence[float]]) -> list[float]:
+    """K-way merge of already-sorted sequences into one sorted list.
+
+    The streaming counterpart of ``sorted(chain(*sequences))``: each
+    input is consumed in order through a heap of k cursors, so merging
+    replica percentile caches costs O(n log k) instead of re-sorting
+    the union from scratch.  Values equal across inputs keep a stable
+    (input-index) order, which is invisible to percentile queries.
+    """
+    live = [s for s in sequences if len(s)]
+    if not live:
+        return []
+    if len(live) == 1:
+        return list(live[0])
+    return list(heapq.merge(*live))
+
+
+def percentile_of_runs(values: Sequence[float], counts: Sequence[int],
+                       percentile: float) -> float:
+    """Nearest-rank percentile over a run-length-encoded sample.
+
+    ``values[i]`` occurs ``counts[i]`` times; ``values`` must be sorted
+    ascending.  Returns exactly what :func:`percentile_of_sorted` would
+    return over the expanded multiset — selection only indexes, so the
+    run-length form changes memory, never the answer.
+    """
+    if not 0 <= percentile <= 100:
+        raise SimulationError(
+            f"percentile must be in [0, 100], got {percentile}")
+    if len(values) != len(counts):
+        raise SimulationError(
+            f"{len(values)} run values for {len(counts)} counts")
+    if len(values) == 0:
+        raise SimulationError("no samples recorded")
+    import numpy as np
+
+    cnt = np.asarray(counts, dtype=np.int64)
+    if (cnt <= 0).any():
+        raise SimulationError("run counts must be positive")
+    cum = np.cumsum(cnt)
+    total = int(cum[-1])
+    rank = min(total - 1, int(round(percentile / 100 * (total - 1))))
+    return float(values[int(np.searchsorted(cum, rank, side="right"))])

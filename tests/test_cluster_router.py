@@ -55,6 +55,21 @@ class TestPolicies:
         assert router.assignments[0] == 0
         assert all(router.assignments[i] == 1 for i in range(1, 5))
 
+    @pytest.mark.parametrize("policy", ("round_robin", "least_loaded",
+                                        "prefix_affinity"))
+    def test_running_load_counters_match_recomputation(self, quant32,
+                                                       policy):
+        """The O(1) load ledger must equal summing every routed
+        request's cost from scratch — the pinned invariant behind
+        least-loaded's incremental bookkeeping."""
+        router = ReplicaRouter(engines(quant32, 3), policy=policy)
+        reqs = trace(17, seed=5, shared_prefix_len=4)
+        for request in reqs:
+            router.route(request)
+        assert router.loads == router.recompute_loads(reqs)
+        assert sum(router.loads) == sum(
+            len(r.prompt) + r.max_new_tokens for r in reqs)
+
     def test_prefix_affinity_colocates_shared_prompts(self, quant32):
         router = ReplicaRouter(engines(quant32, 4),
                                policy="prefix_affinity")
