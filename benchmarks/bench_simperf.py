@@ -21,7 +21,15 @@ kept in-tree for exactly this purpose (and for the bit-exactness tests):
   ``telemetry="full"``) at 10k/100k requests, a million-request
   streamed summary sweep, and tracemalloc peak-heap rows showing the
   windowed footprint stays flat while decoded tokens double.
-  ``SIMPERF_SWEEP=smoke`` scales the points down to the CI budget.
+  ``SIMPERF_SWEEP=smoke`` scales the points down to the CI budget;
+* long decode — the PR 6 event-horizon tier (``fast_forward="multi"``)
+  vs the PR 5 single-segment tier on a retirement-dominated paged-KV
+  trace: bursts of 16 long decodes drained to empty before the next
+  burst lands.  The single tier fragments every burst into block-sized
+  windows (it cannot cross a block allocation or a retirement); the
+  multi tier folds both into segments of one window per burst, so the
+  recorded window count drops from O(requests) to O(admissions) and
+  the sweep runs >= 3x faster with bit-identical reports.
 
 Results go to ``BENCH_simperf.json`` at the repo root (machine-readable
 trajectory for later PRs to diff) and ``benchmarks/results/simperf.txt``.
@@ -42,11 +50,14 @@ import pathlib
 import time
 import tracemalloc
 
+import numpy as np
+
 from repro.config import SMALL_MODEL, TINY_MODEL, QuantConfig
 from repro.engine import (
     AnalyticalBackend,
     ContinuousBatchScheduler,
     CycleModelBackend,
+    Request,
     iter_synthetic_trace,
     synthetic_trace,
 )
@@ -69,7 +80,7 @@ SWEEP_SCALE_MODE = os.environ.get("SIMPERF_SWEEP", "full")
 
 #: accumulated section results, written by bench_write_record (last in
 #: file, so pytest runs it after every measuring bench).
-RECORD: dict = {"schema": "simperf-v2", "sections": {}}
+RECORD: dict = {"schema": "simperf-v3", "sections": {}}
 
 
 def _model(config=SMALL_MODEL) -> QuantizedModel:
@@ -280,15 +291,23 @@ def _scale_run(n_requests: int, telemetry: str, stream: bool,
 
 
 def bench_sweep_scale(save_result):
-    """Streaming million-request sweeps vs the PR 4 fast-forward path.
+    """Streaming million-request sweeps vs the PR 4-shaped path.
 
-    The baseline is the pre-PR 5 serving pipeline exactly as PR 4 left
-    it: materialized trace, up-front submission, ``telemetry="full"``
+    The baseline is the pre-PR 5 serving pipeline's *representation*:
+    materialized trace, up-front submission, ``telemetry="full"``
     per-step recording (that path is still the differential oracle).
     The optimized path streams the trace incrementally and records
     run-length windows — O(scheduler state changes) instead of O(total
     decoded tokens) — with every expanded observable pinned
     bit-identical by tests/test_telemetry_equivalence.py.
+
+    Note on the trajectory rebase: PR 6 replaced the materialized
+    path's O(waiting) idle-jump arrival scan with an O(1) sorted-head
+    read, which sped the *baseline itself* ~4-6x at scale (the PR 5
+    record's 100k baseline was dominated by that quadratic scan).
+    Both sides now share the fix, so from PR 6 on this pair isolates
+    the telemetry + streaming gains and the recorded speedups rebase
+    accordingly; earlier records are not comparable.
     """
     smoke = SWEEP_SCALE_MODE == "smoke"
     pair_points = (10_000, 30_000) if smoke else (10_000, 100_000)
@@ -359,15 +378,16 @@ def bench_sweep_scale(save_result):
     # committed record (mode=full) is the trajectory of record.
     big = pairs[-1]
     if smoke:
-        assert big["speedup"] >= 2.5, big
+        # Rebased floors (see the docstring): the baseline shares the
+        # PR 6 O(1) idle jump, so the pair measures telemetry +
+        # streaming only (recorded ~1.4x at 30k).
+        assert big["speedup"] >= 1.15, big
         assert big["windows_wall_s"] < 30.0, big
         assert streamed["wall_s"] < 90.0, streamed
         assert streamed_heap["peak_heap_mb"] < 150.0, streamed_heap
     else:
-        # Tentpole acceptance: >= 10x over the PR 4 path at >= 100k
-        # requests (recorded value; the floor leaves noise margin).
         assert big["n_requests"] >= 100_000
-        assert big["speedup"] >= 8.0, big
+        assert big["speedup"] >= 1.2, big
         assert big["windows_wall_s"] < 60.0, big
         assert streamed["n_requests"] == 1_000_000
         assert streamed["wall_s"] < 500.0, streamed
@@ -388,11 +408,113 @@ def bench_sweep_scale(save_result):
     save_result("simperf_sweep_scale", json.dumps(section, indent=2))
 
 
+LONG_DECODE_BURST = 16
+
+
+def _long_decode_trace(n_requests: int) -> list:
+    """Retirement-dominated serving: bursts of 16 long decodes arriving
+    together, fully drained before the next burst lands.  Fourteen
+    lanes run 48 new tokens, two run 56, so every burst retires at two
+    predicted LENGTH horizons and crosses six block frontiers per
+    sequence — exactly the events the single-segment tier must break a
+    window at and the event-horizon tier folds."""
+    rng = np.random.default_rng(11)
+    prompts = rng.integers(1, TINY_MODEL.vocab_size - 1,
+                           size=(n_requests, 3))
+    return [Request(i, tuple(int(t) for t in prompts[i]),
+                    max_new_tokens=56 if i % LONG_DECODE_BURST >= 14
+                    else 48,
+                    arrival_s=(i // LONG_DECODE_BURST) * 10.0)
+            for i in range(n_requests)]
+
+
+def _long_decode_run(trace, tier: str) -> tuple[dict, object]:
+    backend = CycleModelBackend(TINY_MODEL, QUANT,
+                                n_slots=LONG_DECODE_BURST,
+                                kv_mode="paged", block_size=8,
+                                n_kv_blocks=LONG_DECODE_BURST * 8)
+    engine = ContinuousBatchScheduler(backend,
+                                      max_batch=LONG_DECODE_BURST,
+                                      fast_forward=tier)
+    start = time.perf_counter()
+    report = engine.run(trace, max_steps=1_000_000_000,
+                        telemetry="summary")
+    wall_s = time.perf_counter() - start
+    return {"wall_s": round(wall_s, 2), "n_steps": report.n_steps,
+            "window_stats": report.window_stats}, report
+
+
+def bench_long_decode(save_result):
+    """PR 6 event-horizon tier vs the PR 5 single-segment tier on a
+    long-decode paged-KV sweep (100k requests; smoke scales down)."""
+    smoke = SWEEP_SCALE_MODE == "smoke"
+    n = 8_000 if smoke else 100_000
+    trace = _long_decode_trace(n)
+
+    single, single_report = _long_decode_run(trace, "single")
+    multi, multi_report = _long_decode_run(trace, "multi")
+
+    # Bit-identical observables — the tiers differ only in wall clock.
+    assert single_report.n_steps == multi_report.n_steps
+    assert single_report.total_time_s == multi_report.total_time_s
+    assert single_report.total_new_tokens \
+        == multi_report.total_new_tokens
+    for p in (50.0, 99.0):
+        assert single_report.latency_percentile_s(p) \
+            == multi_report.latency_percentile_s(p)
+        assert single_report.ttft_percentile_s(p) \
+            == multi_report.ttft_percentile_s(p)
+
+    section = {
+        "model": TINY_MODEL.name,
+        "mode": SWEEP_SCALE_MODE,
+        "kv_mode": "paged",
+        "n_requests": n,
+        "n_steps": multi["n_steps"],
+        "single_wall_s": single["wall_s"],
+        "multi_wall_s": multi["wall_s"],
+        "speedup": round(single["wall_s"] / multi["wall_s"], 2),
+        "single_windows": single["window_stats"]["n_windows"],
+        "multi_windows": multi["window_stats"]["n_windows"],
+        "multi_segments": multi["window_stats"]["n_segments"],
+        "folded_retirements":
+            multi["window_stats"]["folded_retirements"],
+        "single_breaks": {k: v for k, v
+                          in single["window_stats"]["breaks"].items()
+                          if v},
+        "multi_breaks": {k: v for k, v
+                         in multi["window_stats"]["breaks"].items()
+                         if v},
+    }
+    RECORD["sections"]["long_decode"] = section
+
+    # CI floors.  The single tier breaks at every block frontier and
+    # retirement horizon (O(requests) windows); the multi tier folds
+    # both, leaving one window per burst admission.
+    stats_s = single["window_stats"]
+    stats_m = multi["window_stats"]
+    assert stats_m["n_windows"] * 4 <= stats_s["n_windows"], section
+    assert stats_m["folded_retirements"] == n, section
+    assert stats_s["folded_retirements"] == 0, section
+    assert stats_s["breaks"]["block-frontier"] > 0, section
+    assert stats_s["breaks"]["retirement-unpredicted"] > 0, section
+    assert stats_m["breaks"]["block-frontier"] == 0, section
+    assert stats_m["breaks"]["retirement-unpredicted"] == 0, section
+    if smoke:
+        assert section["speedup"] >= 2.0, section
+    else:
+        # Acceptance: >= 3x over the PR 5 path at 100k requests
+        # (recorded ~3.6x; the floor leaves shared-runner margin).
+        assert section["speedup"] >= 3.0, section
+    save_result("simperf_long_decode", json.dumps(section, indent=2))
+
+
 def bench_write_record(save_result):
     """Persist the machine-readable trajectory (runs last in this file)."""
     sections = RECORD["sections"]
     assert set(sections) == {"functional_decode", "functional_prefill",
-                             "timing_sweeps", "sweep_scale"}, sections
+                             "timing_sweeps", "sweep_scale",
+                             "long_decode"}, sections
     RECORD["note"] = (
         "wall-clock of the simulator itself; every optimized/baseline "
         "pair computes bit-identical results (see "
@@ -439,6 +561,13 @@ def bench_write_record(save_result):
             f"{lo['peak_heap_mb']:6.1f} MB @ {lo['total_new_tokens']:,} tok"
             f" -> {hi['peak_heap_mb']:6.1f} MB @ "
             f"{hi['total_new_tokens']:,} tok")
+    ld = sections["long_decode"]
+    lines.append(
+        f"  long-decode {ld['n_requests']:,}-request paged sweep: "
+        f"single {ld['single_wall_s']:.2f} s / {ld['single_windows']:,} "
+        f"windows -> multi {ld['multi_wall_s']:.2f} s / "
+        f"{ld['multi_windows']:,} windows ({ld['speedup']:.1f}x, "
+        f"{ld['folded_retirements']:,} folded retirements)")
     save_result("simperf", "\n".join(lines))
 
 
@@ -450,4 +579,5 @@ if __name__ == "__main__":
     bench_functional_prefill(_print_result)
     bench_timing_backend_sweeps(_print_result)
     bench_sweep_scale(_print_result)
+    bench_long_decode(_print_result)
     bench_write_record(_print_result)

@@ -313,6 +313,20 @@ def cmd_serve_sim(args) -> int:
 
         _, text = replica_table(report)
         print("  " + text.replace("\n", "\n  "))
+    if args.window_stats:
+        stats = getattr(report, "window_stats", None) or {}
+        if not stats or not stats.get("n_windows"):
+            print("  window stats   : no fast-forward windows recorded")
+        else:
+            print(f"  window stats   : {stats['n_windows']} windows, "
+                  f"{stats['n_segments']} segments, "
+                  f"{stats['folded_retirements']} folded retirements")
+            breaks = stats.get("breaks", {})
+            total = sum(breaks.values())
+            print(f"  window breaks  : {total} total")
+            for reason, count in breaks.items():
+                if count:
+                    print(f"    {reason:<24}: {count}")
     if args.per_request:
         print("  id  prompt  new  ttft_ms    e2e_ms  reason")
         for r in report.results:
@@ -543,6 +557,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "aggregates and exact percentiles only")
     p.add_argument("--per-request", action="store_true",
                    help="print the per-request table")
+    p.add_argument("--window-stats", action="store_true",
+                   help="print fast-forward window counts and the "
+                        "break-reason histogram")
     p.set_defaults(fn=cmd_serve_sim)
 
     p = sub.add_parser("bench-serve",

@@ -39,7 +39,7 @@ import numpy as np
 from ..engine.request import Request
 from ..engine.scheduler import ContinuousBatchScheduler
 from ..engine.telemetry import (RequestResult, ServeReport,
-                                StreamedServeReport)
+                                StreamedServeReport, merge_window_stats)
 from ..errors import SimulationError
 from ..stats import merge_sorted, percentile_of_runs, percentile_of_sorted
 
@@ -169,6 +169,8 @@ class StreamedClusterReport:
         self.preemptions = sum(r.preemptions for r in reports)
         self.max_batch_observed = max(r.max_batch_observed
                                       for r in reports)
+        self.window_stats = merge_window_stats(
+            [r.window_stats for r in reports])
         self._lat_runs: tuple[np.ndarray, np.ndarray] | None = None
         self._ttft_sorted: list[float] | None = None
         self._results: list[RequestResult] | None = None
@@ -259,6 +261,8 @@ def merge_reports(reports: list[ServeReport],
         preemptions=sum(r.preemptions for r in reports),
         max_batch_observed=max(r.max_batch_observed for r in reports),
         step_batches=[b for r in reports for b in r.step_batches],
+        window_stats=merge_window_stats(
+            [r.window_stats for r in reports]),
         replica_reports=list(reports),
         assignments=dict(assignments),
     )

@@ -101,9 +101,22 @@ class _ShardedTimingMixin:
 
     comm: TPCommModel
 
+    def _decode_comm_cycles(self, batch: int) -> float:
+        """Memoized ``comm.decode_step_cycles`` — a deterministic
+        function of the batch size, queried once per segment by the
+        multi-segment fast-forward path, so the collective model runs
+        once per distinct batch instead of once per call."""
+        memo = getattr(self, "_comm_memo", None)
+        if memo is None:
+            memo = self._comm_memo = {}
+        val = memo.get(batch)
+        if val is None:
+            val = memo[batch] = self.comm.decode_step_cycles(batch)
+        return val
+
     def step_cycles(self, contexts, fetched=None) -> float:
         return super().step_cycles(contexts, fetched) \
-            + self.comm.decode_step_cycles(len(contexts))
+            + self._decode_comm_cycles(len(contexts))
 
     def prefill_cycles(self, n_tokens: int, start: int = 0) -> float:
         return super().prefill_cycles(n_tokens, start) \
@@ -117,7 +130,7 @@ class _ShardedTimingMixin:
         per-step ``c + comm``, so the floats are unchanged whether the
         superclass returned a list or a vectorized window.
         """
-        comm = self.comm.decode_step_cycles(len(contexts))
+        comm = self._decode_comm_cycles(len(contexts))
         shard = super()._fast_forward_cycles(contexts, fetched, n_steps)
         if n_steps > 1:
             return np.asarray(shard) + comm

@@ -44,11 +44,13 @@ from .request import FinishReason, Request, RequestState, RequestStatus
 from .scheduler import ContinuousBatchScheduler
 from .telemetry import (
     TELEMETRY_LEVELS,
+    WINDOW_BREAK_REASONS,
     RequestResult,
     ServeReport,
     StepEvent,
     StepWindow,
     StreamedServeReport,
+    merge_window_stats,
 )
 from .trace import iter_synthetic_trace, synthetic_trace
 
@@ -68,9 +70,11 @@ __all__ = [
     "StepWindow",
     "StreamedServeReport",
     "TELEMETRY_LEVELS",
+    "WINDOW_BREAK_REASONS",
     "build_backend",
     "derive_kv_token_budget",
     "iter_synthetic_trace",
     "kv_discipline_kwargs",
+    "merge_window_stats",
     "synthetic_trace",
 ]

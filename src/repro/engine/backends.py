@@ -51,6 +51,13 @@ from .request import RequestState
 
 KV_MODES = ("slotted", "paged")
 
+#: Dense fast-forward memo tables start at ``_FF_TABLE_INIT`` entries,
+#: double on demand, and never exceed ``_FF_TABLE_CAP`` — indices past
+#: the cap are served by the sparse dict memos instead, so long-context
+#: backends neither pay an O(max_context) dense fill nor hold one.
+_FF_TABLE_INIT = 512
+_FF_TABLE_CAP = 16384
+
 #: maps (request_id, step index) to the token that step must produce —
 #: lets timing-only backends replay an exact recorded stream.
 TokenOracle = Callable[[int, int], int]
@@ -604,29 +611,51 @@ class _CycleTimedBackend(_KVMixin):
         self._ff_const[key] = val
         return val
 
+    def _ff_kv_tx(self, fetch: int) -> float:
+        """Per-head-group KV stream-transfer cycles of one member
+        fetching ``fetch`` tokens (zero tokens stream nothing) — the
+        scalar source of truth behind the dense KV-stream table."""
+        if fetch <= 0:
+            return 0.0
+        sch = self.cycles.scheduler
+        m, q = sch.model, sch.quant
+        payload = fetch * m.head_dim * q.kv_bits / 8
+        packs = fetch * q.kv_pack_bits / 8
+        group = m.num_heads // m.kv_heads
+        return self._ff_stream_cycles(payload + packs) / group
+
     def _ff_tables(self, max_ctx: int, max_fetch: int
                    ) -> tuple[np.ndarray, np.ndarray]:
         """Dense exposed-misc / KV-stream tables covering the given
-        context and fetch ranges (inclusive), filled lazily through the
-        scalar memo helpers so both paths share one value per entry."""
-        sch = self.cycles.scheduler
-        m, q = sch.model, sch.quant
-        d = m.head_dim
-        group = m.num_heads // m.kv_heads
-        size = m.max_context + 2
-        if self._ff_exp_tab is None:
-            self._ff_exp_tab = np.full(size, np.nan)
-            self._ff_kvtx_tab = np.full(size, np.nan)
-            self._ff_kvtx_tab[0] = 0.0
+        context and fetch ranges (inclusive) as far as the size cap
+        allows: tables start at ``_FF_TABLE_INIT`` entries and double
+        on demand up to ``_FF_TABLE_CAP``; indices past the returned
+        length are served by the scalar memo helpers, which fill every
+        dense entry too — so both paths share one value per index."""
+        hard_cap = min(self.model_config.max_context + 2, _FF_TABLE_CAP)
+        needed = min(max(max_ctx, max_fetch) + 1, hard_cap)
+        size = min(_FF_TABLE_INIT, hard_cap) if self._ff_exp_tab is None \
+            else len(self._ff_exp_tab)
+        while size < needed:
+            size = min(size * 2, hard_cap)
+        if self._ff_exp_tab is None or size > len(self._ff_exp_tab):
+            exp_tab = np.full(size, np.nan)
+            kvtx_tab = np.full(size, np.nan)
+            kvtx_tab[0] = 0.0
+            if self._ff_exp_tab is not None:
+                assert self._ff_kvtx_tab is not None
+                exp_tab[:len(self._ff_exp_tab)] = self._ff_exp_tab
+                kvtx_tab[:len(self._ff_kvtx_tab)] = self._ff_kvtx_tab
+            self._ff_exp_tab = exp_tab
+            self._ff_kvtx_tab = kvtx_tab
         exp_tab, kvtx_tab = self._ff_exp_tab, self._ff_kvtx_tab
-        for ctx in np.nonzero(np.isnan(exp_tab[:max_ctx + 1]))[0].tolist():
+        top_ctx = min(max_ctx + 1, len(exp_tab))
+        for ctx in np.nonzero(np.isnan(exp_tab[:top_ctx]))[0].tolist():
             exp_tab[ctx] = self._ff_exposed(ctx)
+        top_fetch = min(max_fetch + 1, len(kvtx_tab))
         for fetch in np.nonzero(
-                np.isnan(kvtx_tab[:max_fetch + 1]))[0].tolist():
-            payload = fetch * d * q.kv_bits / 8
-            packs = fetch * q.kv_pack_bits / 8
-            kvtx_tab[fetch] = self._ff_stream_cycles(payload + packs) \
-                / group
+                np.isnan(kvtx_tab[:top_fetch]))[0].tolist():
+            kvtx_tab[fetch] = self._ff_kv_tx(fetch)
         return exp_tab, kvtx_tab
 
     def _fast_forward_cycles(self, contexts: Sequence[int],
@@ -656,9 +685,21 @@ class _CycleTimedBackend(_KVMixin):
             exposed = np.zeros(n_steps)
             for c0, f0 in zip(contexts, fetched):
                 ctxs = c0 + steps
+                if f0 + n_steps <= len(kvtx_tab):
+                    kvtx = kvtx_tab[f0 + steps]
+                else:
+                    # Range spills past the dense cap: assemble the
+                    # identical values from the sparse memo.
+                    kvtx = np.array([self._ff_kv_tx(f)
+                                     for f in range(f0, f0 + n_steps)])
                 cycles = cycles + 2 * heads * np.maximum(
-                    kvtx_tab[f0 + steps], (ctxs + 1) * tiles_d)
-                exposed = exposed + exp_tab[ctxs]
+                    kvtx, (ctxs + 1) * tiles_d)
+                if c0 + n_steps <= len(exp_tab):
+                    exposed = exposed + exp_tab[ctxs]
+                else:
+                    exposed = exposed + np.array(
+                        [self._ff_exposed(c)
+                         for c in range(c0, c0 + n_steps)])
             attn = cycles + exposed
             total = np.zeros(n_steps)
             total = total + emb

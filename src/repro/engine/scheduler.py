@@ -58,18 +58,33 @@ class ContinuousBatchScheduler:
                  system: "BareMetalSystem | None" = None,
                  max_batch: int = 8,
                  kv_token_budget: int | None = None,
-                 fast_forward: bool = True) -> None:
+                 fast_forward: bool | str = True) -> None:
         if max_batch <= 0:
             raise SimulationError(f"max_batch must be positive: {max_batch}")
         self.backend = backend
         self.max_batch = max_batch
-        #: timing-only backends may advance static windows in one call;
-        #: ``fast_forward=False`` forces the step-by-step loop (the
-        #: differential tests pin that both produce identical reports),
-        #: and a reference-cost backend is a deliberate baseline.
-        self.fast_forward = fast_forward \
-            and getattr(backend, "supports_fast_forward", False) \
-            and not getattr(backend, "reference_costs", False)
+        #: timing-only backends may advance fast-forward windows in one
+        #: call.  Tiers: ``"multi"`` (the default, ``True``) charges
+        #: multi-segment windows that span predicted retirements and
+        #: block frontiers; ``"single"`` is the piecewise-static window
+        #: that breaks at every state change; ``False``/``"off"`` forces
+        #: the eager step loop.  The differential tests pin all three to
+        #: identical reports, and a reference-cost backend is a
+        #: deliberate baseline that always runs eager.  The attribute
+        #: stays falsy whenever fast-forward is off.
+        tier: bool | str = fast_forward
+        if tier is True:
+            tier = "multi"
+        elif tier == "off":
+            tier = False
+        if tier not in (False, "single", "multi"):
+            raise SimulationError(
+                "fast_forward must be a bool or one of 'off', 'single', "
+                f"'multi': {fast_forward!r}")
+        if not getattr(backend, "supports_fast_forward", False) \
+                or getattr(backend, "reference_costs", False):
+            tier = False
+        self.fast_forward = tier
         model = backend.model_config
         self.paged_kv = getattr(backend, "paged_kv", None)
         if self.paged_kv is not None:
@@ -114,6 +129,10 @@ class ContinuousBatchScheduler:
         self._stream: Iterator[Request] | None = None
         self._stream_head: Request | None = None
         self._last_stream_arrival = 0.0
+        #: True while the waiting deque is known to hold requests in
+        #: arrival order (run() sorts materialized traces before
+        #: submitting) — the idle jump then reads the head in O(1).
+        self._arrival_sorted = False
         #: running sum of cached tokens across the running set, kept in
         #: lockstep by admit/retire/preempt/decode instead of re-summed
         #: every scheduler step.
@@ -270,17 +289,21 @@ class ContinuousBatchScheduler:
 
     # -- fast forward --------------------------------------------------------
 
-    def _fast_forward_window(self) -> int:
-        """Steps the running set can advance with no admission, retire,
-        preemption, or paged block boundary — 0 when any could occur.
+    def _fast_forward_window(self) -> tuple[int, str | None]:
+        """``(steps, break_reason)``: how far the running set can
+        advance with no admission, retire, preemption, or paged block
+        boundary — 0 when any could occur — plus the binding reason
+        (None only when there is nothing running to advance).
 
         While the set is static each step only increments every context
         by one, so per-step cycles become a pure function of the step
         index and a whole window can be charged in one backend call.
         """
         pending = self.running
-        if not pending or any(not s.has_pending_forward for s in pending):
-            return 0
+        if not pending:
+            return 0, None
+        if any(not s.has_pending_forward for s in pending):
+            return 0, "retirement-unpredicted"
         if self.waiting and len(self.running) < self.max_batch:
             head = self.waiting[0]
             if head.request.arrival_s <= self.clock_s \
@@ -288,27 +311,34 @@ class ContinuousBatchScheduler:
                 # step() may admit right now; capacity-unfit heads stay
                 # unfit inside a window (pressure only grows), and
                 # arrival-gated heads are handled by the clock cut.
-                return 0
+                return 0, "admission"
         max_context = self.backend.model_config.max_context
+        # The window stops one step short of the earliest retirement it
+        # cannot fold (this tier folds none).
         limit = min(
             min(s.request.max_new_tokens - s.n_generated for s in pending),
             min(max_context - 1 - s.position for s in pending),
         )
+        reason = "retirement-unpredicted"
         if self.paged_kv is not None:
             block = self.paged_kv.block_size
             for s in pending:
                 assert s.slot is not None
                 if self.paged_kv.append_needs_block(s.slot):
-                    return 0
+                    return 0, "block-frontier"
                 room = s.position % block
-                limit = min(limit, block - room if room else block)
+                cap = block - room if room else block
+                if cap < limit:
+                    limit, reason = cap, "block-frontier"
         else:
-            limit = min(limit, (self.kv_token_budget - self._cached_total)
-                        // len(pending))
-        return max(0, limit)
+            cap = (self.kv_token_budget - self._cached_total) \
+                // len(pending)
+            if cap < limit:
+                limit, reason = cap, "preemption-risk"
+        return max(0, limit), reason
 
-    def _fast_forward(self) -> int:
-        """Advance a static window in one closed-form charge; returns
+    def _fast_forward_single(self) -> int:
+        """Advance one static window in one closed-form charge; returns
         the steps applied.
 
         The per-step loop is gone: the window clock is one sequential
@@ -319,8 +349,10 @@ class ContinuousBatchScheduler:
         every observable is bit-identical to the step-by-step loop
         while a K-step window costs O(batch) Python operations.
         """
-        limit = self._fast_forward_window()
+        limit, reason = self._fast_forward_window()
         if limit < 2:
+            if reason is not None:
+                self._recorder.note_break(reason)
             return 0
         pending = self.running
         planned: list[np.ndarray] = []
@@ -330,12 +362,13 @@ class ContinuousBatchScheduler:
             eos = s.request.eos_id
             if eos is not None:
                 hits = np.nonzero(tokens == eos)[0]
-                if len(hits):
+                if len(hits) and int(hits[0]) < limit:
                     # The step that samples EOS retires the request: it
                     # ends the window and runs through the normal loop.
-                    limit = min(limit, int(hits[0]))
+                    limit, reason = int(hits[0]), "eos"
             planned.append(tokens)
         if limit < 2:
+            self._recorder.note_break(reason)
             return 0
         cycles = np.asarray(
             self.backend.fast_forward_cycles(pending, limit),
@@ -353,8 +386,11 @@ class ContinuousBatchScheduler:
             if head_arrival > self.clock_s:
                 # Steps apply while the clock has not reached the next
                 # arrival; step() admits the head right after.
-                applied = int(np.searchsorted(clocks[:limit],
-                                              head_arrival, side="left"))
+                cut = int(np.searchsorted(clocks[:limit],
+                                          head_arrival, side="left"))
+                if cut < applied:
+                    applied, reason = cut, "arrival"
+        self._recorder.note_break(reason)
         if applied <= 0:
             return 0
         batch = len(pending)
@@ -374,6 +410,189 @@ class ContinuousBatchScheduler:
         self._cached_total += applied * batch
         return applied
 
+    def _fast_forward_multi(self) -> int:
+        """Advance a multi-segment window: piecewise-static segments
+        separated by *predicted* retirements and block-frontier
+        crossings, all charged before control returns to the eager
+        loop.  Returns the total steps applied.
+
+        Retirement steps are pure functions of each member's planned
+        token stream — the length budget is arithmetic and the EOS
+        position comes from the same ``planned_tokens`` replay the
+        single-segment tier consults — and paged block allocation is
+        arithmetic on context length, so the event horizon (the next
+        *unavoidable* scheduler state change) is computable without
+        stepping.  Each segment is evaluated with the vectorized
+        ``fast_forward_cycles`` machinery; between segments the batch
+        shrink and block-table growth are folded in the same member
+        order as the eager loop (commit, then retire in pending order),
+        so every clock, event, latency, and token stream stays
+        bit-identical.  Windows then break only at admission
+        opportunities, arrival cuts, and genuine preemption risk.
+        """
+        rec = self._recorder
+        freq = self.backend.freq_hz
+        max_context = self.backend.model_config.max_context
+        full = rec.level == "full"
+        clock0 = self.clock_s
+        segments: list[tuple[int, int, int]] = []
+        cycle_parts: list[np.ndarray] = []
+        delta_parts: list[np.ndarray] = []
+        clock_parts: list[np.ndarray] = []
+        total_applied = 0
+        break_reason: str | None = None
+
+        while True:
+            # Re-gate at every segment start: folded retirements free
+            # capacity (and slots), so the admission verdict and the
+            # stream head must be re-read exactly where the eager loop
+            # would next check them.
+            self._refill()
+            pending = list(self.running)
+            if not pending:
+                break  # every member retired inside the window
+            if any(not s.has_pending_forward for s in pending):
+                break_reason = "retirement-unpredicted"
+                break
+            head_waiting = self.waiting \
+                and len(self.running) < self.max_batch
+            head_arrived_unfit = False
+            if head_waiting:
+                head = self.waiting[0]
+                if head.request.arrival_s <= self.clock_s:
+                    if self._admit_fits(head):
+                        break_reason = "admission"
+                        break
+                    head_arrived_unfit = True
+            batch = len(pending)
+            # Event horizon: L_i is the 0-based step index at which
+            # member i forwards its final pending token and retires at
+            # the length/context budget — unless a planned EOS retires
+            # it earlier.
+            length_caps = [
+                min(s.request.max_new_tokens - s.n_generated,
+                    max_context - 1 - s.position)
+                for s in pending]
+            horizon = min(length_caps)
+            # Static capacity cap: how many steps are provably free of
+            # preemption and eviction.
+            if self.paged_kv is not None:
+                cap = self.paged_kv.window_advance_cap(
+                    [s.slot for s in pending], horizon + 1)
+                cap_reason = "block-frontier"
+                if head_arrived_unfit:
+                    # Paged admission fitness can flip as frontiers
+                    # cross (freed growth, shrunk claimable supply), and
+                    # the eager loop re-checks it every step — so while
+                    # an arrived head waits, segments keep the static
+                    # no-crossing shape under which "unfit" provably
+                    # holds to the segment end.
+                    block = self.paged_kv.block_size
+                    for s in pending:
+                        assert s.slot is not None
+                        if self.paged_kv.append_needs_block(s.slot):
+                            cap = 0
+                            break
+                        room = s.position % block
+                        cap = min(cap, block - room if room else block)
+            else:
+                cap = (self.kv_token_budget - self._cached_total) // batch
+                cap_reason = "preemption-risk"
+            seg_cap = min(horizon + 1, cap)
+            if seg_cap <= 0:
+                break_reason = cap_reason
+                break
+            if not total_applied and seg_cap == 1 and horizon >= 1:
+                # A lone static step with no boundary to fold is not
+                # worth a window; the eager loop takes it (the PR 5
+                # tier's ``limit < 2`` rule).
+                break_reason = cap_reason
+                break
+            # Planned tokens up to each member's own horizon — never
+            # past it: a recorded oracle stream ends at the retirement.
+            planned: list[np.ndarray] = []
+            bounds: list[int] = []
+            kinds: list[FinishReason] = []
+            for i, s in enumerate(pending):
+                n_i = min(length_caps[i], seg_cap)
+                tokens = np.asarray(
+                    self.backend.planned_tokens(s, n_i) if n_i else (),
+                    dtype=np.int64)
+                r_i, kind = length_caps[i], FinishReason.LENGTH
+                eos = s.request.eos_id
+                if eos is not None and len(tokens):
+                    hits = np.nonzero(tokens == eos)[0]
+                    if len(hits) and int(hits[0]) < r_i:
+                        r_i, kind = int(hits[0]), FinishReason.EOS
+                planned.append(tokens)
+                bounds.append(r_i)
+                kinds.append(kind)
+            boundary = min(bounds)
+            n_seg = min(boundary + 1, seg_cap)
+            seg_cycles = np.asarray(
+                self.backend.fast_forward_cycles(pending, n_seg),
+                dtype=np.float64)
+            seg_deltas = seg_cycles / freq
+            # Sequential prefix fold seeded with the running clock — the
+            # same IEEE adds as stepping ``clock += cycles / freq``,
+            # chained across segments.
+            clocks = np.empty(n_seg + 1)
+            clocks[0] = self.clock_s
+            clocks[1:] = seg_deltas
+            np.cumsum(clocks, out=clocks)
+            applied = n_seg
+            if head_waiting:
+                head_arrival = self.waiting[0].request.arrival_s
+                if head_arrival > self.clock_s:
+                    cut = int(np.searchsorted(clocks[:n_seg],
+                                              head_arrival, side="left"))
+                    if cut < applied:
+                        applied, break_reason = cut, "arrival"
+            if applied <= 0:
+                break  # first possible step already past the arrival
+            at_boundary = applied == n_seg and boundary < seg_cap
+            self.clock_s = float(clocks[applied])
+            self._decode_steps += applied
+            lat_list = seg_cycles[:applied].tolist() if full else None
+            for i, s in enumerate(pending):
+                if full:
+                    s.decode_cycles.extend(lat_list)
+                if at_boundary and bounds[i] == boundary \
+                        and kinds[i] is FinishReason.LENGTH:
+                    # The boundary step forwards the retiree's final
+                    # pending token but samples nothing.
+                    s.generated.extend(planned[i][:applied - 1].tolist())
+                else:
+                    s.generated.extend(planned[i][:applied].tolist())
+            self.backend.commit_fast_forward(pending, applied)
+            self._cached_total += applied * batch
+            retired = 0
+            if at_boundary:
+                for i, s in enumerate(pending):
+                    if bounds[i] == boundary:
+                        self._retire(s, kinds[i])
+                        retired += 1
+            segments.append((applied, batch, retired))
+            cycle_parts.append(seg_cycles[:applied])
+            delta_parts.append(seg_deltas[:applied])
+            clock_parts.append(clocks[1:applied + 1])
+            total_applied += applied
+            if break_reason is not None:
+                break
+
+        if break_reason is not None:
+            rec.note_break(break_reason)
+        if not total_applied:
+            return 0
+        rec.record_window(
+            clock0,
+            np.concatenate(clock_parts),
+            segments[0][1],
+            np.concatenate(cycle_parts),
+            np.concatenate(delta_parts),
+            segments=tuple(segments))
+        return total_applied
+
     # -- the scheduling loop -------------------------------------------------
 
     def step(self) -> StepEvent:
@@ -381,11 +600,14 @@ class ContinuousBatchScheduler:
         if not self.waiting and not self.running:
             raise SimulationError("nothing to schedule")
 
-        # Idle engine: jump to the next arrival.  Streamed runs submit
-        # in arrival order with preempted re-entries (already arrived)
-        # at the head, so the deque head IS the next arrival — no scan.
+        # Idle engine: jump to the next arrival.  Streamed and sorted
+        # materialized runs hold the queue in arrival order with
+        # preempted re-entries (already arrived) at the head, so the
+        # deque head IS the next arrival — no scan.  Only a queue built
+        # by direct out-of-order submit() calls needs the linear min.
         if not self.running and self.waiting:
-            if self._stream is not None or self._stream_head is not None:
+            if self._stream is not None or self._stream_head is not None \
+                    or self._arrival_sorted:
                 next_arrival = self.waiting[0].request.arrival_s
             else:
                 next_arrival = min(s.request.arrival_s
@@ -499,6 +721,9 @@ class ContinuousBatchScheduler:
         self._stream = None
         self._stream_head = None
         self._last_stream_arrival = 0.0
+        # A queue populated here is arrival-sorted; one pre-filled by
+        # direct submit() calls carries no such guarantee.
+        self._arrival_sorted = not self.waiting
         if requests is not None:
             if isinstance(requests, Iterator):
                 self._stream = requests
@@ -506,9 +731,15 @@ class ContinuousBatchScheduler:
                 for request in sorted(requests, key=lambda r: r.arrival_s):
                     self.submit(request)
         self._refill()
+        multi = self.fast_forward == "multi"
         steps = 0
         while self.waiting or self.running or self._stream is not None:
-            applied = self._fast_forward() if self.fast_forward else 0
+            if multi:
+                applied = self._fast_forward_multi()
+            elif self.fast_forward:
+                applied = self._fast_forward_single()
+            else:
+                applied = 0
             if not applied:
                 self.step()
                 applied = 1
@@ -548,4 +779,5 @@ class ContinuousBatchScheduler:
             preemptions=self._preemptions,
             max_batch_observed=self._recorder.max_batch,
             step_batches=[e.batch for e in self.events if e.batch],
+            window_stats=self._recorder.window_stats(),
         )

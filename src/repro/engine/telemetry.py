@@ -37,6 +37,11 @@ from .request import FinishReason, RequestState
 
 TELEMETRY_LEVELS = ("full", "windows", "summary")
 
+#: Why a fast-forward window ended (or could not start).  Fixed key set
+#: so histograms from different runs/replicas merge by plain addition.
+WINDOW_BREAK_REASONS = ("admission", "arrival", "retirement-unpredicted",
+                        "preemption-risk", "block-frontier", "eos")
+
 #: FinishReason <-> small-int codes for the columnar result store.
 _REASON_LIST = list(FinishReason)
 _REASON_CODES = {reason: i for i, reason in enumerate(_REASON_LIST)}
@@ -56,14 +61,19 @@ class StepEvent:
 
 @dataclass(frozen=True)
 class StepWindow:
-    """A run of ``count`` static decode steps recorded as one object.
+    """A run of ``count`` fast-forwarded decode steps as one object.
 
-    Inside a static window nothing is admitted, retired, or preempted,
-    so the only per-step facts are the cycle counts — kept as one
-    float64 array shared by every batch member — and the clocks, which
-    :meth:`expand` re-derives through the same sequential ``cumsum``
-    the scheduler used to advance its clock, reproducing the eager
-    :class:`StepEvent` stream bit for bit.
+    A *single-segment* window (``segments is None``) is a static run:
+    nothing admitted, retired, or preempted, one batch size throughout.
+    A *multi-segment* window chains piecewise-static segments separated
+    by predicted retirements: ``segments`` holds one ``(count, batch,
+    retired)`` triple per segment (``retired`` members leave at the end
+    of that segment's last step), with ``sum(counts) == count`` and
+    ``batch`` the first segment's batch.  Either way the only per-step
+    facts are the cycle counts — one float64 array over the whole
+    window — and the clocks, which :meth:`expand` re-derives through
+    the same sequential ``cumsum`` the scheduler used to advance its
+    clock, reproducing the eager :class:`StepEvent` stream bit for bit.
     """
 
     clock0_s: float  # engine clock before the window's first step
@@ -71,6 +81,7 @@ class StepWindow:
     batch: int
     count: int
     cycles: np.ndarray
+    segments: tuple[tuple[int, int, int], ...] | None = None
 
     def latencies(self) -> np.ndarray:
         """Per-step seconds — the identical floats ``full`` telemetry
@@ -80,10 +91,22 @@ class StepWindow:
     def expand(self) -> list[StepEvent]:
         clocks = np.cumsum(np.concatenate(([self.clock0_s],
                                            self.latencies())))
-        return [StepEvent(clock_s=clock, batch=self.batch, cycles=cyc,
-                          admitted=0, preempted=0, retired=0)
-                for clock, cyc in zip(clocks[1:].tolist(),
-                                      self.cycles.tolist())]
+        clock_list = clocks[1:].tolist()
+        cycle_list = self.cycles.tolist()
+        if self.segments is None:
+            return [StepEvent(clock_s=clock, batch=self.batch, cycles=cyc,
+                              admitted=0, preempted=0, retired=0)
+                    for clock, cyc in zip(clock_list, cycle_list)]
+        events: list[StepEvent] = []
+        pos = 0
+        for count, batch, retired in self.segments:
+            for j in range(count):
+                events.append(StepEvent(
+                    clock_s=clock_list[pos], batch=batch,
+                    cycles=cycle_list[pos], admitted=0, preempted=0,
+                    retired=retired if j == count - 1 else 0))
+                pos += 1
+        return events
 
 
 @dataclass(frozen=True)
@@ -110,6 +133,9 @@ class ServeReport:
     preemptions: int = 0
     max_batch_observed: int = 0
     step_batches: list[int] = field(default_factory=list)
+    #: fast-forward window accounting (window/segment counts plus a
+    #: break-reason histogram) — empty when fast-forward never ran.
+    window_stats: dict = field(default_factory=dict)
     #: lazy percentile caches — reports are built once and then queried;
     #: mutate ``results`` and these go stale.
     _decode_lat_sorted: list[float] | None = field(
@@ -172,6 +198,31 @@ class ServeReport:
         if not self.results:
             raise SimulationError("no retired requests")
         return percentile_of_sorted(self._sorted_ttfts(), percentile)
+
+
+def merge_window_stats(stats: "list[dict]") -> dict:
+    """Sum fast-forward window stats across replica reports.
+
+    Every counter is additive and the break histogram has a fixed key
+    set, so a cluster merge is plain addition; empty dicts (a replica
+    that never fast-forwarded) contribute nothing.
+    """
+    merged = {
+        "n_windows": 0,
+        "n_segments": 0,
+        "folded_retirements": 0,
+        "breaks": {reason: 0 for reason in WINDOW_BREAK_REASONS},
+    }
+    for s in stats:
+        if not s:
+            continue
+        merged["n_windows"] += s.get("n_windows", 0)
+        merged["n_segments"] += s.get("n_segments", 0)
+        merged["folded_retirements"] += s.get("folded_retirements", 0)
+        for reason, count in s.get("breaks", {}).items():
+            merged["breaks"][reason] = \
+                merged["breaks"].get(reason, 0) + count
+    return merged
 
 
 class RunLengthSample:
@@ -257,6 +308,11 @@ class TelemetryRecorder:
         self.batch_sum = 0
         self.max_batch = 0
         self.runs = RunLengthSample()
+        # Fast-forward window accounting (all levels; O(1) state).
+        self.n_windows = 0
+        self.n_window_segments = 0
+        self.n_folded_retirements = 0
+        self.window_breaks = {reason: 0 for reason in WINDOW_BREAK_REASONS}
         # Columnar per-request results (streaming levels).
         self.ids = array("q")
         self.prompt_lens = array("q")
@@ -288,34 +344,71 @@ class TelemetryRecorder:
         if self.level != "summary":
             self.records.append(event)
 
+    def note_break(self, reason: str) -> None:
+        """Count why the current fast-forward window ended."""
+        self.window_breaks[reason] += 1
+
+    def window_stats(self) -> dict:
+        """Window/segment counts and break-reason histogram (a fresh
+        dict; safe to stash on a report)."""
+        return {
+            "n_windows": self.n_windows,
+            "n_segments": self.n_window_segments,
+            "folded_retirements": self.n_folded_retirements,
+            "breaks": dict(self.window_breaks),
+        }
+
     def record_window(self, clock0_s: float, clocks_after: np.ndarray,
                       batch: int, cycles: np.ndarray,
-                      latencies: np.ndarray) -> None:
-        """One fast-forwarded window of ``len(cycles)`` static steps.
+                      latencies: np.ndarray,
+                      segments: tuple[tuple[int, int, int], ...] | None
+                      = None) -> None:
+        """One fast-forwarded window of ``len(cycles)`` decode steps.
 
         ``clocks_after[j]`` is the engine clock after step ``j`` and
         ``latencies`` is ``cycles / freq_hz`` — both already computed
         by the scheduler's closed-form charge, so recording reuses the
-        exact floats instead of re-deriving them.
+        exact floats instead of re-deriving them.  ``segments`` (one
+        ``(count, batch, retired)`` triple per piecewise-static
+        segment) describes a multi-segment window whose batch shrinks
+        at predicted retirements; None means one static segment of
+        ``batch`` throughout.
         """
         count = len(cycles)
         self.n_steps += count
         self.n_decode_steps += count
-        self.batch_sum += batch * count
-        if batch > self.max_batch:
-            self.max_batch = batch
+        self.n_windows += 1
+        if segments is None:
+            segments_iter: tuple[tuple[int, int, int], ...] = \
+                ((count, batch, 0),)
+        else:
+            segments_iter = segments
+        self.n_window_segments += len(segments_iter)
+        for seg_count, seg_batch, seg_retired in segments_iter:
+            self.batch_sum += seg_batch * seg_count
+            if seg_batch > self.max_batch:
+                self.max_batch = seg_batch
+            self.n_folded_retirements += seg_retired
         if self.level == "full":
-            self.records.extend(
-                StepEvent(clock_s=clock, batch=batch, cycles=cyc,
-                          admitted=0, preempted=0, retired=0)
-                for clock, cyc in zip(clocks_after.tolist(),
-                                      cycles.tolist()))
+            clock_list = clocks_after.tolist()
+            cycle_list = cycles.tolist()
+            pos = 0
+            for seg_count, seg_batch, seg_retired in segments_iter:
+                for j in range(seg_count):
+                    self.records.append(StepEvent(
+                        clock_s=clock_list[pos], batch=seg_batch,
+                        cycles=cycle_list[pos], admitted=0, preempted=0,
+                        retired=seg_retired if j == seg_count - 1 else 0))
+                    pos += 1
             return
-        self.runs.add_run(latencies, batch)
+        pos = 0
+        for seg_count, seg_batch, _ in segments_iter:
+            self.runs.add_run(latencies[pos:pos + seg_count], seg_batch)
+            pos += seg_count
         if self.level == "windows":
             self.records.append(StepWindow(
                 clock0_s=clock0_s, freq_hz=self.freq_hz, batch=batch,
-                count=count, cycles=cycles))
+                count=count, cycles=cycles, segments=segments))
 
     def fold_result(self, state: RequestState) -> None:
         """Absorb one retired request into the columns and drop it."""
@@ -363,7 +456,11 @@ class TelemetryRecorder:
         out: list[int] = []
         for record in self.records:
             if isinstance(record, StepWindow):
-                out.extend([record.batch] * record.count)
+                if record.segments is None:
+                    out.extend([record.batch] * record.count)
+                else:
+                    for seg_count, seg_batch, _ in record.segments:
+                        out.extend([seg_batch] * seg_count)
             elif record.batch:
                 out.append(record.batch)
         return out
@@ -406,6 +503,7 @@ class StreamedServeReport:
         self.n_steps = recorder.n_steps
         self.preemptions = preemptions
         self.max_batch_observed = recorder.max_batch
+        self.window_stats = recorder.window_stats()
         #: retire-order -> request-id order, fixed once at build time so
         #: every materialization walks requests the way the eager report
         #: does (results are sorted by request id).

@@ -240,18 +240,73 @@ class PagedKVCache:
         seq.needs_block_cache = (tag, answer)
         return answer
 
+    def window_advance_cap(self, seq_ids: Sequence[int], n: int) -> int:
+        """Largest ``k <= n`` such that advancing every listed sequence
+        by ``k`` tokens claims only *free* pool blocks.
+
+        This is the paged accounting behind multi-segment fast-forward
+        windows: block-frontier crossings are pure arithmetic on context
+        length as long as (a) no member's next append copies-on-write a
+        shared block (the copy's cost depends on eviction state, so the
+        window must break and let the eager step resolve it), and (b)
+        the combined fresh-block demand fits in ``pool.n_free`` without
+        touching the evictable prefix supply — guaranteeing the window
+        triggers no eviction, no CapacityError, and no preemption the
+        eager loop would not also have skipped.
+        """
+        if n <= 0:
+            return 0
+        bs = self.block_size
+        frontiers: list[tuple[int, int]] = []
+        for seq_id in seq_ids:
+            seq = self._get(seq_id)
+            idx = seq.length // bs
+            if idx < len(seq.table) \
+                    and self.pool.refcount(seq.table[idx]) > 1:
+                return 0
+            frontiers.append((seq.length, len(seq.table)))
+        free = self.pool.n_free
+
+        def fresh(k: int) -> int:
+            return sum(max(0, blocks_for_tokens(length + k, bs) - have)
+                       for length, have in frontiers)
+
+        if fresh(n) <= free:
+            return n
+        lo, hi = 0, n  # invariant: fresh(lo) <= free < fresh(hi)
+        if fresh(0) > free:
+            return 0
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if fresh(mid) <= free:
+                lo = mid
+            else:
+                hi = mid
+        return lo
+
     # -- append paths ------------------------------------------------------
 
     def advance(self, seq_id: int, n: int = 1) -> None:
-        """Account ``n`` appended tokens (timing backends: no data)."""
+        """Account ``n`` appended tokens (timing backends: no data).
+
+        O(blocks touched), not O(n): inside a block the write frontier
+        needs no pool work (the first append COWs a shared partial
+        block or claims a fresh one; later appends land in the now-
+        private block), so the walk visits one position per block
+        boundary and jumps over the rest.  Pool mutations happen in the
+        identical order as ``n`` single-token appends.
+        """
         seq = self._get(seq_id)
-        for _ in range(n):
-            if seq.length >= self.config.max_context:
-                raise SimulationError(
-                    f"sequence {seq_id} exceeds context "
-                    f"{self.config.max_context}")
+        overflow = seq.length + n > self.config.max_context
+        target = min(seq.length + n, self.config.max_context)
+        while seq.length < target:
             self._writable_block(seq, seq.length)
-            seq.length += 1
+            boundary = (seq.length // self.block_size + 1) * self.block_size
+            seq.length = min(target, boundary)
+        if overflow:
+            raise SimulationError(
+                f"sequence {seq_id} exceeds context "
+                f"{self.config.max_context}")
 
     def view(self, seq_id: int) -> "PagedSequenceView":
         """A QuantizedKVCache-compatible view of one sequence."""

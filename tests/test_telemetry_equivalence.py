@@ -22,9 +22,11 @@ from repro.cluster import (
 )
 from repro.config import TINY_MODEL, QuantConfig
 from repro.engine import (
+    WINDOW_BREAK_REASONS,
     AnalyticalBackend,
     ContinuousBatchScheduler,
     CycleModelBackend,
+    FinishReason,
     FunctionalBackend,
     Request,
     StepWindow,
@@ -202,6 +204,147 @@ class TestWindowedExpansionIsExact:
         with pytest.raises(SimulationError):
             eng.run([Request(0, (1, 2), max_new_tokens=4)],
                     telemetry="everything")
+
+
+class TestEventHorizonTiers:
+    """Satellite: the multi-segment event-horizon tier is a pure
+    optimization.  ``fast_forward="multi"`` must reproduce the single
+    tier and the eager loop bit for bit on every observable, while the
+    recorded window count collapses on retirement-dominated traces."""
+
+    @pytest.mark.parametrize("kv_mode", ("slotted", "paged"))
+    @pytest.mark.parametrize("kind", ("cycle", "analytical"))
+    @settings(deadline=None, max_examples=8)
+    @given(seed=st.integers(0, 10_000),
+           arrival_rate=st.sampled_from([1e9, 2000.0, 150.0]),
+           n_requests=st.integers(3, 12),
+           decode_hi=st.integers(30, 80))
+    def test_long_decode_tiers_agree(self, kind, kv_mode, seed,
+                                     arrival_rate, n_requests,
+                                     decode_hi):
+        """Long decodes make predicted-retirement segments fire; the
+        three tiers must stay bit-identical through them."""
+        kwargs = dict(arrival_rate_rps=arrival_rate, seed=seed,
+                      prompt_len=(3, 10), decode_len=(25, decode_hi),
+                      shared_prefix_len=8)
+        trace = synthetic_trace(TINY_MODEL, n_requests, **kwargs)
+        eager = make_engine(kind, kv_mode, ff=False).run(trace)
+        single = make_engine(kind, kv_mode, ff="single").run(trace)
+        multi = make_engine(kind, kv_mode, ff="multi").run(trace)
+        assert_reports_identical(single, eager)
+        assert_reports_identical(multi, eager)
+        assert_percentiles_identical(multi, eager)
+
+    @pytest.mark.parametrize("kv_mode", ("slotted", "paged"))
+    def test_oracle_mixed_eos_length_tiers_agree(self, kv_mode):
+        """Mixed EOS and LENGTH finishes inside one batch: predicted
+        retirements of both kinds fold at segment boundaries without
+        disturbing the token streams."""
+        streams = {
+            0: (11, 12, 13, 7),
+            1: (21, 22, 23, 24, 25, 26),
+            2: (31, 7),
+            3: (41, 42, 43, 44, 45, 46),
+        }
+
+        def oracle(request_id, step):
+            return streams[request_id][step]
+
+        def engine(ff):
+            backend = CycleModelBackend(
+                TINY_MODEL, QUANT32, n_slots=MAX_BATCH,
+                token_oracle=oracle, kv_mode=kv_mode,
+                block_size=BLOCK_SIZE,
+                n_kv_blocks=BUDGET_TOKENS // BLOCK_SIZE)
+            budget = BUDGET_TOKENS if kv_mode == "slotted" else None
+            return ContinuousBatchScheduler(
+                backend, max_batch=MAX_BATCH, kv_token_budget=budget,
+                fast_forward=ff)
+
+        requests = [Request(i, (5, 6 + i), max_new_tokens=6, eos_id=7)
+                    for i in range(4)]
+        eager = engine(False).run(requests)
+        single = engine("single").run(requests)
+        multi = engine("multi").run(requests)
+        assert_reports_identical(single, eager)
+        assert_reports_identical(multi, eager)
+        assert {r.finish_reason for r in multi.results} \
+            == {FinishReason.EOS, FinishReason.LENGTH}
+
+    @pytest.mark.parametrize("kind", ("cycle", "analytical"))
+    def test_sharded_tp2_tiers_agree(self, kind):
+        kwargs = dict(arrival_rate_rps=800.0, seed=9,
+                      prompt_len=(3, 10), decode_len=(20, 48))
+        trace = synthetic_trace(TINY_MODEL, 10, **kwargs)
+        eager = make_engine(kind, "slotted", tp=2, ff=False).run(trace)
+        single = make_engine(kind, "slotted", tp=2,
+                             ff="single").run(trace)
+        multi = make_engine(kind, "slotted", tp=2,
+                            ff="multi").run(trace)
+        assert_reports_identical(single, eager)
+        assert_reports_identical(multi, eager)
+        assert_percentiles_identical(multi, eager)
+
+    def test_retirement_dominated_trace_collapses_windows(self):
+        """Staggered-length decodes with an empty arrival queue: the
+        single tier breaks a window at every horizon (one per
+        retirement), the multi tier folds the retirements into
+        segments of the same window — O(admissions) windows."""
+        trace = [Request(i, (1, 2, 3), max_new_tokens=12 + 9 * i)
+                 for i in range(MAX_BATCH)]
+        eng_single = make_engine("cycle", "slotted", ff="single")
+        single = eng_single.run(trace, telemetry="windows")
+        eng_multi = make_engine("cycle", "slotted", ff="multi")
+        multi = eng_multi.run(trace, telemetry="windows")
+        assert_reports_identical(multi, single)
+        assert_percentiles_identical(multi, single)
+
+        s_stats, m_stats = single.window_stats, multi.window_stats
+        assert m_stats["n_windows"] < s_stats["n_windows"]
+        assert m_stats["folded_retirements"] >= MAX_BATCH - 1
+        assert s_stats["folded_retirements"] == 0
+        assert m_stats["n_segments"] >= m_stats["n_windows"]
+        assert len(eng_multi._recorder.records) \
+            < len(eng_single._recorder.records)
+
+    def test_break_histogram_shape_and_reasons(self):
+        trace = synthetic_trace(TINY_MODEL, 16, arrival_rate_rps=400.0,
+                                seed=5, prompt_len=(3, 8),
+                                decode_len=(12, 40))
+        report = make_engine("cycle", "slotted", ff="multi").run(
+            trace, telemetry="windows")
+        stats = report.window_stats
+        assert set(stats["breaks"]) == set(WINDOW_BREAK_REASONS)
+        assert stats["n_windows"] > 0
+        assert stats["n_segments"] >= stats["n_windows"]
+        assert sum(stats["breaks"].values()) > 0
+        # The multi tier folds EOS horizons into segments and the
+        # slotted discipline never touches block frontiers.
+        assert stats["breaks"]["eos"] == 0
+        assert stats["breaks"]["block-frontier"] == 0
+
+    def test_streamed_report_carries_window_stats(self):
+        kwargs = dict(arrival_rate_rps=600.0, seed=13,
+                      prompt_len=(3, 8), decode_len=(10, 30))
+        full = make_engine("cycle", "paged").run(
+            synthetic_trace(TINY_MODEL, 20, **kwargs))
+        summary = make_engine("cycle", "paged").run(
+            iter_synthetic_trace(TINY_MODEL, 20, **kwargs),
+            telemetry="summary")
+        assert summary.window_stats == full.window_stats
+        assert full.window_stats["n_windows"] > 0
+
+    def test_off_tier_records_no_windows(self):
+        report = make_engine("cycle", "slotted", ff="off").run(
+            [Request(0, (1, 2, 3), max_new_tokens=20)],
+            telemetry="windows")
+        stats = report.window_stats
+        assert stats["n_windows"] == 0
+        assert sum(stats["breaks"].values()) == 0
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(SimulationError):
+            make_engine("cycle", "slotted", ff="warp")
 
 
 class TestStreamedSubmission:
