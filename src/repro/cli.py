@@ -227,6 +227,42 @@ def _serve_backend(args, model, platform, quant, qweights=None):
                          qweights=qweights, **kv)
 
 
+def _tenant_mix(args):
+    """``--tenants/--priority-mix/--quota`` -> a trace tenant-mix spec
+    (None when tenancy is off)."""
+    from .engine import TenantSpec
+
+    if not args.tenants:
+        if args.priority_mix:
+            raise ReproError("--priority-mix needs --tenants")
+        return None
+    specs = []
+    for entry in args.tenants.split(","):
+        parts = entry.strip().split(":")
+        if len(parts) not in (2, 3) or not parts[0] or not parts[1]:
+            raise ReproError(
+                f"bad --tenants entry {entry.strip()!r}; expected "
+                "name:class[:kv-quota-tokens]")
+        try:
+            quota = int(parts[2]) if len(parts) == 3 else args.quota
+        except ValueError:
+            raise ReproError(
+                f"bad --tenants entry {entry.strip()!r}: quota "
+                f"{parts[2]!r} is not an integer token count") from None
+        specs.append(TenantSpec(
+            name=parts[0], priority=parts[1],
+            kv_quota_tokens=quota if quota > 0 else None))
+    if args.priority_mix:
+        shares = [float(s) for s in args.priority_mix.split(",")]
+        if len(shares) != len(specs):
+            raise ReproError(
+                f"--priority-mix gives {len(shares)} shares for "
+                f"{len(specs)} tenants")
+    else:
+        shares = [1.0] * len(specs)
+    return list(zip(specs, shares))
+
+
 def cmd_serve_sim(args) -> int:
     from .engine import ContinuousBatchScheduler, iter_synthetic_trace
 
@@ -247,6 +283,8 @@ def cmd_serve_sim(args) -> int:
     engines = [ContinuousBatchScheduler(b, max_batch=args.max_batch,
                                         **scheduler_kv) for b in backends]
 
+    mix = _tenant_mix(args)
+
     def trace_factory():
         return iter_synthetic_trace(
             model, n_requests=args.requests,
@@ -254,7 +292,8 @@ def cmd_serve_sim(args) -> int:
             prompt_len=(args.prompt_min, args.prompt_max),
             decode_len=(args.decode_min, args.decode_max),
             seed=args.seed,
-            shared_prefix_len=args.shared_prefix)
+            shared_prefix_len=args.shared_prefix,
+            tenant_mix=mix)
 
     # The trace streams into the engine(s): nothing is materialized, so
     # --requests scales to millions at O(in-flight) memory.  Exception:
@@ -313,6 +352,17 @@ def cmd_serve_sim(args) -> int:
 
         _, text = replica_table(report)
         print("  " + text.replace("\n", "\n  "))
+    if mix is not None:
+        tenant_stats = getattr(report, "tenant_stats", None) or {}
+        print("  tenant classes :")
+        for name, s in tenant_stats.items():
+            p99 = s["p99_ttft_s"]
+            p99_desc = "p99 TTFT      n/a" if p99 is None \
+                else f"p99 TTFT {p99 * 1e3:9.3f} ms"
+            print(f"    {name:<12}: {s['n_requests']:7d} requests "
+                  f"({s['n_rejected']} rejected), "
+                  f"{s['goodput_tokens_per_s']:10.3f} token/s, "
+                  f"{p99_desc}")
     if args.window_stats:
         stats = getattr(report, "window_stats", None) or {}
         if not stats or not stats.get("n_windows"):
@@ -330,8 +380,10 @@ def cmd_serve_sim(args) -> int:
     if args.per_request:
         print("  id  prompt  new  ttft_ms    e2e_ms  reason")
         for r in report.results:
+            ttft = "      -" if r.ttft_s is None \
+                else f"{r.ttft_s * 1e3:7.2f}"
             print(f"  {r.request_id:2d}  {r.prompt_len:6d}  "
-                  f"{len(r.tokens):3d}  {r.ttft_s * 1e3:7.2f}  "
+                  f"{len(r.tokens):3d}  {ttft}  "
                   f"{r.e2e_s * 1e3:8.2f}  {r.finish_reason.value}")
     return 0
 
@@ -560,6 +612,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--window-stats", action="store_true",
                    help="print fast-forward window counts and the "
                         "break-reason histogram")
+    p.add_argument("--tenants", default="",
+                   help="multi-tenant mix: comma-separated "
+                        "name:class[:kv-quota-tokens] entries, e.g. "
+                        "fg:interactive,bulk:batch:4096,bg:best_effort "
+                        "(classes: interactive, batch, best_effort)")
+    p.add_argument("--priority-mix", default="",
+                   help="traffic shares aligned with --tenants, e.g. "
+                        "0.3,0.5,0.2 (default: equal shares)")
+    p.add_argument("--quota", type=int, default=0,
+                   help="default per-tenant KV quota in tokens for "
+                        "--tenants entries without their own (0 = "
+                        "unlimited)")
     p.set_defaults(fn=cmd_serve_sim)
 
     p = sub.add_parser("bench-serve",

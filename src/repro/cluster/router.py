@@ -39,7 +39,10 @@ import numpy as np
 from ..engine.request import Request
 from ..engine.scheduler import ContinuousBatchScheduler
 from ..engine.telemetry import (RequestResult, ServeReport,
-                                StreamedServeReport, merge_window_stats)
+                                StreamedServeReport,
+                                merge_tenant_accumulators,
+                                merge_window_stats, summarize_tenants,
+                                tenant_stats_from_results)
 from ..errors import SimulationError
 from ..stats import merge_sorted, percentile_of_runs, percentile_of_sorted
 
@@ -144,7 +147,9 @@ class ClusterServeReport(ServeReport):
                 self._ttft_sorted = merge_sorted(
                     [r._sorted_ttfts() for r in self.replica_reports])
             else:
-                self._ttft_sorted = sorted(r.ttft_s for r in self.results)
+                self._ttft_sorted = sorted(
+                    r.ttft_s for r in self.results
+                    if r.ttft_s is not None)
         return self._ttft_sorted
 
 
@@ -171,6 +176,13 @@ class StreamedClusterReport:
                                       for r in reports)
         self.window_stats = merge_window_stats(
             [r.window_stats for r in reports])
+        #: per-class stats merge additively: accumulators concatenate
+        #: across replicas, then summarize against the cluster makespan
+        #: (so per-class goodput is genuine cluster goodput).
+        self.tenant_stats = summarize_tenants(
+            merge_tenant_accumulators(
+                [r.tenant_accumulators() for r in reports]),
+            self.total_time_s)
         self._lat_runs: tuple[np.ndarray, np.ndarray] | None = None
         self._ttft_sorted: list[float] | None = None
         self._results: list[RequestResult] | None = None
@@ -207,13 +219,16 @@ class StreamedClusterReport:
     def mean_ttft_s(self) -> float:
         columns = [r.ttft_columns() for r in self.replica_reports]
         ids = np.concatenate([c[0] for c in columns])
-        if not len(ids):
-            raise SimulationError("no retired requests")
         ttfts = np.concatenate([c[1] for c in columns])
+        valid = np.concatenate([c[2] for c in columns])
+        n_valid = int(valid.sum())
+        if not n_valid:
+            raise SimulationError("no retired requests")
         # Request-id order: the accumulation order of the eager cluster
-        # report's mean, so the float matches bit for bit.
-        return sum(ttfts[np.argsort(ids, kind="stable")].tolist()) \
-            / len(ids)
+        # report's mean, so the float matches bit for bit.  Placeholder
+        # entries (no first token) are masked out after ordering.
+        order = np.argsort(ids, kind="stable")
+        return sum(ttfts[order][valid[order]].tolist()) / n_valid
 
     def latency_percentile_s(self, percentile: float) -> float:
         if self._lat_runs is None:
@@ -254,15 +269,17 @@ def merge_reports(reports: list[ServeReport],
         raise SimulationError("no replica reports to merge")
     results = sorted((res for r in reports for res in r.results),
                      key=lambda res: res.request_id)
+    total_time_s = max(r.total_time_s for r in reports)
     return ClusterServeReport(
         results=results,
-        total_time_s=max(r.total_time_s for r in reports),
+        total_time_s=total_time_s,
         n_steps=sum(r.n_steps for r in reports),
         preemptions=sum(r.preemptions for r in reports),
         max_batch_observed=max(r.max_batch_observed for r in reports),
         step_batches=[b for r in reports for b in r.step_batches],
         window_stats=merge_window_stats(
             [r.window_stats for r in reports]),
+        tenant_stats=tenant_stats_from_results(results, total_time_s),
         replica_reports=list(reports),
         assignments=dict(assignments),
     )

@@ -50,17 +50,24 @@ from .telemetry import (
     StepEvent,
     StepWindow,
     StreamedServeReport,
+    TenantStats,
+    merge_tenant_accumulators,
     merge_window_stats,
+    summarize_tenants,
+    tenant_stats_from_results,
 )
+from .tenancy import DEFAULT_TENANT, PRIORITY_CLASSES, TenantSpec
 from .trace import iter_synthetic_trace, synthetic_trace
 
 __all__ = [
     "AnalyticalBackend",
     "ContinuousBatchScheduler",
     "CycleModelBackend",
+    "DEFAULT_TENANT",
     "EngineBackend",
     "FinishReason",
     "FunctionalBackend",
+    "PRIORITY_CLASSES",
     "Request",
     "RequestResult",
     "RequestState",
@@ -70,11 +77,16 @@ __all__ = [
     "StepWindow",
     "StreamedServeReport",
     "TELEMETRY_LEVELS",
+    "TenantSpec",
+    "TenantStats",
     "WINDOW_BREAK_REASONS",
     "build_backend",
     "derive_kv_token_budget",
     "iter_synthetic_trace",
     "kv_discipline_kwargs",
+    "merge_tenant_accumulators",
     "merge_window_stats",
+    "summarize_tenants",
     "synthetic_trace",
+    "tenant_stats_from_results",
 ]

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 from ..errors import SimulationError
 from ..model.sampler import Sampler
+from .tenancy import DEFAULT_TENANT, TenantSpec
 
 
 class RequestStatus(enum.Enum):
@@ -41,6 +42,11 @@ class FinishReason(enum.Enum):
 
     EOS = "eos"
     LENGTH = "length"
+    #: refused by admission control — oversized for the budget or its
+    #: tenant's quota, or best-effort work dropped under pressure.  A
+    #: rejected request still produces a :class:`RequestResult`, so a
+    #: streamed run drains and reports instead of aborting mid-trace.
+    REJECTED = "rejected"
 
 
 @dataclass(frozen=True)
@@ -53,6 +59,7 @@ class Request:
     arrival_s: float = 0.0
     sampler: Sampler | None = None
     eos_id: int | None = None
+    tenant: TenantSpec = DEFAULT_TENANT
 
     def __post_init__(self) -> None:
         if not self.prompt:
@@ -64,6 +71,9 @@ class Request:
         if self.arrival_s < 0:
             raise SimulationError(
                 f"request {self.request_id}: arrival time must be >= 0")
+        if not isinstance(self.tenant, TenantSpec):
+            raise SimulationError(
+                f"request {self.request_id}: tenant must be a TenantSpec")
         object.__setattr__(self, "prompt", tuple(self.prompt))
 
 

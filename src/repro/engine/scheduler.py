@@ -37,6 +37,7 @@ import numpy as np
 from ..errors import CapacityError, SimulationError
 from .backends import EngineBackend, derive_kv_token_budget
 from .request import FinishReason, Request, RequestState, RequestStatus
+from .tenancy import PRIORITY_CLASSES
 from .telemetry import (  # noqa: F401  (re-exported: public API lives here)
     TELEMETRY_LEVELS,
     RequestResult,
@@ -49,6 +50,73 @@ from .telemetry import (  # noqa: F401  (re-exported: public API lives here)
 
 if TYPE_CHECKING:  # avoids the runtime<->engine package-import cycle
     from ..runtime.baremetal import BareMetalSystem
+
+#: rank of the lowest (droppable) priority class.
+_LOWEST_RANK = len(PRIORITY_CLASSES) - 1
+
+
+class _ClassQueues:
+    """The waiting queue: one arrival-sorted deque per priority class.
+
+    Admission scans classes highest-first; within a class the order is
+    FIFO with preempted re-entries (already arrived) at the head —
+    exactly the old single-deque discipline, applied per class.  Since
+    every class deque is arrival-sorted, the global next arrival is the
+    minimum over the class heads, keeping the idle jump O(classes).
+    """
+
+    __slots__ = ("queues", "_n")
+
+    def __init__(self) -> None:
+        self.queues: tuple[deque[RequestState], ...] = \
+            tuple(deque() for _ in PRIORITY_CLASSES)
+        self._n = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __bool__(self) -> bool:
+        return self._n > 0
+
+    def __iter__(self):
+        for q in self.queues:
+            yield from q
+
+    def append(self, state: RequestState) -> None:
+        self.queues[state.request.tenant.rank].append(state)
+        self._n += 1
+
+    def appendleft(self, state: RequestState) -> None:
+        self.queues[state.request.tenant.rank].appendleft(state)
+        self._n += 1
+
+    def popleft(self, rank: int) -> RequestState:
+        state = self.queues[rank].popleft()
+        self._n -= 1
+        return state
+
+    def min_head_arrival(self) -> float | None:
+        """Earliest arrival among class heads — the global next arrival
+        when every class deque is arrival-sorted."""
+        best: float | None = None
+        for q in self.queues:
+            if q:
+                arrival = q[0].request.arrival_s
+                if best is None or arrival < best:
+                    best = arrival
+        return best
+
+    def next_future_arrival(self, clock_s: float) -> float | None:
+        """Earliest class-head arrival strictly after ``clock_s``.
+        An already-arrived head hides its successors, matching the
+        in-class FIFO rule: nothing behind it can be admitted first."""
+        best: float | None = None
+        for q in self.queues:
+            if q:
+                arrival = q[0].request.arrival_s
+                if arrival > clock_s and (best is None or arrival < best):
+                    best = arrival
+        return best
 
 
 class ContinuousBatchScheduler:
@@ -113,7 +181,7 @@ class ContinuousBatchScheduler:
         self.kv_token_budget = int(kv_token_budget)
 
         self.clock_s = 0.0
-        self.waiting: deque[RequestState] = deque()
+        self.waiting = _ClassQueues()
         self.running: list[RequestState] = []
         self.finished: list[RequestState] = []
         self._recorder = TelemetryRecorder(
@@ -137,6 +205,15 @@ class ContinuousBatchScheduler:
         #: lockstep by admit/retire/preempt/decode instead of re-summed
         #: every scheduler step.
         self._cached_total = 0
+        #: per-tenant quota discipline — resolved token quotas and the
+        #: per-tenant cached-token counters, populated only for tenants
+        #: that declare a quota so the default path pays nothing.
+        self._quota_specs: dict[str, int] = {}
+        self._tenant_cached: dict[str, int] = {}
+        #: best-effort work evicted more than this many times in favour
+        #: of higher classes is dropped (REJECTED) instead of requeued,
+        #: so it cannot thrash the pool while interactive traffic waits.
+        self.best_effort_eviction_limit = 3
 
     @property
     def events(self) -> list[StepEvent]:
@@ -163,9 +240,37 @@ class ContinuousBatchScheduler:
             raise CapacityError(
                 f"request {request.request_id}: prompt alone exceeds the "
                 f"KV budget of {self.kv_token_budget} tokens")
+        self._register_tenant(request)
         state = RequestState(request=request)
         self.waiting.append(state)
         return state
+
+    def _register_tenant(self, request: Request) -> None:
+        """Resolve and pin the tenant's KV quota (tokens either way:
+        a block quota converts through the paged pool's block size)."""
+        tenant = request.tenant
+        if not tenant.has_quota:
+            return
+        if tenant.kv_quota_blocks is not None:
+            if self.paged_kv is None:
+                raise SimulationError(
+                    f"tenant {tenant.name!r}: kv_quota_blocks needs a "
+                    "paged backend; use kv_quota_tokens")
+            quota = tenant.kv_quota_blocks * self.paged_kv.block_size
+        else:
+            assert tenant.kv_quota_tokens is not None
+            quota = tenant.kv_quota_tokens
+        known = self._quota_specs.get(tenant.name)
+        if known is not None and known != quota:
+            raise SimulationError(
+                f"tenant {tenant.name!r}: conflicting KV quotas "
+                f"({known} vs {quota} tokens)")
+        self._quota_specs[tenant.name] = quota
+        self._tenant_cached.setdefault(tenant.name, 0)
+        if len(request.prompt) + 1 > quota:
+            raise CapacityError(
+                f"request {request.request_id}: prompt alone exceeds "
+                f"tenant {tenant.name!r}'s KV quota of {quota} tokens")
 
     # -- internals ---------------------------------------------------------
 
@@ -202,6 +307,65 @@ class ContinuousBatchScheduler:
                 > self.paged_kv.n_available_blocks
         return self._cached_tokens() + len(pending) > self.kv_token_budget
 
+    # -- tenant quota discipline -------------------------------------------
+    #
+    # A quota counts a tenant's *cached tokens* (sum of member
+    # positions) under both KV disciplines — paged prefix sharing is a
+    # pool-level economy, deliberately not credited against quotas.
+    # Every mutation mirrors ``_cached_total`` and is gated on
+    # ``_quota_specs`` so quota-free runs skip all of it.
+
+    def _cache_tenant(self, state: RequestState) -> None:
+        name = state.request.tenant.name
+        if name in self._tenant_cached:
+            self._tenant_cached[name] += state.position
+
+    def _uncache_tenant(self, state: RequestState) -> None:
+        name = state.request.tenant.name
+        if name in self._tenant_cached:
+            self._tenant_cached[name] -= state.position
+
+    def _grow_tenants(self, pending: list[RequestState], n: int) -> None:
+        """Charge ``n`` appended tokens per pending member."""
+        for s in pending:
+            name = s.request.tenant.name
+            if name in self._tenant_cached:
+                self._tenant_cached[name] += n
+
+    def _quota_blocked(self, state: RequestState) -> bool:
+        """Admission gate: would this admit (prompt + first token, plus
+        the coming one-token growth of the tenant's running members)
+        push its tenant past quota?  Mirrors ``_admit_fits``, scoped to
+        one tenant."""
+        if not self._quota_specs:
+            return False
+        name = state.request.tenant.name
+        quota = self._quota_specs.get(name)
+        if quota is None:
+            return False
+        needed = state.prompt_len + state.n_generated + 1
+        growth = sum(1 for s in self.running
+                     if s.request.tenant.name == name
+                     and s.has_pending_forward)
+        return self._tenant_cached[name] + growth + needed > quota
+
+    def _quota_overflow(
+            self, pending: list[RequestState],
+    ) -> tuple[list[RequestState], list[RequestState]] | None:
+        """First tenant whose coming one-token growth bursts its quota:
+        ``(running members, pending members)``; None when all fit."""
+        if not self._quota_specs:
+            return None
+        for name, quota in self._quota_specs.items():
+            growing = [s for s in pending
+                       if s.request.tenant.name == name]
+            if growing and \
+                    self._tenant_cached[name] + len(growing) > quota:
+                members = [s for s in self.running
+                           if s.request.tenant.name == name]
+                return members, growing
+        return None
+
     def _advance(self, cycles: float) -> None:
         self.clock_s += cycles / self.backend.freq_hz
 
@@ -216,16 +380,12 @@ class ContinuousBatchScheduler:
             # The EOS itself is never forwarded: retire right away.
             self._retire(state, FinishReason.EOS)
 
-    def _retire(self, state: RequestState, reason: FinishReason) -> None:
-        self.backend.release(state)
+    def _finalize(self, state: RequestState, reason: FinishReason) -> None:
+        """Close the request out and hand it to telemetry."""
         state.status = RequestStatus.FINISHED
         state.finish_reason = reason
-        state.finish_s = self.clock_s
-        if state in self.running:
-            self.running.remove(state)
-            self._cached_total -= state.position
-        state.spans.append((state._span_start, self._decode_steps))
         self._n_finished += 1
+        self._recorder.fold_tenant(state)
         if self._recorder.level == "full":
             self.finished.append(state)
         else:
@@ -234,12 +394,64 @@ class ContinuousBatchScheduler:
             # must not grow with the trace.
             self._recorder.fold_result(state)
 
-    def _preempt_one(self) -> bool:
-        """Evict the youngest running sequence back to the queue head."""
-        if len(self.running) <= 1:
-            return False
-        state = self.running.pop()
+    def _retire(self, state: RequestState, reason: FinishReason) -> None:
+        self.backend.release(state)
+        state.finish_s = self.clock_s
+        if state in self.running:
+            self.running.remove(state)
+            self._cached_total -= state.position
+            if self._quota_specs:
+                self._uncache_tenant(state)
+        state.spans.append((state._span_start, self._decode_steps))
+        self._finalize(state, reason)
+
+    def _retire_overgrown(self, state: RequestState) -> None:
+        """Retire a sequence that cannot be preempted in its own favour
+        (it alone outgrew the pool or its tenant's quota).  The
+        sampled-but-never-forwarded tail token is dropped to keep the
+        invariant that every reported non-EOS token was charged one
+        decode step — and when that token was the *first*, the TTFT
+        goes with it: a request retired with zero reported tokens must
+        not carry a first-token time."""
+        if state.has_pending_forward:
+            state.generated.pop()
+            if not state.generated:
+                state.first_token_s = None
+        self._retire(state, FinishReason.LENGTH)
+
+    def _reject(self, request: Request) -> None:
+        """Refuse a request at admission control: it still produces a
+        result (``FinishReason.REJECTED``, zero tokens, no TTFT) so a
+        streamed run drains and reports instead of aborting mid-trace.
+        Rejection is instantaneous at arrival — ``finish_s`` is pinned
+        to the arrival time so the verdict is tier-independent."""
+        state = RequestState(request=request)
+        state.finish_s = request.arrival_s
+        self._finalize(state, FinishReason.REJECTED)
+
+    def _pick_victim(self, pool: list[RequestState]) -> RequestState:
+        """Youngest member of the lowest class present.  Scanned from
+        the youngest so a single-class pool picks the last element —
+        the pre-tenancy victim, bit for bit."""
+        victim = pool[-1]
+        worst = victim.request.tenant.rank
+        if worst == _LOWEST_RANK:
+            return victim
+        for s in reversed(pool):
+            rank = s.request.tenant.rank
+            if rank > worst:
+                victim, worst = s, rank
+                if worst == _LOWEST_RANK:
+                    break
+        return victim
+
+    def _evict(self, state: RequestState) -> None:
+        """Push one running sequence out of the batch: slot freed,
+        tokens kept, KV accounting unwound."""
+        self.running.remove(state)
         self._cached_total -= state.position
+        if self._quota_specs:
+            self._uncache_tenant(state)
         self.backend.release(state)
         state.status = RequestStatus.PREEMPTED
         state.spans.append((state._span_start, self._decode_steps))
@@ -247,29 +459,123 @@ class ContinuousBatchScheduler:
         state.logits = None
         state.preemptions += 1
         self._preemptions += 1
-        self.waiting.appendleft(state)
+
+    def _outgrew_quota(self, state: RequestState) -> bool:
+        """True when this sequence's recompute could never fit its
+        tenant's quota again, even against an empty pool.  Such a
+        sequence must not re-enter the waiting queue: its class head
+        would stay quota-blocked forever and wedge the drain loop."""
+        if not self._quota_specs:
+            return False
+        quota = self._quota_specs.get(state.request.tenant.name)
+        return quota is not None \
+            and state.prompt_len + state.n_generated + 1 > quota
+
+    def _preempt_one(self,
+                     candidates: list[RequestState] | None = None,
+                     ) -> str | None:
+        """Evict the youngest lowest-class running sequence back to its
+        class queue's head.  ``candidates`` narrows the pool (quota
+        pressure evicts within the offending tenant only).  A victim
+        that has outgrown its own quota retires instead of requeueing
+        (``"retired"`` vs ``"preempted"``; None when the pool holds no
+        evictable member)."""
+        pool = self.running if candidates is None else candidates
+        if len(pool) <= 1:
+            return None
+        victim = self._pick_victim(pool)
+        if self._outgrew_quota(victim):
+            self._retire_overgrown(victim)
+            return "retired"
+        self._evict(victim)
+        self.waiting.appendleft(victim)
+        return "preempted"
+
+    def _preempt_for(self, rank: int) -> bool:
+        """Evict one strictly-lower-class victim so an arrived
+        class-``rank`` head can be admitted; never touches work of the
+        head's own class or higher.  A best-effort victim past the
+        eviction limit is dropped (REJECTED) instead of requeued."""
+        victims = [s for s in self.running
+                   if s.request.tenant.rank > rank]
+        if not victims:
+            return False
+        victim = self._pick_victim(victims)
+        if self._outgrew_quota(victim):
+            # Requeueing would wedge the victim's class queue (it can
+            # never fit its quota again); retiring frees capacity for
+            # the head just the same.
+            self._retire_overgrown(victim)
+            return True
+        had_pending = victim.has_pending_forward
+        self._evict(victim)
+        if victim.request.tenant.rank == _LOWEST_RANK \
+                and victim.preemptions > self.best_effort_eviction_limit:
+            if had_pending:
+                victim.generated.pop()
+                if not victim.generated:
+                    victim.first_token_s = None
+            victim.finish_s = self.clock_s
+            self._finalize(victim, FinishReason.REJECTED)
+        else:
+            self.waiting.appendleft(victim)
         return True
+
+    def _admission_scan(
+            self) -> tuple[int, RequestState | None, bool, bool]:
+        """Next admissible head under strict priority:
+        ``(rank, head, fits, pool_blocked)``.
+
+        Classes are scanned highest-first.  A head that has not arrived
+        or is over its tenant's quota yields to lower classes (a tenant
+        at quota queues even when the pool has room); the first head
+        past those gates is *the* candidate: ``fits`` when the pool
+        admits it now, ``fits=False`` when admission needs lower-class
+        evictions first.  A pool-blocked head with nothing to evict
+        blocks every class below it — strict priority, no bypass —
+        reported via ``pool_blocked`` so window gates know an arrived
+        head is waiting on capacity."""
+        for rank, queue in enumerate(self.waiting.queues):
+            if not queue:
+                continue
+            head = queue[0]
+            if head.request.arrival_s > self.clock_s:
+                continue
+            if self._quota_blocked(head):
+                continue
+            if self._admit_fits(head):
+                return rank, head, True, False
+            if any(s.request.tenant.rank > rank for s in self.running):
+                return rank, head, False, False
+            return -1, None, False, True
+        return -1, None, False, False
 
     def _admit_ready(self) -> int:
         admitted = 0
         while len(self.running) < self.max_batch:
             # Streamed runs: each admission advances the clock through
             # its prefill, so requests may arrive mid-loop — pull them
-            # in before looking at the head, exactly like a materialized
-            # queue would already hold them.
+            # in before looking at the heads, exactly like a
+            # materialized queue would already hold them.
             self._refill()
-            if not self.waiting:
+            rank, state, fits, _ = self._admission_scan()
+            if state is None:
                 break
-            state = self.waiting[0]
-            if state.request.arrival_s > self.clock_s:
-                break
-            if not self._admit_fits(state):
-                break
+            if not fits:
+                # An arrived higher-class head: evict strictly-lower
+                # -class work until it fits (or nothing is left to
+                # evict, in which case it waits like everyone else).
+                while self._preempt_for(rank):
+                    if self._admit_fits(state):
+                        fits = True
+                        break
+                if not fits:
+                    break
             try:
                 self.backend.admit(state)
             except SimulationError:
                 break  # no free KV slot
-            self.waiting.popleft()
+            self.waiting.popleft(rank)
             cycles = self.backend.prefill(state)
             state.prefill_cycles += cycles
             self._advance(cycles)
@@ -277,6 +583,8 @@ class ContinuousBatchScheduler:
             state._span_start = self._decode_steps
             self.running.append(state)
             self._cached_total += state.position
+            if self._quota_specs:
+                self._cache_tenant(state)
             admitted += 1
             # First token (or, after preemption, the next token) samples
             # the moment prefill ends.
@@ -305,12 +613,13 @@ class ContinuousBatchScheduler:
         if any(not s.has_pending_forward for s in pending):
             return 0, "retirement-unpredicted"
         if self.waiting and len(self.running) < self.max_batch:
-            head = self.waiting[0]
-            if head.request.arrival_s <= self.clock_s \
-                    and self._admit_fits(head):
-                # step() may admit right now; capacity-unfit heads stay
-                # unfit inside a window (pressure only grows), and
-                # arrival-gated heads are handled by the clock cut.
+            _, head, _, _ = self._admission_scan()
+            if head is not None:
+                # step() may admit (or preempt lower-class work to
+                # admit) right now; blocked heads stay blocked inside a
+                # window (pool and quota pressure only grow while the
+                # set is static), and arrival-gated heads are handled
+                # by the clock cut.
                 return 0, "admission"
         max_context = self.backend.model_config.max_context
         # The window stops one step short of the earliest retirement it
@@ -335,7 +644,33 @@ class ContinuousBatchScheduler:
                 // len(pending)
             if cap < limit:
                 limit, reason = cap, "preemption-risk"
+        if self._quota_specs:
+            for name, quota in self._quota_specs.items():
+                members = sum(1 for s in pending
+                              if s.request.tenant.name == name)
+                if not members:
+                    continue
+                # k steps are quota-safe iff cached + k*members stays
+                # within the quota — the same closed form as the pool
+                # cap, scoped to one tenant.
+                cap = (quota - self._tenant_cached[name]) // members
+                if cap < limit:
+                    limit, reason = cap, "quota"
         return max(0, limit), reason
+
+    def _next_admission_arrival(self) -> float | None:
+        """Earliest future arrival that could flip the admission
+        verdict mid-window: a not-yet-arrived class head, or the
+        unsubmitted stream look-ahead when its class queue is empty
+        (behind waiting same-class siblings it could never be admitted
+        first, so it cannot cut the window)."""
+        nxt = self.waiting.next_future_arrival(self.clock_s)
+        head = self._stream_head
+        if head is not None and head.arrival_s > self.clock_s \
+                and not self.waiting.queues[head.tenant.rank] \
+                and (nxt is None or head.arrival_s < nxt):
+            nxt = head.arrival_s
+        return nxt
 
     def _fast_forward_single(self) -> int:
         """Advance one static window in one closed-form charge; returns
@@ -381,18 +716,20 @@ class ContinuousBatchScheduler:
         clocks[1:] = deltas
         np.cumsum(clocks, out=clocks)
         applied = limit
-        if self.waiting and len(self.running) < self.max_batch:
-            head_arrival = self.waiting[0].request.arrival_s
-            if head_arrival > self.clock_s:
+        if len(self.running) < self.max_batch:
+            next_arrival = self._next_admission_arrival()
+            if next_arrival is not None:
                 # Steps apply while the clock has not reached the next
                 # arrival; step() admits the head right after.
                 cut = int(np.searchsorted(clocks[:limit],
-                                          head_arrival, side="left"))
+                                          next_arrival, side="left"))
                 if cut < applied:
                     applied, reason = cut, "arrival"
-        self._recorder.note_break(reason)
         if applied <= 0:
+            # Zero-step arrival cut: no window advanced, so nothing to
+            # account — the eager step takes over immediately.
             return 0
+        self._recorder.note_break(reason)
         batch = len(pending)
         clock0 = self.clock_s
         self.clock_s = float(clocks[applied])
@@ -408,6 +745,8 @@ class ContinuousBatchScheduler:
             s.generated.extend(planned[i][:applied].tolist())
         self.backend.commit_fast_forward(pending, applied)
         self._cached_total += applied * batch
+        if self._quota_specs:
+            self._grow_tenants(pending, applied)
         return applied
 
     def _fast_forward_multi(self) -> int:
@@ -454,16 +793,19 @@ class ContinuousBatchScheduler:
             if any(not s.has_pending_forward for s in pending):
                 break_reason = "retirement-unpredicted"
                 break
-            head_waiting = self.waiting \
-                and len(self.running) < self.max_batch
+            can_admit = len(self.running) < self.max_batch
             head_arrived_unfit = False
-            if head_waiting:
-                head = self.waiting[0]
-                if head.request.arrival_s <= self.clock_s:
-                    if self._admit_fits(head):
-                        break_reason = "admission"
-                        break
-                    head_arrived_unfit = True
+            if can_admit and self.waiting:
+                _, head, _, pool_blocked = self._admission_scan()
+                if head is not None:
+                    break_reason = "admission"
+                    break
+                # Quota-blocked heads stay blocked within a segment
+                # (tenant usage only grows until the re-gate after the
+                # next folded retirement); a *pool*-blocked head's
+                # verdict can flip at paged block frontiers, which the
+                # static-shape rule below guards.
+                head_arrived_unfit = pool_blocked
             batch = len(pending)
             # Event horizon: L_i is the 0-based step index at which
             # member i forwards its final pending token and retires at
@@ -498,6 +840,15 @@ class ContinuousBatchScheduler:
             else:
                 cap = (self.kv_token_budget - self._cached_total) // batch
                 cap_reason = "preemption-risk"
+            if self._quota_specs:
+                for name, quota in self._quota_specs.items():
+                    members = sum(1 for s in pending
+                                  if s.request.tenant.name == name)
+                    if not members:
+                        continue
+                    qcap = (quota - self._tenant_cached[name]) // members
+                    if qcap < cap:
+                        cap, cap_reason = qcap, "quota"
             seg_cap = min(horizon + 1, cap)
             if seg_cap <= 0:
                 break_reason = cap_reason
@@ -541,15 +892,21 @@ class ContinuousBatchScheduler:
             clocks[1:] = seg_deltas
             np.cumsum(clocks, out=clocks)
             applied = n_seg
-            if head_waiting:
-                head_arrival = self.waiting[0].request.arrival_s
-                if head_arrival > self.clock_s:
+            if can_admit:
+                next_arrival = self._next_admission_arrival()
+                if next_arrival is not None:
                     cut = int(np.searchsorted(clocks[:n_seg],
-                                              head_arrival, side="left"))
+                                              next_arrival, side="left"))
                     if cut < applied:
                         applied, break_reason = cut, "arrival"
             if applied <= 0:
-                break  # first possible step already past the arrival
+                # First possible step already crosses the arrival.  A
+                # window that never advanced is note-free: no steps
+                # were accounted, so no break is either — the single
+                # tier's zero-step rule, kept in lockstep.
+                if not total_applied:
+                    break_reason = None
+                break
             at_boundary = applied == n_seg and boundary < seg_cap
             self.clock_s = float(clocks[applied])
             self._decode_steps += applied
@@ -566,6 +923,8 @@ class ContinuousBatchScheduler:
                     s.generated.extend(planned[i][:applied].tolist())
             self.backend.commit_fast_forward(pending, applied)
             self._cached_total += applied * batch
+            if self._quota_specs:
+                self._grow_tenants(pending, applied)
             retired = 0
             if at_boundary:
                 for i, s in enumerate(pending):
@@ -601,14 +960,15 @@ class ContinuousBatchScheduler:
             raise SimulationError("nothing to schedule")
 
         # Idle engine: jump to the next arrival.  Streamed and sorted
-        # materialized runs hold the queue in arrival order with
-        # preempted re-entries (already arrived) at the head, so the
-        # deque head IS the next arrival — no scan.  Only a queue built
-        # by direct out-of-order submit() calls needs the linear min.
+        # materialized runs hold each class queue in arrival order with
+        # preempted re-entries (already arrived) at its head, so the
+        # minimum over the class heads IS the next arrival — no scan.
+        # Only a queue built by direct out-of-order submit() calls
+        # needs the linear min.
         if not self.running and self.waiting:
             if self._stream is not None or self._stream_head is not None \
                     or self._arrival_sorted:
-                next_arrival = self.waiting[0].request.arrival_s
+                next_arrival = self.waiting.min_head_arrival()
             else:
                 next_arrival = min(s.request.arrival_s
                                    for s in self.waiting)
@@ -618,30 +978,47 @@ class ContinuousBatchScheduler:
         admitted = self._admit_ready()
 
         # KV pressure: the coming step appends one token per forwarding
-        # sequence; evict until the growth fits the budget.
+        # sequence; evict until the growth fits every tenant quota and
+        # the pool budget.  Quota pressure is resolved first and within
+        # the offending tenant only — one tenant's long decodes evict
+        # its own youngest sequence, never another tenant's.
         preempted = 0
         retired = 0
         pending = [s for s in self.running if s.has_pending_forward]
-        while pending and self._growth_overflows(pending):
-            if not self._preempt_one():
-                # A lone sequence has outgrown the budget: it cannot be
-                # preempted in its own favour, so it retires where it is.
-                # Its sampled-but-never-forwarded tail token is dropped to
-                # keep the invariant that every reported non-EOS token was
-                # charged one decode step.
-                state = pending[0]
-                if state.has_pending_forward:
-                    state.generated.pop()
-                self._retire(state, FinishReason.LENGTH)
-                retired += 1
+        while pending:
+            over = self._quota_overflow(pending)
+            if over is not None:
+                members, growing = over
+                verdict = self._preempt_one(members)
+                if verdict == "preempted":
+                    preempted += 1
+                elif verdict == "retired":
+                    retired += 1
+                else:
+                    self._retire_overgrown(growing[0])
+                    retired += 1
+            elif self._growth_overflows(pending):
+                verdict = self._preempt_one()
+                if verdict == "preempted":
+                    preempted += 1
+                elif verdict == "retired":
+                    retired += 1
+                else:
+                    # A lone sequence has outgrown the budget: it cannot
+                    # be preempted in its own favour, so it retires
+                    # where it is.
+                    self._retire_overgrown(pending[0])
+                    retired += 1
             else:
-                preempted += 1
+                break
             pending = [s for s in self.running if s.has_pending_forward]
 
         cycles = 0.0
         if pending:
             cycles = self.backend.decode_batch(pending)
             self._cached_total += len(pending)
+            if self._quota_specs:
+                self._grow_tenants(pending, 1)
             self._advance(cycles)
             self._decode_steps += 1
             full = self._recorder.level == "full"
@@ -688,8 +1065,15 @@ class ContinuousBatchScheduler:
                 self._stream_head = head
             if self.waiting and self._stream_head.arrival_s > self.clock_s:
                 return
-            self.submit(self._stream_head)
+            head = self._stream_head
             self._stream_head = None
+            try:
+                self.submit(head)
+            except (CapacityError, SimulationError):
+                # Admission control: an unservable request becomes a
+                # REJECTED result instead of an exception escaping
+                # mid-run with the engine half-drained.
+                self._reject(head)
 
     def run(self, requests: Iterable[Request] | None = None,
             max_steps: int = 1_000_000,
@@ -724,12 +1108,18 @@ class ContinuousBatchScheduler:
         # A queue populated here is arrival-sorted; one pre-filled by
         # direct submit() calls carries no such guarantee.
         self._arrival_sorted = not self.waiting
+        self._tenant_cached = {name: 0 for name in self._quota_specs}
         if requests is not None:
             if isinstance(requests, Iterator):
                 self._stream = requests
             else:
                 for request in sorted(requests, key=lambda r: r.arrival_s):
-                    self.submit(request)
+                    try:
+                        self.submit(request)
+                    except (CapacityError, SimulationError):
+                        # Same admission-control verdict as the
+                        # streamed path: reject, don't abort the run.
+                        self._reject(request)
         self._refill()
         multi = self.fast_forward == "multi"
         steps = 0
@@ -766,11 +1156,13 @@ class ContinuousBatchScheduler:
                 request_id=state.request_id,
                 tokens=tuple(state.generated),
                 prompt_len=state.prompt_len,
-                ttft_s=state.ttft_s,
+                ttft_s=None if state.first_token_s is None
+                else state.ttft_s,
                 e2e_s=state.e2e_s,
                 finish_reason=state.finish_reason,
                 preemptions=state.preemptions,
                 decode_step_s=decode_step_s,
+                tenant_class=state.request.tenant.priority,
             ))
         return ServeReport(
             results=results,
@@ -780,4 +1172,5 @@ class ContinuousBatchScheduler:
             max_batch_observed=self._recorder.max_batch,
             step_batches=[e.batch for e in self.events if e.batch],
             window_stats=self._recorder.window_stats(),
+            tenant_stats=self._recorder.tenant_summaries(self.clock_s),
         )

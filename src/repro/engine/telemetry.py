@@ -34,13 +34,17 @@ import numpy as np
 
 from ..errors import SimulationError
 from .request import FinishReason, RequestState
+from .tenancy import PRIORITY_CLASSES
 
 TELEMETRY_LEVELS = ("full", "windows", "summary")
 
 #: Why a fast-forward window ended (or could not start).  Fixed key set
 #: so histograms from different runs/replicas merge by plain addition.
+#: ``"quota"`` marks windows capped where a tenant's KV quota could
+#: force a preemption decision the window must not fold over.
 WINDOW_BREAK_REASONS = ("admission", "arrival", "retirement-unpredicted",
-                        "preemption-risk", "block-frontier", "eos")
+                        "preemption-risk", "block-frontier", "eos",
+                        "quota")
 
 #: FinishReason <-> small-int codes for the columnar result store.
 _REASON_LIST = list(FinishReason)
@@ -111,16 +115,22 @@ class StepWindow:
 
 @dataclass(frozen=True)
 class RequestResult:
-    """Summary of one retired request."""
+    """Summary of one retired request.
+
+    ``ttft_s`` is None for a request that never produced a first token
+    (rejected at admission, or retired with zero reported tokens) —
+    such requests are excluded from every TTFT aggregate.
+    """
 
     request_id: int
     tokens: tuple[int, ...]
     prompt_len: int
-    ttft_s: float
+    ttft_s: float | None
     e2e_s: float
     finish_reason: FinishReason
     preemptions: int
     decode_step_s: tuple[float, ...]
+    tenant_class: str = "batch"
 
 
 @dataclass
@@ -136,6 +146,9 @@ class ServeReport:
     #: fast-forward window accounting (window/segment counts plus a
     #: break-reason histogram) — empty when fast-forward never ran.
     window_stats: dict = field(default_factory=dict)
+    #: per-priority-class serving stats (see :class:`TenantStats`) —
+    #: one summary dict per class that retired at least one request.
+    tenant_stats: dict = field(default_factory=dict)
     #: lazy percentile caches — reports are built once and then queried;
     #: mutate ``results`` and these go stale.
     _decode_lat_sorted: list[float] | None = field(
@@ -159,9 +172,10 @@ class ServeReport:
 
     @property
     def mean_ttft_s(self) -> float:
-        if not self.results:
+        ttfts = [r.ttft_s for r in self.results if r.ttft_s is not None]
+        if not ttfts:
             raise SimulationError("no retired requests")
-        return sum(r.ttft_s for r in self.results) / len(self.results)
+        return sum(ttfts) / len(ttfts)
 
     @property
     def mean_batch(self) -> float:
@@ -179,7 +193,8 @@ class ServeReport:
 
     def _sorted_ttfts(self) -> list[float]:
         if self._ttft_sorted is None:
-            self._ttft_sorted = sorted(r.ttft_s for r in self.results)
+            self._ttft_sorted = sorted(
+                r.ttft_s for r in self.results if r.ttft_s is not None)
         return self._ttft_sorted
 
     def latency_percentile_s(self, percentile: float) -> float:
@@ -195,9 +210,10 @@ class ServeReport:
         """Time-to-first-token percentile across retired requests."""
         from ..stats import percentile_of_sorted
 
-        if not self.results:
+        ttfts = self._sorted_ttfts()
+        if not ttfts:
             raise SimulationError("no retired requests")
-        return percentile_of_sorted(self._sorted_ttfts(), percentile)
+        return percentile_of_sorted(ttfts, percentile)
 
 
 def merge_window_stats(stats: "list[dict]") -> dict:
@@ -223,6 +239,107 @@ def merge_window_stats(stats: "list[dict]") -> dict:
             merged["breaks"][reason] = \
                 merged["breaks"].get(reason, 0) + count
     return merged
+
+
+class TenantStats:
+    """Per-priority-class serving accumulator.
+
+    Counts are plain integers; the TTFT and end-to-end latency samples
+    are per-request columns (one value each, so run-length encoding
+    buys nothing here).  Rejected requests count toward ``n_rejected``
+    only — their tokens and timings never enter the goodput or the
+    latency samples.  Requests that finished without producing a first
+    token contribute e2e but no TTFT.
+
+    Accumulators from different runs or replicas merge by column
+    concatenation (:func:`merge_tenant_accumulators`); every summary
+    statistic is computed over the *sorted* sample, so the summary is a
+    pure function of the multiset and identical across scheduler tiers
+    and merge orders.
+    """
+
+    __slots__ = ("n_requests", "n_rejected", "new_tokens", "ttfts",
+                 "e2es")
+
+    def __init__(self) -> None:
+        self.n_requests = 0
+        self.n_rejected = 0
+        self.new_tokens = 0
+        self.ttfts = array("d")
+        self.e2es = array("d")
+
+    def fold(self, state: RequestState) -> None:
+        self.n_requests += 1
+        if state.finish_reason is FinishReason.REJECTED:
+            self.n_rejected += 1
+            return
+        self.new_tokens += len(state.generated)
+        if state.first_token_s is not None:
+            self.ttfts.append(state.ttft_s)
+        self.e2es.append(state.e2e_s)
+
+    def absorb(self, other: "TenantStats") -> None:
+        self.n_requests += other.n_requests
+        self.n_rejected += other.n_rejected
+        self.new_tokens += other.new_tokens
+        self.ttfts.extend(other.ttfts)
+        self.e2es.extend(other.e2es)
+
+    def summary(self, total_time_s: float) -> dict:
+        from ..stats import percentile_of_sorted
+
+        ttfts = sorted(self.ttfts)
+        e2es = sorted(self.e2es)
+        out = {
+            "n_requests": self.n_requests,
+            "n_rejected": self.n_rejected,
+            "new_tokens": self.new_tokens,
+            "goodput_tokens_per_s": self.new_tokens / total_time_s
+            if total_time_s > 0 else 0.0,
+            "mean_ttft_s": sum(ttfts) / len(ttfts) if ttfts else None,
+        }
+        for p in (50, 99):
+            out[f"p{p}_ttft_s"] = percentile_of_sorted(ttfts, p) \
+                if ttfts else None
+            out[f"p{p}_e2e_s"] = percentile_of_sorted(e2es, p) \
+                if e2es else None
+        return out
+
+
+def summarize_tenants(accs: "dict[str, TenantStats]",
+                      total_time_s: float) -> dict:
+    """Per-class summary dicts, in priority order."""
+    return {name: accs[name].summary(total_time_s)
+            for name in PRIORITY_CLASSES if name in accs}
+
+
+def merge_tenant_accumulators(
+        accs: "list[dict[str, TenantStats]]") -> "dict[str, TenantStats]":
+    """Additive cluster merge of per-replica tenant accumulators."""
+    merged: dict[str, TenantStats] = {}
+    for one in accs:
+        for name, acc in one.items():
+            merged.setdefault(name, TenantStats()).absorb(acc)
+    return merged
+
+
+def tenant_stats_from_results(results: "list[RequestResult]",
+                              total_time_s: float) -> dict:
+    """Per-class summaries recomputed from eager per-request results —
+    the cluster merge path at ``telemetry="full"``, where the merged
+    result list already carries every per-request fact."""
+    accs: dict[str, TenantStats] = {}
+    for r in results:
+        acc = accs.setdefault(r.tenant_class, TenantStats())
+        acc.n_requests += 1
+        if r.finish_reason is FinishReason.REJECTED:
+            acc.n_rejected += 1
+            continue
+        acc.new_tokens += len(r.tokens)
+        if r.ttft_s is not None:
+            acc.ttfts.append(r.ttft_s)
+        acc.e2es.append(r.e2e_s)
+    return summarize_tenants(accs, total_time_s)
 
 
 class RunLengthSample:
@@ -313,15 +430,22 @@ class TelemetryRecorder:
         self.n_window_segments = 0
         self.n_folded_retirements = 0
         self.window_breaks = {reason: 0 for reason in WINDOW_BREAK_REASONS}
+        # Per-priority-class accumulators (all levels).
+        self.tenants: dict[str, TenantStats] = {}
         # Columnar per-request results (streaming levels).
         self.ids = array("q")
         self.prompt_lens = array("q")
         self.n_tokens = array("q")
         self.ttfts = array("d")
+        #: 1 where the aligned ``ttfts`` entry is a real first-token
+        #: time, 0 for requests that never produced one (the stored
+        #: 0.0 is a placeholder excluded from every TTFT aggregate).
+        self.ttft_valid = array("b")
         self.e2es = array("d")
         self.reasons = array("b")
         self.n_preempts = array("q")
         self.eos_ids = array("q")
+        self.tenant_ranks = array("b")
         self.spans: list[tuple[tuple[int, int], ...]] = []
         self.stored_tokens: list[tuple[int, ...]] | None = \
             None if token_replay is not None else []
@@ -410,10 +534,24 @@ class TelemetryRecorder:
                 clock0_s=clock0_s, freq_hz=self.freq_hz, batch=batch,
                 count=count, cycles=cycles, segments=segments))
 
+    def fold_tenant(self, state: RequestState) -> None:
+        """Absorb one retired request into its class's accumulator
+        (every level — the scheduler calls this on every retirement)."""
+        priority = state.request.tenant.priority
+        acc = self.tenants.get(priority)
+        if acc is None:
+            acc = self.tenants[priority] = TenantStats()
+        acc.fold(state)
+
+    def tenant_summaries(self, total_time_s: float) -> dict:
+        return summarize_tenants(self.tenants, total_time_s)
+
     def fold_result(self, state: RequestState) -> None:
         """Absorb one retired request into the columns and drop it."""
         self.total_new_tokens += len(state.generated)
-        self.ttfts.append(state.ttft_s)
+        has_ttft = state.first_token_s is not None
+        self.ttfts.append(state.ttft_s if has_ttft else 0.0)
+        self.ttft_valid.append(1 if has_ttft else 0)
         self.ids.append(state.request_id)  # n_requests + result ordering
         if self.level == "summary":
             return
@@ -425,6 +563,7 @@ class TelemetryRecorder:
         self.n_preempts.append(state.preemptions)
         eos = state.request.eos_id
         self.eos_ids.append(-1 if eos is None else eos)
+        self.tenant_ranks.append(state.request.tenant.rank)
         self.spans.append(tuple(state.spans))
         if self.stored_tokens is not None:
             self.stored_tokens.append(tuple(state.generated))
@@ -531,12 +670,16 @@ class StreamedServeReport:
 
     @property
     def mean_ttft_s(self) -> float:
-        if not len(self._rec.ttfts):
+        valid = self._ttft_valid_mask()
+        n_valid = int(valid.sum())
+        if not n_valid:
             raise SimulationError("no retired requests")
         # Sum in request-id order — the accumulation order of the eager
         # report's mean, so the float matches bit for bit.
         ttfts = np.frombuffer(self._rec.ttfts, dtype=np.float64)
-        return sum(ttfts[self._order].tolist()) / len(ttfts)
+        ordered = ttfts[self._order]
+        mask = valid[self._order]
+        return sum(ordered[mask].tolist()) / n_valid
 
     @property
     def mean_batch(self) -> float:
@@ -557,10 +700,17 @@ class StreamedServeReport:
             raise SimulationError("no retired requests")
         return percentile_of_sorted(ttfts, percentile)
 
+    def _ttft_valid_mask(self) -> np.ndarray:
+        if not len(self._rec.ttft_valid):
+            return np.empty(0, dtype=bool)
+        return np.frombuffer(self._rec.ttft_valid,
+                             dtype=np.int8).astype(bool)
+
     def sorted_ttfts(self) -> np.ndarray:
         if getattr(self, "_ttft_sorted", None) is None:
-            self._ttft_sorted = np.sort(
-                np.frombuffer(self._rec.ttfts, dtype=np.float64))
+            ttfts = np.frombuffer(self._rec.ttfts, dtype=np.float64) \
+                if len(self._rec.ttfts) else np.empty(0, dtype=np.float64)
+            self._ttft_sorted = np.sort(ttfts[self._ttft_valid_mask()])
         return self._ttft_sorted
 
     def latency_runs(self) -> tuple[np.ndarray, np.ndarray]:
@@ -569,15 +719,27 @@ class StreamedServeReport:
 
     # -- merge accessors (cluster aggregation without expansion) ------------
 
-    def ttft_columns(self) -> tuple[np.ndarray, np.ndarray]:
-        """``(request_ids, ttfts)`` in retire order — what a cluster
-        merge needs to re-establish global request-id summation order
-        without touching the recorder's storage layout."""
+    def ttft_columns(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(request_ids, ttfts, valid)`` in retire order — what a
+        cluster merge needs to re-establish global request-id summation
+        order without touching the recorder's storage layout.  Entries
+        with ``valid`` False are placeholders (no first token) and must
+        be excluded from TTFT aggregates."""
         if not len(self._rec.ids):
             return (np.empty(0, dtype=np.int64),
-                    np.empty(0, dtype=np.float64))
+                    np.empty(0, dtype=np.float64),
+                    np.empty(0, dtype=bool))
         return (np.frombuffer(self._rec.ids, dtype=np.int64),
-                np.frombuffer(self._rec.ttfts, dtype=np.float64))
+                np.frombuffer(self._rec.ttfts, dtype=np.float64),
+                self._ttft_valid_mask())
+
+    def tenant_accumulators(self) -> "dict[str, TenantStats]":
+        """The live per-class accumulators — the cluster merge path."""
+        return self._rec.tenants
+
+    @property
+    def tenant_stats(self) -> dict:
+        return self._rec.tenant_summaries(self.total_time_s)
 
     @property
     def batch_sum(self) -> int:
@@ -624,11 +786,12 @@ class StreamedServeReport:
                     request_id=int(ids[i]),
                     tokens=tokens,
                     prompt_len=int(rec.prompt_lens[i]),
-                    ttft_s=rec.ttfts[i],
+                    ttft_s=rec.ttfts[i] if rec.ttft_valid[i] else None,
                     e2e_s=rec.e2es[i],
                     finish_reason=_REASON_LIST[rec.reasons[i]],
                     preemptions=int(rec.n_preempts[i]),
                     decode_step_s=tuple(lats),
+                    tenant_class=PRIORITY_CLASSES[rec.tenant_ranks[i]],
                 ))
             self._results = out
         return self._results

@@ -1,0 +1,88 @@
+"""Multi-tenant serving: priority classes, KV quotas, TTFT SLOs.
+
+A :class:`TenantSpec` attaches a *tenant identity* to every
+:class:`repro.engine.request.Request`:
+
+* a **priority class** — ``interactive`` > ``batch`` > ``best_effort``.
+  Admission is priority-ordered (the scheduler keeps one arrival-sorted
+  waiting deque per class) and preemption is priority-aware: capacity
+  pressure always evicts from the *lowest* class present, and an
+  arrived higher-class request may evict lower-class work to get in.
+  Best-effort work that keeps getting evicted in favour of higher
+  classes is eventually dropped (``FinishReason.REJECTED``) so it
+  cannot thrash the pool while interactive traffic waits.
+* an optional **KV quota** — a per-tenant cap on cached KV tokens
+  (``kv_quota_tokens``, both disciplines) or on KV blocks
+  (``kv_quota_blocks``, paged only; converted to tokens through the
+  pool's block size).  A tenant at quota queues even when the pool has
+  room, and decode growth past the quota preempts that tenant's own
+  youngest sequence — one tenant's long decodes cannot crowd out the
+  rest of the pool.
+* an optional **TTFT SLO target** (``ttft_slo_s``) — carried through
+  to the per-class telemetry so reports and benchmarks can score
+  goodput against it; the scheduler itself does not act on it.
+
+``DEFAULT_TENANT`` (batch class, no quota) is attached to every request
+that names no tenant; a default-only run is bit-identical to the
+pre-tenancy scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+
+#: Priority classes, highest first.  A class's *rank* is its index —
+#: lower rank wins admission, higher rank is evicted first.
+PRIORITY_CLASSES = ("interactive", "batch", "best_effort")
+
+_RANKS = {name: rank for rank, name in enumerate(PRIORITY_CLASSES)}
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Identity and service terms of one tenant."""
+
+    name: str = "default"
+    priority: str = "batch"
+    kv_quota_tokens: int | None = None
+    kv_quota_blocks: int | None = None
+    ttft_slo_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SimulationError("tenant name must not be empty")
+        if self.priority not in PRIORITY_CLASSES:
+            raise SimulationError(
+                f"tenant {self.name!r}: unknown priority class "
+                f"{self.priority!r}; choose from {PRIORITY_CLASSES}")
+        if self.kv_quota_tokens is not None \
+                and self.kv_quota_blocks is not None:
+            raise SimulationError(
+                f"tenant {self.name!r}: give the KV quota in tokens or "
+                "blocks, not both")
+        for label, quota in (("kv_quota_tokens", self.kv_quota_tokens),
+                             ("kv_quota_blocks", self.kv_quota_blocks)):
+            if quota is not None and quota <= 0:
+                raise SimulationError(
+                    f"tenant {self.name!r}: {label} must be positive: "
+                    f"{quota}")
+        if self.ttft_slo_s is not None and self.ttft_slo_s <= 0:
+            raise SimulationError(
+                f"tenant {self.name!r}: ttft_slo_s must be positive: "
+                f"{self.ttft_slo_s}")
+
+    @property
+    def rank(self) -> int:
+        """Admission/eviction rank (0 = highest priority)."""
+        return _RANKS[self.priority]
+
+    @property
+    def has_quota(self) -> bool:
+        return self.kv_quota_tokens is not None \
+            or self.kv_quota_blocks is not None
+
+
+#: The tenant of every request that names none — batch class, no quota.
+DEFAULT_TENANT = TenantSpec()

@@ -15,13 +15,14 @@ identical for equal parameters.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterator, Sequence
 
 import numpy as np
 
 from ..config import ModelConfig
 from ..errors import SimulationError
 from .request import Request
+from .tenancy import TenantSpec
 
 
 def iter_synthetic_trace(model: ModelConfig, n_requests: int,
@@ -30,7 +31,9 @@ def iter_synthetic_trace(model: ModelConfig, n_requests: int,
                          decode_len: tuple[int, int] = (8, 32),
                          seed: int = 0,
                          eos_id: int | None = None,
-                         shared_prefix_len: int = 0) -> Iterator[Request]:
+                         shared_prefix_len: int = 0,
+                         tenant_mix: Sequence[tuple[TenantSpec, float]]
+                         | None = None) -> Iterator[Request]:
     """Generate ``n_requests`` synthetic requests against ``model``.
 
     Arrivals are exponential inter-arrival times at ``arrival_rate_rps``
@@ -47,6 +50,13 @@ def iter_synthetic_trace(model: ModelConfig, n_requests: int,
     only squeezes the *top* of the tail range clamps that range once, up
     front (and every draw uses the clamped range), rather than silently
     collapsing out-of-range samples onto the cap.
+
+    ``tenant_mix`` is a sequence of ``(TenantSpec, share)`` pairs: each
+    request draws its tenant from the given specs with probabilities
+    proportional to the shares (normalized; they need not sum to 1).
+    The tenant draw is one extra RNG call per block *after* the
+    existing draws, so ``tenant_mix=None`` leaves the default stream —
+    arrivals, lengths, and tokens — bit-identical to before.
     """
     if n_requests <= 0:
         raise SimulationError(f"n_requests must be positive: {n_requests}")
@@ -71,6 +81,23 @@ def iter_synthetic_trace(model: ModelConfig, n_requests: int,
     # uniform instead of piling every oversized sample onto the cap.
     tail_cap = model.max_context - 2 - shared_prefix_len
     hi_p = min(hi_p, tail_cap)
+    specs: tuple[TenantSpec, ...] | None = None
+    thresholds: np.ndarray | None = None
+    if tenant_mix is not None:
+        if not tenant_mix:
+            raise SimulationError("tenant_mix must not be empty")
+        specs = tuple(spec for spec, _ in tenant_mix)
+        shares = np.asarray([share for _, share in tenant_mix],
+                            dtype=np.float64)
+        for spec, share in tenant_mix:
+            if not isinstance(spec, TenantSpec):
+                raise SimulationError(
+                    f"tenant_mix entries need a TenantSpec: {spec!r}")
+            if share <= 0:
+                raise SimulationError(
+                    f"tenant {spec.name!r}: mix share must be positive: "
+                    f"{share}")
+        thresholds = np.cumsum(shares / shares.sum())
 
     # Validation stays eager (above); only the draws are deferred, so a
     # bad parameter set fails at the call, not at the first next().
@@ -91,6 +118,13 @@ def iter_synthetic_trace(model: ModelConfig, n_requests: int,
             n_decodes = rng.integers(lo_d, hi_d + 1, size=block)
             tokens = rng.integers(0, model.vocab_size,
                                   size=int(n_prompts.sum()))
+            if specs is not None:
+                # Drawn after the base block so the default stream
+                # (tenant_mix=None) consumes the RNG identically.
+                picks = np.minimum(
+                    np.searchsorted(thresholds, rng.random(size=block),
+                                    side="right"),
+                    len(specs) - 1)
             offset = 0
             for i in range(block):
                 clock += float(gaps[i])
@@ -98,6 +132,8 @@ def iter_synthetic_trace(model: ModelConfig, n_requests: int,
                 prompt = system_prompt + tuple(
                     tokens[offset:offset + n_prompt].tolist())
                 offset += n_prompt
+                kwargs = {} if specs is None \
+                    else {"tenant": specs[int(picks[i])]}
                 yield Request(
                     request_id=rid,
                     prompt=prompt,
@@ -105,6 +141,7 @@ def iter_synthetic_trace(model: ModelConfig, n_requests: int,
                                        decode_cap - n_prompt),
                     arrival_s=clock,
                     eos_id=eos_id,
+                    **kwargs,
                 )
                 rid += 1
 
@@ -117,9 +154,12 @@ def synthetic_trace(model: ModelConfig, n_requests: int,
                     decode_len: tuple[int, int] = (8, 32),
                     seed: int = 0,
                     eos_id: int | None = None,
-                    shared_prefix_len: int = 0) -> list[Request]:
+                    shared_prefix_len: int = 0,
+                    tenant_mix: Sequence[tuple[TenantSpec, float]]
+                    | None = None) -> list[Request]:
     """:func:`iter_synthetic_trace`, materialized into a list."""
     return list(iter_synthetic_trace(
         model, n_requests, arrival_rate_rps=arrival_rate_rps,
         prompt_len=prompt_len, decode_len=decode_len, seed=seed,
-        eos_id=eos_id, shared_prefix_len=shared_prefix_len))
+        eos_id=eos_id, shared_prefix_len=shared_prefix_len,
+        tenant_mix=tenant_mix))

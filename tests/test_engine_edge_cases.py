@@ -77,6 +77,25 @@ class TestBlockPressure:
         assert len(report.results) == 5
         assert report.max_batch_observed == 2
 
+    def test_zero_token_overgrown_retirement_clears_ttft(self, quant32):
+        """An over-budget retirement drops the sampled-but-never-
+        forwarded tail token; when that token was the *first*, the
+        first-token time must go with it — a result reporting zero
+        tokens must report no TTFT, not the timestamp of a token it
+        never delivered."""
+        engine, backend = paged_engine(quant32, n_blocks=8)
+        engine.submit(Request(0, (1, 2, 3), 8))
+        engine._admit_ready()
+        (state,) = engine.running
+        assert state.generated and state.first_token_s is not None
+        engine._retire_overgrown(state)
+        assert state.finish_reason == FinishReason.LENGTH
+        assert state.generated == [] and state.first_token_s is None
+        assert not engine.running
+        result = engine._report().results[0]
+        assert result.tokens == () and result.ttft_s is None
+        backend.paged_kv.audit()
+
     def test_preempted_request_readmits_through_own_prefix(self, quant32):
         """Preemption frees a sequence's blocks, but its committed prompt
         blocks stay cached — the recompute prefill skips them."""

@@ -315,6 +315,7 @@ class TestEventHorizonTiers:
             trace, telemetry="windows")
         stats = report.window_stats
         assert set(stats["breaks"]) == set(WINDOW_BREAK_REASONS)
+        assert "quota" in stats["breaks"]
         assert stats["n_windows"] > 0
         assert stats["n_segments"] >= stats["n_windows"]
         assert sum(stats["breaks"].values()) > 0
@@ -322,6 +323,24 @@ class TestEventHorizonTiers:
         # slotted discipline never touches block frontiers.
         assert stats["breaks"]["eos"] == 0
         assert stats["breaks"]["block-frontier"] == 0
+
+    @pytest.mark.parametrize("ff", ("single", "multi"))
+    def test_zero_step_windows_leave_no_break_note(self, ff):
+        """A fast-forward pass whose arrival cut lands on zero steps
+        records no window — so it must not note a break either, or the
+        histogram counts phantom windows.  An "arrival" note is only
+        ever attached to a recorded window; in the multi tier every
+        note is, so the histogram total is bounded by n_windows."""
+        trace = synthetic_trace(TINY_MODEL, 24, arrival_rate_rps=900.0,
+                                seed=17, prompt_len=(3, 8),
+                                decode_len=(4, 30))
+        report = make_engine("cycle", "slotted", ff=ff).run(
+            trace, telemetry="windows")
+        stats = report.window_stats
+        assert stats["n_windows"] > 0
+        assert stats["breaks"]["arrival"] <= stats["n_windows"]
+        if ff == "multi":
+            assert sum(stats["breaks"].values()) <= stats["n_windows"]
 
     def test_streamed_report_carries_window_stats(self):
         kwargs = dict(arrival_rate_rps=600.0, seed=13,
