@@ -80,7 +80,7 @@ SWEEP_SCALE_MODE = os.environ.get("SIMPERF_SWEEP", "full")
 
 #: accumulated section results, written by bench_write_record (last in
 #: file, so pytest runs it after every measuring bench).
-RECORD: dict = {"schema": "simperf-v3", "sections": {}}
+RECORD: dict = {"schema": "simperf-v4", "sections": {}}
 
 
 def _model(config=SMALL_MODEL) -> QuantizedModel:
@@ -227,14 +227,21 @@ start = time.perf_counter()
 report = engine.run(iter_synthetic_trace(TINY_MODEL, n, **params),
                     max_steps=1_000_000_000, telemetry=telemetry)
 wall_s = time.perf_counter() - start
-print(json.dumps({
+row = {
     "n_requests": n, "telemetry": telemetry, "streamed": True,
     "wall_s": round(wall_s, 2), "n_steps": report.n_steps,
     "total_new_tokens": report.total_new_tokens,
     "p99_token_lat_ms": round(report.latency_percentile_s(99) * 1e3, 4),
     "peak_rss_mb": round(
         resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024, 1),
-}))
+}
+if telemetry == "windows":
+    records = report._rec.records
+    row["records_mb"] = round(records.n_bytes / 1e6, 1)
+    row["n_windows"] = records.n_windows
+elif telemetry == "sketch":
+    row["n_centroids"] = report.latency_digest().n_centroids
+print(json.dumps(row))
 """
 
 
@@ -408,6 +415,64 @@ def bench_sweep_scale(save_result):
     save_result("simperf_sweep_scale", json.dumps(section, indent=2))
 
 
+def bench_windows_scale(save_result):
+    """PR 8 columnar telemetry at the million-request scale.
+
+    Three fresh-subprocess runs of the same streamed sweep, one per
+    streaming telemetry level:
+
+    * ``summary`` — the PR 5 yardstick (exact run-length percentiles,
+      no step records); its peak RSS is the memory baseline.
+    * ``windows`` — the columnar step store.  The acceptance bar is
+      peak RSS within 1.5x of the summary run, while keeping every
+      window (bit-identical expansion is pinned by
+      tests/test_telemetry_equivalence.py; this bench re-checks the
+      cheap observables across the levels).
+    * ``sketch`` — the t-digest level: the run-length latency sample is
+      dropped entirely, so percentiles are approximate (within the
+      digest's documented rank-error bound) and memory must not exceed
+      the summary run's.
+    """
+    smoke = SWEEP_SCALE_MODE == "smoke"
+    n = 150_000 if smoke else 1_000_000
+    summary = _scale_run_subprocess(n, "summary")
+    windows = _scale_run_subprocess(n, "windows")
+    sketch = _scale_run_subprocess(n, "sketch")
+
+    # One simulated outcome across the levels: exact aggregates agree
+    # everywhere, the exact-percentile levels agree on p99, and the
+    # sketch lands near it (the rank-error bound; 10% value slack is
+    # orders of magnitude above what the digest actually needs).
+    for row in (windows, sketch):
+        assert row["n_steps"] == summary["n_steps"], (row, summary)
+        assert row["total_new_tokens"] == summary["total_new_tokens"]
+    assert windows["p99_token_lat_ms"] == summary["p99_token_lat_ms"]
+    assert abs(sketch["p99_token_lat_ms"] - summary["p99_token_lat_ms"]) \
+        <= 0.1 * summary["p99_token_lat_ms"], (sketch, summary)
+
+    rss_ratio = round(windows["peak_rss_mb"] / summary["peak_rss_mb"], 3)
+    section = {
+        "model": TINY_MODEL.name,
+        "mode": SWEEP_SCALE_MODE,
+        "summary": summary,
+        "windows": windows,
+        "sketch": sketch,
+        "windows_rss_ratio": rss_ratio,
+    }
+    RECORD["sections"]["windows_scale"] = section
+
+    # CI floors.  The RSS ratio is the PR 8 acceptance bar; wall floors
+    # sit well over the recorded values for shared-runner noise.
+    assert rss_ratio <= 1.5, section
+    assert sketch["peak_rss_mb"] <= summary["peak_rss_mb"] * 1.1, section
+    assert sketch["n_centroids"] <= 1100, section
+    if smoke:
+        assert windows["wall_s"] < 120.0, section
+    else:
+        assert windows["wall_s"] < 600.0, section
+    save_result("simperf_windows_scale", json.dumps(section, indent=2))
+
+
 LONG_DECODE_BURST = 16
 
 
@@ -514,7 +579,7 @@ def bench_write_record(save_result):
     sections = RECORD["sections"]
     assert set(sections) == {"functional_decode", "functional_prefill",
                              "timing_sweeps", "sweep_scale",
-                             "long_decode"}, sections
+                             "windows_scale", "long_decode"}, sections
     RECORD["note"] = (
         "wall-clock of the simulator itself; every optimized/baseline "
         "pair computes bit-identical results (see "
@@ -561,6 +626,21 @@ def bench_write_record(save_result):
             f"{lo['peak_heap_mb']:6.1f} MB @ {lo['total_new_tokens']:,} tok"
             f" -> {hi['peak_heap_mb']:6.1f} MB @ "
             f"{hi['total_new_tokens']:,} tok")
+    ws = sections["windows_scale"]
+    for level in ("summary", "windows", "sketch"):
+        row = ws[level]
+        extra = ""
+        if level == "windows":
+            extra = (f", {row['n_windows']:,} windows in "
+                     f"{row['records_mb']:.0f} MB columns")
+        elif level == "sketch":
+            extra = f", {row['n_centroids']} centroids"
+        lines.append(
+            f"  {row['n_requests']:>9,d}-request streamed "
+            f"telemetry={level:7s}: {row['wall_s']:7.2f} s, peak RSS "
+            f"{row['peak_rss_mb']:.0f} MB{extra}")
+    lines.append(f"  windows/summary peak-RSS ratio: "
+                 f"{ws['windows_rss_ratio']:.2f} (bar 1.50)")
     ld = sections["long_decode"]
     lines.append(
         f"  long-decode {ld['n_requests']:,}-request paged sweep: "
@@ -569,6 +649,31 @@ def bench_write_record(save_result):
         f"{ld['multi_windows']:,} windows ({ld['speedup']:.1f}x, "
         f"{ld['folded_retirements']:,} folded retirements)")
     save_result("simperf", "\n".join(lines))
+
+    # Mirror the headline numbers into the diffable run store, so
+    # ``repro obs diff`` can compare benchmark runs across commits.
+    from repro.obs import RunStore
+
+    scale = sections["sweep_scale"]
+    metrics = {
+        "timing.cycle_speedup":
+            sections["timing_sweeps"]["rows"]["cycle"]["speedup"],
+        "sweep_scale.big_speedup": scale["pairs"][-1]["speedup"],
+        "sweep_scale.streamed_wall_s": scale["streamed"]["wall_s"],
+        "sweep_scale.streamed_peak_rss_mb":
+            scale["streamed"]["peak_rss_mb"],
+        "windows_scale.windows_wall_s": ws["windows"]["wall_s"],
+        "windows_scale.windows_peak_rss_mb":
+            ws["windows"]["peak_rss_mb"],
+        "windows_scale.rss_ratio_vs_summary": ws["windows_rss_ratio"],
+        "windows_scale.sketch_peak_rss_mb": ws["sketch"]["peak_rss_mb"],
+        "long_decode.speedup": ld["speedup"],
+    }
+    store = RunStore(REPO_ROOT / "benchmarks" / "runs")
+    record = store.record(
+        "simperf", {"bench": "simperf", "mode": SWEEP_SCALE_MODE},
+        metrics)
+    store.save(record)
 
 
 if __name__ == "__main__":
@@ -579,5 +684,6 @@ if __name__ == "__main__":
     bench_functional_prefill(_print_result)
     bench_timing_backend_sweeps(_print_result)
     bench_sweep_scale(_print_result)
+    bench_windows_scale(_print_result)
     bench_long_decode(_print_result)
     bench_write_record(_print_result)

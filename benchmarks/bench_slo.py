@@ -197,6 +197,25 @@ def bench_write_record(save_result):
             f" {row['priority']['preemptions']} preemptions")
     save_result("slo", "\n".join(lines))
 
+    # Mirror the headline numbers into the diffable run store (one flat
+    # metric per load point), so ``repro obs diff`` tracks SLO drift.
+    from repro.obs import RunStore
+
+    metrics = {}
+    for row in sweep["rows"]:
+        rate = f"{row['arrival_rate_rps']:.0f}rps"
+        fg = row["priority"]["classes"]["interactive"]
+        metrics[f"{rate}.interactive_p99_ttft_ms"] = fg["p99_ttft_ms"]
+        metrics[f"{rate}.fifo_interactive_p99_ttft_ms"] = \
+            row["fifo"]["interactive_p99_ttft_ms"]
+        metrics[f"{rate}.goodput_tokens_per_s"] = \
+            row["priority"]["total_goodput_tokens_per_s"]
+        metrics[f"{rate}.preemptions"] = row["priority"]["preemptions"]
+    store = RunStore(REPO_ROOT / "benchmarks" / "runs")
+    store.save(store.record(
+        "slo", {"bench": "slo", "mode": SWEEP_MODE,
+                "n_requests": N_REQUESTS}, metrics))
+
 
 if __name__ == "__main__":
     def _print_result(name, text):

@@ -14,6 +14,9 @@ Commands:
 * ``bench-serve`` — throughput-vs-batch curve of the batched cycle
   model; ``--scaling-sweep`` records the multi-accelerator TP x DP
   curve instead.
+* ``obs``       — the diffable run store: ``obs list`` enumerates
+  recorded runs, ``obs show`` prints one record, ``obs diff`` compares
+  two and exits nonzero when a metric regressed beyond the threshold.
 """
 
 from __future__ import annotations
@@ -268,7 +271,7 @@ def cmd_serve_sim(args) -> int:
 
     if args.tp < 1 or args.replicas < 1:
         raise ReproError("--tp and --replicas must be >= 1")
-    if args.per_request and args.telemetry == "summary":
+    if args.per_request and args.telemetry in ("summary", "sketch"):
         raise ReproError(
             "--per-request needs per-request results; use "
             "--telemetry full or windows")
@@ -282,6 +285,15 @@ def cmd_serve_sim(args) -> int:
                 for _ in range(args.replicas)]
     engines = [ContinuousBatchScheduler(b, max_batch=args.max_batch,
                                         **scheduler_kv) for b in backends]
+
+    recorders = None
+    if args.trace_out:
+        from .obs import FlightRecorder
+
+        recorders = [FlightRecorder(replica=idx)
+                     for idx in range(len(engines))]
+        for engine, recorder in zip(engines, recorders):
+            engine.flight = recorder
 
     mix = _tenant_mix(args)
 
@@ -353,30 +365,18 @@ def cmd_serve_sim(args) -> int:
         _, text = replica_table(report)
         print("  " + text.replace("\n", "\n  "))
     if mix is not None:
-        tenant_stats = getattr(report, "tenant_stats", None) or {}
+        from .report.tables import tenant_stats_table
+
+        _, text = tenant_stats_table(getattr(report, "tenant_stats",
+                                             None))
         print("  tenant classes :")
-        for name, s in tenant_stats.items():
-            p99 = s["p99_ttft_s"]
-            p99_desc = "p99 TTFT      n/a" if p99 is None \
-                else f"p99 TTFT {p99 * 1e3:9.3f} ms"
-            print(f"    {name:<12}: {s['n_requests']:7d} requests "
-                  f"({s['n_rejected']} rejected), "
-                  f"{s['goodput_tokens_per_s']:10.3f} token/s, "
-                  f"{p99_desc}")
+        print("  " + text.replace("\n", "\n  "))
     if args.window_stats:
-        stats = getattr(report, "window_stats", None) or {}
-        if not stats or not stats.get("n_windows"):
-            print("  window stats   : no fast-forward windows recorded")
-        else:
-            print(f"  window stats   : {stats['n_windows']} windows, "
-                  f"{stats['n_segments']} segments, "
-                  f"{stats['folded_retirements']} folded retirements")
-            breaks = stats.get("breaks", {})
-            total = sum(breaks.values())
-            print(f"  window breaks  : {total} total")
-            for reason, count in breaks.items():
-                if count:
-                    print(f"    {reason:<24}: {count}")
+        from .report.tables import window_stats_table
+
+        _, text = window_stats_table(getattr(report, "window_stats",
+                                             None))
+        print("  window stats   : " + text.replace("\n", "\n  "))
     if args.per_request:
         print("  id  prompt  new  ttft_ms    e2e_ms  reason")
         for r in report.results:
@@ -385,6 +385,122 @@ def cmd_serve_sim(args) -> int:
             print(f"  {r.request_id:2d}  {r.prompt_len:6d}  "
                   f"{len(r.tokens):3d}  {ttft}  "
                   f"{r.e2e_s * 1e3:8.2f}  {r.finish_reason.value}")
+    if recorders is not None:
+        from .obs import export_chrome_trace
+
+        payload = export_chrome_trace(args.trace_out, recorders)
+        print(f"  trace          : {len(payload['traceEvents'])} events "
+              f"-> {args.trace_out}")
+    if args.record:
+        from .obs import RunStore
+
+        store = RunStore(args.runs_dir)
+        record = store.record_report(
+            args.record, report,
+            config={"command": "serve-sim", "model": model.name,
+                    "platform": platform.name, "backend": args.backend,
+                    "requests": args.requests,
+                    "max_batch": args.max_batch, "kv": args.kv,
+                    "telemetry": args.telemetry, "tp": args.tp,
+                    "replicas": args.replicas, "router": args.router,
+                    "seed": args.seed})
+        print(f"  run record     : {record.run_id} -> "
+              f"{store.root / (args.record + '.jsonl')}")
+    return 0
+
+
+def _fmt_metric(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def cmd_obs_list(args) -> int:
+    from .obs import RunStore
+    from .report.tables import format_table
+
+    records = RunStore(args.runs_dir).list_runs()
+    if not records:
+        print(f"no runs recorded under {args.runs_dir}")
+        return 0
+    import time
+
+    headers = ["Run", "Created", "Commit", "Requests", "tok/s",
+               "p99 TTFT ms"]
+    body = []
+    for r in records:
+        tok = r.metrics.get("aggregate_tokens_per_s")
+        p99 = r.metrics.get("p99_ttft_s")
+        body.append([
+            r.run_id,
+            time.strftime("%Y-%m-%d %H:%M:%S",
+                          time.localtime(r.created_unix)),
+            r.git_commit or "-",
+            r.metrics.get("n_requests", "-"),
+            f"{tok:.3f}" if tok is not None else "-",
+            f"{p99 * 1e3:.3f}" if p99 is not None else "-"])
+    print(format_table(headers, body))
+    return 0
+
+
+def cmd_obs_show(args) -> int:
+    from .obs import RunStore, metric_direction
+    from .report.tables import (format_table, tenant_stats_table,
+                                window_stats_table)
+
+    record = RunStore(args.runs_dir).load(args.run)
+    print(f"{record.run_id} ({record.schema}, commit "
+          f"{record.git_commit or 'unknown'})")
+    if record.config:
+        print("config: " + ", ".join(
+            f"{k}={v}" for k, v in sorted(record.config.items())))
+    direction_name = {1: "higher", -1: "lower", 0: "-"}
+    body = [[key, _fmt_metric(value),
+             direction_name[metric_direction(key)]]
+            for key, value in sorted(record.metrics.items())]
+    print(format_table(["Metric", "Value", "Better"], body))
+    window_stats = record.sections.get("window_stats")
+    if window_stats:
+        _, text = window_stats_table(window_stats)
+        print("\nwindow stats: " + text)
+    tenant_stats = record.sections.get("tenant_stats")
+    if tenant_stats:
+        _, text = tenant_stats_table(tenant_stats)
+        print("\ntenant classes:\n" + text)
+    return 0
+
+
+def cmd_obs_diff(args) -> int:
+    from .obs import RunStore, diff_records
+    from .report.tables import format_table
+
+    store = RunStore(args.runs_dir)
+    base = store.load(args.base)
+    new = store.load(args.new)
+    deltas = diff_records(base, new, threshold=args.threshold)
+    body = []
+    regressions = []
+    for d in deltas:
+        change = "n/a" if d.rel_change is None \
+            else f"{d.rel_change:+.2%}"
+        flag = ""
+        if d.regressed:
+            flag = "REGRESSED"
+            regressions.append(d)
+        elif d.improved:
+            flag = "improved"
+        body.append([d.key, f"{d.base:.6g}", f"{d.new:.6g}", change,
+                     flag])
+    print(f"diff {base.run_id} -> {new.run_id} "
+          f"(threshold {args.threshold:.0%})")
+    print(format_table(["Metric", "Base", "New", "Change", "Flag"],
+                       body))
+    if regressions:
+        print(f"{len(regressions)} metric(s) REGRESSED beyond "
+              f"{args.threshold:.0%}: "
+              + ", ".join(d.key for d in regressions))
+        return 1
+    print("no regressions beyond threshold")
     return 0
 
 
@@ -601,17 +717,28 @@ def build_parser() -> argparse.ArgumentParser:
                    default="round_robin",
                    help="replica routing policy for --replicas > 1")
     p.add_argument("--telemetry",
-                   choices=("full", "windows", "summary"),
+                   choices=("full", "windows", "summary", "sketch"),
                    default="full",
                    help="recording level: full materializes every "
-                        "step, windows keeps run-length records that "
+                        "step, windows keeps columnar records that "
                         "expand to identical values, summary keeps "
-                        "aggregates and exact percentiles only")
+                        "aggregates and exact percentiles only, "
+                        "sketch replaces the exact latency sample "
+                        "with a mergeable t-digest")
     p.add_argument("--per-request", action="store_true",
                    help="print the per-request table")
     p.add_argument("--window-stats", action="store_true",
                    help="print fast-forward window counts and the "
                         "break-reason histogram")
+    p.add_argument("--record", default="",
+                   help="append this run's metrics to the run store "
+                        "under the given label (see 'repro obs')")
+    p.add_argument("--runs-dir", default="benchmarks/runs",
+                   help="run-store root for --record")
+    p.add_argument("--trace-out", default="",
+                   help="write the request lifecycle as Chrome "
+                        "trace-event JSON (open in Perfetto or "
+                        "chrome://tracing)")
     p.add_argument("--tenants", default="",
                    help="multi-tenant mix: comma-separated "
                         "name:class[:kv-quota-tokens] entries, e.g. "
@@ -651,11 +778,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--interconnect", default="10GbE",
                    help="board-to-board link preset for the sweep")
     p.add_argument("--telemetry",
-                   choices=("full", "windows", "summary"),
+                   choices=("full", "windows", "summary", "sketch"),
                    default="full",
                    help="recording level for --scaling-sweep replays "
-                        "(summary streams million-request grids)")
+                        "(summary/sketch stream million-request grids)")
     p.set_defaults(fn=cmd_bench_serve, context=512)
+
+    p = sub.add_parser("obs",
+                       help="run store: list, show, and diff recorded "
+                            "serving runs")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+
+    def runs_dir(q):
+        q.add_argument("--runs-dir", default="benchmarks/runs",
+                       help="run-store root directory")
+
+    q = obs_sub.add_parser("list", help="list recorded runs")
+    runs_dir(q)
+    q.set_defaults(fn=cmd_obs_list)
+
+    q = obs_sub.add_parser("show", help="print one run record")
+    q.add_argument("run", help="run id (label#seq), bare label (its "
+                               "latest run), or path to a .jsonl file")
+    runs_dir(q)
+    q.set_defaults(fn=cmd_obs_show)
+
+    q = obs_sub.add_parser("diff",
+                           help="compare two runs; exits nonzero when "
+                                "a metric regressed beyond the "
+                                "threshold")
+    q.add_argument("base", help="baseline run selector")
+    q.add_argument("new", help="candidate run selector")
+    q.add_argument("--threshold", type=float, default=0.05,
+                   help="relative change beyond which a directional "
+                        "metric is flagged (default 0.05)")
+    runs_dir(q)
+    q.set_defaults(fn=cmd_obs_diff)
 
     p = sub.add_parser("generate", help="functional generation (tiny models)")
     common(p, model_default="tiny-test")

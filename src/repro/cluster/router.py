@@ -158,8 +158,11 @@ class StreamedClusterReport:
 
     Aggregates fold without expanding anything: counters add, the
     decode-latency runs concatenate (still run-length), sorted TTFT
-    caches k-way merge through :func:`repro.stats.merge_sorted`.
-    Per-request results materialize lazily at ``"windows"`` level.
+    caches k-way merge through :func:`repro.stats.merge_sorted`, and at
+    ``"sketch"`` level the per-replica t-digests merge into one cluster
+    digest (digests are mergeable by construction, preserving the
+    documented rank-error bound).  Per-request results materialize
+    lazily at ``"windows"`` and ``"full"`` levels.
     """
 
     def __init__(self, reports: list[StreamedServeReport],
@@ -184,6 +187,7 @@ class StreamedClusterReport:
                 [r.tenant_accumulators() for r in reports]),
             self.total_time_s)
         self._lat_runs: tuple[np.ndarray, np.ndarray] | None = None
+        self._lat_digest = None
         self._ttft_sorted: list[float] | None = None
         self._results: list[RequestResult] | None = None
 
@@ -230,7 +234,25 @@ class StreamedClusterReport:
         order = np.argsort(ids, kind="stable")
         return sum(ttfts[order][valid[order]].tolist()) / n_valid
 
+    def latency_digest(self):
+        """Cluster-wide decode-latency :class:`repro.stats.TDigest`
+        (``"sketch"`` level only): the per-replica digests merged."""
+        if self.telemetry != "sketch":
+            raise SimulationError(
+                f"telemetry='{self.telemetry}' keeps the exact latency "
+                "sample, not a sketch; use latency_percentile_s()")
+        if self._lat_digest is None:
+            from ..stats import TDigest
+
+            merged = TDigest()
+            for report in self.replica_reports:
+                merged.merge(report.latency_digest())
+            self._lat_digest = merged
+        return self._lat_digest
+
     def latency_percentile_s(self, percentile: float) -> float:
+        if self.telemetry == "sketch":
+            return self.latency_digest().percentile(percentile)
         if self._lat_runs is None:
             parts = [r.latency_runs() for r in self.replica_reports]
             values = np.concatenate([p[0] for p in parts])

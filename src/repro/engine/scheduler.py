@@ -187,6 +187,11 @@ class ContinuousBatchScheduler:
         self._recorder = TelemetryRecorder(
             "full", backend.freq_hz,
             token_replay=getattr(backend, "replay_tokens", None))
+        #: optional request-lifecycle trace recorder
+        #: (:class:`repro.obs.FlightRecorder`).  Off by default; when
+        #: None every hook site is a single attribute check, so
+        #: untraced runs pay nothing.
+        self.flight = None
         self._preemptions = 0
         self._n_finished = 0
         #: global decode-step counter — the index space request spans
@@ -243,6 +248,11 @@ class ContinuousBatchScheduler:
         self._register_tenant(request)
         state = RequestState(request=request)
         self.waiting.append(state)
+        if self.flight is not None:
+            self.flight.request_phase(
+                request.request_id, "queued", request.arrival_s,
+                tenant=request.tenant.name,
+                priority=request.tenant.priority)
         return state
 
     def _register_tenant(self, request: Request) -> None:
@@ -385,6 +395,15 @@ class ContinuousBatchScheduler:
         state.status = RequestStatus.FINISHED
         state.finish_reason = reason
         self._n_finished += 1
+        if self.flight is not None:
+            rid = state.request_id
+            self.flight.request_phase(rid, None, state.finish_s)
+            self.flight.instant(
+                "rejected" if reason is FinishReason.REJECTED
+                else "retired",
+                state.finish_s, rid, reason=reason.name.lower(),
+                tokens=len(state.generated),
+                tenant=state.request.tenant.name)
         self._recorder.fold_tenant(state)
         if self._recorder.level == "full":
             self.finished.append(state)
@@ -417,6 +436,10 @@ class ContinuousBatchScheduler:
             state.generated.pop()
             if not state.generated:
                 state.first_token_s = None
+        if self.flight is not None:
+            self.flight.instant("quota-retire", self.clock_s,
+                                state.request_id,
+                                tenant=state.request.tenant.name)
         self._retire(state, FinishReason.LENGTH)
 
     def _reject(self, request: Request) -> None:
@@ -459,6 +482,11 @@ class ContinuousBatchScheduler:
         state.logits = None
         state.preemptions += 1
         self._preemptions += 1
+        if self.flight is not None:
+            rid = state.request_id
+            self.flight.instant("preempt", self.clock_s, rid,
+                                tenant=state.request.tenant.name)
+            self.flight.request_phase(rid, "queued", self.clock_s)
 
     def _outgrew_quota(self, state: RequestState) -> bool:
         """True when this sequence's recompute could never fit its
@@ -576,6 +604,9 @@ class ContinuousBatchScheduler:
             except SimulationError:
                 break  # no free KV slot
             self.waiting.popleft(rank)
+            if self.flight is not None:
+                self.flight.request_phase(state.request_id, "prefill",
+                                          self.clock_s)
             cycles = self.backend.prefill(state)
             state.prefill_cycles += cycles
             self._advance(cycles)
@@ -585,6 +616,9 @@ class ContinuousBatchScheduler:
             self._cached_total += state.position
             if self._quota_specs:
                 self._cache_tenant(state)
+            if self.flight is not None:
+                self.flight.request_phase(state.request_id, "decode",
+                                          self.clock_s)
             admitted += 1
             # First token (or, after preemption, the next token) samples
             # the moment prefill ends.
@@ -737,6 +771,9 @@ class ContinuousBatchScheduler:
         self._recorder.record_window(clock0, clocks[1:applied + 1],
                                      batch, cycles[:applied],
                                      deltas[:applied])
+        if self.flight is not None:
+            self.flight.span("window", clock0, self.clock_s,
+                             batch=batch, steps=applied, reason=reason)
         full = self._recorder.level == "full"
         lat_list = cycles[:applied].tolist() if full else None
         for i, s in enumerate(pending):
@@ -950,6 +987,11 @@ class ContinuousBatchScheduler:
             np.concatenate(cycle_parts),
             np.concatenate(delta_parts),
             segments=tuple(segments))
+        if self.flight is not None:
+            self.flight.span("window", clock0, self.clock_s,
+                             batch=segments[0][1], steps=total_applied,
+                             segments=len(segments),
+                             reason=break_reason or "drained")
         return total_applied
 
     # -- the scheduling loop -------------------------------------------------
@@ -974,6 +1016,7 @@ class ContinuousBatchScheduler:
                                    for s in self.waiting)
             if next_arrival > self.clock_s:
                 self.clock_s = next_arrival
+        step_start_s = self.clock_s
 
         admitted = self._admit_ready()
 
@@ -1041,6 +1084,10 @@ class ContinuousBatchScheduler:
                           cycles=cycles, admitted=admitted,
                           preempted=preempted, retired=retired)
         self._recorder.record_event(event)
+        if self.flight is not None:
+            self.flight.span("step", step_start_s, self.clock_s,
+                             batch=len(pending), admitted=admitted,
+                             preempted=preempted, retired=retired)
         return event
 
     def _refill(self) -> None:
@@ -1089,8 +1136,11 @@ class ContinuousBatchScheduler:
 
         ``telemetry`` picks the recording level: ``"full"`` materializes
         every per-step observable (the reference), ``"windows"`` keeps
-        run-length records that expand lazily to the identical values,
-        ``"summary"`` keeps only aggregates and exact percentiles.
+        columnar run-length records that expand lazily to the identical
+        values, ``"summary"`` keeps only aggregates and exact
+        percentiles, ``"sketch"`` replaces the exact latency sample
+        with a bounded-memory t-digest (percentiles within its
+        documented rank-error bound; every counter stays exact).
         """
         if self.running:
             raise SimulationError("engine is already mid-run")

@@ -1,6 +1,6 @@
 """Serving telemetry: per-step records, run-length windows, reports.
 
-The scheduler can record what happened at three levels of detail
+The scheduler can record what happened at four levels of detail
 (``telemetry=`` on :meth:`ContinuousBatchScheduler.run`):
 
 * ``"full"`` — every decode step materializes a :class:`StepEvent`,
@@ -10,14 +10,22 @@ The scheduler can record what happened at three levels of detail
 * ``"windows"`` — a fast-forwarded static window is stored as ONE
   :class:`StepWindow` (count + per-step cycle array shared by every
   batch member) and per-request detail collapses to columnar scalars
-  plus *span* indices into the global decode-step stream.  The
-  existing APIs — ``events``, ``step_batches``, ``results`` with
-  ``decode_step_s`` and ``tokens`` — are served by lazy exact
-  expansion, so every value is bit-identical to ``"full"`` while a
-  static window costs O(1) memory instead of O(steps x batch).
+  plus *span* indices into the global decode-step stream.  The step
+  stream itself lives in :class:`repro.obs.ColumnarRecords` — typed
+  columns, a few dozen bytes per record instead of a Python object —
+  so million-request runs fit in bounded memory.  The existing APIs —
+  ``events``, ``step_batches``, ``results`` with ``decode_step_s`` and
+  ``tokens`` — are served by lazy exact expansion, so every value is
+  bit-identical to ``"full"``.
 * ``"summary"`` — only aggregate counters and the run-length latency
   sample survive; percentiles stay exact, per-request results are
-  gone.  The cheapest level, for million-request sweeps.
+  gone.
+* ``"sketch"`` — like ``"summary"``, but the O(decode-steps)
+  run-length latency sample is replaced by a :class:`repro.stats.
+  TDigest` percentile sketch: O(compression) memory, latency
+  percentiles approximate within the digest's documented rank-error
+  bound.  Counters, TTFT aggregates, window stats, and tenant stats
+  stay exact.  The cheapest level, for million-request sweeps.
 
 Percentiles never need the expansion: the multiset of all requests'
 per-token latencies is exactly "each decode step's latency, once per
@@ -33,10 +41,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import SimulationError
+from ..obs.columns import ColumnarRecords, StepEvent, StepWindow
 from .request import FinishReason, RequestState
 from .tenancy import PRIORITY_CLASSES
 
-TELEMETRY_LEVELS = ("full", "windows", "summary")
+TELEMETRY_LEVELS = ("full", "windows", "summary", "sketch")
+
+#: Levels that keep the step-record stream (events + windows).
+_RECORDING_LEVELS = ("full", "windows")
 
 #: Why a fast-forward window ended (or could not start).  Fixed key set
 #: so histograms from different runs/replicas merge by plain addition.
@@ -49,68 +61,6 @@ WINDOW_BREAK_REASONS = ("admission", "arrival", "retirement-unpredicted",
 #: FinishReason <-> small-int codes for the columnar result store.
 _REASON_LIST = list(FinishReason)
 _REASON_CODES = {reason: i for i, reason in enumerate(_REASON_LIST)}
-
-
-@dataclass(frozen=True)
-class StepEvent:
-    """What one scheduler iteration did (for logs and tests)."""
-
-    clock_s: float
-    batch: int
-    cycles: float
-    admitted: int
-    preempted: int
-    retired: int
-
-
-@dataclass(frozen=True)
-class StepWindow:
-    """A run of ``count`` fast-forwarded decode steps as one object.
-
-    A *single-segment* window (``segments is None``) is a static run:
-    nothing admitted, retired, or preempted, one batch size throughout.
-    A *multi-segment* window chains piecewise-static segments separated
-    by predicted retirements: ``segments`` holds one ``(count, batch,
-    retired)`` triple per segment (``retired`` members leave at the end
-    of that segment's last step), with ``sum(counts) == count`` and
-    ``batch`` the first segment's batch.  Either way the only per-step
-    facts are the cycle counts — one float64 array over the whole
-    window — and the clocks, which :meth:`expand` re-derives through
-    the same sequential ``cumsum`` the scheduler used to advance its
-    clock, reproducing the eager :class:`StepEvent` stream bit for bit.
-    """
-
-    clock0_s: float  # engine clock before the window's first step
-    freq_hz: float
-    batch: int
-    count: int
-    cycles: np.ndarray
-    segments: tuple[tuple[int, int, int], ...] | None = None
-
-    def latencies(self) -> np.ndarray:
-        """Per-step seconds — the identical floats ``full`` telemetry
-        records into every member's ``decode_step_s``."""
-        return self.cycles / self.freq_hz
-
-    def expand(self) -> list[StepEvent]:
-        clocks = np.cumsum(np.concatenate(([self.clock0_s],
-                                           self.latencies())))
-        clock_list = clocks[1:].tolist()
-        cycle_list = self.cycles.tolist()
-        if self.segments is None:
-            return [StepEvent(clock_s=clock, batch=self.batch, cycles=cyc,
-                              admitted=0, preempted=0, retired=0)
-                    for clock, cyc in zip(clock_list, cycle_list)]
-        events: list[StepEvent] = []
-        pos = 0
-        for count, batch, retired in self.segments:
-            for j in range(count):
-                events.append(StepEvent(
-                    clock_s=clock_list[pos], batch=batch,
-                    cycles=cycle_list[pos], admitted=0, preempted=0,
-                    retired=retired if j == count - 1 else 0))
-                pos += 1
-        return events
 
 
 @dataclass(frozen=True)
@@ -419,12 +369,22 @@ class TelemetryRecorder:
         #: ``replay(request_id, n, eos_id) -> tuple`` for backends whose
         #: token stream is a pure function; None stores tokens eagerly.
         self.token_replay = token_replay
-        self.records: list[StepEvent | StepWindow] = []
+        #: the step-record stream — a plain list at ``"full"`` (the
+        #: eager oracle materializes anyway), typed columns at
+        #: ``"windows"`` so million-record streams stay O(bytes), and
+        #: unused (empty list) at the aggregate-only levels.
+        self.records: "ColumnarRecords | list[StepEvent]" = \
+            ColumnarRecords(freq_hz) if level == "windows" else []
         self.n_steps = 0
         self.n_decode_steps = 0
         self.batch_sum = 0
         self.max_batch = 0
         self.runs = RunLengthSample()
+        #: percentile sketch replacing ``runs`` at ``"sketch"`` level.
+        self.digest = None
+        if level == "sketch":
+            from ..stats import TDigest
+            self.digest = TDigest()
         # Fast-forward window accounting (all levels; O(1) state).
         self.n_windows = 0
         self.n_window_segments = 0
@@ -446,7 +406,12 @@ class TelemetryRecorder:
         self.n_preempts = array("q")
         self.eos_ids = array("q")
         self.tenant_ranks = array("b")
-        self.spans: list[tuple[tuple[int, int], ...]] = []
+        # Request decode spans, flattened: request i's spans are the
+        # ``(lo, hi)`` pairs at ``span_bounds[2k:2k+2]`` for ``k`` in
+        # ``[span_starts[i], span_starts[i] + span_counts[i])``.
+        self.span_bounds = array("q")
+        self.span_starts = array("q")
+        self.span_counts = array("q")
         self.stored_tokens: list[tuple[int, ...]] | None = \
             None if token_replay is not None else []
         self.total_new_tokens = 0
@@ -462,10 +427,12 @@ class TelemetryRecorder:
             self.batch_sum += event.batch
             if event.batch > self.max_batch:
                 self.max_batch = event.batch
-            if self.level != "full":
+            if self.level == "sketch":
+                self.digest.add(event.cycles / self.freq_hz, event.batch)
+            elif self.level != "full":
                 self.runs.add_single(event.cycles / self.freq_hz,
                                      event.batch)
-        if self.level != "summary":
+        if self.level in _RECORDING_LEVELS:
             self.records.append(event)
 
     def note_break(self, reason: str) -> None:
@@ -527,12 +494,15 @@ class TelemetryRecorder:
             return
         pos = 0
         for seg_count, seg_batch, _ in segments_iter:
-            self.runs.add_run(latencies[pos:pos + seg_count], seg_batch)
+            if self.level == "sketch":
+                self.digest.add_array(latencies[pos:pos + seg_count],
+                                      seg_batch)
+            else:
+                self.runs.add_run(latencies[pos:pos + seg_count],
+                                  seg_batch)
             pos += seg_count
         if self.level == "windows":
-            self.records.append(StepWindow(
-                clock0_s=clock0_s, freq_hz=self.freq_hz, batch=batch,
-                count=count, cycles=cycles, segments=segments))
+            self.records.append_window(clock0_s, batch, cycles, segments)
 
     def fold_tenant(self, state: RequestState) -> None:
         """Absorb one retired request into its class's accumulator
@@ -553,7 +523,7 @@ class TelemetryRecorder:
         self.ttfts.append(state.ttft_s if has_ttft else 0.0)
         self.ttft_valid.append(1 if has_ttft else 0)
         self.ids.append(state.request_id)  # n_requests + result ordering
-        if self.level == "summary":
+        if self.level in ("summary", "sketch"):
             return
         self.prompt_lens.append(state.prompt_len)
         self.n_tokens.append(len(state.generated))
@@ -564,17 +534,29 @@ class TelemetryRecorder:
         eos = state.request.eos_id
         self.eos_ids.append(-1 if eos is None else eos)
         self.tenant_ranks.append(state.request.tenant.rank)
-        self.spans.append(tuple(state.spans))
+        self.span_starts.append(len(self.span_bounds) >> 1)
+        self.span_counts.append(len(state.spans))
+        for lo, hi in state.spans:
+            self.span_bounds.append(lo)
+            self.span_bounds.append(hi)
         if self.stored_tokens is not None:
             self.stored_tokens.append(tuple(state.generated))
+
+    def request_spans(self, i: int) -> list[tuple[int, int]]:
+        """Request ``i``'s (retire-order) decode spans — ``(lo, hi)``
+        half-open index pairs into :meth:`latency_stream`."""
+        start = self.span_starts[i]
+        bounds = self.span_bounds
+        return [(bounds[2 * k], bounds[2 * k + 1])
+                for k in range(start, start + self.span_counts[i])]
 
     # -- lazy exact expansion ----------------------------------------------
 
     def expanded_events(self) -> list[StepEvent]:
         """The eager per-step event list (windows expanded, cached)."""
-        if self.level == "summary":
+        if self.level not in _RECORDING_LEVELS:
             raise SimulationError(
-                "telemetry='summary' records no step events")
+                f"telemetry='{self.level}' records no step events")
         if self.level == "full":
             return self.records  # type: ignore[return-value]
         if self._events_cache is None \
@@ -589,9 +571,9 @@ class TelemetryRecorder:
         return self._events_cache[1]
 
     def step_batches(self) -> list[int]:
-        if self.level == "summary":
+        if self.level not in _RECORDING_LEVELS:
             raise SimulationError(
-                "telemetry='summary' records no step batches")
+                f"telemetry='{self.level}' records no step batches")
         out: list[int] = []
         for record in self.records:
             if isinstance(record, StepWindow):
@@ -607,9 +589,9 @@ class TelemetryRecorder:
     def latency_stream(self) -> np.ndarray:
         """Latency of every decode step, in global decode-step order —
         the array request spans index into."""
-        if self.level == "summary":
+        if self.level not in _RECORDING_LEVELS:
             raise SimulationError(
-                "telemetry='summary' records no decode latencies")
+                f"telemetry='{self.level}' records no decode latencies")
         if self._lat_stream is None \
                 or self._lat_stream[0] != len(self.records):
             parts: list[np.ndarray] = []
@@ -690,6 +672,8 @@ class StreamedServeReport:
     # -- percentiles --------------------------------------------------------
 
     def latency_percentile_s(self, percentile: float) -> float:
+        if self.telemetry == "sketch":
+            return self._rec.digest.percentile(percentile)
         return self._rec.runs.percentile(percentile)
 
     def ttft_percentile_s(self, percentile: float) -> float:
@@ -715,7 +699,20 @@ class StreamedServeReport:
 
     def latency_runs(self) -> tuple[np.ndarray, np.ndarray]:
         """Sorted ``(values, counts)`` of the decode-latency sample."""
+        if self.telemetry == "sketch":
+            raise SimulationError(
+                "telemetry='sketch' keeps a percentile sketch, not the "
+                "exact latency sample; use latency_digest()")
         return self._rec.runs.sorted_runs()
+
+    def latency_digest(self):
+        """The decode-latency :class:`repro.stats.TDigest` (``"sketch"``
+        level only) — what a cluster merge combines across replicas."""
+        if self.telemetry != "sketch":
+            raise SimulationError(
+                f"telemetry='{self.telemetry}' keeps the exact latency "
+                "sample, not a sketch; use latency_runs()")
+        return self._rec.digest
 
     # -- merge accessors (cluster aggregation without expansion) ------------
 
@@ -762,10 +759,10 @@ class StreamedServeReport:
 
     @property
     def results(self) -> list[RequestResult]:
-        if self.telemetry == "summary":
+        if self.telemetry in ("summary", "sketch"):
             raise SimulationError(
-                "telemetry='summary' keeps no per-request results; "
-                "use 'windows' or 'full'")
+                f"telemetry='{self.telemetry}' keeps no per-request "
+                "results; use 'windows' or 'full'")
         if self._results is None:
             rec = self._rec
             stream = rec.latency_stream()
@@ -780,7 +777,7 @@ class StreamedServeReport:
                     tokens = rec.token_replay(
                         int(ids[i]), int(n), None if eos < 0 else int(eos))
                 lats: list[float] = []
-                for lo, hi in rec.spans[i]:
+                for lo, hi in rec.request_spans(i):
                     lats.extend(stream[lo:hi].tolist())
                 out.append(RequestResult(
                     request_id=int(ids[i]),

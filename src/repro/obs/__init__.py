@@ -1,0 +1,52 @@
+"""repro.obs — the observability layer.
+
+Four pieces, spanning stats → telemetry → scheduler → cluster → CLI:
+
+* **columnar step storage** (:mod:`repro.obs.columns`) — the
+  :class:`StepEvent`/:class:`StepWindow` stream behind
+  ``telemetry="windows"``, stored as typed columns with lazy
+  bit-identical materialization;
+* **percentile sketches** (:class:`repro.stats.TDigest`) — behind
+  ``telemetry="sketch"``, replacing the exact run-length latency
+  sample with a mergeable bounded-memory digest;
+* **request-lifecycle tracing** (:mod:`repro.obs.tracing`) — attach a
+  :class:`FlightRecorder` to a scheduler (``engine.flight = ...``) and
+  export Chrome trace-event JSON viewable in Perfetto;
+* **the run store** (:mod:`repro.obs.runstore`) — schema-versioned
+  JSONL run records under ``benchmarks/runs/`` with regression-aware
+  diffing (``repro obs list|show|diff``).
+"""
+
+from .columns import ColumnarRecords, StepEvent, StepWindow
+from .runstore import (
+    DEFAULT_ROOT,
+    MetricDelta,
+    RunRecord,
+    RunStore,
+    SCHEMA,
+    diff_records,
+    metric_direction,
+    report_metrics,
+)
+from .tracing import (
+    FlightRecorder,
+    export_chrome_trace,
+    merge_chrome_events,
+)
+
+__all__ = [
+    "ColumnarRecords",
+    "DEFAULT_ROOT",
+    "FlightRecorder",
+    "MetricDelta",
+    "RunRecord",
+    "RunStore",
+    "SCHEMA",
+    "StepEvent",
+    "StepWindow",
+    "diff_records",
+    "export_chrome_trace",
+    "merge_chrome_events",
+    "metric_direction",
+    "report_metrics",
+]

@@ -1,9 +1,12 @@
-"""Text renderers for Tables I, II, and III.
+"""Text renderers for Tables I, II, and III, plus serving-stat tables.
 
 Each function returns ``(rows, text)``: the raw row dictionaries for
 programmatic checks and a formatted table string for humans.  Model-side
 numbers come from the simulators; paper-side numbers are carried along for
-side-by-side comparison.
+side-by-side comparison.  :func:`window_stats_table` and
+:func:`tenant_stats_table` render the serving reports' ``window_stats``
+and ``tenant_stats`` sections — the CLI's ``serve-sim`` output and the
+run store's ``obs show`` read through the same renderers.
 """
 
 from __future__ import annotations
@@ -24,6 +27,54 @@ def format_table(headers: list[str], rows: list[list]) -> str:
         return "  ".join(c.ljust(w) for c, w in zip(row, widths))
     line = "-" * (sum(widths) + 2 * (len(widths) - 1))
     return "\n".join([fmt(headers), line] + [fmt(r) for r in cells])
+
+
+def window_stats_table(stats: dict | None) -> tuple[list[dict], str]:
+    """Fast-forward window counts and the break-reason histogram.
+
+    ``stats`` is a report's ``window_stats`` dict (``n_windows`` /
+    ``n_segments`` / ``folded_retirements`` / ``breaks``); rows are one
+    dict per nonzero break reason with its share of all breaks.
+    """
+    if not stats or not stats.get("n_windows"):
+        return [], "no fast-forward windows recorded"
+    breaks = stats.get("breaks", {})
+    total = sum(breaks.values())
+    rows = [{"reason": reason, "count": count,
+             "share": count / total if total else 0.0}
+            for reason, count in breaks.items() if count]
+    headers = ["Break reason", "Count", "Share"]
+    body = [[r["reason"], r["count"], f"{r['share']:.1%}"] for r in rows]
+    text = (f"{stats['n_windows']} windows, {stats['n_segments']} "
+            f"segments, {stats['folded_retirements']} folded "
+            f"retirements, {total} breaks\n")
+    text += format_table(headers, body)
+    return rows, text
+
+
+def _ms(seconds) -> str:
+    return "n/a" if seconds is None else f"{seconds * 1e3:.3f}"
+
+
+def tenant_stats_table(stats: dict | None) -> tuple[list[dict], str]:
+    """Per-tenant-class serving summary as one row per class.
+
+    ``stats`` is a report's ``tenant_stats`` dict (class name ->
+    summary); percentile cells render ``n/a`` when a class retired no
+    requests.  Returned rows are the summaries with the class name
+    folded in, so programmatic checks need no separate key.
+    """
+    if not stats:
+        return [], "no tenant classes recorded"
+    rows = [{"tenant": name, **summary}
+            for name, summary in stats.items()]
+    headers = ["Tenant", "Requests", "Rejected", "Goodput tok/s",
+               "Mean TTFT ms", "p99 TTFT ms", "p99 e2e ms"]
+    body = [[r["tenant"], r["n_requests"], r["n_rejected"],
+             f"{r['goodput_tokens_per_s']:.3f}",
+             _ms(r["mean_ttft_s"]), _ms(r["p99_ttft_s"]),
+             _ms(r["p99_e2e_s"])] for r in rows]
+    return rows, format_table(headers, body)
 
 
 def table1_resources() -> tuple[list[dict], str]:

@@ -480,6 +480,111 @@ class TestStreamedCluster:
             == sorted(r.ttft_s for r in report.results)
 
 
+class TestSketchLevel:
+    """PR 8: ``telemetry="sketch"`` trades the exact latency sample for
+    a t-digest; every other observable stays bit-identical to full."""
+
+    KWARGS = dict(arrival_rate_rps=2000.0, seed=17, prompt_len=(3, 8),
+                  decode_len=(4, 24), shared_prefix_len=4)
+    N = 60
+
+    def _pair(self, kind="cycle", kv_mode="slotted"):
+        full = make_engine(kind, kv_mode).run(
+            synthetic_trace(TINY_MODEL, self.N, **self.KWARGS))
+        sketch = make_engine(kind, kv_mode).run(
+            iter_synthetic_trace(TINY_MODEL, self.N, **self.KWARGS),
+            telemetry="sketch")
+        return full, sketch
+
+    @pytest.mark.parametrize("kind", ("cycle", "analytical"))
+    def test_aggregates_and_ttft_exact(self, kind):
+        full, sketch = self._pair(kind=kind)
+        assert sketch.total_time_s == full.total_time_s
+        assert sketch.n_steps == full.n_steps
+        assert sketch.total_new_tokens == full.total_new_tokens
+        assert sketch.preemptions == full.preemptions
+        assert sketch.n_requests == full.n_requests
+        assert sketch.window_stats == full.window_stats
+        # TTFTs are per-request scalars, kept exact at every level.
+        for p in PERCENTILES:
+            assert sketch.ttft_percentile_s(p) == full.ttft_percentile_s(p)
+
+    def test_latency_percentiles_within_digest_bound(self):
+        full, sketch = self._pair()
+        ordered = sorted(s for r in full.results
+                         for s in r.decode_step_s)
+        digest = sketch.latency_digest()
+        assert digest.n == len(ordered)
+        assert sketch.latency_percentile_s(0.0) == ordered[0]
+        assert sketch.latency_percentile_s(100.0) == ordered[-1]
+        bound = digest.rank_error_bound
+        n = len(ordered)
+        for p in PERCENTILES[1:-1]:
+            value = sketch.latency_percentile_s(p)
+            below = sum(1 for s in ordered if s < value)
+            at_most = sum(1 for s in ordered if s <= value)
+            target = p / 100.0 * n
+            err = 0.0 if below - 1 <= target <= at_most + 1 \
+                else min(abs(below - 1 - target),
+                         abs(at_most + 1 - target)) / n
+            assert err <= bound, (p, value, err, bound)
+
+    def test_sample_accessors_gated(self):
+        _, sketch = self._pair()
+        with pytest.raises(SimulationError, match="latency_digest"):
+            sketch.latency_runs()
+        with pytest.raises(SimulationError):
+            sketch.results
+        summary = make_engine("cycle", "slotted").run(
+            iter_synthetic_trace(TINY_MODEL, 8, **self.KWARGS),
+            telemetry="summary")
+        with pytest.raises(SimulationError, match="latency_runs"):
+            summary.latency_digest()
+
+    def test_recorder_storage_by_level(self):
+        from repro.obs import ColumnarRecords
+
+        eng_win = make_engine("cycle", "slotted")
+        eng_win.run(iter_synthetic_trace(TINY_MODEL, 12, **self.KWARGS),
+                    telemetry="windows")
+        assert isinstance(eng_win._recorder.records, ColumnarRecords)
+        eng_full = make_engine("cycle", "slotted")
+        eng_full.run(synthetic_trace(TINY_MODEL, 12, **self.KWARGS))
+        assert isinstance(eng_full._recorder.records, list)
+
+    def test_cluster_merges_replica_digests(self):
+        def engines():
+            return [make_engine("cycle", "slotted") for _ in range(2)]
+
+        def factory():
+            return iter_synthetic_trace(TINY_MODEL, self.N,
+                                        **self.KWARGS)
+
+        eager = ReplicaRouter(engines()).run(
+            synthetic_trace(TINY_MODEL, self.N, **self.KWARGS))
+        sketch = ReplicaRouter(engines()).run(factory,
+                                              telemetry="sketch")
+        assert sketch.total_time_s == eager.total_time_s
+        assert sketch.n_steps == eager.n_steps
+        ordered = eager._sorted_decode_latencies()
+        digest = sketch.latency_digest()
+        assert digest.n == len(ordered)
+        assert sketch.latency_percentile_s(100.0) == ordered[-1]
+        bound = digest.rank_error_bound
+        for p in PERCENTILES[1:-1]:
+            value = sketch.latency_percentile_s(p)
+            below = sum(1 for s in ordered if s < value)
+            at_most = sum(1 for s in ordered if s <= value)
+            target = p / 100.0 * len(ordered)
+            err = 0.0 if below - 1 <= target <= at_most + 1 \
+                else min(abs(below - 1 - target),
+                         abs(at_most + 1 - target)) / len(ordered)
+            assert err <= bound, (p, value, err, bound)
+        with pytest.raises(SimulationError, match="latency_percentile_s"):
+            ReplicaRouter(engines()).run(
+                factory, telemetry="summary").latency_digest()
+
+
 class TestRunLengthPrimitives:
     @settings(deadline=None, max_examples=60)
     @given(st.lists(st.tuples(

@@ -383,8 +383,11 @@ class TestTenancyTiersAgree:
             got = make_engine("cycle", "slotted", tp=2, ff=ff).run(trace)
             assert_reports_identical(got, eager)
 
-    @pytest.mark.parametrize("telemetry", ("windows", "summary"))
+    @pytest.mark.parametrize("telemetry", ("windows", "summary",
+                                           "sketch"))
     def test_streamed_tenant_stats_match_full(self, telemetry):
+        """Tenant stats are per-request scalars, exact at every level —
+        including ``"sketch"``, which only sketches decode latencies."""
         kwargs = dict(arrival_rate_rps=5000.0, seed=9, prompt_len=(3, 8),
                       decode_len=(4, 20), tenant_mix=MIX)
         full = make_engine("cycle", "paged").run(
