@@ -266,6 +266,50 @@ def _tenant_mix(args):
     return list(zip(specs, shares))
 
 
+def _check_serve_destinations(args) -> None:
+    """Fail fast on unwritable ``--trace-out``/``--record`` targets.
+
+    A long simulation that dies at the final write is the worst
+    failure mode, so both destinations are probed before any work
+    starts and bad ones surface as a clear :class:`ReproError`.
+    """
+    import pathlib
+
+    if args.trace_out:
+        target = pathlib.Path(args.trace_out)
+        if target.is_dir():
+            raise ReproError(
+                f"--trace-out {args.trace_out!r} is a directory, "
+                "not a writable file path")
+        parent = target.parent
+        if not parent.is_dir():
+            raise ReproError(
+                f"--trace-out {args.trace_out!r}: directory "
+                f"{parent} does not exist")
+        probe = parent / f".{target.name}.writable"
+        try:
+            probe.touch()
+            probe.unlink()
+        except OSError as exc:
+            raise ReproError(
+                f"--trace-out {args.trace_out!r} is not writable "
+                f"({exc})") from None
+    if args.record:
+        from .obs import RunStore
+
+        store = RunStore(args.runs_dir)
+        store._label_path(args.record)  # validates the label shape
+        try:
+            store.root.mkdir(parents=True, exist_ok=True)
+            probe = store.root / ".writable"
+            probe.touch()
+            probe.unlink()
+        except OSError as exc:
+            raise ReproError(
+                f"--record {args.record!r}: run-store root "
+                f"{store.root} is not writable ({exc})") from None
+
+
 def cmd_serve_sim(args) -> int:
     from .engine import ContinuousBatchScheduler, iter_synthetic_trace
 
@@ -275,6 +319,11 @@ def cmd_serve_sim(args) -> int:
         raise ReproError(
             "--per-request needs per-request results; use "
             "--telemetry full or windows")
+    if args.chaos and args.replicas < 2:
+        raise ReproError(
+            "--chaos needs --replicas >= 2: fault tolerance means "
+            "surviving replicas pick up the killed work")
+    _check_serve_destinations(args)
     model = _model(args.model)
     platform = _platform(args.platform)
     quant = _quant(args)
@@ -316,7 +365,26 @@ def cmd_serve_sim(args) -> int:
     if args.replicas > 1:
         from .cluster import ReplicaRouter
 
-        router = ReplicaRouter(engines, policy=args.router)
+        chaos_kwargs: dict = {}
+        if args.chaos:
+            from .cluster import (DegradedModeConfig, FaultSchedule,
+                                  RetryPolicy)
+
+            # Fault times scale with the arrival span so the schedule
+            # lands while traffic is in flight at any request rate.
+            span = args.requests / args.arrival_rate
+            chaos_kwargs = dict(
+                faults=FaultSchedule.generate(
+                    args.replicas, horizon_s=span,
+                    seed=args.fault_seed, mean_gap_s=span / 2,
+                    downtime_s=(0.1 * span, 0.3 * span),
+                    hang_s=(0.05 * span, 0.15 * span),
+                    slow_s=(0.1 * span, 0.3 * span),
+                    warmup_s=0.05 * span),
+                retry=RetryPolicy(budget=args.retry_budget),
+                degraded=DegradedModeConfig())
+        router = ReplicaRouter(engines, policy=args.router,
+                               **chaos_kwargs)
         cluster_trace = list(trace_factory()) \
             if args.telemetry == "full" else trace_factory
         report = router.run(cluster_trace, telemetry=args.telemetry,
@@ -364,6 +432,26 @@ def cmd_serve_sim(args) -> int:
 
         _, text = replica_table(report)
         print("  " + text.replace("\n", "\n  "))
+    resilience = getattr(report, "resilience", None)
+    if resilience:
+        goodput = resilience.get("goodput_degraded_tokens_per_s")
+        print(f"  chaos          : seed {args.fault_seed} -> "
+              f"{resilience['n_crashes']} crashes, "
+              f"{resilience['n_hangs']} hangs, "
+              f"{resilience['n_slowdowns']} slowdowns")
+        print(f"    killed {resilience['n_killed']}, "
+              f"redispatched {resilience['n_redispatched']}, "
+              f"failed {resilience['n_failed']}, "
+              f"shed {resilience['n_shed']}, "
+              f"lost {resilience['n_lost']} "
+              f"(retry rounds {resilience['retry_rounds']})")
+        mttr = resilience["mttr_s"]
+        mttr_desc = "-" if mttr is None else f"{mttr * 1e3:.3f} ms"
+        tail = "" if goodput is None \
+            else f", degraded goodput {goodput:.3f} tok/s"
+        print(f"    mttr {mttr_desc}, "
+              f"downtime {resilience['downtime_s'] * 1e3:.3f} ms"
+              f"{tail}")
     if mix is not None:
         from .report.tables import tenant_stats_table
 
@@ -403,7 +491,8 @@ def cmd_serve_sim(args) -> int:
                     "max_batch": args.max_batch, "kv": args.kv,
                     "telemetry": args.telemetry, "tp": args.tp,
                     "replicas": args.replicas, "router": args.router,
-                    "seed": args.seed})
+                    "seed": args.seed, "chaos": args.chaos,
+                    "fault_seed": args.fault_seed})
         print(f"  run record     : {record.run_id} -> "
               f"{store.root / (args.record + '.jsonl')}")
     return 0
@@ -751,6 +840,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="default per-tenant KV quota in tokens for "
                         "--tenants entries without their own (0 = "
                         "unlimited)")
+    p.add_argument("--chaos", action="store_true",
+                   help="inject a seeded fault schedule (--replicas "
+                        ">= 2): replica crashes, hangs, and slowdowns; "
+                        "killed requests are re-dispatched to healthy "
+                        "replicas with capped exponential backoff and "
+                        "degraded-mode admission sheds best-effort "
+                        "traffic while capacity is down")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="fault-schedule seed; the same --fault-seed "
+                        "and --seed replay the run bit-identically")
+    p.add_argument("--retry-budget", type=int, default=3,
+                   help="re-dispatch attempts per killed request "
+                        "before it surfaces as failed")
     p.set_defaults(fn=cmd_serve_sim)
 
     p = sub.add_parser("bench-serve",

@@ -39,10 +39,23 @@ from .interconnect import (
     all_gather_cost,
     all_reduce_cost,
 )
+from .faults import (
+    ACTION_KINDS,
+    FAULT_KINDS,
+    DegradedModeConfig,
+    FaultAction,
+    FaultEvent,
+    FaultSchedule,
+    HealthTracker,
+    KilledRequest,
+    ReplicaFaultPlan,
+    RetryPolicy,
+)
 from .router import (
     POLICIES,
     ClusterServeReport,
     ReplicaRouter,
+    StreamedClusterReport,
     merge_reports,
 )
 from .sharding import (
@@ -69,20 +82,31 @@ from .tp import (
 )
 
 __all__ = [
+    "ACTION_KINDS",
     "AURORA_MESH",
     "ClusterServeReport",
     "CollectiveCost",
+    "DegradedModeConfig",
+    "FAULT_KINDS",
+    "FaultAction",
+    "FaultEvent",
+    "FaultSchedule",
     "FunctionalShard",
     "GIG_ETHERNET",
+    "HealthTracker",
     "INTERCONNECT_PRESETS",
+    "KilledRequest",
     "LinkSpec",
     "POLICIES",
     "PROJECTION_AXES",
+    "ReplicaFaultPlan",
     "ReplicaRouter",
+    "RetryPolicy",
     "ScalingPoint",
     "ShardedAnalyticalBackend",
     "ShardedCycleBackend",
     "ShardedFunctionalBackend",
+    "StreamedClusterReport",
     "TEN_GIG_ETHERNET",
     "TPCommModel",
     "all_gather_cost",

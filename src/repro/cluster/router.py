@@ -31,20 +31,22 @@ per-replica streamed reports merge without per-token lists.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Iterator
 
 import numpy as np
 
-from ..engine.request import Request
-from ..engine.scheduler import ContinuousBatchScheduler
+from ..engine.request import FinishReason, Request
+from ..engine.scheduler import ContinuousBatchScheduler, KilledRequest
 from ..engine.telemetry import (RequestResult, ServeReport,
-                                StreamedServeReport,
+                                StreamedServeReport, TenantStats,
                                 merge_tenant_accumulators,
                                 merge_window_stats, summarize_tenants,
                                 tenant_stats_from_results)
 from ..errors import SimulationError
 from ..stats import merge_sorted, percentile_of_runs, percentile_of_sorted
+from .faults import (DegradedModeConfig, FaultSchedule, HealthTracker,
+                     RetryPolicy)
 
 POLICIES = ("round_robin", "least_loaded", "prefix_affinity")
 
@@ -74,32 +76,58 @@ class _RoutingState:
     """
 
     def __init__(self, n_replicas: int, policy: str,
-                 affinity_window: int) -> None:
+                 affinity_window: int,
+                 health: HealthTracker | None = None) -> None:
         self.n_replicas = n_replicas
         self.policy = policy
         self.affinity_window = affinity_window
+        #: router's health view (fault runs only): requests route away
+        #: from replicas known-unhealthy at their arrival.  None keeps
+        #: the fault-free fast path byte-identical.
+        self.health = health
         self.rr_next = 0
         #: outstanding routed work per replica (prompt + decode budget
         #: tokens), maintained incrementally — never re-summed.
         self.loads = [0] * n_replicas
 
-    def _least_loaded(self) -> int:
-        return min(range(self.n_replicas),
-                   key=lambda i: (self.loads[i], i))
+    def _least_loaded(self,
+                      candidates: "tuple[int, ...] | None" = None) -> int:
+        pool = range(self.n_replicas) if candidates is None \
+            else candidates
+        return min(pool, key=lambda i: (self.loads[i], i))
 
     def route(self, request: Request) -> int:
+        healthy: tuple[int, ...] | None = None
+        if self.health is not None:
+            healthy = self.health.healthy_replicas(request.arrival_s)
+            if not healthy or len(healthy) == self.n_replicas:
+                # Nobody healthy routes like everybody healthy: the
+                # request lands somewhere, dies there, and comes back
+                # through the retry machinery.
+                healthy = None
         if self.policy == "round_robin":
             replica = self.rr_next
-            self.rr_next = (self.rr_next + 1) % self.n_replicas
+            if healthy is not None:
+                up = set(healthy)
+                for off in range(self.n_replicas):
+                    cand = (self.rr_next + off) % self.n_replicas
+                    if cand in up:
+                        replica = cand
+                        break
+            self.rr_next = (replica + 1) % self.n_replicas
         elif self.policy == "least_loaded":
-            replica = self._least_loaded()
+            replica = self._least_loaded(healthy)
         else:  # prefix_affinity
             if len(request.prompt) > 1:
                 replica = _affinity_key(request.prompt,
                                         self.affinity_window) \
                     % self.n_replicas
+                if healthy is not None and replica not in healthy:
+                    # The affinity target is down: land on the least
+                    # loaded survivor (its prefix cache warms there).
+                    replica = self._least_loaded(healthy)
             else:
-                replica = self._least_loaded()
+                replica = self._least_loaded(healthy)
         self.loads[replica] += len(request.prompt) \
             + request.max_new_tokens
         return replica
@@ -118,6 +146,10 @@ class ClusterServeReport(ServeReport):
     replica_reports: list[ServeReport] = field(default_factory=list)
     #: request_id -> replica index, as routed.
     assignments: dict[int, int] = field(default_factory=dict)
+    #: resilience metrics of a fault-injected run (kills, retries,
+    #: failures, shedding, MTTR, goodput during recovery); None on a
+    #: fault-free run.
+    resilience: dict | None = None
 
     @property
     def n_replicas(self) -> int:
@@ -166,11 +198,20 @@ class StreamedClusterReport:
     """
 
     def __init__(self, reports: list[StreamedServeReport],
-                 assignments: dict[int, int] | None = None) -> None:
+                 assignments: dict[int, int] | None = None,
+                 extra_results: list[RequestResult] | None = None,
+                 resilience: dict | None = None) -> None:
         if not reports:
             raise SimulationError("no replica reports to merge")
         self.replica_reports = reports
         self.assignments = dict(assignments or {})
+        #: router-synthesized results no replica ever saw: requests
+        #: shed by degraded-mode admission (REJECTED) and requests that
+        #: exhausted their retry budget (FAILED).  Zero tokens and no
+        #: TTFT either way, so only counts and result listings change.
+        self.extra_results = list(extra_results or [])
+        #: resilience metrics of a fault-injected run; None otherwise.
+        self.resilience = resilience
         self.telemetry = reports[0].telemetry
         self.total_time_s = max(r.total_time_s for r in reports)
         self.n_steps = sum(r.n_steps for r in reports)
@@ -182,10 +223,16 @@ class StreamedClusterReport:
         #: per-class stats merge additively: accumulators concatenate
         #: across replicas, then summarize against the cluster makespan
         #: (so per-class goodput is genuine cluster goodput).
-        self.tenant_stats = summarize_tenants(
-            merge_tenant_accumulators(
-                [r.tenant_accumulators() for r in reports]),
-            self.total_time_s)
+        accs = merge_tenant_accumulators(
+            [r.tenant_accumulators() for r in reports])
+        for res in self.extra_results:
+            acc = accs.setdefault(res.tenant_class, TenantStats())
+            acc.n_requests += 1
+            if res.finish_reason is FinishReason.REJECTED:
+                acc.n_rejected += 1
+            else:
+                acc.n_failed += 1
+        self.tenant_stats = summarize_tenants(accs, self.total_time_s)
         self._lat_runs: tuple[np.ndarray, np.ndarray] | None = None
         self._lat_digest = None
         self._ttft_sorted: list[float] | None = None
@@ -200,7 +247,8 @@ class StreamedClusterReport:
 
     @property
     def n_requests(self) -> int:
-        return sum(r.n_requests for r in self.replica_reports)
+        return sum(r.n_requests for r in self.replica_reports) \
+            + len(self.extra_results)
 
     @property
     def total_new_tokens(self) -> int:
@@ -279,17 +327,23 @@ class StreamedClusterReport:
     def results(self) -> list[RequestResult]:
         if self._results is None:
             self._results = sorted(
-                (res for r in self.replica_reports for res in r.results),
+                [res for r in self.replica_reports for res in r.results]
+                + self.extra_results,
                 key=lambda res: res.request_id)
         return self._results
 
 
 def merge_reports(reports: list[ServeReport],
-                  assignments: dict[int, int]) -> ClusterServeReport:
-    """Fold per-replica reports into one cluster report."""
+                  assignments: dict[int, int],
+                  extra_results: list[RequestResult] | None = None,
+                  resilience: dict | None = None) -> ClusterServeReport:
+    """Fold per-replica reports into one cluster report.
+    ``extra_results`` carries router-synthesized verdicts (degraded-mode
+    sheds, retry-budget failures) that no replica ever served."""
     if not reports:
         raise SimulationError("no replica reports to merge")
-    results = sorted((res for r in reports for res in r.results),
+    results = sorted([res for r in reports for res in r.results]
+                     + list(extra_results or []),
                      key=lambda res: res.request_id)
     total_time_s = max(r.total_time_s for r in reports)
     return ClusterServeReport(
@@ -304,6 +358,7 @@ def merge_reports(reports: list[ServeReport],
         tenant_stats=tenant_stats_from_results(results, total_time_s),
         replica_reports=list(reports),
         assignments=dict(assignments),
+        resilience=resilience,
     )
 
 
@@ -312,7 +367,11 @@ class ReplicaRouter:
 
     def __init__(self, engines: list[ContinuousBatchScheduler],
                  policy: str = "round_robin",
-                 affinity_window: int = 16) -> None:
+                 affinity_window: int = 16,
+                 faults: FaultSchedule | None = None,
+                 retry: RetryPolicy | None = None,
+                 degraded: DegradedModeConfig | None = None,
+                 detection_delay_s: float = 0.0005) -> None:
         # ``affinity_window``: leading tokens hashed by prefix_affinity.
         # Keep it at or below the shared system-prompt length (the
         # default matches the default KV block size) — a wider window
@@ -330,6 +389,16 @@ class ReplicaRouter:
         self.engines = engines
         self.policy = policy
         self.affinity_window = affinity_window
+        #: fault injection: a schedule switches :meth:`run` onto the
+        #: resilient path — health-aware routing, crash re-dispatch
+        #: with capped-backoff retries, degraded-mode shedding.  None
+        #: keeps the fault-free path untouched.
+        self.faults = faults
+        self.retry = retry or RetryPolicy()
+        self.degraded = degraded
+        self._health = HealthTracker(faults, len(engines),
+                                     detection_delay_s) \
+            if faults is not None else None
         self._routing = _RoutingState(len(engines), policy,
                                       affinity_window)
         self.assignments: dict[int, int] = {}
@@ -410,7 +479,14 @@ class ReplicaRouter:
         records ``assignments`` and the load ledger (per-request detail
         is being kept anyway); the streaming levels skip that O(trace)
         map by design.
+
+        With a :class:`FaultSchedule` installed the run goes through
+        the resilient path instead (see :meth:`_run_with_faults`) —
+        the trace is materialized there, since crash re-dispatch needs
+        the whole arrival sequence to converge on a retry plan.
         """
+        if self.faults is not None:
+            return self._run_with_faults(requests, telemetry, max_steps)
         self._routing = _RoutingState(self.n_replicas, self.policy,
                                       self.affinity_window)
         self.assignments = {}
@@ -432,3 +508,197 @@ class ReplicaRouter:
         if telemetry != "full":
             return StreamedClusterReport(reports, self.assignments)
         return merge_reports(reports, self.assignments)
+
+    # -- fault-tolerant serving ---------------------------------------------
+
+    def _route_retry(self, rid: int, attempt: int, arrival_s: float,
+                     died_on: int) -> int:
+        """Deterministic retry target: a healthy survivor (never the
+        replica the attempt just died on, unless it is the only
+        replica), rotated by ``rid + attempt`` so retry storms spread
+        instead of piling onto one survivor."""
+        assert self._health is not None
+        candidates = [r for r in self._health.healthy_replicas(arrival_s)
+                      if r != died_on]
+        if not candidates:
+            candidates = [r for r in range(self.n_replicas)
+                          if r != died_on] or [died_on]
+        return candidates[(rid + attempt) % len(candidates)]
+
+    def _retry_plan(
+            self, kills: "list[tuple[KilledRequest, ...]]",
+    ) -> tuple:
+        """The re-dispatch plan implied by one round's kills: for each
+        killed request, its kill chain in time order maps to retry
+        dispatches (attempt ``j`` re-arrives ``delay_s(j)`` after kill
+        ``j-1``) until the budget is spent, then a terminal failure.
+        Pure function of the kills, so the fixed-point iteration
+        converges exactly when a round's kills reproduce its inputs."""
+        by_rid: dict[int, list] = {}
+        for replica, replica_kills in enumerate(kills):
+            for k in replica_kills:
+                by_rid.setdefault(k.request.request_id, []).append(
+                    (k.kill_s, replica))
+        entries = []
+        for rid in sorted(by_rid):
+            chain = sorted(by_rid[rid])
+            for j, (kill_s, died_on) in enumerate(chain):
+                attempt = j + 1
+                if attempt > self.retry.budget:
+                    entries.append((rid, attempt, "failed", kill_s, -1))
+                    break
+                arrival = kill_s + self.retry.delay_s(attempt)
+                entries.append((rid, attempt, "retry", arrival,
+                                self._route_retry(rid, attempt, arrival,
+                                                  died_on)))
+        return tuple(entries)
+
+    def _run_with_faults(self, requests: TraceLike, telemetry: str,
+                         max_steps: int
+                         ) -> ClusterServeReport | StreamedClusterReport:
+        """Serve a trace through the fault schedule: shed, route
+        health-aware, then iterate crash re-dispatch to a fixed point.
+
+        Each round replays every replica from scratch with the current
+        retry dispatches added to its share; the kills observed imply
+        the next round's dispatches.  The plan converges when a round's
+        kills reproduce exactly the dispatches it ran with — the
+        simulated-time analogue of a real router reacting to failures
+        as they happen, kept deterministic (and tier-independent)
+        because every kill time is a pure function of fault + request.
+        """
+        tracker = self._health
+        assert tracker is not None
+        trace = sorted(requests() if callable(requests) else requests,
+                       key=lambda r: r.arrival_s)
+        # Degraded-mode admission: while crashes reduce healthy
+        # capacity, low classes are shed cluster-wide *before* routing
+        # (the verdict is a pure function of arrival time and class, so
+        # it consumes no routing state).
+        shed_results: list[RequestResult] = []
+        admitted: list[Request] = []
+        for request in trace:
+            if self.degraded is not None and request.tenant.priority \
+                    in self.degraded.shed_classes(
+                        tracker.healthy_fraction(request.arrival_s)):
+                shed_results.append(RequestResult(
+                    request_id=request.request_id, tokens=(),
+                    prompt_len=len(request.prompt), ttft_s=None,
+                    e2e_s=0.0, finish_reason=FinishReason.REJECTED,
+                    preemptions=0, decode_step_s=(),
+                    tenant_class=request.tenant.priority))
+            else:
+                admitted.append(request)
+        self._routing = _RoutingState(self.n_replicas, self.policy,
+                                      self.affinity_window,
+                                      health=tracker)
+        self.assignments = {}
+        base_shares: list[list[Request]] = \
+            [[] for _ in range(self.n_replicas)]
+        for request in admitted:
+            base_shares[self.route(request)].append(request)
+        plans = [self.faults.plan_for(idx)
+                 for idx in range(self.n_replicas)]
+        dspans = tracker.degraded_spans()
+        originals = {r.request_id: r for r in admitted}
+
+        prev_plan: tuple = ()
+        retries: dict[tuple[int, int], tuple[int, Request]] = {}
+        failed: dict[int, float] = {}
+        reports: list = []
+        kills: list[tuple[KilledRequest, ...]] = []
+        rounds = 0
+        max_rounds = self.retry.budget + 6
+        while True:
+            rounds += 1
+            if rounds > max_rounds:
+                raise SimulationError(
+                    f"crash re-dispatch did not converge within "
+                    f"{max_rounds} rounds — the retry plan keeps "
+                    "perturbing which requests later faults kill")
+            reports, kills = [], []
+            for idx, engine in enumerate(self.engines):
+                engine.fault_plan = plans[idx]
+                engine.degraded_spans = dspans
+                if engine.flight is not None:
+                    # Recorders would otherwise accumulate every
+                    # round's events; only the converged round's
+                    # timeline is the run.
+                    engine.flight.reset()
+                share = base_shares[idx] + [
+                    req for (_, _), (target, req)
+                    in sorted(retries.items()) if target == idx]
+                reports.append(engine.run(share, telemetry=telemetry,
+                                          max_steps=max_steps))
+                kills.append(tuple(engine.killed))
+            plan = self._retry_plan(kills)
+            if plan == prev_plan:
+                break
+            prev_plan = plan
+            retries, failed = {}, {}
+            for rid, attempt, verdict, t_s, target in plan:
+                if verdict == "failed":
+                    failed[rid] = t_s
+                else:
+                    retries[(rid, attempt)] = (target, replace(
+                        originals[rid], arrival_s=t_s))
+
+        stats = [engine.fault_stats() for engine in self.engines]
+        for engine in self.engines:
+            engine.fault_plan = None
+            engine.degraded_spans = ()
+        for (rid, attempt), (target, req) in sorted(retries.items()):
+            flight = self.engines[target].flight
+            if flight is not None:
+                flight.instant("redispatch", req.arrival_s, rid,
+                               attempt=attempt)
+        # A request past its budget surfaces as FAILED at its final
+        # kill — never a silent loss.  E2E runs from the *original*
+        # arrival: the client has been waiting since then.
+        failed_results = [
+            RequestResult(
+                request_id=rid, tokens=(),
+                prompt_len=len(originals[rid].prompt), ttft_s=None,
+                e2e_s=kill_s - originals[rid].arrival_s,
+                finish_reason=FinishReason.FAILED, preemptions=0,
+                decode_step_s=(),
+                tenant_class=originals[rid].tenant.priority)
+            for rid, kill_s in sorted(failed.items())]
+        extras = sorted(shed_results + failed_results,
+                        key=lambda r: r.request_id)
+
+        retired_ids: set[int] = set()
+        for rep in reports:
+            if telemetry == "full":
+                retired_ids.update(r.request_id for r in rep.results)
+            else:
+                retired_ids.update(rep.ttft_columns()[0].tolist())
+        lost = {r.request_id for r in admitted} \
+            - retired_ids - set(failed)
+        degraded_time = tracker.degraded_time_s()
+        degraded_tokens = sum(s["degraded_tokens"] for s in stats)
+        resilience = {
+            "n_crashes": sum(s["crashes"] for s in stats),
+            "n_hangs": sum(s["stalls"] for s in stats),
+            "n_slowdowns": sum(s["slowdowns"] for s in stats),
+            "n_killed": sum(len(k) for k in kills),
+            "n_redispatched": len(retries),
+            "n_failed": len(failed),
+            "n_shed": len(shed_results),
+            "n_lost": len(lost),
+            "lost_request_ids": tuple(sorted(lost)),
+            "retry_rounds": rounds,
+            "mttr_s": tracker.mttr_s(),
+            "downtime_s": sum(s["downtime_s"] for s in stats),
+            "degraded_time_s": degraded_time,
+            "goodput_degraded_tokens_per_s":
+                degraded_tokens / degraded_time
+                if degraded_time > 0 else None,
+        }
+        if telemetry != "full":
+            return StreamedClusterReport(reports, self.assignments,
+                                         extra_results=extras,
+                                         resilience=resilience)
+        return merge_reports(reports, self.assignments,
+                             extra_results=extras,
+                             resilience=resilience)

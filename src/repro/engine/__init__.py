@@ -41,7 +41,7 @@ from .backends import (
     kv_discipline_kwargs,
 )
 from .request import FinishReason, Request, RequestState, RequestStatus
-from .scheduler import ContinuousBatchScheduler
+from .scheduler import ContinuousBatchScheduler, KilledRequest
 from .telemetry import (
     TELEMETRY_LEVELS,
     WINDOW_BREAK_REASONS,
@@ -67,6 +67,7 @@ __all__ = [
     "EngineBackend",
     "FinishReason",
     "FunctionalBackend",
+    "KilledRequest",
     "PRIORITY_CLASSES",
     "Request",
     "RequestResult",

@@ -47,6 +47,11 @@ class FinishReason(enum.Enum):
     #: rejected request still produces a :class:`RequestResult`, so a
     #: streamed run drains and reports instead of aborting mid-trace.
     REJECTED = "rejected"
+    #: lost to replica faults after exhausting its retry budget — the
+    #: router surfaces the loss as a result (zero tokens, no TTFT)
+    #: instead of silently dropping the request.  Appended last so the
+    #: columnar small-int reason codes of earlier members stay stable.
+    FAILED = "failed"
 
 
 @dataclass(frozen=True)

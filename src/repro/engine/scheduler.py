@@ -28,8 +28,10 @@ Two capacity disciplines, chosen by the backend's KV mode:
 
 from __future__ import annotations
 
+import bisect
 from collections import deque
 from collections.abc import Iterator
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
@@ -53,6 +55,24 @@ if TYPE_CHECKING:  # avoids the runtime<->engine package-import cycle
 
 #: rank of the lowest (droppable) priority class.
 _LOWEST_RANK = len(PRIORITY_CLASSES) - 1
+
+
+@dataclass(frozen=True)
+class KilledRequest:
+    """One request instance lost to an injected replica crash.
+
+    ``phase`` records where the fault caught it: ``"running"`` (in the
+    batch — KV and generated tokens lost), ``"queued"`` (waiting), or
+    ``"arrival"`` (arrived during the outage, nobody listening).  Kill
+    times are pure functions of the fault and the request, never of
+    the discovering tier's clock, so fault replay stays bit-identical
+    across scheduler tiers.
+    """
+
+    request: Request
+    kill_s: float
+    phase: str
+    tokens_lost: int = 0
 
 
 class _ClassQueues:
@@ -105,6 +125,22 @@ class _ClassQueues:
                 if best is None or arrival < best:
                     best = arrival
         return best
+
+    def remove_if(self, predicate) -> list[RequestState]:
+        """Remove and return every member matching ``predicate``,
+        preserving per-class arrival order (the crash kill path)."""
+        removed: list[RequestState] = []
+        for q in self.queues:
+            if not q:
+                continue
+            doomed = [s for s in q if predicate(s)]
+            if doomed:
+                kept = [s for s in q if not predicate(s)]
+                q.clear()
+                q.extend(kept)
+                removed.extend(doomed)
+        self._n -= len(removed)
+        return removed
 
     def next_future_arrival(self, clock_s: float) -> float | None:
         """Earliest class-head arrival strictly after ``clock_s``.
@@ -219,6 +255,32 @@ class ContinuousBatchScheduler:
         #: of higher classes is dropped (REJECTED) instead of requeued,
         #: so it cannot thrash the pool while interactive traffic waits.
         self.best_effort_eviction_limit = 3
+        #: deterministic fault plan for this replica — any object with
+        #: a sorted ``actions`` tuple of ``(kind, start_s, duration_s,
+        #: factor)`` entries (see :class:`repro.cluster.faults.
+        #: ReplicaFaultPlan`), typically set by the router before
+        #: :meth:`run`.  None = fault-free; the hot path then pays one
+        #: falsy check per loop iteration.
+        self.fault_plan = None
+        #: cluster-wide capacity-reduced intervals (sorted, disjoint)
+        #: for goodput-during-recovery accounting — set by the router
+        #: alongside the plan.
+        self.degraded_spans: tuple[tuple[float, float], ...] = ()
+        #: requests lost to crashes in the current/last run
+        #: (:class:`KilledRequest`, in kill order) — what the router
+        #: re-dispatches to surviving replicas or fails.
+        self.killed: list[KilledRequest] = []
+        self._fault_actions: tuple = ()
+        self._fault_next = 0
+        self._slow_factor = 1.0
+        self._slow_until: float | None = None
+        self._down_start = 0.0
+        self._down_until: float | None = None
+        self._fault_counts = {"crash": 0, "stall": 0, "slow": 0}
+        self._downtime_s = 0.0
+        self._degraded_tokens = 0
+        self._degraded_starts: list[float] = []
+        self._degraded_ends: list[float] = []
 
     @property
     def events(self) -> list[StepEvent]:
@@ -379,6 +441,120 @@ class ContinuousBatchScheduler:
     def _advance(self, cycles: float) -> None:
         self.clock_s += cycles / self.backend.freq_hz
 
+    # -- fault injection ----------------------------------------------------
+    #
+    # Faults are serviced only at decision points (run-loop top and the
+    # idle-jump clamp in step()), never mid-window: the window machinery
+    # instead *cuts* at the next fault boundary with the same
+    # ``searchsorted`` discipline as arrival cuts, so all fast-forward
+    # tiers observe every fault at the identical clock and stay
+    # bit-identical to the eager loop.
+
+    def _fault_boundary(self) -> float | None:
+        """Next simulated time a fault changes scheduler behaviour: the
+        start of the next unserviced action, or the expiry of an active
+        slowdown (cycles charged after it must stop being scaled)."""
+        nxt = self._slow_until
+        if self._fault_next < len(self._fault_actions):
+            start = self._fault_actions[self._fault_next].start_s
+            if nxt is None or start < nxt:
+                nxt = start
+        return nxt
+
+    def _service_faults(self) -> None:
+        """Apply every fault action due at the current clock."""
+        while True:
+            if self._slow_until is not None \
+                    and self.clock_s >= self._slow_until:
+                self._slow_factor, self._slow_until = 1.0, None
+            if self._fault_next >= len(self._fault_actions):
+                return
+            action = self._fault_actions[self._fault_next]
+            if self.clock_s < action.start_s:
+                return
+            self._fault_next += 1
+            if action.kind == "crash":
+                self._apply_crash(action)
+            elif action.kind == "stall":
+                # A hang freezes the replica: nothing is scheduled
+                # until it ends, modelled as a clock jump at this
+                # decision point.
+                self._fault_counts["stall"] += 1
+                self._downtime_s += action.duration_s
+                end = action.start_s + action.duration_s
+                if self.flight is not None:
+                    self.flight.marker("hang", action.start_s,
+                                       stall_s=action.duration_s)
+                if end > self.clock_s:
+                    self.clock_s = end
+            else:  # "slow"
+                self._fault_counts["slow"] += 1
+                self._slow_factor = action.factor
+                self._slow_until = action.start_s + action.duration_s
+                if self.flight is not None:
+                    self.flight.marker("slowdown", action.start_s,
+                                       factor=action.factor,
+                                       slow_s=action.duration_s)
+
+    def _apply_crash(self, action) -> None:
+        """Kill the replica for ``[start, start + duration)``: running
+        work loses its KV and tokens, queued work and arrivals during
+        the outage find nobody listening.  Every kill time is a pure
+        function of the fault and the request — ``max(start,
+        arrival)`` — never of the discovering tier's clock, so the
+        router's re-dispatch plan is tier-independent."""
+        self._fault_counts["crash"] += 1
+        self._downtime_s += action.duration_s
+        down_until = action.start_s + action.duration_s
+        self._down_start = action.start_s
+        self._down_until = down_until
+        if self.flight is not None:
+            self.flight.marker("crash", action.start_s,
+                               down_s=action.duration_s)
+            self.flight.marker("recover", down_until)
+        for state in self.running:
+            self.backend.release(state)
+            self._cached_total -= state.position
+            if self._quota_specs:
+                self._uncache_tenant(state)
+            self._log_kill(state.request, action.start_s, "running",
+                           len(state.generated))
+        self.running.clear()
+        for state in self.waiting.remove_if(
+                lambda s: s.request.arrival_s < down_until):
+            self._log_kill(state.request,
+                           max(action.start_s, state.request.arrival_s),
+                           "queued", len(state.generated))
+        head = self._stream_head
+        if head is not None and head.arrival_s < down_until:
+            self._stream_head = None
+            self._log_kill(head, max(action.start_s, head.arrival_s),
+                           "arrival", 0)
+        # The clock stays put: the replica itself resumes scheduling
+        # surviving arrivals the moment the outage ends (the idle jump
+        # lands on the first post-outage arrival).
+
+    def _log_kill(self, request: Request, kill_s: float, phase: str,
+                  tokens_lost: int) -> None:
+        if self.flight is not None:
+            rid = request.request_id
+            self.flight.instant("crash-kill", kill_s, rid, phase=phase,
+                                tokens_lost=tokens_lost)
+            self.flight.request_phase(rid, None, kill_s)
+        self.killed.append(
+            KilledRequest(request, kill_s, phase, tokens_lost))
+
+    def fault_stats(self) -> dict[str, float]:
+        """Per-replica fault tally of the current/last run."""
+        return {
+            "crashes": self._fault_counts["crash"],
+            "stalls": self._fault_counts["stall"],
+            "slowdowns": self._fault_counts["slow"],
+            "n_killed": len(self.killed),
+            "downtime_s": self._downtime_s,
+            "degraded_tokens": self._degraded_tokens,
+        }
+
     def _note_sampled(self, state: RequestState, token: int) -> None:
         """Record a sampled token; retire on EOS or when the budget is hit
         with nothing left to forward."""
@@ -395,6 +571,13 @@ class ContinuousBatchScheduler:
         state.status = RequestStatus.FINISHED
         state.finish_reason = reason
         self._n_finished += 1
+        if self._degraded_ends and state.generated:
+            # Goodput-during-recovery: tokens of work retired while the
+            # cluster ran at reduced capacity.
+            t = state.finish_s
+            i = bisect.bisect_right(self._degraded_starts, t) - 1
+            if i >= 0 and t < self._degraded_ends[i]:
+                self._degraded_tokens += len(state.generated)
         if self.flight is not None:
             rid = state.request_id
             self.flight.request_phase(rid, None, state.finish_s)
@@ -608,6 +791,11 @@ class ContinuousBatchScheduler:
                 self.flight.request_phase(state.request_id, "prefill",
                                           self.clock_s)
             cycles = self.backend.prefill(state)
+            if self._slow_factor != 1.0:
+                # Slowdown faults scale cycles, not time: the identical
+                # IEEE multiply is applied per element by the windowed
+                # tiers, keeping clocks bit-identical.
+                cycles = cycles * self._slow_factor
             state.prefill_cycles += cycles
             self._advance(cycles)
             state.status = RequestStatus.RUNNING
@@ -742,6 +930,11 @@ class ContinuousBatchScheduler:
         cycles = np.asarray(
             self.backend.fast_forward_cycles(pending, limit),
             dtype=np.float64)
+        if self._slow_factor != 1.0:
+            # Elementwise copy (never in place — the backend may memo
+            # the unscaled array): the same IEEE multiply the eager
+            # loop applies per step.
+            cycles = cycles * self._slow_factor
         deltas = cycles / self.backend.freq_hz
         # Sequential prefix fold seeded with the current clock — the
         # identical IEEE adds as stepping ``clock += cycles / freq``.
@@ -759,6 +952,17 @@ class ContinuousBatchScheduler:
                                           next_arrival, side="left"))
                 if cut < applied:
                     applied, reason = cut, "arrival"
+        if self._fault_actions:
+            boundary = self._fault_boundary()
+            if boundary is not None:
+                # Same cut discipline as arrivals: steps whose
+                # *pre-step* clock has reached the boundary belong to
+                # the post-fault regime and must run through the eager
+                # loop after the fault is serviced.
+                cut = int(np.searchsorted(clocks[:limit],
+                                          boundary, side="left"))
+                if cut < applied:
+                    applied, reason = cut, "fault"
         if applied <= 0:
             # Zero-step arrival cut: no window advanced, so nothing to
             # account — the eager step takes over immediately.
@@ -824,6 +1028,17 @@ class ContinuousBatchScheduler:
             # stream head must be re-read exactly where the eager loop
             # would next check them.
             self._refill()
+            if self._fault_actions:
+                fault_boundary = self._fault_boundary()
+                if fault_boundary is not None \
+                        and self.clock_s >= fault_boundary:
+                    # A folded segment's final step crossed the fault
+                    # boundary (cut == n_seg): stop the window so the
+                    # run loop services the fault before any new
+                    # segment.  Never binds on the first iteration —
+                    # loop-top servicing guarantees clock < boundary.
+                    break_reason = "fault"
+                    break
             pending = list(self.running)
             if not pending:
                 break  # every member retired inside the window
@@ -920,6 +1135,8 @@ class ContinuousBatchScheduler:
             seg_cycles = np.asarray(
                 self.backend.fast_forward_cycles(pending, n_seg),
                 dtype=np.float64)
+            if self._slow_factor != 1.0:
+                seg_cycles = seg_cycles * self._slow_factor
             seg_deltas = seg_cycles / freq
             # Sequential prefix fold seeded with the running clock — the
             # same IEEE adds as stepping ``clock += cycles / freq``,
@@ -936,6 +1153,14 @@ class ContinuousBatchScheduler:
                                               next_arrival, side="left"))
                     if cut < applied:
                         applied, break_reason = cut, "arrival"
+            if self._fault_actions:
+                fault_boundary = self._fault_boundary()
+                if fault_boundary is not None:
+                    cut = int(np.searchsorted(clocks[:n_seg],
+                                              fault_boundary,
+                                              side="left"))
+                    if cut < applied:
+                        applied, break_reason = cut, "fault"
             if applied <= 0:
                 # First possible step already crosses the arrival.  A
                 # window that never advanced is note-free: no steps
@@ -1015,6 +1240,16 @@ class ContinuousBatchScheduler:
                 next_arrival = min(s.request.arrival_s
                                    for s in self.waiting)
             if next_arrival > self.clock_s:
+                if self._fault_actions:
+                    # Never jump past a fault: land on its boundary,
+                    # service it (run-loop top), then resume.  The
+                    # zero-work step this produces is identical in all
+                    # tiers, since windowed paths fall through to
+                    # step() when nothing is running.
+                    boundary = self._fault_boundary()
+                    if boundary is not None \
+                            and self.clock_s < boundary < next_arrival:
+                        next_arrival = boundary
                 self.clock_s = next_arrival
         step_start_s = self.clock_s
 
@@ -1059,6 +1294,8 @@ class ContinuousBatchScheduler:
         cycles = 0.0
         if pending:
             cycles = self.backend.decode_batch(pending)
+            if self._slow_factor != 1.0:
+                cycles = cycles * self._slow_factor
             self._cached_total += len(pending)
             if self._quota_specs:
                 self._grow_tenants(pending, 1)
@@ -1110,9 +1347,20 @@ class ContinuousBatchScheduler:
                         f"{self._last_stream_arrival:.6f}s")
                 self._last_stream_arrival = head.arrival_s
                 self._stream_head = head
-            if self.waiting and self._stream_head.arrival_s > self.clock_s:
-                return
             head = self._stream_head
+            if self._down_until is not None:
+                # Replica outage: arrivals during the downtime find
+                # nobody listening.  Kill them here so the stream keeps
+                # draining; the first survivor clears the outage.
+                if head.arrival_s < self._down_until:
+                    self._stream_head = None
+                    self._log_kill(
+                        head, max(head.arrival_s, self._down_start),
+                        "arrival", 0)
+                    continue
+                self._down_until = None
+            if self.waiting and head.arrival_s > self.clock_s:
+                return
             self._stream_head = None
             try:
                 self.submit(head)
@@ -1159,6 +1407,20 @@ class ContinuousBatchScheduler:
         # direct submit() calls carries no such guarantee.
         self._arrival_sorted = not self.waiting
         self._tenant_cached = {name: 0 for name in self._quota_specs}
+        self.killed = []
+        self._fault_actions = tuple(self.fault_plan.actions) \
+            if self.fault_plan is not None else ()
+        self._fault_next = 0
+        self._slow_factor = 1.0
+        self._slow_until = None
+        self._down_start = 0.0
+        self._down_until = None
+        self._fault_counts = {"crash": 0, "stall": 0, "slow": 0}
+        self._downtime_s = 0.0
+        self._degraded_tokens = 0
+        spans = sorted(self.degraded_spans)
+        self._degraded_starts = [s for s, _ in spans]
+        self._degraded_ends = [e for _, e in spans]
         if requests is not None:
             if isinstance(requests, Iterator):
                 self._stream = requests
@@ -1174,6 +1436,15 @@ class ContinuousBatchScheduler:
         multi = self.fast_forward == "multi"
         steps = 0
         while self.waiting or self.running or self._stream is not None:
+            if self._fault_actions:
+                self._service_faults()
+                # A crash may have emptied the engine (and _refill may
+                # need to skip killed stream arrivals before the next
+                # survivor shows up).
+                self._refill()
+                if not (self.waiting or self.running
+                        or self._stream is not None):
+                    break
             if multi:
                 applied = self._fast_forward_multi()
             elif self.fast_forward:

@@ -53,10 +53,13 @@ _RECORDING_LEVELS = ("full", "windows")
 #: Why a fast-forward window ended (or could not start).  Fixed key set
 #: so histograms from different runs/replicas merge by plain addition.
 #: ``"quota"`` marks windows capped where a tenant's KV quota could
-#: force a preemption decision the window must not fold over.
+#: force a preemption decision the window must not fold over;
+#: ``"fault"`` marks windows cut at an injected fault boundary (crash /
+#: hang / slowdown transition) so fast-forward never folds over a
+#: scheduler state change a fault would have caused mid-window.
 WINDOW_BREAK_REASONS = ("admission", "arrival", "retirement-unpredicted",
                         "preemption-risk", "block-frontier", "eos",
-                        "quota")
+                        "quota", "fault")
 
 #: FinishReason <-> small-int codes for the columnar result store.
 _REASON_LIST = list(FinishReason)
@@ -197,9 +200,12 @@ class TenantStats:
     Counts are plain integers; the TTFT and end-to-end latency samples
     are per-request columns (one value each, so run-length encoding
     buys nothing here).  Rejected requests count toward ``n_rejected``
-    only — their tokens and timings never enter the goodput or the
-    latency samples.  Requests that finished without producing a first
-    token contribute e2e but no TTFT.
+    only, and requests lost to faults past their retry budget toward
+    ``n_failed`` only — their tokens and timings never enter the
+    goodput or the latency samples (a FAILED request's wasted service
+    shows up in throughput, not as a fake latency sample).  Requests
+    that finished without producing a first token contribute e2e but no
+    TTFT.
 
     Accumulators from different runs or replicas merge by column
     concatenation (:func:`merge_tenant_accumulators`); every summary
@@ -208,12 +214,13 @@ class TenantStats:
     and merge orders.
     """
 
-    __slots__ = ("n_requests", "n_rejected", "new_tokens", "ttfts",
-                 "e2es")
+    __slots__ = ("n_requests", "n_rejected", "n_failed", "new_tokens",
+                 "ttfts", "e2es")
 
     def __init__(self) -> None:
         self.n_requests = 0
         self.n_rejected = 0
+        self.n_failed = 0
         self.new_tokens = 0
         self.ttfts = array("d")
         self.e2es = array("d")
@@ -223,6 +230,9 @@ class TenantStats:
         if state.finish_reason is FinishReason.REJECTED:
             self.n_rejected += 1
             return
+        if state.finish_reason is FinishReason.FAILED:
+            self.n_failed += 1
+            return
         self.new_tokens += len(state.generated)
         if state.first_token_s is not None:
             self.ttfts.append(state.ttft_s)
@@ -231,6 +241,7 @@ class TenantStats:
     def absorb(self, other: "TenantStats") -> None:
         self.n_requests += other.n_requests
         self.n_rejected += other.n_rejected
+        self.n_failed += other.n_failed
         self.new_tokens += other.new_tokens
         self.ttfts.extend(other.ttfts)
         self.e2es.extend(other.e2es)
@@ -243,6 +254,7 @@ class TenantStats:
         out = {
             "n_requests": self.n_requests,
             "n_rejected": self.n_rejected,
+            "n_failed": self.n_failed,
             "new_tokens": self.new_tokens,
             "goodput_tokens_per_s": self.new_tokens / total_time_s
             if total_time_s > 0 else 0.0,
@@ -284,6 +296,9 @@ def tenant_stats_from_results(results: "list[RequestResult]",
         acc.n_requests += 1
         if r.finish_reason is FinishReason.REJECTED:
             acc.n_rejected += 1
+            continue
+        if r.finish_reason is FinishReason.FAILED:
+            acc.n_failed += 1
             continue
         acc.new_tokens += len(r.tokens)
         if r.ttft_s is not None:

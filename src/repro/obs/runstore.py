@@ -24,6 +24,7 @@ import json
 import pathlib
 import subprocess
 import time
+import warnings
 from dataclasses import dataclass, field
 
 from ..errors import ReproError, SimulationError
@@ -37,7 +38,8 @@ DEFAULT_ROOT = "benchmarks/runs"
 #: metrics matching neither list are reported but never flagged.
 HIGHER_IS_BETTER = ("tokens_per_s", "goodput", "throughput", "speedup")
 LOWER_IS_BETTER = ("ttft", "lat", "e2e", "wall", "rss", "heap",
-                   "preempt", "rejected")
+                   "preempt", "rejected", "lost", "failed", "killed",
+                   "mttr", "downtime", "shed")
 
 
 def metric_direction(key: str) -> int:
@@ -138,6 +140,15 @@ def report_metrics(report) -> tuple[dict, dict]:
             for key, value in stats.items():
                 if isinstance(value, (int, float)) and value is not None:
                     metrics[f"tenant.{name}.{key}"] = value
+    resilience = getattr(report, "resilience", None)
+    if resilience:
+        sections["resilience"] = {
+            key: list(value) if isinstance(value, tuple) else value
+            for key, value in resilience.items()}
+        for key, value in resilience.items():
+            if isinstance(value, (int, float)) \
+                    and not isinstance(value, bool):
+                metrics[f"resilience.{key}"] = value
     return metrics, sections
 
 
@@ -153,11 +164,26 @@ class RunStore:
         return self.root / f"{label}.jsonl"
 
     def _load_lines(self, path: pathlib.Path) -> list[RunRecord]:
+        """Parse one label file, skipping corrupt lines.
+
+        A store file can end mid-line (a killed run) or pick up a
+        mangled record (a bad merge); one poisoned line must not take
+        ``obs list|show|diff`` down with it.  Bad lines are skipped
+        with a warning naming the file and line number.
+        """
         records = []
-        for line in path.read_text().splitlines():
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 records.append(RunRecord.from_json(json.loads(line)))
+            except (json.JSONDecodeError, KeyError, TypeError,
+                    AttributeError, ReproError) as exc:
+                warnings.warn(
+                    f"{path}:{lineno}: skipping corrupt run record "
+                    f"({exc.__class__.__name__}: {exc})",
+                    RuntimeWarning, stacklevel=2)
         return records
 
     def record(self, label: str, config: dict, metrics: dict,

@@ -48,6 +48,15 @@ class FlightRecorder:
     def __len__(self) -> int:
         return len(self._events)
 
+    def reset(self) -> None:
+        """Drop everything recorded so far.  The router's crash
+        re-dispatch replays every replica per fixed-point round; only
+        the converged round's timeline is the run, so each round starts
+        from a clean recorder."""
+        self._events.clear()
+        self._open.clear()
+        self._max_ts = 0.0
+
     def _emit(self, ts_s: float, ph: str, name: str, tid: int,
               args: dict | None = None) -> None:
         if ts_s > self._max_ts:
@@ -79,13 +88,21 @@ class FlightRecorder:
         self._emit(t0_s, "B", name, SCHEDULER_TID, args or None)
         self._emit(t1_s, "E", name, SCHEDULER_TID)
 
+    def marker(self, name: str, ts_s: float, **args) -> None:
+        """A point event on the scheduler track (crash, recover,
+        hang, slowdown — replica-wide conditions, not any one
+        request's)."""
+        self._emit(ts_s, "i", name, SCHEDULER_TID, args or None)
+
     # -- export ------------------------------------------------------
 
     def chrome_events(self) -> list[dict]:
         """This recorder's events as Chrome trace-event dicts, sorted
         by timestamp, with metadata rows naming the process and the
-        scheduler track.  Spans still open (a truncated run) are closed
-        at the latest observed clock so the stream stays balanced."""
+        scheduler track.  Requests still in flight (a truncated or
+        aborted run) get a terminal ``aborted`` instant and their open
+        span closed at the latest observed clock, so the stream stays
+        B/E-balanced and the abort is visible in the trace."""
         pid = self.replica
         out = [
             {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
@@ -93,8 +110,11 @@ class FlightRecorder:
             {"name": "thread_name", "ph": "M", "pid": pid,
              "tid": SCHEDULER_TID, "args": {"name": "scheduler"}},
         ]
-        tail = [(self._max_ts, "E", phase, rid + 1, None)
-                for rid, (phase, _t0) in self._open.items()]
+        tail: list[tuple] = []
+        for rid, (phase, _t0) in self._open.items():
+            tail.append((self._max_ts, "i", "aborted", rid + 1,
+                         {"phase": phase}))
+            tail.append((self._max_ts, "E", phase, rid + 1, None))
         body = []
         for ts_s, ph, name, tid, args in \
                 sorted(self._events + tail, key=lambda e: e[0]):

@@ -1,0 +1,380 @@
+"""Fault injection, health-aware routing, retry, and degraded mode.
+
+The resilience contract (PR 9): a seeded :class:`FaultSchedule` is a
+pure function of its inputs, every engine tier observes the same faults
+at the same simulated clocks (bit-identical reports), killed requests
+are re-dispatched to healthy replicas with backoff and never silently
+lost, exhausted retry budgets surface as ``FinishReason.FAILED``, and
+degraded-mode admission sheds only low classes while capacity is down.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import (
+    DegradedModeConfig,
+    FaultAction,
+    FaultEvent,
+    FaultSchedule,
+    HealthTracker,
+    ReplicaRouter,
+    ReplicaFaultPlan,
+    RetryPolicy,
+)
+from repro.config import TINY_MODEL
+from repro.engine import FinishReason, TenantSpec, synthetic_trace
+from repro.errors import SimulationError
+from test_telemetry_equivalence import (
+    assert_reports_identical,
+    make_engine,
+)
+
+FF_TIERS = ("multi", "single", False)
+
+FG = TenantSpec("fg", "interactive")
+BULK = TenantSpec("bulk", "batch")
+BG = TenantSpec("bg", "best_effort")
+MIX = ((FG, 0.25), (BULK, 0.5), (BG, 0.25))
+
+
+def trace(n=24, rate=3000.0, seed=0, mix=None):
+    return synthetic_trace(TINY_MODEL, n_requests=n,
+                           arrival_rate_rps=rate, seed=seed,
+                           prompt_len=(3, 8), decode_len=(4, 16),
+                           tenant_mix=mix)
+
+
+def span_s(n=24, rate=3000.0):
+    return n / rate
+
+
+# ---------------------------------------------------------------------
+# Schedules and plans
+# ---------------------------------------------------------------------
+
+class TestFaultSchedule:
+    def test_event_validation(self):
+        with pytest.raises(SimulationError):
+            FaultEvent("meteor", 0, 0.1, 0.1)
+        with pytest.raises(SimulationError):
+            FaultEvent("crash", 0, -1.0, 0.1)
+        with pytest.raises(SimulationError):
+            FaultEvent("crash", 0, 0.1, 0.0)
+        with pytest.raises(SimulationError):
+            FaultEvent("slowdown", 0, 0.1, 0.1, factor=0.5)
+
+    def test_per_replica_overlap_rejected(self):
+        events = [FaultEvent("crash", 0, 0.1, 0.5),
+                  FaultEvent("hang", 0, 0.3, 0.1)]
+        with pytest.raises(SimulationError, match="overlap"):
+            FaultSchedule(events)
+        # Same times on different replicas are fine.
+        FaultSchedule([FaultEvent("crash", 0, 0.1, 0.5),
+                       FaultEvent("hang", 1, 0.3, 0.1)])
+
+    def test_crash_expands_to_outage_plus_warmup(self):
+        sched = FaultSchedule.single_crash(0, 0.1, 0.2, warmup_s=0.05,
+                                           warmup_factor=3.0)
+        plan = sched.plan_for(0)
+        assert isinstance(plan, ReplicaFaultPlan)
+        assert plan.actions == (
+            FaultAction("crash", 0.1, 0.2),
+            FaultAction("slow", 0.30000000000000004, 0.05, 3.0))
+        assert sched.plan_for(1).actions == ()
+
+    def test_generate_is_seed_deterministic(self):
+        a = FaultSchedule.generate(3, horizon_s=0.5, seed=11)
+        b = FaultSchedule.generate(3, horizon_s=0.5, seed=11)
+        c = FaultSchedule.generate(3, horizon_s=0.5, seed=12)
+        assert a == b
+        assert a != c
+
+    def test_retry_backoff_caps(self):
+        retry = RetryPolicy(base_s=0.001, multiplier=2.0, cap_s=0.003,
+                            budget=5)
+        assert retry.delay_s(1) == 0.001
+        assert retry.delay_s(2) == 0.002
+        assert retry.delay_s(3) == 0.003
+        assert retry.delay_s(4) == 0.003
+
+
+class TestHealthTracker:
+    def test_crash_outage_and_detection_delay(self):
+        sched = FaultSchedule.single_crash(1, 0.1, 0.2, warmup_s=0.05)
+        tracker = HealthTracker(sched, 3, detection_delay_s=0.01)
+        assert tracker.is_healthy(1, 0.1)       # not yet detected
+        assert not tracker.is_healthy(1, 0.11)  # detected
+        assert not tracker.is_healthy(1, 0.34)  # warm-up still unhealthy
+        assert tracker.is_healthy(1, 0.36)      # recovered
+        assert tracker.is_healthy(0, 0.2) and tracker.is_healthy(2, 0.2)
+        assert tracker.healthy_fraction(0.2) == pytest.approx(2 / 3)
+        assert tracker.degraded_spans() == ((0.1, 0.35000000000000003),)
+        assert tracker.mttr_s() == pytest.approx(0.25)
+
+    def test_slowdowns_stay_healthy(self):
+        sched = FaultSchedule([FaultEvent("slowdown", 0, 0.1, 0.2,
+                                          factor=2.0)])
+        tracker = HealthTracker(sched, 2)
+        assert tracker.is_healthy(0, 0.2)
+        assert tracker.degraded_spans() == ()
+        assert tracker.mttr_s() is None
+
+
+class TestDegradedMode:
+    def test_shed_classes_by_capacity(self):
+        cfg = DegradedModeConfig()
+        assert cfg.shed_classes(1.0) == frozenset()
+        assert "best_effort" in cfg.shed_classes(0.66)
+        assert "interactive" not in cfg.shed_classes(0.0)
+
+
+# ---------------------------------------------------------------------
+# Engine-level fault handling: every tier sees the same faults
+# ---------------------------------------------------------------------
+
+def run_with_plan(ff, plan, n=24, rate=3000.0, seed=0):
+    eng = make_engine("cycle", "slotted", ff=ff)
+    eng.fault_plan = plan
+    report = eng.run(trace(n=n, rate=rate, seed=seed), telemetry="full")
+    return eng, report
+
+
+class TestEngineFaults:
+    def test_crash_kills_are_tier_identical(self):
+        sched = FaultSchedule.single_crash(
+            0, 0.3 * span_s(), 0.25 * span_s(), warmup_s=0.1 * span_s())
+        plan = sched.plan_for(0)
+        eng_m, rep_m = run_with_plan("multi", plan)
+        eng_s, rep_s = run_with_plan("single", plan)
+        eng_e, rep_e = run_with_plan(False, plan)
+        assert eng_m.killed, "crash must hit in-flight work"
+        assert eng_m.killed == eng_s.killed == eng_e.killed
+        assert eng_m.fault_stats() == eng_s.fault_stats() \
+            == eng_e.fault_stats()
+        assert_reports_identical(rep_m, rep_s)
+        assert_reports_identical(rep_m, rep_e)
+        # Killed requests do not retire: the report only holds the
+        # survivors, and every kill is attributed a phase.
+        killed_ids = {k.request.request_id for k in eng_m.killed}
+        retired = {r.request_id for r in rep_m.results}
+        assert killed_ids and not killed_ids & retired
+        assert {k.phase for k in eng_m.killed} \
+            <= {"running", "queued", "arrival"}
+
+    def test_hang_and_slowdown_are_tier_identical(self):
+        events = [FaultEvent("hang", 0, 0.2 * span_s(),
+                             0.1 * span_s()),
+                  FaultEvent("slowdown", 0, 0.5 * span_s(),
+                             0.3 * span_s(), factor=3.0)]
+        plan = FaultSchedule(events).plan_for(0)
+        _, rep_m = run_with_plan("multi", plan)
+        _, rep_s = run_with_plan("single", plan)
+        _, rep_e = run_with_plan(False, plan)
+        assert_reports_identical(rep_m, rep_s)
+        assert_reports_identical(rep_m, rep_e)
+
+    def test_slowdown_extends_compute_bound_run(self):
+        base = make_engine("cycle", "slotted")
+        healthy = base.run(trace(rate=1e9), telemetry="full")
+        plan = FaultSchedule([FaultEvent(
+            "slowdown", 0, 0.0, healthy.total_time_s * 10,
+            factor=2.0)]).plan_for(0)
+        _, slowed = run_with_plan("multi", plan, rate=1e9)
+        assert slowed.total_time_s > healthy.total_time_s
+
+    def test_fault_window_break_reason(self):
+        """A fault boundary cuts fast-forward windows with its own
+        break reason — long compute-bound decodes would otherwise span
+        the slowdown's start and expiry."""
+        eng = make_engine("cycle", "slotted", ff="multi")
+        eng.fault_plan = FaultSchedule([FaultEvent(
+            "slowdown", 0, 0.0005, 0.001, factor=2.0)]).plan_for(0)
+        rep = eng.run(synthetic_trace(
+            TINY_MODEL, n_requests=4, arrival_rate_rps=1e9,
+            prompt_len=(3, 8), decode_len=(64, 128), seed=0),
+            telemetry="full")
+        assert not eng.killed
+        assert len(rep.results) == 4
+        assert rep.window_stats["breaks"]["fault"] > 0
+
+    def test_fault_plan_is_inert_between_runs(self):
+        """Clearing ``fault_plan`` restores healthy behavior exactly."""
+        eng = make_engine("cycle", "slotted")
+        baseline = eng.run(trace(), telemetry="full")
+        eng.fault_plan = FaultSchedule.single_crash(
+            0, 0.3 * span_s(), 0.25 * span_s()).plan_for(0)
+        eng.run(trace(), telemetry="full")
+        eng.fault_plan = None
+        again = eng.run(trace(), telemetry="full")
+        assert not eng.killed
+        assert_reports_identical(baseline, again)
+
+
+# ---------------------------------------------------------------------
+# Router-level resilience: retry, health routing, degraded admission
+# ---------------------------------------------------------------------
+
+def cluster(ff="multi", n=3, faults=None, retry=None, degraded=None,
+            policy="round_robin"):
+    engines = [make_engine("cycle", "slotted", ff=ff) for _ in range(n)]
+    return ReplicaRouter(engines, policy=policy, faults=faults,
+                         retry=retry, degraded=degraded)
+
+
+def crash_schedule(n=48, rate=3000.0):
+    s = n / rate
+    return FaultSchedule.single_crash(1, 0.3 * s, 0.25 * s,
+                                      warmup_s=0.1 * s)
+
+
+#: All 48 requests arrive at ~t=0 and the crash lands mid-run, so the
+#: down replica has queued + running work to kill — health-aware
+#: routing cannot steer arrivals away from a backlog that already
+#: exists.
+SATURATED_CRASH = FaultSchedule.single_crash(1, 0.0005, 0.001,
+                                             warmup_s=0.0005)
+
+
+def saturated_trace(seed=0):
+    return trace(n=48, rate=1e9, seed=seed)
+
+
+class TestRouterResilience:
+    def test_crash_redispatch_no_lost_requests(self):
+        router = cluster(faults=SATURATED_CRASH)
+        report = router.run(saturated_trace(), telemetry="full")
+        res = report.resilience
+        assert res["n_killed"] > 0
+        assert res["n_redispatched"] == res["n_killed"]
+        assert res["n_failed"] == 0 and res["n_lost"] == 0
+        assert res["lost_request_ids"] == ()
+        assert report.n_requests == 48
+        reasons = {r.finish_reason for r in report.results}
+        assert FinishReason.FAILED not in reasons
+
+    def test_resilience_is_tier_identical(self):
+        reports = [cluster(ff=ff, faults=SATURATED_CRASH)
+                   .run(saturated_trace(), telemetry="full")
+                   for ff in FF_TIERS]
+        for other in reports[1:]:
+            assert reports[0].resilience == other.resilience
+            assert_reports_identical(reports[0], other)
+
+    def test_same_seed_replay_is_bit_identical(self):
+        faults = FaultSchedule.generate(3, horizon_s=span_s(48),
+                                        seed=9, mean_gap_s=span_s(48) / 3)
+        runs = [cluster(faults=faults).run(trace(n=48), telemetry="full")
+                for _ in range(2)]
+        assert runs[0].resilience == runs[1].resilience
+        assert_reports_identical(runs[0], runs[1])
+
+    def test_budget_exhaustion_surfaces_failed(self):
+        """A cluster with no survivors fails loudly, never silently."""
+        n, rate = 16, 3000.0
+        s = n / rate
+        faults = FaultSchedule([FaultEvent("crash", 0, 0.1 * s, 4 * s)])
+        router = cluster(n=1, faults=faults,
+                         retry=RetryPolicy(budget=1))
+        report = router.run(trace(n=n, rate=rate), telemetry="full")
+        res = report.resilience
+        assert res["n_failed"] > 0 and res["n_lost"] == 0
+        failed = [r for r in report.results
+                  if r.finish_reason is FinishReason.FAILED]
+        assert len(failed) == res["n_failed"]
+        for r in failed:
+            assert not r.tokens and r.ttft_s is None and r.e2e_s > 0
+        assert report.n_requests == n
+
+    def test_degraded_mode_sheds_only_low_classes(self):
+        router = cluster(faults=crash_schedule(),
+                         degraded=DegradedModeConfig())
+        report = router.run(trace(n=48, mix=MIX), telemetry="full")
+        res = report.resilience
+        assert res["n_shed"] > 0 and res["n_lost"] == 0
+        stats = report.tenant_stats
+        assert stats["interactive"]["n_rejected"] == 0
+        shed = sum(s["n_rejected"] for s in stats.values())
+        assert shed == res["n_shed"]
+        assert report.n_requests == 48
+
+    def test_routing_avoids_down_replica(self):
+        """During the outage, new arrivals land on healthy replicas."""
+        faults = crash_schedule()
+        router = cluster(faults=faults)
+        router.run(trace(n=48), telemetry="full")
+        start, end = faults.events[0].start_s, faults.events[0].end_s
+        tr = trace(n=48)
+        detect = router._health.detection_delay_s
+        routed_down = [r.request_id for r in tr
+                       if start + detect < r.arrival_s < end
+                       and router.assignments[r.request_id] == 1]
+        assert not routed_down
+
+    def test_streamed_chaos_matches_full_counts(self):
+        full = cluster(faults=crash_schedule(),
+                       degraded=DegradedModeConfig()) \
+            .run(trace(n=48, mix=MIX), telemetry="full")
+        streamed = cluster(faults=crash_schedule(),
+                           degraded=DegradedModeConfig()) \
+            .run(lambda: iter(trace(n=48, mix=MIX)),
+                 telemetry="summary")
+        assert streamed.resilience == full.resilience
+        assert streamed.n_requests == full.n_requests
+        assert streamed.total_new_tokens == full.total_new_tokens
+        assert streamed.total_time_s == full.total_time_s
+        for name, s in full.tenant_stats.items():
+            assert streamed.tenant_stats[name]["n_requests"] \
+                == s["n_requests"]
+            assert streamed.tenant_stats[name]["n_rejected"] \
+                == s["n_rejected"]
+            assert streamed.tenant_stats[name]["n_failed"] \
+                == s["n_failed"]
+
+
+# ---------------------------------------------------------------------
+# Quota accounting under fault churn (hypothesis)
+# ---------------------------------------------------------------------
+
+QFG = TenantSpec("qfg", "interactive")
+QBULK = TenantSpec("qbulk", "batch", kv_quota_tokens=96)
+QBG = TenantSpec("qbg", "best_effort", kv_quota_tokens=64)
+QMIX = ((QFG, 0.25), (QBULK, 0.5), (QBG, 0.25))
+
+
+class TestQuotaLedgerUnderFaults:
+    @settings(deadline=None, max_examples=10)
+    @given(seed=st.integers(0, 10_000),
+           fault_seed=st.integers(0, 100),
+           n_requests=st.integers(12, 40))
+    def test_no_double_count_across_kill_retry_churn(self, seed,
+                                                     fault_seed,
+                                                     n_requests):
+        """Evict -> crash-kill -> retry -> re-admit churn must leave
+        every replica's per-tenant cached-token ledger drained: a
+        re-dispatched request is charged on exactly one replica at a
+        time, never twice."""
+        rate = 3000.0
+        horizon = n_requests / rate
+        faults = FaultSchedule.generate(
+            3, horizon_s=horizon, seed=fault_seed,
+            mean_gap_s=horizon / 2,
+            downtime_s=(0.1 * horizon, 0.3 * horizon),
+            hang_s=(0.05 * horizon, 0.1 * horizon),
+            slow_s=(0.1 * horizon, 0.2 * horizon),
+            warmup_s=0.05 * horizon)
+        router = cluster(faults=faults, degraded=DegradedModeConfig())
+        report = router.run(
+            trace(n=n_requests, rate=rate, seed=seed, mix=QMIX),
+            telemetry="full")
+        for engine in router.engines:
+            assert all(v == 0 for v in engine._tenant_cached.values()), \
+                engine._tenant_cached
+        res = report.resilience
+        assert res["n_lost"] == 0
+        assert report.n_requests == n_requests
+        # Conservation: every request retires exactly once across the
+        # cluster (or is shed/failed), with no duplicate ids.
+        ids = [r.request_id for r in report.results]
+        assert len(ids) == len(set(ids)) == n_requests

@@ -402,6 +402,49 @@ class TestFlightRecorder:
         assert_valid_chrome_trace({"traceEvents":
                                    recorder.chrome_events()})
 
+    def test_abort_emits_terminal_instant_and_balances(self):
+        """A request still in flight at export (truncated or aborted
+        run) must show up as aborted, not vanish: its open span closes
+        at the latest clock and a terminal instant names the phase it
+        died in, keeping every lane B/E-balanced."""
+        recorder = FlightRecorder()
+        recorder.request_phase(0, "queued", 1.0)
+        recorder.request_phase(0, "decode", 2.0)
+        recorder.request_phase(1, "queued", 2.5)
+        recorder.span("step", 2.0, 4.0)
+        events = recorder.chrome_events()
+        aborted = [e for e in events
+                   if e["ph"] == "i" and e["name"] == "aborted"]
+        assert {(e["tid"], e["args"]["phase"]) for e in aborted} \
+            == {(1, "decode"), (2, "queued")}
+        # All terminal events land at the latest observed clock.
+        assert {e["ts"] for e in aborted} == {4.0 * 1e6}
+        for lane in (1, 2):
+            opens = sum(1 for e in events
+                        if e["tid"] == lane and e["ph"] == "B")
+            closes = sum(1 for e in events
+                         if e["tid"] == lane and e["ph"] == "E")
+            assert opens == closes
+        assert_valid_chrome_trace({"traceEvents": events})
+
+    def test_marker_lands_on_scheduler_track(self):
+        recorder = FlightRecorder()
+        recorder.marker("crash", 0.5, downtime_s=0.1)
+        (event,) = [e for e in recorder.chrome_events()
+                    if e["ph"] == "i"]
+        assert event["name"] == "crash"
+        assert event["tid"] == 0
+        assert event["args"] == {"downtime_s": 0.1}
+
+    def test_reset_drops_everything(self):
+        recorder = FlightRecorder()
+        recorder.request_phase(0, "queued", 1.0)
+        recorder.marker("crash", 2.0)
+        recorder.reset()
+        assert len(recorder) == 0
+        assert [e for e in recorder.chrome_events()
+                if e["ph"] != "M"] == []
+
     def test_cluster_merge_keeps_replicas_apart(self, tmp_path):
         recorders = []
         for replica in range(2):
@@ -504,6 +547,34 @@ class TestRunStore:
         with pytest.raises(ReproError, match="schema"):
             RunRecord.from_json({"schema": "obsrun-v99", "run_id": "x#0",
                                  "label": "x"})
+
+    def test_corrupt_lines_skipped_with_warning(self, tmp_path):
+        """A poisoned store file — truncated tail, mangled JSON, stale
+        schema — must not take ``obs list|show|diff`` down: bad lines
+        are skipped with a warning naming the file and line, and every
+        intact record still loads."""
+        store = RunStore(tmp_path)
+        first = store.record_report("lbl", _report(seed=1))
+        path = tmp_path / "lbl.jsonl"
+        with path.open("a") as fh:
+            fh.write("{not json at all\n")                 # mangled
+            fh.write(json.dumps({"schema": "obsrun-v99",
+                                 "run_id": "lbl#9",
+                                 "label": "lbl"}) + "\n")  # stale schema
+            fh.write(json.dumps({"schema": "obsrun-v1"}) + "\n")  # short
+            fh.write('{"schema": "obsrun-v1", "run_id"\n')  # truncated
+        with pytest.warns(RuntimeWarning):
+            second = store.record_report("lbl", _report(seed=2))
+        with pytest.warns(RuntimeWarning) as caught:
+            records = store.list_runs()
+        assert [r.run_id for r in records] \
+            == [first.run_id, second.run_id]
+        assert len(caught) == 4
+        assert all("lbl.jsonl" in str(w.message) for w in caught)
+        assert any(":2:" in str(w.message) for w in caught)
+        # Selectors keep working over the poisoned file too.
+        with pytest.warns(RuntimeWarning):
+            assert store.load("lbl").run_id == second.run_id
 
     def test_report_metrics_flattens_tenant_stats(self):
         from repro.engine import TenantSpec
