@@ -323,6 +323,26 @@ def cmd_serve_sim(args) -> int:
         raise ReproError(
             "--chaos needs --replicas >= 2: fault tolerance means "
             "surviving replicas pick up the killed work")
+    if args.drain and args.replicas < 2:
+        raise ReproError(
+            "--drain needs --replicas >= 2: a drained replica hands "
+            "its work to a healthy peer")
+    if args.domains:
+        if not args.chaos:
+            raise ReproError("--domains correlates the generated fault "
+                             "schedule; it needs --chaos")
+        if not 2 <= args.domains <= args.replicas:
+            raise ReproError(
+                f"--domains must be between 2 and --replicas "
+                f"({args.replicas}): {args.domains}")
+    if args.hedge < 0:
+        raise ReproError(f"--hedge must be >= 0: {args.hedge}")
+    if args.hedge and args.telemetry != "full":
+        raise ReproError("--hedge compares per-request first-token "
+                         "times; it needs --telemetry full")
+    if args.hedge and not (args.chaos or args.drain):
+        raise ReproError("--hedge rides the fault-tolerant path; "
+                         "combine it with --chaos or --drain")
     _check_serve_destinations(args)
     model = _model(args.model)
     platform = _platform(args.platform)
@@ -366,23 +386,51 @@ def cmd_serve_sim(args) -> int:
         from .cluster import ReplicaRouter
 
         chaos_kwargs: dict = {}
-        if args.chaos:
-            from .cluster import (DegradedModeConfig, FaultSchedule,
+        if args.chaos or args.drain:
+            from .cluster import (DegradedModeConfig, FailureDomain,
+                                  FaultEvent, FaultSchedule,
                                   RetryPolicy)
 
             # Fault times scale with the arrival span so the schedule
             # lands while traffic is in flight at any request rate.
             span = args.requests / args.arrival_rate
-            chaos_kwargs = dict(
-                faults=FaultSchedule.generate(
+            topology: tuple[FailureDomain, ...] = ()
+            if args.domains:
+                # Contiguous, near-equal partition of the replica ids
+                # into K failure domains ("racks").
+                base, extra = divmod(args.replicas, args.domains)
+                cuts, lo = [], 0
+                for i in range(args.domains):
+                    hi = lo + base + (1 if i < extra else 0)
+                    cuts.append(FailureDomain(
+                        f"rack{i}", tuple(range(lo, hi))))
+                    lo = hi
+                topology = tuple(cuts)
+            events: list[FaultEvent] = []
+            if args.chaos:
+                events = list(FaultSchedule.generate(
                     args.replicas, horizon_s=span,
                     seed=args.fault_seed, mean_gap_s=span / 2,
                     downtime_s=(0.1 * span, 0.3 * span),
                     hang_s=(0.05 * span, 0.15 * span),
                     slow_s=(0.1 * span, 0.3 * span),
-                    warmup_s=0.05 * span),
+                    warmup_s=0.05 * span,
+                    topology=topology or None).events)
+            if args.drain:
+                # Planned maintenance drain of replica 0 mid-run.  Any
+                # generated chaos on replica 0 yields to the drain: an
+                # operator drains a node instead of letting it crash.
+                events = [e for e in events if e.replica != 0]
+                events.append(FaultEvent("drain", 0, 0.3 * span,
+                                         0.2 * span))
+            chaos_kwargs = dict(
+                faults=FaultSchedule(tuple(events), topology=topology),
                 retry=RetryPolicy(budget=args.retry_budget),
                 degraded=DegradedModeConfig())
+            if args.hedge:
+                from .cluster import HedgePolicy
+
+                chaos_kwargs["hedge"] = HedgePolicy(args.hedge)
         router = ReplicaRouter(engines, policy=args.router,
                                **chaos_kwargs)
         cluster_trace = list(trace_factory()) \
@@ -445,6 +493,16 @@ def cmd_serve_sim(args) -> int:
               f"shed {resilience['n_shed']}, "
               f"lost {resilience['n_lost']} "
               f"(retry rounds {resilience['retry_rounds']})")
+        if resilience.get("n_drains"):
+            print(f"    drains {resilience['n_drains']}: "
+                  f"migrated {resilience['n_migrated']} "
+                  f"({resilience['migrated_kv_bytes']} KV bytes), "
+                  f"resumed {resilience['n_resumed']}, "
+                  f"recompute {resilience['resume_recompute_tokens']} "
+                  f"tokens")
+        if resilience.get("n_hedged"):
+            print(f"    hedged {resilience['n_hedged']}, "
+                  f"hedge wins {resilience['n_hedge_wins']}")
         mttr = resilience["mttr_s"]
         mttr_desc = "-" if mttr is None else f"{mttr * 1e3:.3f} ms"
         tail = "" if goodput is None \
@@ -492,7 +550,9 @@ def cmd_serve_sim(args) -> int:
                     "telemetry": args.telemetry, "tp": args.tp,
                     "replicas": args.replicas, "router": args.router,
                     "seed": args.seed, "chaos": args.chaos,
-                    "fault_seed": args.fault_seed})
+                    "fault_seed": args.fault_seed,
+                    "drain": args.drain, "domains": args.domains,
+                    "hedge": args.hedge})
         print(f"  run record     : {record.run_id} -> "
               f"{store.root / (args.record + '.jsonl')}")
     return 0
@@ -564,7 +624,13 @@ def cmd_obs_diff(args) -> int:
     from .report.tables import format_table
 
     store = RunStore(args.runs_dir)
-    base = store.load(args.base)
+    if args.baseline_window > 1:
+        from .obs import median_record
+
+        base = median_record(
+            store.load_window(args.base, args.baseline_window))
+    else:
+        base = store.load(args.base)
     new = store.load(args.new)
     deltas = diff_records(base, new, threshold=args.threshold)
     body = []
@@ -853,6 +919,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--retry-budget", type=int, default=3,
                    help="re-dispatch attempts per killed request "
                         "before it surfaces as failed")
+    p.add_argument("--drain", action="store_true",
+                   help="planned maintenance drain of replica 0 "
+                        "mid-run: stop admitting, checkpoint in-flight "
+                        "KV, and migrate it to healthy peers")
+    p.add_argument("--domains", type=int, default=0,
+                   help="partition replicas into this many contiguous "
+                        "failure domains (racks) so generated faults "
+                        "correlate within a domain; needs --chaos")
+    p.add_argument("--hedge", type=float, default=0.0,
+                   help="hedge delay in seconds: duplicate a request "
+                        "onto a second healthy domain when its first "
+                        "token is this late, first token wins "
+                        "(0 disables; needs --telemetry full)")
     p.set_defaults(fn=cmd_serve_sim)
 
     p = sub.add_parser("bench-serve",
@@ -914,6 +993,10 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--threshold", type=float, default=0.05,
                    help="relative change beyond which a directional "
                         "metric is flagged (default 0.05)")
+    q.add_argument("--baseline-window", type=int, default=1,
+                   help="compare against the per-metric median of the "
+                        "last K baseline runs instead of a single "
+                        "record (default 1)")
     runs_dir(q)
     q.set_defaults(fn=cmd_obs_diff)
 

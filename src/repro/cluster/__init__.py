@@ -43,14 +43,17 @@ from .faults import (
     ACTION_KINDS,
     FAULT_KINDS,
     DegradedModeConfig,
+    FailureDomain,
     FaultAction,
     FaultEvent,
     FaultSchedule,
     HealthTracker,
     KilledRequest,
+    MigratedRequest,
     ReplicaFaultPlan,
     RetryPolicy,
 )
+from .migration import HedgePolicy, MigrationPolicy
 from .router import (
     POLICIES,
     ClusterServeReport,
@@ -88,15 +91,19 @@ __all__ = [
     "CollectiveCost",
     "DegradedModeConfig",
     "FAULT_KINDS",
+    "FailureDomain",
     "FaultAction",
     "FaultEvent",
     "FaultSchedule",
     "FunctionalShard",
     "GIG_ETHERNET",
     "HealthTracker",
+    "HedgePolicy",
     "INTERCONNECT_PRESETS",
     "KilledRequest",
     "LinkSpec",
+    "MigratedRequest",
+    "MigrationPolicy",
     "POLICIES",
     "PROJECTION_AXES",
     "ReplicaFaultPlan",

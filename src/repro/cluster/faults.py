@@ -26,6 +26,18 @@ scheduler-facing actions:
   per-step collectives serialize with compute, so a link running at
   ``1/factor`` bandwidth is conservatively modeled as a replica-wide
   service-rate reduction.
+* ``"drain"`` — a *planned* disruption (rolling restart, maintenance):
+  admission closes at ``start_s``, running sequences decode on toward
+  the ``duration_s`` deadline, and whatever is still in flight then
+  checkpoints (:class:`repro.engine.scheduler.MigratedRequest`) for
+  the router to hand over to a healthy replica — work moves, nothing
+  dies.
+
+Correlated failures ride on a :class:`FailureDomain` topology (racks,
+hosts, power feeds): :meth:`FaultSchedule.generate` draws one fault
+process per domain and expands each domain event into per-member
+events with a shared clock, so a rack outage takes all of its replicas
+down together instead of PR 9's independent-crash assumption.
 
 Health tracking (:class:`HealthTracker`) models the router's view: a
 fault is *detected* only after ``detection_delay_s`` of missed
@@ -48,10 +60,54 @@ import numpy as np
 from ..errors import SimulationError
 
 #: Event kinds a schedule may carry (validated on construction).
-FAULT_KINDS = ("crash", "hang", "slowdown", "interconnect")
+FAULT_KINDS = ("crash", "hang", "slowdown", "interconnect", "drain")
 
 #: Scheduler-facing action kinds a plan expands events into.
-ACTION_KINDS = ("crash", "stall", "slow")
+ACTION_KINDS = ("crash", "stall", "slow", "drain")
+
+
+@dataclass(frozen=True)
+class FailureDomain:
+    """One correlated-failure blast radius — a rack, a host, a power
+    feed: the replicas that go down together when the domain does."""
+
+    name: str
+    replicas: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "replicas", tuple(self.replicas))
+        if not self.replicas:
+            raise SimulationError(
+                f"failure domain {self.name!r} needs at least one replica")
+        if len(set(self.replicas)) != len(self.replicas):
+            raise SimulationError(
+                f"failure domain {self.name!r} repeats a replica")
+        if any(r < 0 for r in self.replicas):
+            raise SimulationError(
+                f"failure domain {self.name!r} has a negative replica id")
+
+
+def _domain_map(topology: "tuple[FailureDomain, ...]",
+                n_replicas: int) -> dict[int, str]:
+    """replica -> domain name; validates disjointness and bounds."""
+    names: set[str] = set()
+    members: dict[int, str] = {}
+    for domain in topology:
+        if domain.name in names:
+            raise SimulationError(
+                f"duplicate failure domain name {domain.name!r}")
+        names.add(domain.name)
+        for replica in domain.replicas:
+            if replica >= n_replicas:
+                raise SimulationError(
+                    f"domain {domain.name!r} targets replica {replica} "
+                    f"of a {n_replicas}-replica cluster")
+            if replica in members:
+                raise SimulationError(
+                    f"replica {replica} belongs to both "
+                    f"{members[replica]!r} and {domain.name!r}")
+            members[replica] = domain.name
+    return members
 
 
 @dataclass(frozen=True)
@@ -139,12 +195,26 @@ class FaultSchedule:
     """An immutable, validated multi-replica fault timeline."""
 
     def __init__(self, events: "list[FaultEvent] | tuple[FaultEvent, ...]",
-                 seed: int | None = None) -> None:
+                 seed: int | None = None,
+                 topology: "tuple[FailureDomain, ...] | None" = None,
+                 ) -> None:
         self.events: tuple[FaultEvent, ...] = tuple(sorted(
             events, key=lambda e: (e.start_s, e.replica)))
         #: the generating seed, carried for provenance only (None for a
         #: hand-built schedule); replay needs just the events.
         self.seed = seed
+        #: the failure-domain topology the events were drawn over (if
+        #: any) — the router's :class:`HealthTracker` picks it up so
+        #: retry rotation and affinity become domain-aware.
+        self.topology: tuple[FailureDomain, ...] = \
+            tuple(topology) if topology else ()
+        if self.topology:
+            # Disjointness/uniqueness now; the bounds check against the
+            # actual cluster size happens where that size is known
+            # (generate(), HealthTracker).
+            _domain_map(self.topology,
+                        max(r for d in self.topology
+                            for r in d.replicas) + 1)
         # Per-replica non-overlap (warm-up included) is what lets the
         # engine keep a single active slowdown/outage at a time.
         for replica in {e.replica for e in self.events}:
@@ -175,6 +245,9 @@ class FaultSchedule:
             elif event.kind == "hang":
                 actions.append(FaultAction(
                     "stall", event.start_s, event.duration_s))
+            elif event.kind == "drain":
+                actions.append(FaultAction(
+                    "drain", event.start_s, event.duration_s))
             else:  # slowdown / interconnect
                 actions.append(FaultAction(
                     "slow", event.start_s, event.duration_s,
@@ -201,11 +274,23 @@ class FaultSchedule:
                  hang_s: tuple[float, float] = (0.001, 0.005),
                  slow_s: tuple[float, float] = (0.005, 0.02),
                  slow_factor: tuple[float, float] = (1.5, 4.0),
-                 warmup_s: float = 0.002) -> "FaultSchedule":
-        """A seeded random schedule: per replica, exponentially spaced
-        faults over ``[0, horizon_s)`` with kinds drawn from
-        ``kind_weights``.  Pure function of its arguments — the
-        deterministic-replay contract of the whole subsystem."""
+                 warmup_s: float = 0.002,
+                 drain_s: tuple[float, float] = (0.005, 0.02),
+                 topology: "tuple[FailureDomain, ...] | None" = None,
+                 ) -> "FaultSchedule":
+        """A seeded random schedule: exponentially spaced faults over
+        ``[0, horizon_s)`` with kinds drawn from ``kind_weights``.
+        Pure function of its arguments — the deterministic-replay
+        contract of the whole subsystem.
+
+        Without ``topology`` every replica runs its own fault process
+        (PR 9's independent-failure assumption).  With it, each
+        :class:`FailureDomain` runs ONE process whose events expand to
+        every member replica with a shared clock — a rack outage takes
+        the whole rack down at the same instant — and replicas outside
+        any domain keep independent draws.  ``"drain"`` only appears
+        when ``kind_weights`` gives it weight (planned disruptions are
+        usually placed explicitly, not drawn)."""
         if n_replicas <= 0 or horizon_s <= 0:
             raise SimulationError(
                 "generate needs n_replicas >= 1 and horizon_s > 0")
@@ -218,9 +303,12 @@ class FaultSchedule:
                                   "with a positive sum")
         probs = probs / probs.sum()
         gap = mean_gap_s if mean_gap_s is not None else horizon_s / 3
+        covered = _domain_map(tuple(topology), n_replicas) \
+            if topology else {}
         rng = np.random.default_rng(seed)
         events: list[FaultEvent] = []
-        for replica in range(n_replicas):
+
+        def draw_process(targets: tuple[int, ...]) -> None:
             t = 0.0
             while True:
                 t += float(rng.exponential(gap))
@@ -229,21 +317,41 @@ class FaultSchedule:
                 kind = kinds[int(rng.choice(len(kinds), p=probs))]
                 if kind == "crash":
                     duration = float(rng.uniform(*downtime_s))
-                    events.append(FaultEvent(
-                        "crash", replica, t, duration,
-                        warmup_s=warmup_s))
+                    for replica in targets:
+                        events.append(FaultEvent(
+                            "crash", replica, t, duration,
+                            warmup_s=warmup_s))
                     t += duration + warmup_s
                 elif kind == "hang":
                     duration = float(rng.uniform(*hang_s))
-                    events.append(FaultEvent("hang", replica, t, duration))
+                    for replica in targets:
+                        events.append(FaultEvent(
+                            "hang", replica, t, duration))
+                    t += duration
+                elif kind == "drain":
+                    duration = float(rng.uniform(*drain_s))
+                    for replica in targets:
+                        events.append(FaultEvent(
+                            "drain", replica, t, duration))
                     t += duration
                 else:
                     duration = float(rng.uniform(*slow_s))
-                    events.append(FaultEvent(
-                        kind, replica, t, duration,
-                        factor=float(rng.uniform(*slow_factor))))
+                    factor = float(rng.uniform(*slow_factor))
+                    for replica in targets:
+                        events.append(FaultEvent(
+                            kind, replica, t, duration, factor=factor))
                     t += duration
-        return cls(events, seed=seed)
+
+        # Domain processes first (declaration order), then uncovered
+        # replicas ascending: with topology=None this consumes the rng
+        # exactly as the pre-topology generator did, so existing seeds
+        # replay unchanged.
+        for domain in (topology or ()):
+            draw_process(tuple(domain.replicas))
+        for replica in range(n_replicas):
+            if replica not in covered:
+                draw_process((replica,))
+        return cls(events, seed=seed, topology=topology)
 
 
 @dataclass(frozen=True)
@@ -308,10 +416,13 @@ class DegradedModeConfig:
         return frozenset()
 
 
-# The engine owns the kill record (it cannot import cluster code);
-# re-exported here because callers naturally reach for it next to the
-# schedule and the retry policy.
-from ..engine.scheduler import KilledRequest  # noqa: E402,F401
+# The engine owns the kill and migration records (it cannot import
+# cluster code); re-exported here because callers naturally reach for
+# them next to the schedule and the retry policy.
+from ..engine.scheduler import (  # noqa: E402,F401
+    KilledRequest,
+    MigratedRequest,
+)
 
 
 class HealthTracker:
@@ -323,11 +434,24 @@ class HealthTracker:
     replica accepts retries only once its service rate recovers); a
     hang long enough to miss heartbeats reads unhealthy until it ends.
     Slowdowns keep heartbeats flowing and stay healthy — they degrade
-    goodput, not liveness.
+    goodput, not liveness.  A drain is *planned*: the router knows the
+    window in advance, so the replica reads unhealthy over the whole
+    ``[start_s, end_s)`` with no detection delay — but a drain is not
+    an outage (work hands over, nothing dies), so it joins neither the
+    repair ledger nor the degraded spans.
+
+    With a :class:`FailureDomain` topology (passed explicitly or
+    carried by the schedule), the tracker also reports per-domain
+    health and computes domain-aware retry candidates: never back into
+    the blast radius the request just died in, away from partially
+    failing domains while clean ones remain, interleaved across
+    domains so consecutive attempts spread the risk.
     """
 
     def __init__(self, schedule: FaultSchedule, n_replicas: int,
-                 detection_delay_s: float = 0.0005) -> None:
+                 detection_delay_s: float = 0.0005,
+                 topology: "tuple[FailureDomain, ...] | None" = None,
+                 ) -> None:
         if n_replicas <= 0:
             raise SimulationError(
                 f"n_replicas must be >= 1: {n_replicas}")
@@ -337,6 +461,11 @@ class HealthTracker:
         self.schedule = schedule
         self.n_replicas = n_replicas
         self.detection_delay_s = detection_delay_s
+        if topology is None:
+            topology = getattr(schedule, "topology", None)
+        self.topology: tuple[FailureDomain, ...] = \
+            tuple(topology) if topology else ()
+        self._domain_of = _domain_map(self.topology, n_replicas)
         #: replica -> merged, sorted (start, end) unhealthy intervals.
         self._unhealthy: dict[int, list[tuple[float, float]]] = \
             {r: [] for r in range(n_replicas)}
@@ -359,6 +488,10 @@ class HealthTracker:
                     and event.duration_s > detection_delay_s:
                 lo = event.start_s + detection_delay_s
                 hi = event.start_s + event.duration_s
+            elif event.kind == "drain":
+                # Planned: no detection delay, no repair, no outage.
+                lo = event.start_s
+                hi = event.end_s
             else:
                 continue
             if hi > lo:
@@ -396,6 +529,76 @@ class HealthTracker:
         if not self._repairs:
             return None
         return sum(self._repairs) / len(self._repairs)
+
+    # -- failure domains ----------------------------------------------
+
+    def domain_of(self, replica: int) -> str | None:
+        """The failure domain ``replica`` belongs to (None outside
+        every domain)."""
+        return self._domain_of.get(replica)
+
+    def domain_health(self, t_s: float) -> dict[str, float]:
+        """domain name -> healthy fraction of its members at ``t_s``."""
+        return {
+            d.name: sum(1 for r in d.replicas
+                        if self.is_healthy(r, t_s)) / len(d.replicas)
+            for d in self.topology}
+
+    def retry_candidates(self, t_s: float,
+                         died_on: int | None = None) -> tuple[int, ...]:
+        """Replicas a retry (or migration handoff) at ``t_s`` should
+        rotate over, best first.
+
+        Healthy replicas only; the domain the request just died in is
+        excluded outright while survivors exist outside it, and
+        partially-unhealthy domains are dropped while fully-clean
+        candidates remain.  The result interleaves domains round-robin
+        so attempt ``k`` and attempt ``k+1`` land in different blast
+        radii.  Falls back gracefully: with every candidate suspect,
+        suspicion is ignored; with none at all, the tuple is empty and
+        the caller decides (fail, or re-dispatch blind).
+        """
+        healthy = [r for r in range(self.n_replicas)
+                   if self.is_healthy(r, t_s)]
+        if not healthy:
+            return ()
+        if not self._domain_of:
+            if died_on is not None:
+                kept = [r for r in healthy if r != died_on]
+                if kept:
+                    return tuple(kept)
+            return tuple(healthy)
+        bad = self._domain_of.get(died_on) \
+            if died_on is not None else None
+        if bad is not None:
+            outside = [r for r in healthy
+                       if self._domain_of.get(r) != bad]
+            if outside:
+                healthy = outside
+        if died_on is not None and died_on in healthy:
+            kept = [r for r in healthy if r != died_on]
+            if kept:
+                healthy = kept
+        suspect = {d.name for d in self.topology
+                   if any(not self.is_healthy(r, t_s)
+                          for r in d.replicas)}
+        if suspect:
+            clean = [r for r in healthy
+                     if self._domain_of.get(r) not in suspect]
+            if clean:
+                healthy = clean
+        # Interleave across domains (ungrouped replicas count as their
+        # own singleton domain) so consecutive retries spread out.
+        groups: dict[object, list[int]] = {}
+        for r in healthy:
+            groups.setdefault(self._domain_of.get(r, r), []).append(r)
+        ordered = sorted(groups.values(), key=lambda g: g[0])
+        out: list[int] = []
+        for i in range(max(len(g) for g in ordered)):
+            for group in ordered:
+                if i < len(group):
+                    out.append(group[i])
+        return tuple(out)
 
 
 def _merge_spans(

@@ -36,8 +36,9 @@ from typing import Callable, Iterable, Iterator
 
 import numpy as np
 
-from ..engine.request import FinishReason, Request
-from ..engine.scheduler import ContinuousBatchScheduler, KilledRequest
+from ..engine.request import FinishReason, Request, ResumeSpec
+from ..engine.scheduler import (ContinuousBatchScheduler, KilledRequest,
+                                MigratedRequest)
 from ..engine.telemetry import (RequestResult, ServeReport,
                                 StreamedServeReport, TenantStats,
                                 merge_tenant_accumulators,
@@ -47,6 +48,7 @@ from ..errors import SimulationError
 from ..stats import merge_sorted, percentile_of_runs, percentile_of_sorted
 from .faults import (DegradedModeConfig, FaultSchedule, HealthTracker,
                      RetryPolicy)
+from .migration import HedgePolicy, MigrationPolicy
 
 POLICIES = ("round_robin", "least_loaded", "prefix_affinity")
 
@@ -124,8 +126,19 @@ class _RoutingState:
                     % self.n_replicas
                 if healthy is not None and replica not in healthy:
                     # The affinity target is down: land on the least
-                    # loaded survivor (its prefix cache warms there).
-                    replica = self._least_loaded(healthy)
+                    # loaded survivor (its prefix cache warms there),
+                    # preferring one outside the target's failure
+                    # domain — a rack-level fault is likely to take the
+                    # target's neighbours down next.
+                    pool = healthy
+                    bad = self.health.domain_of(replica)
+                    if bad is not None:
+                        outside = tuple(
+                            r for r in healthy
+                            if self.health.domain_of(r) != bad)
+                        if outside:
+                            pool = outside
+                    replica = self._least_loaded(pool)
             else:
                 replica = self._least_loaded(healthy)
         self.loads[replica] += len(request.prompt) \
@@ -371,7 +384,9 @@ class ReplicaRouter:
                  faults: FaultSchedule | None = None,
                  retry: RetryPolicy | None = None,
                  degraded: DegradedModeConfig | None = None,
-                 detection_delay_s: float = 0.0005) -> None:
+                 detection_delay_s: float = 0.0005,
+                 migration: MigrationPolicy | None = None,
+                 hedge: HedgePolicy | None = None) -> None:
         # ``affinity_window``: leading tokens hashed by prefix_affinity.
         # Keep it at or below the shared system-prompt length (the
         # default matches the default KV block size) — a wider window
@@ -396,6 +411,13 @@ class ReplicaRouter:
         self.faults = faults
         self.retry = retry or RetryPolicy()
         self.degraded = degraded
+        #: prices drain-time KV handoffs; always present so a schedule
+        #: containing ``"drain"`` events works out of the box.
+        self.migration = migration if migration is not None \
+            else MigrationPolicy()
+        #: optional first-token-wins duplicate dispatch (tail
+        #: tolerance); full telemetry only.
+        self.hedge = hedge
         self._health = HealthTracker(faults, len(engines),
                                      detection_delay_s) \
             if faults is not None else None
@@ -513,12 +535,17 @@ class ReplicaRouter:
 
     def _route_retry(self, rid: int, attempt: int, arrival_s: float,
                      died_on: int) -> int:
-        """Deterministic retry target: a healthy survivor (never the
-        replica the attempt just died on, unless it is the only
-        replica), rotated by ``rid + attempt`` so retry storms spread
-        instead of piling onto one survivor."""
+        """Deterministic retry/handoff target: a healthy survivor
+        (never the replica the attempt just died on or drained from,
+        unless it is the only replica), rotated by ``rid + attempt`` so
+        retry storms spread instead of piling onto one survivor.  With
+        a failure-domain topology the candidate list comes domain-aware
+        from :meth:`HealthTracker.retry_candidates` — never into the
+        failing domain, interleaved across domains so consecutive
+        retries spread over racks rather than filling one."""
         assert self._health is not None
-        candidates = [r for r in self._health.healthy_replicas(arrival_s)
+        candidates = [r for r in
+                      self._health.retry_candidates(arrival_s, died_on)
                       if r != died_on]
         if not candidates:
             candidates = [r for r in range(self.n_replicas)
@@ -551,6 +578,31 @@ class ReplicaRouter:
                 entries.append((rid, attempt, "retry", arrival,
                                 self._route_retry(rid, attempt, arrival,
                                                   died_on)))
+        return tuple(entries)
+
+    def _migration_plan(
+            self, drains: "list[tuple[MigratedRequest, ...]]") -> tuple:
+        """The handoff dispatches implied by one round's drain
+        checkpoints: each checkpoint re-admits its request on a healthy
+        replica after the migration cost model's transfer delay, with a
+        :class:`ResumeSpec` so the target's first prefill skips the
+        shipped KV positions.  Checkpoint times are pure functions of
+        fault + request (like kill times), so this plan composes with
+        the retry plan in the same fixed-point iteration."""
+        by_rid: dict[int, list] = {}
+        for replica, checkpoints in enumerate(drains):
+            for ckpt in checkpoints:
+                by_rid.setdefault(ckpt.request.request_id, []).append(
+                    (ckpt.migrate_s, replica, ckpt))
+        entries = []
+        for rid in sorted(by_rid):
+            chain = sorted(by_rid[rid], key=lambda e: (e[0], e[1]))
+            for hop, (migrate_s, source, ckpt) in enumerate(chain, 1):
+                arrival = migrate_s \
+                    + self.migration.handoff_s(ckpt.kv_bytes)
+                target = self._route_retry(rid, hop, arrival, source)
+                entries.append((rid, hop, arrival, target, ckpt.position,
+                                ckpt.n_generated, ckpt.first_token_s))
         return tuple(entries)
 
     def _run_with_faults(self, requests: TraceLike, telemetry: str,
@@ -602,46 +654,168 @@ class ReplicaRouter:
         dspans = tracker.degraded_spans()
         originals = {r.request_id: r for r in admitted}
 
-        prev_plan: tuple = ()
+        n_drain_events = sum(1 for e in self.faults.events
+                             if e.kind == "drain")
+        if self.hedge is not None and telemetry != "full":
+            raise SimulationError(
+                "hedged dispatch compares per-request first-token "
+                "times; run with telemetry='full'")
+
+        prev_plan: tuple = ((), ())
         retries: dict[tuple[int, int], tuple[int, Request]] = {}
+        handoffs: dict[tuple[int, int], tuple[int, Request]] = {}
         failed: dict[int, float] = {}
         reports: list = []
         kills: list[tuple[KilledRequest, ...]] = []
+        drains: list[tuple[MigratedRequest, ...]] = []
         rounds = 0
-        max_rounds = self.retry.budget + 6
-        while True:
-            rounds += 1
-            if rounds > max_rounds:
-                raise SimulationError(
-                    f"crash re-dispatch did not converge within "
-                    f"{max_rounds} rounds — the retry plan keeps "
-                    "perturbing which requests later faults kill")
-            reports, kills = [], []
-            for idx, engine in enumerate(self.engines):
-                engine.fault_plan = plans[idx]
-                engine.degraded_spans = dspans
-                if engine.flight is not None:
-                    # Recorders would otherwise accumulate every
-                    # round's events; only the converged round's
-                    # timeline is the run.
-                    engine.flight.reset()
-                share = base_shares[idx] + [
-                    req for (_, _), (target, req)
-                    in sorted(retries.items()) if target == idx]
-                reports.append(engine.run(share, telemetry=telemetry,
-                                          max_steps=max_steps))
-                kills.append(tuple(engine.killed))
-            plan = self._retry_plan(kills)
-            if plan == prev_plan:
-                break
-            prev_plan = plan
-            retries, failed = {}, {}
-            for rid, attempt, verdict, t_s, target in plan:
+        max_rounds = (self.retry.budget + 6 + 2 * n_drain_events) \
+            * (3 if self.hedge is not None else 1)
+
+        def build_dispatches(plan: tuple) -> None:
+            """Materialize a (retry, migration) plan into dispatch
+            requests.  Retries restart from the pristine original (the
+            crash destroyed the KV); migrations re-admit with a resume
+            spec so the target's prefill skips the shipped positions.
+            Both keep the client's ledger anchored at the *original*
+            arrival — the client has been waiting since then, so
+            TTFT/E2E must say so."""
+            nonlocal retries, handoffs, failed
+            retry_plan, migration_plan = plan
+            retries, handoffs, failed = {}, {}, {}
+            for rid, attempt, verdict, t_s, target in retry_plan:
                 if verdict == "failed":
                     failed[rid] = t_s
                 else:
                     retries[(rid, attempt)] = (target, replace(
-                        originals[rid], arrival_s=t_s))
+                        originals[rid], arrival_s=t_s,
+                        accounted_arrival_s=originals[rid]
+                        .ledger_arrival_s))
+            for rid, hop, t_s, target, position, n_gen, first_s \
+                    in migration_plan:
+                resume = ResumeSpec(
+                    kv_position=position, n_generated=n_gen,
+                    first_token_s=first_s) \
+                    if position or n_gen or first_s is not None \
+                    else None
+                handoffs[(rid, hop)] = (target, replace(
+                    originals[rid], arrival_s=t_s,
+                    accounted_arrival_s=originals[rid].ledger_arrival_s,
+                    resume=resume))
+
+        def run_fixed_point() -> None:
+            """Replay every replica until a round's kills and drain
+            checkpoints reproduce exactly the dispatches it ran with."""
+            nonlocal reports, kills, drains, rounds, prev_plan
+            while True:
+                rounds += 1
+                if rounds > max_rounds:
+                    raise SimulationError(
+                        f"crash re-dispatch did not converge within "
+                        f"{max_rounds} rounds — the retry/migration "
+                        "plan keeps perturbing which requests later "
+                        "faults hit")
+                reports.clear()
+                kills.clear()
+                drains.clear()
+                for idx, engine in enumerate(self.engines):
+                    engine.fault_plan = plans[idx]
+                    engine.degraded_spans = dspans
+                    if engine.flight is not None:
+                        # Recorders would otherwise accumulate every
+                        # round's events; only the converged round's
+                        # timeline is the run.
+                        engine.flight.reset()
+                    share = base_shares[idx] + [
+                        req for (_, _), (target, req)
+                        in sorted(retries.items()) if target == idx] + [
+                        req for (_, _), (target, req)
+                        in sorted(handoffs.items()) if target == idx]
+                    reports.append(engine.run(share, telemetry=telemetry,
+                                              max_steps=max_steps))
+                    kills.append(tuple(engine.killed))
+                    drains.append(tuple(engine.drained))
+                plan = (self._retry_plan(kills),
+                        self._migration_plan(drains))
+                if plan == prev_plan:
+                    return
+                prev_plan = plan
+                build_dispatches(plan)
+
+        run_fixed_point()
+
+        # -- hedged dispatch: first-token-wins duplicates -------------------
+        hedge_copies: dict[int, tuple[int, ...]] = {}
+        winner_of: dict[int, int] = {}
+        copy_ids: set[int] = set()
+        if self.hedge is not None:
+            delay = self.hedge.delay_s
+            by_id = {r.request_id: r
+                     for rep in reports for r in rep.results}
+            candidates = sorted(
+                {rid for rid, res in by_id.items()
+                 if res.finish_reason is not FinishReason.REJECTED
+                 and res.ttft_s is not None and res.ttft_s > delay}
+                | set(failed))
+            hedge_base = max(originals, default=0) + 1
+            serial = 0
+            for rid in candidates:
+                ids = []
+                for j in range(1, self.hedge.max_hedges + 1):
+                    copy_id = hedge_base + serial
+                    serial += 1
+                    arrival = originals[rid].arrival_s + j * delay
+                    target = self._route_retry(
+                        rid, j, arrival, self.assignments[rid])
+                    copy = replace(
+                        originals[rid], request_id=copy_id,
+                        arrival_s=arrival,
+                        accounted_arrival_s=originals[rid].arrival_s)
+                    originals[copy_id] = copy
+                    base_shares[target].append(copy)
+                    self.assignments[copy_id] = target
+                    ids.append(copy_id)
+                hedge_copies[rid] = tuple(ids)
+            copy_ids = {c for ids in hedge_copies.values() for c in ids}
+        if hedge_copies:
+            run_fixed_point()
+            # First token wins.  Every contender's ledger TTFT measures
+            # from the primary's original arrival, so the TTFTs compare
+            # directly as absolute first-token order; ties keep the
+            # primary (no pointless cancellation).
+            by_id = {r.request_id: r
+                     for rep in reports for r in rep.results}
+
+            def first_token_rank(cid: int) -> tuple:
+                res = by_id.get(cid)
+                if res is None or res.ttft_s is None:
+                    return (1, 0.0)
+                return (0, res.ttft_s)
+
+            clamped = False
+            for rid, ids in sorted(hedge_copies.items()):
+                contenders = [rid, *ids]
+                winner = min(contenders,
+                             key=lambda c: (*first_token_rank(c),
+                                            contenders.index(c)))
+                winner_of[rid] = winner
+                for loser in contenders:
+                    if loser == winner:
+                        continue
+                    old = originals[loser]
+                    if old.max_new_tokens == 1:
+                        continue
+                    # Cancellation at the loser's own first token,
+                    # modeled as a one-token generation budget (the
+                    # engine frees its slot right after that token).
+                    new = replace(old, max_new_tokens=1)
+                    originals[loser] = new
+                    share = base_shares[self.assignments[loser]]
+                    share[share.index(old)] = new
+                    clamped = True
+            if clamped:
+                build_dispatches(prev_plan)
+                run_fixed_point()
 
         stats = [engine.fault_stats() for engine in self.engines]
         for engine in self.engines:
@@ -652,9 +826,41 @@ class ReplicaRouter:
             if flight is not None:
                 flight.instant("redispatch", req.arrival_s, rid,
                                attempt=attempt)
+        for (rid, hop), (target, req) in sorted(handoffs.items()):
+            flight = self.engines[target].flight
+            if flight is not None:
+                flight.instant(
+                    "migrate-in", req.arrival_s, rid, hop=hop,
+                    kv_position=req.resume.kv_position
+                    if req.resume is not None else 0)
+        for rid, ids in sorted(hedge_copies.items()):
+            for j, cid in enumerate(ids, 1):
+                flight = self.engines[self.assignments[cid]].flight
+                if flight is not None:
+                    flight.instant("hedge", originals[cid].arrival_s,
+                                   cid, primary=rid, attempt=j)
+
+        # Collapse each hedge set to its frozen winner, keyed back to
+        # the primary request id.  A winner wiped out by a post-clamp
+        # fault shift falls back to the primary's own final verdict.
+        hedge_result: dict[int, RequestResult] = {}
+        if winner_of:
+            by_id = {r.request_id: r
+                     for rep in reports for r in rep.results}
+            for rid, winner in sorted(winner_of.items()):
+                res = by_id.get(winner)
+                if res is None:
+                    res = by_id.get(rid)
+                if res is not None:
+                    hedge_result[rid] = res if res.request_id == rid \
+                        else replace(res, request_id=rid)
+        recovered = {rid for rid in hedge_result if rid in failed}
+
         # A request past its budget surfaces as FAILED at its final
         # kill — never a silent loss.  E2E runs from the *original*
-        # arrival: the client has been waiting since then.
+        # arrival: the client has been waiting since then.  Hedge
+        # copies are router-internal (their failure is not a client
+        # verdict), and a primary whose hedge won did not fail.
         failed_results = [
             RequestResult(
                 request_id=rid, tokens=(),
@@ -663,7 +869,8 @@ class ReplicaRouter:
                 finish_reason=FinishReason.FAILED, preemptions=0,
                 decode_step_s=(),
                 tenant_class=originals[rid].tenant.priority)
-            for rid, kill_s in sorted(failed.items())]
+            for rid, kill_s in sorted(failed.items())
+            if rid not in copy_ids and rid not in recovered]
         extras = sorted(shed_results + failed_results,
                         key=lambda r: r.request_id)
 
@@ -681,12 +888,23 @@ class ReplicaRouter:
             "n_crashes": sum(s["crashes"] for s in stats),
             "n_hangs": sum(s["stalls"] for s in stats),
             "n_slowdowns": sum(s["slowdowns"] for s in stats),
+            "n_drains": sum(s["drains"] for s in stats),
             "n_killed": sum(len(k) for k in kills),
             "n_redispatched": len(retries),
-            "n_failed": len(failed),
+            "n_migrated": sum(len(d) for d in drains),
+            "migrated_kv_bytes": sum(m.kv_bytes
+                                     for d in drains for m in d),
+            "n_resumed": sum(s["n_resumed"] for s in stats),
+            "resume_recompute_tokens":
+                sum(s["resume_recompute_tokens"] for s in stats),
+            "n_failed": len([r for r in failed if r not in copy_ids
+                             and r not in recovered]),
             "n_shed": len(shed_results),
             "n_lost": len(lost),
             "lost_request_ids": tuple(sorted(lost)),
+            "n_hedged": len(hedge_copies),
+            "n_hedge_wins": sum(1 for rid, w in winner_of.items()
+                                if w != rid),
             "retry_rounds": rounds,
             "mttr_s": tracker.mttr_s(),
             "downtime_s": sum(s["downtime_s"] for s in stats),
@@ -699,6 +917,34 @@ class ReplicaRouter:
             return StreamedClusterReport(reports, self.assignments,
                                          extra_results=extras,
                                          resilience=resilience)
-        return merge_reports(reports, self.assignments,
-                             extra_results=extras,
-                             resilience=resilience)
+        report = merge_reports(reports, self.assignments,
+                               extra_results=extras,
+                               resilience=resilience)
+        if hedge_copies:
+            # Collapse each hedge pair to its winner under the primary
+            # request id and re-derive the result-dependent caches; the
+            # replica reports still show the raw duplicate work (hedging
+            # is not free, and the throughput columns must say so).
+            corrected = []
+            seen: set[int] = set()
+            for res in report.results:
+                rid = res.request_id
+                if rid in copy_ids:
+                    continue
+                if rid in hedge_result:
+                    corrected.append(hedge_result[rid])
+                    seen.add(rid)
+                else:
+                    corrected.append(res)
+            corrected += [hedge_result[rid]
+                          for rid in sorted(hedge_result)
+                          if rid not in seen]
+            corrected.sort(key=lambda r: r.request_id)
+            report.results = corrected
+            report.tenant_stats = tenant_stats_from_results(
+                corrected, report.total_time_s)
+            report._ttft_sorted = sorted(
+                r.ttft_s for r in corrected if r.ttft_s is not None)
+            report._decode_lat_sorted = sorted(
+                s for r in corrected for s in r.decode_step_s)
+        return report

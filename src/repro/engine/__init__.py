@@ -40,8 +40,10 @@ from .backends import (
     derive_kv_token_budget,
     kv_discipline_kwargs,
 )
-from .request import FinishReason, Request, RequestState, RequestStatus
-from .scheduler import ContinuousBatchScheduler, KilledRequest
+from .request import (FinishReason, Request, RequestState, RequestStatus,
+                      ResumeSpec)
+from .scheduler import (ContinuousBatchScheduler, KilledRequest,
+                        MigratedRequest)
 from .telemetry import (
     TELEMETRY_LEVELS,
     WINDOW_BREAK_REASONS,
@@ -68,11 +70,13 @@ __all__ = [
     "FinishReason",
     "FunctionalBackend",
     "KilledRequest",
+    "MigratedRequest",
     "PRIORITY_CLASSES",
     "Request",
     "RequestResult",
     "RequestState",
     "RequestStatus",
+    "ResumeSpec",
     "ServeReport",
     "StepEvent",
     "StepWindow",

@@ -765,7 +765,10 @@ class CycleModelBackend(_TimingStreamMixin, _CycleTimedBackend):
             self.paged_kv.commit_prefix(state.slot, tokens)
         state.position = len(tokens)
         state.logits = None
-        return self.prefill_cycles(len(tokens), start=cached)
+        # Migration resume: KV that arrived with the checkpoint costs
+        # link transfer (charged by the router), never compute here.
+        start = min(max(cached, state.resume_skip), len(tokens))
+        return self.prefill_cycles(len(tokens), start=start)
 
     def decode_batch(self, states: Sequence[RequestState]) -> float:
         contexts = [s.context for s in states]
@@ -1021,7 +1024,10 @@ class AnalyticalBackend(_TimingStreamMixin, _KVMixin):
             self.paged_kv.commit_prefix(state.slot, tokens)
         state.position = len(tokens)
         state.logits = None
-        return self.prefill_cycles(len(tokens), start=cached)
+        # Migration resume: transferred KV is free compute (see
+        # CycleModelBackend.prefill).
+        start = min(max(cached, state.resume_skip), len(tokens))
+        return self.prefill_cycles(len(tokens), start=start)
 
     def decode_batch(self, states: Sequence[RequestState]) -> float:
         contexts = [s.context for s in states]

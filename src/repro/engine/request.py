@@ -55,6 +55,29 @@ class FinishReason(enum.Enum):
 
 
 @dataclass(frozen=True)
+class ResumeSpec:
+    """Handoff state a migrated request carries to its target replica.
+
+    ``kv_position`` leading sequence tokens arrive with the checkpoint
+    (their KV was computed on the source and shipped over the
+    interconnect), so the target's first prefill skips them — zero
+    recompute.  ``n_generated`` tokens of the generated suffix are
+    replayed from the deterministic token stream, and
+    ``first_token_s`` carries the instant the source already streamed
+    the first token, so TTFT stays the client-visible one.
+    """
+
+    kv_position: int
+    n_generated: int = 0
+    first_token_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kv_position < 0 or self.n_generated < 0:
+            raise SimulationError(
+                "resume spec needs kv_position >= 0 and n_generated >= 0")
+
+
+@dataclass(frozen=True)
 class Request:
     """One client generation request."""
 
@@ -65,6 +88,14 @@ class Request:
     sampler: Sampler | None = None
     eos_id: int | None = None
     tenant: TenantSpec = DEFAULT_TENANT
+    #: latency-ledger origin: the client-visible arrival TTFT and e2e
+    #: are measured from.  A retry or migration re-dispatch schedules
+    #: at its new ``arrival_s`` but keeps the original arrival here —
+    #: the client has been waiting since then.  None = ``arrival_s``.
+    accounted_arrival_s: float | None = None
+    #: KV-checkpoint handoff state (migration re-dispatch); None for a
+    #: fresh request.
+    resume: ResumeSpec | None = None
 
     def __post_init__(self) -> None:
         if not self.prompt:
@@ -80,6 +111,13 @@ class Request:
             raise SimulationError(
                 f"request {self.request_id}: tenant must be a TenantSpec")
         object.__setattr__(self, "prompt", tuple(self.prompt))
+
+    @property
+    def ledger_arrival_s(self) -> float:
+        """The arrival latency metrics run from (see
+        ``accounted_arrival_s``)."""
+        return self.arrival_s if self.accounted_arrival_s is None \
+            else self.accounted_arrival_s
 
 
 @dataclass
@@ -100,6 +138,11 @@ class RequestState:
     finish_s: float | None = None
     finish_reason: FinishReason | None = None
     preemptions: int = 0
+    #: leading sequence tokens the next prefill may skip because their
+    #: KV arrived with a migration checkpoint; cleared after that
+    #: prefill (an eviction on this replica loses the transferred KV,
+    #: so any later re-prefill recomputes in full).
+    resume_skip: int = 0
     #: half-open ranges of global decode-step indices this request was
     #: batched into — one per admission (preemption closes a span).
     #: ``decode_step_s`` is exactly the scheduler's per-step latency
@@ -158,16 +201,17 @@ class RequestState:
 
     @property
     def ttft_s(self) -> float:
-        """Arrival to first sampled token (queueing + prefill)."""
+        """Client-visible arrival to first sampled token (queueing +
+        prefill; a re-dispatch measures from the original arrival)."""
         if self.first_token_s is None:
             raise SimulationError(
                 f"request {self.request_id}: no token produced yet")
-        return self.first_token_s - self.request.arrival_s
+        return self.first_token_s - self.request.ledger_arrival_s
 
     @property
     def e2e_s(self) -> float:
-        """Arrival to retirement."""
+        """Client-visible arrival to retirement."""
         if self.finish_s is None:
             raise SimulationError(
                 f"request {self.request_id}: not finished")
-        return self.finish_s - self.request.arrival_s
+        return self.finish_s - self.request.ledger_arrival_s

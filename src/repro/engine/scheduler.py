@@ -75,6 +75,36 @@ class KilledRequest:
     tokens_lost: int = 0
 
 
+@dataclass(frozen=True)
+class MigratedRequest:
+    """One request checkpointed off a draining replica.
+
+    ``phase`` records where the drain caught it: ``"running"`` (in the
+    batch — its KV checkpoint of ``kv_bytes`` ships over the
+    interconnect), ``"queued"`` (waiting — nothing resident, a
+    zero-byte handoff), or ``"arrival"`` (arrived mid-drain, admission
+    closed).  Migration times are pure functions of the fault and the
+    request, like kill times, so the router's re-dispatch plan is
+    bit-identical across scheduler tiers.
+    """
+
+    request: Request
+    migrate_s: float
+    phase: str
+    #: KV-resident tokens at checkpoint time (prompt + forwarded
+    #: generated) — what the target's resume prefill may skip.
+    position: int = 0
+    n_generated: int = 0
+    tokens: tuple[int, ...] = ()
+    first_token_s: float | None = None
+    preemptions: int = 0
+    #: checkpoint payload: the *logical* sequence KV — the target
+    #: shares none of the source's blocks, so prefix-shared residency
+    #: earns no transfer discount.
+    kv_bytes: int = 0
+    blocks: int = 0
+
+
 class _ClassQueues:
     """The waiting queue: one arrival-sorted deque per priority class.
 
@@ -270,13 +300,22 @@ class ContinuousBatchScheduler:
         #: (:class:`KilledRequest`, in kill order) — what the router
         #: re-dispatches to surviving replicas or fails.
         self.killed: list[KilledRequest] = []
+        #: requests checkpointed off this replica by drain events
+        #: (:class:`MigratedRequest`, in migration order) — what the
+        #: router re-admits on a healthy replica after a handoff charge.
+        self.drained: list[MigratedRequest] = []
         self._fault_actions: tuple = ()
         self._fault_next = 0
         self._slow_factor = 1.0
         self._slow_until: float | None = None
         self._down_start = 0.0
         self._down_until: float | None = None
-        self._fault_counts = {"crash": 0, "stall": 0, "slow": 0}
+        self._drain_start = 0.0
+        self._drain_until: float | None = None
+        self._n_resumed = 0
+        self._resume_recompute_tokens = 0
+        self._fault_counts = {"crash": 0, "stall": 0, "slow": 0,
+                              "drain": 0}
         self._downtime_s = 0.0
         self._degraded_tokens = 0
         self._degraded_starts: list[float] = []
@@ -309,6 +348,25 @@ class ContinuousBatchScheduler:
                 f"KV budget of {self.kv_token_budget} tokens")
         self._register_tenant(request)
         state = RequestState(request=request)
+        resume = request.resume
+        if resume is not None:
+            # Migration handoff: re-seed the generated suffix from the
+            # deterministic token stream and mark the transferred KV as
+            # skippable by the first prefill.
+            replay = getattr(self.backend, "replay_tokens", None)
+            if replay is None:
+                raise SimulationError(
+                    f"request {request.request_id}: migration resume "
+                    "needs a replayable token stream; this backend "
+                    "computes real logits and cannot re-seed one")
+            if resume.n_generated:
+                state.generated = list(replay(
+                    request.request_id, resume.n_generated,
+                    request.eos_id))
+            state.first_token_s = resume.first_token_s
+            state.resume_skip = min(
+                resume.kv_position,
+                len(request.prompt) + resume.n_generated)
         self.waiting.append(state)
         if self.flight is not None:
             self.flight.request_phase(
@@ -452,14 +510,32 @@ class ContinuousBatchScheduler:
 
     def _fault_boundary(self) -> float | None:
         """Next simulated time a fault changes scheduler behaviour: the
-        start of the next unserviced action, or the expiry of an active
-        slowdown (cycles charged after it must stop being scaled)."""
+        start of the next unserviced action, the expiry of an active
+        slowdown (cycles charged after it must stop being scaled), or
+        an active drain's deadline (survivors checkpoint there)."""
         nxt = self._slow_until
+        if self._drain_until is not None \
+                and (nxt is None or self._drain_until < nxt):
+            nxt = self._drain_until
         if self._fault_next < len(self._fault_actions):
             start = self._fault_actions[self._fault_next].start_s
             if nxt is None or start < nxt:
                 nxt = start
         return nxt
+
+    def _boundary_reason(self, boundary: float) -> str:
+        """Window-break label for a cut at ``boundary``: ``"drain"``
+        when the binding boundary is a drain transition (the active
+        drain's deadline, or the start of the next drain action),
+        ``"fault"`` for everything else."""
+        if self._drain_until is not None \
+                and boundary == self._drain_until:
+            return "drain"
+        if self._fault_next < len(self._fault_actions):
+            action = self._fault_actions[self._fault_next]
+            if action.kind == "drain" and action.start_s == boundary:
+                return "drain"
+        return "fault"
 
     def _service_faults(self) -> None:
         """Apply every fault action due at the current clock."""
@@ -467,6 +543,9 @@ class ContinuousBatchScheduler:
             if self._slow_until is not None \
                     and self.clock_s >= self._slow_until:
                 self._slow_factor, self._slow_until = 1.0, None
+            if self._drain_until is not None \
+                    and self.clock_s >= self._drain_until:
+                self._finish_drain()
             if self._fault_next >= len(self._fault_actions):
                 return
             action = self._fault_actions[self._fault_next]
@@ -475,6 +554,8 @@ class ContinuousBatchScheduler:
             self._fault_next += 1
             if action.kind == "crash":
                 self._apply_crash(action)
+            elif action.kind == "drain":
+                self._begin_drain(action)
             elif action.kind == "stall":
                 # A hang freezes the replica: nothing is scheduled
                 # until it ends, modelled as a clock jump at this
@@ -544,13 +625,123 @@ class ContinuousBatchScheduler:
         self.killed.append(
             KilledRequest(request, kill_s, phase, tokens_lost))
 
+    # -- graceful drain ------------------------------------------------------
+    #
+    # A drain is the planned counterpart of a crash: admission closes
+    # at the action start, running sequences keep decoding until the
+    # deadline, and whatever is still in flight then checkpoints into
+    # ``drained`` instead of dying.  Like kill times, every migration
+    # time is a pure function of the fault and the request, so the
+    # router's handoff plan is identical across scheduler tiers.
+
+    def _begin_drain(self, action) -> None:
+        """Close admission for ``[start, start + duration)``: queued
+        work and mid-drain arrivals hand over immediately (nothing of
+        theirs is KV-resident), running work decodes on toward the
+        deadline."""
+        self._fault_counts["drain"] += 1
+        deadline = action.start_s + action.duration_s
+        self._drain_start = action.start_s
+        self._drain_until = deadline
+        if self.flight is not None:
+            self.flight.marker("drain", action.start_s,
+                               drain_s=action.duration_s)
+        for state in self.waiting.remove_if(
+                lambda s: s.request.arrival_s < deadline):
+            self._log_migration(MigratedRequest(
+                request=state.request,
+                migrate_s=max(action.start_s, state.request.arrival_s),
+                phase="queued",
+                n_generated=state.n_generated,
+                tokens=tuple(state.generated),
+                first_token_s=state.first_token_s,
+                preemptions=state.preemptions))
+        head = self._stream_head
+        if head is not None and head.arrival_s < deadline:
+            self._stream_head = None
+            self._log_migration(MigratedRequest(
+                request=head,
+                migrate_s=max(action.start_s, head.arrival_s),
+                phase="arrival"))
+
+    def _finish_drain(self) -> None:
+        """Drain deadline reached: checkpoint every still-running
+        sequence at the deadline instant and reopen admission."""
+        deadline = self._drain_until
+        assert deadline is not None
+        self._drain_start = 0.0
+        self._drain_until = None
+        for state in list(self.running):
+            self._extract_running(state, deadline)
+
+    def extract_state(self, request_id: int,
+                      migrate_s: float | None = None) -> MigratedRequest:
+        """Checkpoint one running sequence off this replica: its KV
+        payload size, position, and generated suffix, ready for a
+        handoff.  The sequence leaves the batch and its KV accounting
+        unwinds; ``migrate_s`` defaults to the current clock."""
+        for state in self.running:
+            if state.request_id == request_id:
+                return self._extract_running(
+                    state,
+                    self.clock_s if migrate_s is None else migrate_s)
+        raise SimulationError(
+            f"request {request_id} is not running on this replica")
+
+    def _extract_running(self, state: RequestState,
+                         migrate_s: float) -> MigratedRequest:
+        kv_bytes, blocks = self._kv_payload(state)
+        self.backend.release(state)
+        self.running.remove(state)
+        self._cached_total -= state.position
+        if self._quota_specs:
+            self._uncache_tenant(state)
+        state.spans.append((state._span_start, self._decode_steps))
+        ckpt = MigratedRequest(
+            request=state.request, migrate_s=migrate_s, phase="running",
+            position=state.position, n_generated=state.n_generated,
+            tokens=tuple(state.generated),
+            first_token_s=state.first_token_s,
+            preemptions=state.preemptions,
+            kv_bytes=kv_bytes, blocks=blocks)
+        self._log_migration(ckpt)
+        return ckpt
+
+    def _kv_payload(self, state: RequestState) -> tuple[int, int]:
+        """``(bytes, blocks)`` a checkpoint of this sequence ships —
+        the logical sequence KV; the target holds none of the source's
+        blocks, so prefix-shared residency earns no discount."""
+        if state.slot is None or state.position == 0:
+            return 0, 0
+        if self.paged_kv is not None:
+            return (self.paged_kv.sequence_payload_bytes(state.slot),
+                    len(self.paged_kv.block_table(state.slot)))
+        model = self.backend.model_config
+        kv_bits = self.backend.quant.kv_bits
+        return (2 * model.num_layers * state.position * model.kv_dim
+                * kv_bits // 8, 0)
+
+    def _log_migration(self, ckpt: MigratedRequest) -> None:
+        if self.flight is not None:
+            rid = ckpt.request.request_id
+            self.flight.instant("migrate-out", ckpt.migrate_s, rid,
+                                phase=ckpt.phase,
+                                kv_bytes=ckpt.kv_bytes,
+                                tokens=ckpt.n_generated)
+            self.flight.request_phase(rid, None, ckpt.migrate_s)
+        self.drained.append(ckpt)
+
     def fault_stats(self) -> dict[str, float]:
         """Per-replica fault tally of the current/last run."""
         return {
             "crashes": self._fault_counts["crash"],
             "stalls": self._fault_counts["stall"],
             "slowdowns": self._fault_counts["slow"],
+            "drains": self._fault_counts["drain"],
             "n_killed": len(self.killed),
+            "n_drained": len(self.drained),
+            "n_resumed": self._n_resumed,
+            "resume_recompute_tokens": self._resume_recompute_tokens,
             "downtime_s": self._downtime_s,
             "degraded_tokens": self._degraded_tokens,
         }
@@ -663,6 +854,7 @@ class ContinuousBatchScheduler:
         state.spans.append((state._span_start, self._decode_steps))
         state.position = 0
         state.logits = None
+        state.resume_skip = 0  # transferred KV does not survive eviction
         state.preemptions += 1
         self._preemptions += 1
         if self.flight is not None:
@@ -746,6 +938,11 @@ class ContinuousBatchScheduler:
         blocks every class below it — strict priority, no bypass —
         reported via ``pool_blocked`` so window gates know an arrived
         head is waiting on capacity."""
+        if self._drain_until is not None:
+            # Draining: admission is closed outright.  Arrivals inside
+            # the drain window were already handed over, so nothing an
+            # open scan would admit can be waiting anyway.
+            return -1, None, False, False
         for rank, queue in enumerate(self.waiting.queues):
             if not queue:
                 continue
@@ -798,6 +995,18 @@ class ContinuousBatchScheduler:
                 cycles = cycles * self._slow_factor
             state.prefill_cycles += cycles
             self._advance(cycles)
+            req = state.request
+            if req.resume is not None:
+                if state.preemptions == 0:
+                    # First prefill on the handoff target: the shipped
+                    # KV (``resume_skip``) was free, zero recompute.
+                    self._n_resumed += 1
+                else:
+                    # Evicted after resuming: the shipped KV is gone
+                    # and this re-prefill recomputes the source's work.
+                    self._resume_recompute_tokens += min(
+                        req.resume.kv_position, state.position)
+                state.resume_skip = 0
             state.status = RequestStatus.RUNNING
             state._span_start = self._decode_steps
             self.running.append(state)
@@ -962,7 +1171,8 @@ class ContinuousBatchScheduler:
                 cut = int(np.searchsorted(clocks[:limit],
                                           boundary, side="left"))
                 if cut < applied:
-                    applied, reason = cut, "fault"
+                    applied = cut
+                    reason = self._boundary_reason(boundary)
         if applied <= 0:
             # Zero-step arrival cut: no window advanced, so nothing to
             # account — the eager step takes over immediately.
@@ -1021,6 +1231,11 @@ class ContinuousBatchScheduler:
         clock_parts: list[np.ndarray] = []
         total_applied = 0
         break_reason: str | None = None
+        #: fault boundaries are part of the event horizon: a chain that
+        #: ends exactly AT a known fault start (or drain deadline) is a
+        #: planned termination, not a mid-window break — it leaves
+        #: ``break_reason`` driving the loop but records no break note.
+        note_break = True
 
         while True:
             # Re-gate at every segment start: folded retirements free
@@ -1037,7 +1252,8 @@ class ContinuousBatchScheduler:
                     # run loop services the fault before any new
                     # segment.  Never binds on the first iteration —
                     # loop-top servicing guarantees clock < boundary.
-                    break_reason = "fault"
+                    break_reason = self._boundary_reason(fault_boundary)
+                    note_break = False
                     break
             pending = list(self.running)
             if not pending:
@@ -1160,7 +1376,13 @@ class ContinuousBatchScheduler:
                                               fault_boundary,
                                               side="left"))
                     if cut < applied:
-                        applied, break_reason = cut, "fault"
+                        # The chain ends exactly at the boundary (the
+                        # first unapplied step's pre-step clock has
+                        # reached it) — a planned, note-free chain end.
+                        applied = cut
+                        break_reason = \
+                            self._boundary_reason(fault_boundary)
+                        note_break = False
             if applied <= 0:
                 # First possible step already crosses the arrival.  A
                 # window that never advanced is note-free: no steps
@@ -1201,7 +1423,7 @@ class ContinuousBatchScheduler:
             if break_reason is not None:
                 break
 
-        if break_reason is not None:
+        if break_reason is not None and note_break:
             rec.note_break(break_reason)
         if not total_applied:
             return 0
@@ -1359,6 +1581,17 @@ class ContinuousBatchScheduler:
                         "arrival", 0)
                     continue
                 self._down_until = None
+            if self._drain_until is not None \
+                    and head.arrival_s < self._drain_until:
+                # Draining: in-window arrivals hand over immediately
+                # instead of queueing behind a closed admission gate.
+                # The flag itself clears at the deadline, not here.
+                self._stream_head = None
+                self._log_migration(MigratedRequest(
+                    request=head,
+                    migrate_s=max(head.arrival_s, self._drain_start),
+                    phase="arrival"))
+                continue
             if self.waiting and head.arrival_s > self.clock_s:
                 return
             self._stream_head = None
@@ -1408,6 +1641,7 @@ class ContinuousBatchScheduler:
         self._arrival_sorted = not self.waiting
         self._tenant_cached = {name: 0 for name in self._quota_specs}
         self.killed = []
+        self.drained = []
         self._fault_actions = tuple(self.fault_plan.actions) \
             if self.fault_plan is not None else ()
         self._fault_next = 0
@@ -1415,7 +1649,12 @@ class ContinuousBatchScheduler:
         self._slow_until = None
         self._down_start = 0.0
         self._down_until = None
-        self._fault_counts = {"crash": 0, "stall": 0, "slow": 0}
+        self._drain_start = 0.0
+        self._drain_until = None
+        self._n_resumed = 0
+        self._resume_recompute_tokens = 0
+        self._fault_counts = {"crash": 0, "stall": 0, "slow": 0,
+                              "drain": 0}
         self._downtime_s = 0.0
         self._degraded_tokens = 0
         spans = sorted(self.degraded_spans)

@@ -56,10 +56,12 @@ _RECORDING_LEVELS = ("full", "windows")
 #: force a preemption decision the window must not fold over;
 #: ``"fault"`` marks windows cut at an injected fault boundary (crash /
 #: hang / slowdown transition) so fast-forward never folds over a
-#: scheduler state change a fault would have caused mid-window.
+#: scheduler state change a fault would have caused mid-window;
+#: ``"drain"`` is the same cut at a drain transition (admission stops,
+#: or the drain deadline checkpoints the survivors for migration).
 WINDOW_BREAK_REASONS = ("admission", "arrival", "retirement-unpredicted",
                         "preemption-risk", "block-frontier", "eos",
-                        "quota", "fault")
+                        "quota", "fault", "drain")
 
 #: FinishReason <-> small-int codes for the columnar result store.
 _REASON_LIST = list(FinishReason)

@@ -190,6 +190,13 @@ class PagedKVCache:
         return (2 * self.config.num_layers * self.resident_tokens()
                 * self.config.kv_dim * self.kv_bits // 8)
 
+    def sequence_payload_bytes(self, seq_id: int) -> int:
+        """KV code bytes a checkpoint of one sequence ships: its full
+        logical length.  A migration target holds none of this pool's
+        blocks, so prefix-shared residency earns no transfer discount."""
+        return (2 * self.config.num_layers * self.length(seq_id)
+                * self.config.kv_dim * self.kv_bits // 8)
+
     # -- admission accounting ---------------------------------------------
 
     def admission_plan(self, tokens: Sequence[int]) -> tuple[int, int]:

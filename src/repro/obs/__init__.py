@@ -25,6 +25,7 @@ from .runstore import (
     RunStore,
     SCHEMA,
     diff_records,
+    median_record,
     metric_direction,
     report_metrics,
 )
@@ -46,6 +47,7 @@ __all__ = [
     "StepWindow",
     "diff_records",
     "export_chrome_trace",
+    "median_record",
     "merge_chrome_events",
     "metric_direction",
     "report_metrics",

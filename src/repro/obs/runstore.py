@@ -39,7 +39,7 @@ DEFAULT_ROOT = "benchmarks/runs"
 HIGHER_IS_BETTER = ("tokens_per_s", "goodput", "throughput", "speedup")
 LOWER_IS_BETTER = ("ttft", "lat", "e2e", "wall", "rss", "heap",
                    "preempt", "rejected", "lost", "failed", "killed",
-                   "mttr", "downtime", "shed")
+                   "mttr", "downtime", "shed", "recompute")
 
 
 def metric_direction(key: str) -> int:
@@ -253,6 +253,65 @@ class RunStore:
                     return record
             raise ReproError(f"no run {selector!r} in {path}")
         return records[-1]
+
+    def load_window(self, selector: str, k: int) -> list[RunRecord]:
+        """The last ``k`` records under ``selector``'s label (or run
+        file), oldest first.  Their :func:`median_record` is a
+        noise-robust baseline: one unlucky scheduler wobble in the
+        history no longer decides whether today's run "regressed"."""
+        if k <= 0:
+            raise ReproError(f"baseline window must be >= 1: {k}")
+        as_path = pathlib.Path(selector)
+        if as_path.suffix in (".jsonl", ".json") or as_path.is_file():
+            if not as_path.is_file():
+                raise ReproError(f"no run file at {selector!r}")
+            records = self._load_lines(as_path)
+        else:
+            label = selector.split("#", 1)[0]
+            path = self._label_path(label)
+            if not path.is_file():
+                raise ReproError(
+                    f"no runs recorded under label {label!r} "
+                    f"(looked at {path})")
+            records = self._load_lines(path)
+        if not records:
+            raise ReproError(f"no runs under {selector!r}")
+        return records[-k:]
+
+
+def median_record(records: "list[RunRecord]") -> RunRecord:
+    """A synthetic record holding the per-metric median of ``records``.
+
+    Only metrics numeric in *every* record survive (a median over a
+    partial window would silently mix telemetry levels).  The even-size
+    median averages the middle pair — fine for a baseline, which is a
+    comparison anchor, not a reproducible measurement.
+    """
+    if not records:
+        raise ReproError("no records to take a median over")
+    if len(records) == 1:
+        return records[0]
+    keys = set(records[0].metrics)
+    for rec in records[1:]:
+        keys &= set(rec.metrics)
+    metrics: dict = {}
+    for key in sorted(keys):
+        values = [rec.metrics[key] for rec in records
+                  if isinstance(rec.metrics[key], (int, float))
+                  and not isinstance(rec.metrics[key], bool)]
+        if len(values) != len(records):
+            continue
+        values.sort()
+        mid = len(values) // 2
+        metrics[key] = values[mid] if len(values) % 2 \
+            else (values[mid - 1] + values[mid]) / 2
+    return RunRecord(
+        run_id=f"{records[0].label}#median[{len(records)}]",
+        label=records[0].label,
+        created_unix=max(r.created_unix for r in records),
+        config={"median_of": [r.run_id for r in records]},
+        metrics=metrics,
+        git_commit=records[-1].git_commit)
 
 
 @dataclass

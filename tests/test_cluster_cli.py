@@ -48,6 +48,53 @@ def test_serve_sim_tp_must_divide_model():
         main(["serve-sim", "--model", "tiny-test", "--tp", "3"])
 
 
+def test_serve_sim_drain_migrates_without_losing_work(capsys):
+    code, out = run(capsys, "serve-sim", "--model", "tiny-test",
+                    "--requests", "48", "--replicas", "3", "--drain",
+                    "--telemetry", "full")
+    assert code == 0
+    assert "drains 1: migrated" in out
+    assert "lost 0" in out
+    assert "recompute 0 tokens" in out
+
+
+def test_serve_sim_chaos_domains(capsys):
+    code, out = run(capsys, "serve-sim", "--model", "tiny-test",
+                    "--requests", "48", "--replicas", "4", "--chaos",
+                    "--domains", "2", "--telemetry", "full")
+    assert code == 0
+    assert "chaos" in out
+    assert "lost 0" in out
+
+
+def test_serve_sim_hedge_rides_drain(capsys):
+    code, out = run(capsys, "serve-sim", "--model", "tiny-test",
+                    "--requests", "48", "--replicas", "3", "--chaos",
+                    "--drain", "--hedge", "0.002",
+                    "--telemetry", "full")
+    assert code == 0
+    assert "hedged" in out
+
+
+def test_serve_sim_drain_needs_replicas():
+    with pytest.raises(SystemExit):
+        main(["serve-sim", "--model", "tiny-test", "--requests", "4",
+              "--drain"])
+
+
+def test_serve_sim_domains_need_chaos():
+    with pytest.raises(SystemExit):
+        main(["serve-sim", "--model", "tiny-test", "--requests", "4",
+              "--replicas", "2", "--domains", "2"])
+
+
+def test_serve_sim_hedge_needs_full_telemetry():
+    with pytest.raises(SystemExit):
+        main(["serve-sim", "--model", "tiny-test", "--requests", "4",
+              "--replicas", "2", "--drain", "--hedge", "0.001",
+              "--telemetry", "summary"])
+
+
 def test_bench_serve_scaling_sweep(capsys):
     """The TP x DP grid on the bandwidth-bound model must scale."""
     code, out = run(capsys, "bench-serve", "--scaling-sweep",

@@ -185,19 +185,53 @@ class TestEngineFaults:
         assert slowed.total_time_s > healthy.total_time_s
 
     def test_fault_window_break_reason(self):
-        """A fault boundary cuts fast-forward windows with its own
-        break reason — long compute-bound decodes would otherwise span
-        the slowdown's start and expiry."""
-        eng = make_engine("cycle", "slotted", ff="multi")
-        eng.fault_plan = FaultSchedule([FaultEvent(
-            "slowdown", 0, 0.0005, 0.001, factor=2.0)]).plan_for(0)
-        rep = eng.run(synthetic_trace(
+        """A fault boundary cuts fast-forward windows; the multi-step
+        predictor *plans* its chains to end exactly there (the boundary
+        is known in advance), so only the single-window tier records
+        the cut as a "fault" break."""
+        chaos_trace = synthetic_trace(
             TINY_MODEL, n_requests=4, arrival_rate_rps=1e9,
-            prompt_len=(3, 8), decode_len=(64, 128), seed=0),
-            telemetry="full")
+            prompt_len=(3, 8), decode_len=(64, 128), seed=0)
+        plan = FaultSchedule([FaultEvent(
+            "slowdown", 0, 0.0005, 0.001, factor=2.0)]).plan_for(0)
+        eng = make_engine("cycle", "slotted", ff="multi")
+        eng.fault_plan = plan
+        rep = eng.run(chaos_trace, telemetry="full")
         assert not eng.killed
         assert len(rep.results) == 4
-        assert rep.window_stats["breaks"]["fault"] > 0
+        assert rep.window_stats["breaks"].get("fault", 0) == 0
+        eng_s = make_engine("cycle", "slotted", ff="single")
+        eng_s.fault_plan = plan
+        rep_s = eng_s.run(chaos_trace, telemetry="full")
+        assert rep_s.window_stats["breaks"]["fault"] > 0
+        assert_reports_identical(rep, rep_s)
+
+    def test_fault_boundary_folding_shrinks_break_histogram(self):
+        """Satellite metric of the event-horizon fold: on a chaotic
+        trace the multi tier's total unplanned-break count is strictly
+        below the single tier's, because every fault-boundary cut that
+        the single tier logs is a planned chain end for the predictor."""
+        chaos_trace = synthetic_trace(
+            TINY_MODEL, n_requests=6, arrival_rate_rps=1e9,
+            prompt_len=(3, 8), decode_len=(64, 128), seed=1)
+        events = [FaultEvent("slowdown", 0, 0.0004, 0.0008,
+                             factor=2.5),
+                  FaultEvent("slowdown", 0, 0.0016, 0.0008,
+                             factor=1.5),
+                  FaultEvent("hang", 0, 0.003, 0.0005)]
+        plan = FaultSchedule(events).plan_for(0)
+        reps = {}
+        for tier in ("multi", "single"):
+            eng = make_engine("cycle", "slotted", ff=tier)
+            eng.fault_plan = plan
+            reps[tier] = eng.run(chaos_trace, telemetry="full")
+        rep_m, rep_s = reps["multi"], reps["single"]
+        assert_reports_identical(rep_m, rep_s)
+        breaks_m = rep_m.window_stats["breaks"]
+        breaks_s = rep_s.window_stats["breaks"]
+        assert breaks_s.get("fault", 0) > 0
+        assert breaks_m.get("fault", 0) == 0
+        assert sum(breaks_m.values()) < sum(breaks_s.values())
 
     def test_fault_plan_is_inert_between_runs(self):
         """Clearing ``fault_plan`` restores healthy behavior exactly."""

@@ -45,6 +45,7 @@ from repro.obs import (
     RunStore,
     diff_records,
     export_chrome_trace,
+    median_record,
     merge_chrome_events,
     metric_direction,
     report_metrics,
@@ -649,6 +650,74 @@ class TestDiffRecords:
         assert metric_direction("n_requests") == 0
 
 
+class TestBaselineWindow:
+    """Satellite: ``obs diff --baseline-window k`` compares against the
+    per-metric median of the last ``k`` baseline runs, so a single
+    unlucky run in the history cannot decide a regression verdict."""
+
+    def _rec(self, seq, **metrics):
+        return RunRecord(run_id=f"b#{seq}", label="b",
+                         created_unix=float(seq), config={},
+                         metrics=metrics)
+
+    def test_load_window_returns_last_k_oldest_first(self, tmp_path):
+        store = RunStore(tmp_path)
+        for seed in range(4):
+            store.record_report("lbl", _report(seed=seed))
+        window = store.load_window("lbl", 3)
+        assert [r.run_id for r in window] == ["lbl#1", "lbl#2", "lbl#3"]
+        # Oversized windows clamp to what exists; bad k raises.
+        assert len(store.load_window("lbl", 99)) == 4
+        assert [r.run_id for r in store.load_window("lbl", 1)] \
+            == ["lbl#3"]
+        with pytest.raises(ReproError):
+            store.load_window("lbl", 0)
+        with pytest.raises(ReproError):
+            store.load_window("missing", 3)
+        # A .jsonl path selects the same file as its label.
+        assert [r.run_id for r in
+                store.load_window(str(tmp_path / "lbl.jsonl"), 2)] \
+            == ["lbl#2", "lbl#3"]
+
+    def test_median_record_odd_and_even(self):
+        recs = [self._rec(0, x=1.0, n=10), self._rec(1, x=5.0, n=10),
+                self._rec(2, x=2.0, n=10)]
+        med = median_record(recs)
+        assert med.run_id == "b#median[3]"
+        assert med.metrics == {"x": 2.0, "n": 10}
+        assert med.config["median_of"] == ["b#0", "b#1", "b#2"]
+        even = median_record(recs + [self._rec(3, x=4.0, n=10)])
+        assert even.metrics["x"] == 3.0  # mean of middle pair (2, 4)
+
+    def test_median_record_drops_partial_metrics(self):
+        # A metric missing (or non-numeric) in any record is dropped:
+        # medians over mixed telemetry levels would lie.
+        recs = [self._rec(0, x=1.0, y=2.0), self._rec(1, x=3.0),
+                self._rec(2, x=2.0, y="full")]
+        assert set(median_record(recs).metrics) == {"x"}
+
+    def test_median_record_edge_sizes(self):
+        single = self._rec(0, x=1.0)
+        assert median_record([single]) is single
+        with pytest.raises(ReproError):
+            median_record([])
+
+    def test_diff_tolerates_one_outlier_baseline(self):
+        # Runs 0 and 2 agree; run 1 is a 2x outlier.  The median
+        # baseline sides with the majority, so the steady candidate
+        # does not regress.
+        window = [self._rec(0, aggregate_tokens_per_s=1000.0),
+                  self._rec(1, aggregate_tokens_per_s=2000.0),
+                  self._rec(2, aggregate_tokens_per_s=1010.0)]
+        cand = self._rec(9, aggregate_tokens_per_s=990.0)
+        against_outlier = {d.key: d
+                           for d in diff_records(window[1], cand)}
+        assert against_outlier["aggregate_tokens_per_s"].regressed
+        against_median = {d.key: d for d in
+                          diff_records(median_record(window), cand)}
+        assert not against_median["aggregate_tokens_per_s"].regressed
+
+
 # ---------------------------------------------------------------------------
 # CLI surface
 # ---------------------------------------------------------------------------
@@ -702,6 +771,23 @@ class TestObsCli:
         assert code == 1
         assert "REGRESSED" in out
         assert "aggregate_tokens_per_s" in out
+
+    def test_diff_baseline_window_cli(self, capsys, tmp_path):
+        runs = str(tmp_path / "runs")
+        for seed in ("0", "1", "2"):
+            code, _ = self.run(
+                capsys, "serve-sim", "--requests", "20", "--seed",
+                seed, "--record", "base", "--runs-dir", runs)
+            assert code == 0
+        code, _ = self.run(
+            capsys, "serve-sim", "--requests", "20", "--seed", "3",
+            "--record", "cand", "--runs-dir", runs)
+        assert code == 0
+        code, out = self.run(capsys, "obs", "diff", "base", "cand",
+                             "--baseline-window", "3", "--threshold",
+                             "5", "--runs-dir", runs)
+        assert code == 0
+        assert "base#median[3]" in out
 
     def test_sketch_telemetry_level(self, capsys):
         code, out = self.run(capsys, "serve-sim", "--requests", "12",
